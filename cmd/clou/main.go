@@ -1,0 +1,159 @@
+// Command clou is the static analyzer of §5: it takes mini-C source,
+// lowers it Clang-O0-style, builds the A-CFG and symbolic AEG, and runs
+// the Clou-pht or Clou-stl leakage detection engine. It prints detected
+// transmitters by class, optionally emits witness executions as DOT
+// graphs, and can repair the program by minimal lfence insertion (§6.1).
+//
+// Usage:
+//
+//	clou -engine pht|stl [-func name] [-rob 250] [-lsq 50] [-w 100]
+//	     [-transmitter udt,uct,dt,ct] [-fix] [-dot] [-timeout 30s] file.c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"lcm/internal/core"
+	"lcm/internal/detect"
+	"lcm/internal/dot"
+	"lcm/internal/ir"
+	"lcm/internal/lower"
+	"lcm/internal/minic"
+	"lcm/internal/repair"
+)
+
+func main() {
+	engine := flag.String("engine", "pht", "detection engine: pht (Spectre v1/v1.1) or stl (Spectre v4)")
+	fn := flag.String("func", "", "analyze only this function (default: all defined functions)")
+	rob := flag.Int("rob", 250, "reorder buffer capacity")
+	lsq := flag.Int("lsq", 50, "load/store queue capacity")
+	wsize := flag.Int("w", 100, "sliding window size (Wsize)")
+	classes := flag.String("transmitter", "", "comma-separated classes to search (dt,ct,udt,uct); empty = all")
+	fix := flag.Bool("fix", false, "insert a minimal set of lfences and verify the repair")
+	emitDot := flag.Bool("dot", false, "print a witness execution as DOT for each finding class")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-function time budget")
+	printIR := flag.Bool("ir", false, "dump the lowered IR and exit")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: clou [flags] file.c")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	file, err := minic.Parse(string(src))
+	if err != nil {
+		fatal(fmt.Errorf("parse: %w", err))
+	}
+	m, err := lower.Module(file)
+	if err != nil {
+		fatal(fmt.Errorf("lower: %w", err))
+	}
+	if *printIR {
+		fmt.Print(m.String())
+		return
+	}
+
+	var cfg detect.Config
+	switch *engine {
+	case "pht":
+		cfg = detect.DefaultPHT()
+	case "stl":
+		cfg = detect.DefaultSTL()
+	default:
+		fatal(fmt.Errorf("unknown engine %q", *engine))
+	}
+	cfg.AEG.ROB = *rob
+	cfg.AEG.LSQ = *lsq
+	cfg.AEG.Wsize = *wsize
+	cfg.Timeout = *timeout
+	if *classes != "" {
+		for _, c := range strings.Split(*classes, ",") {
+			switch strings.TrimSpace(strings.ToLower(c)) {
+			case "dt":
+				cfg.Transmitters = append(cfg.Transmitters, core.DT)
+			case "ct":
+				cfg.Transmitters = append(cfg.Transmitters, core.CT)
+			case "udt":
+				cfg.Transmitters = append(cfg.Transmitters, core.UDT)
+			case "uct":
+				cfg.Transmitters = append(cfg.Transmitters, core.UCT)
+			default:
+				fatal(fmt.Errorf("unknown transmitter class %q", c))
+			}
+		}
+	}
+
+	fns := targets(m, *fn)
+	totalFindings := 0
+	for _, name := range fns {
+		res, err := detect.AnalyzeFunc(m, name, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clou: %s: %v\n", name, err)
+			continue
+		}
+		counts := res.Counts()
+		fmt.Printf("== %s: %d nodes, %d queries, %v%s\n", name, res.NodeCount, res.Queries,
+			res.Duration.Round(time.Millisecond), timedOut(res.TimedOut))
+		fmt.Printf("   DT=%d CT=%d UDT=%d UCT=%d\n",
+			counts[core.DT], counts[core.CT], counts[core.UDT], counts[core.UCT])
+		for _, f := range res.Findings {
+			fmt.Printf("   %s\n", f)
+			totalFindings++
+		}
+		if *emitDot && len(res.Findings) > 0 {
+			g, err := detect.Witness(res, res.Findings[0])
+			if err == nil {
+				fmt.Println(dot.Graph(g, name+"-witness"))
+			}
+		}
+		if *fix && len(res.Findings) > 0 {
+			rr, err := repair.Repair(m, name, cfg, 0)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "clou: repair %s: %v\n", name, err)
+				continue
+			}
+			fmt.Printf("   repaired with %d lfence(s) in %d round(s); remaining findings: %d\n",
+				rr.Fences, rr.Rounds, rr.Remaining)
+		}
+	}
+	if *fix {
+		fmt.Println("== repaired IR ==")
+		fmt.Print(m.String())
+	}
+	if totalFindings > 0 && !*fix {
+		os.Exit(1)
+	}
+}
+
+func targets(m *ir.Module, only string) []string {
+	if only != "" {
+		return []string{only}
+	}
+	var out []string
+	for _, f := range m.Funcs {
+		if !f.IsDecl() {
+			out = append(out, f.Nm)
+		}
+	}
+	return out
+}
+
+func timedOut(b bool) string {
+	if b {
+		return " (timed out)"
+	}
+	return ""
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "clou:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,106 @@
+// Command litmus regenerates Table 2 and Fig. 8 of the paper: runtimes
+// and classified transmitter counts for Clou-pht/Clou-stl versus the
+// BH-style baseline, over the 36-program litmus corpus and the
+// crypto-library corpus, plus the per-function runtime-versus-size series.
+//
+// Usage:
+//
+//	litmus               # litmus suites (Table 2, top half)
+//	litmus -crypto       # crypto libraries (Table 2, bottom half)
+//	litmus -fig8         # runtime vs S-AEG size (Fig. 8 series)
+//	litmus -repair       # fence-insertion study (§6.1)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lcm/internal/cryptolib"
+	"lcm/internal/detect"
+	"lcm/internal/harness"
+	"lcm/internal/litmus"
+	"lcm/internal/lower"
+	"lcm/internal/minic"
+	"lcm/internal/repair"
+)
+
+func main() {
+	crypto := flag.Bool("crypto", false, "analyze the crypto-library corpus")
+	fig8 := flag.Bool("fig8", false, "produce the Fig. 8 runtime-vs-size series")
+	doRepair := flag.Bool("repair", false, "run the §6.1 fence-insertion study")
+	timeout := flag.Duration("timeout", 20*time.Second, "per-function budget")
+	flag.Parse()
+
+	opts := harness.Options{FuncTimeout: *timeout, CryptoUniversalOnly: true}
+
+	switch {
+	case *fig8:
+		pts, err := harness.RunFig8(opts)
+		if err != nil {
+			fatal(err)
+		}
+		harness.WriteFig8(os.Stdout, pts)
+	case *crypto:
+		fmt.Println("Table 2 (crypto-libraries; Clou searches UDT/UCT only, §6.2):")
+		for _, lib := range cryptolib.All() {
+			rows, err := harness.RunLibrary(lib, opts)
+			if err != nil {
+				fatal(err)
+			}
+			for _, r := range rows {
+				fmt.Println(r.Format())
+			}
+		}
+	case *doRepair:
+		repairStudy(*timeout)
+	default:
+		fmt.Println("Table 2 (litmus suites):")
+		for _, suite := range []string{"pht", "stl", "fwd", "new"} {
+			rows, err := harness.RunLitmusSuite(suite, opts)
+			if err != nil {
+				fatal(err)
+			}
+			for _, r := range rows {
+				fmt.Println(r.Format())
+			}
+		}
+	}
+}
+
+// repairStudy reproduces §6.1: direct Clou to insert fences in every
+// benchmark and confirm all initially-detected leakage is mitigated.
+func repairStudy(timeout time.Duration) {
+	fmt.Println("Fence-insertion study (§6.1):")
+	for _, c := range litmus.All() {
+		file, err := minic.Parse(c.Source)
+		if err != nil {
+			fatal(err)
+		}
+		m, err := lower.Module(file)
+		if err != nil {
+			fatal(err)
+		}
+		cfg := detect.DefaultPHT()
+		if c.Suite == "stl" {
+			cfg = detect.DefaultSTL()
+		}
+		cfg.Timeout = timeout
+		res, err := repair.Repair(m, c.Fn, cfg, 0)
+		if err != nil {
+			fmt.Printf("  %-8s repair error: %v\n", c.Name, err)
+			continue
+		}
+		status := "mitigated"
+		if res.Remaining > 0 {
+			status = fmt.Sprintf("REMAINING=%d", res.Remaining)
+		}
+		fmt.Printf("  %-8s fences=%d rounds=%d %s\n", c.Name, res.Fences, res.Rounds, status)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "litmus:", err)
+	os.Exit(1)
+}

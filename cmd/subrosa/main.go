@@ -1,0 +1,202 @@
+// Command subrosa is the LCM exploration toolkit of §3.4: it reconstructs
+// the candidate executions of the paper's attack sampling (Figs. 2–5),
+// checks the non-interference predicates of §4.1 against them, classifies
+// transmitters per Table 1, and renders the executions as DOT graphs. It
+// can also enumerate the architectural and speculative semantics of the
+// built-in litmus programs under a chosen memory model.
+//
+// Usage:
+//
+//	subrosa -list
+//	subrosa -attack spectre-v1 [-dot]
+//	subrosa -prog spectre-v1 [-model tso] [-depth 2] [-dot]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lcm/internal/attacks"
+	"lcm/internal/core"
+	"lcm/internal/dot"
+	"lcm/internal/mcm"
+	"lcm/internal/prog"
+	"lcm/internal/relation"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list built-in attacks and programs")
+	attack := flag.String("attack", "", "analyze a reconstructed attack execution (Figs. 2–5)")
+	program := flag.String("prog", "", "enumerate executions of a built-in litmus program")
+	compare := flag.String("compare", "", "compare two machines on an attack's event structure, e.g. baseline,intel-x86")
+	model := flag.String("model", "tso", "memory model: sc, tso, relaxed")
+	depth := flag.Int("depth", 2, "control-flow speculation depth for -prog")
+	emitDot := flag.Bool("dot", false, "emit DOT graphs")
+	flag.Parse()
+
+	switch {
+	case *list:
+		fmt.Println("attacks (figure-accurate candidate executions):")
+		for _, a := range attacks.All() {
+			fmt.Printf("  %-18s %s\n", a.Name, a.Figure)
+		}
+		fmt.Println("programs (litmus expansion):")
+		for _, p := range programs() {
+			fmt.Printf("  %s\n", p.Name)
+		}
+	case *attack != "" && *compare == "":
+		runAttack(*attack, *emitDot)
+	case *program != "":
+		runProgram(*program, *model, *depth, *emitDot)
+	case *compare != "":
+		runCompare(*compare, *attack)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func machineByName(name string) (core.Machine, bool) {
+	switch name {
+	case "baseline":
+		return core.Baseline(), true
+	case "intel-x86":
+		return core.IntelX86(), true
+	case "permissive":
+		return core.Permissive(), true
+	case "baseline+silent-stores":
+		m := core.Baseline()
+		m.AllowSilentStores = true
+		m.MachineName = name
+		return m, true
+	}
+	return core.Machine{}, false
+}
+
+// runCompare implements the §3.4 roadmap: automatically comparing LCMs
+// across microarchitectures by finding executions one machine permits and
+// the other forbids.
+func runCompare(spec, attackName string) {
+	parts := strings.SplitN(spec, ",", 2)
+	if len(parts) != 2 {
+		fmt.Fprintln(os.Stderr, "subrosa: -compare wants two machine names, e.g. baseline,intel-x86")
+		os.Exit(2)
+	}
+	m1, ok1 := machineByName(parts[0])
+	m2, ok2 := machineByName(parts[1])
+	if !ok1 || !ok2 {
+		fmt.Fprintln(os.Stderr, "subrosa: machines: baseline, intel-x86, permissive, baseline+silent-stores")
+		os.Exit(2)
+	}
+	if attackName == "" {
+		attackName = "spectre-v4"
+	}
+	for _, a := range attacks.All() {
+		if a.Name != attackName {
+			continue
+		}
+		// Compare on the attack's event structure with witnesses cleared
+		// down to the architectural ones.
+		g := a.Graph.Clone()
+		g.RFX = relation.New()
+		g.COX = relation.New()
+		ds := core.CompareMachines(g, m1, m2, core.CompareOptions{})
+		fmt.Printf("== %s vs %s on %s: %d distinguishing executions\n",
+			m1.Name(), m2.Name(), a.Name, len(ds))
+		for i, d := range ds {
+			leak := ""
+			if d.Leaky {
+				leak = " [leaky]"
+			}
+			fmt.Printf("   %d: permitted by %s, rejected by %s%s\n", i+1, d.Permits, d.Rejects, leak)
+		}
+		return
+	}
+	fmt.Fprintf(os.Stderr, "subrosa: unknown attack %q\n", attackName)
+	os.Exit(1)
+}
+
+func programs() []*prog.Program {
+	return []*prog.Program{
+		prog.SpectreV1(), prog.SpectreV1Variant(), prog.SpectreV4(),
+		prog.MP(), prog.SB(), prog.SBFenced(), prog.CoRR(),
+	}
+}
+
+func runAttack(name string, emitDot bool) {
+	for _, a := range attacks.All() {
+		if a.Name != name {
+			continue
+		}
+		fmt.Printf("== %s (%s) on machine %s\n", a.Name, a.Figure, a.Machine.Name())
+		if !a.Machine.Confidential(a.Graph) {
+			fmt.Println("   execution rejected by the machine's confidentiality predicate")
+			os.Exit(1)
+		}
+		vs := core.CheckNonInterference(a.Graph)
+		fmt.Printf("   %d non-interference violations\n", len(vs))
+		for _, v := range vs {
+			fmt.Printf("   - %s\n", v)
+		}
+		ts := core.Classify(a.Graph, vs, core.ClassifyOptions{})
+		fmt.Printf("   %d transmitters:\n", len(ts))
+		for _, t := range ts {
+			fmt.Printf("   - %s (%s)\n", t, a.Graph.Events[t.Event].Label)
+		}
+		if emitDot {
+			fmt.Println(dot.Graph(a.Graph, a.Name))
+		}
+		return
+	}
+	fmt.Fprintf(os.Stderr, "subrosa: unknown attack %q (try -list)\n", name)
+	os.Exit(1)
+}
+
+func runProgram(name, model string, depth int, emitDot bool) {
+	var p *prog.Program
+	for _, q := range programs() {
+		if q.Name == name {
+			p = q
+		}
+	}
+	if p == nil {
+		fmt.Fprintf(os.Stderr, "subrosa: unknown program %q (try -list)\n", name)
+		os.Exit(1)
+	}
+	var m mcm.Model
+	switch model {
+	case "sc":
+		m = mcm.SC{}
+	case "tso":
+		m = mcm.TSO{}
+	case "relaxed":
+		m = mcm.Relaxed{}
+	default:
+		fmt.Fprintf(os.Stderr, "subrosa: unknown model %q\n", model)
+		os.Exit(1)
+	}
+
+	structures := prog.Expand(p, prog.ExpandOptions{
+		Depth: depth, XStateForLocation: true, Observer: true,
+		// Store-bypass windows matter for the v4 program; harmless
+		// elsewhere (no eligible load ⇒ no extra structures).
+		AddressSpeculation: true,
+	})
+	fmt.Printf("== %s: %d event structures (depth %d), model %s\n",
+		p.Name, len(structures), depth, m.Name())
+	findings := core.FindLeakageInProgramGraphs(structures, core.FindOptions{
+		Model: m,
+	})
+	fmt.Printf("   %d leaky consistent candidate executions\n", len(findings))
+	sum := core.Summarize(findings)
+	fmt.Printf("   transmitters by class: AT=%d CT=%d DT=%d UCT=%d UDT=%d\n",
+		sum[core.AT], sum[core.CT], sum[core.DT], sum[core.UCT], sum[core.UDT])
+	for _, l := range core.TransmitterEvents(findings) {
+		fmt.Printf("   - %s\n", l)
+	}
+	if emitDot && len(findings) > 0 {
+		fmt.Println(dot.Graph(findings[0].Exec, p.Name))
+	}
+}

@@ -1,0 +1,193 @@
+// Command uarchsim runs the built-in microarchitectural attack demos on
+// the uarch substrate: it mounts each attack end to end and prints the
+// cache residue the ⊥ observer sees, demonstrating dynamically the leaks
+// the LCM analysis predicts statically.
+//
+// Usage:
+//
+//	uarchsim [-attack spectre-v1|spectre-v1-fenced|spectre-v4|silent-stores|imp|all] [-secret 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lcm/internal/ir"
+	"lcm/internal/lower"
+	"lcm/internal/minic"
+	"lcm/internal/uarch"
+)
+
+func main() {
+	attack := flag.String("attack", "all", "demo to run")
+	secret := flag.Int("secret", 42, "planted secret byte")
+	flag.Parse()
+
+	demos := map[string]func(uint8) error{
+		"spectre-v1":        func(s uint8) error { return spectreV1("victim", s) },
+		"spectre-v1-fenced": func(s uint8) error { return spectreV1("victim_fenced", s) },
+		"spectre-v4":        spectreV4,
+		"silent-stores":     silentStores,
+		"imp":               imp,
+	}
+	names := []string{"spectre-v1", "spectre-v1-fenced", "spectre-v4", "silent-stores", "imp"}
+	if *attack != "all" {
+		if _, ok := demos[*attack]; !ok {
+			fmt.Fprintf(os.Stderr, "uarchsim: unknown attack %q\n", *attack)
+			os.Exit(2)
+		}
+		names = []string{*attack}
+	}
+	for _, n := range names {
+		if err := demos[n](uint8(*secret)); err != nil {
+			fmt.Fprintf(os.Stderr, "uarchsim: %s: %v\n", n, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func compile(src string) (*ir.Module, error) {
+	f, err := minic.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return lower.Module(f)
+}
+
+const victimSrc = `
+uint8_t array1[16];
+uint8_t secret_pad[64];
+uint8_t array2[131072];
+uint32_t array1_size = 16;
+uint8_t tmp;
+void victim(uint32_t x) {
+	if (x < array1_size) {
+		uint8_t v = array1[x];
+		tmp &= array2[v * 512];
+	}
+}
+void victim_fenced(uint32_t x) {
+	if (x < array1_size) {
+		lfence();
+		uint8_t v = array1[x];
+		tmp &= array2[v * 512];
+	}
+}
+`
+
+func spectreV1(fn string, secret uint8) error {
+	m, err := compile(victimSrc)
+	if err != nil {
+		return err
+	}
+	ma := uarch.New(m, uarch.Config{})
+	a1, _ := ma.GlobalAddr("array1")
+	a2, _ := ma.GlobalAddr("array2")
+	pad, _ := ma.GlobalAddr("secret_pad")
+	ma.Mem.Store(pad+3, 1, uint64(secret))
+	oob := pad + 3 - a1
+
+	for i := 0; i < 8; i++ {
+		ma.Call(fn, uint64(i&7)) // train the predictor in bounds
+	}
+	ma.Flush()
+	ma.Call(fn, oob)
+
+	fmt.Printf("== %s: planted secret %d out of bounds\n", fn, secret)
+	recovered := -1
+	for s := 0; s < 256; s++ {
+		if ma.Probe(a2 + uint64(s)*512) {
+			recovered = s
+		}
+	}
+	if recovered < 0 {
+		fmt.Printf("   observer sees no residue — leak blocked (%d transient instrs)\n", ma.Squashed)
+	} else {
+		fmt.Printf("   observer recovers %d from cache residue (%d transient instrs)\n", recovered, ma.Squashed)
+	}
+	return nil
+}
+
+func spectreV4(secret uint8) error {
+	m, err := compile(`
+		uint8_t sec_ary[128];
+		uint8_t pub_ary[131072];
+		uint8_t tmp;
+		uint32_t idx_slot;
+		void victim4(uint32_t idx) {
+			idx_slot = idx & 15;
+			uint8_t x = sec_ary[idx_slot];
+			tmp &= pub_ary[x * 512];
+		}
+	`)
+	if err != nil {
+		return err
+	}
+	ma := uarch.New(m, uarch.Config{StoreBypass: true, StoreBufferDepth: 16})
+	secA, _ := ma.GlobalAddr("sec_ary")
+	pubA, _ := ma.GlobalAddr("pub_ary")
+	slot, _ := ma.GlobalAddr("idx_slot")
+	ma.Mem.Store(secA+42, 1, uint64(secret))
+	ma.Mem.Store(slot, 4, 42) // stale attacker-seeded index
+	ma.Flush()
+	ma.Call("victim4", 3)
+	fmt.Printf("== spectre-v4: secret %d at sec_ary[42], stale slot bypassed\n", secret)
+	if ma.Probe(pubA + uint64(secret)*512) {
+		fmt.Printf("   observer recovers %d via store-bypass residue\n", secret)
+	} else {
+		fmt.Println("   no residue")
+	}
+	return nil
+}
+
+func silentStores(uint8) error {
+	m, err := compile(`
+		uint32_t x_slot;
+		void write_val(uint32_t v) { x_slot = v; }
+	`)
+	if err != nil {
+		return err
+	}
+	run := func(initial, stored uint64) bool {
+		ma := uarch.New(m, uarch.Config{SilentStores: true})
+		xa, _ := ma.GlobalAddr("x_slot")
+		ma.Mem.Store(xa, 4, initial)
+		ma.Flush()
+		ma.Call("write_val", stored)
+		return ma.Probe(xa)
+	}
+	fmt.Println("== silent-stores: store of equal vs differing value")
+	fmt.Printf("   equal value   → line cached: %v (silent, elided)\n", run(5, 5))
+	fmt.Printf("   differing     → line cached: %v (written through)\n", run(5, 6))
+	fmt.Println("   the observer distinguishes the two: the data comparison leaks (Fig. 5a)")
+	return nil
+}
+
+func imp(uint8) error {
+	m, err := compile(`
+		uint8_t Z[64];
+		uint8_t Y[131072];
+		uint8_t t0;
+		void walk(uint32_t n) {
+			for (uint32_t i = 0; i < n; i++) {
+				t0 += Y[Z[i] * 512];
+			}
+		}
+	`)
+	if err != nil {
+		return err
+	}
+	ma := uarch.New(m, uarch.Config{IMP: true, ROB: -1})
+	za, _ := ma.GlobalAddr("Z")
+	ya, _ := ma.GlobalAddr("Y")
+	for i, v := range []uint64{3, 9, 14, 21, 77} {
+		ma.Mem.Store(za+uint64(i), 1, v)
+	}
+	ma.Flush()
+	ma.Call("walk", 4)
+	fmt.Printf("== imp: walked Y[Z[0..3]]; Z[4]=77 never architecturally read\n")
+	fmt.Printf("   prefetches issued: %d; Y[Z[4]*512] resident: %v (Fig. 5b universal read)\n",
+		ma.Prefetches, ma.Probe(ya+77*512))
+	return nil
+}

@@ -1,0 +1,11 @@
+// Package lcm is a from-scratch Go reproduction of "Axiomatic
+// Hardware-Software Contracts for Security" (Mosier, Lachnitt, Nemati,
+// Trippel — ISCA 2022): leakage containment models (LCMs), the subrosa-style
+// exploration toolkit, and the Clou static analyzer, together with every
+// substrate they depend on (relational algebra, event structures, memory
+// consistency models, a mini-C frontend and Clang-O0-style IR, a CDCL SAT
+// solver with an SMT formula layer, alias and taint analyses, a fence
+// repair pass, a Binsec/Haunted-style baseline, and an out-of-order
+// microarchitecture simulator). See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the paper-versus-measured record.
+package lcm

@@ -1,0 +1,59 @@
+// Fencerepair: detect the leakage in the paper's NEW01 benchmark (§6.1),
+// repair it by minimal lfence insertion, and show the before/after
+// finding counts and the repaired IR.
+package main
+
+import (
+	"fmt"
+
+	"lcm/internal/detect"
+	"lcm/internal/litmus"
+	"lcm/internal/lower"
+	"lcm/internal/minic"
+	"lcm/internal/repair"
+)
+
+func main() {
+	var c litmus.Case
+	for _, cc := range litmus.NEW() {
+		if cc.Name == "new01" {
+			c = cc
+		}
+	}
+	fmt.Println("NEW01 source (§6.1):")
+	fmt.Println(c.Source)
+
+	file, err := minic.Parse(c.Source)
+	if err != nil {
+		panic(err)
+	}
+	m, err := lower.Module(file)
+	if err != nil {
+		panic(err)
+	}
+
+	cfg := detect.DefaultPHT()
+	before, err := detect.AnalyzeFunc(m, c.Fn, cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("before repair: %d findings\n", len(before.Findings))
+	for _, f := range before.Findings {
+		fmt.Println("  -", f)
+	}
+
+	res, err := repair.Repair(m, c.Fn, cfg, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nrepair: %d lfence(s) inserted in %d round(s)\n", res.Fences, res.Rounds)
+
+	after, err := detect.AnalyzeFunc(m, c.Fn, cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("after repair: %d findings\n", len(after.Findings))
+
+	fmt.Println("\nrepaired IR:")
+	fmt.Print(m.Func(c.Fn).String())
+}

@@ -1,0 +1,201 @@
+package alias
+
+import (
+	"testing"
+
+	"lcm/internal/acfg"
+	"lcm/internal/ir"
+	"lcm/internal/lower"
+	"lcm/internal/minic"
+)
+
+func analyze(t *testing.T, src, fn string) (*acfg.Graph, *Analysis) {
+	t.Helper()
+	file, err := minic.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	m, err := lower.Module(file)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	g, err := acfg.Build(m, fn, acfg.Options{})
+	if err != nil {
+		t.Fatalf("acfg: %v", err)
+	}
+	return g, Analyze(g)
+}
+
+// memNodes returns loads/stores in topo order.
+func memNodes(g *acfg.Graph) []*acfg.Node {
+	var out []*acfg.Node
+	for _, id := range g.Topo() {
+		n := g.Nodes[id]
+		if n.IsLoad() || n.IsStore() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func TestDistinctAllocasDontAlias(t *testing.T) {
+	g, a := analyze(t, `
+		int f(int x) {
+			int u = x;
+			int v = x;
+			return u + v;
+		}
+	`, "f")
+	// Find stores to u.addr and v.addr: they must not alias.
+	var stores []*acfg.Node
+	for _, n := range memNodes(g) {
+		if n.IsStore() {
+			stores = append(stores, n)
+		}
+	}
+	if len(stores) < 3 { // x spill, u, v
+		t.Fatalf("stores = %d", len(stores))
+	}
+	u, v := stores[1], stores[2]
+	if a.MayAlias(u, v) {
+		t.Error("distinct allocas alias")
+	}
+	if !a.MayAlias(u, u) {
+		t.Error("alloca does not alias itself")
+	}
+}
+
+func TestGlobalArrayIndexingMayAlias(t *testing.T) {
+	g, a := analyze(t, `
+		int A[8];
+		int B[8];
+		int f(int i, int j) { A[i] = 1; A[j] = 2; B[i] = 3; return 0; }
+	`, "f")
+	var arrStores []*acfg.Node
+	for _, n := range memNodes(g) {
+		if n.IsStore() {
+			if _, isConst := n.Instr.Args[0].(*ir.Const); isConst {
+				arrStores = append(arrStores, n)
+			}
+		}
+	}
+	if len(arrStores) != 3 {
+		t.Fatalf("array stores = %d", len(arrStores))
+	}
+	if !a.MayAlias(arrStores[0], arrStores[1]) {
+		t.Error("A[i] and A[j] should may-alias")
+	}
+	if a.MayAlias(arrStores[0], arrStores[2]) {
+		t.Error("A[i] and B[i] should not alias architecturally")
+	}
+	// Transiently, alias facts are not trusted: A and B may collide.
+	if !a.MayAliasTransient(arrStores[0], arrStores[2]) {
+		t.Error("transient alias must not trust resolution")
+	}
+}
+
+func TestPointerParamAliasesGlobals(t *testing.T) {
+	g, a := analyze(t, `
+		int G[4];
+		void f(int *p, int i) { p[0] = 1; G[i] = 2; }
+	`, "f")
+	var stores []*acfg.Node
+	for _, n := range memNodes(g) {
+		if n.IsStore() {
+			if _, isConst := n.Instr.Args[0].(*ir.Const); isConst {
+				stores = append(stores, n)
+			}
+		}
+	}
+	if len(stores) != 2 {
+		t.Fatalf("stores = %d", len(stores))
+	}
+	if !a.MayAlias(stores[0], stores[1]) {
+		t.Error("external pointer must may-alias globals")
+	}
+}
+
+func TestPointerParamDoesNotAliasStack(t *testing.T) {
+	g, a := analyze(t, `
+		void f(int *p) { int local = 0; *p = local; local = 1; }
+	`, "f")
+	var derefStore, localStore *acfg.Node
+	for _, n := range memNodes(g) {
+		if !n.IsStore() {
+			continue
+		}
+		switch n.Instr.Args[1].(type) {
+		case *ir.Instr:
+			in := n.Instr.Args[1].(*ir.Instr)
+			if in.Op == ir.OpAlloca {
+				localStore = n
+			} else {
+				derefStore = n
+			}
+		}
+	}
+	if derefStore == nil || localStore == nil {
+		t.Fatal("stores not found")
+	}
+	if a.MayAlias(derefStore, localStore) {
+		t.Error("external pointer aliases a stack slot")
+	}
+	if a.MayAliasTransient(derefStore, localStore) {
+		t.Error("even transiently, distinct stack slots keep distinct addresses")
+	}
+}
+
+func TestSameAllocaSpillChain(t *testing.T) {
+	g, a := analyze(t, `
+		int f(int x) { int idx = x; return idx; }
+	`, "f")
+	// The store to idx.addr and the subsequent load must be recognized as
+	// the same alloca (the spill/reload chain of §5.3's data.rf).
+	var store, load *acfg.Node
+	for _, n := range memNodes(g) {
+		if n.IsStore() {
+			if al, ok := n.Instr.Args[1].(*ir.Instr); ok && al.Op == ir.OpAlloca && al.Nm == "idx.addr" {
+				store = n
+			}
+		}
+		if n.IsLoad() {
+			if al, ok := n.Instr.Args[0].(*ir.Instr); ok && al.Op == ir.OpAlloca && al.Nm == "idx.addr" {
+				load = n
+			}
+		}
+	}
+	if store == nil || load == nil {
+		t.Fatal("spill chain nodes not found")
+	}
+	if _, ok := a.SameAlloca(store, load); !ok {
+		t.Error("spill store and reload not matched to the same alloca")
+	}
+}
+
+func TestLoadedPointerIsExternal(t *testing.T) {
+	g, a := analyze(t, `
+		int *table[4];
+		int G[4];
+		void f(int i) { int *p = table[i]; p[0] = 1; G[0] = 2; }
+	`, "f")
+	var derefStore, gStore *acfg.Node
+	for _, n := range memNodes(g) {
+		if n.IsStore() {
+			if c, ok := n.Instr.Args[0].(*ir.Const); ok {
+				if c.Val == 1 {
+					derefStore = n
+				}
+				if c.Val == 2 {
+					gStore = n
+				}
+			}
+		}
+	}
+	if derefStore == nil || gStore == nil {
+		t.Fatal("stores not found")
+	}
+	// A pointer loaded from memory has unknown target: may alias G.
+	if !a.MayAlias(derefStore, gStore) {
+		t.Error("loaded pointer should may-alias globals")
+	}
+}

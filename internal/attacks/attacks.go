@@ -1,0 +1,294 @@
+// Package attacks reconstructs, figure by figure, the candidate executions
+// of the microarchitectural attacks sampled in §4.2 of the paper: Spectre
+// v1 (Fig. 2b), the Spectre v1 variant with a non-transient access (Fig. 3),
+// Spectre v4 (Fig. 4a), Spectre-PSF (Fig. 4b), silent stores (Fig. 5a), and
+// the indirect memory prefetcher (Fig. 5b). Each attack carries the machine
+// on which the execution is confidential and the transmitters the paper
+// identifies, so the leakage definition of §4.1 can be validated against
+// the literature.
+package attacks
+
+import (
+	"lcm/internal/core"
+	"lcm/internal/event"
+)
+
+// Expect is a gold transmitter label for an attack.
+type Expect struct {
+	Label     string     // event label of the transmitter
+	Class     core.Class // class the paper assigns
+	Transient bool
+}
+
+// Attack is one reconstructed attack execution.
+type Attack struct {
+	Name    string
+	Figure  string
+	Graph   *event.Graph
+	Machine core.Machine
+	Expect  []Expect
+}
+
+// All returns every reconstructed attack.
+func All() []Attack {
+	return []Attack{
+		SpectreV1(),
+		SpectreV1Variant(),
+		SpectreV4(),
+		SpectrePSF(),
+		SilentStores(),
+		IndirectPrefetch(),
+	}
+}
+
+// SpectreV1 reconstructs the right fork of Fig. 2b: the committed
+// not-taken path of Fig. 1a with the if-body (5S, 6S) mis-speculatively
+// executed before rollback.
+func SpectreV1() Attack {
+	b := event.NewBuilder()
+	top := b.Top()
+	s0, s1, s2 := b.FreshX(), b.FreshX(), b.FreshX()
+
+	e2 := b.Read(0, "y", s0, event.XRW, "R y (RW s0) → r2")
+	e5s := b.TransientRead(0, "A+r2", s1, event.XRW, "Rs A+r2 (RW s1) → r4")
+	e6s := b.TransientRead(0, "B+r4", s2, event.XRW, "Rs B+r4 (RW s2) → r5")
+	bot := b.Bottom(0)
+
+	b.AddrDep(e2, e5s, true)
+	b.AddrDep(e5s, e6s, true)
+
+	b.RF(top, e2)
+	b.RF(top, e5s)
+	b.RF(top, e6s)
+
+	b.RFX(top, e2)
+	b.RFX(top, e5s)
+	b.RFX(top, e6s)
+	b.RFX(e2, bot)
+	b.RFX(e5s, bot)
+	b.RFX(e6s, bot)
+
+	return Attack{
+		Name:    "spectre-v1",
+		Figure:  "Fig. 2b",
+		Graph:   b.Finish(),
+		Machine: core.Permissive(),
+		Expect: []Expect{
+			{Label: "R y (RW s0) → r2", Class: core.AT},
+			{Label: "Rs A+r2 (RW s1) → r4", Class: core.DT, Transient: true},
+			{Label: "Rs B+r4 (RW s2) → r5", Class: core.UDT, Transient: true},
+		},
+	}
+}
+
+// SpectreV1Variant reconstructs Fig. 3: x = A[y]; if (y < size) temp &=
+// B[x]. The access instruction (5) is non-transient; the transmitter (6S)
+// is transient.
+func SpectreV1Variant() Attack {
+	b := event.NewBuilder()
+	top := b.Top()
+	s0, s1, s2 := b.FreshX(), b.FreshX(), b.FreshX()
+
+	e2 := b.Read(0, "y", s0, event.XRW, "R y (RW s0) → r1")
+	e5 := b.Read(0, "A+r1", s1, event.XRW, "R A+r1 (RW s1) → r2")
+	e6s := b.TransientRead(0, "B+r2", s2, event.XRW, "Rs B+r2 (RW s2) → r3")
+	bot := b.Bottom(0)
+
+	b.AddrDep(e2, e5, true)
+	b.AddrDep(e5, e6s, true)
+
+	b.RF(top, e2)
+	b.RF(top, e5)
+	b.RF(top, e6s)
+
+	b.RFX(top, e2)
+	b.RFX(top, e5)
+	b.RFX(top, e6s)
+	b.RFX(e2, bot)
+	b.RFX(e5, bot)
+	b.RFX(e6s, bot)
+
+	return Attack{
+		Name:    "spectre-v1-variant",
+		Figure:  "Fig. 3",
+		Graph:   b.Finish(),
+		Machine: core.Permissive(),
+		Expect: []Expect{
+			{Label: "R y (RW s0) → r1", Class: core.AT},
+			{Label: "R A+r1 (RW s1) → r2", Class: core.DT},
+			{Label: "Rs B+r2 (RW s2) → r3", Class: core.UDT, Transient: true},
+		},
+	}
+}
+
+// SpectreV4 reconstructs Fig. 4a: store forwarding lets the transient read
+// 4S observe stale y (bypassing the committed store 3), steering the
+// transient universal data transmitter 6S.
+func SpectreV4() Attack {
+	b := event.NewBuilder()
+	top := b.Top()
+	s0, s1, s2, s3 := b.FreshX(), b.FreshX(), b.FreshX(), b.FreshX()
+
+	e1 := b.Read(0, "size", s0, event.XRW, "R size (RW s0) → r1")
+	e2 := b.Read(0, "y", s1, event.XRW, "R y (RW s1) → r2")
+	e3 := b.Write(0, "y", s1, event.XRW, "W y (RW s1) ← r1&(r0-1)")
+	e4s := b.TransientRead(0, "y", s1, event.XR, "Rs y (R s1) → r3")
+	e5s := b.TransientRead(0, "A+r3", s2, event.XRW, "Rs A+r3 (RW s2) → r4")
+	e6s := b.TransientRead(0, "B+r4", s3, event.XRW, "Rs B+r4 (RW s3) → r5")
+	bot := b.Bottom(0)
+
+	b.DataDep(e1, e3)
+	b.AddrDep(e4s, e5s, true)
+	b.AddrDep(e5s, e6s, true)
+
+	b.RF(top, e1)
+	b.RF(top, e2)
+	b.RF(top, e4s) // stale: bypasses the store 3
+	b.RF(top, e5s)
+	b.RF(top, e6s)
+	b.CO(top, e3)
+
+	b.RFX(top, e1)
+	b.RFX(top, e2)
+	b.RFX(e2, e3)
+	b.RFX(e2, e4s) // 4S reads s1 before 3 overwrites it ⟹ frx(4S, 3)
+	b.RFX(top, e5s)
+	b.RFX(top, e6s)
+	b.COX(e2, e3)
+	b.RFX(e1, bot)
+	b.RFX(e3, bot)
+	b.RFX(e5s, bot)
+	b.RFX(e6s, bot)
+
+	return Attack{
+		Name:    "spectre-v4",
+		Figure:  "Fig. 4a",
+		Graph:   b.Finish(),
+		Machine: core.IntelX86(),
+		Expect: []Expect{
+			{Label: "Rs A+r3 (RW s2) → r4", Class: core.DT, Transient: true},
+			{Label: "Rs B+r4 (RW s3) → r5", Class: core.UDT, Transient: true},
+		},
+	}
+}
+
+// SpectrePSF reconstructs Fig. 4b: alias prediction forwards the value of
+// the store to C[0] to the transient load of C[y] (a different location
+// sharing predicted xstate), steering the universal data transmitter 5S.
+func SpectrePSF() Attack {
+	b := event.NewBuilder()
+	top := b.Top()
+	s0, s1, s2, s3 := b.FreshX(), b.FreshX(), b.FreshX(), b.FreshX()
+
+	e1 := b.Read(0, "y", s0, event.XRW, "R y (RW s0) → r1")
+	e2 := b.Write(0, "C+0", s1, event.XRW, "W C+0 (RW s1) ← 64")
+	e3s := b.TransientRead(0, "C+r1", s1, event.XR, "Rs C+r1 (R s1) → r2")
+	e4s := b.TransientRead(0, "A+r1*r2", s2, event.XRW, "Rs A+r1*r2 (RW s2) → r3")
+	e5s := b.TransientRead(0, "B+r3", s3, event.XRW, "Rs B+r3 (RW s3) → r4")
+	bot := b.Bottom(0)
+
+	b.AddrDep(e1, e3s, true)
+	b.AddrDep(e1, e4s, true)
+	b.AddrDep(e3s, e4s, true)
+	b.AddrDep(e4s, e5s, true)
+
+	b.RF(top, e1)
+	b.RF(top, e3s) // architecturally C+r1 holds its initial value
+	b.RF(top, e4s)
+	b.RF(top, e5s)
+	b.CO(top, e2)
+
+	b.RFX(top, e1)
+	b.RFX(top, e2)
+	b.RFX(e2, e3s) // the alias-predicted forward
+	b.RFX(top, e4s)
+	b.RFX(top, e5s)
+	b.RFX(e1, bot)
+	b.RFX(e2, bot)
+	b.RFX(e4s, bot)
+	b.RFX(e5s, bot)
+
+	m := core.IntelX86()
+	m.AllowAliasPrediction = true
+	m.MachineName = "intel-x86+psf"
+	return Attack{
+		Name:    "spectre-psf",
+		Figure:  "Fig. 4b",
+		Graph:   b.Finish(),
+		Machine: m,
+		Expect: []Expect{
+			{Label: "Rs A+r1*r2 (RW s2) → r3", Class: core.UDT, Transient: true},
+			{Label: "Rs B+r3 (RW s3) → r4", Class: core.UDT, Transient: true},
+		},
+	}
+}
+
+// SilentStores reconstructs Fig. 5a: the second store of the same value is
+// elided (microarchitecturally a read), producing a co/cox inconsistency
+// whose transmitter conveys the data field of its xstate.
+func SilentStores() Attack {
+	b := event.NewBuilder()
+	top := b.Top()
+	s1 := b.FreshX()
+
+	e1 := b.Write(0, "x", s1, event.XRW, "W x (s1) ← 1")
+	e2 := b.Write(0, "x", s1, event.XR, "W x (s1) ← 1 [silent]")
+	bot := b.Bottom(0)
+
+	b.CO(top, e1)
+	b.CO(e1, e2)
+
+	b.RFX(top, e1)
+	b.RFX(e1, e2) // the silent store reads, rather than writes, s1
+	b.COX(top, e1)
+	b.RFX(e1, bot)
+
+	m := core.Baseline()
+	m.AllowSilentStores = true
+	m.MachineName = "baseline+silent-stores"
+	return Attack{
+		Name:    "silent-stores",
+		Figure:  "Fig. 5a",
+		Graph:   b.Finish(),
+		Machine: m,
+		Expect: []Expect{
+			{Label: "W x (s1) ← 1 [silent]", Class: core.AT},
+		},
+	}
+}
+
+// IndirectPrefetch reconstructs Fig. 5b: an indirect memory prefetcher
+// issues non-architectural reads following the X[Y[Z[i]]] pattern; the
+// final prefetch is a universal data transmitter of prefetched data.
+func IndirectPrefetch() Attack {
+	b := event.NewBuilder()
+	top := b.Top()
+	s1, s2, s3 := b.FreshX(), b.FreshX(), b.FreshX()
+
+	p1 := b.PrefetchRead(0, "Z", s1, "Rp Z (s1) → r1")
+	p2 := b.PrefetchRead(0, "Y+r1", s2, "Rp Y+r1 (s2) → r2")
+	p3 := b.PrefetchRead(0, "X+r2", s3, "Rp X+r2 (s3) → r3")
+	bot := b.Bottom(0)
+
+	b.AddrDep(p1, p2, true)
+	b.AddrDep(p2, p3, true)
+
+	b.RFX(top, p1)
+	b.RFX(top, p2)
+	b.RFX(top, p3)
+	b.RFX(p1, bot)
+	b.RFX(p2, bot)
+	b.RFX(p3, bot)
+
+	return Attack{
+		Name:    "indirect-prefetch",
+		Figure:  "Fig. 5b",
+		Graph:   b.Finish(),
+		Machine: core.Permissive(),
+		Expect: []Expect{
+			{Label: "Rp Z (s1) → r1", Class: core.AT},
+			{Label: "Rp Y+r1 (s2) → r2", Class: core.DT},
+			{Label: "Rp X+r2 (s3) → r3", Class: core.UDT},
+		},
+	}
+}

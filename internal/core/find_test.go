@@ -1,0 +1,352 @@
+package core_test
+
+import (
+	"testing"
+
+	"lcm/internal/attacks"
+	"lcm/internal/core"
+	"lcm/internal/event"
+	"lcm/internal/mcm"
+	"lcm/internal/prog"
+)
+
+// TestAttackSampling validates that the leakage definition of §4.1 detects
+// every attack of §4.2 with the transmitter classes the paper assigns.
+func TestAttackSampling(t *testing.T) {
+	for _, a := range attacks.All() {
+		t.Run(a.Name, func(t *testing.T) {
+			if !a.Machine.Confidential(a.Graph) {
+				t.Fatalf("%s: figure execution rejected by machine %s", a.Figure, a.Machine.Name())
+			}
+			vs := core.CheckNonInterference(a.Graph)
+			if len(vs) == 0 {
+				t.Fatalf("%s: no non-interference violations detected", a.Figure)
+			}
+			ts := core.Classify(a.Graph, vs, core.ClassifyOptions{})
+			for _, want := range a.Expect {
+				found := false
+				for _, tr := range ts {
+					ev := a.Graph.Events[tr.Event]
+					if ev.Label == want.Label && tr.Class == want.Class && tr.Transient == want.Transient {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("%s: missing expected %v transmitter %q (transient=%v)\ngot: %v",
+						a.Figure, want.Class, want.Label, want.Transient, ts)
+				}
+			}
+		})
+	}
+}
+
+// TestSpectreV4RequiresStoreBypass reproduces the §4.2 observation: the
+// naive lifting sc_per_loc_x forbids the Spectre v4 execution (it has an
+// frx + tfo_loc cycle), so an Intel LCM must permit store bypass.
+func TestSpectreV4RequiresStoreBypass(t *testing.T) {
+	a := attacks.SpectreV4()
+	if core.Baseline().Confidential(a.Graph) {
+		t.Error("baseline (sc_per_loc_x) machine accepts Spectre v4; it must not")
+	}
+	if !core.IntelX86().Confidential(a.Graph) {
+		t.Error("Intel x86 machine rejects Spectre v4; it must permit it")
+	}
+	// The frx + tfo_loc cycle is really there.
+	frx := a.Graph.FRX()
+	cycle := frx.Union(a.Graph.TFOLoc()).FindCycle()
+	if cycle == nil {
+		t.Error("expected an frx+tfo_loc cycle in the Spectre v4 execution")
+	}
+}
+
+// TestSpectrePSFRequiresAliasPrediction: the PSF execution's rfx edge
+// crosses architectural locations, so machines without alias prediction
+// reject it.
+func TestSpectrePSFRequiresAliasPrediction(t *testing.T) {
+	a := attacks.SpectrePSF()
+	if core.IntelX86().Confidential(a.Graph) {
+		t.Error("machine without alias prediction accepts the PSF execution")
+	}
+	if !a.Machine.Confidential(a.Graph) {
+		t.Error("PSF machine rejects its own execution")
+	}
+}
+
+// TestSilentStoreRequiresOption: the silent-store execution has a write
+// with a read-only xstate access; machines without the optimization
+// reject it.
+func TestSilentStoreRequiresOption(t *testing.T) {
+	a := attacks.SilentStores()
+	if core.Baseline().Confidential(a.Graph) {
+		t.Error("baseline machine accepts a silent store")
+	}
+	if !a.Machine.Confidential(a.Graph) {
+		t.Error("silent-store machine rejects its own execution")
+	}
+}
+
+// TestFindLeakageSpectreV1EndToEnd drives the full pipeline from the
+// program text of Fig. 1a: expansion (speculative semantics) → consistent
+// architectural executions (TSO) → interference-free microarchitectural
+// witness → NI check → taxonomy. The paper's result: 6S is a true UDT with
+// a transient access instruction, while committed 6 is restricted by the
+// bounds check (demoted under RequireTransientAccess).
+func TestFindLeakageSpectreV1EndToEnd(t *testing.T) {
+	structures := prog.Expand(prog.SpectreV1(), prog.ExpandOptions{
+		Depth: 4, XStateForLocation: true, Observer: true,
+	})
+	findings := core.FindLeakageInProgramGraphs(structures, core.FindOptions{
+		Classify: core.ClassifyOptions{GEPOnly: true, RequireTransientAccess: true},
+	})
+	if len(findings) == 0 {
+		t.Fatal("no leakage found in Spectre v1")
+	}
+	sawTransientUDT := false
+	sawCommittedDemoted := false
+	for _, f := range findings {
+		for _, tr := range f.Transmitters {
+			ev := f.Exec.Events[tr.Event]
+			if tr.Class == core.UDT && ev.Transient && tr.TransientAccess {
+				sawTransientUDT = true
+			}
+			if tr.Class == core.DT && !ev.Transient && ev.Loc == "B+r4" {
+				sawCommittedDemoted = true
+			}
+		}
+	}
+	if !sawTransientUDT {
+		t.Error("missing the transient universal data transmitter (6S)")
+	}
+	if !sawCommittedDemoted {
+		t.Error("missing the demoted committed transmitter (6)")
+	}
+}
+
+// TestFindLeakageVariantAccessCommits reproduces Fig. 3: the transient
+// transmitter's access instruction commits, so under RequireTransientAccess
+// even the transient transmitter is a DT, not a UDT — the STT-scope
+// distinction §4.2 discusses.
+func TestFindLeakageVariantAccessCommits(t *testing.T) {
+	structures := prog.Expand(prog.SpectreV1Variant(), prog.ExpandOptions{
+		Depth: 4, XStateForLocation: true, Observer: true,
+	})
+	findings := core.FindLeakageInProgramGraphs(structures, core.FindOptions{
+		Classify: core.ClassifyOptions{GEPOnly: true, RequireTransientAccess: true},
+	})
+	for _, f := range findings {
+		for _, tr := range f.Transmitters {
+			if tr.Class == core.UDT {
+				t.Errorf("variant should have no UDT under RequireTransientAccess, got %v", tr)
+			}
+		}
+	}
+	// Without the restriction, the universal pattern is visible.
+	findings = core.FindLeakageInProgramGraphs(structures, core.FindOptions{
+		Classify: core.ClassifyOptions{GEPOnly: true},
+	})
+	sawUDT := false
+	for _, f := range findings {
+		for _, tr := range f.Transmitters {
+			if tr.Class == core.UDT {
+				sawUDT = true
+			}
+		}
+	}
+	if !sawUDT {
+		t.Error("variant UDT not found even without transient-access restriction")
+	}
+}
+
+// TestNoLeakageInStraightLineNoObserver: a program with no observer, no
+// speculation, and a single thread produces no violations under the
+// interference-free witness.
+func TestNoLeakageInStraightLine(t *testing.T) {
+	p := &prog.Program{
+		Name: "straight",
+		Threads: [][]prog.Node{{
+			prog.Store("a", ""),
+			prog.Load("r1", "a", "", false),
+			prog.Store("b", ""),
+		}},
+	}
+	structures := prog.Expand(p, prog.ExpandOptions{XStateForLocation: true})
+	findings := core.FindLeakageInProgramGraphs(structures, core.FindOptions{})
+	if len(findings) != 0 {
+		t.Fatalf("unexpected findings: %d", len(findings))
+	}
+}
+
+// TestFenceBlocksSpeculation is a repair sanity check at the semantic
+// level: with speculation depth 0 (e.g. after an lfence at the branch) the
+// Spectre v1 program has no transient transmitters.
+func TestDepthZeroHasNoTransientTransmitters(t *testing.T) {
+	structures := prog.Expand(prog.SpectreV1(), prog.ExpandOptions{
+		Depth: 0, XStateForLocation: true, Observer: true,
+	})
+	findings := core.FindLeakageInProgramGraphs(structures, core.FindOptions{})
+	for _, f := range findings {
+		for _, tr := range f.Transmitters {
+			if f.Exec.Events[tr.Event].Transient {
+				t.Errorf("transient transmitter without speculation: %v", tr)
+			}
+		}
+	}
+}
+
+// TestEnumerateMicroarchCoversInterferenceFree: full microarchitectural
+// enumeration includes the interference-free witness.
+func TestEnumerateMicroarchCoversInterferenceFree(t *testing.T) {
+	structures := prog.Expand(prog.SpectreV1(), prog.ExpandOptions{XStateForLocation: true})
+	arch := mcm.ConsistentExecutions(structures[0], mcm.TSO{}, mcm.EnumerateOptions{})
+	if len(arch) == 0 {
+		t.Fatal("no consistent architectural executions")
+	}
+	g := arch[0]
+	implied := core.InterferenceFree(g)
+	found := false
+	core.EnumerateMicroarch(g, core.Permissive(), core.EnumerateOptions{}, func(w *event.Graph) bool {
+		if w.RFX.Equal(implied.RFX) && w.COX.Equal(implied.COX) {
+			found = true
+			return false
+		}
+		return true
+	})
+	if !found {
+		t.Error("interference-free witness not in the enumeration")
+	}
+}
+
+// TestSummarize aggregates by (label, class) across findings.
+func TestSummarize(t *testing.T) {
+	structures := prog.Expand(prog.SpectreV1(), prog.ExpandOptions{
+		Depth: 4, XStateForLocation: true, Observer: true,
+	})
+	findings := core.FindLeakageInProgramGraphs(structures, core.FindOptions{})
+	sum := core.Summarize(findings)
+	total := 0
+	for _, n := range sum {
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("empty summary for leaky program")
+	}
+	if len(core.TransmitterEvents(findings)) == 0 {
+		t.Fatal("no transmitter labels")
+	}
+}
+
+// TestFindLeakageSpectreV4EndToEnd drives the generic pipeline on the
+// Fig. 4a program text: address-speculation expansion (§3.3) + stale
+// forwarding in the witness enumeration produce the bypass execution, and
+// the rf-NI predicate flags the transient universal data transmitter with
+// a transient access instruction.
+func TestFindLeakageSpectreV4EndToEnd(t *testing.T) {
+	structures := prog.Expand(prog.SpectreV4(), prog.ExpandOptions{
+		Depth: 6, XStateForLocation: true, Observer: true, AddressSpeculation: true,
+	})
+	findings := core.FindLeakageInProgramGraphs(structures, core.FindOptions{})
+	if len(findings) == 0 {
+		t.Fatal("no leakage in Spectre v4")
+	}
+	sawTransientUDT := false
+	sawBypassViolation := false
+	for _, f := range findings {
+		for _, tr := range f.Transmitters {
+			if tr.Class == core.UDT && f.Exec.Events[tr.Event].Transient && tr.TransientAccess {
+				sawTransientUDT = true
+			}
+		}
+		for _, v := range f.Violations {
+			// The bypass signature: an rf edge into a transient read of y
+			// lacking its rfx counterpart.
+			if v.Kind == core.RFNI && f.Exec.Events[v.Receiver].Transient &&
+				f.Exec.Events[v.Receiver].Loc == "y" {
+				sawBypassViolation = true
+			}
+		}
+	}
+	if !sawTransientUDT {
+		t.Error("missing the transient UDT (6S of Fig. 4a)")
+	}
+	if !sawBypassViolation {
+		t.Error("missing the stale-read rf-NI violation (4S of Fig. 4a)")
+	}
+}
+
+// TestEnumerateFindsSilentStoreLeak exercises the full microarchitectural
+// enumeration path of FindLeakage: on a machine with silent stores, a
+// program writing the same location twice admits executions where the
+// second store is elided (XR), and the co-NI predicate flags the
+// inconsistency — Fig. 5a derived from program text rather than the
+// hand-built figure graph.
+func TestEnumerateFindsSilentStoreLeak(t *testing.T) {
+	p := &prog.Program{
+		Name: "silent",
+		Threads: [][]prog.Node{{
+			prog.Store("x", ""),
+			prog.Store("x", ""),
+		}},
+	}
+	structures := prog.Expand(p, prog.ExpandOptions{XStateForLocation: true, Observer: true})
+
+	silent := core.Baseline()
+	silent.AllowSilentStores = true
+	silent.MachineName = "baseline+ss"
+
+	findings := core.FindLeakageInProgramGraphs(structures, core.FindOptions{
+		Machine:   &silent,
+		Enumerate: true,
+		Modes:     true,
+	})
+	sawCONI := false
+	for _, f := range findings {
+		for _, v := range f.Violations {
+			if v.Kind == core.CONI {
+				sawCONI = true
+			}
+		}
+	}
+	if !sawCONI {
+		t.Error("silent-store co-NI violation not found by enumeration")
+	}
+
+	// On the baseline machine (no silent stores), enumeration yields no
+	// co-NI violations for this program.
+	base := core.Baseline()
+	findings = core.FindLeakageInProgramGraphs(structures, core.FindOptions{
+		Machine:   &base,
+		Enumerate: true,
+		Modes:     true,
+	})
+	for _, f := range findings {
+		for _, v := range f.Violations {
+			if v.Kind == core.CONI {
+				t.Errorf("co-NI violation without silent stores: %v", v)
+			}
+		}
+	}
+}
+
+// TestMultiCoreObserverLeakage exercises the multi-core side of the
+// vocabulary: in the store-buffering program, both threads' memory events
+// populate xstate, and the observer's violations name transmitters from
+// both threads — cross-core leakage shows up in the same framework.
+func TestMultiCoreObserverLeakage(t *testing.T) {
+	structures := prog.Expand(prog.SB(), prog.ExpandOptions{
+		XStateForLocation: true, Observer: true,
+	})
+	findings := core.FindLeakageInProgramGraphs(structures, core.FindOptions{})
+	if len(findings) == 0 {
+		t.Fatal("no observer findings for SB")
+	}
+	threads := map[int]bool{}
+	for _, f := range findings {
+		for _, tr := range f.Transmitters {
+			threads[f.Exec.Events[tr.Event].Thread] = true
+		}
+	}
+	if !threads[0] || !threads[1] {
+		t.Errorf("transmitters from threads %v, want both 0 and 1", threads)
+	}
+}

@@ -1,0 +1,109 @@
+// Package core implements leakage containment models (LCMs) — the primary
+// contribution of "Axiomatic Hardware-Software Contracts for Security"
+// (ISCA 2022). An LCM extends an axiomatic MCM with a microarchitectural
+// semantics over extra-architectural state (xstate) and a speculative
+// semantics over transient events, and defines microarchitectural leakage
+// as a deviation between the two: a consistent candidate execution whose
+// comx relation violates one of the non-interference predicates of §4.1.
+package core
+
+import (
+	"lcm/internal/event"
+	"lcm/internal/relation"
+)
+
+// Machine is an LCM confidentiality predicate (§3.2.2): it rules out
+// instantiations of comx that are impossible on the modeled hardware, just
+// as a consistency predicate rules out instantiations of com.
+type Machine struct {
+	// MachineName identifies the modeled microarchitecture.
+	MachineName string
+	// AllowStoreBypass permits frx + tfo_loc cycles — a load
+	// microarchitecturally reading its xstate before a tfo-earlier
+	// same-location store writes it (store forwarding past unresolved
+	// stores; the Spectre v4 behaviour §4.2 shows Intel LCMs must permit).
+	AllowStoreBypass bool
+	// AllowSilentStores permits architectural writes to access xstate in
+	// read-only mode (the silent-store optimization of Fig. 5a).
+	AllowSilentStores bool
+	// AllowAliasPrediction permits a transient read to be sourced via rfx
+	// by a write to a *different* architectural location that shares its
+	// xstate (predictive store forwarding, Fig. 4b).
+	AllowAliasPrediction bool
+}
+
+// Baseline returns the conservative single-core machine of §4.1: write-
+// allocate direct-mapped caches, no silent stores, no alias prediction, and
+// no store bypass.
+func Baseline() Machine {
+	return Machine{MachineName: "baseline"}
+}
+
+// IntelX86 returns an LCM for Intel x86-style cores, which must permit
+// store bypass (Spectre v4 is observed on Intel hardware, §4.2).
+func IntelX86() Machine {
+	return Machine{MachineName: "intel-x86", AllowStoreBypass: true}
+}
+
+// Permissive returns the machine Clou assumes (§5.2): comx essentially
+// unconstrained apart from well-formedness, silent stores and alias
+// prediction excluded.
+func Permissive() Machine {
+	return Machine{MachineName: "permissive", AllowStoreBypass: true}
+}
+
+// Name returns the machine's name.
+func (m Machine) Name() string { return m.MachineName }
+
+// Confidential reports whether the microarchitectural witness of g (rfx,
+// cox, and the derived frx) is possible on this machine.
+func (m Machine) Confidential(g *event.Graph) bool {
+	// Well-formedness beyond Graph.Validate: no reading from the future.
+	// An rfx source must be ⊤ or tfo-before its reader (⊥ observers probe
+	// after completion and may read from anyone).
+	for _, p := range g.RFX.Pairs() {
+		src, dst := g.Events[p.From], g.Events[p.To]
+		if src.Kind == event.KTop || dst.Kind == event.KBottom {
+			continue
+		}
+		if !g.TFO.Has(p.From, p.To) {
+			return false
+		}
+	}
+	if !m.AllowSilentStores {
+		for _, e := range g.Events {
+			if e.IsWrite() && e.AccessesX() && e.XAcc != event.XRW {
+				return false
+			}
+		}
+	}
+	if !m.AllowAliasPrediction {
+		// rfx must relate same-location events (xstate is per-location in
+		// the direct-mapped abstraction); brackets excepted.
+		for _, p := range g.RFX.Pairs() {
+			src, dst := g.Events[p.From], g.Events[p.To]
+			if src.Kind == event.KTop || dst.Kind == event.KBottom {
+				continue
+			}
+			if src.Loc != dst.Loc {
+				return false
+			}
+		}
+	}
+	rfx, cox, frx := g.RFX, g.COX, g.FRX()
+	if !relation.Union(rfx, cox).IsAcyclic() {
+		return false
+	}
+	if m.AllowStoreBypass {
+		// Permit frx + tfo_loc cycles, but still require comx itself to be
+		// acyclic for committed readers: only transient reads may read
+		// before a tfo-earlier store writes.
+		frxCommitted := frx.Filter(func(a, b int) bool {
+			return !g.Events[a].Transient
+		})
+		return relation.Union(rfx, cox, frxCommitted, g.POLoc()).IsAcyclic()
+	}
+	// sc_per_loc_x ≜ acyclic(rfx + cox + frx + tfo_loc) — the naive lifting
+	// of §4.2, which forbids Spectre v4 style bypass.
+	return relation.Union(rfx, cox, frx, g.TFOLoc()).IsAcyclic()
+}

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"fmt"
+
+	"lcm/internal/event"
+	"lcm/internal/relation"
+)
+
+// NIKind identifies which non-interference predicate of §4.1 a violation
+// breaks.
+type NIKind int
+
+// The three non-interference predicates.
+const (
+	RFNI NIKind = iota // rf ⟹ rfx
+	CONI               // immediate co ⟹ cox and rfx
+	FRNI               // fr (with rfx-writing read) ⟹ frx via rfx(r, w)
+)
+
+func (k NIKind) String() string {
+	switch k {
+	case RFNI:
+		return "rf-non-interference"
+	case CONI:
+		return "co-non-interference"
+	case FRNI:
+		return "fr-non-interference"
+	default:
+		return fmt.Sprintf("NIKind(%d)", int(k))
+	}
+}
+
+// Violation records one breach of a non-interference predicate: a culprit
+// architectural edge whose implied microarchitectural edge is missing, the
+// receiver that observes the deviation, and the transmitter events that
+// microarchitecturally source the receiver instead (§3.2.3).
+type Violation struct {
+	Kind NIKind
+	// Com is the culprit architectural edge (From ⟶ To). For observer
+	// violations it is the implicit ⊤ ⟶ ⊥ edge.
+	Com relation.Pair
+	// Expected is the comx edge implied by Com under non-interference.
+	Expected relation.Pair
+	// Receiver is the event observing the deviation.
+	Receiver int
+	// Transmitters are the events whose rfx edges source the receiver in
+	// place of the expected source (⊤ excluded — initialization state
+	// carries no program information).
+	Transmitters []int
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: com %d→%d expected comx %d→%d; receiver %d, transmitters %v",
+		v.Kind, v.Com.From, v.Com.To, v.Expected.From, v.Expected.To, v.Receiver, v.Transmitters)
+}
+
+// CheckNonInterference evaluates the three non-interference predicates of
+// §4.1 against the candidate execution g, which must carry both an
+// architectural witness (rf, co) and a microarchitectural witness (rfx,
+// cox). It returns all violations; an empty result means the execution is
+// microarchitecturally non-interfering (leakage-free).
+func CheckNonInterference(g *event.Graph) []Violation {
+	var out []Violation
+	top := g.Tops()[0].ID
+	prov := provenance(g)
+
+	rfxSources := func(r int, excluding ...int) []int {
+		skip := relation.NewSet(excluding...)
+		skip.Add(top)
+		var srcs []int
+		for _, p := range g.RFX.Pairs() {
+			if p.To == r && !skip.Has(p.From) {
+				srcs = append(srcs, p.From)
+			}
+		}
+		return srcs
+	}
+
+	// sameData reports whether an actual rfx source carries the same data
+	// lineage as the expected writer: a read-miss line fill holds exactly
+	// the data of the write the read observed architecturally (this is why
+	// the chain 2 —rfx→ 4S in Fig. 4a is consistent: 2's line holds ⊤'s
+	// stale y). Address-level deviation at ⊥ is handled separately.
+	sameData := func(actual, expected int) bool {
+		// Only a read's line fill is forgivable: it leaves the line warm
+		// with exactly the expected data. A ⊤ source means a miss where a
+		// hit was implied (or vice versa) — observable, hence a violation.
+		return g.Events[actual].IsRead() && prov[actual] == prov[expected]
+	}
+
+	// rf-non-interference: w rf→ r implies w rfx→ r, up to data
+	// provenance, in the absence of interference (§3.2.3, §4.1).
+	for _, p := range g.RF.Pairs() {
+		r := g.Events[p.To]
+		if !r.AccessesX() && r.Kind != event.KBottom {
+			continue
+		}
+		if g.RFX.Has(p.From, p.To) {
+			continue
+		}
+		ok := false
+		var culprits []int
+		for _, q := range g.RFX.Pairs() {
+			if q.To != p.To || !g.SameX(q.From, p.To) {
+				continue
+			}
+			if sameData(q.From, p.From) {
+				ok = true
+			} else if q.From != top {
+				culprits = append(culprits, q.From)
+			}
+		}
+		if ok && len(culprits) == 0 {
+			continue
+		}
+		if len(culprits) == 0 {
+			culprits = rfxSources(p.To, p.From)
+		}
+		out = append(out, Violation{
+			Kind:         RFNI,
+			Com:          p,
+			Expected:     p,
+			Receiver:     p.To,
+			Transmitters: culprits,
+		})
+	}
+
+	// Observer non-interference: ⊥ shares no memory with the program, so
+	// architecturally it reads only from ⊤ (its com involvement is the
+	// implicit ⊤ rf→ ⊥, §3.2). Any program event sourcing ⊥ via rfx is a
+	// deviation: the program has interfered with the observer's
+	// microarchitectural observations.
+	for _, b := range g.Bottoms() {
+		srcs := rfxSources(b.ID)
+		if len(srcs) == 0 {
+			continue
+		}
+		for _, s := range srcs {
+			out = append(out, Violation{
+				Kind:         RFNI,
+				Com:          relation.Pair{From: top, To: b.ID},
+				Expected:     relation.Pair{From: top, To: b.ID},
+				Receiver:     b.ID,
+				Transmitters: []int{s},
+			})
+		}
+	}
+
+	// co-non-interference: if w0 immediately precedes w1 in co, then
+	// cox(w0, w1) — and w1's cache-line read is sourced by w0's write:
+	// rfx(w0, w1) (§4.1).
+	for _, p := range immediateCO(g) {
+		w0, w1 := p.From, p.To
+		if !g.Events[w1].AccessesX() {
+			continue
+		}
+		if !g.COX.Has(w0, w1) && g.Events[w0].Kind != event.KTop {
+			// co/cox inconsistency — the silent-store channel (Fig. 5a):
+			// w1 behaved microarchitecturally as a read. Receivers are the
+			// downstream rfx readers sourced by w0 (or earlier) that should
+			// have observed w1.
+			for _, q := range g.RFX.Pairs() {
+				if q.From == w0 && q.To != w1 && (g.Events[q.To].Kind == event.KBottom || g.TFO.Has(w1, q.To)) {
+					out = append(out, Violation{
+						Kind:         CONI,
+						Com:          p,
+						Expected:     p,
+						Receiver:     q.To,
+						Transmitters: []int{w1},
+					})
+				}
+			}
+			continue
+		}
+		if g.Events[w1].XAcc == event.XRW && !g.RFX.Has(w0, w1) {
+			// w1's read-modify-write was not sourced by w0 — unless the
+			// actual source carries w0's data lineage (a read fill), this
+			// is an interfering access between the two cache accesses.
+			var culprits []int
+			for _, q := range g.RFX.Pairs() {
+				if q.To == w1 && q.From != w0 && !sameData(q.From, w0) && q.From != top {
+					culprits = append(culprits, q.From)
+				}
+			}
+			if len(culprits) > 0 || !anyRFXProvenance(g, prov, w1, w0) {
+				out = append(out, Violation{
+					Kind:         CONI,
+					Com:          p,
+					Expected:     p,
+					Receiver:     w1,
+					Transmitters: culprits,
+				})
+			}
+		}
+	}
+
+	// fr-non-interference: for r fr→ w where w immediately co-follows r's
+	// rf source w′ and r writes xstate (a miss), r should source w via
+	// rfx — a cache hit for w (§4.1).
+	fr := g.FR()
+	imm := immediateCOSet(g)
+	for _, p := range fr.Pairs() {
+		r, w := p.From, p.To
+		re := g.Events[r]
+		if !re.AccessesX() || re.XAcc != event.XRW {
+			continue
+		}
+		if !g.Events[w].AccessesX() {
+			continue
+		}
+		// Find r's rf source w′ and require w to be its immediate co
+		// successor.
+		srcOK := false
+		for _, q := range g.RF.Pairs() {
+			if q.To == r && imm[[2]int{q.From, w}] {
+				srcOK = true
+			}
+		}
+		if !srcOK {
+			continue
+		}
+		if g.RFX.Has(r, w) {
+			continue
+		}
+		if anyRFXProvenance(g, prov, w, r) {
+			continue // sourced by a fill carrying r's data lineage
+		}
+		out = append(out, Violation{
+			Kind:         FRNI,
+			Com:          p,
+			Expected:     relation.Pair{From: r, To: w},
+			Receiver:     w,
+			Transmitters: rfxSources(w, r),
+		})
+	}
+	return out
+}
+
+// provenance computes each event's data lineage: writes and ⊤ are their
+// own provenance; a read's provenance is its architectural rf source's
+// provenance (⊤ when it has none recorded). A cache line filled by a read
+// holds exactly its provenance's data.
+func provenance(g *event.Graph) map[int]int {
+	top := g.Tops()[0].ID
+	rfSrc := map[int]int{}
+	for _, p := range g.RF.Pairs() {
+		rfSrc[p.To] = p.From
+	}
+	prov := map[int]int{}
+	var resolve func(id int, depth int) int
+	resolve = func(id, depth int) int {
+		if v, ok := prov[id]; ok {
+			return v
+		}
+		e := g.Events[id]
+		v := id
+		if e.IsRead() && depth < len(g.Events)+1 {
+			if src, ok := rfSrc[id]; ok {
+				v = resolve(src, depth+1)
+			} else {
+				v = top
+			}
+		}
+		prov[id] = v
+		return v
+	}
+	for _, e := range g.Events {
+		resolve(e.ID, 0)
+	}
+	return prov
+}
+
+// anyRFXProvenance reports whether receiver has some rfx source that is a
+// read fill carrying expected's data lineage (the forgivable hit).
+func anyRFXProvenance(g *event.Graph, prov map[int]int, receiver, expected int) bool {
+	for _, q := range g.RFX.Pairs() {
+		if q.To == receiver && (q.From == expected ||
+			(g.Events[q.From].IsRead() && prov[q.From] == prov[expected])) {
+			return true
+		}
+	}
+	return false
+}
+
+// immediateCO returns the co pairs with no intervening write.
+func immediateCO(g *event.Graph) []relation.Pair {
+	var out []relation.Pair
+	for _, p := range g.CO.Pairs() {
+		direct := true
+		for _, q := range g.CO.Pairs() {
+			if q.From == p.From && q.To != p.To && g.CO.Has(q.To, p.To) {
+				direct = false
+				break
+			}
+		}
+		if direct {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func immediateCOSet(g *event.Graph) map[[2]int]bool {
+	m := make(map[[2]int]bool)
+	for _, p := range immediateCO(g) {
+		m[[2]int{p.From, p.To}] = true
+	}
+	return m
+}

@@ -1,0 +1,102 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lcm/internal/core"
+	"lcm/internal/prog"
+)
+
+// randomSequential builds a random single-threaded straight-line program
+// with no observer-visible secrets: stores and loads over a few locations.
+func randomSequential(rng *rand.Rand) *prog.Program {
+	locs := []string{"a", "b", "c"}
+	var body []prog.Node
+	n := 2 + rng.Intn(5)
+	reg := 0
+	for i := 0; i < n; i++ {
+		loc := locs[rng.Intn(len(locs))]
+		if rng.Intn(2) == 0 {
+			body = append(body, prog.Store(loc, ""))
+		} else {
+			reg++
+			body = append(body, prog.Load(prog.Reg([]string{"p", "q", "r", "s", "t", "u", "v"}[reg%7]), loc, "", false))
+		}
+	}
+	return &prog.Program{Name: "seq", Threads: [][]prog.Node{body}}
+}
+
+// Property (soundness of the leakage definition on benign code): a
+// sequential program with no observer and no speculation has no
+// non-interference violations under the interference-free witness — the
+// implied microarchitectural execution matches architectural expectation.
+func TestQuickNoFalseLeaksSequential(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomSequential(rng)
+		structures := prog.Expand(p, prog.ExpandOptions{XStateForLocation: true})
+		findings := core.FindLeakageInProgramGraphs(structures, core.FindOptions{})
+		return len(findings) == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: adding an observer to the same programs surfaces violations
+// exactly when the program touches memory at all (⊥ reads the program's
+// xstate residue — §3.2's premise that any footprint is observable).
+func TestQuickObserverSeesFootprint(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomSequential(rng)
+		structures := prog.Expand(p, prog.ExpandOptions{XStateForLocation: true, Observer: true})
+		findings := core.FindLeakageInProgramGraphs(structures, core.FindOptions{})
+		touchesMemory := len(p.Threads[0]) > 0
+		if touchesMemory && len(findings) == 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: transmitter classification is monotone in the dependency
+// structure — every violation's transmitters classify to at least AT, and
+// universal transmitters always carry access and index instructions.
+func TestQuickClassificationWellFormed(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := prog.SpectreV1()
+		if rng.Intn(2) == 0 {
+			p = prog.SpectreV1Variant()
+		}
+		structures := prog.Expand(p, prog.ExpandOptions{
+			Depth: 1 + rng.Intn(5), XStateForLocation: true, Observer: true,
+		})
+		findings := core.FindLeakageInProgramGraphs(structures, core.FindOptions{})
+		for _, f := range findings {
+			for _, tr := range f.Transmitters {
+				if tr.Class.Rank() < core.AT.Rank() {
+					return false
+				}
+				if tr.Class == core.UDT || tr.Class == core.UCT {
+					if tr.Access < 0 || tr.Index < 0 {
+						return false
+					}
+				}
+				if (tr.Class == core.DT || tr.Class == core.CT) && tr.Access < 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"lcm/internal/event"
+	"lcm/internal/relation"
+)
+
+// Class ranks transmitters by severity per Table 1. The partial order is
+// AT < CT < {DT, UCT} < UDT; Rank linearizes it with DT and UCT sharing a
+// rank.
+type Class int
+
+// Transmitter classes of Table 1.
+const (
+	AT  Class = iota // address transmitter: transmit —rfx→ receiver
+	CT               // control transmitter: access —ctrl→ transmit —rfx→ receiver
+	DT               // data transmitter: access —addr→ transmit —rfx→ receiver
+	UCT              // universal control: index —addr→ access —ctrl→ transmit
+	UDT              // universal data: index —addr→ access —addr→ transmit
+)
+
+func (c Class) String() string {
+	switch c {
+	case AT:
+		return "AT"
+	case CT:
+		return "CT"
+	case DT:
+		return "DT"
+	case UCT:
+		return "UCT"
+	case UDT:
+		return "UDT"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Rank returns the severity rank: AT=0 < CT=1 < DT=UCT=2 < UDT=3.
+func (c Class) Rank() int {
+	switch c {
+	case AT:
+		return 0
+	case CT:
+		return 1
+	case DT, UCT:
+		return 2
+	case UDT:
+		return 3
+	}
+	return -1
+}
+
+// Transmitter is a classified leak source: an instruction that conveys
+// information to a receiver through microarchitectural state.
+type Transmitter struct {
+	Event    int   // the transmitting instruction
+	Class    Class // most severe class this transmitter attains
+	Access   int   // access instruction (DT/CT and above); -1 otherwise
+	Index    int   // index instruction (UDT/UCT); -1 otherwise
+	Receiver int
+	// Transient marks a transmitter that never commits; TransientAccess
+	// marks a universal pattern whose access instruction is transient —
+	// the distinction §4.2 draws between Fig. 2b and Fig. 3: a committed
+	// access instruction restricts leakage scope.
+	Transient       bool
+	TransientAccess bool
+}
+
+func (t Transmitter) String() string {
+	s := fmt.Sprintf("%s transmitter %d → receiver %d", t.Class, t.Event, t.Receiver)
+	if t.Access >= 0 {
+		s += fmt.Sprintf(" (access %d", t.Access)
+		if t.Index >= 0 {
+			s += fmt.Sprintf(", index %d", t.Index)
+		}
+		s += ")"
+	}
+	if t.Transient {
+		s += " [transient]"
+	}
+	return s
+}
+
+// ClassifyOptions controls transmitter classification.
+type ClassifyOptions struct {
+	// GEPOnly requires the index → access dependency of universal patterns
+	// to be an addr_gep edge, Clou's filter for benign Spectre v1 leaks
+	// (§5.2–5.3): a read whose value is used as a base pointer (plain
+	// addr) rather than an array index is assumed not attacker-steerable.
+	GEPOnly bool
+	// RequireTransientAccess demotes universal patterns whose access
+	// instruction commits to DT/CT, as Clou does when analyzing large
+	// codebases (§6.2.1).
+	RequireTransientAccess bool
+}
+
+// Classify assigns each violation's transmitters their most severe class
+// per Table 1. Chains follow (data.rf)*.addr — a read's value may be
+// stored and reloaded any number of times before its use in an address
+// (§5.3) — and (data.rf)*.ctrl for control patterns.
+func Classify(g *event.Graph, violations []Violation, opts ClassifyOptions) []Transmitter {
+	star := dataRFStar(g)
+	chainAddr := star.Compose(g.Addr)
+	chainAddrGEP := star.Compose(g.AddrGEP)
+	chainCtrl := star.Compose(g.Ctrl)
+
+	indexChain := chainAddrGEP
+	if !opts.GEPOnly {
+		indexChain = chainAddr
+	}
+
+	var out []Transmitter
+	seen := make(map[[2]int]bool)
+	for _, v := range violations {
+		for _, tr := range v.Transmitters {
+			key := [2]int{tr, v.Receiver}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			t := classifyOne(g, tr, v.Receiver, chainAddr, chainCtrl, indexChain, opts)
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Class.Rank() != out[j].Class.Rank() {
+			return out[i].Class.Rank() > out[j].Class.Rank()
+		}
+		if out[i].Event != out[j].Event {
+			return out[i].Event < out[j].Event
+		}
+		return out[i].Receiver < out[j].Receiver
+	})
+	return out
+}
+
+func classifyOne(g *event.Graph, tr, receiver int, chainAddr, chainCtrl, indexChain *relation.Relation, opts ClassifyOptions) Transmitter {
+	t := Transmitter{
+		Event:     tr,
+		Class:     AT,
+		Access:    -1,
+		Index:     -1,
+		Receiver:  receiver,
+		Transient: g.Events[tr].Transient,
+	}
+	consider := func(c Class, access, index int) {
+		ta := access >= 0 && g.Events[access].Transient
+		if (c == UDT || c == UCT) && opts.RequireTransientAccess && !ta {
+			// Demote: a committed access instruction limits leakage scope.
+			if c == UDT {
+				c = DT
+			} else {
+				c = CT
+			}
+			index = -1
+		}
+		if c.Rank() > t.Class.Rank() || (c.Rank() == t.Class.Rank() && c == UDT) {
+			t.Class = c
+			t.Access = access
+			t.Index = index
+			t.TransientAccess = ta
+		}
+	}
+	// Data patterns: access —(data.rf)*.addr→ transmit.
+	for _, p := range chainAddr.Pairs() {
+		if p.To != tr {
+			continue
+		}
+		access := p.From
+		consider(DT, access, -1)
+		// Universal data: index —(data.rf)*.addr(_gep)→ access.
+		for _, q := range indexChain.Pairs() {
+			if q.To == access && q.From != access {
+				consider(UDT, access, q.From)
+			}
+		}
+	}
+	// Control patterns: access —(data.rf)*.ctrl→ transmit.
+	for _, p := range chainCtrl.Pairs() {
+		if p.To != tr {
+			continue
+		}
+		access := p.From
+		consider(CT, access, -1)
+		for _, q := range indexChain.Pairs() {
+			if q.To == access && q.From != access {
+				consider(UCT, access, q.From)
+			}
+		}
+	}
+	return t
+}
+
+// dataRFStar computes the reflexive-transitive closure of data.rf — the
+// store-and-reload value chains of §5.3.
+func dataRFStar(g *event.Graph) *relation.Relation {
+	dr := g.Data.Compose(g.RF)
+	universe := relation.NewSet()
+	for _, e := range g.Events {
+		universe.Add(e.ID)
+	}
+	return dr.TransitiveClosure().ReflexiveClosure(universe)
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"lcm/internal/event"
+	"lcm/internal/relation"
+)
+
+// patternGraph builds index → access → transmit chains with configurable
+// dependency kinds, plus an observer violation at the transmitter.
+func patternGraph(dep1, dep2 string) (*event.Graph, []Violation, map[string]int) {
+	b := event.NewBuilder()
+	top := b.Top()
+	index := b.Read(0, "Z", b.FreshX(), event.XRW, "index")
+	access := b.Read(0, "Y+rz", b.FreshX(), event.XRW, "access")
+	transmit := b.Read(0, "X+ry", b.FreshX(), event.XRW, "transmit")
+	bot := b.Bottom(0)
+
+	switch dep1 {
+	case "addr":
+		b.AddrDep(index, access, false)
+	case "addr_gep":
+		b.AddrDep(index, access, true)
+	}
+	switch dep2 {
+	case "addr":
+		b.AddrDep(access, transmit, false)
+	case "ctrl":
+		b.CtrlDep(access, transmit)
+	}
+	b.RF(top, index)
+	b.RF(top, access)
+	b.RF(top, transmit)
+	b.RFX(top, index)
+	b.RFX(top, access)
+	b.RFX(top, transmit)
+	b.RFX(transmit, bot)
+	g := b.Finish()
+	vs := CheckNonInterference(g)
+	ids := map[string]int{"index": index.ID, "access": access.ID, "transmit": transmit.ID, "bot": bot.ID}
+	return g, vs, ids
+}
+
+func classOf(ts []Transmitter, ev int) (Transmitter, bool) {
+	for _, t := range ts {
+		if t.Event == ev {
+			return t, true
+		}
+	}
+	return Transmitter{}, false
+}
+
+func TestTaxonomyTable1(t *testing.T) {
+	cases := []struct {
+		dep1, dep2 string
+		want       Class
+	}{
+		{"", "", AT},
+		{"", "addr", DT},
+		{"", "ctrl", CT},
+		{"addr", "addr", UDT},
+		{"addr", "ctrl", UCT},
+		{"addr_gep", "addr", UDT},
+	}
+	for _, tc := range cases {
+		g, vs, ids := patternGraph(tc.dep1, tc.dep2)
+		ts := Classify(g, vs, ClassifyOptions{})
+		tr, ok := classOf(ts, ids["transmit"])
+		if !ok {
+			t.Fatalf("%s/%s: transmitter not found", tc.dep1, tc.dep2)
+		}
+		if tr.Class != tc.want {
+			t.Errorf("%s/%s: class = %v, want %v", tc.dep1, tc.dep2, tr.Class, tc.want)
+		}
+		if tc.want == UDT || tc.want == UCT {
+			if tr.Access != ids["access"] || tr.Index != ids["index"] {
+				t.Errorf("%s/%s: access/index = %d/%d", tc.dep1, tc.dep2, tr.Access, tr.Index)
+			}
+		}
+	}
+}
+
+func TestGEPOnlyFiltering(t *testing.T) {
+	// With GEPOnly, a plain (non-GEP) index→access addr dependency does not
+	// qualify a universal pattern: the transmitter is demoted to DT.
+	g, vs, ids := patternGraph("addr", "addr")
+	ts := Classify(g, vs, ClassifyOptions{GEPOnly: true})
+	tr, _ := classOf(ts, ids["transmit"])
+	if tr.Class != DT {
+		t.Errorf("class = %v, want DT under GEPOnly", tr.Class)
+	}
+	// A GEP-typed index dependency still qualifies.
+	g, vs, ids = patternGraph("addr_gep", "addr")
+	ts = Classify(g, vs, ClassifyOptions{GEPOnly: true})
+	tr, _ = classOf(ts, ids["transmit"])
+	if tr.Class != UDT {
+		t.Errorf("class = %v, want UDT under GEPOnly with addr_gep", tr.Class)
+	}
+}
+
+func TestRequireTransientAccessDemotion(t *testing.T) {
+	// A universal pattern whose access instruction commits is demoted to
+	// DT when RequireTransientAccess is set (§6.2.1).
+	g, vs, ids := patternGraph("addr", "addr")
+	ts := Classify(g, vs, ClassifyOptions{RequireTransientAccess: true})
+	tr, _ := classOf(ts, ids["transmit"])
+	if tr.Class != DT {
+		t.Errorf("class = %v, want DT demotion", tr.Class)
+	}
+}
+
+func TestDataRFStarChains(t *testing.T) {
+	// access → (store) → (reload) → transmit: the value is stored and
+	// reloaded before use in an address, per §5.3 the chain is
+	// (data.rf)*.addr and the transmitter is still a DT.
+	b := event.NewBuilder()
+	top := b.Top()
+	access := b.Read(0, "secret", b.FreshX(), event.XRW, "access")
+	spill := b.Write(0, "tmp", b.FreshX(), event.XRW, "spill")
+	reload := b.Read(0, "tmp", spill.XState, event.XR, "reload")
+	transmit := b.Read(0, "X+r", b.FreshX(), event.XRW, "transmit")
+	bot := b.Bottom(0)
+
+	b.DataDep(access, spill)
+	b.RF(spill, reload)
+	b.AddrDep(reload, transmit, true)
+
+	b.RF(top, access)
+	b.RF(top, transmit)
+	b.CO(top, spill)
+	b.RFX(top, access)
+	b.RFX(top, spill)
+	b.RFX(spill, reload)
+	b.COX(top, spill)
+	b.RFX(top, transmit)
+	b.RFX(transmit, bot)
+	g := b.Finish()
+
+	vs := CheckNonInterference(g)
+	ts := Classify(g, vs, ClassifyOptions{})
+	tr, ok := classOf(ts, transmit.ID)
+	if !ok {
+		t.Fatal("transmitter not found")
+	}
+	if tr.Class != DT {
+		t.Errorf("class = %v, want DT via (data.rf)*.addr", tr.Class)
+	}
+	if tr.Access != access.ID && tr.Access != reload.ID {
+		t.Errorf("access = %d, want the chain head %d (or reload %d)", tr.Access, access.ID, reload.ID)
+	}
+}
+
+func TestSeverityOrder(t *testing.T) {
+	// AT < CT < {DT, UCT} < UDT (Table 1).
+	if !(AT.Rank() < CT.Rank() && CT.Rank() < DT.Rank() && DT.Rank() == UCT.Rank() && DT.Rank() < UDT.Rank()) {
+		t.Error("severity partial order broken")
+	}
+	for _, c := range []Class{AT, CT, DT, UCT, UDT} {
+		if c.String() == "" || c.Rank() < 0 {
+			t.Errorf("class %d malformed", int(c))
+		}
+	}
+}
+
+func TestClassifyDeduplicates(t *testing.T) {
+	g, vs, ids := patternGraph("addr", "addr")
+	// Duplicate the violations: classification must not duplicate
+	// transmitters for the same (event, receiver).
+	vs = append(vs, vs...)
+	ts := Classify(g, vs, ClassifyOptions{})
+	count := 0
+	for _, tr := range ts {
+		if tr.Event == ids["transmit"] {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("transmitter reported %d times", count)
+	}
+}
+
+func TestClassifySortsBySeverity(t *testing.T) {
+	g, vs, _ := patternGraph("addr", "addr")
+	// Add violations for the other two reads so all three are classified.
+	bot := g.Bottoms()[0].ID
+	for _, e := range g.Events {
+		if e.IsRead() {
+			vs = append(vs, Violation{
+				Kind: RFNI, Com: relation.Pair{From: 0, To: bot},
+				Receiver: bot, Transmitters: []int{e.ID},
+			})
+		}
+	}
+	ts := Classify(g, vs, ClassifyOptions{})
+	for i := 1; i < len(ts); i++ {
+		if ts[i-1].Class.Rank() < ts[i].Class.Rank() {
+			t.Fatalf("not sorted by severity: %v", ts)
+		}
+	}
+}
+
+func TestTransmitterString(t *testing.T) {
+	tr := Transmitter{Event: 3, Class: UDT, Access: 2, Index: 1, Receiver: 4, Transient: true}
+	s := tr.String()
+	for _, want := range []string{"UDT", "transmitter 3", "access 2", "index 1", "[transient]"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,305 @@
+package core
+
+import (
+	"sort"
+
+	"lcm/internal/event"
+)
+
+// EnumerateOptions controls microarchitectural witness enumeration.
+type EnumerateOptions struct {
+	// Modes enumerates xstate access modes: reads as hit (XR) or miss
+	// (XRW), and — on machines that allow it — writes as silent (XR).
+	// When false, the access modes recorded in the event structure are
+	// kept as-is.
+	Modes bool
+	// Limit bounds the number of witnesses yielded (0 = unlimited).
+	Limit int
+}
+
+// EnumerateMicroarch enumerates the microarchitectural executions of the
+// candidate execution g on machine m: every assignment of access modes
+// (optionally), cox total orders per xstate element, and rfx sources per
+// xstate reader that satisfies the machine's confidentiality predicate.
+// Each witness is yielded as a fresh clone; yield returning false stops
+// the enumeration early.
+func EnumerateMicroarch(g *event.Graph, m Machine, opts EnumerateOptions, yield func(*event.Graph) bool) {
+	count := 0
+	emit := func(w *event.Graph) bool {
+		if opts.Limit > 0 && count >= opts.Limit {
+			return false
+		}
+		count++
+		return yield(w)
+	}
+	if opts.Modes {
+		enumerateModes(g, m, func(gm *event.Graph) bool {
+			return enumerateWitnesses(gm, m, emit)
+		})
+		return
+	}
+	enumerateWitnesses(g, m, emit)
+}
+
+// enumerateModes yields clones of g with every feasible access-mode
+// assignment: committed and transient reads may hit (XR) or miss (XRW);
+// writes are XRW, or XR as well when the machine implements silent stores.
+func enumerateModes(g *event.Graph, m Machine, yield func(*event.Graph) bool) bool {
+	var flexible []int
+	for _, e := range g.Events {
+		if e.XState == event.XNone {
+			continue
+		}
+		if e.IsRead() && !e.Prefetch {
+			flexible = append(flexible, e.ID)
+		} else if e.IsWrite() && m.AllowSilentStores {
+			flexible = append(flexible, e.ID)
+		}
+	}
+	sort.Ints(flexible)
+	var rec func(i int, cur *event.Graph) bool
+	rec = func(i int, cur *event.Graph) bool {
+		if i == len(flexible) {
+			return yield(cur)
+		}
+		id := flexible[i]
+		for _, mode := range []event.XAccess{event.XR, event.XRW} {
+			next := cur.Clone()
+			// Events are shared across clones; copy the one we mutate.
+			ev := *next.Events[id]
+			ev.XAcc = mode
+			next.Events[id] = &ev
+			if !rec(i+1, next) {
+				return false
+			}
+		}
+		return true
+	}
+	return rec(0, g)
+}
+
+// xstateAccessors partitions the events of g by xstate element.
+type xstateAccessors struct {
+	x       event.XSID
+	writers []int // XRW accessors (⊤ implicit)
+	readers []int // XR and XRW accessors (each RW access reads before writing)
+}
+
+func accessorsByXstate(g *event.Graph) []xstateAccessors {
+	byX := make(map[event.XSID]*xstateAccessors)
+	for _, e := range g.Events {
+		if !e.AccessesX() {
+			continue
+		}
+		a, ok := byX[e.XState]
+		if !ok {
+			a = &xstateAccessors{x: e.XState}
+			byX[e.XState] = a
+		}
+		a.readers = append(a.readers, e.ID)
+		if e.XAcc == event.XRW {
+			a.writers = append(a.writers, e.ID)
+		}
+	}
+	var out []xstateAccessors
+	for _, a := range byX {
+		sort.Ints(a.writers)
+		sort.Ints(a.readers)
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].x < out[j].x })
+	return out
+}
+
+// enumerateWitnesses enumerates rfx/cox witnesses for fixed access modes.
+func enumerateWitnesses(g *event.Graph, m Machine, yield func(*event.Graph) bool) bool {
+	top := g.Tops()[0].ID
+	bottoms := g.Bottoms()
+	axs := accessorsByXstate(g)
+
+	// Choice structure: per xstate, a permutation of writers (cox) and an
+	// rfx source per reader; plus, per ⊥ and per xstate, an rfx source.
+	type choicePoint struct {
+		x       event.XSID
+		reader  int   // -1 for the cox permutation pseudo-point
+		sources []int // candidate rfx sources (for readers)
+		perms   [][]int
+	}
+	var points []choicePoint
+	for _, a := range axs {
+		points = append(points, choicePoint{x: a.x, reader: -1, perms: permutations(a.writers)})
+		for _, r := range a.readers {
+			cands := []int{top}
+			for _, w := range a.writers {
+				if w == r {
+					continue
+				}
+				// No reading from the future (checked again by the
+				// machine, but pruning here keeps the space small).
+				if g.TFO.Has(w, r) {
+					cands = append(cands, w)
+				}
+			}
+			points = append(points, choicePoint{x: a.x, reader: r, sources: cands})
+		}
+		for _, b := range bottoms {
+			cands := []int{top}
+			cands = append(cands, a.writers...)
+			points = append(points, choicePoint{x: a.x, reader: b.ID, sources: cands})
+		}
+	}
+
+	assign := make([]int, len(points)) // index into sources/perms
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(points) {
+			w := g.Clone()
+			for j, p := range points {
+				if p.reader == -1 {
+					prev := top
+					for _, wr := range p.perms[assign[j]] {
+						w.COX.Add(prev, wr)
+						prev = wr
+					}
+				} else {
+					w.RFX.Add(p.sources[assign[j]], p.reader)
+				}
+			}
+			w.COX = w.COX.TransitiveClosure()
+			if err := w.Validate(); err != nil {
+				return true // skip malformed combination
+			}
+			if !m.Confidential(w) {
+				return true
+			}
+			return yield(w)
+		}
+		n := len(points[i].sources)
+		if points[i].reader == -1 {
+			n = len(points[i].perms)
+		}
+		for k := 0; k < n; k++ {
+			assign[i] = k
+			if !rec(i + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	return rec(0)
+}
+
+func permutations(xs []int) [][]int {
+	if len(xs) == 0 {
+		return [][]int{nil}
+	}
+	var out [][]int
+	var rec func(cur []int, rest []int)
+	rec = func(cur, rest []int) {
+		if len(rest) == 0 {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for i := range rest {
+			nr := make([]int, 0, len(rest)-1)
+			nr = append(nr, rest[:i]...)
+			nr = append(nr, rest[i+1:]...)
+			rec(append(cur, rest[i]), nr)
+		}
+	}
+	rec(nil, xs)
+	return out
+}
+
+// InterferenceFree returns the microarchitectural witness implied by the
+// architectural semantics of g in the absence of interference (§3.2.3):
+// access modes are implied first — a read whose xstate element was already
+// accessed by a tfo-earlier event hits (XR, per §3.2.1: hits read xstate,
+// misses read-modify-write it; cold accesses miss), writes always
+// read-modify-write (write-allocate) — then, per xstate element, cox
+// follows transient fetch order and every reader is sourced by the most
+// recent tfo-earlier writer (⊤ if none); observers (⊥) read the final
+// writer of each xstate element. This is the execution the figures of
+// §3–§4 draw (note Fig. 4a's 4S is annotated "R s1": a hit after 2 and 3
+// touched s1), and the reference the non-interference predicates compare
+// against.
+func InterferenceFree(g *event.Graph) *event.Graph {
+	w := g.Clone()
+	impliedModes(w)
+	top := w.Tops()[0].ID
+	for _, a := range accessorsByXstate(w) {
+		order := sortByTFO(w, a.writers)
+		prev := top
+		for _, wr := range order {
+			w.COX.Add(prev, wr)
+			prev = wr
+		}
+		for _, r := range a.readers {
+			src := top
+			for _, wr := range order {
+				if wr != r && w.TFO.Has(wr, r) {
+					src = wr
+				}
+			}
+			w.RFX.Add(src, r)
+		}
+		for _, b := range w.Bottoms() {
+			last := top
+			if len(order) > 0 {
+				last = order[len(order)-1]
+			}
+			w.RFX.Add(last, b.ID)
+		}
+	}
+	w.COX = w.COX.TransitiveClosure()
+	return w
+}
+
+// impliedModes rewrites read access modes to the interference-free
+// implication: a read hits (XR) iff some tfo-earlier program event already
+// accessed its xstate element (⊤ models uncached initial state, so cold
+// reads miss). Writes keep their recorded mode (XRW under write-allocate;
+// XR only when a silent-store machine marked them so).
+func impliedModes(g *event.Graph) {
+	for _, e := range g.Events {
+		if !e.IsRead() || !e.AccessesX() {
+			continue
+		}
+		warm := false
+		for _, o := range g.Events {
+			if o.ID == e.ID || o.Kind == event.KTop || o.Kind == event.KBottom {
+				continue
+			}
+			if o.AccessesX() && o.XState == e.XState && g.TFO.Has(o.ID, e.ID) {
+				warm = true
+				break
+			}
+		}
+		mode := event.XRW
+		if warm {
+			mode = event.XR
+		}
+		if e.XAcc != mode {
+			ev := *e
+			ev.XAcc = mode
+			g.Events[e.ID] = &ev
+		}
+	}
+}
+
+// sortByTFO orders event IDs consistently with the (total per-thread)
+// transient fetch order, falling back to ID order for cross-thread pairs.
+func sortByTFO(g *event.Graph, ids []int) []int {
+	out := append([]int(nil), ids...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if g.TFO.Has(a, b) {
+			return true
+		}
+		if g.TFO.Has(b, a) {
+			return false
+		}
+		return a < b
+	})
+	return out
+}

@@ -1,0 +1,45 @@
+// Package cryptolib contains the crypto-library corpus of §6.2 rewritten
+// in mini-C: tea, a curve25519-donna-style field/ladder implementation,
+// a secretbox-style stream+MAC construction, ssl3-digest- and mee-cbc-style
+// record processing (including the table-based cipher and padding checks
+// that make them interesting targets), a libsodium-like utility library,
+// and an openssl-like library containing the SSL_get_shared_sigalgs gadget
+// of Listing 1. The findings hinge on code shape — bounds-checked table
+// indexing, pointer loads behind branches, stack spills — which these
+// sources reproduce at realistic function sizes.
+package cryptolib
+
+import (
+	"strings"
+)
+
+// Library is one analyzable corpus entry.
+type Library struct {
+	Name   string
+	Source string
+	// PublicFuncs are the entry points Clou analyzes one by one (§5).
+	PublicFuncs []string
+	// KnownGadgets lists functions where the corpus intentionally embeds
+	// a Spectre gadget (for harness validation).
+	KnownGadgets []string
+}
+
+// LoC returns the static line count of the library source.
+func (l Library) LoC() int {
+	return len(strings.Split(strings.TrimSpace(l.Source), "\n"))
+}
+
+// All returns every corpus library in Table 2 order.
+func All() []Library {
+	return []Library{TEA(), Donna(), Secretbox(), SSL3Digest(), MEECBC(), Libsodium(), OpenSSL()}
+}
+
+// Lookup returns the library with the given name.
+func Lookup(name string) (Library, bool) {
+	for _, l := range All() {
+		if l.Name == name {
+			return l, true
+		}
+	}
+	return Library{}, false
+}

@@ -1,0 +1,229 @@
+package cryptolib
+
+import (
+	"testing"
+
+	"lcm/internal/core"
+	"lcm/internal/detect"
+	"lcm/internal/ir"
+	"lcm/internal/lower"
+	"lcm/internal/minic"
+)
+
+func compileLib(t *testing.T, l Library) *ir.Module {
+	t.Helper()
+	f, err := minic.Parse(l.Source)
+	if err != nil {
+		t.Fatalf("%s: parse: %v", l.Name, err)
+	}
+	m, err := lower.Module(f)
+	if err != nil {
+		t.Fatalf("%s: lower: %v", l.Name, err)
+	}
+	return m
+}
+
+func TestAllLibrariesCompile(t *testing.T) {
+	for _, l := range All() {
+		m := compileLib(t, l)
+		for _, fn := range l.PublicFuncs {
+			if f := m.Func(fn); f == nil || f.IsDecl() {
+				t.Errorf("%s: public function %q missing", l.Name, fn)
+			}
+		}
+		if l.LoC() < 20 {
+			t.Errorf("%s: suspiciously small (%d LoC)", l.Name, l.LoC())
+		}
+	}
+}
+
+// TestTEARoundTrip interprets the mini-C TEA: decrypt(encrypt(v)) == v.
+func TestTEARoundTrip(t *testing.T) {
+	m := compileLib(t, TEA())
+	ip := ir.NewInterp(m)
+	vAddr, _ := ip.GlobalAddr("tea_v")
+	kAddr, _ := ip.GlobalAddr("tea_k")
+	orig := []uint32{0x01234567, 0x89ABCDEF}
+	key := []uint32{1, 2, 3, 4}
+	for i, x := range orig {
+		ip.Mem.Store(vAddr+uint64(4*i), 4, uint64(x))
+	}
+	for i, x := range key {
+		ip.Mem.Store(kAddr+uint64(4*i), 4, uint64(x))
+	}
+	if _, err := ip.Call("tea_encrypt"); err != nil {
+		t.Fatal(err)
+	}
+	enc0 := uint32(ip.Mem.Load(vAddr, 4))
+	if enc0 == orig[0] {
+		t.Error("encryption did nothing")
+	}
+	if _, err := ip.Call("tea_decrypt"); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range orig {
+		if got := uint32(ip.Mem.Load(vAddr+uint64(4*i), 4)); got != want {
+			t.Errorf("v[%d] = %#x, want %#x", i, got, want)
+		}
+	}
+}
+
+// salsaQuarterGo is the reference Salsa20 quarter-round.
+func salsaQuarterGo(x *[16]uint32, a, b, c, d int) {
+	rotl := func(v uint32, n uint) uint32 { return v<<n | v>>(32-n) }
+	x[b] ^= rotl(x[a]+x[d], 7)
+	x[c] ^= rotl(x[b]+x[a], 9)
+	x[d] ^= rotl(x[c]+x[b], 13)
+	x[a] ^= rotl(x[d]+x[c], 18)
+}
+
+func TestSalsaQuarterRoundDifferential(t *testing.T) {
+	m := compileLib(t, Secretbox())
+	ip := ir.NewInterp(m)
+	blockAddr, _ := ip.GlobalAddr("sb_block")
+
+	var ref [16]uint32
+	seed := uint32(0xC0FFEE)
+	for i := range ref {
+		seed = seed*1664525 + 1013904223
+		ref[i] = seed
+		ip.Mem.Store(blockAddr+uint64(4*i), 4, uint64(seed))
+	}
+	// Apply one quarterround in both implementations.
+	if _, err := ip.Call("salsa_quarterround", blockAddr, 0, 4, 8, 12); err != nil {
+		t.Fatal(err)
+	}
+	salsaQuarterGo(&ref, 0, 4, 8, 12)
+	for i := range ref {
+		if got := uint32(ip.Mem.Load(blockAddr+uint64(4*i), 4)); got != ref[i] {
+			t.Errorf("block[%d] = %#x, want %#x", i, got, ref[i])
+		}
+	}
+}
+
+func TestSecretboxOpenRejectsBadTag(t *testing.T) {
+	m := compileLib(t, Secretbox())
+	ip := ir.NewInterp(m)
+	tagAddr, _ := ip.GlobalAddr("sb_tag")
+	ip.Mem.Store(tagAddr, 4, 0xFFFFFFFF) // corrupt tag
+	v, err := ip.Call("crypto_secretbox_open", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int32(v) != -1 {
+		t.Errorf("open = %d, want -1 (bad tag)", int32(v))
+	}
+}
+
+func TestMEECBCRejectsBadPadding(t *testing.T) {
+	m := compileLib(t, MEECBC())
+	ip := ir.NewInterp(m)
+	// Empty/garbage input decrypts to something with invalid padding with
+	// overwhelming likelihood; odd lengths are rejected outright.
+	if v, err := ip.Call("mee_cbc_decrypt", 33); err != nil || int32(v) != -1 {
+		t.Errorf("odd length accepted: %d %v", int32(v), err)
+	}
+	if v, err := ip.Call("mee_cbc_decrypt", 1024); err != nil || int32(v) != -1 {
+		t.Errorf("oversized length accepted: %d %v", int32(v), err)
+	}
+}
+
+func TestListing1SharedSigalgs(t *testing.T) {
+	// The paper's most severe uncovered vulnerability: Clou-pht must flag
+	// SSL_get_shared_sigalgs with a universal transmitter.
+	m := compileLib(t, OpenSSL())
+	cfg := detect.DefaultPHT()
+	r, err := detect.AnalyzeFunc(m, "SSL_get_shared_sigalgs", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := r.Counts()
+	if counts[core.UDT]+counts[core.UCT]+counts[core.DT] == 0 {
+		t.Fatalf("Listing 1 gadget not detected; findings: %v", r.Findings)
+	}
+}
+
+func TestLibsodiumKnownGadgetsDetected(t *testing.T) {
+	lib := Libsodium()
+	m := compileLib(t, lib)
+	cfg := detect.DefaultPHT()
+	for _, fn := range []string{"crypto_box_seal_probe", "sodium_lookup_gadget"} {
+		r, err := detect.AnalyzeFunc(m, fn, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", fn, err)
+		}
+		if r.Counts()[core.UDT] == 0 {
+			t.Errorf("%s: embedded UDT gadget not found: %v", fn, r.Findings)
+		}
+	}
+}
+
+func TestConstantTimeHelpersClean(t *testing.T) {
+	lib := Libsodium()
+	m := compileLib(t, lib)
+	cfg := detect.DefaultPHT()
+	// The pure constant-time comparators take pointers and loop over them;
+	// they have no secret-indexed accesses, so no universal transmitters.
+	for _, fn := range []string{"crypto_verify_16", "crypto_verify_32", "sodium_memcmp"} {
+		r, err := detect.AnalyzeFunc(m, fn, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", fn, err)
+		}
+		if n := r.Counts()[core.UDT]; n != 0 {
+			t.Errorf("%s: unexpected UDTs: %v", fn, r.Findings)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("tea"); !ok {
+		t.Error("tea missing")
+	}
+	if _, ok := Lookup("nonesuch"); ok {
+		t.Error("phantom library")
+	}
+	if len(All()) != 7 {
+		t.Errorf("libraries = %d, want 7 (Table 2 rows)", len(All()))
+	}
+}
+
+// TestDonnaLadderRuns interprets the full 255-iteration Montgomery ladder:
+// a crash-freedom and determinism smoke test for the largest corpus entry.
+func TestDonnaLadderRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("donna ladder in -short mode")
+	}
+	m := compileLib(t, Donna())
+	run := func() []byte {
+		ip := ir.NewInterp(m)
+		ip.Budget = 500_000_000
+		sAddr, _ := ip.GlobalAddr("dn_scalar")
+		bAddr, _ := ip.GlobalAddr("dn_base")
+		for i := 0; i < 32; i++ {
+			ip.Mem.Store(sAddr+uint64(i), 1, uint64(i*7+1))
+			ip.Mem.Store(bAddr+uint64(i), 1, uint64(9))
+		}
+		if _, err := ip.Call("crypto_scalarmult"); err != nil {
+			t.Fatal(err)
+		}
+		oAddr, _ := ip.GlobalAddr("dn_out")
+		out := make([]byte, 32)
+		for i := range out {
+			out[i] = byte(ip.Mem.Load(oAddr+uint64(i), 1))
+		}
+		return out
+	}
+	a, b := run(), run()
+	nonzero := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("ladder nondeterministic")
+		}
+		if a[i] != 0 {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		t.Error("ladder produced all-zero output")
+	}
+}

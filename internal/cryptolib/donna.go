@@ -1,0 +1,224 @@
+package cryptolib
+
+// Donna returns a curve25519-donna-style corpus entry: 10×25.5-bit limb
+// field arithmetic with 64-bit accumulators (the donna-c32 layout), a
+// conditional-swap Montgomery ladder, and the crypto_scalarmult entry
+// point — one public function over ~20 internal ones, like the paper's
+// donna row (1/21 functions).
+func Donna() Library {
+	return Library{
+		Name:        "donna",
+		PublicFuncs: []string{"crypto_scalarmult"},
+		Source:      donnaSrc,
+	}
+}
+
+const donnaSrc = `
+/* curve25519-donna style field arithmetic: limbs in int64, 10 limbs. */
+
+int64_t fe_x1[10];
+int64_t fe_z1[10];
+int64_t fe_x2[10];
+int64_t fe_z2[10];
+int64_t fe_origx[10];
+int64_t fe_tmp0[19];
+int64_t fe_tmp1[10];
+int64_t fe_tmp2[10];
+int64_t fe_tmp3[10];
+uint8_t dn_scalar[32];
+uint8_t dn_base[32];
+uint8_t dn_out[32];
+
+void fsum(int64_t *out, const int64_t *in) {
+	for (int i = 0; i < 10; i++) {
+		out[i] = out[i] + in[i];
+	}
+}
+
+void fdifference(int64_t *out, const int64_t *in) {
+	for (int i = 0; i < 10; i++) {
+		out[i] = in[i] - out[i];
+	}
+}
+
+void fscalar_product(int64_t *out, const int64_t *in, int64_t scalar) {
+	for (int i = 0; i < 10; i++) {
+		out[i] = in[i] * scalar;
+	}
+}
+
+void freduce_degree(int64_t *out) {
+	/* Fold limbs 10..18 back with the curve's 19 multiplier. */
+	for (int i = 9; i >= 1; i--) {
+		out[i - 1] += 19 * out[i + 9];
+		out[i + 9] = 0;
+	}
+}
+
+void freduce_coefficients(int64_t *out) {
+	for (int i = 0; i < 9; i++) {
+		int64_t carry = out[i] >> 26;
+		out[i] -= carry << 26;
+		out[i + 1] += carry;
+	}
+	int64_t top = out[9] >> 25;
+	out[9] -= top << 25;
+	out[0] += 19 * top;
+}
+
+void fproduct(int64_t *out, const int64_t *a, const int64_t *b) {
+	for (int i = 0; i < 19; i++) {
+		out[i] = 0;
+	}
+	for (int i = 0; i < 10; i++) {
+		for (int j = 0; j < 10; j++) {
+			out[i + j] += a[i] * b[j];
+		}
+	}
+}
+
+void fmul(int64_t *out, const int64_t *a, const int64_t *b) {
+	int64_t t[19];
+	for (int i = 0; i < 19; i++) {
+		t[i] = 0;
+	}
+	for (int i = 0; i < 10; i++) {
+		for (int j = 0; j < 10; j++) {
+			t[i + j] += a[i] * b[j];
+		}
+	}
+	for (int i = 9; i >= 1; i--) {
+		t[i - 1] += 19 * t[i + 9];
+	}
+	for (int i = 0; i < 9; i++) {
+		int64_t carry = t[i] >> 26;
+		t[i] -= carry << 26;
+		t[i + 1] += carry;
+	}
+	for (int i = 0; i < 10; i++) {
+		out[i] = t[i];
+	}
+}
+
+void fsquare(int64_t *out, const int64_t *a) {
+	fmul(out, a, a);
+}
+
+void fexpand(int64_t *out, const uint8_t *in) {
+	for (int i = 0; i < 10; i++) {
+		int off = (i * 51) / 16;
+		int64_t v = 0;
+		for (int k = 0; k < 4; k++) {
+			v |= ((int64_t)in[(off + k) & 31]) << (8 * k);
+		}
+		out[i] = v & 0x3FFFFFF;
+	}
+}
+
+void fcontract(uint8_t *out, int64_t *in) {
+	freduce_coefficients(in);
+	for (int i = 0; i < 32; i++) {
+		int limb = (i * 10) / 32;
+		out[i] = (uint8_t)(in[limb] >> ((i & 3) * 8));
+	}
+}
+
+void swap_conditional(int64_t *a, int64_t *b, int64_t iswap) {
+	int64_t swap = -iswap;
+	for (int i = 0; i < 10; i++) {
+		int64_t x = swap & (a[i] ^ b[i]);
+		a[i] = a[i] ^ x;
+		b[i] = b[i] ^ x;
+	}
+}
+
+void fmonty_step(void) {
+	/* One combined double-and-add ladder step over the shared state. */
+	int64_t origx[10];
+	int64_t origxprime[10];
+	int64_t xx[10];
+	int64_t zz[10];
+	int64_t xxprime[10];
+	int64_t zzprime[10];
+	int64_t zzzprime[10];
+
+	for (int i = 0; i < 10; i++) {
+		origx[i] = fe_x1[i];
+	}
+	fsum(fe_x1, fe_z1);
+	fdifference(fe_z1, origx);
+
+	for (int i = 0; i < 10; i++) {
+		origxprime[i] = fe_x2[i];
+	}
+	fsum(fe_x2, fe_z2);
+	fdifference(fe_z2, origxprime);
+
+	fmul(xxprime, fe_x2, fe_z1);
+	fmul(zzprime, fe_x1, fe_z2);
+	for (int i = 0; i < 10; i++) {
+		origxprime[i] = xxprime[i];
+	}
+	fsum(xxprime, zzprime);
+	fdifference(zzprime, origxprime);
+	fsquare(fe_x2, xxprime);
+	fsquare(zzzprime, zzprime);
+	fmul(fe_z2, zzzprime, fe_origx);
+
+	fsquare(xx, fe_x1);
+	fsquare(zz, fe_z1);
+	fmul(fe_x1, xx, zz);
+	fdifference(zz, xx);
+	fscalar_product(zzzprime, zz, 121665);
+	fsum(zzzprime, xx);
+	fmul(fe_z1, zz, zzzprime);
+}
+
+void cmult(void) {
+	for (int i = 0; i < 10; i++) {
+		fe_x2[i] = 0;
+		fe_z2[i] = 0;
+		fe_z1[i] = 0;
+	}
+	fe_x2[0] = 1;
+	fe_z1[0] = 1;
+	fexpand(fe_x1, dn_base);
+	for (int i = 0; i < 10; i++) {
+		fe_origx[i] = fe_x1[i];
+	}
+	for (int i = 0; i < 255; i++) {
+		uint32_t byte_i = (254 - i) >> 3;
+		uint32_t bit_i = (254 - i) & 7;
+		int64_t bit = (dn_scalar[byte_i & 31] >> bit_i) & 1;
+		swap_conditional(fe_x1, fe_x2, bit);
+		swap_conditional(fe_z1, fe_z2, bit);
+		fmonty_step();
+		swap_conditional(fe_x1, fe_x2, bit);
+		swap_conditional(fe_z1, fe_z2, bit);
+	}
+}
+
+void crecip(int64_t *out, const int64_t *z) {
+	int64_t z2[10];
+	int64_t t[10];
+	fsquare(z2, z);
+	fsquare(t, z2);
+	fsquare(t, t);
+	fmul(t, t, z);
+	fmul(out, t, z2);
+	for (int i = 0; i < 248; i++) {
+		fsquare(out, out);
+		fmul(out, out, z);
+	}
+}
+
+int crypto_scalarmult(void) {
+	cmult();
+	int64_t zinv[10];
+	crecip(zinv, fe_z1);
+	int64_t prod[10];
+	fmul(prod, fe_x1, zinv);
+	fcontract(dn_out, prod);
+	return 0;
+}
+`

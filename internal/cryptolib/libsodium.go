@@ -1,0 +1,347 @@
+package cryptolib
+
+// Libsodium returns a libsodium-like utility library: constant-time
+// comparators, encoders, counters, padding helpers, and a handful of
+// bounds-checked table functions where Spectre gadgets hide — a spread of
+// public-function sizes for the Fig. 8 runtime-vs-size scatter.
+func Libsodium() Library {
+	return Library{
+		Name: "libsodium",
+		PublicFuncs: []string{
+			"sodium_memcmp", "crypto_verify_16", "crypto_verify_32",
+			"sodium_increment", "sodium_add", "sodium_sub", "sodium_compare",
+			"sodium_is_zero", "sodium_stackzero", "sodium_memzero",
+			"sodium_bin2hex", "sodium_hex2bin", "sodium_bin2base64_lookup",
+			"sodium_pad", "sodium_unpad",
+			"crypto_stream_xor_ic", "crypto_onetimeauth_update",
+			"crypto_shorthash_sip_round", "crypto_core_hchacha_round",
+			"crypto_kdf_derive", "crypto_pwhash_mix",
+			"crypto_sign_reduce_limb", "crypto_box_seal_probe",
+			"crypto_aead_tag_check", "randombytes_uniform_mask",
+			"sodium_lookup_gadget", "sodium_runtime_has_feature",
+			"sodium_version_digit",
+		},
+		KnownGadgets: []string{"sodium_bin2hex", "sodium_lookup_gadget", "crypto_box_seal_probe", "sodium_unpad"},
+		Source:       libsodiumSrc,
+	}
+}
+
+const libsodiumSrc = `
+uint8_t ls_buf_a[64];
+uint8_t ls_buf_b[64];
+uint8_t ls_out[256];
+uint8_t ls_table[64];
+uint32_t ls_table_size = 64;
+uint8_t ls_probe[131072];
+uint8_t ls_hexmap[16];
+uint8_t ls_b64map[64];
+uint8_t ls_feature_flags[8];
+uint8_t ls_state[32];
+uint64_t ls_counter[4];
+
+int sodium_memcmp(const uint8_t *b1, const uint8_t *b2, size_t len) {
+	uint8_t d = 0;
+	for (size_t i = 0; i < len; i++) {
+		d |= b1[i] ^ b2[i];
+	}
+	return (1 & ((d - 1) >> 8)) - 1;
+}
+
+int crypto_verify_16(const uint8_t *x, const uint8_t *y) {
+	uint16_t d = 0;
+	for (int i = 0; i < 16; i++) {
+		d |= x[i] ^ y[i];
+	}
+	return (1 & ((d - 1) >> 8)) - 1;
+}
+
+int crypto_verify_32(const uint8_t *x, const uint8_t *y) {
+	uint16_t d = 0;
+	for (int i = 0; i < 32; i++) {
+		d |= x[i] ^ y[i];
+	}
+	return (1 & ((d - 1) >> 8)) - 1;
+}
+
+void sodium_increment(uint8_t *n, size_t nlen) {
+	uint16_t c = 1;
+	for (size_t i = 0; i < nlen; i++) {
+		c += (uint16_t)n[i];
+		n[i] = (uint8_t)c;
+		c >>= 8;
+	}
+}
+
+void sodium_add(uint8_t *a, const uint8_t *b, size_t len) {
+	uint16_t c = 0;
+	for (size_t i = 0; i < len; i++) {
+		c += (uint16_t)a[i] + (uint16_t)b[i];
+		a[i] = (uint8_t)c;
+		c >>= 8;
+	}
+}
+
+void sodium_sub(uint8_t *a, const uint8_t *b, size_t len) {
+	uint16_t borrow = 0;
+	for (size_t i = 0; i < len; i++) {
+		uint16_t t = (uint16_t)a[i] - (uint16_t)b[i] - borrow;
+		a[i] = (uint8_t)t;
+		borrow = (t >> 8) & 1;
+	}
+}
+
+int sodium_compare(const uint8_t *b1, const uint8_t *b2, size_t len) {
+	uint8_t gt = 0;
+	uint8_t eq = 1;
+	size_t i = len;
+	while (i != 0) {
+		i--;
+		uint32_t x1 = b1[i];
+		uint32_t x2 = b2[i];
+		gt |= (uint8_t)(((x2 - x1) >> 8) & eq);
+		eq &= (uint8_t)((((x2 ^ x1) - 1) >> 8) & 1);
+	}
+	return (int)(gt + gt + eq) - 1;
+}
+
+int sodium_is_zero(const uint8_t *n, size_t nlen) {
+	uint8_t d = 0;
+	for (size_t i = 0; i < nlen; i++) {
+		d |= n[i];
+	}
+	return 1 & ((d - 1) >> 8);
+}
+
+void sodium_memzero(uint8_t *p, size_t len) {
+	for (size_t i = 0; i < len; i++) {
+		p[i] = 0;
+	}
+}
+
+void sodium_stackzero(size_t len) {
+	uint8_t pad[64];
+	for (size_t i = 0; i < len && i < 64; i++) {
+		pad[i] = 0;
+	}
+	ls_state[0] = pad[0];
+}
+
+/* bin2hex: the hex digit table lookup is indexed by secret data — the
+   classic data transmitter, and a Spectre gadget under mis-speculation of
+   the length check. */
+void sodium_bin2hex(uint8_t *hex, size_t hex_maxlen, const uint8_t *bin, size_t bin_len) {
+	size_t i = 0;
+	while (i < bin_len) {
+		if (i * 2 + 1 >= hex_maxlen) {
+			return;
+		}
+		uint8_t b = bin[i];
+		hex[i * 2] = ls_hexmap[b >> 4];
+		hex[i * 2 + 1] = ls_hexmap[b & 15];
+		i++;
+	}
+}
+
+int sodium_hex2bin(uint8_t *bin, size_t bin_maxlen, const uint8_t *hex, size_t hex_len) {
+	size_t written = 0;
+	for (size_t i = 0; i + 1 < hex_len; i += 2) {
+		if (written >= bin_maxlen) {
+			return -1;
+		}
+		uint8_t hi = hex[i];
+		uint8_t lo = hex[i + 1];
+		uint8_t v = 0;
+		if (hi >= '0' && hi <= '9') {
+			v = (hi - '0') << 4;
+		} else if (hi >= 'a' && hi <= 'f') {
+			v = (hi - 'a' + 10) << 4;
+		}
+		if (lo >= '0' && lo <= '9') {
+			v |= lo - '0';
+		} else if (lo >= 'a' && lo <= 'f') {
+			v |= lo - 'a' + 10;
+		}
+		bin[written] = v;
+		written++;
+	}
+	return (int)written;
+}
+
+void sodium_bin2base64_lookup(uint8_t *out, const uint8_t *in, size_t len) {
+	for (size_t i = 0; i + 2 < len; i += 3) {
+		uint32_t v = ((uint32_t)in[i] << 16) | ((uint32_t)in[i + 1] << 8) | in[i + 2];
+		out[(i / 3) * 4] = ls_b64map[(v >> 18) & 63];
+		out[(i / 3) * 4 + 1] = ls_b64map[(v >> 12) & 63];
+		out[(i / 3) * 4 + 2] = ls_b64map[(v >> 6) & 63];
+		out[(i / 3) * 4 + 3] = ls_b64map[v & 63];
+	}
+}
+
+int sodium_pad(size_t *padded_len, uint8_t *buf, size_t unpadded_len, size_t blocksize, size_t maxlen) {
+	if (blocksize == 0) {
+		return -1;
+	}
+	size_t xpadlen = blocksize - 1 - (unpadded_len % blocksize);
+	if (unpadded_len + xpadlen + 1 > maxlen) {
+		return -1;
+	}
+	buf[unpadded_len] = 0x80;
+	for (size_t i = 1; i <= xpadlen; i++) {
+		buf[unpadded_len + i] = 0;
+	}
+	*padded_len = unpadded_len + xpadlen + 1;
+	return 0;
+}
+
+int sodium_unpad(size_t *unpadded_len, const uint8_t *buf, size_t padded_len, size_t blocksize) {
+	if (blocksize == 0 || padded_len < blocksize) {
+		return -1;
+	}
+	size_t i = padded_len;
+	while (i != 0) {
+		i--;
+		uint8_t c = buf[i];
+		if (c == 0x80) {
+			*unpadded_len = i;
+			return 0;
+		}
+		if (c != 0) {
+			return -1;
+		}
+	}
+	return -1;
+}
+
+void crypto_stream_xor_ic(uint8_t *c, const uint8_t *m, size_t len, uint32_t ic) {
+	uint32_t ks = ic * 2654435761;
+	for (size_t i = 0; i < len; i++) {
+		ks = ks * 1103515245 + 12345;
+		c[i] = m[i] ^ (uint8_t)(ks >> 24);
+	}
+}
+
+void crypto_onetimeauth_update(const uint8_t *m, size_t len) {
+	uint64_t h0 = ls_counter[0];
+	uint64_t h1 = ls_counter[1];
+	for (size_t i = 0; i + 4 <= len; i += 4) {
+		uint64_t w = m[i] | ((uint64_t)m[i + 1] << 8) | ((uint64_t)m[i + 2] << 16) | ((uint64_t)m[i + 3] << 24);
+		h0 = (h0 + w) * 0x985DF5;
+		h1 = (h1 ^ w) * 0x9E3779B1;
+		h0 = (h0 & 0xFFFFFFFFFFFF) + (h0 >> 48) * 5;
+	}
+	ls_counter[0] = h0;
+	ls_counter[1] = h1;
+}
+
+void crypto_shorthash_sip_round(void) {
+	uint64_t v0 = ls_counter[0];
+	uint64_t v1 = ls_counter[1];
+	uint64_t v2 = ls_counter[2];
+	uint64_t v3 = ls_counter[3];
+	for (int i = 0; i < 2; i++) {
+		v0 += v1;
+		v1 = (v1 << 13) | (v1 >> 51);
+		v1 ^= v0;
+		v0 = (v0 << 32) | (v0 >> 32);
+		v2 += v3;
+		v3 = (v3 << 16) | (v3 >> 48);
+		v3 ^= v2;
+		v0 += v3;
+		v3 = (v3 << 21) | (v3 >> 43);
+		v3 ^= v0;
+		v2 += v1;
+		v1 = (v1 << 17) | (v1 >> 47);
+		v1 ^= v2;
+		v2 = (v2 << 32) | (v2 >> 32);
+	}
+	ls_counter[0] = v0;
+	ls_counter[1] = v1;
+	ls_counter[2] = v2;
+	ls_counter[3] = v3;
+}
+
+void crypto_core_hchacha_round(uint32_t *x) {
+	x[0] += x[4];
+	x[12] ^= x[0];
+	x[12] = (x[12] << 16) | (x[12] >> 16);
+	x[8] += x[12];
+	x[4] ^= x[8];
+	x[4] = (x[4] << 12) | (x[4] >> 20);
+	x[0] += x[4];
+	x[12] ^= x[0];
+	x[12] = (x[12] << 8) | (x[12] >> 24);
+	x[8] += x[12];
+	x[4] ^= x[8];
+	x[4] = (x[4] << 7) | (x[4] >> 25);
+}
+
+void crypto_kdf_derive(uint8_t *out, uint32_t subkey_id) {
+	uint32_t st = subkey_id * 2654435761;
+	for (int i = 0; i < 32; i++) {
+		st = st * 1103515245 + 12345;
+		out[i] = (uint8_t)(st >> 24) ^ ls_state[i];
+	}
+}
+
+void crypto_pwhash_mix(uint32_t cost) {
+	for (uint32_t i = 0; i < cost; i++) {
+		uint32_t j = ls_counter[0] & 31;
+		ls_state[j] = (uint8_t)(ls_state[j] * 3 + 1);
+		ls_counter[0] = ls_counter[0] * 6364136223846793005 + 1442695040888963407;
+	}
+}
+
+uint64_t crypto_sign_reduce_limb(uint64_t x) {
+	uint64_t q = x >> 26;
+	uint64_t r = x & 0x3FFFFFF;
+	return r + q * 19;
+}
+
+/* crypto_box_seal_probe: bounds-checked secret-indexed double lookup — a
+   deliberately embedded Spectre v1 gadget. */
+uint8_t crypto_box_seal_probe(uint32_t i) {
+	if (i < ls_table_size) {
+		return ls_probe[ls_table[i] * 512];
+	}
+	return 0;
+}
+
+int crypto_aead_tag_check(const uint8_t *tag) {
+	return crypto_verify_16(tag, ls_buf_a);
+}
+
+uint32_t randombytes_uniform_mask(uint32_t upper_bound) {
+	if (upper_bound < 2) {
+		return 0;
+	}
+	uint32_t mask = upper_bound - 1;
+	mask |= mask >> 1;
+	mask |= mask >> 2;
+	mask |= mask >> 4;
+	mask |= mask >> 8;
+	mask |= mask >> 16;
+	return mask;
+}
+
+/* sodium_lookup_gadget: a second deliberately embedded gadget with the
+   index loaded from memory (the pht15 shape). */
+uint8_t sodium_lookup_gadget(uint32_t x) {
+	uint32_t stored = x;
+	if (stored < ls_table_size) {
+		uint8_t s = ls_table[stored];
+		return ls_probe[s * 512];
+	}
+	return 0;
+}
+
+int sodium_runtime_has_feature(uint32_t feature) {
+	if (feature < 8) {
+		return ls_feature_flags[feature];
+	}
+	return 0;
+}
+
+uint32_t sodium_version_digit(void) {
+	return 10 * 100 + 18;
+}
+`

@@ -1,0 +1,134 @@
+package cryptolib
+
+// MEECBC returns a MAC-then-Encode-then-CBC-Encrypt (mee-cbc) corpus
+// entry: a table-based block cipher (the classic cache-timing surface),
+// CBC decryption, padding validation with data-dependent branches, and a
+// MAC comparison — the record-decode shape of the paper's mee-cbc row.
+func MEECBC() Library {
+	return Library{
+		Name:        "mee-cbc",
+		PublicFuncs: []string{"mee_cbc_decrypt"},
+		Source:      meecbcSrc,
+	}
+}
+
+const meecbcSrc = `
+uint8_t sbox[256];
+uint8_t inv_sbox[256];
+uint8_t cbc_key[16];
+uint8_t cbc_iv[16];
+uint8_t cbc_in[256];
+uint8_t cbc_out[256];
+uint8_t cbc_mac[20];
+uint8_t mac_key2[20];
+uint32_t cbc_len = 64;
+
+void block_decrypt(uint8_t *blk) {
+	for (int round = 0; round < 4; round++) {
+		for (int i = 0; i < 16; i++) {
+			blk[i] = inv_sbox[blk[i]] ^ cbc_key[i];
+		}
+		uint8_t t = blk[0];
+		for (int i = 0; i < 15; i++) {
+			blk[i] = blk[i + 1];
+		}
+		blk[15] = t;
+	}
+}
+
+void cbc_decrypt_blocks(uint32_t nblocks) {
+	uint8_t prev[16];
+	for (int i = 0; i < 16; i++) {
+		prev[i] = cbc_iv[i];
+	}
+	for (uint32_t b = 0; b < nblocks; b++) {
+		uint8_t cur[16];
+		for (int i = 0; i < 16; i++) {
+			cur[i] = cbc_in[b * 16 + i];
+		}
+		uint8_t tmp[16];
+		for (int i = 0; i < 16; i++) {
+			tmp[i] = cur[i];
+		}
+		block_decrypt(tmp);
+		for (int i = 0; i < 16; i++) {
+			cbc_out[b * 16 + i] = tmp[i] ^ prev[i];
+		}
+		for (int i = 0; i < 16; i++) {
+			prev[i] = cur[i];
+		}
+	}
+}
+
+/* check_padding: TLS-CBC style — the last byte names the pad length; each
+   pad byte must match. Attacker-controlled, bounds-checked, and used to
+   index the plaintext: the classic gadget shape. */
+int check_padding(uint32_t len) {
+	uint8_t pad = cbc_out[len - 1];
+	if (pad >= len) {
+		return -1;
+	}
+	for (uint32_t i = 0; i < pad; i++) {
+		if (cbc_out[len - 2 - i] != pad) {
+			return -1;
+		}
+	}
+	return (int)pad;
+}
+
+void mac_compute(uint8_t *out, uint32_t len) {
+	uint32_t acc0 = 0x6a09e667;
+	uint32_t acc1 = 0xbb67ae85;
+	for (uint32_t i = 0; i < len; i++) {
+		acc0 = (acc0 ^ cbc_out[i]) * 16777619;
+		acc1 = (acc1 + cbc_out[i]) * 2166136261;
+	}
+	for (int i = 0; i < 20; i++) {
+		uint32_t v;
+		if (i & 1) {
+			v = acc1;
+		} else {
+			v = acc0;
+		}
+		out[i] = (uint8_t)(v >> ((i % 4) * 8)) ^ mac_key2[i];
+	}
+}
+
+int mac_verify(uint32_t len) {
+	uint8_t expect[20];
+	mac_compute(expect, len);
+	uint32_t diff = 0;
+	for (int i = 0; i < 20; i++) {
+		diff |= expect[i] ^ cbc_mac[i];
+	}
+	if (diff != 0) {
+		return -1;
+	}
+	return 0;
+}
+
+int mee_cbc_decrypt(uint32_t inlen) {
+	if (inlen > 256) {
+		return -1;
+	}
+	if (inlen % 16 != 0) {
+		return -1;
+	}
+	cbc_decrypt_blocks(inlen / 16);
+	int pad = check_padding(inlen);
+	if (pad < 0) {
+		return -1;
+	}
+	uint32_t plen = inlen - (uint32_t)pad - 1;
+	if (plen < 20) {
+		return -1;
+	}
+	for (int i = 0; i < 20; i++) {
+		cbc_mac[i] = cbc_out[plen - 20 + i];
+	}
+	if (mac_verify(plen - 20) != 0) {
+		return -1;
+	}
+	return (int)plen;
+}
+`

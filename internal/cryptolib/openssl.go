@@ -1,0 +1,142 @@
+package cryptolib
+
+// OpenSSL returns an openssl-like corpus entry containing the paper's
+// flagship finding: the SSL_get_shared_sigalgs gadget of Listing 1, whose
+// bounds-checked attacker index idx guards a speculative out-of-bounds
+// pointer load that is then dereferenced, leaking the secret directly into
+// the cache. The library adds sigalg lookup, record-length handling, and
+// constant-time helpers typical of the codebase.
+func OpenSSL() Library {
+	return Library{
+		Name: "openssl",
+		PublicFuncs: []string{
+			"SSL_get_shared_sigalgs", "tls1_lookup_sigalg", "ssl3_read_n",
+			"CRYPTO_memcmp", "EVP_DigestUpdate_blocks", "tls_cbc_remove_padding",
+			"OPENSSL_cleanse", "constant_time_select_probe",
+		},
+		KnownGadgets: []string{"SSL_get_shared_sigalgs", "tls_cbc_remove_padding"},
+		Source:       opensslSrc,
+	}
+}
+
+const opensslSrc = `
+struct SIGALG_LOOKUP {
+	int hash;
+	int sig;
+	int sigandhash;
+	int sigalg;
+};
+
+struct SSL {
+	struct SIGALG_LOOKUP *shared_sigalgs[32];
+	uint32_t shared_sigalgslen;
+	uint8_t rbuf[512];
+	uint32_t rbuf_len;
+};
+
+struct SSL ssl_obj;
+struct SIGALG_LOOKUP sigalg_table[16];
+uint32_t sigalg_table_len = 16;
+uint8_t oss_probe[131072];
+uint8_t oss_temp;
+
+/* Listing 1 (§6.2.3): the bounds check on idx can be bypassed
+   speculatively; shared_sigalgs[idx] then loads an arbitrary secret which
+   line "shsigalgs->hash" dereferences as a pointer — a universal data
+   transmitter. */
+int SSL_get_shared_sigalgs(struct SSL *s, int idx,
+                           int *psign, int *phash, int *psignhash,
+                           uint8_t *rsig, uint8_t *rhash) {
+	struct SIGALG_LOOKUP *shsigalgs;
+	if (idx < 0) {
+		return 0;
+	}
+	if ((uint32_t)idx >= s->shared_sigalgslen) {
+		return 0;
+	}
+	shsigalgs = s->shared_sigalgs[idx];
+	if (phash != 0) {
+		*phash = shsigalgs->hash;
+	}
+	if (psign != 0) {
+		*psign = shsigalgs->sig;
+	}
+	if (psignhash != 0) {
+		*psignhash = shsigalgs->sigandhash;
+	}
+	if (rsig != 0) {
+		*rsig = (uint8_t)(shsigalgs->sigalg & 0xff);
+	}
+	if (rhash != 0) {
+		*rhash = (uint8_t)((shsigalgs->sigalg >> 8) & 0xff);
+	}
+	return (int)s->shared_sigalgslen;
+}
+
+int tls1_lookup_sigalg(uint32_t sigalg) {
+	for (uint32_t i = 0; i < sigalg_table_len; i++) {
+		if ((uint32_t)sigalg_table[i].sigalg == sigalg) {
+			return (int)i;
+		}
+	}
+	return -1;
+}
+
+int ssl3_read_n(struct SSL *s, uint32_t n) {
+	if (n > 512) {
+		return -1;
+	}
+	if (s->rbuf_len < n) {
+		return 0;
+	}
+	uint32_t sum = 0;
+	for (uint32_t i = 0; i < n; i++) {
+		sum += s->rbuf[i];
+	}
+	return (int)(sum & 0x7FFFFFFF);
+}
+
+int CRYPTO_memcmp(const uint8_t *a, const uint8_t *b, size_t len) {
+	uint8_t x = 0;
+	for (size_t i = 0; i < len; i++) {
+		x |= a[i] ^ b[i];
+	}
+	return (int)x;
+}
+
+uint32_t evp_md_state[8];
+void EVP_DigestUpdate_blocks(const uint8_t *data, uint32_t nblocks) {
+	for (uint32_t b = 0; b < nblocks; b++) {
+		uint32_t acc = evp_md_state[b & 7];
+		for (int i = 0; i < 16; i++) {
+			acc = (acc ^ data[b * 16 + i]) * 16777619;
+		}
+		evp_md_state[b & 7] = acc;
+	}
+}
+
+/* tls_cbc_remove_padding: the pad byte is attacker-controlled and used
+   (after a bounds check) to index the record — a Spectre gadget on top of
+   the classical padding-oracle shape. */
+int tls_cbc_remove_padding(struct SSL *s, uint32_t len) {
+	if (len == 0 || len > 512) {
+		return -1;
+	}
+	uint8_t pad = s->rbuf[len - 1];
+	if ((uint32_t)pad + 1 > len) {
+		return -1;
+	}
+	oss_temp &= oss_probe[s->rbuf[len - 1 - pad] * 512];
+	return (int)(len - pad - 1);
+}
+
+void OPENSSL_cleanse(uint8_t *p, size_t len) {
+	for (size_t i = 0; i < len; i++) {
+		p[i] = 0;
+	}
+}
+
+uint32_t constant_time_select_probe(uint32_t mask, uint32_t a, uint32_t b) {
+	return (mask & a) | (~mask & b);
+}
+`

@@ -1,0 +1,52 @@
+package cryptolib
+
+import (
+	"testing"
+	"time"
+
+	"lcm/internal/core"
+	"lcm/internal/detect"
+)
+
+// cryptoCfg mirrors the paper's crypto-library configuration: search for
+// universal transmitters only (§6.2: "For crypto-libraries, Clou looks for
+// UDTs and UCTs only").
+func cryptoCfg(e detect.Engine) detect.Config {
+	var cfg detect.Config
+	if e == detect.PHT {
+		cfg = detect.DefaultPHT()
+	} else {
+		cfg = detect.DefaultSTL()
+	}
+	cfg.Transmitters = []core.Class{core.UDT, core.UCT}
+	cfg.Timeout = 30 * time.Second
+	return cfg
+}
+
+func TestScaleCryptoFunctions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test skipped in -short mode")
+	}
+	for _, nm := range []struct {
+		lib, fn string
+		e       detect.Engine
+	}{
+		{"donna", "crypto_scalarmult", detect.PHT},
+		{"donna", "crypto_scalarmult", detect.STL},
+		{"secretbox", "crypto_secretbox_open", detect.PHT},
+		{"secretbox", "crypto_secretbox_open", detect.STL},
+		{"ssl3-digest", "ssl3_digest_record", detect.STL},
+		{"mee-cbc", "mee_cbc_decrypt", detect.STL},
+		{"openssl", "SSL_get_shared_sigalgs", detect.PHT},
+	} {
+		l, _ := Lookup(nm.lib)
+		m := compileLib(t, l)
+		start := time.Now()
+		r, err := detect.AnalyzeFunc(m, nm.fn, cryptoCfg(nm.e))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s/%s [%v]: nodes=%d queries=%d findings=%d dur=%v timeout=%v",
+			nm.lib, nm.fn, nm.e, r.NodeCount, r.Queries, len(r.Findings), time.Since(start), r.TimedOut)
+	}
+}

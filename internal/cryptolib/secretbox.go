@@ -1,0 +1,153 @@
+package cryptolib
+
+// Secretbox returns a crypto_secretbox-style corpus entry: a Salsa20-style
+// stream cipher core, a one-time MAC in the Poly1305 shape (accumulate,
+// multiply, reduce), and the seal/open composition — mirroring the paper's
+// secretbox row (1 public function over ~12 internal ones).
+func Secretbox() Library {
+	return Library{
+		Name:        "secretbox",
+		PublicFuncs: []string{"crypto_secretbox_open"},
+		Source:      secretboxSrc,
+	}
+}
+
+const secretboxSrc = `
+uint8_t sb_key[32];
+uint8_t sb_nonce[24];
+uint8_t sb_cipher[192];
+uint8_t sb_message[192];
+uint8_t sb_tag[16];
+uint32_t sb_len = 64;
+uint32_t sb_block[16];
+uint32_t sb_state[16];
+uint8_t sb_stream[256];
+
+uint32_t rotl32(uint32_t x, uint32_t n) {
+	return (x << n) | (x >> (32 - n));
+}
+
+void salsa_quarterround(uint32_t *x, int a, int b, int c, int d) {
+	x[b] ^= rotl32(x[a] + x[d], 7);
+	x[c] ^= rotl32(x[b] + x[a], 9);
+	x[d] ^= rotl32(x[c] + x[b], 13);
+	x[a] ^= rotl32(x[d] + x[c], 18);
+}
+
+uint32_t load32(const uint8_t *p, uint32_t off) {
+	uint32_t v = p[off];
+	v |= ((uint32_t)p[off + 1]) << 8;
+	v |= ((uint32_t)p[off + 2]) << 16;
+	v |= ((uint32_t)p[off + 3]) << 24;
+	return v;
+}
+
+void store32(uint8_t *p, uint32_t off, uint32_t v) {
+	p[off] = (uint8_t)v;
+	p[off + 1] = (uint8_t)(v >> 8);
+	p[off + 2] = (uint8_t)(v >> 16);
+	p[off + 3] = (uint8_t)(v >> 24);
+}
+
+void salsa_core(uint32_t counter) {
+	sb_state[0] = 0x61707865;
+	sb_state[5] = 0x3320646e;
+	sb_state[10] = 0x79622d32;
+	sb_state[15] = 0x6b206574;
+	for (int i = 0; i < 4; i++) {
+		sb_state[1 + i] = load32(sb_key, i * 4);
+		sb_state[11 + i] = load32(sb_key, 16 + i * 4);
+	}
+	sb_state[6] = load32(sb_nonce, 0);
+	sb_state[7] = load32(sb_nonce, 4);
+	sb_state[8] = counter;
+	sb_state[9] = 0;
+	for (int i = 0; i < 16; i++) {
+		sb_block[i] = sb_state[i];
+	}
+	for (int round = 0; round < 20; round += 2) {
+		salsa_quarterround(sb_block, 0, 4, 8, 12);
+		salsa_quarterround(sb_block, 5, 9, 13, 1);
+		salsa_quarterround(sb_block, 10, 14, 2, 6);
+		salsa_quarterround(sb_block, 15, 3, 7, 11);
+		salsa_quarterround(sb_block, 0, 1, 2, 3);
+		salsa_quarterround(sb_block, 5, 6, 7, 4);
+		salsa_quarterround(sb_block, 10, 11, 8, 9);
+		salsa_quarterround(sb_block, 15, 12, 13, 14);
+	}
+	for (int i = 0; i < 16; i++) {
+		sb_block[i] += sb_state[i];
+	}
+}
+
+void stream_expand(uint32_t nblocks) {
+	for (uint32_t b = 0; b < nblocks; b++) {
+		salsa_core(b);
+		for (int i = 0; i < 16; i++) {
+			store32(sb_stream, b * 64 + i * 4, sb_block[i]);
+		}
+	}
+}
+
+uint64_t poly_r0;
+uint64_t poly_r1;
+uint64_t poly_h0;
+uint64_t poly_h1;
+
+void poly_init(void) {
+	poly_r0 = load32(sb_stream, 0) & 0x0FFFFFFF;
+	poly_r1 = load32(sb_stream, 4) & 0x0FFFFFFC;
+	poly_h0 = 0;
+	poly_h1 = 0;
+}
+
+void poly_block(const uint8_t *m, uint32_t off) {
+	uint64_t c0 = load32(m, off);
+	uint64_t c1 = load32(m, off + 4);
+	poly_h0 += c0;
+	poly_h1 += c1;
+	uint64_t t0 = poly_h0 * poly_r0 + poly_h1 * (poly_r1 * 5);
+	uint64_t t1 = poly_h0 * poly_r1 + poly_h1 * poly_r0;
+	poly_h0 = t0 & 0x3FFFFFF;
+	poly_h1 = (t1 + (t0 >> 26)) & 0x3FFFFFF;
+}
+
+void poly_mac(uint8_t *out, const uint8_t *m, uint32_t len) {
+	poly_init();
+	for (uint32_t off = 0; off + 8 <= len; off += 8) {
+		poly_block(m, off);
+	}
+	store32(out, 0, (uint32_t)poly_h0);
+	store32(out, 4, (uint32_t)poly_h1);
+	store32(out, 8, (uint32_t)(poly_h0 >> 32));
+	store32(out, 12, (uint32_t)(poly_h1 >> 32));
+}
+
+int verify_16(const uint8_t *x, const uint8_t *y) {
+	uint32_t d = 0;
+	for (int i = 0; i < 16; i++) {
+		d |= x[i] ^ y[i];
+	}
+	return (1 & ((d - 1) >> 8)) - 1;
+}
+
+void stream_xor(uint8_t *dst, const uint8_t *src, uint32_t len) {
+	for (uint32_t i = 0; i < len; i++) {
+		dst[i] = src[i] ^ sb_stream[32 + i];
+	}
+}
+
+int crypto_secretbox_open(uint32_t clen) {
+	if (clen > 192) {
+		return -1;
+	}
+	stream_expand((clen + 95) / 64);
+	uint8_t mac[16];
+	poly_mac(mac, sb_cipher, clen);
+	if (verify_16(mac, sb_tag) != 0) {
+		return -1;
+	}
+	stream_xor(sb_message, sb_cipher, clen);
+	return 0;
+}
+`

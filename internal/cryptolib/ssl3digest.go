@@ -1,0 +1,143 @@
+package cryptolib
+
+// SSL3Digest returns an ssl3-digest-style corpus entry: a SHA-1-style
+// compression function, the SSLv3 MAC construction (inner/outer pads), and
+// the record digest entry point with its length-dependent padding logic —
+// the shape that makes ssl3-digest a rich Spectre target in Table 2.
+func SSL3Digest() Library {
+	return Library{
+		Name:        "ssl3-digest",
+		PublicFuncs: []string{"ssl3_digest_record"},
+		Source:      ssl3Src,
+	}
+}
+
+const ssl3Src = `
+uint32_t sha_h[5];
+uint32_t sha_w[80];
+uint8_t md_block[64];
+uint8_t md_out[20];
+uint8_t mac_secret[20];
+uint8_t rec_data[512];
+uint32_t rec_len = 128;
+uint8_t rec_pad_ok;
+
+uint32_t sha_rotl(uint32_t x, uint32_t n) {
+	return (x << n) | (x >> (32 - n));
+}
+
+void sha1_init(void) {
+	sha_h[0] = 0x67452301;
+	sha_h[1] = 0xEFCDAB89;
+	sha_h[2] = 0x98BADCFE;
+	sha_h[3] = 0x10325476;
+	sha_h[4] = 0xC3D2E1F0;
+}
+
+void sha1_block(const uint8_t *p) {
+	for (int i = 0; i < 16; i++) {
+		uint32_t v = ((uint32_t)p[i * 4]) << 24;
+		v |= ((uint32_t)p[i * 4 + 1]) << 16;
+		v |= ((uint32_t)p[i * 4 + 2]) << 8;
+		v |= (uint32_t)p[i * 4 + 3];
+		sha_w[i] = v;
+	}
+	for (int i = 16; i < 80; i++) {
+		sha_w[i] = sha_rotl(sha_w[i - 3] ^ sha_w[i - 8] ^ sha_w[i - 14] ^ sha_w[i - 16], 1);
+	}
+	uint32_t a = sha_h[0];
+	uint32_t b = sha_h[1];
+	uint32_t c = sha_h[2];
+	uint32_t d = sha_h[3];
+	uint32_t e = sha_h[4];
+	for (int i = 0; i < 80; i++) {
+		uint32_t f;
+		uint32_t k;
+		if (i < 20) {
+			f = (b & c) | ((~b) & d);
+			k = 0x5A827999;
+		} else if (i < 40) {
+			f = b ^ c ^ d;
+			k = 0x6ED9EBA1;
+		} else if (i < 60) {
+			f = (b & c) | (b & d) | (c & d);
+			k = 0x8F1BBCDC;
+		} else {
+			f = b ^ c ^ d;
+			k = 0xCA62C1D6;
+		}
+		uint32_t tmp = sha_rotl(a, 5) + f + e + k + sha_w[i];
+		e = d;
+		d = c;
+		c = b;
+		b = sha_rotl(b, 30);
+		a = tmp;
+	}
+	sha_h[0] += a;
+	sha_h[1] += b;
+	sha_h[2] += c;
+	sha_h[3] += d;
+	sha_h[4] += e;
+}
+
+void sha1_final(uint32_t total_len) {
+	for (int i = 0; i < 64; i++) {
+		md_block[i] = 0;
+	}
+	md_block[0] = 0x80;
+	uint32_t bits = total_len * 8;
+	md_block[60] = (uint8_t)(bits >> 24);
+	md_block[61] = (uint8_t)(bits >> 16);
+	md_block[62] = (uint8_t)(bits >> 8);
+	md_block[63] = (uint8_t)bits;
+	sha1_block(md_block);
+	for (int i = 0; i < 5; i++) {
+		md_out[i * 4] = (uint8_t)(sha_h[i] >> 24);
+		md_out[i * 4 + 1] = (uint8_t)(sha_h[i] >> 16);
+		md_out[i * 4 + 2] = (uint8_t)(sha_h[i] >> 8);
+		md_out[i * 4 + 3] = (uint8_t)sha_h[i];
+	}
+}
+
+void mac_pad(uint8_t pad_byte) {
+	for (int i = 0; i < 64; i++) {
+		md_block[i] = pad_byte;
+	}
+	for (int i = 0; i < 20; i++) {
+		md_block[i] = mac_secret[i] ^ pad_byte;
+	}
+	sha1_block(md_block);
+}
+
+/* ssl3_digest_record: hash the record with the SSLv3 MAC construction.
+   The padding length byte is attacker-controlled; the bounds check on it
+   guards a table-indexed read — the PHT gadget Table 2 reports here. */
+int ssl3_digest_record(uint32_t len, uint32_t pad) {
+	if (len > 512) {
+		return -1;
+	}
+	sha1_init();
+	mac_pad(0x36);
+	uint32_t blocks = len / 64;
+	for (uint32_t b = 0; b < blocks; b++) {
+		sha1_block(rec_data + b * 64);
+	}
+	if (pad < len) {
+		/* Length-dependent final block selection (the Lucky13 shape). */
+		uint8_t last = rec_data[len - pad - 1];
+		rec_pad_ok = md_out[last % 20];
+	}
+	sha1_final(len);
+	sha1_init();
+	mac_pad(0x5c);
+	for (int i = 0; i < 20; i++) {
+		md_block[i] = md_out[i];
+	}
+	for (int i = 20; i < 64; i++) {
+		md_block[i] = 0;
+	}
+	sha1_block(md_block);
+	sha1_final(20);
+	return 0;
+}
+`

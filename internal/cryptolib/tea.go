@@ -1,0 +1,48 @@
+package cryptolib
+
+// TEA returns the Tiny Encryption Algorithm corpus entry (Wheeler &
+// Needham), with both encrypt and decrypt directions — the paper's
+// smallest library (2 public functions).
+func TEA() Library {
+	return Library{
+		Name: "tea",
+		PublicFuncs: []string{
+			"tea_encrypt",
+			"tea_decrypt",
+		},
+		Source: teaSrc,
+	}
+}
+
+const teaSrc = `
+uint32_t tea_v[2];
+uint32_t tea_k[4];
+
+void tea_encrypt(void) {
+	uint32_t v0 = tea_v[0];
+	uint32_t v1 = tea_v[1];
+	uint32_t sum = 0;
+	uint32_t delta = 0x9E3779B9;
+	for (int i = 0; i < 32; i++) {
+		sum += delta;
+		v0 += ((v1 << 4) + tea_k[0]) ^ (v1 + sum) ^ ((v1 >> 5) + tea_k[1]);
+		v1 += ((v0 << 4) + tea_k[2]) ^ (v0 + sum) ^ ((v0 >> 5) + tea_k[3]);
+	}
+	tea_v[0] = v0;
+	tea_v[1] = v1;
+}
+
+void tea_decrypt(void) {
+	uint32_t v0 = tea_v[0];
+	uint32_t v1 = tea_v[1];
+	uint32_t delta = 0x9E3779B9;
+	uint32_t sum = delta << 5;
+	for (int i = 0; i < 32; i++) {
+		v1 -= ((v0 << 4) + tea_k[2]) ^ (v0 + sum) ^ ((v0 >> 5) + tea_k[3]);
+		v0 -= ((v1 << 4) + tea_k[0]) ^ (v1 + sum) ^ ((v1 >> 5) + tea_k[1]);
+		sum -= delta;
+	}
+	tea_v[0] = v0;
+	tea_v[1] = v1;
+}
+`

@@ -1,0 +1,681 @@
+package detect
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"lcm/internal/acfg"
+	"lcm/internal/aeg"
+	"lcm/internal/alias"
+	"lcm/internal/core"
+	"lcm/internal/ir"
+	"lcm/internal/sat"
+	"lcm/internal/smt"
+	"lcm/internal/taint"
+)
+
+// Engine selects the speculation primitive searched for (§5.3).
+type Engine int
+
+// The two engines.
+const (
+	PHT Engine = iota // control-flow speculation (Spectre v1, v1.1)
+	STL               // store-to-load bypass (Spectre v4)
+)
+
+func (e Engine) String() string {
+	if e == STL {
+		return "clou-stl"
+	}
+	return "clou-pht"
+}
+
+// Config parameterizes an analysis run.
+type Config struct {
+	Engine Engine
+	// Transmitters restricts the classes searched for; empty means all of
+	// DT, CT, UDT, UCT.
+	Transmitters []core.Class
+	// ACFG and AEG bounds.
+	ACFG acfg.Options
+	AEG  aeg.Options
+	// RequireGEP applies the addr_gep filter to universal patterns
+	// (Clou-pht's default; unusable for STL, §5.3).
+	RequireGEP bool
+	// RequireTaint filters universal candidates whose access address is
+	// not attacker-steerable (§5.3 taint tracking).
+	RequireTaint bool
+	// MaxQueries bounds solver calls per function (0 = unlimited).
+	MaxQueries int
+	// Timeout bounds wall time per function (0 = unlimited); the paper
+	// imposes per-function timeouts in Table 2.
+	Timeout time.Duration
+}
+
+// DefaultPHT returns the paper's Clou-pht configuration (ROB/LSQ 250/50).
+func DefaultPHT() Config {
+	return Config{Engine: PHT, RequireGEP: true, RequireTaint: true}
+}
+
+// DefaultSTL returns the paper's Clou-stl configuration; addr_gep cannot
+// filter STL leaks (a stale pointer load may be attacker-controlled).
+func DefaultSTL() Config {
+	return Config{Engine: STL, RequireGEP: false, RequireTaint: true}
+}
+
+// Finding is one detected transmitter with its witness context.
+type Finding struct {
+	Fn       string
+	Class    core.Class
+	Transmit int // A-CFG node of the transmitting access
+	Access   int // access instruction (-1 for AT)
+	Index    int // index instruction (-1 unless universal)
+	// Branch is the mis-speculating branch (PHT); Store/Load the bypass
+	// pair (STL); unused fields are -1.
+	Branch int
+	Store  int
+	Load   int
+	// TransientTransmit / TransientAccess report whether the witness
+	// executes those instructions transiently.
+	TransientTransmit bool
+	TransientAccess   bool
+	// Line is the source line of the transmitter.
+	Line int
+}
+
+func (f Finding) String() string {
+	s := fmt.Sprintf("%s: %s transmitter at node %d (line %d)", f.Fn, f.Class, f.Transmit, f.Line)
+	if f.Branch >= 0 {
+		s += fmt.Sprintf(", speculation primitive: branch %d", f.Branch)
+	}
+	if f.Store >= 0 {
+		s += fmt.Sprintf(", bypassed store %d → stale load %d", f.Store, f.Load)
+	}
+	return s
+}
+
+// Result aggregates one function's analysis.
+type Result struct {
+	Fn        string
+	Findings  []Finding
+	NodeCount int // S-AEG size (Fig. 8's x-axis)
+	Duration  time.Duration
+	Queries   int
+	TimedOut  bool
+	// Graph and AEG are retained for witness rendering and repair.
+	Graph *acfg.Graph
+	AEG   *aeg.AEG
+}
+
+// Counts tallies findings by class, one count per static transmitter.
+func (r *Result) Counts() map[core.Class]int {
+	m := map[core.Class]int{}
+	seen := map[[2]int]bool{}
+	for _, f := range r.Findings {
+		k := [2]int{f.Transmit, int(f.Class)}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		m[f.Class]++
+	}
+	return m
+}
+
+// AnalyzeFunc runs one engine over one function.
+func AnalyzeFunc(m *ir.Module, fn string, cfg Config) (*Result, error) {
+	start := time.Now()
+	g, err := acfg.Build(m, fn, cfg.ACFG)
+	if err != nil {
+		return nil, err
+	}
+	al := alias.Analyze(g)
+	ta := taint.Analyze(g, al)
+	a := aeg.Build(g, al, cfg.AEG)
+
+	d := &detector{
+		cfg: cfg, g: g, al: al, ta: ta, a: a, start: start,
+		res:      &Result{Fn: fn, NodeCount: g.Len(), Graph: g, AEG: a},
+		cfgReach: cfgReachability(g),
+	}
+	d.flow = buildFlowGraph(g, al, d.cfgReach)
+	d.run()
+	d.res.Duration = time.Since(start)
+	return d.res, nil
+}
+
+type detector struct {
+	cfg        Config
+	g          *acfg.Graph
+	al         *alias.Analysis
+	ta         *taint.Analysis
+	a          *aeg.AEG
+	flow       *flowGraph
+	res        *Result
+	start      time.Time
+	cfgReach   func(from, to int) bool
+	flows      map[int]reachInfo
+	dists      map[int]map[int]int  // BFS distance maps, per source
+	fenceOK    map[int]map[int]bool // fence-free reachability, per source
+	feedsCache map[int][]indexEdge
+	allLoads   []*acfg.Node
+}
+
+// cfgReachability precomputes DAG reachability as bitsets.
+func cfgReachability(g *acfg.Graph) func(from, to int) bool {
+	n := g.Len()
+	words := (n + 63) / 64
+	reach := make([][]uint64, n)
+	topo := g.Topo()
+	for i := len(topo) - 1; i >= 0; i-- {
+		id := topo[i]
+		row := make([]uint64, words)
+		row[id/64] |= 1 << (uint(id) % 64)
+		for _, s := range g.Succs(id) {
+			for w, bits := range reach[s] {
+				row[w] |= bits
+			}
+		}
+		reach[id] = row
+	}
+	return func(from, to int) bool {
+		if from == to {
+			return false
+		}
+		return reach[from][to/64]&(1<<(uint(to)%64)) != 0
+	}
+}
+
+func (d *detector) flowFrom(n int) reachInfo {
+	if d.flows == nil {
+		d.flows = map[int]reachInfo{}
+	}
+	if r, ok := d.flows[n]; ok {
+		return r
+	}
+	r := d.flow.from(n)
+	d.flows[n] = r
+	return r
+}
+
+func (d *detector) wantClass(c core.Class) bool {
+	if len(d.cfg.Transmitters) == 0 {
+		return c == core.DT || c == core.CT || c == core.UDT || c == core.UCT
+	}
+	for _, w := range d.cfg.Transmitters {
+		if w == c {
+			return true
+		}
+	}
+	return false
+}
+
+func (d *detector) outOfBudget() bool {
+	if d.cfg.Timeout > 0 && time.Since(d.start) > d.cfg.Timeout {
+		d.res.TimedOut = true
+		return true
+	}
+	if d.cfg.MaxQueries > 0 && d.res.Queries >= d.cfg.MaxQueries {
+		return true
+	}
+	return false
+}
+
+func (d *detector) memoryNodes() []*acfg.Node {
+	var out []*acfg.Node
+	for _, n := range d.g.Nodes {
+		if n.IsLoad() || n.IsStore() || n.Kind == acfg.NHavoc {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func (d *detector) loads() []*acfg.Node {
+	var out []*acfg.Node
+	for _, n := range d.g.Nodes {
+		if n.IsLoad() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func (d *detector) query(assumptions ...*smt.Expr) bool {
+	if d.outOfBudget() {
+		return false
+	}
+	d.res.Queries++
+	return d.a.Check(assumptions...) == sat.Sat
+}
+
+func (d *detector) run() {
+	switch d.cfg.Engine {
+	case PHT:
+		d.runPHT()
+	case STL:
+		d.runSTL()
+	}
+	sort.Slice(d.res.Findings, func(i, j int) bool {
+		a, b := d.res.Findings[i], d.res.Findings[j]
+		if a.Class.Rank() != b.Class.Rank() {
+			return a.Class.Rank() > b.Class.Rank()
+		}
+		return a.Transmit < b.Transmit
+	})
+}
+
+// steering precomputes, per access load, the memory nodes whose address it
+// steers (the addr edges of Table 1). The reverse direction — the index
+// loads steering an access's address — is computed lazily by feedsOf.
+type steering struct {
+	// steers[acc] = transmitters whose address acc's value reaches
+	steers map[int][]int
+}
+
+type indexEdge struct {
+	idx int
+	gep bool
+}
+
+// feedsOf returns the index loads steering node acc's address (with the
+// addr_gep flag), cached per access.
+func (d *detector) feedsOf(accID int) []indexEdge {
+	if d.feedsCache == nil {
+		d.feedsCache = map[int][]indexEdge{}
+	}
+	if es, ok := d.feedsCache[accID]; ok {
+		return es
+	}
+	acc := d.g.Nodes[accID]
+	var out []indexEdge
+	for _, idx := range d.allLoads {
+		if idx.ID == accID {
+			continue
+		}
+		r := d.flowFrom(idx.ID)
+		if ok, gep := flowsToAddr(r, acc); ok {
+			out = append(out, indexEdge{idx: idx.ID, gep: gep})
+		}
+	}
+	d.feedsCache[accID] = out
+	return out
+}
+
+func (d *detector) computeSteering(loads []*acfg.Node, mems []*acfg.Node) steering {
+	s := steering{steers: map[int][]int{}}
+	for _, acc := range loads {
+		r := d.flowFrom(acc.ID)
+		for _, t := range mems {
+			if t.ID == acc.ID {
+				continue
+			}
+			if ok, _ := flowsToAddr(r, t); ok {
+				s.steers[acc.ID] = append(s.steers[acc.ID], t.ID)
+			}
+		}
+	}
+	return s
+}
+
+// runPHT searches for transmitters steered through control-flow
+// mis-speculation: the rf-NI violation shape where a branch window makes
+// the transmitter execute transiently, leaking its data-dependent address
+// into xstate an observer probes.
+func (d *detector) runPHT() {
+	mems := d.memoryNodes()
+	loads := d.loads()
+	d.allLoads = loads
+	st := d.computeSteering(loads, mems)
+	seen := map[string]bool{}
+	branches := d.a.Branches()
+	sort.Ints(branches)
+
+	// Universal data transmitters.
+	if d.wantClass(core.UDT) {
+		for accID, ts := range st.steers {
+			if d.outOfBudget() {
+				return
+			}
+			if d.cfg.RequireTaint && !d.ta.AddressControlled(d.g.Nodes[accID]) {
+				continue
+			}
+			for _, e := range d.feedsOf(accID) {
+				if d.cfg.RequireGEP && !e.gep {
+					continue
+				}
+				for _, tID := range ts {
+					key := fmt.Sprintf("udt|%d|%d", tID, accID)
+					if seen[key] {
+						continue
+					}
+					for _, b := range branches {
+						if !d.a.InWindow(b, tID) || !d.a.InWindow(b, accID) {
+							continue
+						}
+						if d.query(d.a.Misspec(b), d.a.TransUnder(b, tID), d.a.TransUnder(b, accID), d.a.ExecUnder(b, e.idx)) {
+							seen[key] = true
+							d.res.Findings = append(d.res.Findings, Finding{
+								Fn: d.res.Fn, Class: core.UDT,
+								Transmit: tID, Access: accID, Index: e.idx,
+								Branch: b, Store: -1, Load: -1,
+								TransientTransmit: true, TransientAccess: true,
+								Line: line(d.g.Nodes[tID]),
+							})
+							break
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Data transmitters (non-universal or committed-access patterns).
+	if d.wantClass(core.DT) {
+		for accID, ts := range st.steers {
+			if d.outOfBudget() {
+				return
+			}
+			for _, tID := range ts {
+				if seen[fmt.Sprintf("udt|%d|%d", tID, accID)] {
+					continue // already reported at higher severity
+				}
+				key := fmt.Sprintf("dt|%d|%d", tID, accID)
+				if seen[key] {
+					continue
+				}
+				for _, b := range branches {
+					if !d.a.InWindow(b, tID) {
+						continue
+					}
+					if d.query(d.a.Misspec(b), d.a.TransUnder(b, tID), d.a.ExecUnder(b, accID)) {
+						seen[key] = true
+						d.res.Findings = append(d.res.Findings, Finding{
+							Fn: d.res.Fn, Class: core.DT,
+							Transmit: tID, Access: accID, Index: -1,
+							Branch: b, Store: -1, Load: -1,
+							TransientTransmit: true,
+							TransientAccess:   d.a.InWindow(b, accID),
+							Line:              line(d.g.Nodes[tID]),
+						})
+						break
+					}
+				}
+			}
+		}
+	}
+
+	// Control patterns: the branch condition reads an access load; any
+	// memory node transient under the branch transmits its outcome.
+	if d.wantClass(core.CT) || d.wantClass(core.UCT) {
+		d.controlPatterns(st, mems, loads, branches, seen)
+	}
+}
+
+// condFeeders returns the loads whose values feed branch c's condition.
+func (d *detector) condFeeders(c int, loads []*acfg.Node) []int {
+	cn := d.g.Nodes[c]
+	if len(cn.ArgDefs) == 0 {
+		return nil
+	}
+	var accs []int
+	for _, acc := range loads {
+		r := d.flowFrom(acc.ID)
+		for _, condDef := range cn.ArgDefs[0] {
+			if ok, _ := r.reaches(condDef); ok {
+				accs = append(accs, acc.ID)
+				break
+			}
+		}
+	}
+	return accs
+}
+
+func (d *detector) controlPatterns(st steering, mems, loads []*acfg.Node, branches []int, seen map[string]bool) {
+	// Universal control transmitters require the nested shape: an outer
+	// branch b opens the window; inside it, a transient access (whose
+	// address the index steers via addr_gep) feeds an inner branch c; any
+	// memory node transient under b whose execution c controls transmits
+	// the secret-dependent outcome (Table 1, §6.2.1).
+	if d.wantClass(core.UCT) {
+		for _, b := range branches {
+			if d.outOfBudget() {
+				return
+			}
+			for _, c := range branches {
+				if c == b || !d.a.InWindow(b, c) {
+					continue
+				}
+				for _, accID := range d.condFeeders(c, loads) {
+					if !d.a.InWindow(b, accID) {
+						continue
+					}
+					if d.cfg.RequireTaint && !d.ta.AddressControlled(d.g.Nodes[accID]) {
+						continue
+					}
+					for _, e := range d.feedsOf(accID) {
+						if d.cfg.RequireGEP && !e.gep {
+							continue
+						}
+						for _, t := range mems {
+							if !d.a.InWindow(b, t.ID) || !d.cfgReach(c, t.ID) {
+								continue
+							}
+							key := fmt.Sprintf("uct|%d|%d", t.ID, accID)
+							if seen[key] {
+								continue
+							}
+							if d.query(d.a.Misspec(b), d.a.TransUnder(b, t.ID), d.a.TransUnder(b, accID), d.a.TransUnder(b, c), d.a.ExecUnder(b, e.idx)) {
+								seen[key] = true
+								d.res.Findings = append(d.res.Findings, Finding{
+									Fn: d.res.Fn, Class: core.UCT,
+									Transmit: t.ID, Access: accID, Index: e.idx,
+									Branch: b, Store: -1, Load: -1,
+									TransientTransmit: true, TransientAccess: true,
+									Line: line(t),
+								})
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if !d.wantClass(core.CT) {
+		return
+	}
+	for _, b := range branches {
+		if d.outOfBudget() {
+			return
+		}
+		accs := d.condFeeders(b, loads)
+		if len(accs) == 0 {
+			continue
+		}
+		for _, t := range mems {
+			if !d.a.InWindow(b, t.ID) {
+				continue
+			}
+			for _, accID := range accs {
+				if seen[fmt.Sprintf("uct|%d|%d", t.ID, accID)] {
+					continue
+				}
+				key := fmt.Sprintf("ct|%d|%d", t.ID, accID)
+				if seen[key] {
+					continue
+				}
+				if d.query(d.a.Misspec(b), d.a.TransUnder(b, t.ID), d.a.ExecUnder(b, accID)) {
+					seen[key] = true
+					d.res.Findings = append(d.res.Findings, Finding{
+						Fn: d.res.Fn, Class: core.CT,
+						Transmit: t.ID, Access: accID, Index: -1,
+						Branch: b, Store: -1, Load: -1,
+						TransientTransmit: true,
+						Line:              line(t),
+					})
+				}
+			}
+		}
+	}
+}
+
+// runSTL searches for transmitters steered by store-to-load forwarding
+// past an unresolved store (§5.3): a load l bypasses a may-aliasing
+// po-earlier store s within the LSQ bound, returning stale
+// attacker-controlled data that steers a later transmitter.
+func (d *detector) runSTL() {
+	mems := d.memoryNodes()
+	loads := d.loads()
+	seen := map[string]bool{}
+
+	var stores []*acfg.Node
+	for _, n := range d.g.Nodes {
+		if n.IsStore() {
+			stores = append(stores, n)
+		}
+	}
+
+	// Bypassable (store, load) pairs.
+	type pair struct{ s, l int }
+	var pairs []pair
+	for _, s := range stores {
+		for _, l := range loads {
+			if !d.cfgReach(s.ID, l.ID) {
+				continue
+			}
+			if !d.al.MayAliasTransient(s, l) {
+				continue
+			}
+			if dist := d.minDist(s.ID, l.ID); dist < 0 || dist > d.a.Opts.LSQ {
+				continue
+			}
+			pairs = append(pairs, pair{s.ID, l.ID})
+		}
+	}
+
+	for _, p := range pairs {
+		if d.outOfBudget() {
+			return
+		}
+		l := d.g.Nodes[p.l]
+		r := d.flowFrom(p.l)
+		for _, t := range mems {
+			if t.ID == p.l || !d.cfgReach(p.l, t.ID) {
+				continue
+			}
+			if dist := d.minDist(p.l, t.ID); dist < 0 || dist > d.a.Opts.Wsize {
+				continue
+			}
+			hits, _ := flowsToAddr(r, t)
+			if !hits {
+				continue
+			}
+			if d.fenceBetween(p.s, t.ID) {
+				continue
+			}
+			class := core.UDT
+			if d.cfg.RequireTaint && !staleControlled(l) {
+				class = core.DT
+			}
+			if !d.wantClass(class) {
+				continue
+			}
+			key := fmt.Sprintf("stl|%d|%d|%d", p.s, p.l, t.ID)
+			if seen[key] {
+				continue
+			}
+			if d.query(d.a.Arch(p.s), d.a.Arch(p.l), d.a.Exec(t.ID)) {
+				seen[key] = true
+				d.res.Findings = append(d.res.Findings, Finding{
+					Fn: d.res.Fn, Class: class,
+					Transmit: t.ID, Access: p.l, Index: -1,
+					Branch: -1, Store: p.s, Load: p.l,
+					TransientTransmit: true, TransientAccess: true,
+					Line: line(t),
+				})
+			}
+		}
+	}
+}
+
+// staleControlled reports whether the stale value a bypassing load returns
+// may be attacker-controlled: non-pointer memory is attacker-controlled
+// initially, and stale pointers may also carry attacker values (§5.3).
+func staleControlled(l *acfg.Node) bool {
+	return ir.IsInt(l.Instr.Ty) || ir.IsPtr(l.Instr.Ty)
+}
+
+// minDist returns the minimum path length between two DAG nodes (-1 if
+// unreachable). Distance maps are cached per source.
+func (d *detector) minDist(from, to int) int {
+	if from == to {
+		return 0
+	}
+	if d.dists == nil {
+		d.dists = map[int]map[int]int{}
+	}
+	dist, ok := d.dists[from]
+	if !ok {
+		dist = map[int]int{from: 0}
+		depth := 0
+		frontier := []int{from}
+		for len(frontier) > 0 {
+			depth++
+			var next []int
+			for _, n := range frontier {
+				for _, s := range d.g.Succs(n) {
+					if _, seen := dist[s]; !seen {
+						dist[s] = depth
+						next = append(next, s)
+					}
+				}
+			}
+			frontier = next
+		}
+		d.dists[from] = dist
+	}
+	if v, ok := dist[to]; ok {
+		return v
+	}
+	return -1
+}
+
+// fenceBetween reports whether every path from a to b crosses an lfence.
+// Fence-free reachability sets are cached per source.
+func (d *detector) fenceBetween(a, b int) bool {
+	if d.fenceOK == nil {
+		d.fenceOK = map[int]map[int]bool{}
+	}
+	reach, ok := d.fenceOK[a]
+	if !ok {
+		reach = map[int]bool{a: true}
+		frontier := []int{a}
+		for len(frontier) > 0 {
+			var next []int
+			for _, n := range frontier {
+				for _, s := range d.g.Succs(n) {
+					if reach[s] {
+						continue
+					}
+					sn := d.g.Nodes[s]
+					if sn.IsFence() && sn.Instr.Sub == "lfence" {
+						continue
+					}
+					reach[s] = true
+					next = append(next, s)
+				}
+			}
+			frontier = next
+		}
+		d.fenceOK[a] = reach
+	}
+	return !reach[b]
+}
+
+func line(n *acfg.Node) int {
+	if n.Instr != nil {
+		return n.Instr.Line
+	}
+	return 0
+}

@@ -1,0 +1,162 @@
+// Package detect implements Clou's leakage detection engines (§5.3):
+// Clou-pht searches for transmitters reachable through control-flow
+// mis-speculation (Spectre v1/v1.1), Clou-stl for transmitters steered by
+// store-to-load bypass (Spectre v4). Both look for violations of the
+// rf-non-interference predicate of §4.1 — a transient or stale-valued
+// access whose value steers the address of a later memory access — and
+// classify the result per the Table 1 taxonomy, with Clou's addr_gep and
+// taint filters.
+package detect
+
+import (
+	"lcm/internal/acfg"
+	"lcm/internal/alias"
+	"lcm/internal/ir"
+)
+
+// flowGraph materializes the (data.rf)* value-flow relation of §5.3 over
+// the A-CFG: direct def-use edges through value-producing instructions,
+// plus store→load edges through may-aliasing memory (the data.rf hops —
+// at -O0 every spill/reload is one). A load's address operand is *not* a
+// value edge: value used as an address is an addr dependency, the pattern
+// boundary of Table 1, not a link inside a chain.
+type flowGraph struct {
+	g *acfg.Graph
+	// succ[n] lists value-flow successors; gepIndex marks hops entering a
+	// GEP through its index operand (the addr_gep signal of §5.2).
+	succ map[int][]flowEdge
+}
+
+type flowEdge struct {
+	to       int
+	gepIndex bool
+}
+
+func buildFlowGraph(g *acfg.Graph, al *alias.Analysis, cfgReach func(from, to int) bool) *flowGraph {
+	f := &flowGraph{g: g, succ: map[int][]flowEdge{}}
+	for _, n := range g.Nodes {
+		if n.Instr == nil {
+			continue
+		}
+		switch {
+		case n.Kind == acfg.NHavoc:
+			// Arguments flow into the havoc result.
+			for _, defs := range n.ArgDefs {
+				for _, d := range defs {
+					f.succ[d] = append(f.succ[d], flowEdge{to: n.ID})
+				}
+			}
+		case n.IsLoad():
+			// no value edges in: the loaded value comes from memory
+		case n.IsStore():
+			for _, d := range n.ArgDefs[0] { // stored value only
+				f.succ[d] = append(f.succ[d], flowEdge{to: n.ID})
+			}
+		case n.Kind == acfg.NInstr:
+			switch n.Instr.Op {
+			case ir.OpBin, ir.OpCmp, ir.OpCast, ir.OpGEP, ir.OpFieldGEP:
+				for i, defs := range n.ArgDefs {
+					gep := n.Instr.Op == ir.OpGEP && i == 1
+					for _, d := range defs {
+						f.succ[d] = append(f.succ[d], flowEdge{to: n.ID, gepIndex: gep})
+					}
+				}
+			}
+		}
+	}
+	// data.rf hops: store s → load l when they may address the same
+	// location and s can reach l.
+	var stores, loads []*acfg.Node
+	for _, n := range g.Nodes {
+		if n.IsStore() {
+			stores = append(stores, n)
+		}
+		if n.IsLoad() {
+			loads = append(loads, n)
+		}
+	}
+	for _, s := range stores {
+		for _, l := range loads {
+			if al.MayAlias(s, l) && cfgReach(s.ID, l.ID) {
+				f.succ[s.ID] = append(f.succ[s.ID], flowEdge{to: l.ID})
+			}
+		}
+	}
+	return f
+}
+
+// reachInfo records value-flow reachability from one source.
+type reachInfo struct {
+	reached map[int]bool // node is reachable
+	viaGep  map[int]bool // some reaching path crosses a gep index hop
+}
+
+func (f *flowGraph) from(src int) reachInfo {
+	info := reachInfo{reached: map[int]bool{}, viaGep: map[int]bool{}}
+	type st struct {
+		n   int
+		gep bool
+	}
+	stack := []st{{src, false}}
+	seen := map[st]bool{}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[cur] {
+			continue
+		}
+		seen[cur] = true
+		info.reached[cur.n] = true
+		if cur.gep {
+			info.viaGep[cur.n] = true
+		}
+		for _, e := range f.succ[cur.n] {
+			stack = append(stack, st{e.to, cur.gep || e.gepIndex})
+		}
+	}
+	return info
+}
+
+// reaches reports whether the source's value reaches node dst, and whether
+// some reaching path crosses a gep index.
+func (r reachInfo) reaches(dst int) (ok, viaGEPIndex bool) {
+	return r.reached[dst], r.viaGep[dst]
+}
+
+// addrDefs returns the defining nodes of a memory node's address operand
+// (all pointer operands for havoc calls).
+func addrDefs(n *acfg.Node) []int {
+	switch {
+	case n.IsLoad():
+		if len(n.ArgDefs) > 0 {
+			return n.ArgDefs[0]
+		}
+	case n.IsStore():
+		if len(n.ArgDefs) > 1 {
+			return n.ArgDefs[1]
+		}
+	case n.Kind == acfg.NHavoc:
+		var out []int
+		for i, a := range n.Instr.Args {
+			if ir.IsPtr(a.Type()) && i < len(n.ArgDefs) {
+				out = append(out, n.ArgDefs[i]...)
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// flowsToAddr reports whether the source value (summarized by r) steers
+// dst's address, and whether the chain crosses a gep index hop.
+func flowsToAddr(r reachInfo, dst *acfg.Node) (ok, viaGEP bool) {
+	for _, d := range addrDefs(dst) {
+		if hit, gep := r.reaches(d); hit {
+			if gep {
+				return true, true
+			}
+			ok = true
+		}
+	}
+	return ok, false
+}

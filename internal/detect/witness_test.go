@@ -1,0 +1,85 @@
+package detect
+
+import (
+	"strings"
+	"testing"
+
+	"lcm/internal/core"
+	"lcm/internal/dot"
+	"lcm/internal/event"
+)
+
+func TestWitnessSpectreV1(t *testing.T) {
+	r := analyze(t, spectreV1Src, "victim", DefaultPHT())
+	var udt *Finding
+	for i := range r.Findings {
+		if r.Findings[i].Class == core.UDT {
+			udt = &r.Findings[i]
+		}
+	}
+	if udt == nil {
+		t.Fatal("no UDT")
+	}
+	g, err := Witness(r, *udt)
+	if err != nil {
+		t.Fatalf("witness: %v", err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("witness invalid: %v", err)
+	}
+	// The witness must contain transient events (the mis-speculated body)
+	// and an observer.
+	if g.TransientEvents().Len() == 0 {
+		t.Error("witness has no transient events")
+	}
+	if len(g.Bottoms()) != 1 {
+		t.Error("witness has no observer")
+	}
+	// The culprit rfx into ⊥ is present, and the LCM core flags it.
+	vs := core.CheckNonInterference(g)
+	if len(vs) == 0 {
+		t.Error("witness execution not flagged by the NI predicates")
+	}
+	// DOT rendering mentions the key edge kinds.
+	d := dot.Graph(g, "spectre-v1-witness")
+	for _, want := range []string{"digraph", "rfx", "addr", "⊥", "style=dashed"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("dot output missing %q", want)
+		}
+	}
+}
+
+func TestWitnessSTL(t *testing.T) {
+	r := analyze(t, `
+		uint8_t A[16];
+		uint8_t B[131072];
+		uint8_t tmp;
+		uint32_t idx_slot;
+		void victim(uint32_t idx) {
+			idx_slot = idx & 15;
+			uint8_t x = A[idx_slot];
+			tmp &= B[x * 512];
+		}
+	`, "victim", DefaultSTL())
+	if len(r.Findings) == 0 {
+		t.Fatal("no findings")
+	}
+	g, err := Witness(r, r.Findings[0])
+	if err != nil {
+		t.Fatalf("witness: %v", err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("invalid witness: %v", err)
+	}
+	// Store bypass witness is an architectural path (with the bypass
+	// modeled at the xstate level); all memory events present.
+	reads := 0
+	for _, e := range g.Events {
+		if e.Kind == event.KRead {
+			reads++
+		}
+	}
+	if reads == 0 {
+		t.Error("no reads in witness")
+	}
+}

@@ -1,0 +1,124 @@
+// Package dot renders event graphs and A-CFGs in Graphviz DOT form,
+// reproducing the visual conventions of the paper's figures: po/tfo edges
+// solid, dependency edges gray, com edges labeled, comx edges dashed when
+// they deviate from architectural expectation.
+package dot
+
+import (
+	"fmt"
+	"strings"
+
+	"lcm/internal/acfg"
+	"lcm/internal/event"
+	"lcm/internal/relation"
+)
+
+// Graph renders a candidate execution as DOT.
+func Graph(g *event.Graph, title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n", title)
+	for _, e := range g.Events {
+		attrs := ""
+		switch {
+		case e.Kind == event.KTop:
+			attrs = `, shape=circle, label="⊤"`
+		case e.Kind == event.KBottom:
+			attrs = `, shape=circle, label="⊥"`
+		case e.Transient:
+			attrs = ", style=dashed"
+		case e.Prefetch:
+			attrs = ", style=dotted"
+		}
+		if attrs == "" || e.Kind == event.KTop || e.Kind == event.KBottom {
+			fmt.Fprintf(&b, "  n%d [label=%q%s];\n", e.ID, nodeLabel(e), attrs)
+		} else {
+			fmt.Fprintf(&b, "  n%d [label=%q%s];\n", e.ID, nodeLabel(e), attrs)
+		}
+	}
+	edges := func(r *relation.Relation, label, attrs string) {
+		for _, p := range reduce(r).Pairs() {
+			fmt.Fprintf(&b, "  n%d -> n%d [label=%q%s];\n", p.From, p.To, label, attrs)
+		}
+	}
+	edges(g.PO, "po", "")
+	edges(g.TFO.Diff(g.PO), "tfo", ", color=gray40")
+	edges(g.Addr, "addr", ", color=gray60, fontcolor=gray40")
+	edges(g.Data, "data", ", color=gray60, fontcolor=gray40")
+	edges(g.Ctrl, "ctrl", ", color=gray80, fontcolor=gray60")
+	// com edges lacking consistent comx edges are the paper's dashed
+	// "culprit" edges (§3.2.3).
+	for _, p := range g.RF.Pairs() {
+		style := ""
+		if !g.RFX.Has(p.From, p.To) {
+			style = ", style=dashed, color=red"
+		}
+		fmt.Fprintf(&b, "  n%d -> n%d [label=\"rf\"%s];\n", p.From, p.To, style)
+	}
+	// The observer's implicit ⊤ rf→ ⊥ edge (Fig. 2a draws it): dashed when
+	// ⊥ microarchitecturally reads from a program event instead of ⊤.
+	if tops := g.Tops(); len(tops) == 1 {
+		top := tops[0].ID
+		for _, bot := range g.Bottoms() {
+			deviates := false
+			for _, p := range g.RFX.Pairs() {
+				if p.To == bot.ID && p.From != top {
+					deviates = true
+				}
+			}
+			if deviates && !g.RFX.Has(top, bot.ID) {
+				fmt.Fprintf(&b, "  n%d -> n%d [label=\"rf\", style=dashed, color=red];\n", top, bot.ID)
+			}
+		}
+	}
+	edges(g.CO, "co", ", color=blue")
+	edges(g.RFX, "rfx", ", color=darkgreen")
+	edges(g.COX, "cox", ", color=purple")
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func nodeLabel(e *event.Event) string {
+	if e.Label != "" {
+		return fmt.Sprintf("%d: %s", e.ID, e.Label)
+	}
+	return e.String()
+}
+
+// reduce performs a transitive reduction for readability: drop pairs
+// implied by two-step paths (the stored po/tfo are transitive closures).
+func reduce(r *relation.Relation) *relation.Relation {
+	out := r.Clone()
+	for _, p := range r.Pairs() {
+		for _, q := range r.Pairs() {
+			if p.To == q.From && r.Has(p.From, q.To) && p.From != q.To {
+				out.Remove(p.From, q.To)
+			}
+		}
+	}
+	return out
+}
+
+// ACFG renders an abstract CFG as DOT.
+func ACFG(g *acfg.Graph, title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  node [shape=box, fontname=\"monospace\"];\n", title)
+	for _, n := range g.Nodes {
+		shape := ""
+		switch {
+		case n.Kind == acfg.NEntry || n.Kind == acfg.NExit:
+			shape = ", shape=circle"
+		case n.IsBranch():
+			shape = ", shape=diamond"
+		case n.Kind == acfg.NHavoc:
+			shape = ", style=dotted"
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q%s];\n", n.ID, n.String(), shape)
+	}
+	for _, n := range g.Nodes {
+		for _, s := range g.Succs(n.ID) {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", n.ID, s)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

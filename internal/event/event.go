@@ -1,0 +1,145 @@
+// Package event implements the axiomatic vocabulary shared by memory
+// consistency models (MCMs) and leakage containment models (LCMs): event
+// structures, candidate executions, and the relations of §2.1 and §3.2 of
+// "Axiomatic Hardware-Software Contracts for Security" (ISCA 2022) —
+// po, tfo, addr/data/ctrl dependencies, the architectural communication
+// relations rf/co/fr, and their microarchitectural liftings rfx/cox/frx
+// over extra-architectural state (xstate).
+package event
+
+import "fmt"
+
+// Kind classifies an event.
+type Kind int
+
+// Event kinds. Top (⊤) stands for the set of initialization writes of all
+// architectural and microarchitectural state; Bottom (⊥) stands for an
+// observer access probing final state after the program runs (§3.2). Branch
+// and Fence events never access memory but participate in po/tfo/ctrl.
+const (
+	KRead Kind = iota
+	KWrite
+	KBranch
+	KFence
+	KSkip
+	KTop
+	KBottom
+)
+
+var kindNames = [...]string{"R", "W", "BR", "F", "skip", "⊤", "⊥"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Location is an architectural memory location (a symbolic address).
+type Location string
+
+// XSID identifies an xstate element — an abstract bundle of the core-private
+// cache line and LSQ entry accessed on behalf of a memory instruction
+// (§3.2.1). XNone marks events that touch no xstate.
+type XSID int
+
+// XNone marks events with no xstate access.
+const XNone XSID = -1
+
+// XAccess is the mode in which an event accesses its xstate element.
+type XAccess int
+
+// xstate access modes, per §3.2.1: a read hit microarchitecturally reads
+// xstate (XR); a read miss and any write read-modify-write it (XRW). A
+// silent store (§4.2) degrades a write's access from XRW to XR. XNoAccess
+// is for events with no xstate (branches, fences).
+const (
+	XNoAccess XAccess = iota
+	XR                // microarchitectural read (cache hit / LSQ forward)
+	XRW               // microarchitectural read-modify-write (miss / write)
+)
+
+func (a XAccess) String() string {
+	switch a {
+	case XR:
+		return "R"
+	case XRW:
+		return "RW"
+	default:
+		return "-"
+	}
+}
+
+// Event is one node of an event structure or candidate execution.
+type Event struct {
+	ID     int
+	Kind   Kind
+	Thread int
+	// Loc is the architectural location accessed (Read/Write only). The
+	// address relation of §2.1.1 is the map Event→Loc induced by this field.
+	Loc Location
+	// XState is the xstate element this event accesses, and XAcc how.
+	// Top events implicitly initialize every xstate element; Bottom events
+	// observe every xstate element.
+	XState XSID
+	XAcc   XAccess
+	// Transient marks events ordered by tfo but not po — instructions that
+	// are fetched and squashed (§3.3). Top/Bottom are never transient.
+	Transient bool
+	// Prefetch marks non-architectural prefetcher events (Fig. 5b). They
+	// participate in tfo and comx but not in po or com.
+	Prefetch bool
+	// Label is a human-readable rendering, e.g. "R A+r2 → r4".
+	Label string
+}
+
+// IsMemory reports whether e is an architectural memory event (Read/Write,
+// not Top/Bottom/prefetch).
+func (e *Event) IsMemory() bool {
+	return (e.Kind == KRead || e.Kind == KWrite) && !e.Prefetch
+}
+
+// IsRead reports whether e is a Read memory event (including prefetch reads).
+func (e *Event) IsRead() bool { return e.Kind == KRead }
+
+// IsWrite reports whether e is a Write memory event.
+func (e *Event) IsWrite() bool { return e.Kind == KWrite }
+
+// Committed reports whether e commits architecturally: not transient and
+// not a prefetch. Top and Bottom count as committed brackets.
+func (e *Event) Committed() bool { return !e.Transient && !e.Prefetch }
+
+// AccessesX reports whether e accesses any xstate element.
+func (e *Event) AccessesX() bool { return e.XState != XNone && e.XAcc != XNoAccess }
+
+// WritesX reports whether e microarchitecturally writes its xstate element
+// (a read-modify-write access). Top writes all xstate.
+func (e *Event) WritesX() bool { return e.Kind == KTop || (e.AccessesX() && e.XAcc == XRW) }
+
+// ReadsX reports whether e microarchitecturally reads xstate. Bottom reads
+// all xstate.
+func (e *Event) ReadsX() bool { return e.Kind == KBottom || e.AccessesX() }
+
+func (e *Event) String() string {
+	if e.Label != "" {
+		return fmt.Sprintf("%d: %s", e.ID, e.Label)
+	}
+	tag := ""
+	if e.Transient {
+		tag = "ₛ"
+	}
+	if e.Prefetch {
+		tag = "ₚ"
+	}
+	switch e.Kind {
+	case KRead, KWrite:
+		if e.XState != XNone {
+			return fmt.Sprintf("%d: %s%s %s (%s s%d)", e.ID, e.Kind, tag, e.Loc, e.XAcc, e.XState)
+		}
+		return fmt.Sprintf("%d: %s%s %s", e.ID, e.Kind, tag, e.Loc)
+	case KTop, KBottom:
+		return fmt.Sprintf("%d: %s", e.ID, e.Kind)
+	default:
+		return fmt.Sprintf("%d: %s%s", e.ID, e.Kind, tag)
+	}
+}

@@ -1,0 +1,348 @@
+package event
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildSpectreV1Taken reconstructs the taken-path candidate execution of
+// Fig. 1d extended with the microarchitectural semantics of Fig. 2a.
+func buildSpectreV1Taken(t *testing.T) (*Builder, map[string]*Event) {
+	t.Helper()
+	b := NewBuilder()
+	s0, s1, s2 := b.FreshX(), b.FreshX(), b.FreshX()
+	top := b.Top()
+
+	e2 := b.Read(0, "y", s0, XRW, "R y (RW s0) → r2")
+	e5 := b.Read(0, "A+r2", s1, XRW, "R A+r2 (RW s1) → r4")
+	e6 := b.Read(0, "B+r4", s2, XRW, "R B+r4 (RW s2) → r5")
+	bot := b.Bottom(0)
+
+	b.AddrDep(e2, e5, true)
+	b.AddrDep(e5, e6, true)
+
+	b.RF(top, e2)
+	b.RF(top, e5)
+	b.RF(top, e6)
+
+	b.RFX(top, e2)
+	b.RFX(e2, bot) // observer probes s0 populated by e2
+	b.RFX(e5, bot)
+	b.RFX(e6, bot)
+
+	return b, map[string]*Event{"top": top, "2": e2, "5": e5, "6": e6, "bot": bot}
+}
+
+func TestBuilderSpectreV1Shape(t *testing.T) {
+	b, ev := buildSpectreV1Taken(t)
+	g := b.Finish()
+
+	if got := len(g.Events); got != 5 {
+		t.Fatalf("events = %d, want 5", got)
+	}
+	// po is transitive: top→2→5→6→bot plus closure pairs.
+	for _, pair := range [][2]*Event{
+		{ev["top"], ev["2"]}, {ev["2"], ev["5"]}, {ev["5"], ev["6"]},
+		{ev["top"], ev["6"]}, {ev["2"], ev["bot"]},
+	} {
+		if !g.PO.Has(pair[0].ID, pair[1].ID) {
+			t.Errorf("po missing %v→%v", pair[0].ID, pair[1].ID)
+		}
+	}
+	// po ⊆ tfo.
+	for _, p := range g.PO.Pairs() {
+		if !g.TFO.Has(p.From, p.To) {
+			t.Errorf("po pair %v missing from tfo", p)
+		}
+	}
+	if !g.Addr.Has(ev["2"].ID, ev["5"].ID) || !g.AddrGEP.Has(ev["2"].ID, ev["5"].ID) {
+		t.Error("addr/addr_gep 2→5 missing")
+	}
+	if g.RF.Len() != 3 {
+		t.Errorf("rf size = %d, want 3", g.RF.Len())
+	}
+}
+
+func TestEventPredicates(t *testing.T) {
+	b := NewBuilder()
+	x := b.FreshX()
+	top := b.Top()
+	r := b.Read(0, "x", x, XR, "")
+	w := b.Write(0, "x", x, XRW, "")
+	tr := b.TransientRead(0, "y", b.FreshX(), XRW, "")
+	pf := b.PrefetchRead(0, "z", b.FreshX(), "")
+	br := b.Branch(0, "")
+	bot := b.Bottom(0)
+
+	if !top.WritesX() || !top.Committed() {
+		t.Error("Top predicates wrong")
+	}
+	if !r.IsMemory() || !r.IsRead() || r.WritesX() || !r.ReadsX() {
+		t.Error("read-hit predicates wrong")
+	}
+	if !w.IsMemory() || !w.IsWrite() || !w.WritesX() {
+		t.Error("write predicates wrong")
+	}
+	if !tr.Transient || tr.Committed() || !tr.IsMemory() {
+		t.Error("transient predicates wrong")
+	}
+	if !pf.Prefetch || pf.IsMemory() || pf.Committed() || !pf.WritesX() {
+		t.Error("prefetch predicates wrong")
+	}
+	if br.IsMemory() || br.AccessesX() {
+		t.Error("branch predicates wrong")
+	}
+	if !bot.ReadsX() || bot.WritesX() {
+		t.Error("bottom predicates wrong")
+	}
+}
+
+func TestTransientNotInPO(t *testing.T) {
+	b := NewBuilder()
+	r1 := b.Read(0, "x", b.FreshX(), XRW, "")
+	tr := b.TransientRead(0, "y", b.FreshX(), XRW, "")
+	r2 := b.Read(0, "z", b.FreshX(), XRW, "")
+	b.RF(b.Top(), r1)
+	b.RF(b.Top(), tr)
+	b.RF(b.Top(), r2)
+	g := b.Finish()
+
+	if g.PO.Has(r1.ID, tr.ID) || g.PO.Has(tr.ID, r2.ID) {
+		t.Error("transient event appears in po")
+	}
+	// But tfo orders all three: r1 → tr → r2.
+	if !g.TFO.Has(r1.ID, tr.ID) || !g.TFO.Has(tr.ID, r2.ID) {
+		t.Error("tfo missing transient ordering")
+	}
+	// po still orders committed events across the transient window.
+	if !g.PO.Has(r1.ID, r2.ID) {
+		t.Error("po missing committed r1→r2")
+	}
+	ts := g.TransientEvents()
+	if ts.Len() != 1 || !ts.Has(tr.ID) {
+		t.Errorf("TransientEvents = %v", ts)
+	}
+}
+
+func TestFRDerivation(t *testing.T) {
+	// w' rf→ r, w' co→ w  ⟹  r fr→ w.
+	b := NewBuilder()
+	x := b.FreshX()
+	top := b.Top()
+	r := b.Read(0, "a", x, XRW, "")
+	w := b.Write(0, "a", x, XRW, "")
+	b.RF(top, r)
+	b.CO(top, w)
+	g := b.Finish()
+
+	fr := g.FR()
+	if !fr.Has(r.ID, w.ID) {
+		t.Fatalf("fr = %v, want %d→%d", fr, r.ID, w.ID)
+	}
+	com := g.Com()
+	if !com.Has(top.ID, r.ID) || !com.Has(top.ID, w.ID) || !com.Has(r.ID, w.ID) {
+		t.Errorf("com = %v", com)
+	}
+}
+
+func TestFRXDerivation(t *testing.T) {
+	b := NewBuilder()
+	x := b.FreshX()
+	top := b.Top()
+	r := b.Read(0, "a", x, XR, "")
+	w := b.Write(0, "a", x, XRW, "")
+	b.RF(top, r)
+	b.CO(top, w)
+	b.RFX(top, r)
+	b.COX(top, w)
+	g := b.Finish()
+
+	frx := g.FRX()
+	if !frx.Has(r.ID, w.ID) {
+		t.Fatalf("frx = %v", frx)
+	}
+	comx := g.ComX()
+	if !comx.Has(r.ID, w.ID) || !comx.Has(top.ID, w.ID) {
+		t.Errorf("comx = %v", comx)
+	}
+}
+
+func TestSameLocSameX(t *testing.T) {
+	b := NewBuilder()
+	x := b.FreshX()
+	top := b.Top()
+	r1 := b.Read(0, "a", x, XR, "")
+	r2 := b.Read(0, "a", b.FreshX(), XR, "")
+	r3 := b.Read(0, "b", x, XR, "")
+	bot := b.Bottom(0)
+	b.RF(top, r1)
+	b.RF(top, r2)
+	b.RF(top, r3)
+	g := b.Finish()
+
+	if !g.SameLoc(r1.ID, r2.ID) || g.SameLoc(r1.ID, r3.ID) {
+		t.Error("SameLoc wrong")
+	}
+	if !g.SameLoc(top.ID, r3.ID) {
+		t.Error("Top should match every location")
+	}
+	if !g.SameX(r1.ID, r3.ID) || g.SameX(r1.ID, r2.ID) {
+		t.Error("SameX wrong")
+	}
+	if !g.SameX(bot.ID, r2.ID) || !g.SameX(top.ID, r1.ID) {
+		t.Error("brackets should match every xstate")
+	}
+}
+
+func TestRFIvsRFE(t *testing.T) {
+	b := NewBuilder()
+	x := b.FreshX()
+	w := b.Write(0, "a", x, XRW, "")
+	r0 := b.Read(0, "a", x, XR, "")
+	r1 := b.Read(1, "a", b.FreshX(), XR, "")
+	b.RF(w, r0)
+	b.RF(w, r1)
+	b.CO(b.Top(), w)
+	g := b.Finish()
+
+	rfi, rfe := g.RFI(), g.RFE()
+	if rfi.Len() != 1 || !rfi.Has(w.ID, r0.ID) {
+		t.Errorf("rfi = %v", rfi)
+	}
+	if rfe.Len() != 1 || !rfe.Has(w.ID, r1.ID) {
+		t.Errorf("rfe = %v", rfe)
+	}
+}
+
+func TestPOLocAndTFOLoc(t *testing.T) {
+	b := NewBuilder()
+	x := b.FreshX()
+	w := b.Write(0, "a", x, XRW, "")
+	tr := b.TransientRead(0, "a", x, XR, "")
+	r := b.Read(0, "a", x, XR, "")
+	r2 := b.Read(0, "b", b.FreshX(), XR, "")
+	b.RF(w, r)
+	b.RF(w, tr)
+	b.RF(b.Top(), r2)
+	b.CO(b.Top(), w)
+	g := b.Finish()
+
+	if !g.POLoc().Has(w.ID, r.ID) || g.POLoc().Has(w.ID, r2.ID) {
+		t.Error("po_loc wrong")
+	}
+	// tfo_loc includes the transient same-address read (Spectre v4 shape).
+	if !g.TFOLoc().Has(w.ID, tr.ID) {
+		t.Error("tfo_loc should include transient same-address read")
+	}
+	if g.POLoc().Has(w.ID, tr.ID) {
+		t.Error("po_loc must not include transient events")
+	}
+}
+
+func TestValidateCatchesMalformation(t *testing.T) {
+	mk := func(mutate func(g *Graph)) error {
+		b := NewBuilder()
+		x := b.FreshX()
+		w := b.Write(0, "a", x, XRW, "")
+		r := b.Read(0, "a", x, XR, "")
+		b.RF(w, r)
+		b.CO(b.Top(), w)
+		g := b.Graph()
+		g.PO = g.PO.TransitiveClosure()
+		g.TFO = g.TFO.TransitiveClosure()
+		mutate(g)
+		return g.Validate()
+	}
+	if err := mk(func(g *Graph) {}); err != nil {
+		t.Fatalf("well-formed graph rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(g *Graph)
+	}{
+		{"rf from read", func(g *Graph) { g.RF.Add(2, 2) }},
+		{"double rf", func(g *Graph) { g.RF.Add(0, 2) }},
+		{"rf cross-location", func(g *Graph) {
+			g.Events = append(g.Events, &Event{ID: 3, Kind: KWrite, Loc: "zz"})
+			g.RF.Remove(1, 2)
+			g.RF.Add(3, 2)
+		}},
+		{"po cycle", func(g *Graph) { g.PO.Add(2, 1); g.TFO.Add(2, 1) }},
+		{"po not in tfo", func(g *Graph) { g.PO.Add(0, 0) }},
+		{"dep from write", func(g *Graph) { g.Addr.Add(1, 2) }},
+		{"addr_gep not in addr", func(g *Graph) { g.AddrGEP.Add(2, 1) }},
+		{"co cross-location", func(g *Graph) {
+			g.Events = append(g.Events, &Event{ID: 3, Kind: KWrite, Loc: "zz"})
+			g.CO.Add(1, 3)
+		}},
+		{"unknown event in rel", func(g *Graph) { g.PO.Add(0, 99); g.TFO.Add(0, 99) }},
+	}
+	for _, tc := range cases {
+		if err := mk(tc.mutate); err == nil {
+			t.Errorf("%s: Validate accepted malformed graph", tc.name)
+		}
+	}
+}
+
+func TestFinishPanicsOnMalformed(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b := NewBuilder()
+	r := b.Read(0, "a", b.FreshX(), XR, "")
+	b.g.RF.Add(r.ID, r.ID) // read as rf source: malformed
+	b.Finish()
+}
+
+func TestStringRendering(t *testing.T) {
+	b, _ := buildSpectreV1Taken(t)
+	g := b.Finish()
+	s := g.String()
+	for _, want := range []string{"⊤", "⊥", "R y (RW s0)", "po:", "rf:", "rfx:", "addr:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+	if ks := KRead.String(); ks != "R" {
+		t.Errorf("KRead.String() = %q", ks)
+	}
+	if as := XRW.String(); as != "RW" {
+		t.Errorf("XRW.String() = %q", as)
+	}
+}
+
+func TestCloneDeepCopiesRelations(t *testing.T) {
+	b, ev := buildSpectreV1Taken(t)
+	g := b.Finish()
+	c := g.Clone()
+	c.RF.Add(ev["2"].ID, ev["bot"].ID)
+	if g.RF.Has(ev["2"].ID, ev["bot"].ID) {
+		t.Error("Clone shares rf storage")
+	}
+}
+
+func TestReadsWritesSets(t *testing.T) {
+	b := NewBuilder()
+	x := b.FreshX()
+	w := b.Write(0, "a", x, XRW, "")
+	r := b.Read(0, "a", x, XR, "")
+	pf := b.PrefetchRead(0, "b", b.FreshX(), "")
+	b.RF(w, r)
+	b.CO(b.Top(), w)
+	g := b.Finish()
+
+	if rs := g.Reads(); rs.Len() != 1 || !rs.Has(r.ID) {
+		t.Errorf("Reads = %v (prefetch %d must be excluded)", rs, pf.ID)
+	}
+	if ws := g.Writes(); ws.Len() != 1 || !ws.Has(w.ID) {
+		t.Errorf("Writes = %v", ws)
+	}
+	if ms := g.MemoryEvents(); ms.Len() != 2 {
+		t.Errorf("MemoryEvents = %v", ms)
+	}
+	if len(g.Tops()) != 1 || len(g.Bottoms()) != 0 {
+		t.Error("bracket counts wrong")
+	}
+}

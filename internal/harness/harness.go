@@ -1,0 +1,235 @@
+// Package harness regenerates the paper's evaluation artifacts: the
+// Table 2 rows (runtimes and classified transmitter counts for Clou-pht /
+// Clou-stl versus the BH-style baseline, over the litmus suites and the
+// crypto-library corpus) and the Fig. 8 runtime-versus-size series.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"lcm/internal/baseline"
+	"lcm/internal/core"
+	"lcm/internal/cryptolib"
+	"lcm/internal/detect"
+	"lcm/internal/ir"
+	"lcm/internal/litmus"
+	"lcm/internal/lower"
+	"lcm/internal/minic"
+)
+
+// Row is one Table 2 row for one tool on one workload.
+type Row struct {
+	App      string
+	Tool     string
+	Time     time.Duration
+	Counts   map[core.Class]int
+	Leaks    int // baseline's flat count
+	Funcs    int
+	TimedOut int
+}
+
+// Format renders the row like Table 2: time then DT/CT/UDT/UCT counts.
+func (r Row) Format() string {
+	if r.Tool == "bh-pht" || r.Tool == "bh-stl" {
+		return fmt.Sprintf("%-14s %-9s %10.2fs  leaks=%d", r.App, r.Tool, r.Time.Seconds(), r.Leaks)
+	}
+	return fmt.Sprintf("%-14s %-9s %10.2fs  DT=%d CT=%d UDT=%d UCT=%d",
+		r.App, r.Tool, r.Time.Seconds(),
+		r.Counts[core.DT], r.Counts[core.CT], r.Counts[core.UDT], r.Counts[core.UCT])
+}
+
+// Options bound harness runs so benchmarks terminate predictably.
+type Options struct {
+	FuncTimeout time.Duration // per-function budget (Table 2 uses 1h/6h)
+	MaxQueries  int
+	// CryptoUniversalOnly restricts crypto-library searches to UDT/UCT
+	// (§6.2: "For crypto-libraries, Clou looks for UDTs and UCTs only").
+	CryptoUniversalOnly bool
+}
+
+func (o *Options) defaults() {
+	if o.FuncTimeout == 0 {
+		o.FuncTimeout = 20 * time.Second
+	}
+	if o.MaxQueries == 0 {
+		o.MaxQueries = 4000
+	}
+}
+
+func compileSrc(src string) (*ir.Module, error) {
+	f, err := minic.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return lower.Module(f)
+}
+
+func clouConfig(engine detect.Engine, opts Options, universalOnly bool) detect.Config {
+	var cfg detect.Config
+	if engine == detect.PHT {
+		cfg = detect.DefaultPHT()
+	} else {
+		cfg = detect.DefaultSTL()
+	}
+	cfg.Timeout = opts.FuncTimeout
+	cfg.MaxQueries = opts.MaxQueries
+	if universalOnly {
+		cfg.Transmitters = []core.Class{core.UDT, core.UCT}
+	}
+	return cfg
+}
+
+// RunLitmusSuite produces the Clou and baseline rows for one suite
+// ("pht", "stl", "fwd", "new").
+func RunLitmusSuite(suite string, opts Options) ([]Row, error) {
+	opts.defaults()
+	cases := litmus.Suites()[suite]
+	engines := []detect.Engine{detect.PHT}
+	if suite == "stl" {
+		engines = []detect.Engine{detect.STL}
+	}
+	if suite == "fwd" || suite == "new" {
+		engines = []detect.Engine{detect.PHT, detect.STL}
+	}
+
+	var rows []Row
+	for _, e := range engines {
+		row := Row{App: "litmus-" + suite, Tool: e.String(), Counts: map[core.Class]int{}}
+		for _, c := range cases {
+			m, err := compileSrc(c.Source)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", c.Name, err)
+			}
+			r, err := detect.AnalyzeFunc(m, c.Fn, clouConfig(e, opts, false))
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", c.Name, err)
+			}
+			row.Time += r.Duration
+			for cl, n := range r.Counts() {
+				row.Counts[cl] += n
+			}
+			row.Funcs++
+			if r.TimedOut {
+				row.TimedOut++
+			}
+		}
+		rows = append(rows, row)
+	}
+	// Baseline rows.
+	for _, e := range engines {
+		tool := "bh-pht"
+		cfg := baseline.Config{PHT: true, Timeout: opts.FuncTimeout}
+		if e == detect.STL {
+			tool = "bh-stl"
+			cfg = baseline.Config{PHT: false, Timeout: opts.FuncTimeout}
+		}
+		row := Row{App: "litmus-" + suite, Tool: tool}
+		for _, c := range cases {
+			m, err := compileSrc(c.Source)
+			if err != nil {
+				return nil, err
+			}
+			r, err := baseline.AnalyzeFunc(m, c.Fn, cfg)
+			if err != nil {
+				return nil, err
+			}
+			row.Time += r.Duration
+			row.Leaks += r.Leaks
+			row.Funcs++
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RunLibrary produces Clou rows (both engines) for one corpus library,
+// analyzing each public function individually like §6.2.
+func RunLibrary(lib cryptolib.Library, opts Options) ([]Row, error) {
+	opts.defaults()
+	m, err := compileSrc(lib.Source)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", lib.Name, err)
+	}
+	var rows []Row
+	for _, e := range []detect.Engine{detect.PHT, detect.STL} {
+		row := Row{App: lib.Name, Tool: e.String(), Counts: map[core.Class]int{}}
+		for _, fn := range lib.PublicFuncs {
+			r, err := detect.AnalyzeFunc(m, fn, clouConfig(e, opts, opts.CryptoUniversalOnly))
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", lib.Name, fn, err)
+			}
+			row.Time += r.Duration
+			for cl, n := range r.Counts() {
+				row.Counts[cl] += n
+			}
+			row.Funcs++
+			if r.TimedOut {
+				row.TimedOut++
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig8Point is one scatter point of Fig. 8: serial runtime versus S-AEG
+// node count for one public function.
+type Fig8Point struct {
+	Fn      string
+	Engine  string
+	Nodes   int
+	Runtime time.Duration
+}
+
+// RunFig8 produces the runtime-versus-size series over the libsodium-like
+// corpus, for both engines.
+func RunFig8(opts Options) ([]Fig8Point, error) {
+	opts.defaults()
+	lib := cryptolib.Libsodium()
+	m, err := compileSrc(lib.Source)
+	if err != nil {
+		return nil, err
+	}
+	var pts []Fig8Point
+	for _, e := range []detect.Engine{detect.PHT, detect.STL} {
+		for _, fn := range lib.PublicFuncs {
+			r, err := detect.AnalyzeFunc(m, fn, clouConfig(e, opts, true))
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", fn, err)
+			}
+			pts = append(pts, Fig8Point{Fn: fn, Engine: e.String(), Nodes: r.NodeCount, Runtime: r.Duration})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Nodes < pts[j].Nodes })
+	return pts, nil
+}
+
+// WriteFig8 renders the series as a text table (the regenerable form of
+// the figure).
+func WriteFig8(w io.Writer, pts []Fig8Point) {
+	fmt.Fprintf(w, "%-34s %-9s %8s %12s\n", "function", "engine", "nodes", "runtime")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-34s %-9s %8d %12v\n", p.Fn, p.Engine, p.Nodes, p.Runtime)
+	}
+}
+
+// MonotoneTrend reports whether runtimes broadly grow with node count:
+// the Fig. 8 shape check. It compares mean runtime of the smallest and
+// largest thirds.
+func MonotoneTrend(pts []Fig8Point) bool {
+	if len(pts) < 6 {
+		return true
+	}
+	third := len(pts) / 3
+	var lo, hi time.Duration
+	for _, p := range pts[:third] {
+		lo += p.Runtime
+	}
+	for _, p := range pts[len(pts)-third:] {
+		hi += p.Runtime
+	}
+	return hi > lo
+}

@@ -1,0 +1,36 @@
+package harness
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+func TestLitmusRows(t *testing.T) {
+	for _, suite := range []string{"pht", "stl", "fwd", "new"} {
+		rows, err := RunLitmusSuite(suite, Options{FuncTimeout: 10 * time.Second})
+		if err != nil {
+			t.Fatalf("%s: %v", suite, err)
+		}
+		if len(rows) < 2 {
+			t.Fatalf("%s: rows = %d", suite, len(rows))
+		}
+		for _, r := range rows {
+			t.Log(r.Format())
+		}
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig8 in -short mode")
+	}
+	pts, err := RunFig8(Options{FuncTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !MonotoneTrend(pts) {
+		t.Error("runtime does not grow with S-AEG size")
+	}
+	WriteFig8(os.Stderr, pts[:5])
+}

@@ -1,0 +1,20 @@
+package ir
+
+// Exported arithmetic helpers shared with the uarch executor, so both
+// interpreters agree bit-for-bit on operator semantics.
+
+// EvalBin applies a binary operator (the Sub field of an OpBin).
+func EvalBin(op string, ty Type, l, r uint64) uint64 { return evalBin(op, ty, l, r) }
+
+// EvalCmp applies a comparison predicate (the Sub field of an OpCmp).
+func EvalCmp(pred string, ty Type, l, r uint64) bool { return evalCmp(pred, ty, l, r) }
+
+// EvalCast applies a cast (the Sub field of an OpCast).
+func EvalCast(kind string, from, to Type, v uint64) uint64 { return evalCast(kind, from, to, v) }
+
+// SignExtend sign-extends v from ty's width to 64 bits (identity for
+// unsigned and 64-bit types).
+func SignExtend(ty Type, v uint64) uint64 { return signExtend(ty, v) }
+
+// TruncTo truncates v to ty's width.
+func TruncTo(ty Type, v uint64) uint64 { return truncTo(ty, v) }

@@ -1,0 +1,368 @@
+package ir
+
+import (
+	"fmt"
+)
+
+// Memory is a sparse byte-addressable little-endian memory.
+type Memory struct {
+	bytes map[uint64]byte
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory { return &Memory{bytes: make(map[uint64]byte)} }
+
+// Load reads size bytes at addr (little-endian).
+func (m *Memory) Load(addr uint64, size int) uint64 {
+	var v uint64
+	for i := 0; i < size; i++ {
+		v |= uint64(m.bytes[addr+uint64(i)]) << (8 * uint(i))
+	}
+	return v
+}
+
+// Store writes the low size bytes of v at addr.
+func (m *Memory) Store(addr uint64, size int, v uint64) {
+	for i := 0; i < size; i++ {
+		m.bytes[addr+uint64(i)] = byte(v >> (8 * uint(i)))
+	}
+}
+
+// Clone returns a deep copy (used for speculative checkpointing).
+func (m *Memory) Clone() *Memory {
+	c := NewMemory()
+	for k, v := range m.bytes {
+		c.bytes[k] = v
+	}
+	return c
+}
+
+// Tracer observes the dynamic execution of an interpreted function; the
+// uarch package feeds these events to its cache and pipeline models.
+type Tracer interface {
+	OnLoad(in *Instr, addr uint64, size int, val uint64)
+	OnStore(in *Instr, addr uint64, size int, val uint64)
+	OnBranch(in *Instr, taken bool)
+}
+
+// Interp interprets IR modules. It allocates globals at stable addresses,
+// runs functions with a bounded step budget, and models the handful of
+// libc externals the corpus uses.
+type Interp struct {
+	M          *Module
+	Mem        *Memory
+	globalAddr map[string]uint64
+	stackTop   uint64
+	Budget     int64
+	Trace      Tracer
+}
+
+// Addresses: globals from 1 MiB, stack from 256 MiB (growing down).
+const (
+	globalBase = 0x0010_0000
+	stackBase  = 0x1000_0000
+)
+
+// NewInterp builds an interpreter, laying out and initializing globals.
+func NewInterp(m *Module) *Interp {
+	ip := &Interp{
+		M:          m,
+		Mem:        NewMemory(),
+		globalAddr: make(map[string]uint64),
+		stackTop:   stackBase,
+		Budget:     5_000_000,
+	}
+	addr := uint64(globalBase)
+	for _, g := range m.Globals {
+		a := uint64(align(g.Elem))
+		addr = (addr + a - 1) / a * a
+		ip.globalAddr[g.Nm] = addr
+		for i, b := range g.Init {
+			ip.Mem.bytes[addr+uint64(i)] = b
+		}
+		addr += uint64(g.Elem.Size())
+	}
+	return ip
+}
+
+// GlobalAddr returns the runtime address of a global.
+func (ip *Interp) GlobalAddr(name string) (uint64, bool) {
+	a, ok := ip.globalAddr[name]
+	return a, ok
+}
+
+// frame is one activation record.
+type frame struct {
+	fn   *Func
+	vals map[*Instr]uint64
+	args []uint64
+	sp   uint64
+}
+
+// RunError reports interpretation failures.
+type RunError struct{ Msg string }
+
+func (e *RunError) Error() string { return "interp: " + e.Msg }
+
+// Call runs the named function with the given arguments and returns its
+// result.
+func (ip *Interp) Call(name string, args ...uint64) (uint64, error) {
+	f := ip.M.Func(name)
+	if f == nil || f.IsDecl() {
+		return ip.callBuiltin(name, args)
+	}
+	return ip.call(f, args)
+}
+
+func (ip *Interp) call(f *Func, args []uint64) (uint64, error) {
+	if len(args) != len(f.Params) {
+		return 0, &RunError{fmt.Sprintf("@%s: %d args, want %d", f.Nm, len(args), len(f.Params))}
+	}
+	fr := &frame{fn: f, vals: make(map[*Instr]uint64), args: args, sp: ip.stackTop}
+	savedTop := ip.stackTop
+	defer func() { ip.stackTop = savedTop }()
+
+	blk := f.Entry()
+	for {
+		var next *Block
+		for _, in := range blk.Instrs {
+			ip.Budget--
+			if ip.Budget < 0 {
+				return 0, &RunError{"step budget exhausted (infinite loop?)"}
+			}
+			switch in.Op {
+			case OpAlloca:
+				size := uint64(in.AllocaElem.Size())
+				a := uint64(align(in.AllocaElem))
+				ip.stackTop -= size
+				ip.stackTop &^= a - 1
+				fr.vals[in] = ip.stackTop
+			case OpLoad:
+				addr := ip.eval(fr, in.Args[0])
+				size := in.Ty.Size()
+				v := ip.Mem.Load(addr, size)
+				fr.vals[in] = v
+				if ip.Trace != nil {
+					ip.Trace.OnLoad(in, addr, size, v)
+				}
+			case OpStore:
+				v := ip.eval(fr, in.Args[0])
+				addr := ip.eval(fr, in.Args[1])
+				size := in.Args[0].Type().Size()
+				ip.Mem.Store(addr, size, v)
+				if ip.Trace != nil {
+					ip.Trace.OnStore(in, addr, size, v)
+				}
+			case OpGEP:
+				base := ip.eval(fr, in.Args[0])
+				idx := int64(signExtend(in.Args[1].Type(), ip.eval(fr, in.Args[1])))
+				elem := Elem(in.Args[0].Type())
+				fr.vals[in] = base + uint64(idx*int64(elem.Size()))
+			case OpFieldGEP:
+				base := ip.eval(fr, in.Args[0])
+				st := Elem(in.Args[0].Type()).(*StructType)
+				fld, _ := st.Field(in.Field)
+				fr.vals[in] = base + uint64(fld.Offset)
+			case OpBin:
+				fr.vals[in] = truncTo(in.Ty, evalBin(in.Sub, in.Ty,
+					ip.eval(fr, in.Args[0]), ip.eval(fr, in.Args[1])))
+			case OpCmp:
+				if evalCmp(in.Sub, in.Args[0].Type(), ip.eval(fr, in.Args[0]), ip.eval(fr, in.Args[1])) {
+					fr.vals[in] = 1
+				} else {
+					fr.vals[in] = 0
+				}
+			case OpCast:
+				fr.vals[in] = evalCast(in.Sub, in.Args[0].Type(), in.Ty, ip.eval(fr, in.Args[0]))
+			case OpCall:
+				args := make([]uint64, len(in.Args))
+				for i, a := range in.Args {
+					args[i] = ip.eval(fr, a)
+				}
+				v, err := ip.Call(in.Callee, args...)
+				if err != nil {
+					return 0, err
+				}
+				if in.Nm != "" {
+					fr.vals[in] = truncTo(in.Ty, v)
+				}
+			case OpBr:
+				next = in.Then
+			case OpCondBr:
+				cond := ip.eval(fr, in.Args[0])
+				if cond != 0 {
+					next = in.Then
+				} else {
+					next = in.Else
+				}
+				if ip.Trace != nil {
+					ip.Trace.OnBranch(in, cond != 0)
+				}
+			case OpRet:
+				if len(in.Args) == 1 {
+					return ip.eval(fr, in.Args[0]), nil
+				}
+				return 0, nil
+			case OpFence:
+				// No semantic effect in the reference interpreter.
+			}
+		}
+		if next == nil {
+			return 0, &RunError{fmt.Sprintf("@%s: block %%%s fell through", f.Nm, blk.Nm)}
+		}
+		blk = next
+	}
+}
+
+func (ip *Interp) eval(fr *frame, v Value) uint64 {
+	switch v := v.(type) {
+	case *Const:
+		return v.Val
+	case *Global:
+		return ip.globalAddr[v.Nm]
+	case *Param:
+		return fr.args[v.Idx]
+	case *Instr:
+		return fr.vals[v]
+	}
+	panic(fmt.Sprintf("interp: unknown value %T", v))
+}
+
+func signExtend(ty Type, v uint64) uint64 {
+	it, ok := ty.(IntType)
+	if !ok || it.Unsigned || it.Bits == 64 {
+		return v
+	}
+	shift := uint(64 - it.Bits)
+	return uint64(int64(v<<shift) >> shift)
+}
+
+func evalBin(op string, ty Type, l, r uint64) uint64 {
+	switch op {
+	case "add":
+		return l + r
+	case "sub":
+		return l - r
+	case "mul":
+		return l * r
+	case "udiv":
+		if r == 0 {
+			return 0
+		}
+		return l / r
+	case "sdiv":
+		if r == 0 {
+			return 0
+		}
+		return uint64(int64(signExtend(ty, l)) / int64(signExtend(ty, r)))
+	case "urem":
+		if r == 0 {
+			return 0
+		}
+		return l % r
+	case "srem":
+		if r == 0 {
+			return 0
+		}
+		return uint64(int64(signExtend(ty, l)) % int64(signExtend(ty, r)))
+	case "and":
+		return l & r
+	case "or":
+		return l | r
+	case "xor":
+		return l ^ r
+	case "shl":
+		return l << (r & 63)
+	case "lshr":
+		return l >> (r & 63)
+	case "ashr":
+		return uint64(int64(signExtend(ty, l)) >> (r & 63))
+	}
+	panic("interp: unknown binop " + op)
+}
+
+func evalCmp(pred string, ty Type, l, r uint64) bool {
+	sl, sr := int64(signExtend(ty, l)), int64(signExtend(ty, r))
+	switch pred {
+	case "eq":
+		return l == r
+	case "ne":
+		return l != r
+	case "ult":
+		return l < r
+	case "ule":
+		return l <= r
+	case "ugt":
+		return l > r
+	case "uge":
+		return l >= r
+	case "slt":
+		return sl < sr
+	case "sle":
+		return sl <= sr
+	case "sgt":
+		return sl > sr
+	case "sge":
+		return sl >= sr
+	}
+	panic("interp: unknown predicate " + pred)
+}
+
+func evalCast(kind string, from, to Type, v uint64) uint64 {
+	switch kind {
+	case "zext", "bitcast", "ptrtoint", "inttoptr":
+		return truncTo(to, v)
+	case "sext":
+		return truncTo(to, signExtend(from, v))
+	case "trunc":
+		return truncTo(to, v)
+	}
+	panic("interp: unknown cast " + kind)
+}
+
+// callBuiltin models the libc externals the corpus uses. Unknown externals
+// return 0 — matching Clou's havoc treatment of undefined calls (§5.1),
+// which the A-CFG pass makes explicit before analysis.
+func (ip *Interp) callBuiltin(name string, args []uint64) (uint64, error) {
+	switch name {
+	case "memcmp":
+		a, b, n := args[0], args[1], args[2]
+		for i := uint64(0); i < n; i++ {
+			x, y := ip.Mem.Load(a+i, 1), ip.Mem.Load(b+i, 1)
+			if x != y {
+				if x < y {
+					return uint64(^uint64(0)), nil // -1
+				}
+				return 1, nil
+			}
+		}
+		return 0, nil
+	case "memset":
+		dst, c, n := args[0], args[1], args[2]
+		for i := uint64(0); i < n; i++ {
+			ip.Mem.Store(dst+i, 1, c)
+		}
+		return dst, nil
+	case "memcpy", "memmove":
+		dst, src, n := args[0], args[1], args[2]
+		buf := make([]byte, n)
+		for i := uint64(0); i < n; i++ {
+			buf[i] = byte(ip.Mem.Load(src+i, 1))
+		}
+		for i := uint64(0); i < n; i++ {
+			ip.Mem.Store(dst+uint64(i), 1, uint64(buf[i]))
+		}
+		return dst, nil
+	case "strlen":
+		p := args[0]
+		n := uint64(0)
+		for ip.Mem.Load(p+n, 1) != 0 {
+			n++
+			if n > 1<<20 {
+				return 0, &RunError{"strlen runaway"}
+			}
+		}
+		return n, nil
+	}
+	return 0, nil
+}

@@ -1,0 +1,180 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildSumFunc constructs, without the frontend, a function computing
+// a+b through stack slots — the -O0 shape — exercising alloca, store,
+// load, binop, and ret.
+func buildSumFunc() *Module {
+	m := NewModule()
+	f := &Func{Nm: "sum", Ret: I32}
+	pa := &Param{Nm: "a", Ty: I32, Idx: 0}
+	pb := &Param{Nm: "b", Ty: I32, Idx: 1}
+	f.Params = []*Param{pa, pb}
+	b := f.NewBlock("entry")
+	sa := f.Append(b, &Instr{Op: OpAlloca, Ty: Ptr(I32), AllocaElem: I32})
+	sb := f.Append(b, &Instr{Op: OpAlloca, Ty: Ptr(I32), AllocaElem: I32})
+	f.Append(b, &Instr{Op: OpStore, Args: []Value{pa, sa}})
+	f.Append(b, &Instr{Op: OpStore, Args: []Value{pb, sb}})
+	la := f.Append(b, &Instr{Op: OpLoad, Ty: I32, Args: []Value{sa}})
+	lb := f.Append(b, &Instr{Op: OpLoad, Ty: I32, Args: []Value{sb}})
+	add := f.Append(b, &Instr{Op: OpBin, Sub: "add", Ty: I32, Args: []Value{la, lb}})
+	f.Append(b, &Instr{Op: OpRet, Args: []Value{add}})
+	m.Funcs = append(m.Funcs, f)
+	return m
+}
+
+func TestInterpDirectIR(t *testing.T) {
+	m := buildSumFunc()
+	if err := Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	ip := NewInterp(m)
+	v, err := ip.Call("sum", 19, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 42 {
+		t.Errorf("sum = %d", v)
+	}
+}
+
+func TestInterpControlFlowAndGEP(t *testing.T) {
+	// max3: walk a 3-element global array with gep + condbr and return the
+	// maximum.
+	m := NewModule()
+	g := &Global{Nm: "arr", Elem: ArrayType{Elem: I32, N: 3},
+		Init: []byte{5, 0, 0, 0, 9, 0, 0, 0, 2, 0, 0, 0}}
+	m.Globals = append(m.Globals, g)
+	f := &Func{Nm: "max3", Ret: I32}
+	m.Funcs = append(m.Funcs, f)
+	// Values never cross blocks at -O0 (the verifier enforces it), so each
+	// block re-loads what it needs through fresh geps.
+	loadAt := func(b *Block, i int) *Instr {
+		base := f.Append(b, &Instr{Op: OpCast, Sub: "bitcast", Ty: Ptr(I32), Args: []Value{g}})
+		gp := f.Append(b, &Instr{Op: OpGEP, Ty: Ptr(I32),
+			Args: []Value{base, ConstInt(I64, uint64(i))}})
+		return f.Append(b, &Instr{Op: OpLoad, Ty: I32, Args: []Value{gp}})
+	}
+	entry := f.NewBlock("entry")
+	t01 := f.NewBlock("t01")
+	e01 := f.NewBlock("e01")
+	t12 := f.NewBlock("t12")
+	e12 := f.NewBlock("e12")
+	c01 := f.Append(entry, &Instr{Op: OpCmp, Sub: "sgt", Ty: U8,
+		Args: []Value{loadAt(entry, 0), loadAt(entry, 1)}})
+	f.Append(entry, &Instr{Op: OpCondBr, Args: []Value{c01}, Then: t01, Else: e01})
+	f.Append(t01, &Instr{Op: OpRet, Args: []Value{loadAt(t01, 0)}})
+	c12 := f.Append(e01, &Instr{Op: OpCmp, Sub: "sgt", Ty: U8,
+		Args: []Value{loadAt(e01, 1), loadAt(e01, 2)}})
+	f.Append(e01, &Instr{Op: OpCondBr, Args: []Value{c12}, Then: t12, Else: e12})
+	f.Append(t12, &Instr{Op: OpRet, Args: []Value{loadAt(t12, 1)}})
+	f.Append(e12, &Instr{Op: OpRet, Args: []Value{loadAt(e12, 2)}})
+
+	if err := Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	ip := NewInterp(m)
+	v, err := ip.Call("max3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 9 {
+		t.Errorf("max3 = %d", v)
+	}
+}
+
+func TestInterpFieldGEP(t *testing.T) {
+	m := NewModule()
+	st := NewStruct("P", []StructField{{Name: "x", Ty: I32}, {Name: "y", Ty: I64}})
+	m.Structs["P"] = st
+	g := &Global{Nm: "p", Elem: st}
+	m.Globals = append(m.Globals, g)
+	f := &Func{Nm: "gety", Ret: I64}
+	m.Funcs = append(m.Funcs, f)
+	b := f.NewBlock("entry")
+	fp := f.Append(b, &Instr{Op: OpFieldGEP, Ty: Ptr(I64), Field: "y", Args: []Value{g}})
+	ld := f.Append(b, &Instr{Op: OpLoad, Ty: I64, Args: []Value{fp}})
+	f.Append(b, &Instr{Op: OpRet, Args: []Value{ld}})
+	if err := Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	ip := NewInterp(m)
+	addr, _ := ip.GlobalAddr("p")
+	fy, _ := st.Field("y")
+	ip.Mem.Store(addr+uint64(fy.Offset), 8, 0xDEADBEEF)
+	v, err := ip.Call("gety")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xDEADBEEF {
+		t.Errorf("gety = %#x", v)
+	}
+}
+
+func TestInterpBuiltinsDirect(t *testing.T) {
+	m := NewModule()
+	ip := NewInterp(m)
+	// memset + memcmp + memcpy + strlen against raw memory.
+	if _, err := ip.Call("memset", 0x5000, 7, 8); err != nil {
+		t.Fatal(err)
+	}
+	if ip.Mem.Load(0x5003, 1) != 7 {
+		t.Error("memset failed")
+	}
+	if _, err := ip.Call("memcpy", 0x6000, 0x5000, 8); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := ip.Call("memcmp", 0x5000, 0x6000, 8); v != 0 {
+		t.Errorf("memcmp equal = %d", v)
+	}
+	ip.Mem.Store(0x6004, 1, 9)
+	if v, _ := ip.Call("memcmp", 0x5000, 0x6000, 8); v == 0 {
+		t.Error("memcmp unequal = 0")
+	}
+	ip.Mem.Store(0x7000, 4, 0x00414243) // "CBA\0"
+	if v, _ := ip.Call("strlen", 0x7000); v != 3 {
+		t.Errorf("strlen = %d", v)
+	}
+	// Unknown extern returns 0.
+	if v, _ := ip.Call("nonexistent", 1, 2, 3); v != 0 {
+		t.Errorf("unknown extern = %d", v)
+	}
+}
+
+func TestInterpTracer(t *testing.T) {
+	m := buildSumFunc()
+	ip := NewInterp(m)
+	tr := &countingTracer{}
+	ip.Trace = tr
+	if _, err := ip.Call("sum", 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if tr.loads != 2 || tr.stores != 2 {
+		t.Errorf("tracer saw %d loads, %d stores", tr.loads, tr.stores)
+	}
+}
+
+type countingTracer struct{ loads, stores, branches int }
+
+func (c *countingTracer) OnLoad(*Instr, uint64, int, uint64)  { c.loads++ }
+func (c *countingTracer) OnStore(*Instr, uint64, int, uint64) { c.stores++ }
+func (c *countingTracer) OnBranch(*Instr, bool)               { c.branches++ }
+
+func TestInterpArgumentMismatch(t *testing.T) {
+	m := buildSumFunc()
+	ip := NewInterp(m)
+	if _, err := ip.Call("sum", 1); err == nil {
+		t.Error("argument count mismatch accepted")
+	}
+	var re *RunError
+	if _, err := ip.Call("sum", 1); err != nil {
+		if !strings.Contains(err.Error(), "interp:") {
+			t.Errorf("error format: %v", err)
+		}
+		_ = re
+	}
+}

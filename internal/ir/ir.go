@@ -1,0 +1,346 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Value is an SSA value: a constant, global, parameter, or instruction
+// result.
+type Value interface {
+	Type() Type
+	ValueName() string // rendering, e.g. "%t3", "@A", "42"
+}
+
+// Const is an integer constant.
+type Const struct {
+	Ty  Type
+	Val uint64
+}
+
+// Type implements Value.
+func (c *Const) Type() Type { return c.Ty }
+
+// ValueName implements Value.
+func (c *Const) ValueName() string { return fmt.Sprintf("%d", int64(c.Val)) }
+
+// ConstInt builds an integer constant of the given type.
+func ConstInt(ty Type, v uint64) *Const { return &Const{Ty: ty, Val: truncTo(ty, v)} }
+
+func truncTo(ty Type, v uint64) uint64 {
+	if it, ok := ty.(IntType); ok && it.Bits < 64 {
+		return v & ((1 << uint(it.Bits)) - 1)
+	}
+	return v
+}
+
+// Global is a module-level variable; as a Value it denotes the address of
+// its storage (type pointer-to-Elem).
+type Global struct {
+	Nm   string
+	Elem Type
+	// Init is the flattened byte image of the initializer (zero-filled to
+	// Elem.Size() when shorter).
+	Init []byte
+	// Const marks read-only globals.
+	Const bool
+}
+
+// Type implements Value.
+func (g *Global) Type() Type { return Ptr(g.Elem) }
+
+// ValueName implements Value.
+func (g *Global) ValueName() string { return "@" + g.Nm }
+
+// Param is a function parameter.
+type Param struct {
+	Nm  string
+	Ty  Type
+	Idx int
+}
+
+// Type implements Value.
+func (p *Param) Type() Type { return p.Ty }
+
+// ValueName implements Value.
+func (p *Param) ValueName() string { return "%" + p.Nm }
+
+// Op enumerates instruction opcodes.
+type Op int
+
+// Instruction opcodes.
+const (
+	OpAlloca Op = iota
+	OpLoad
+	OpStore
+	OpGEP      // Args: [ptr, index]; addr = ptr + index * sizeof(elem)
+	OpFieldGEP // Args: [ptr]; Field names a struct member
+	OpBin      // Args: [l, r]; Sub is the operator
+	OpCmp      // Args: [l, r]; Sub is the predicate (eq, ne, lt, le, gt, ge)
+	OpCast     // Args: [x]; Sub ∈ {zext, sext, trunc, bitcast, ptrtoint, inttoptr}
+	OpCall     // Args are call arguments; Callee names the function
+	OpBr       // Then is the target
+	OpCondBr   // Args: [cond]; Then/Else targets
+	OpRet      // Args: [] or [value]
+	OpFence    // Sub = "lfence": the speculation barrier Clou inserts (§6.1)
+)
+
+var opNames = map[Op]string{
+	OpAlloca: "alloca", OpLoad: "load", OpStore: "store", OpGEP: "gep",
+	OpFieldGEP: "fieldgep", OpBin: "bin", OpCmp: "cmp", OpCast: "cast",
+	OpCall: "call", OpBr: "br", OpCondBr: "condbr", OpRet: "ret",
+	OpFence: "fence",
+}
+
+func (o Op) String() string { return opNames[o] }
+
+// Instr is one instruction. Instructions with a non-void type are Values.
+type Instr struct {
+	Op     Op
+	Nm     string // result name, e.g. "t3" (empty for void instructions)
+	Ty     Type   // result type (alloca: pointer to the slot; load: elem)
+	Args   []Value
+	Sub    string // operator / predicate / cast kind / fence kind
+	Field  string // OpFieldGEP member name
+	Callee string // OpCall target
+	Then   *Block // OpBr/OpCondBr
+	Else   *Block // OpCondBr
+	// AllocaElem is the slot type for OpAlloca (Ty is Ptr(AllocaElem)).
+	AllocaElem Type
+	// Line is the source line this instruction lowers from.
+	Line int
+	// Parent block, set when appended.
+	Blk *Block
+}
+
+// Type implements Value.
+func (in *Instr) Type() Type { return in.Ty }
+
+// ValueName implements Value.
+func (in *Instr) ValueName() string { return "%" + in.Nm }
+
+// IsTerminator reports whether the instruction ends a block.
+func (in *Instr) IsTerminator() bool {
+	return in.Op == OpBr || in.Op == OpCondBr || in.Op == OpRet
+}
+
+// Block is a basic block.
+type Block struct {
+	Nm     string
+	Instrs []*Instr
+	Fn     *Func
+}
+
+// ValueName returns the block label.
+func (b *Block) ValueName() string { return "%" + b.Nm }
+
+// Terminator returns the block's final instruction, or nil if the block is
+// not yet terminated.
+func (b *Block) Terminator() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	last := b.Instrs[len(b.Instrs)-1]
+	if last.IsTerminator() {
+		return last
+	}
+	return nil
+}
+
+// Succs returns the block's successor blocks.
+func (b *Block) Succs() []*Block {
+	t := b.Terminator()
+	if t == nil {
+		return nil
+	}
+	switch t.Op {
+	case OpBr:
+		return []*Block{t.Then}
+	case OpCondBr:
+		return []*Block{t.Then, t.Else}
+	}
+	return nil
+}
+
+// Func is a function definition (Blocks empty for declarations).
+type Func struct {
+	Nm      string
+	Params  []*Param
+	Ret     Type
+	Blocks  []*Block
+	nextTmp int
+}
+
+// Entry returns the entry block.
+func (f *Func) Entry() *Block {
+	if len(f.Blocks) == 0 {
+		return nil
+	}
+	return f.Blocks[0]
+}
+
+// IsDecl reports whether f is a declaration without a body.
+func (f *Func) IsDecl() bool { return len(f.Blocks) == 0 }
+
+// NewBlock appends a fresh block with the given name hint.
+func (f *Func) NewBlock(hint string) *Block {
+	b := &Block{Nm: fmt.Sprintf("%s%d", hint, len(f.Blocks)), Fn: f}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// tmp allocates a fresh temporary name.
+func (f *Func) tmp() string {
+	f.nextTmp++
+	return fmt.Sprintf("t%d", f.nextTmp)
+}
+
+// Append adds an instruction to block b, naming its result if it has one.
+func (f *Func) Append(b *Block, in *Instr) *Instr {
+	if in.Ty != nil && in.Ty.Size() > 0 && in.Nm == "" {
+		in.Nm = f.tmp()
+	}
+	in.Blk = b
+	b.Instrs = append(b.Instrs, in)
+	return in
+}
+
+// Module is a translation unit.
+type Module struct {
+	Globals []*Global
+	Funcs   []*Func
+	Structs map[string]*StructType
+}
+
+// NewModule returns an empty module.
+func NewModule() *Module {
+	return &Module{Structs: make(map[string]*StructType)}
+}
+
+// Func returns the function with the given name, or nil.
+func (m *Module) Func(name string) *Func {
+	for _, f := range m.Funcs {
+		if f.Nm == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Global returns the global with the given name, or nil.
+func (m *Module) Global(name string) *Global {
+	for _, g := range m.Globals {
+		if g.Nm == name {
+			return g
+		}
+	}
+	return nil
+}
+
+// String renders the module in an LLVM-like textual form.
+func (m *Module) String() string {
+	var sb strings.Builder
+	for _, st := range sortedStructs(m.Structs) {
+		fmt.Fprintf(&sb, "%%%s = type {", st.Name)
+		for i, f := range st.Fields {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "%s %s@%d", f.Ty, f.Name, f.Offset)
+		}
+		sb.WriteString("}\n")
+	}
+	for _, g := range m.Globals {
+		fmt.Fprintf(&sb, "@%s = global %s (%d bytes)\n", g.Nm, g.Elem, g.Elem.Size())
+	}
+	for _, f := range m.Funcs {
+		sb.WriteString(f.String())
+	}
+	return sb.String()
+}
+
+func sortedStructs(m map[string]*StructType) []*StructType {
+	var names []string
+	for n := range m {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	out := make([]*StructType, len(names))
+	for i, n := range names {
+		out[i] = m[n]
+	}
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// String renders the function.
+func (f *Func) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "\nfunc @%s(", f.Nm)
+	for i, p := range f.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s %%%s", p.Ty, p.Nm)
+	}
+	fmt.Fprintf(&sb, ") %s {\n", f.Ret)
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "%s:\n", b.Nm)
+		for _, in := range b.Instrs {
+			sb.WriteString("  " + in.String() + "\n")
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// String renders the instruction.
+func (in *Instr) String() string {
+	args := make([]string, len(in.Args))
+	for i, a := range in.Args {
+		args[i] = a.ValueName()
+	}
+	lhs := ""
+	if in.Nm != "" {
+		lhs = "%" + in.Nm + " = "
+	}
+	switch in.Op {
+	case OpAlloca:
+		return fmt.Sprintf("%salloca %s", lhs, in.AllocaElem)
+	case OpLoad:
+		return fmt.Sprintf("%sload %s, %s", lhs, in.Ty, args[0])
+	case OpStore:
+		return fmt.Sprintf("store %s %s, %s", in.Args[0].Type(), args[0], args[1])
+	case OpGEP:
+		return fmt.Sprintf("%sgep %s, %s[%s]", lhs, in.Ty, args[0], args[1])
+	case OpFieldGEP:
+		return fmt.Sprintf("%sfieldgep %s, %s.%s", lhs, in.Ty, args[0], in.Field)
+	case OpBin:
+		return fmt.Sprintf("%s%s %s %s, %s", lhs, in.Sub, in.Ty, args[0], args[1])
+	case OpCmp:
+		return fmt.Sprintf("%scmp %s %s, %s", lhs, in.Sub, args[0], args[1])
+	case OpCast:
+		return fmt.Sprintf("%s%s %s to %s", lhs, in.Sub, args[0], in.Ty)
+	case OpCall:
+		return fmt.Sprintf("%scall @%s(%s)", lhs, in.Callee, strings.Join(args, ", "))
+	case OpBr:
+		return fmt.Sprintf("br %%%s", in.Then.Nm)
+	case OpCondBr:
+		return fmt.Sprintf("condbr %s, %%%s, %%%s", args[0], in.Then.Nm, in.Else.Nm)
+	case OpRet:
+		if len(args) == 0 {
+			return "ret void"
+		}
+		return fmt.Sprintf("ret %s", args[0])
+	case OpFence:
+		return fmt.Sprintf("fence %s", in.Sub)
+	}
+	return "???"
+}

@@ -1,0 +1,233 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTypeSizes(t *testing.T) {
+	cases := []struct {
+		ty   Type
+		size int
+		str  string
+	}{
+		{I8, 1, "i8"},
+		{U16, 2, "u16"},
+		{I32, 4, "i32"},
+		{U64, 8, "u64"},
+		{Ptr(I32), 8, "i32*"},
+		{ArrayType{Elem: I32, N: 5}, 20, "[5 x i32]"},
+		{Ptr(ArrayType{Elem: U8, N: 3}), 8, "[3 x u8]*"},
+		{Void, 0, "void"},
+	}
+	for _, c := range cases {
+		if c.ty.Size() != c.size {
+			t.Errorf("%v size = %d, want %d", c.ty, c.ty.Size(), c.size)
+		}
+		if c.ty.String() != c.str {
+			t.Errorf("String = %q, want %q", c.ty.String(), c.str)
+		}
+	}
+}
+
+func TestStructFieldLookup(t *testing.T) {
+	st := NewStruct("S", []StructField{{Name: "a", Ty: I32}, {Name: "b", Ty: I64}})
+	if f, ok := st.Field("b"); !ok || f.Offset != 8 {
+		t.Errorf("field b = %+v, %v", f, ok)
+	}
+	if _, ok := st.Field("zzz"); ok {
+		t.Error("phantom field")
+	}
+	if st.String() != "%S" {
+		t.Errorf("String = %q", st.String())
+	}
+}
+
+func TestMemoryLittleEndian(t *testing.T) {
+	m := NewMemory()
+	m.Store(100, 4, 0x11223344)
+	if m.Load(100, 1) != 0x44 || m.Load(103, 1) != 0x11 {
+		t.Error("not little-endian")
+	}
+	if m.Load(100, 4) != 0x11223344 {
+		t.Error("roundtrip failed")
+	}
+	// Overlapping store.
+	m.Store(102, 2, 0xAABB)
+	if m.Load(100, 4) != 0xAABB3344 {
+		t.Errorf("overlap = %#x", m.Load(100, 4))
+	}
+	c := m.Clone()
+	c.Store(100, 1, 0xFF)
+	if m.Load(100, 1) == 0xFF {
+		t.Error("Clone aliases")
+	}
+}
+
+// Property: memory store/load roundtrips for every width and value.
+func TestQuickMemoryRoundtrip(t *testing.T) {
+	m := NewMemory()
+	check := func(addr uint32, size8 uint8, val uint64) bool {
+		size := 1 + int(size8%8)
+		a := uint64(addr)
+		m.Store(a, size, val)
+		want := val
+		if size < 8 {
+			want &= (1 << (8 * uint(size))) - 1
+		}
+		return m.Load(a, size) == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SignExtend followed by TruncTo is the identity on in-range
+// values; EvalCast("sext") agrees with SignExtend.
+func TestQuickSignExtendTrunc(t *testing.T) {
+	check := func(v uint64, bits8 uint8) bool {
+		bits := []int{8, 16, 32, 64}[bits8%4]
+		ty := IntType{Bits: bits}
+		tv := TruncTo(ty, v)
+		se := SignExtend(ty, tv)
+		if TruncTo(ty, se) != tv {
+			return false
+		}
+		return EvalCast("sext", ty, I64, tv) == se
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalBinAgainstGo(t *testing.T) {
+	ty := IntType{Bits: 32}
+	cases := []struct {
+		op   string
+		l, r uint64
+		want uint64
+	}{
+		{"add", 7, 9, 16},
+		{"sub", 3, 5, 0xFFFFFFFFFFFFFFFE}, // truncation happens at op sites
+		{"mul", 6, 7, 42},
+		{"udiv", 42, 5, 8},
+		{"sdiv", 0xFFFFFFF8, 2, uint64(0xFFFFFFFFFFFFFFFC)}, // -8/2 = -4
+		{"urem", 42, 5, 2},
+		{"and", 0b1100, 0b1010, 0b1000},
+		{"or", 0b1100, 0b1010, 0b1110},
+		{"xor", 0b1100, 0b1010, 0b0110},
+		{"shl", 1, 4, 16},
+		{"lshr", 256, 4, 16},
+		{"ashr", 0xFFFFFFF0, 2, uint64(0xFFFFFFFFFFFFFFFC)},
+		{"udiv", 1, 0, 0}, // division by zero is defined as 0 here
+		{"srem", 1, 0, 0},
+	}
+	for _, c := range cases {
+		if got := EvalBin(c.op, ty, c.l, c.r); got != c.want {
+			t.Errorf("%s(%#x, %#x) = %#x, want %#x", c.op, c.l, c.r, got, c.want)
+		}
+	}
+}
+
+func TestEvalCmp(t *testing.T) {
+	ty := IntType{Bits: 8}
+	if !EvalCmp("slt", ty, 0xFF, 1) { // -1 < 1 signed
+		t.Error("slt wrong")
+	}
+	if EvalCmp("ult", ty, 0xFF, 1) { // 255 < 1 unsigned is false
+		t.Error("ult wrong")
+	}
+	if !EvalCmp("eq", ty, 5, 5) || EvalCmp("ne", ty, 5, 5) {
+		t.Error("eq/ne wrong")
+	}
+	if !EvalCmp("uge", ty, 5, 5) || !EvalCmp("sle", ty, 5, 5) {
+		t.Error("boundary comparisons wrong")
+	}
+}
+
+func TestInstrStringForms(t *testing.T) {
+	f := &Func{Nm: "f", Ret: Void}
+	b := f.NewBlock("entry")
+	al := f.Append(b, &Instr{Op: OpAlloca, Ty: Ptr(I32), AllocaElem: I32})
+	ld := f.Append(b, &Instr{Op: OpLoad, Ty: I32, Args: []Value{al}})
+	f.Append(b, &Instr{Op: OpStore, Args: []Value{ld, al}})
+	f.Append(b, &Instr{Op: OpFence, Sub: "lfence"})
+	f.Append(b, &Instr{Op: OpRet})
+	s := f.String()
+	for _, want := range []string{"alloca i32", "load i32", "store i32", "fence lfence", "ret void"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+	if b.Terminator() == nil {
+		t.Error("terminator missing")
+	}
+	if len(b.Succs()) != 0 {
+		t.Error("ret should have no successors")
+	}
+}
+
+func TestBlockSuccs(t *testing.T) {
+	f := &Func{Nm: "f", Ret: Void}
+	b0 := f.NewBlock("a")
+	b1 := f.NewBlock("b")
+	b2 := f.NewBlock("c")
+	cond := f.Append(b0, &Instr{Op: OpCmp, Sub: "eq", Ty: U8,
+		Args: []Value{ConstInt(I32, 1), ConstInt(I32, 1)}})
+	f.Append(b0, &Instr{Op: OpCondBr, Args: []Value{cond}, Then: b1, Else: b2})
+	f.Append(b1, &Instr{Op: OpBr, Then: b2})
+	f.Append(b2, &Instr{Op: OpRet})
+	if got := b0.Succs(); len(got) != 2 || got[0] != b1 || got[1] != b2 {
+		t.Errorf("condbr succs wrong")
+	}
+	if got := b1.Succs(); len(got) != 1 || got[0] != b2 {
+		t.Errorf("br succs wrong")
+	}
+}
+
+func TestVerifyRejectsUseBeforeDef(t *testing.T) {
+	m := NewModule()
+	f := &Func{Nm: "f", Ret: I32}
+	m.Funcs = append(m.Funcs, f)
+	b := f.NewBlock("entry")
+	// Use a value before defining it in the same block.
+	var load Instr
+	load = Instr{Op: OpLoad, Ty: I32}
+	al := &Instr{Op: OpAlloca, Ty: Ptr(I32), AllocaElem: I32, Nm: "slot"}
+	cast := &Instr{Op: OpCast, Sub: "zext", Ty: I64, Nm: "c", Args: []Value{&load}}
+	load.Args = []Value{al}
+	load.Nm = "l"
+	f.Append(b, al)
+	f.Append(b, cast) // uses load before it appears
+	f.Append(b, &load)
+	f.Append(b, &Instr{Op: OpRet, Args: []Value{&load}})
+	if err := Verify(m); err == nil {
+		t.Error("use-before-def accepted")
+	}
+}
+
+func TestConstTruncation(t *testing.T) {
+	c := ConstInt(U8, 0x1FF)
+	if c.Val != 0xFF {
+		t.Errorf("const not truncated: %#x", c.Val)
+	}
+	if c.ValueName() != "255" {
+		t.Errorf("ValueName = %q", c.ValueName())
+	}
+}
+
+func TestModuleLookups(t *testing.T) {
+	m := NewModule()
+	m.Globals = append(m.Globals, &Global{Nm: "g", Elem: I32})
+	m.Funcs = append(m.Funcs, &Func{Nm: "f", Ret: Void})
+	if m.Global("g") == nil || m.Global("x") != nil {
+		t.Error("Global lookup wrong")
+	}
+	if m.Func("f") == nil || m.Func("x") != nil {
+		t.Error("Func lookup wrong")
+	}
+	if g := m.Global("g"); g.Type().String() != "i32*" {
+		t.Errorf("global value type = %v", g.Type())
+	}
+}

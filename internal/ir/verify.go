@@ -1,0 +1,105 @@
+package ir
+
+import "fmt"
+
+// Verify checks module well-formedness: every block terminated, operands
+// defined before use (the -O0 discipline: non-alloca instruction results
+// are consumed within their defining block; values cross blocks only
+// through memory), and basic type agreement on memory operations.
+func Verify(m *Module) error {
+	for _, f := range m.Funcs {
+		if f.IsDecl() {
+			continue
+		}
+		if err := verifyFunc(f); err != nil {
+			return fmt.Errorf("func @%s: %w", f.Nm, err)
+		}
+	}
+	return nil
+}
+
+func verifyFunc(f *Func) error {
+	allocas := make(map[*Instr]bool)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == OpAlloca {
+				allocas[in] = true
+			}
+		}
+	}
+	for _, b := range f.Blocks {
+		term := b.Terminator()
+		if term == nil {
+			return fmt.Errorf("block %%%s not terminated", b.Nm)
+		}
+		seen := make(map[*Instr]bool)
+		for idx, in := range b.Instrs {
+			if in.IsTerminator() && idx != len(b.Instrs)-1 {
+				return fmt.Errorf("block %%%s: terminator %s not last", b.Nm, in)
+			}
+			for _, a := range in.Args {
+				switch a := a.(type) {
+				case *Const, *Global, *Param:
+				case *Instr:
+					if allocas[a] {
+						continue
+					}
+					if !seen[a] {
+						return fmt.Errorf("block %%%s: %s uses %%%s before definition in block", b.Nm, in, a.Nm)
+					}
+				default:
+					return fmt.Errorf("block %%%s: %s has unknown operand kind %T", b.Nm, in, a)
+				}
+			}
+			switch in.Op {
+			case OpLoad:
+				pt, ok := in.Args[0].Type().(PtrType)
+				if !ok {
+					return fmt.Errorf("load from non-pointer: %s", in)
+				}
+				if pt.Elem.Size() != in.Ty.Size() {
+					return fmt.Errorf("load size mismatch: %s", in)
+				}
+			case OpStore:
+				pt, ok := in.Args[1].Type().(PtrType)
+				if !ok {
+					return fmt.Errorf("store to non-pointer: %s", in)
+				}
+				if pt.Elem.Size() != in.Args[0].Type().Size() {
+					return fmt.Errorf("store size mismatch: %s", in)
+				}
+			case OpGEP:
+				if !IsPtr(in.Args[0].Type()) {
+					return fmt.Errorf("gep of non-pointer: %s", in)
+				}
+				if !IsInt(in.Args[1].Type()) {
+					return fmt.Errorf("gep index not integer: %s", in)
+				}
+			case OpFieldGEP:
+				pt, ok := in.Args[0].Type().(PtrType)
+				if !ok {
+					return fmt.Errorf("fieldgep of non-pointer: %s", in)
+				}
+				st, ok := pt.Elem.(*StructType)
+				if !ok {
+					return fmt.Errorf("fieldgep of non-struct pointer: %s", in)
+				}
+				if _, ok := st.Field(in.Field); !ok {
+					return fmt.Errorf("fieldgep of unknown field %q: %s", in.Field, in)
+				}
+			case OpCondBr:
+				if in.Then == nil || in.Else == nil {
+					return fmt.Errorf("condbr missing target: %s", in)
+				}
+			case OpBr:
+				if in.Then == nil {
+					return fmt.Errorf("br missing target: %s", in)
+				}
+			}
+			if i, ok := interface{}(in).(*Instr); ok && !i.IsTerminator() {
+				seen[in] = true
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,533 @@
+// Package litmus contains the Spectre benchmark corpus of §6.1 in mini-C:
+// 15 litmus-pht cases in the style of Kocher's Spectre v1 variants, 14
+// litmus-stl cases in the style of the Binsec/Haunted STL suite, 5
+// litmus-fwd (Spectre v1.1) cases, and the 2 litmus-new cases the paper
+// introduces (NEW01 is reproduced verbatim from §6.1). Each case carries
+// the transmitter classes its authors intend it to exhibit, which the
+// Table 2 harness compares against Clou's findings.
+package litmus
+
+import "lcm/internal/core"
+
+// Case is one benchmark program.
+type Case struct {
+	Name   string
+	Suite  string // "pht", "stl", "fwd", or "new"
+	Source string
+	Fn     string
+	// Intended lists the transmitter classes the benchmark is annotated
+	// with; empty plus Secure=true marks an intended-safe program.
+	Intended []core.Class
+	Secure   bool
+	// Note records provenance quirks (e.g. the register-keyword cases).
+	Note string
+}
+
+const phtPrelude = `
+uint8_t array1[16];
+uint8_t array2[131072];
+uint32_t array1_size = 16;
+uint8_t temp;
+uint8_t k;
+`
+
+// PHT returns the litmus-pht suite: bounds-check-bypass gadgets in the
+// style of Kocher's 15 MSVC examples.
+func PHT() []Case {
+	return []Case{
+		{
+			Name: "pht01", Suite: "pht", Fn: "victim_1",
+			Intended: []core.Class{core.UDT},
+			Source: phtPrelude + `
+void victim_1(uint32_t x) {
+	if (x < array1_size) {
+		temp &= array2[array1[x] * 512];
+	}
+}`,
+		},
+		{
+			Name: "pht02", Suite: "pht", Fn: "victim_2",
+			Intended: []core.Class{core.UCT},
+			Note:     "leak via a second branch on the secret",
+			Source: phtPrelude + `
+void victim_2(uint32_t x) {
+	if (x < array1_size) {
+		if (array1[x] == k) {
+			temp &= array2[0];
+		}
+	}
+}`,
+		},
+		{
+			Name: "pht03", Suite: "pht", Fn: "victim_3",
+			Intended: []core.Class{core.UDT},
+			Note:     "gadget behind a call",
+			Source: phtPrelude + `
+void leak(uint32_t x) {
+	temp &= array2[array1[x] * 512];
+}
+void victim_3(uint32_t x) {
+	if (x < array1_size) {
+		leak(x);
+	}
+}`,
+		},
+		{
+			Name: "pht04", Suite: "pht", Fn: "victim_4",
+			Intended: []core.Class{core.UDT},
+			Note:     "index arithmetic between check and use",
+			Source: phtPrelude + `
+void victim_4(uint32_t x) {
+	if (x < array1_size) {
+		uint32_t i = x << 1;
+		temp &= array2[array1[i >> 1] * 512];
+	}
+}`,
+		},
+		{
+			Name: "pht05", Suite: "pht", Fn: "victim_5",
+			Intended: []core.Class{core.UDT},
+			Note:     "check and use in a loop",
+			Source: phtPrelude + `
+void victim_5(uint32_t x, uint32_t n) {
+	for (uint32_t i = 0; i < n; i++) {
+		if (x < array1_size) {
+			temp &= array2[array1[x] * 512];
+		}
+	}
+}`,
+		},
+		{
+			Name: "pht06", Suite: "pht", Fn: "victim_6",
+			Secure: true,
+			Note:   "index masking: semantically safe, a known Clou false positive (§6.1 — no semantic analysis of masks)",
+			Source: phtPrelude + `
+void victim_6(uint32_t x) {
+	temp &= array2[array1[x & (16 - 1)] * 512];
+}`,
+		},
+		{
+			Name: "pht07", Suite: "pht", Fn: "victim_7",
+			Intended: []core.Class{core.UDT},
+			Note:     "access via pointer parameter",
+			Source: phtPrelude + `
+void victim_7(uint8_t *p, uint32_t x) {
+	if (x < array1_size) {
+		temp &= array2[p[x] * 512];
+	}
+}`,
+		},
+		{
+			Name: "pht08", Suite: "pht", Fn: "victim_8",
+			Intended: []core.Class{core.UDT},
+			Note:     "ternary bounds check",
+			Source: phtPrelude + `
+void victim_8(uint32_t x) {
+	uint32_t i = x < array1_size ? x : 0;
+	if (x < array1_size) {
+		temp &= array2[array1[i] * 512];
+	}
+}`,
+		},
+		{
+			Name: "pht09", Suite: "pht", Fn: "victim_9",
+			Intended: []core.Class{core.UDT},
+			Note:     "double bounds check does not help",
+			Source: phtPrelude + `
+void victim_9(uint32_t x) {
+	if (x < array1_size) {
+		if (x < 16) {
+			temp &= array2[array1[x] * 512];
+		}
+	}
+}`,
+		},
+		{
+			Name: "pht10", Suite: "pht", Fn: "victim_10",
+			Intended: []core.Class{core.UDT},
+			Note:     "secret-dependent write address (v1.1-flavored transmit)",
+			Source: phtPrelude + `
+void victim_10(uint32_t x) {
+	if (x < array1_size) {
+		array2[array1[x] * 512] = 1;
+	}
+}`,
+		},
+		{
+			Name: "pht11", Suite: "pht", Fn: "victim_11",
+			Intended: []core.Class{core.UDT},
+			Note:     "index reloaded from a global between check and use",
+			Source: phtPrelude + `
+uint32_t saved;
+void victim_11(uint32_t x) {
+	saved = x;
+	if (saved < array1_size) {
+		temp &= array2[array1[saved] * 512];
+	}
+}`,
+		},
+		{
+			Name: "pht12", Suite: "pht", Fn: "victim_12",
+			Intended: []core.Class{core.UDT},
+			Note:     "two-level index through a second table",
+			Source: phtPrelude + `
+uint8_t table[256];
+void victim_12(uint32_t x) {
+	if (x < array1_size) {
+		temp &= array2[table[array1[x]] * 512];
+	}
+}`,
+		},
+		{
+			Name: "pht13", Suite: "pht", Fn: "victim_13",
+			Intended: []core.Class{core.UCT},
+			Note:     "comparison leak without data use",
+			Source: phtPrelude + `
+void victim_13(uint32_t x) {
+	if (x < array1_size) {
+		if (array1[x] < 8) {
+			temp += 1;
+		}
+	}
+}`,
+		},
+		{
+			Name: "pht14", Suite: "pht", Fn: "victim_14",
+			Intended: []core.Class{core.UDT},
+			Note:     "offset into struct field",
+			Source: phtPrelude + `
+struct Entry { uint8_t pad; uint8_t val; };
+struct Entry entries[16];
+void victim_14(uint32_t x) {
+	if (x < array1_size) {
+		temp &= array2[entries[x].val * 512];
+	}
+}`,
+		},
+		{
+			Name: "pht15", Suite: "pht", Fn: "victim_15",
+			Intended: []core.Class{core.UDT},
+			Note:     "attacker index loaded from memory",
+			Source: phtPrelude + `
+uint32_t x_global;
+void victim_15(void) {
+	uint32_t x = x_global;
+	if (x < array1_size) {
+		temp &= array2[array1[x] * 512];
+	}
+}`,
+		},
+	}
+}
+
+const stlPrelude = `
+uint8_t sec_ary[16];
+uint8_t pub_ary[131072];
+uint32_t ary_size = 16;
+uint8_t temp;
+`
+
+// STL returns the litmus-stl suite: store-to-load bypass gadgets in the
+// style of the Binsec/Haunted STL benchmarks.
+func STL() []Case {
+	return []Case{
+		{
+			Name: "stl01", Suite: "stl", Fn: "case_1",
+			Intended: []core.Class{core.DT, core.UDT},
+			Note:     "§6.1 STL01: masked index overwritten; the stale stack read of idx adds a UDT",
+			Source: stlPrelude + `
+uint32_t idx_slot;
+void case_1(uint32_t idx) {
+	idx_slot = idx & (ary_size - 1);
+	temp &= pub_ary[sec_ary[idx_slot] * 512];
+}`,
+		},
+		{
+			Name: "stl02", Suite: "stl", Fn: "case_2",
+			Intended: []core.Class{core.UDT},
+			Note:     "stale stack slot read before the masking store resolves",
+			Source: stlPrelude + `
+void case_2(uint32_t idx) {
+	uint32_t ridx = idx & (ary_size - 1);
+	temp &= pub_ary[sec_ary[ridx] * 512];
+}`,
+		},
+		{
+			Name: "stl03", Suite: "stl", Fn: "case_3",
+			Intended: []core.Class{core.UDT},
+			Note:     "pointer overwritten before use; stale pointer dereferenced",
+			Source: stlPrelude + `
+uint8_t *ptr_slot;
+uint8_t safe_buf[16];
+void case_3(uint32_t idx) {
+	ptr_slot = safe_buf;
+	temp &= pub_ary[ptr_slot[idx & 15] * 512];
+}`,
+		},
+		{
+			Name: "stl04", Suite: "stl", Fn: "case_4",
+			Intended: []core.Class{core.UDT},
+			Note:     "secret cleared, then read: the clear can be bypassed",
+			Source: stlPrelude + `
+uint8_t key_byte;
+void case_4(uint32_t idx) {
+	key_byte = 0;
+	temp &= pub_ary[key_byte * 512 + (idx & 15)];
+}`,
+		},
+		{
+			Name: "stl05", Suite: "stl", Fn: "case_5",
+			Intended: []core.Class{core.UDT},
+			Note:     "double pointer (STL01's **ppp shape)",
+			Source: stlPrelude + `
+uint8_t buf_a[16];
+uint8_t *pp;
+void case_5(uint32_t idx) {
+	pp = buf_a;
+	temp &= pub_ary[pp[idx & 15] * 512];
+}`,
+		},
+		{
+			Name: "stl06", Suite: "stl", Fn: "case_6",
+			Secure: true,
+			Note:   "fence between store and load: safe",
+			Source: stlPrelude + `
+void lfence(void);
+uint32_t slot6;
+void case_6(uint32_t idx) {
+	slot6 = idx & (ary_size - 1);
+	lfence();
+	temp &= pub_ary[sec_ary[slot6] * 512];
+}`,
+		},
+		{
+			Name: "stl07", Suite: "stl", Fn: "case_7",
+			Intended: []core.Class{core.UDT},
+			Note:     "register keyword ignored at -O0 (§6.1): the spill is bypassable anyway",
+			Source: stlPrelude + `
+void case_7(uint32_t idx) {
+	register uint32_t ridx = idx & (ary_size - 1);
+	temp &= pub_ary[sec_ary[ridx] * 512];
+}`,
+		},
+		{
+			Name: "stl08", Suite: "stl", Fn: "case_8",
+			Intended: []core.Class{core.UDT},
+			Note:     "store and load separated by arithmetic, still inside the LSQ window",
+			Source: stlPrelude + `
+uint32_t slot8;
+void case_8(uint32_t idx) {
+	slot8 = idx & (ary_size - 1);
+	uint32_t a = idx * 3;
+	uint32_t b = a + 7;
+	temp &= pub_ary[sec_ary[slot8] * 512 + (b & 0)];
+}`,
+		},
+		{
+			Name: "stl09", Suite: "stl", Fn: "case_9",
+			Intended: []core.Class{core.UDT},
+			Note:     "struct field overwrite bypassed",
+			Source: stlPrelude + `
+struct Ctx { uint32_t idx; uint32_t pad; };
+struct Ctx ctx;
+void case_9(uint32_t idx) {
+	ctx.idx = idx & (ary_size - 1);
+	temp &= pub_ary[sec_ary[ctx.idx] * 512];
+}`,
+		},
+		{
+			Name: "stl10", Suite: "stl", Fn: "case_10",
+			Intended: []core.Class{core.UDT},
+			Note:     "argument spill bypass: callee reads the caller's stale slot",
+			Source: stlPrelude + `
+uint8_t probe(uint32_t i) {
+	return pub_ary[sec_ary[i & 15] * 512];
+}
+void case_10(uint32_t idx) {
+	temp &= probe(idx);
+}`,
+		},
+		{
+			Name: "stl11", Suite: "stl", Fn: "case_11",
+			Intended: []core.Class{core.UDT},
+			Note:     "two stores to the slot; either can be bypassed",
+			Source: stlPrelude + `
+uint32_t slot11;
+void case_11(uint32_t idx) {
+	slot11 = idx;
+	slot11 = idx & (ary_size - 1);
+	temp &= pub_ary[sec_ary[slot11] * 512];
+}`,
+		},
+		{
+			Name: "stl12", Suite: "stl", Fn: "case_12",
+			Intended: []core.Class{core.UDT},
+			Note:     "bypass inside a loop body",
+			Source: stlPrelude + `
+uint32_t slot12;
+void case_12(uint32_t idx, uint32_t n) {
+	for (uint32_t i = 0; i < n; i++) {
+		slot12 = idx & (ary_size - 1);
+		temp &= pub_ary[sec_ary[slot12] * 512];
+	}
+}`,
+		},
+		{
+			Name: "stl13", Suite: "stl", Fn: "case_13",
+			Intended: []core.Class{core.UDT},
+			Note:     "labeled secure by the benchmark authors, but §6.1: a return bypassing a stack store leaks — modeled here as a helper whose cleanup store is bypassable",
+			Source: stlPrelude + `
+uint32_t slot13;
+uint8_t helper13(uint32_t i) {
+	slot13 = i & 15;
+	return sec_ary[slot13];
+}
+void case_13(uint32_t idx) {
+	temp &= pub_ary[helper13(idx) * 512];
+}`,
+		},
+		{
+			Name: "stl14", Suite: "stl", Fn: "case_14",
+			Secure: true,
+			Note:   "no store precedes the load: nothing to bypass",
+			Source: stlPrelude + `
+uint8_t case_14(void) {
+	return pub_ary[0];
+}`,
+		},
+	}
+}
+
+const fwdPrelude = `
+uint8_t sec_ary1[16];
+uint8_t sec_ary2[16];
+uint8_t pub_ary[131072];
+uint32_t sec_ary1_size = 16;
+uint32_t sec_ary2_size = 16;
+uint8_t temp;
+uint8_t *ptr;
+`
+
+// FWD returns the litmus-fwd suite: Spectre v1.1 gadgets where a
+// speculative (bounds-check-bypassing) store forwards attacker data.
+func FWD() []Case {
+	return []Case{
+		{
+			Name: "fwd01", Suite: "fwd", Fn: "fwd_1",
+			Intended: []core.Class{core.UDT},
+			Note:     "speculative store to attacker index, then forwarded to a load",
+			Source: fwdPrelude + `
+uint32_t slot_f1;
+void fwd_1(uint32_t idx, uint8_t v) {
+	if (idx < sec_ary1_size) {
+		sec_ary1[idx] = v;
+		temp &= pub_ary[sec_ary1[idx] * 512];
+	}
+}`,
+		},
+		{
+			Name: "fwd02", Suite: "fwd", Fn: "fwd_2",
+			Intended: []core.Class{core.UDT},
+			Note:     "speculatively overwritten index steers a later access",
+			Source: fwdPrelude + `
+uint32_t idx_f2;
+void fwd_2(uint32_t idx) {
+	if (idx < sec_ary1_size) {
+		idx_f2 = idx;
+	}
+	temp &= pub_ary[sec_ary1[idx_f2 & 15] * 512];
+}`,
+		},
+		{
+			Name: "fwd03", Suite: "fwd", Fn: "fwd_3",
+			Intended: []core.Class{core.UDT},
+			Note:     "speculative write through a pointer",
+			Source: fwdPrelude + `
+void fwd_3(uint32_t idx, uint8_t v) {
+	if (idx < sec_ary2_size) {
+		ptr[idx] = v;
+		temp &= pub_ary[sec_ary2[idx] * 512];
+	}
+}`,
+		},
+		{
+			Name: "fwd04", Suite: "fwd", Fn: "fwd_4",
+			Intended: []core.Class{core.UDT},
+			Note:     "two-array v1.1 composition",
+			Source: fwdPrelude + `
+void fwd_4(uint32_t i1, uint32_t i2) {
+	if (i1 < sec_ary1_size) {
+		if (i2 < sec_ary2_size) {
+			sec_ary2[i2] = sec_ary1[i1];
+			temp &= pub_ary[sec_ary2[i2] * 512];
+		}
+	}
+}`,
+		},
+		{
+			Name: "fwd05", Suite: "fwd", Fn: "fwd_5",
+			Intended: []core.Class{core.UDT},
+			Note:     "forwarded secret reused as a pointer offset",
+			Source: fwdPrelude + `
+uint32_t off_f5;
+void fwd_5(uint32_t idx) {
+	if (idx < sec_ary1_size) {
+		off_f5 = sec_ary1[idx];
+		temp &= pub_ary[off_f5 * 512];
+	}
+}`,
+		},
+	}
+}
+
+// NEW returns the paper's own litmus-new suite. NEW01 is the §6.1 listing
+// verbatim.
+func NEW() []Case {
+	return []Case{
+		{
+			Name: "new01", Suite: "new", Fn: "new_1",
+			Intended: []core.Class{core.UDT},
+			Note:     "§6.1 NEW01: attacker-controlled speculative write of a secret to a pointer/index in memory, then dereferenced",
+			Source: fwdPrelude + `
+void new_1(size_t idx1, size_t idx2) {
+	if (idx1 < sec_ary1_size && idx2 < sec_ary2_size) {
+		sec_ary2[idx2] += sec_ary1[idx1] * 512;
+	}
+	*ptr = 0;
+}`,
+		},
+		{
+			Name: "new02", Suite: "new", Fn: "new_2",
+			Intended: []core.Class{core.UDT},
+			Note:     "variant: secret written into an index slot then used after the join",
+			Source: fwdPrelude + `
+uint32_t slot_n2;
+void new_2(size_t idx1) {
+	if (idx1 < sec_ary1_size) {
+		slot_n2 = sec_ary1[idx1];
+	}
+	temp &= pub_ary[slot_n2 * 512];
+}`,
+		},
+	}
+}
+
+// All returns every case across the four suites.
+func All() []Case {
+	var out []Case
+	out = append(out, PHT()...)
+	out = append(out, STL()...)
+	out = append(out, FWD()...)
+	out = append(out, NEW()...)
+	return out
+}
+
+// Suites returns the cases grouped by suite name in paper order.
+func Suites() map[string][]Case {
+	return map[string][]Case{
+		"pht": PHT(),
+		"stl": STL(),
+		"fwd": FWD(),
+		"new": NEW(),
+	}
+}

@@ -1,0 +1,470 @@
+// Package lower translates minic ASTs into ir modules in Clang -O0 style:
+// every local variable (including register-qualified ones, which -O0
+// ignores — the behaviour §6.1 calls out) lives in a stack slot; every
+// expression read loads from memory; values never cross basic blocks
+// except through memory. This reproduces the IR shape of the artifacts
+// Clou analyzes.
+package lower
+
+import (
+	"fmt"
+
+	"lcm/internal/ir"
+	"lcm/internal/minic"
+)
+
+// Module lowers a parsed file to an IR module.
+func Module(f *minic.File) (*ir.Module, error) {
+	lw := &lowerer{
+		m:       ir.NewModule(),
+		file:    f,
+		globals: make(map[string]*ir.Global),
+		consts:  make(map[string]uint64),
+		funcs:   make(map[string]*ir.Func),
+	}
+	if err := lw.structs(); err != nil {
+		return nil, err
+	}
+	if err := lw.globalDecls(); err != nil {
+		return nil, err
+	}
+	// Two passes over functions: declare first (so calls resolve types),
+	// then lower bodies.
+	for _, fd := range f.Funcs {
+		if lw.funcs[fd.Name] != nil {
+			continue
+		}
+		irf, err := lw.declareFunc(fd)
+		if err != nil {
+			return nil, err
+		}
+		lw.funcs[fd.Name] = irf
+		lw.m.Funcs = append(lw.m.Funcs, irf)
+	}
+	for _, fd := range f.Funcs {
+		if fd.Body == nil {
+			continue
+		}
+		if err := lw.lowerFunc(lw.funcs[fd.Name], fd); err != nil {
+			return nil, fmt.Errorf("func %s: %w", fd.Name, err)
+		}
+	}
+	if err := ir.Verify(lw.m); err != nil {
+		return nil, err
+	}
+	return lw.m, nil
+}
+
+type lowerer struct {
+	m       *ir.Module
+	file    *minic.File
+	globals map[string]*ir.Global
+	consts  map[string]uint64 // enumerators and const-init scalars
+	funcs   map[string]*ir.Func
+}
+
+// Error is a lowering failure.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...interface{}) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// typeOf resolves a syntactic type.
+func (lw *lowerer) typeOf(te minic.TypeExpr) (ir.Type, error) {
+	var base ir.Type
+	switch te.Base {
+	case "void":
+		if te.Ptr > 0 {
+			base = ir.U8 // void* models as u8*
+		} else {
+			base = ir.Void
+		}
+	case "char":
+		base = ir.IntType{Bits: 8, Unsigned: te.Unsigned}
+	case "short":
+		base = ir.IntType{Bits: 16, Unsigned: te.Unsigned}
+	case "int":
+		base = ir.IntType{Bits: 32, Unsigned: te.Unsigned}
+	case "long":
+		base = ir.IntType{Bits: 64, Unsigned: te.Unsigned}
+	case "struct":
+		st, ok := lw.m.Structs[te.StructName]
+		if !ok {
+			return nil, fmt.Errorf("unknown struct %q", te.StructName)
+		}
+		base = st
+	default:
+		return nil, fmt.Errorf("unknown type %q", te.Base)
+	}
+	for i := 0; i < te.Ptr; i++ {
+		base = ir.Ptr(base)
+	}
+	// Array dims outermost-first: int a[2][3] is Array(2, Array(3, int)).
+	for i := len(te.ArrayDims) - 1; i >= 0; i-- {
+		n := int(te.ArrayDims[i])
+		if n == 0 {
+			base = ir.Ptr(base) // unsized arrays decay
+			continue
+		}
+		base = ir.ArrayType{Elem: base, N: n}
+	}
+	return base, nil
+}
+
+func (lw *lowerer) structs() error {
+	for _, sd := range lw.file.Structs {
+		var fields []ir.StructField
+		for _, f := range sd.Fields {
+			// Self-referential pointer fields resolve lazily to u8*.
+			ty, err := lw.typeOf(f.Type)
+			if err != nil {
+				if f.Type.Ptr > 0 {
+					ty = ir.Ptr(ir.U8)
+				} else {
+					return err
+				}
+			}
+			fields = append(fields, ir.StructField{Name: f.Name, Ty: ty})
+		}
+		name := sd.Name
+		if name == "" {
+			name = fmt.Sprintf("anon%d", len(lw.m.Structs))
+		}
+		lw.m.Structs[name] = ir.NewStruct(name, fields)
+	}
+	return nil
+}
+
+func (lw *lowerer) globalDecls() error {
+	for _, g := range lw.file.Globals {
+		ty, err := lw.typeOf(g.Type)
+		if err != nil {
+			return errf(g.Line, "%v", err)
+		}
+		init := make([]byte, 0, ty.Size())
+		writeN := func(v uint64, size int) {
+			for i := 0; i < size; i++ {
+				init = append(init, byte(v>>(8*uint(i))))
+			}
+		}
+		switch {
+		case g.Init != nil:
+			v, ok := minic.EvalConst(g.Init)
+			if !ok {
+				return errf(g.Line, "global %s: non-constant initializer", g.Name)
+			}
+			writeN(v, ty.Size())
+			lw.consts[g.Name] = v
+		case g.InitList != nil:
+			at, ok := ty.(ir.ArrayType)
+			if !ok {
+				return errf(g.Line, "global %s: list initializer on non-array", g.Name)
+			}
+			for _, e := range g.InitList {
+				v, ok := minic.EvalConst(e)
+				if !ok {
+					return errf(g.Line, "global %s: non-constant element", g.Name)
+				}
+				writeN(v, at.Elem.Size())
+			}
+		}
+		gl := &ir.Global{Nm: g.Name, Elem: ty, Init: init}
+		lw.globals[g.Name] = gl
+		lw.m.Globals = append(lw.m.Globals, gl)
+	}
+	return nil
+}
+
+func (lw *lowerer) declareFunc(fd *minic.FuncDecl) (*ir.Func, error) {
+	ret, err := lw.typeOf(fd.Ret)
+	if err != nil {
+		return nil, errf(fd.Line, "%v", err)
+	}
+	irf := &ir.Func{Nm: fd.Name, Ret: ret}
+	for i, p := range fd.Params {
+		pty, err := lw.typeOf(p.Type)
+		if err != nil {
+			return nil, errf(fd.Line, "param %s: %v", p.Name, err)
+		}
+		name := p.Name
+		if name == "" {
+			name = fmt.Sprintf("arg%d", i)
+		}
+		irf.Params = append(irf.Params, &ir.Param{Nm: name, Ty: pty, Idx: i})
+	}
+	return irf, nil
+}
+
+// fctx is per-function lowering state.
+type fctx struct {
+	lw     *lowerer
+	f      *ir.Func
+	blk    *ir.Block
+	scopes []map[string]*ir.Instr // name → alloca
+	// loop targets for break/continue
+	breaks    []*ir.Block
+	continues []*ir.Block
+}
+
+func (lw *lowerer) lowerFunc(irf *ir.Func, fd *minic.FuncDecl) error {
+	c := &fctx{lw: lw, f: irf}
+	entry := irf.NewBlock("entry")
+	c.blk = entry
+	c.push()
+	defer c.pop()
+	// Spill parameters to stack slots (-O0 style).
+	for _, p := range irf.Params {
+		slot := c.emit(&ir.Instr{Op: ir.OpAlloca, Ty: ir.Ptr(p.Ty), AllocaElem: p.Ty, Nm: p.Nm + ".addr"})
+		c.emit(&ir.Instr{Op: ir.OpStore, Args: []ir.Value{p, slot}})
+		c.bind(p.Nm, slot)
+	}
+	if err := c.block(fd.Body); err != nil {
+		return err
+	}
+	// Terminate the final block if the function falls off the end.
+	if c.blk.Terminator() == nil {
+		if irf.Ret.Size() == 0 {
+			c.emit(&ir.Instr{Op: ir.OpRet})
+		} else {
+			c.emit(&ir.Instr{Op: ir.OpRet, Args: []ir.Value{ir.ConstInt(irf.Ret, 0)}})
+		}
+	}
+	return nil
+}
+
+func (c *fctx) push() { c.scopes = append(c.scopes, map[string]*ir.Instr{}) }
+func (c *fctx) pop()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *fctx) bind(name string, slot *ir.Instr) {
+	c.scopes[len(c.scopes)-1][name] = slot
+}
+
+func (c *fctx) lookup(name string) *ir.Instr {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return nil
+}
+
+func (c *fctx) emit(in *ir.Instr) *ir.Instr { return c.f.Append(c.blk, in) }
+
+// newBlockAfter starts emitting into a fresh block.
+func (c *fctx) setBlock(b *ir.Block) { c.blk = b }
+
+func (c *fctx) block(b *minic.Block) error {
+	c.push()
+	defer c.pop()
+	for _, s := range b.Stmts {
+		if err := c.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *fctx) stmt(s minic.Stmt) error {
+	// Statements after a terminator are unreachable; Clang emits them into
+	// dead blocks — do the same so the IR stays verifiable.
+	if c.blk.Terminator() != nil {
+		c.setBlock(c.f.NewBlock("dead"))
+	}
+	switch s := s.(type) {
+	case *minic.Block:
+		return c.block(s)
+	case *minic.DeclStmt:
+		for _, d := range s.Decls {
+			if err := c.localDecl(d); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *minic.ExprStmt:
+		_, err := c.rvalue(s.X)
+		return err
+	case *minic.IfStmt:
+		return c.ifStmt(s)
+	case *minic.WhileStmt:
+		return c.whileStmt(s)
+	case *minic.ForStmt:
+		return c.forStmt(s)
+	case *minic.ReturnStmt:
+		if s.X == nil {
+			c.emit(&ir.Instr{Op: ir.OpRet, Line: s.Line})
+			return nil
+		}
+		v, err := c.rvalue(s.X)
+		if err != nil {
+			return err
+		}
+		if c.f.Ret.Size() > 0 {
+			v = c.coerce(v, c.f.Ret)
+			c.emit(&ir.Instr{Op: ir.OpRet, Args: []ir.Value{v}, Line: s.Line})
+		} else {
+			c.emit(&ir.Instr{Op: ir.OpRet, Line: s.Line})
+		}
+		return nil
+	case *minic.BreakStmt:
+		if len(c.breaks) == 0 {
+			return errf(s.Line, "break outside loop")
+		}
+		c.emit(&ir.Instr{Op: ir.OpBr, Then: c.breaks[len(c.breaks)-1], Line: s.Line})
+		return nil
+	case *minic.ContinueStmt:
+		if len(c.continues) == 0 {
+			return errf(s.Line, "continue outside loop")
+		}
+		c.emit(&ir.Instr{Op: ir.OpBr, Then: c.continues[len(c.continues)-1], Line: s.Line})
+		return nil
+	}
+	return fmt.Errorf("unknown statement %T", s)
+}
+
+func (c *fctx) localDecl(d *minic.VarDecl) error {
+	ty, err := c.lw.typeOf(d.Type)
+	if err != nil {
+		return errf(d.Line, "%v", err)
+	}
+	slot := c.emit(&ir.Instr{Op: ir.OpAlloca, Ty: ir.Ptr(ty), AllocaElem: ty, Nm: d.Name + ".addr", Line: d.Line})
+	c.bind(d.Name, slot)
+	switch {
+	case d.Init != nil:
+		v, err := c.rvalue(d.Init)
+		if err != nil {
+			return err
+		}
+		c.emit(&ir.Instr{Op: ir.OpStore, Args: []ir.Value{c.coerce(v, ty), slot}, Line: d.Line})
+	case d.InitList != nil:
+		at, ok := ty.(ir.ArrayType)
+		if !ok {
+			return errf(d.Line, "list initializer on non-array")
+		}
+		base := c.decay(slot)
+		for i, e := range d.InitList {
+			v, err := c.rvalue(e)
+			if err != nil {
+				return err
+			}
+			ep := c.emit(&ir.Instr{Op: ir.OpGEP, Ty: ir.Ptr(at.Elem),
+				Args: []ir.Value{base, ir.ConstInt(ir.I64, uint64(i))}, Line: d.Line})
+			c.emit(&ir.Instr{Op: ir.OpStore, Args: []ir.Value{c.coerce(v, at.Elem), ep}, Line: d.Line})
+		}
+	}
+	return nil
+}
+
+func (c *fctx) ifStmt(s *minic.IfStmt) error {
+	cond, err := c.condValue(s.Cond)
+	if err != nil {
+		return err
+	}
+	thenB := c.f.NewBlock("if.then")
+	joinB := c.f.NewBlock("if.end")
+	elseB := joinB
+	if s.Else != nil {
+		elseB = c.f.NewBlock("if.else")
+	}
+	c.emit(&ir.Instr{Op: ir.OpCondBr, Args: []ir.Value{cond}, Then: thenB, Else: elseB, Line: s.Line})
+	c.setBlock(thenB)
+	if err := c.block(s.Then); err != nil {
+		return err
+	}
+	if c.blk.Terminator() == nil {
+		c.emit(&ir.Instr{Op: ir.OpBr, Then: joinB})
+	}
+	if s.Else != nil {
+		c.setBlock(elseB)
+		if err := c.block(s.Else); err != nil {
+			return err
+		}
+		if c.blk.Terminator() == nil {
+			c.emit(&ir.Instr{Op: ir.OpBr, Then: joinB})
+		}
+	}
+	c.setBlock(joinB)
+	return nil
+}
+
+func (c *fctx) whileStmt(s *minic.WhileStmt) error {
+	condB := c.f.NewBlock("while.cond")
+	bodyB := c.f.NewBlock("while.body")
+	endB := c.f.NewBlock("while.end")
+	if s.PostCheck {
+		c.emit(&ir.Instr{Op: ir.OpBr, Then: bodyB, Line: s.Line})
+	} else {
+		c.emit(&ir.Instr{Op: ir.OpBr, Then: condB, Line: s.Line})
+	}
+	c.setBlock(condB)
+	cond, err := c.condValue(s.Cond)
+	if err != nil {
+		return err
+	}
+	c.emit(&ir.Instr{Op: ir.OpCondBr, Args: []ir.Value{cond}, Then: bodyB, Else: endB, Line: s.Line})
+	c.setBlock(bodyB)
+	c.breaks = append(c.breaks, endB)
+	c.continues = append(c.continues, condB)
+	err = c.block(s.Body)
+	c.breaks = c.breaks[:len(c.breaks)-1]
+	c.continues = c.continues[:len(c.continues)-1]
+	if err != nil {
+		return err
+	}
+	if c.blk.Terminator() == nil {
+		c.emit(&ir.Instr{Op: ir.OpBr, Then: condB})
+	}
+	c.setBlock(endB)
+	return nil
+}
+
+func (c *fctx) forStmt(s *minic.ForStmt) error {
+	c.push()
+	defer c.pop()
+	if s.Init != nil {
+		if err := c.stmt(s.Init); err != nil {
+			return err
+		}
+	}
+	condB := c.f.NewBlock("for.cond")
+	bodyB := c.f.NewBlock("for.body")
+	postB := c.f.NewBlock("for.post")
+	endB := c.f.NewBlock("for.end")
+	c.emit(&ir.Instr{Op: ir.OpBr, Then: condB, Line: s.Line})
+	c.setBlock(condB)
+	if s.Cond != nil {
+		cond, err := c.condValue(s.Cond)
+		if err != nil {
+			return err
+		}
+		c.emit(&ir.Instr{Op: ir.OpCondBr, Args: []ir.Value{cond}, Then: bodyB, Else: endB, Line: s.Line})
+	} else {
+		c.emit(&ir.Instr{Op: ir.OpBr, Then: bodyB, Line: s.Line})
+	}
+	c.setBlock(bodyB)
+	c.breaks = append(c.breaks, endB)
+	c.continues = append(c.continues, postB)
+	err := c.block(s.Body)
+	c.breaks = c.breaks[:len(c.breaks)-1]
+	c.continues = c.continues[:len(c.continues)-1]
+	if err != nil {
+		return err
+	}
+	if c.blk.Terminator() == nil {
+		c.emit(&ir.Instr{Op: ir.OpBr, Then: postB})
+	}
+	c.setBlock(postB)
+	if s.Post != nil {
+		if _, err := c.rvalue(s.Post); err != nil {
+			return err
+		}
+	}
+	c.emit(&ir.Instr{Op: ir.OpBr, Then: condB})
+	c.setBlock(endB)
+	return nil
+}

@@ -1,0 +1,187 @@
+package mcm
+
+import (
+	"sort"
+
+	"lcm/internal/event"
+)
+
+// EnumerateOptions controls witness enumeration.
+type EnumerateOptions struct {
+	// StaleForwarding permits transient reads to read from co-stale writes
+	// (the rf relaxation induced by store forwarding, §3.3). When false,
+	// transient reads are sourced like committed reads.
+	StaleForwarding bool
+}
+
+// ConsistentExecutions enumerates every execution witness (rf, co) of the
+// event structure es and returns the candidate executions consistent with
+// model m. Each returned graph is a clone of es with RF and CO populated;
+// transient reads also receive rf edges (they architecturally observe a
+// value even though they never commit, Fig. 2b).
+func ConsistentExecutions(es *event.Graph, m Model, opts EnumerateOptions) []*event.Graph {
+	var out []*event.Graph
+	EnumerateExecutions(es, opts, func(g *event.Graph) {
+		if m.Consistent(g) {
+			out = append(out, g)
+		}
+	})
+	return out
+}
+
+// EnumerateExecutions calls yield for every structurally well-formed
+// execution witness of es, consistent or not. The caller typically filters
+// with a Model (architectural semantics) or a core.LCM (microarchitectural
+// semantics).
+func EnumerateExecutions(es *event.Graph, opts EnumerateOptions, yield func(*event.Graph)) {
+	top := es.Tops()[0].ID
+
+	// Group committed writes by location.
+	writesByLoc := make(map[event.Location][]int)
+	var committedWrites []int
+	for _, e := range es.Events {
+		if e.IsWrite() && e.Committed() {
+			writesByLoc[e.Loc] = append(writesByLoc[e.Loc], e.ID)
+			committedWrites = append(committedWrites, e.ID)
+		}
+	}
+	sort.Ints(committedWrites)
+	locs := make([]event.Location, 0, len(writesByLoc))
+	for l := range writesByLoc {
+		locs = append(locs, l)
+	}
+	sort.Slice(locs, func(i, j int) bool { return locs[i] < locs[j] })
+
+	// Reads needing rf sources, in ID order for determinism.
+	var reads []int
+	for _, e := range es.Events {
+		if e.IsRead() && !e.Prefetch {
+			reads = append(reads, e.ID)
+		}
+	}
+	sort.Ints(reads)
+
+	// Candidate rf sources per read.
+	sources := make(map[int][]int, len(reads))
+	for _, r := range reads {
+		re := es.Events[r]
+		cands := []int{top}
+		for _, e := range es.Events {
+			if !e.IsWrite() || e.Loc != re.Loc {
+				continue
+			}
+			if !e.Committed() {
+				// A transient write can source only a transient same-thread
+				// read (LSQ forwarding inside the speculation window).
+				if !re.Transient || e.Thread != re.Thread || !es.TFO.Has(e.ID, r) {
+					continue
+				}
+				if !opts.StaleForwarding {
+					continue
+				}
+				cands = append(cands, e.ID)
+				continue
+			}
+			if re.Transient {
+				// Transient reads may observe any write not fetched after
+				// them; with StaleForwarding they may additionally observe
+				// stale (co-earlier) data, which enumeration naturally
+				// covers by listing all candidates.
+				if e.Thread == re.Thread && es.TFO.Has(r, e.ID) {
+					continue
+				}
+				cands = append(cands, e.ID)
+				continue
+			}
+			// Committed read: any committed write, same or other thread;
+			// consistency predicates prune impossible choices.
+			if e.Thread == re.Thread && es.PO.Has(r, e.ID) {
+				continue // reading from a po-later same-thread write is never consistent
+			}
+			cands = append(cands, e.ID)
+		}
+		sources[r] = cands
+	}
+
+	// Enumerate co as permutations of writes per location (Top is
+	// implicitly first), combined across locations, then rf choices.
+	coChoices := enumerateCoChoices(locs, writesByLoc)
+
+	assign := make([]int, len(reads))
+	var rec func(i int, emit func())
+	rec = func(i int, emit func()) {
+		if i == len(reads) {
+			emit()
+			return
+		}
+		for _, w := range sources[reads[i]] {
+			assign[i] = w
+			rec(i+1, emit)
+		}
+	}
+
+	for _, coPerm := range coChoices {
+		rec(0, func() {
+			g := es.Clone()
+			for loc, order := range coPerm {
+				_ = loc
+				prev := top
+				for _, w := range order {
+					g.CO.Add(prev, w)
+					prev = w
+				}
+			}
+			g.CO = g.CO.TransitiveClosure()
+			for i, r := range reads {
+				g.RF.Add(assign[i], r)
+			}
+			if err := g.Validate(); err == nil {
+				yield(g)
+			}
+		})
+	}
+}
+
+// enumerateCoChoices returns every combination of per-location write
+// orders: a slice of maps location → ordered write IDs.
+func enumerateCoChoices(locs []event.Location, writesByLoc map[event.Location][]int) []map[event.Location][]int {
+	out := []map[event.Location][]int{{}}
+	for _, loc := range locs {
+		perms := permutations(writesByLoc[loc])
+		var next []map[event.Location][]int
+		for _, base := range out {
+			for _, p := range perms {
+				m := make(map[event.Location][]int, len(base)+1)
+				for k, v := range base {
+					m[k] = v
+				}
+				m[loc] = p
+				next = append(next, m)
+			}
+		}
+		out = next
+	}
+	return out
+}
+
+func permutations(xs []int) [][]int {
+	if len(xs) == 0 {
+		return [][]int{nil}
+	}
+	var out [][]int
+	var rec func(cur []int, rest []int)
+	rec = func(cur, rest []int) {
+		if len(rest) == 0 {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for i := range rest {
+			nr := make([]int, 0, len(rest)-1)
+			nr = append(nr, rest[:i]...)
+			nr = append(nr, rest[i+1:]...)
+			rec(append(cur, rest[i]), nr)
+		}
+	}
+	rec(nil, xs)
+	return out
+}

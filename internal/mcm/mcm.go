@@ -1,0 +1,137 @@
+// Package mcm implements axiomatic memory consistency models as consistency
+// predicates over candidate executions (§2.1.3), and enumerates the
+// consistent executions of an event structure — the architectural semantics
+// that leakage containment models build on (§2.2).
+package mcm
+
+import (
+	"lcm/internal/event"
+	"lcm/internal/relation"
+)
+
+// Model is an axiomatically-specified MCM: a named consistency predicate.
+type Model interface {
+	Name() string
+	// Consistent reports whether the committed projection of g (its
+	// architectural candidate execution) satisfies the model.
+	Consistent(g *event.Graph) bool
+}
+
+// committedProjection restricts the witness relations of g to committed
+// events: the architectural semantics ignores transient and prefetch events
+// (§3.3 — po relates committed instructions only, and com is architectural).
+func committedProjection(g *event.Graph) (po, rf, co, fr, poLoc *relation.Relation) {
+	committed := relation.NewSet()
+	for _, e := range g.Events {
+		if e.Committed() {
+			committed.Add(e.ID)
+		}
+	}
+	po = g.PO // already committed-only by construction
+	rf = g.RF.Restrict(committed, committed)
+	co = g.CO.Restrict(committed, committed)
+	// Derive fr with the graph's same-location/irreflexivity filters (the
+	// raw transpose-compose through ⊤ would fabricate cross-location
+	// pairs), then restrict to committed events.
+	fr = g.FR().Restrict(committed, committed)
+	poLoc = g.POLoc()
+	return po, rf, co, fr, poLoc
+}
+
+// FenceRelation derives the fence ordering relation of §2.1.3: (a, b) such
+// that some fence event f has po(a, f) and po(f, b), unioned with any
+// explicit pairs recorded in g.Fence.
+func FenceRelation(g *event.Graph) *relation.Relation {
+	r := g.Fence.Clone()
+	for _, f := range g.Events {
+		if f.Kind != event.KFence {
+			continue
+		}
+		var before, after []int
+		for _, e := range g.Events {
+			if !e.IsMemory() {
+				continue
+			}
+			if g.PO.Has(e.ID, f.ID) {
+				before = append(before, e.ID)
+			}
+			if g.PO.Has(f.ID, e.ID) {
+				after = append(after, e.ID)
+			}
+		}
+		for _, a := range before {
+			for _, b := range after {
+				r.Add(a, b)
+			}
+		}
+	}
+	return r
+}
+
+// SC is sequential consistency: acyclic(po + rf + co + fr).
+type SC struct{}
+
+// Name implements Model.
+func (SC) Name() string { return "SC" }
+
+// Consistent implements Model.
+func (SC) Consistent(g *event.Graph) bool {
+	po, rf, co, fr, _ := committedProjection(g)
+	return relation.Union(po, rf, co, fr).IsAcyclic()
+}
+
+// TSO is the Total Store Order model of Intel x86 (§2.1.3): the conjunction
+// of sc_per_loc and causality. rmw_atomicity is vacuous here because the
+// vocabulary has no atomic read-modify-write events.
+type TSO struct{}
+
+// Name implements Model.
+func (TSO) Name() string { return "TSO" }
+
+// Consistent implements Model.
+func (TSO) Consistent(g *event.Graph) bool {
+	po, rf, co, fr, poLoc := committedProjection(g)
+	_ = po
+	// sc_per_loc ≜ acyclic(rf + co + fr + po_loc).
+	if !relation.Union(rf, co, fr, poLoc).IsAcyclic() {
+		return false
+	}
+	// causality ≜ acyclic(rfe + co + fr + ppo + fence), where TSO's ppo is
+	// po minus Write→Read pairs.
+	ppo := g.PO.Filter(func(a, b int) bool {
+		ea, eb := g.Events[a], g.Events[b]
+		if !ea.IsMemory() && ea.Kind != event.KTop {
+			return false
+		}
+		if !eb.IsMemory() {
+			return false
+		}
+		return !(ea.IsWrite() && eb.IsRead())
+	})
+	rfe := g.RFE().Filter(func(a, b int) bool {
+		return g.Events[a].Committed() && g.Events[b].Committed()
+	})
+	return relation.Union(rfe, co, fr, ppo, FenceRelation(g)).IsAcyclic()
+}
+
+// Relaxed is a weakly-ordered model in the style of ARM: coherence plus
+// dependency-and-fence-ordered causality only.
+type Relaxed struct{}
+
+// Name implements Model.
+func (Relaxed) Name() string { return "Relaxed" }
+
+// Consistent implements Model.
+func (Relaxed) Consistent(g *event.Graph) bool {
+	_, rf, co, fr, poLoc := committedProjection(g)
+	if !relation.Union(rf, co, fr, poLoc).IsAcyclic() {
+		return false
+	}
+	dep := g.Dep().Filter(func(a, b int) bool {
+		return g.Events[a].Committed() && g.Events[b].Committed()
+	})
+	rfe := g.RFE().Filter(func(a, b int) bool {
+		return g.Events[a].Committed() && g.Events[b].Committed()
+	})
+	return relation.Union(rfe, co, fr, dep, FenceRelation(g)).IsAcyclic()
+}

@@ -1,0 +1,243 @@
+package mcm
+
+import (
+	"testing"
+
+	"lcm/internal/event"
+	"lcm/internal/prog"
+)
+
+// findRead returns the ID of the i-th committed read on thread t.
+func findRead(g *event.Graph, t, i int) int {
+	n := 0
+	for _, e := range g.Events {
+		if e.IsRead() && e.Committed() && e.Thread == t {
+			if n == i {
+				return e.ID
+			}
+			n++
+		}
+	}
+	return -1
+}
+
+// outcome checks whether some consistent execution has each read in rds
+// sourced by the corresponding writer in srcs (use -1 for "initial state",
+// i.e. ⊤).
+func hasOutcome(gs []*event.Graph, rds []int, srcs []int) bool {
+	for _, g := range gs {
+		top := g.Tops()[0].ID
+		ok := true
+		for i, r := range rds {
+			want := srcs[i]
+			if want == -1 {
+				want = top
+			}
+			if !g.RF.Has(want, r) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func expandOne(t *testing.T, p *prog.Program) *event.Graph {
+	t.Helper()
+	gs := prog.Expand(p, prog.ExpandOptions{})
+	if len(gs) != 1 {
+		t.Fatalf("%s: expected single event structure, got %d", p.Name, len(gs))
+	}
+	return gs[0]
+}
+
+func findWrite(g *event.Graph, loc event.Location) int {
+	for _, e := range g.Events {
+		if e.IsWrite() && e.Loc == loc {
+			return e.ID
+		}
+	}
+	return -1
+}
+
+func TestSBRelaxedOutcome(t *testing.T) {
+	es := expandOne(t, prog.SB())
+	r1 := findRead(es, 0, 0) // r1 = y on T0
+	r2 := findRead(es, 1, 0) // r2 = x on T1
+
+	sc := ConsistentExecutions(es, SC{}, EnumerateOptions{})
+	tso := ConsistentExecutions(es, TSO{}, EnumerateOptions{})
+
+	if len(sc) == 0 || len(tso) == 0 {
+		t.Fatalf("no consistent executions: sc=%d tso=%d", len(sc), len(tso))
+	}
+	// r1 = 0 ∧ r2 = 0 (both reads from initial state): forbidden under SC,
+	// allowed under TSO — the canonical store-buffering distinction.
+	if hasOutcome(sc, []int{r1, r2}, []int{-1, -1}) {
+		t.Error("SC allows the SB relaxed outcome")
+	}
+	if !hasOutcome(tso, []int{r1, r2}, []int{-1, -1}) {
+		t.Error("TSO forbids the SB relaxed outcome")
+	}
+	// TSO allows strictly more executions than SC here.
+	if len(tso) <= len(sc) {
+		t.Errorf("expected |TSO| > |SC|, got %d vs %d", len(tso), len(sc))
+	}
+}
+
+func TestSBFencedForbidsRelaxedOutcome(t *testing.T) {
+	es := expandOne(t, prog.SBFenced())
+	r1 := findRead(es, 0, 0)
+	r2 := findRead(es, 1, 0)
+	tso := ConsistentExecutions(es, TSO{}, EnumerateOptions{})
+	if len(tso) == 0 {
+		t.Fatal("no consistent executions")
+	}
+	if hasOutcome(tso, []int{r1, r2}, []int{-1, -1}) {
+		t.Error("TSO allows SB relaxed outcome despite fences")
+	}
+}
+
+func TestMPForbiddenOutcome(t *testing.T) {
+	es := expandOne(t, prog.MP())
+	r1 := findRead(es, 1, 0) // r1 = y
+	r2 := findRead(es, 1, 1) // r2 = x
+	wy := findWrite(es, "y")
+
+	for _, m := range []Model{SC{}, TSO{}} {
+		gs := ConsistentExecutions(es, m, EnumerateOptions{})
+		if len(gs) == 0 {
+			t.Fatalf("%s: no consistent executions", m.Name())
+		}
+		// r1 = 1 (from the y write) ∧ r2 = 0 (initial): forbidden, because
+		// TSO/SC order the T0 writes and the T1 reads.
+		if hasOutcome(gs, []int{r1, r2}, []int{wy, -1}) {
+			t.Errorf("%s allows the MP forbidden outcome", m.Name())
+		}
+	}
+	// The relaxed model (no read-read ordering) allows it.
+	rel := ConsistentExecutions(es, Relaxed{}, EnumerateOptions{})
+	if !hasOutcome(rel, []int{r1, r2}, []int{wy, -1}) {
+		t.Error("Relaxed forbids the MP outcome; expected allowed")
+	}
+}
+
+func TestCoRRCoherence(t *testing.T) {
+	es := expandOne(t, prog.CoRR())
+	r1 := findRead(es, 1, 0)
+	r2 := findRead(es, 1, 1)
+	wx := findWrite(es, "x")
+	for _, m := range []Model{SC{}, TSO{}, Relaxed{}} {
+		gs := ConsistentExecutions(es, m, EnumerateOptions{})
+		// r1 = 1 ∧ r2 = 0 violates coherence (sc_per_loc) for all models.
+		if hasOutcome(gs, []int{r1, r2}, []int{wx, -1}) {
+			t.Errorf("%s allows coherence violation", m.Name())
+		}
+		// Same-value outcomes are allowed.
+		if !hasOutcome(gs, []int{r1, r2}, []int{wx, wx}) {
+			t.Errorf("%s forbids the coherent 1,1 outcome", m.Name())
+		}
+	}
+}
+
+func TestSpectreV1SingleWitnessPerPath(t *testing.T) {
+	// §3.1: each Spectre v1 event structure extends to exactly one candidate
+	// execution, and it is TSO-consistent.
+	for _, es := range prog.Expand(prog.SpectreV1(), prog.ExpandOptions{}) {
+		gs := ConsistentExecutions(es, TSO{}, EnumerateOptions{})
+		if len(gs) != 1 {
+			t.Fatalf("candidate executions = %d, want 1", len(gs))
+		}
+		g := gs[0]
+		top := g.Tops()[0].ID
+		// All reads read from initial state.
+		for r := range g.Reads() {
+			if !g.RF.Has(top, r) {
+				t.Errorf("read %d not sourced by ⊤", r)
+			}
+		}
+	}
+}
+
+func TestTransientReadsGetRF(t *testing.T) {
+	gs := prog.Expand(prog.SpectreV1(), prog.ExpandOptions{Depth: 2, XStateForLocation: true})
+	for _, es := range gs {
+		if es.TransientEvents().Len() == 0 {
+			continue
+		}
+		for _, g := range ConsistentExecutions(es, TSO{}, EnumerateOptions{}) {
+			for r := range g.Reads() {
+				found := false
+				for _, p := range g.RF.Pairs() {
+					if p.To == r {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("read %d (transient=%v) lacks rf", r, g.Events[r].Transient)
+				}
+			}
+		}
+	}
+}
+
+func TestStaleForwardingEnumeratesBypass(t *testing.T) {
+	// A same-address write-then-transient-read: with StaleForwarding the
+	// transient read may read from ⊤ (stale) as well as from the write.
+	b := event.NewBuilder()
+	x := b.FreshX()
+	w := b.Write(0, "y", x, event.XRW, "W y")
+	tr := b.TransientRead(0, "y", x, event.XR, "Rs y")
+	_ = tr
+	b.CO(b.Top(), w)
+	es := b.Graph()
+	es.PO = es.PO.TransitiveClosure()
+	es.TFO = es.TFO.TransitiveClosure()
+	es.CO = es.CO.TransitiveClosure()
+
+	var fromTop, fromW int
+	EnumerateExecutions(es, EnumerateOptions{StaleForwarding: true}, func(g *event.Graph) {
+		if g.RF.Has(g.Tops()[0].ID, tr.ID) {
+			fromTop++
+		}
+		if g.RF.Has(w.ID, tr.ID) {
+			fromW++
+		}
+	})
+	if fromTop == 0 {
+		t.Error("stale (bypassing) rf not enumerated")
+	}
+	if fromW == 0 {
+		t.Error("forwarded rf not enumerated")
+	}
+}
+
+func TestFenceRelation(t *testing.T) {
+	es := expandOne(t, prog.SBFenced())
+	fr := FenceRelation(es)
+	// On each thread the store is fence-ordered before the load.
+	count := 0
+	for _, p := range fr.Pairs() {
+		a, b := es.Events[p.From], es.Events[p.To]
+		if a.IsWrite() && b.IsRead() && a.Thread == b.Thread {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Errorf("fence-ordered W→R pairs = %d, want 2", count)
+	}
+}
+
+func TestModelNames(t *testing.T) {
+	for _, tc := range []struct {
+		m    Model
+		want string
+	}{{SC{}, "SC"}, {TSO{}, "TSO"}, {Relaxed{}, "Relaxed"}} {
+		if tc.m.Name() != tc.want {
+			t.Errorf("Name = %q, want %q", tc.m.Name(), tc.want)
+		}
+	}
+}

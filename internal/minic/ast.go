@@ -1,0 +1,218 @@
+package minic
+
+import "fmt"
+
+// TypeExpr is a syntactic type: a base name plus pointer/array derivations.
+type TypeExpr struct {
+	// Base is "void", "char", "short", "int", "long", "longlong", or a
+	// typedef/struct name. Struct types use Base "struct" with StructName.
+	Base       string
+	StructName string
+	Unsigned   bool
+	Ptr        int      // pointer depth
+	ArrayDims  []uint64 // outermost first; 0 means unsized []
+}
+
+func (t TypeExpr) String() string {
+	s := t.Base
+	if t.Base == "struct" {
+		s = "struct " + t.StructName
+	}
+	if t.Unsigned {
+		s = "unsigned " + s
+	}
+	for i := 0; i < t.Ptr; i++ {
+		s += "*"
+	}
+	for _, d := range t.ArrayDims {
+		s += fmt.Sprintf("[%d]", d)
+	}
+	return s
+}
+
+// File is a parsed translation unit.
+type File struct {
+	Typedefs map[string]TypeExpr
+	Structs  []*StructDecl
+	Globals  []*VarDecl
+	Funcs    []*FuncDecl
+}
+
+// StructDecl declares a struct type.
+type StructDecl struct {
+	Name   string
+	Fields []Field
+}
+
+// Field is one struct member.
+type Field struct {
+	Name string
+	Type TypeExpr
+}
+
+// VarDecl declares a variable (global or local).
+type VarDecl struct {
+	Name     string
+	Type     TypeExpr
+	Init     Expr // may be nil
+	InitList []Expr
+	Static   bool
+	Register bool // C register keyword; recorded, and (like Clang -O0) ignored
+	Line     int
+}
+
+// FuncDecl declares or defines a function.
+type FuncDecl struct {
+	Name     string
+	Ret      TypeExpr
+	Params   []*VarDecl
+	Body     *Block // nil for declarations
+	Static   bool
+	Variadic bool
+	Line     int
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmt() }
+
+// Block is a brace-enclosed statement list.
+type Block struct {
+	Stmts []Stmt
+}
+
+// DeclStmt wraps local variable declarations.
+type DeclStmt struct{ Decls []*VarDecl }
+
+// ExprStmt wraps an expression statement.
+type ExprStmt struct{ X Expr }
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond Expr
+	Then *Block
+	Else *Block // may be nil
+	Line int
+}
+
+// WhileStmt is a while loop (do-while is desugared by the parser).
+type WhileStmt struct {
+	Cond Expr
+	Body *Block
+	// PostCheck marks a desugared do-while: body runs before first check.
+	PostCheck bool
+	Line      int
+}
+
+// ForStmt is a for loop.
+type ForStmt struct {
+	Init Stmt // DeclStmt or ExprStmt or nil
+	Cond Expr // may be nil (true)
+	Post Expr // may be nil
+	Body *Block
+	Line int
+}
+
+// ReturnStmt returns from a function.
+type ReturnStmt struct {
+	X    Expr // may be nil
+	Line int
+}
+
+// BreakStmt breaks the innermost loop.
+type BreakStmt struct{ Line int }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ Line int }
+
+func (*Block) stmt()        {}
+func (*DeclStmt) stmt()     {}
+func (*ExprStmt) stmt()     {}
+func (*IfStmt) stmt()       {}
+func (*WhileStmt) stmt()    {}
+func (*ForStmt) stmt()      {}
+func (*ReturnStmt) stmt()   {}
+func (*BreakStmt) stmt()    {}
+func (*ContinueStmt) stmt() {}
+
+// Expr is an expression node.
+type Expr interface{ expr() }
+
+// NumLit is an integer literal.
+type NumLit struct{ Val uint64 }
+
+// Ident references a variable or function by name.
+type Ident struct {
+	Name string
+	Line int
+}
+
+// Unary is a prefix operation: * & - ! ~ ++ -- (postfix ++/-- use Post).
+type Unary struct {
+	Op   string
+	X    Expr
+	Post bool
+	Line int
+}
+
+// Binary is an infix operation.
+type Binary struct {
+	Op   string
+	L, R Expr
+	Line int
+}
+
+// Assign is an assignment, possibly compound (op "" for plain =).
+type Assign struct {
+	Op   string // "", "+", "-", "&", ... for +=, -= etc.
+	L, R Expr
+	Line int
+}
+
+// Index is array indexing L[R].
+type Index struct {
+	L, R Expr
+	Line int
+}
+
+// Call is a function call.
+type Call struct {
+	Fun  string
+	Args []Expr
+	Line int
+}
+
+// Member is struct member access (Arrow for ->).
+type Member struct {
+	X     Expr
+	Field string
+	Arrow bool
+	Line  int
+}
+
+// Cast is a C cast.
+type Cast struct {
+	Type TypeExpr
+	X    Expr
+	Line int
+}
+
+// SizeofExpr is sizeof(type).
+type SizeofExpr struct{ Type TypeExpr }
+
+// Cond is the ternary operator c ? a : b.
+type Cond struct {
+	C, A, B Expr
+	Line    int
+}
+
+func (*NumLit) expr()     {}
+func (*Ident) expr()      {}
+func (*Unary) expr()      {}
+func (*Binary) expr()     {}
+func (*Assign) expr()     {}
+func (*Index) expr()      {}
+func (*Call) expr()       {}
+func (*Member) expr()     {}
+func (*Cast) expr()       {}
+func (*SizeofExpr) expr() {}
+func (*Cond) expr()       {}

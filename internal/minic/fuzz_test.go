@@ -1,0 +1,95 @@
+package minic
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickLexNeverPanics: the lexer returns errors, never panics, on
+// arbitrary byte soup.
+func TestQuickLexNeverPanics(t *testing.T) {
+	check := func(data []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("lexer panic on %q: %v", data, r)
+				ok = false
+			}
+		}()
+		Lex(string(data))
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickParseNeverPanics: the parser survives random token soups built
+// from valid lexemes (the adversarial case for recursive descent).
+func TestQuickParseNeverPanics(t *testing.T) {
+	fragments := []string{
+		"int", "void", "uint8_t", "struct", "typedef", "if", "else", "while",
+		"for", "return", "x", "y", "f", "A", "0", "42", "(", ")", "{", "}",
+		"[", "]", ";", ",", "*", "&", "+", "-", "=", "==", "->", ".", "<",
+		">>", "?", ":", "sizeof", "register", "break", "continue", "do",
+	}
+	check := func(seed int64) (ok bool) {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(60)
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteString(fragments[rng.Intn(len(fragments))])
+			sb.WriteByte(' ')
+		}
+		src := sb.String()
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("parser panic on %q: %v", src, r)
+				ok = false
+			}
+		}()
+		Parse(src)
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMutatedRealSourceNeverPanics mutates a valid program at random
+// positions and checks the whole frontend pipeline reports errors rather
+// than panicking.
+func TestQuickMutatedRealSourceNeverPanics(t *testing.T) {
+	base := `
+		uint8_t A[16];
+		uint32_t size_A = 16;
+		struct P { int x; int y; };
+		int victim(uint32_t y, struct P *p) {
+			if (y < size_A) {
+				return A[y] + p->x;
+			}
+			for (int i = 0; i < 4; i++) { y += i; }
+			return (int)y;
+		}
+	`
+	mutations := []byte("{}()[];,*&=+-<>?:.0aZ_ \n\"'")
+	check := func(seed int64) (ok bool) {
+		rng := rand.New(rand.NewSource(seed))
+		b := []byte(base)
+		for k := 0; k < 1+rng.Intn(6); k++ {
+			b[rng.Intn(len(b))] = mutations[rng.Intn(len(mutations))]
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("frontend panic on mutation %d: %v\n%s", seed, r, b)
+				ok = false
+			}
+		}()
+		Parse(string(b))
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 800}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,267 @@
+// Package minic implements a lexer, parser, and AST for the C subset that
+// the paper's benchmark corpus is written in: scalar integer types,
+// pointers, arrays, structs, typedefs, the usual statements and operators,
+// and function definitions. Clou consumes this source via the lower
+// package, which emits Clang-O0-style IR (every local in a stack slot),
+// reproducing the artifacts the paper analyzes (§5).
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TokKind classifies tokens.
+type TokKind int
+
+// Token kinds.
+const (
+	TEOF TokKind = iota
+	TIdent
+	TNumber
+	TString
+	TPunct
+	TKeyword
+)
+
+// Token is one lexeme with position information.
+type Token struct {
+	Kind TokKind
+	Text string
+	Line int
+	Col  int
+	Val  uint64 // numeric value for TNumber
+}
+
+func (t Token) String() string {
+	if t.Kind == TEOF {
+		return "EOF"
+	}
+	return t.Text
+}
+
+var keywords = map[string]bool{
+	"void": true, "char": true, "short": true, "int": true, "long": true,
+	"unsigned": true, "signed": true, "if": true, "else": true, "while": true,
+	"for": true, "do": true, "return": true, "break": true, "continue": true,
+	"struct": true, "typedef": true, "sizeof": true, "const": true,
+	"static": true, "extern": true, "register": true, "volatile": true,
+	"goto": true, "switch": true, "case": true, "default": true,
+	"union": true, "enum": true, "inline": true,
+}
+
+// multi-character punctuators, longest first.
+var puncts = []string{
+	"<<=", ">>=", "...",
+	"<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "->", "++", "--",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+	"+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+	"(", ")", "{", "}", "[", "]", ";", ",", ".", "?", ":",
+}
+
+// LexError is a lexing failure with position.
+type LexError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *LexError) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Lex tokenizes src. Comments (// and /* */) and preprocessor lines
+// (#include, #define of simple constants are honored; other directives are
+// skipped) are handled here.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	defines := map[string]string{}
+
+	advance := func(n int) {
+		for k := 0; k < n; k++ {
+			if src[i+k] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += n
+	}
+
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				advance(1)
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			advance(2)
+			for i+1 < len(src) && !(src[i] == '*' && src[i+1] == '/') {
+				advance(1)
+			}
+			if i+1 >= len(src) {
+				return nil, &LexError{line, col, "unterminated block comment"}
+			}
+			advance(2)
+		case c == '#':
+			// Preprocessor: support "#define NAME value" with a literal
+			// value; skip everything else to end of line.
+			start := i
+			for i < len(src) && src[i] != '\n' {
+				advance(1)
+			}
+			directive := src[start:i]
+			fields := strings.Fields(directive)
+			if len(fields) == 3 && fields[0] == "#define" {
+				defines[fields[1]] = fields[2]
+			}
+		case isDigit(c):
+			startLine, startCol := line, col
+			start := i
+			base := uint64(10)
+			if c == '0' && i+1 < len(src) && (src[i+1] == 'x' || src[i+1] == 'X') {
+				base = 16
+				advance(2)
+			}
+			for i < len(src) && (isDigit(src[i]) || (base == 16 && isHex(src[i]))) {
+				advance(1)
+			}
+			text := src[start:i]
+			// Swallow integer suffixes.
+			for i < len(src) && (src[i] == 'u' || src[i] == 'U' || src[i] == 'l' || src[i] == 'L') {
+				advance(1)
+			}
+			val, err := parseInt(text)
+			if err != nil {
+				return nil, &LexError{startLine, startCol, "bad number " + text}
+			}
+			toks = append(toks, Token{Kind: TNumber, Text: text, Line: startLine, Col: startCol, Val: val})
+		case isIdentStart(c):
+			startLine, startCol := line, col
+			start := i
+			for i < len(src) && isIdentCont(src[i]) {
+				advance(1)
+			}
+			text := src[start:i]
+			if rep, ok := defines[text]; ok {
+				if v, err := parseInt(rep); err == nil {
+					toks = append(toks, Token{Kind: TNumber, Text: rep, Line: startLine, Col: startCol, Val: v})
+					continue
+				}
+				text = rep
+			}
+			kind := TIdent
+			if keywords[text] {
+				kind = TKeyword
+			}
+			toks = append(toks, Token{Kind: kind, Text: text, Line: startLine, Col: startCol})
+		case c == '"':
+			startLine, startCol := line, col
+			advance(1)
+			start := i
+			for i < len(src) && src[i] != '"' {
+				if src[i] == '\\' {
+					advance(1)
+				}
+				advance(1)
+			}
+			if i >= len(src) {
+				return nil, &LexError{startLine, startCol, "unterminated string"}
+			}
+			text := src[start:i]
+			advance(1)
+			toks = append(toks, Token{Kind: TString, Text: text, Line: startLine, Col: startCol})
+		case c == '\'':
+			startLine, startCol := line, col
+			advance(1)
+			if i >= len(src) {
+				return nil, &LexError{startLine, startCol, "unterminated char"}
+			}
+			var v uint64
+			if src[i] == '\\' {
+				advance(1)
+				switch src[i] {
+				case 'n':
+					v = '\n'
+				case 't':
+					v = '\t'
+				case '0':
+					v = 0
+				case '\\':
+					v = '\\'
+				case '\'':
+					v = '\''
+				default:
+					v = uint64(src[i])
+				}
+				advance(1)
+			} else {
+				v = uint64(src[i])
+				advance(1)
+			}
+			if i >= len(src) || src[i] != '\'' {
+				return nil, &LexError{startLine, startCol, "unterminated char"}
+			}
+			advance(1)
+			toks = append(toks, Token{Kind: TNumber, Text: fmt.Sprintf("%d", v), Line: startLine, Col: startCol, Val: v})
+		default:
+			matched := false
+			for _, p := range puncts {
+				if strings.HasPrefix(src[i:], p) {
+					toks = append(toks, Token{Kind: TPunct, Text: p, Line: line, Col: col})
+					advance(len(p))
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, &LexError{line, col, fmt.Sprintf("unexpected character %q", c)}
+			}
+		}
+	}
+	toks = append(toks, Token{Kind: TEOF, Line: line, Col: col})
+	return toks, nil
+}
+
+func parseInt(text string) (uint64, error) {
+	var v uint64
+	if strings.HasPrefix(text, "0x") || strings.HasPrefix(text, "0X") {
+		for _, c := range text[2:] {
+			d, ok := hexVal(byte(c))
+			if !ok {
+				return 0, fmt.Errorf("bad hex digit")
+			}
+			v = v*16 + uint64(d)
+		}
+		return v, nil
+	}
+	for _, c := range text {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("bad digit")
+		}
+		v = v*10 + uint64(c-'0')
+	}
+	return v, nil
+}
+
+func hexVal(c byte) (int, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0'), true
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10, true
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10, true
+	}
+	return 0, false
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isHex(c byte) bool        { _, ok := hexVal(c); return ok }
+func isIdentStart(c byte) bool { return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+func isIdentCont(c byte) bool  { return isIdentStart(c) || isDigit(c) }

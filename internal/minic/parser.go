@@ -1,0 +1,1019 @@
+package minic
+
+import (
+	"fmt"
+)
+
+// ParseError is a parse failure with position.
+type ParseError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+type parser struct {
+	toks     []Token
+	pos      int
+	typedefs map[string]TypeExpr
+	structs  map[string]bool
+	file     *File
+}
+
+// builtinTypedefs are the stdint/stddef names the corpus uses.
+var builtinTypedefs = map[string]TypeExpr{
+	"uint8_t":   {Base: "char", Unsigned: true},
+	"uint16_t":  {Base: "short", Unsigned: true},
+	"uint32_t":  {Base: "int", Unsigned: true},
+	"uint64_t":  {Base: "long", Unsigned: true},
+	"int8_t":    {Base: "char"},
+	"int16_t":   {Base: "short"},
+	"int32_t":   {Base: "int"},
+	"int64_t":   {Base: "long"},
+	"size_t":    {Base: "long", Unsigned: true},
+	"ssize_t":   {Base: "long"},
+	"uintptr_t": {Base: "long", Unsigned: true},
+	"intptr_t":  {Base: "long"},
+	"ptrdiff_t": {Base: "long"},
+	"bool":      {Base: "char", Unsigned: true},
+}
+
+// Parse parses a translation unit.
+func Parse(src string) (*File, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{
+		toks:     toks,
+		typedefs: make(map[string]TypeExpr),
+		structs:  make(map[string]bool),
+		file:     &File{Typedefs: make(map[string]TypeExpr)},
+	}
+	for k, v := range builtinTypedefs {
+		p.typedefs[k] = v
+	}
+	if err := p.parseFile(); err != nil {
+		return nil, err
+	}
+	return p.file, nil
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) peek(text string) bool {
+	t := p.cur()
+	return (t.Kind == TPunct || t.Kind == TKeyword) && t.Text == text
+}
+
+func (p *parser) accept(text string) bool {
+	if p.peek(text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if p.accept(text) {
+		return nil
+	}
+	t := p.cur()
+	return &ParseError{t.Line, t.Col, fmt.Sprintf("expected %q, found %q", text, t.String())}
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	t := p.cur()
+	return &ParseError{t.Line, t.Col, fmt.Sprintf(format, args...)}
+}
+
+// isTypeStart reports whether the current token begins a type.
+func (p *parser) isTypeStart() bool {
+	t := p.cur()
+	switch t.Kind {
+	case TKeyword:
+		switch t.Text {
+		case "void", "char", "short", "int", "long", "unsigned", "signed",
+			"struct", "const", "static", "extern", "register", "volatile", "inline", "union":
+			return true
+		}
+		return false
+	case TIdent:
+		_, ok := p.typedefs[t.Text]
+		return ok
+	}
+	return false
+}
+
+func (p *parser) parseFile() error {
+	for p.cur().Kind != TEOF {
+		switch {
+		case p.peek("typedef"):
+			if err := p.parseTypedef(); err != nil {
+				return err
+			}
+		case p.peek("struct") && p.isStructDef():
+			if err := p.parseStructDecl(); err != nil {
+				return err
+			}
+		case p.peek("enum"):
+			if err := p.parseEnum(); err != nil {
+				return err
+			}
+		case p.accept(";"):
+			// stray semicolon
+		default:
+			if err := p.parseTopDecl(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// isStructDef distinguishes "struct Name { ... };" from a declaration that
+// merely uses a struct type.
+func (p *parser) isStructDef() bool {
+	// struct [Name] { ...
+	i := p.pos + 1
+	if p.toks[i].Kind == TIdent {
+		i++
+	}
+	return p.toks[i].Kind == TPunct && p.toks[i].Text == "{"
+}
+
+func (p *parser) parseStructDecl() error {
+	p.expect("struct")
+	name := ""
+	if p.cur().Kind == TIdent {
+		name = p.next().Text
+	}
+	if err := p.expect("{"); err != nil {
+		return err
+	}
+	sd := &StructDecl{Name: name}
+	for !p.peek("}") {
+		base, err := p.parseTypeBase()
+		if err != nil {
+			return err
+		}
+		for {
+			ty, fname, err := p.parseDeclarator(base)
+			if err != nil {
+				return err
+			}
+			sd.Fields = append(sd.Fields, Field{Name: fname, Type: ty})
+			if !p.accept(",") {
+				break
+			}
+		}
+		if err := p.expect(";"); err != nil {
+			return err
+		}
+	}
+	p.expect("}")
+	p.expect(";")
+	if name != "" {
+		p.structs[name] = true
+	}
+	p.file.Structs = append(p.file.Structs, sd)
+	return nil
+}
+
+func (p *parser) parseEnum() error {
+	p.expect("enum")
+	if p.cur().Kind == TIdent {
+		p.next()
+	}
+	if err := p.expect("{"); err != nil {
+		return err
+	}
+	val := uint64(0)
+	for !p.peek("}") {
+		if p.cur().Kind != TIdent {
+			return p.errf("expected enumerator name")
+		}
+		name := p.next().Text
+		if p.accept("=") {
+			if p.cur().Kind != TNumber {
+				return p.errf("enumerator initializer must be a number")
+			}
+			val = p.next().Val
+		}
+		// Register enumerators as #define-style constants via typedef of a
+		// numeric literal: simplest is a synthetic global const; we store
+		// them as typedefs is wrong, so add as globals with Init.
+		p.file.Globals = append(p.file.Globals, &VarDecl{
+			Name: name,
+			Type: TypeExpr{Base: "int", Unsigned: false},
+			Init: &NumLit{Val: val},
+		})
+		val++
+		if !p.accept(",") {
+			break
+		}
+	}
+	p.expect("}")
+	p.expect(";")
+	return nil
+}
+
+func (p *parser) parseTypedef() error {
+	p.expect("typedef")
+	base, err := p.parseTypeBase()
+	if err != nil {
+		return err
+	}
+	ty, name, err := p.parseDeclarator(base)
+	if err != nil {
+		return err
+	}
+	if err := p.expect(";"); err != nil {
+		return err
+	}
+	p.typedefs[name] = ty
+	p.file.Typedefs[name] = ty
+	return nil
+}
+
+// parseTypeBase parses the base type (keywords/typedef/struct ref) plus
+// qualifiers; pointer/array derivations belong to the declarator.
+func (p *parser) parseTypeBase() (TypeExpr, error) {
+	var ty TypeExpr
+	sawBase := false
+	for {
+		t := p.cur()
+		if t.Kind == TKeyword {
+			switch t.Text {
+			case "const", "volatile", "static", "extern", "register", "inline", "signed":
+				p.next()
+				continue
+			case "unsigned":
+				ty.Unsigned = true
+				p.next()
+				if !sawBase {
+					ty.Base = "int"
+				}
+				sawBase = true
+				continue
+			case "void", "char", "short", "int":
+				ty.Base = t.Text
+				p.next()
+				sawBase = true
+				continue
+			case "long":
+				p.next()
+				if ty.Base == "long" {
+					// long long
+					ty.Base = "long"
+					continue
+				}
+				ty.Base = "long"
+				sawBase = true
+				continue
+			case "struct", "union":
+				p.next()
+				if p.cur().Kind != TIdent {
+					return ty, p.errf("expected struct name")
+				}
+				ty.Base = "struct"
+				ty.StructName = p.next().Text
+				sawBase = true
+				continue
+			}
+		}
+		if t.Kind == TIdent && !sawBase {
+			if def, ok := p.typedefs[t.Text]; ok {
+				p.next()
+				def2 := def
+				def2.Unsigned = def.Unsigned || ty.Unsigned
+				ty = def2
+				sawBase = true
+				continue
+			}
+		}
+		break
+	}
+	if !sawBase {
+		return ty, p.errf("expected type")
+	}
+	// "int" default for bare unsigned handled above.
+	return ty, nil
+}
+
+// parseDeclarator parses pointer stars, the name, and array dimensions.
+func (p *parser) parseDeclarator(base TypeExpr) (TypeExpr, string, error) {
+	ty := base
+	for p.accept("*") {
+		// const after * is a qualifier on the pointer; skip.
+		for p.accept("const") || p.accept("volatile") || p.accept("restrict") {
+		}
+		ty.Ptr++
+	}
+	if p.cur().Kind != TIdent {
+		return ty, "", p.errf("expected declarator name, found %q", p.cur().String())
+	}
+	name := p.next().Text
+	for p.accept("[") {
+		if p.accept("]") {
+			ty.ArrayDims = append(ty.ArrayDims, 0)
+			continue
+		}
+		dimExpr, err := p.parseCondExpr()
+		if err != nil {
+			return ty, "", err
+		}
+		dim, ok := EvalConst(dimExpr)
+		if !ok {
+			return ty, "", p.errf("array dimension must be a constant expression")
+		}
+		ty.ArrayDims = append(ty.ArrayDims, dim)
+		if err := p.expect("]"); err != nil {
+			return ty, "", err
+		}
+	}
+	return ty, name, nil
+}
+
+// EvalConst folds a constant integer expression, reporting ok=false when
+// the expression is not compile-time constant.
+func EvalConst(e Expr) (uint64, bool) {
+	switch e := e.(type) {
+	case *NumLit:
+		return e.Val, true
+	case *Unary:
+		x, ok := EvalConst(e.X)
+		if !ok {
+			return 0, false
+		}
+		switch e.Op {
+		case "-":
+			return -x, true
+		case "~":
+			return ^x, true
+		case "!":
+			if x == 0 {
+				return 1, true
+			}
+			return 0, true
+		}
+		return 0, false
+	case *Cast:
+		return EvalConst(e.X)
+	case *Binary:
+		l, ok := EvalConst(e.L)
+		if !ok {
+			return 0, false
+		}
+		r, ok := EvalConst(e.R)
+		if !ok {
+			return 0, false
+		}
+		switch e.Op {
+		case "+":
+			return l + r, true
+		case "-":
+			return l - r, true
+		case "*":
+			return l * r, true
+		case "/":
+			if r == 0 {
+				return 0, false
+			}
+			return l / r, true
+		case "%":
+			if r == 0 {
+				return 0, false
+			}
+			return l % r, true
+		case "<<":
+			return l << (r & 63), true
+		case ">>":
+			return l >> (r & 63), true
+		case "&":
+			return l & r, true
+		case "|":
+			return l | r, true
+		case "^":
+			return l ^ r, true
+		}
+		return 0, false
+	}
+	return 0, false
+}
+
+// parseTopDecl parses a global variable or function definition.
+func (p *parser) parseTopDecl() error {
+	static := false
+	for p.peek("static") || p.peek("extern") || p.peek("inline") {
+		if p.cur().Text == "static" {
+			static = true
+		}
+		p.next()
+	}
+	base, err := p.parseTypeBase()
+	if err != nil {
+		return err
+	}
+	ty, name, err := p.parseDeclarator(base)
+	if err != nil {
+		return err
+	}
+	if p.peek("(") {
+		return p.parseFuncRest(static, ty, name)
+	}
+	// Global variable(s).
+	for {
+		vd := &VarDecl{Name: name, Type: ty, Static: static, Line: p.cur().Line}
+		if p.accept("=") {
+			init, initList, err := p.parseInitializer()
+			if err != nil {
+				return err
+			}
+			vd.Init = init
+			vd.InitList = initList
+		}
+		p.file.Globals = append(p.file.Globals, vd)
+		if !p.accept(",") {
+			break
+		}
+		ty, name, err = p.parseDeclarator(base)
+		if err != nil {
+			return err
+		}
+	}
+	return p.expect(";")
+}
+
+func (p *parser) parseInitializer() (Expr, []Expr, error) {
+	if p.accept("{") {
+		var list []Expr
+		for !p.peek("}") {
+			e, err := p.parseAssignExpr()
+			if err != nil {
+				return nil, nil, err
+			}
+			list = append(list, e)
+			if !p.accept(",") {
+				break
+			}
+		}
+		if err := p.expect("}"); err != nil {
+			return nil, nil, err
+		}
+		return nil, list, nil
+	}
+	if p.cur().Kind == TString {
+		// char array initializer: expand to byte list.
+		s := p.next().Text
+		var list []Expr
+		for i := 0; i < len(s); i++ {
+			list = append(list, &NumLit{Val: uint64(s[i])})
+		}
+		list = append(list, &NumLit{Val: 0})
+		return nil, list, nil
+	}
+	e, err := p.parseAssignExpr()
+	return e, nil, err
+}
+
+func (p *parser) parseFuncRest(static bool, ret TypeExpr, name string) error {
+	fd := &FuncDecl{Name: name, Ret: ret, Static: static, Line: p.cur().Line}
+	p.expect("(")
+	if p.peek("void") && p.toks[p.pos+1].Kind == TPunct && p.toks[p.pos+1].Text == ")" {
+		p.next() // empty parameter list: f(void)
+	} else {
+		for !p.peek(")") {
+			if p.accept("...") {
+				fd.Variadic = true
+				break
+			}
+			base, err := p.parseTypeBase()
+			if err != nil {
+				return err
+			}
+			pty := base
+			for p.accept("*") {
+				for p.accept("const") || p.accept("volatile") {
+				}
+				pty.Ptr++
+			}
+			pname := ""
+			if p.cur().Kind == TIdent {
+				pname = p.next().Text
+			}
+			for p.accept("[") {
+				// array parameter decays to pointer
+				for !p.peek("]") {
+					p.next()
+				}
+				p.expect("]")
+				pty.Ptr++
+			}
+			fd.Params = append(fd.Params, &VarDecl{Name: pname, Type: pty})
+			if !p.accept(",") {
+				break
+			}
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return err
+	}
+	if p.accept(";") {
+		p.file.Funcs = append(p.file.Funcs, fd) // declaration only
+		return nil
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return err
+	}
+	fd.Body = body
+	p.file.Funcs = append(p.file.Funcs, fd)
+	return nil
+}
+
+func (p *parser) parseBlock() (*Block, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	b := &Block{}
+	for !p.peek("}") {
+		if p.cur().Kind == TEOF {
+			return nil, p.errf("unexpected EOF in block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			b.Stmts = append(b.Stmts, s)
+		}
+	}
+	p.expect("}")
+	return b, nil
+}
+
+// blockOf wraps a single statement in a block.
+func blockOf(s Stmt) *Block {
+	if b, ok := s.(*Block); ok {
+		return b
+	}
+	if s == nil {
+		return &Block{}
+	}
+	return &Block{Stmts: []Stmt{s}}
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.peek("{"):
+		return p.parseBlock()
+	case p.accept(";"):
+		return nil, nil
+	case p.peek("if"):
+		p.next()
+		line := t.Line
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		thenS, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		st := &IfStmt{Cond: cond, Then: blockOf(thenS), Line: line}
+		if p.accept("else") {
+			elseS, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = blockOf(elseS)
+		}
+		return st, nil
+	case p.peek("while"):
+		p.next()
+		line := t.Line
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: blockOf(body), Line: line}, nil
+	case p.peek("do"):
+		p.next()
+		line := t.Line
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("while"); err != nil {
+			return nil, err
+		}
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: blockOf(body), PostCheck: true, Line: line}, nil
+	case p.peek("for"):
+		p.next()
+		line := t.Line
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		var initS Stmt
+		if !p.accept(";") {
+			if p.isTypeStart() {
+				ds, err := p.parseLocalDecl()
+				if err != nil {
+					return nil, err
+				}
+				initS = ds
+			} else {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				initS = &ExprStmt{X: e}
+				if err := p.expect(";"); err != nil {
+					return nil, err
+				}
+			}
+		}
+		var cond Expr
+		if !p.peek(";") {
+			var err error
+			cond, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		var post Expr
+		if !p.peek(")") {
+			var err error
+			post, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &ForStmt{Init: initS, Cond: cond, Post: post, Body: blockOf(body), Line: line}, nil
+	case p.peek("return"):
+		p.next()
+		st := &ReturnStmt{Line: t.Line}
+		if !p.peek(";") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.X = e
+		}
+		return st, p.expect(";")
+	case p.peek("break"):
+		p.next()
+		return &BreakStmt{Line: t.Line}, p.expect(";")
+	case p.peek("continue"):
+		p.next()
+		return &ContinueStmt{Line: t.Line}, p.expect(";")
+	case p.isTypeStart():
+		return p.parseLocalDecl()
+	default:
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ExprStmt{X: e}, p.expect(";")
+	}
+}
+
+// parseLocalDecl parses one or more local declarations ending in ';'.
+func (p *parser) parseLocalDecl() (Stmt, error) {
+	register := false
+	for p.peek("register") || p.peek("const") || p.peek("volatile") || p.peek("static") {
+		if p.cur().Text == "register" {
+			register = true
+		}
+		p.next()
+	}
+	base, err := p.parseTypeBase()
+	if err != nil {
+		return nil, err
+	}
+	ds := &DeclStmt{}
+	for {
+		ty, name, err := p.parseDeclarator(base)
+		if err != nil {
+			return nil, err
+		}
+		vd := &VarDecl{Name: name, Type: ty, Register: register, Line: p.cur().Line}
+		if p.accept("=") {
+			init, list, err := p.parseInitializer()
+			if err != nil {
+				return nil, err
+			}
+			vd.Init = init
+			vd.InitList = list
+		}
+		ds.Decls = append(ds.Decls, vd)
+		if !p.accept(",") {
+			break
+		}
+	}
+	return ds, p.expect(";")
+}
+
+// --- expressions (precedence climbing) ---
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseAssignExpr() }
+
+func (p *parser) parseAssignExpr() (Expr, error) {
+	l, err := p.parseCondExpr()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.Kind == TPunct {
+		switch t.Text {
+		case "=":
+			p.next()
+			r, err := p.parseAssignExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &Assign{L: l, R: r, Line: t.Line}, nil
+		case "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=":
+			p.next()
+			r, err := p.parseAssignExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &Assign{Op: t.Text[:len(t.Text)-1], L: l, R: r, Line: t.Line}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseCondExpr() (Expr, error) {
+	c, err := p.parseBinExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.accept("?") {
+		line := p.cur().Line
+		a, err := p.parseAssignExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(":"); err != nil {
+			return nil, err
+		}
+		b, err := p.parseCondExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Cond{C: c, A: a, B: b, Line: line}, nil
+	}
+	return c, nil
+}
+
+// binary precedence levels, lowest first.
+var binLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", ">", "<=", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) parseBinExpr(level int) (Expr, error) {
+	if level >= len(binLevels) {
+		return p.parseUnary()
+	}
+	l, err := p.parseBinExpr(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		matched := false
+		if t.Kind == TPunct {
+			for _, op := range binLevels[level] {
+				if t.Text == op {
+					p.next()
+					r, err := p.parseBinExpr(level + 1)
+					if err != nil {
+						return nil, err
+					}
+					l = &Binary{Op: op, L: l, R: r, Line: t.Line}
+					matched = true
+					break
+				}
+			}
+		}
+		if !matched {
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	if t.Kind == TPunct {
+		switch t.Text {
+		case "*", "&", "-", "!", "~", "+":
+			p.next()
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			if t.Text == "+" {
+				return x, nil
+			}
+			return &Unary{Op: t.Text, X: x, Line: t.Line}, nil
+		case "++", "--":
+			p.next()
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &Unary{Op: t.Text, X: x, Line: t.Line}, nil
+		case "(":
+			// Cast or parenthesized expression.
+			save := p.pos
+			p.next()
+			if p.isTypeStart() {
+				ty, err := p.parseCastType()
+				if err == nil && p.accept(")") {
+					x, err := p.parseUnary()
+					if err != nil {
+						return nil, err
+					}
+					return &Cast{Type: ty, X: x, Line: t.Line}, nil
+				}
+			}
+			p.pos = save
+		}
+	}
+	if t.Kind == TKeyword && t.Text == "sizeof" {
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		if p.isTypeStart() {
+			ty, err := p.parseCastType()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return &SizeofExpr{Type: ty}, nil
+		}
+		// sizeof(expr): parse and discard, size computed by lowering from
+		// the expression's type.
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "sizeof", X: x, Line: t.Line}, nil
+	}
+	return p.parsePostfix()
+}
+
+// parseCastType parses a type inside a cast: base + stars (no declarator).
+func (p *parser) parseCastType() (TypeExpr, error) {
+	base, err := p.parseTypeBase()
+	if err != nil {
+		return base, err
+	}
+	for p.accept("*") {
+		base.Ptr++
+	}
+	return base, nil
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		switch {
+		case p.peek("["):
+			p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			x = &Index{L: x, R: idx, Line: t.Line}
+		case p.peek("("):
+			id, ok := x.(*Ident)
+			if !ok {
+				return nil, p.errf("call of non-identifier")
+			}
+			p.next()
+			call := &Call{Fun: id.Name, Line: t.Line}
+			for !p.peek(")") {
+				a, err := p.parseAssignExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+				if !p.accept(",") {
+					break
+				}
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			x = call
+		case p.peek("."):
+			p.next()
+			if p.cur().Kind != TIdent {
+				return nil, p.errf("expected field name")
+			}
+			x = &Member{X: x, Field: p.next().Text, Line: t.Line}
+		case p.peek("->"):
+			p.next()
+			if p.cur().Kind != TIdent {
+				return nil, p.errf("expected field name")
+			}
+			x = &Member{X: x, Field: p.next().Text, Arrow: true, Line: t.Line}
+		case p.peek("++"), p.peek("--"):
+			p.next()
+			x = &Unary{Op: t.Text, X: x, Post: true, Line: t.Line}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TNumber:
+		p.next()
+		return &NumLit{Val: t.Val}, nil
+	case TIdent:
+		p.next()
+		return &Ident{Name: t.Text, Line: t.Line}, nil
+	case TPunct:
+		if t.Text == "(" {
+			p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return e, p.expect(")")
+		}
+	}
+	return nil, p.errf("unexpected token %q", t.String())
+}

@@ -1,0 +1,317 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *File {
+	t.Helper()
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse error: %v", err)
+	}
+	return f
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex(`int x = 0x1F + 42; // comment
+/* block */ char *p = "hi"; 'a'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokKind
+	for _, tk := range toks {
+		kinds = append(kinds, tk.Kind)
+	}
+	if toks[0].Text != "int" || toks[0].Kind != TKeyword {
+		t.Errorf("tok0 = %v", toks[0])
+	}
+	if toks[3].Kind != TNumber || toks[3].Val != 0x1F {
+		t.Errorf("hex literal: %v", toks[3])
+	}
+	if toks[5].Val != 42 {
+		t.Errorf("decimal literal: %v", toks[5])
+	}
+	found := false
+	for _, tk := range toks {
+		if tk.Kind == TString && tk.Text == "hi" {
+			found = true
+		}
+		if tk.Kind == TNumber && tk.Val == 'a' {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("string/char literal missing")
+	}
+	_ = kinds
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"/* unterminated", `"unterminated`, "@"} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) succeeded", src)
+		}
+	}
+}
+
+func TestLexDefine(t *testing.T) {
+	toks, err := Lex("#define N 16\nint a[N];")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, tk := range toks {
+		if tk.Kind == TNumber && tk.Val == 16 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("#define constant not substituted")
+	}
+}
+
+func TestParseGlobals(t *testing.T) {
+	f := mustParse(t, `
+		uint8_t A[16];
+		uint32_t size_A = 16;
+		uint8_t *ptr;
+		uint8_t C[2] = {0, 0};
+		char msg[4] = "hi";
+	`)
+	if len(f.Globals) != 5 {
+		t.Fatalf("globals = %d", len(f.Globals))
+	}
+	if f.Globals[0].Type.ArrayDims[0] != 16 {
+		t.Error("array dim wrong")
+	}
+	if f.Globals[1].Init == nil {
+		t.Error("init missing")
+	}
+	if f.Globals[2].Type.Ptr != 1 {
+		t.Error("pointer depth wrong")
+	}
+	if len(f.Globals[3].InitList) != 2 {
+		t.Error("init list wrong")
+	}
+	if len(f.Globals[4].InitList) != 3 { // 'h', 'i', NUL
+		t.Errorf("string init = %d elems", len(f.Globals[4].InitList))
+	}
+}
+
+func TestParseSpectreV1(t *testing.T) {
+	f := mustParse(t, `
+		uint8_t A[16];
+		uint8_t B[256*512];
+		uint32_t size_A = 16;
+		uint8_t tmp;
+		void victim(uint32_t y) {
+			if (y < size_A) {
+				uint8_t x = A[y];
+				tmp &= B[x * 512];
+			}
+		}
+	`)
+	if len(f.Funcs) != 1 || f.Funcs[0].Name != "victim" {
+		t.Fatalf("funcs = %v", f.Funcs)
+	}
+	fd := f.Funcs[0]
+	if len(fd.Params) != 1 || fd.Params[0].Name != "y" {
+		t.Fatal("params wrong")
+	}
+	ifs, ok := fd.Body.Stmts[0].(*IfStmt)
+	if !ok {
+		t.Fatal("expected if")
+	}
+	if _, ok := ifs.Cond.(*Binary); !ok {
+		t.Error("cond not binary")
+	}
+	if len(ifs.Then.Stmts) != 2 {
+		t.Errorf("then stmts = %d", len(ifs.Then.Stmts))
+	}
+}
+
+func TestParseStructsAndMembers(t *testing.T) {
+	f := mustParse(t, `
+		struct SIGALG { int hash; int sig; };
+		typedef struct SIGALG SIGALG_LOOKUP;
+		int get(SIGALG_LOOKUP *s) {
+			return s->hash + (*s).sig;
+		}
+	`)
+	if len(f.Structs) != 1 || len(f.Structs[0].Fields) != 2 {
+		t.Fatal("struct parse failed")
+	}
+	fd := f.Funcs[0]
+	ret := fd.Body.Stmts[0].(*ReturnStmt)
+	bin := ret.X.(*Binary)
+	if m, ok := bin.L.(*Member); !ok || !m.Arrow || m.Field != "hash" {
+		t.Error("-> member wrong")
+	}
+	if m, ok := bin.R.(*Member); !ok || m.Arrow || m.Field != "sig" {
+		t.Error(". member wrong")
+	}
+}
+
+func TestParseLoopsAndControl(t *testing.T) {
+	f := mustParse(t, `
+		int sum(int *a, int n) {
+			int s = 0;
+			for (int i = 0; i < n; i++) {
+				if (a[i] == 0) continue;
+				s += a[i];
+			}
+			int j = 0;
+			while (j < n) { j++; if (j > 10) break; }
+			do { s--; } while (s > 100);
+			return s;
+		}
+	`)
+	fd := f.Funcs[0]
+	kinds := []string{}
+	for _, s := range fd.Body.Stmts {
+		switch s.(type) {
+		case *DeclStmt:
+			kinds = append(kinds, "decl")
+		case *ForStmt:
+			kinds = append(kinds, "for")
+		case *WhileStmt:
+			kinds = append(kinds, "while")
+		case *ReturnStmt:
+			kinds = append(kinds, "return")
+		}
+	}
+	want := "decl for decl while while return"
+	if got := strings.Join(kinds, " "); got != want {
+		t.Errorf("stmt kinds = %q, want %q", got, want)
+	}
+	dw := fd.Body.Stmts[4].(*WhileStmt)
+	if !dw.PostCheck {
+		t.Error("do-while not marked PostCheck")
+	}
+}
+
+func TestParseOperatorsPrecedence(t *testing.T) {
+	f := mustParse(t, `int f(int a, int b) { return a + b * 2 == (a << 1 | b & 3); }`)
+	ret := f.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	eq := ret.X.(*Binary)
+	if eq.Op != "==" {
+		t.Fatalf("top op = %q", eq.Op)
+	}
+	add := eq.L.(*Binary)
+	if add.Op != "+" {
+		t.Errorf("lhs op = %q", add.Op)
+	}
+	if mul := add.R.(*Binary); mul.Op != "*" {
+		t.Errorf("mul parse wrong")
+	}
+	or := eq.R.(*Binary)
+	if or.Op != "|" {
+		t.Errorf("rhs op = %q", or.Op)
+	}
+}
+
+func TestParseCastsAndSizeof(t *testing.T) {
+	f := mustParse(t, `
+		long f(void *p, int x) {
+			uint8_t *q = (uint8_t*)p;
+			long n = (long)sizeof(uint32_t);
+			return (long)q[x] + n + (int)x;
+		}
+	`)
+	fd := f.Funcs[0]
+	if len(fd.Body.Stmts) != 3 {
+		t.Fatal("stmts")
+	}
+	d := fd.Body.Stmts[0].(*DeclStmt)
+	if _, ok := d.Decls[0].Init.(*Cast); !ok {
+		t.Error("cast init not parsed")
+	}
+}
+
+func TestParseTernaryAndLogical(t *testing.T) {
+	f := mustParse(t, `int f(int a, int b) { return a && b ? a : b || !a; }`)
+	ret := f.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	if _, ok := ret.X.(*Cond); !ok {
+		t.Fatal("ternary not parsed")
+	}
+}
+
+func TestParseUnaryPointerOps(t *testing.T) {
+	f := mustParse(t, `void f(int *p, int **pp) { *p = 1; **pp = *p + 1; p = &*p; }`)
+	if len(f.Funcs[0].Body.Stmts) != 3 {
+		t.Fatal("stmts")
+	}
+	as := f.Funcs[0].Body.Stmts[0].(*ExprStmt).X.(*Assign)
+	if u, ok := as.L.(*Unary); !ok || u.Op != "*" {
+		t.Error("deref assignment target wrong")
+	}
+}
+
+func TestParseRegisterKeyword(t *testing.T) {
+	f := mustParse(t, `void f(int x) { register int idx = x; idx++; }`)
+	ds := f.Funcs[0].Body.Stmts[0].(*DeclStmt)
+	if !ds.Decls[0].Register {
+		t.Error("register not recorded")
+	}
+}
+
+func TestParseEnumAndTypedef(t *testing.T) {
+	f := mustParse(t, `
+		enum Mode { A, B = 5, C };
+		typedef unsigned int word;
+		word g;
+	`)
+	// Enumerators become constant globals A=0, B=5, C=6 + global g.
+	vals := map[string]uint64{}
+	for _, g := range f.Globals {
+		if n, ok := g.Init.(*NumLit); ok {
+			vals[g.Name] = n.Val
+		}
+	}
+	if vals["A"] != 0 || vals["B"] != 5 || vals["C"] != 6 {
+		t.Errorf("enum values = %v", vals)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"int f( {}",
+		"int 3x;",
+		"void f() { if }",
+		"void f() { return 1 }",
+		"void f() { x ->; }",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestParseFunctionDeclarationOnly(t *testing.T) {
+	f := mustParse(t, `int memcmp(void *a, const void *b, size_t n); int use(void) { return memcmp(0, 0, 0); }`)
+	if len(f.Funcs) != 2 {
+		t.Fatalf("funcs = %d", len(f.Funcs))
+	}
+	if f.Funcs[0].Body != nil {
+		t.Error("declaration has body")
+	}
+}
+
+func TestParseCompoundAssignOps(t *testing.T) {
+	f := mustParse(t, `void f(int x) { x += 1; x <<= 2; x &= 3; x ^= x; x %= 7; }`)
+	for i, wantOp := range []string{"+", "<<", "&", "^", "%"} {
+		as := f.Funcs[0].Body.Stmts[i].(*ExprStmt).X.(*Assign)
+		if as.Op != wantOp {
+			t.Errorf("stmt %d op = %q, want %q", i, as.Op, wantOp)
+		}
+	}
+}
+
+func TestTypeExprString(t *testing.T) {
+	te := TypeExpr{Base: "int", Unsigned: true, Ptr: 1, ArrayDims: []uint64{4}}
+	if te.String() != "unsigned int*[4]" {
+		t.Errorf("String = %q", te.String())
+	}
+}

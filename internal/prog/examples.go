@@ -1,0 +1,125 @@
+package prog
+
+// This file contains litmus-style renderings of the programs the paper uses
+// as running examples (§3, §4.2) plus classic MCM litmus tests used to
+// validate the architectural semantics.
+
+// SpectreV1 is the classic Spectre v1 bounds-check bypass of Fig. 1:
+//
+//	if (y < size_A) { x = A[y]; tmp &= B[x]; }
+func SpectreV1() *Program {
+	return &Program{
+		Name: "spectre-v1",
+		Threads: [][]Node{{
+			Load("r1", "size", "", false),
+			Load("r2", "y", "", false),
+			If{
+				Cond:  []Reg{"r1", "r2"},
+				Label: "y < size_A",
+				Then: []Node{
+					Load("r4", "A", "r2", true),
+					Load("r5", "B", "r4", true),
+					Store("tmp", "", "r5"),
+				},
+			},
+		}},
+	}
+}
+
+// SpectreV1Variant is the Fig. 3 variant with a non-transient access
+// instruction:
+//
+//	x = A[y]; if (y < size_A) temp &= B[x];
+func SpectreV1Variant() *Program {
+	return &Program{
+		Name: "spectre-v1-variant",
+		Threads: [][]Node{{
+			Load("r1", "y", "", false),
+			Load("r2", "A", "r1", true),
+			Load("r0", "size", "", false),
+			If{
+				Cond:  []Reg{"r0", "r1"},
+				Label: "y < size_A",
+				Then: []Node{
+					Load("r3", "B", "r2", true),
+					Store("tmp", "", "r3"),
+				},
+			},
+		}},
+	}
+}
+
+// SpectreV4 is the store-bypass program of Fig. 4a (§4.2):
+//
+//	y = y & (size_A - 1); x = A[y]; temp &= B[x];
+//
+// Under ExpandOptions.AddressSpeculation, the reload of y may open a
+// bypass window in which stale y steers the A and B accesses.
+func SpectreV4() *Program {
+	return &Program{
+		Name: "spectre-v4",
+		Threads: [][]Node{{
+			Load("r0", "size", "", false),
+			Load("r1", "y", "", false),
+			Store("y", "", "r0", "r1"),
+			Load("r2", "y", "", false),
+			Load("r3", "A", "r2", true),
+			Load("r4", "B", "r3", true),
+			Store("tmp", "", "r4"),
+		}},
+	}
+}
+
+// MP is the classic message-passing litmus test:
+//
+//	T0: x = 1; y = 1      T1: r1 = y; r2 = x
+//
+// Under SC and TSO, r1 = 1 ∧ r2 = 0 is forbidden.
+func MP() *Program {
+	return &Program{
+		Name: "MP",
+		Threads: [][]Node{
+			{Store("x", ""), Store("y", "")},
+			{Load("r1", "y", "", false), Load("r2", "x", "", false)},
+		},
+	}
+}
+
+// SB is the store-buffering litmus test:
+//
+//	T0: x = 1; r1 = y     T1: y = 1; r2 = x
+//
+// r1 = 0 ∧ r2 = 0 is forbidden under SC but allowed under TSO.
+func SB() *Program {
+	return &Program{
+		Name: "SB",
+		Threads: [][]Node{
+			{Store("x", ""), Load("r1", "y", "", false)},
+			{Store("y", ""), Load("r2", "x", "", false)},
+		},
+	}
+}
+
+// SBFenced is SB with a full fence between the store and the load on each
+// thread; the relaxed outcome is then forbidden even under TSO.
+func SBFenced() *Program {
+	return &Program{
+		Name: "SB+fences",
+		Threads: [][]Node{
+			{Store("x", ""), Fence(), Load("r1", "y", "", false)},
+			{Store("y", ""), Fence(), Load("r2", "x", "", false)},
+		},
+	}
+}
+
+// CoRR is the coherence litmus test: two reads of the same location on one
+// thread must not observe writes out of coherence order.
+func CoRR() *Program {
+	return &Program{
+		Name: "CoRR",
+		Threads: [][]Node{
+			{Store("x", "")},
+			{Load("r1", "x", "", false), Load("r2", "x", "", false)},
+		},
+	}
+}

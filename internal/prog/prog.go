@@ -1,0 +1,353 @@
+// Package prog defines a small litmus-style assembly language with explicit
+// register dataflow, and expands programs into event structures (§2.1.1):
+// one event.Graph per control-flow path, and — under a speculative semantics
+// (§3.3) — per mis-speculation pattern. Dependencies (addr, data, ctrl) are
+// derived from register def-use chains exactly as the dep relation of §2.1.3
+// prescribes.
+package prog
+
+import (
+	"fmt"
+
+	"lcm/internal/event"
+)
+
+// Reg names a register, e.g. "r1".
+type Reg string
+
+// Node is an element of a program block: an instruction or a conditional.
+type Node interface{ isNode() }
+
+// Inst is a straight-line instruction.
+type Inst struct {
+	Kind  InstKind
+	Dst   Reg    // ILoad: destination register
+	Base  string // ILoad/IStore: symbolic base location, e.g. "A"
+	Index Reg    // optional index register; address is Base+Index
+	GEP   bool   // Index is a getelementptr-style array offset (§5.2)
+	Data  []Reg  // IStore: registers feeding the stored value
+	Label string
+}
+
+func (Inst) isNode() {}
+
+// InstKind enumerates instruction kinds.
+type InstKind int
+
+// Instruction kinds.
+const (
+	ILoad InstKind = iota
+	IStore
+	IFence
+	ISkip
+)
+
+// If is a structured conditional. The architectural semantics considers
+// both outcomes; the speculative semantics additionally considers a window
+// of transient instructions down the wrong path.
+type If struct {
+	Cond  []Reg // registers the branch condition reads
+	Label string
+	Then  []Node
+	Else  []Node
+}
+
+func (If) isNode() {}
+
+// Load builds a load instruction Dst ← [Base+Index].
+func Load(dst Reg, base string, index Reg, gep bool) Inst {
+	return Inst{Kind: ILoad, Dst: dst, Base: base, Index: index, GEP: gep}
+}
+
+// Store builds a store instruction [Base+Index] ← f(Data...).
+func Store(base string, index Reg, data ...Reg) Inst {
+	return Inst{Kind: IStore, Base: base, Index: index, Data: data}
+}
+
+// Fence builds a fence instruction.
+func Fence() Inst { return Inst{Kind: IFence, Label: "fence"} }
+
+// Program is a multi-threaded litmus program.
+type Program struct {
+	Name    string
+	Threads [][]Node
+}
+
+// location renders the symbolic address of an instruction. Two events
+// access the same architectural location iff their rendered locations are
+// equal; index registers are symbolic, so "A+r2" ≠ "A+r3" even if the
+// registers could hold equal values — adequate for the paper's litmus
+// corpus where distinct index registers address distinct lines.
+func (in Inst) location() event.Location {
+	if in.Index == "" {
+		return event.Location(in.Base)
+	}
+	return event.Location(in.Base + "+" + string(in.Index))
+}
+
+// ExpandOptions controls event-structure expansion.
+type ExpandOptions struct {
+	// Depth is the control-flow speculation depth: how many transient
+	// instructions are fetched down the wrong path of each branch before
+	// rollback (§3.3). Depth 0 disables the speculative semantics.
+	Depth int
+	// XStateForLocation, when true, assigns one xstate element per distinct
+	// (thread, location) pair — xstate models core-private cache lines and
+	// LSQ entries (§3.2.1), so only same-core accesses to one location
+	// share an element (the infinitely-sized direct-mapped cache
+	// abstraction of §5.2); transient and committed accesses then share
+	// xstate as in Figs. 2b–4. When false every event gets fresh xstate.
+	XStateForLocation bool
+	// ReadsHit, when true, models reads as cache hits (XR); otherwise reads
+	// are modeled as misses (XRW), matching the RW annotations of Fig. 2.
+	ReadsHit bool
+	// Observer, when true, appends a ⊥ observer at the end of every
+	// committed path and a speculative ⊥ at the end of fully mis-speculated
+	// windows that run off the program (Fig. 2b).
+	Observer bool
+	// AddressSpeculation models the second §3.3 speculation type: a load
+	// whose location was stored earlier on the same thread may induce a
+	// window — it (and up to Depth following instructions) execute
+	// transiently before re-executing architecturally, the Fig. 4a shape.
+	// The stale rf placement itself comes from the witness enumeration
+	// (mcm.EnumerateOptions.StaleForwarding).
+	AddressSpeculation bool
+}
+
+// Expand enumerates the event structures of p: one graph per combination of
+// branch outcomes (architectural semantics) and, if opts.Depth > 0, per
+// mis-speculation pattern (speculative semantics). Witness relations rf/co
+// and rfx/cox are left empty — they are enumerated by the mcm and core
+// packages against consistency/confidentiality predicates.
+func Expand(p *Program, opts ExpandOptions) []*event.Graph {
+	e := &expander{opts: opts}
+	return e.enumerate(p)
+}
+
+// xsKey identifies a core-private xstate element: one per (thread,
+// location) pair (§3.2.1).
+type xsKey struct {
+	t   int
+	loc event.Location
+}
+
+// expander carries per-pass emission state. Choice points (branch outcome,
+// speculate-or-not, nested window direction) are resolved against a
+// mixed-radix choice vector; the enumerator walks the program once per
+// vector value, growing the vector lazily as new choice points appear.
+type expander struct {
+	opts ExpandOptions
+	b    *event.Builder
+	// regDef maps registers to the load event that defined them, per thread.
+	regDef map[int]map[Reg]*event.Event
+	xs     map[xsKey]event.XSID
+	// ctrl holds, per thread, the stack of loads feeding enclosing branch
+	// conditions; every memory event under a branch gets ctrl edges from each.
+	ctrl map[int][]*event.Event
+
+	choices []int // current choice vector
+	radix   []int // alternatives per choice point (rebuilt each pass)
+	cursor  int
+	// storesSeen tracks, per thread, the locations written so far by
+	// committed stores (bypass eligibility for AddressSpeculation).
+	storesSeen map[int]map[event.Location]bool
+}
+
+func (e *expander) enumerate(p *Program) []*event.Graph {
+	var out []*event.Graph
+	for {
+		e.b = event.NewBuilder()
+		e.regDef = make(map[int]map[Reg]*event.Event)
+		e.ctrl = make(map[int][]*event.Event)
+		e.xs = make(map[xsKey]event.XSID)
+		e.storesSeen = make(map[int]map[event.Location]bool)
+		e.cursor = 0
+		e.radix = e.radix[:0]
+
+		for t := range p.Threads {
+			e.regDef[t] = make(map[Reg]*event.Event)
+			e.emitBlock(t, p.Threads[t], false, -1)
+			if e.opts.Observer {
+				e.b.Bottom(t)
+			}
+		}
+		out = append(out, e.b.Finish())
+
+		if !e.advance() {
+			return out
+		}
+	}
+}
+
+// choose resolves the next choice point with n alternatives, returning the
+// selected alternative under the current choice vector.
+func (e *expander) choose(n int) int {
+	idx := e.cursor
+	e.cursor++
+	e.radix = append(e.radix, n)
+	if idx < len(e.choices) {
+		return e.choices[idx]
+	}
+	e.choices = append(e.choices, 0)
+	return 0
+}
+
+// advance increments the choice vector as a mixed-radix counter, truncating
+// positions that wrap. It returns false when enumeration is complete.
+func (e *expander) advance() bool {
+	for i := len(e.choices) - 1; i >= 0; i-- {
+		e.choices[i]++
+		if e.choices[i] < e.radix[i] {
+			e.choices = e.choices[:i+1]
+			return true
+		}
+	}
+	return false
+}
+
+// emitBlock emits the events of block on thread t. transient indicates a
+// mis-speculation window; budget is the remaining window size (ignored when
+// transient is false). It returns the remaining budget.
+func (e *expander) emitBlock(t int, block []Node, transient bool, budget int) int {
+	for i, n := range block {
+		if transient && budget <= 0 {
+			return 0
+		}
+		switch n := n.(type) {
+		case Inst:
+			// Address speculation (§3.3): a committed load of a location
+			// stored earlier on this thread may open a store-bypass
+			// window — transient copies of the load and its continuation
+			// run ahead before the architectural re-execution.
+			if !transient && e.opts.AddressSpeculation && e.opts.Depth > 0 &&
+				n.Kind == ILoad && e.storesSeen[t][n.location()] {
+				if e.choose(2) == 1 {
+					e.emitBlock(t, block[i:], true, e.opts.Depth)
+				}
+			}
+			if e.emitInst(t, n, transient) && transient {
+				budget--
+			}
+		case If:
+			budget = e.emitIf(t, n, transient, budget)
+		default:
+			panic(fmt.Sprintf("prog: unknown node %T", n))
+		}
+	}
+	return budget
+}
+
+// emitInst emits one instruction's event; it reports whether an event was
+// actually emitted (fences and skips inside squashed windows are dropped).
+func (e *expander) emitInst(t int, in Inst, transient bool) bool {
+	b := e.b
+	loc := in.location()
+	var x event.XSID
+	if in.Kind == ILoad || in.Kind == IStore {
+		if e.opts.XStateForLocation {
+			k := xsKey{t: t, loc: loc}
+			id, ok := e.xs[k]
+			if !ok {
+				id = b.FreshX()
+				e.xs[k] = id
+			}
+			x = id
+		} else {
+			x = b.FreshX()
+		}
+	}
+	var ev *event.Event
+	switch in.Kind {
+	case ILoad:
+		acc := event.XRW
+		if e.opts.ReadsHit {
+			acc = event.XR
+		}
+		if transient {
+			ev = b.TransientRead(t, loc, x, acc, in.Label)
+		} else {
+			ev = b.Read(t, loc, x, acc, in.Label)
+		}
+		e.regDef[t][in.Dst] = ev
+	case IStore:
+		if transient {
+			ev = b.TransientWrite(t, loc, x, event.XRW, in.Label)
+		} else {
+			ev = b.Write(t, loc, x, event.XRW, in.Label)
+			if e.storesSeen[t] == nil {
+				e.storesSeen[t] = map[event.Location]bool{}
+			}
+			e.storesSeen[t][loc] = true
+		}
+		for _, r := range in.Data {
+			if def := e.regDef[t][r]; def != nil {
+				b.DataDep(def, ev)
+			}
+		}
+	case IFence:
+		if transient {
+			return false // a squashed fence orders nothing here
+		}
+		ev = b.Fence(t, in.Label)
+	case ISkip:
+		if transient {
+			return false
+		}
+		ev = b.Skip(t, in.Label)
+	}
+	if in.Kind == ILoad || in.Kind == IStore {
+		if in.Index != "" {
+			if def := e.regDef[t][in.Index]; def != nil {
+				b.AddrDep(def, ev, in.GEP)
+			}
+		}
+		for _, src := range e.ctrl[t] {
+			b.CtrlDep(src, ev)
+		}
+	}
+	return true
+}
+
+// emitIf handles a conditional. Choice points, in order: committed outcome
+// (0 = then, 1 = else); when speculation is on and we are committed, whether
+// a mis-speculation window is fetched first; inside a window, the direction
+// taken at nested branches.
+func (e *expander) emitIf(t int, n If, transient bool, budget int) int {
+	// Record ctrl sources: loads feeding the condition.
+	var added int
+	for _, r := range n.Cond {
+		if def := e.regDef[t][r]; def != nil {
+			e.ctrl[t] = append(e.ctrl[t], def)
+			added++
+		}
+	}
+	defer func() { e.ctrl[t] = e.ctrl[t][:len(e.ctrl[t])-added] }()
+
+	if transient {
+		dir := e.choose(2)
+		blk := n.Then
+		if dir == 1 {
+			blk = n.Else
+		}
+		return e.emitBlock(t, blk, true, budget)
+	}
+
+	outcome := e.choose(2)
+	right, wrong := n.Then, n.Else
+	if outcome == 1 {
+		right, wrong = n.Else, n.Then
+	}
+
+	if e.opts.Depth > 0 {
+		if e.choose(2) == 1 {
+			// Fetch up to Depth transient instructions down the wrong path,
+			// then roll back. A window that runs off the end of the wrong
+			// path reaches a speculative ⊥ (Fig. 2b) when observers are on.
+			rem := e.emitBlock(t, wrong, true, e.opts.Depth)
+			if rem > 0 && e.opts.Observer {
+				e.b.TransientBottom(t)
+			}
+		}
+	}
+	return e.emitBlock(t, right, false, budget)
+}

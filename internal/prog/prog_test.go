@@ -1,0 +1,334 @@
+package prog
+
+import (
+	"testing"
+
+	"lcm/internal/event"
+)
+
+func countTransient(g *event.Graph) int {
+	n := 0
+	for _, e := range g.Events {
+		if e.Transient {
+			n++
+		}
+	}
+	return n
+}
+
+func TestSpectreV1ArchitecturalExpansion(t *testing.T) {
+	// Fig. 1: the branch yields exactly two event structures.
+	gs := Expand(SpectreV1(), ExpandOptions{})
+	if len(gs) != 2 {
+		t.Fatalf("got %d event structures, want 2", len(gs))
+	}
+	var taken, notTaken *event.Graph
+	for _, g := range gs {
+		if g.Reads().Len() == 4 {
+			taken = g
+		}
+		if g.Reads().Len() == 2 {
+			notTaken = g
+		}
+	}
+	if taken == nil || notTaken == nil {
+		t.Fatalf("expected paths with 4 and 2 reads")
+	}
+	// The taken path (Fig. 1d) has addr deps 2→5 and 5→6 and a data dep to
+	// the store; ctrl deps from both condition loads to all body events.
+	if taken.Addr.Len() != 2 {
+		t.Errorf("taken addr = %v", taken.Addr)
+	}
+	if taken.AddrGEP.Len() != 2 {
+		t.Errorf("taken addr_gep = %v", taken.AddrGEP)
+	}
+	if taken.Data.Len() != 1 {
+		t.Errorf("taken data = %v", taken.Data)
+	}
+	if got := taken.Ctrl.Len(); got != 6 { // 2 cond loads × 3 body memory events
+		t.Errorf("taken ctrl = %d edges: %v", got, taken.Ctrl)
+	}
+	if notTaken.Ctrl.Len() != 0 || notTaken.Addr.Len() != 0 {
+		t.Errorf("not-taken path has deps: %v %v", notTaken.Ctrl, notTaken.Addr)
+	}
+}
+
+func TestSpectreV1SpeculativeExpansion(t *testing.T) {
+	gs := Expand(SpectreV1(), ExpandOptions{Depth: 2, XStateForLocation: true, Observer: true})
+	// Choice space: outcome × speculate = 4 graphs (no nested branches).
+	if len(gs) != 4 {
+		t.Fatalf("got %d graphs, want 4", len(gs))
+	}
+	// Exactly two graphs carry mis-speculation windows: the not-taken path
+	// with a transient body (5S, 6S) and the taken path whose window runs
+	// off the program to a speculative ⊥ (Fig. 2b's two forks).
+	withWindow := 0
+	sawMisspecBody := false
+	for _, g := range gs {
+		n := countTransient(g)
+		specBottoms := 0
+		for _, b := range g.Bottoms() {
+			inPO := false
+			for _, p := range g.PO.Pairs() {
+				if p.To == b.ID {
+					inPO = true
+				}
+			}
+			if !inPO {
+				specBottoms++
+			}
+		}
+		if n > 0 || specBottoms > 0 {
+			withWindow++
+			if n > 2 {
+				t.Errorf("window exceeded depth: %d transient events", n)
+			}
+		}
+		// The Fig. 2b shape: committed not-taken path + transient body.
+		committedReads := g.Reads().Diff(g.TransientEvents()).Len()
+		if n == 2 && committedReads == 2 {
+			sawMisspecBody = true
+			// Transient events must not be in po but must be in tfo.
+			for id := range g.TransientEvents() {
+				for _, p := range g.PO.Pairs() {
+					if p.From == id || p.To == id {
+						t.Errorf("transient %d in po", id)
+					}
+				}
+			}
+		}
+	}
+	if withWindow != 2 {
+		t.Errorf("graphs with windows = %d, want 2", withWindow)
+	}
+	if !sawMisspecBody {
+		t.Error("missing the Fig. 2b mis-speculated-body graph")
+	}
+}
+
+func TestXStateSharing(t *testing.T) {
+	// With XStateForLocation, the transient and committed accesses to the
+	// same symbolic address share one xstate element.
+	gs := Expand(SpectreV1(), ExpandOptions{Depth: 4, XStateForLocation: true})
+	for _, g := range gs {
+		byLoc := map[event.Location]event.XSID{}
+		for _, e := range g.Events {
+			if !e.IsRead() && !e.IsWrite() {
+				continue
+			}
+			if x, ok := byLoc[e.Loc]; ok {
+				if x != e.XState {
+					t.Fatalf("location %q has two xstate ids", e.Loc)
+				}
+			} else {
+				byLoc[e.Loc] = e.XState
+			}
+		}
+	}
+	// Without it, all xstate ids are distinct.
+	gs = Expand(SpectreV1(), ExpandOptions{})
+	for _, g := range gs {
+		seen := map[event.XSID]bool{}
+		for _, e := range g.Events {
+			if e.XState == event.XNone {
+				continue
+			}
+			if seen[e.XState] {
+				t.Fatal("duplicate xstate without XStateForLocation")
+			}
+			seen[e.XState] = true
+		}
+	}
+}
+
+func TestObserverPlacement(t *testing.T) {
+	gs := Expand(SpectreV1(), ExpandOptions{Depth: 2, Observer: true})
+	for _, g := range gs {
+		bots := g.Bottoms()
+		if len(bots) == 0 {
+			t.Fatal("no observer")
+		}
+		// Exactly one committed ⊥ (in po); speculative ⊥ appears only in
+		// graphs where the taken-path window ran off the program.
+		committed := 0
+		for _, b := range bots {
+			inPO := false
+			for _, p := range g.PO.Pairs() {
+				if p.To == b.ID {
+					inPO = true
+				}
+			}
+			if inPO {
+				committed++
+			}
+		}
+		if committed != 1 {
+			t.Errorf("committed observers = %d, want 1", committed)
+		}
+	}
+}
+
+func TestMPExpansion(t *testing.T) {
+	gs := Expand(MP(), ExpandOptions{})
+	if len(gs) != 1 {
+		t.Fatalf("MP graphs = %d, want 1", len(gs))
+	}
+	g := gs[0]
+	if g.Writes().Len() != 2 || g.Reads().Len() != 2 {
+		t.Fatalf("MP events wrong: %v", g)
+	}
+	// Threads are po-independent: no po edge between thread 0 and 1 events.
+	for _, p := range g.PO.Pairs() {
+		a, b := g.Events[p.From], g.Events[p.To]
+		if a.Kind != event.KTop && a.Thread != b.Thread {
+			t.Errorf("cross-thread po %v", p)
+		}
+	}
+}
+
+func TestFenceEmission(t *testing.T) {
+	gs := Expand(SBFenced(), ExpandOptions{})
+	if len(gs) != 1 {
+		t.Fatalf("graphs = %d", len(gs))
+	}
+	fences := 0
+	for _, e := range gs[0].Events {
+		if e.Kind == event.KFence {
+			fences++
+		}
+	}
+	if fences != 2 {
+		t.Errorf("fences = %d, want 2", fences)
+	}
+}
+
+func TestNestedIfEnumeration(t *testing.T) {
+	p := &Program{
+		Name: "nested",
+		Threads: [][]Node{{
+			Load("r1", "a", "", false),
+			If{Cond: []Reg{"r1"}, Then: []Node{
+				Load("r2", "b", "", false),
+				If{Cond: []Reg{"r2"}, Then: []Node{Load("r3", "c", "", false)}},
+			}},
+		}},
+	}
+	gs := Expand(p, ExpandOptions{})
+	// Outcomes: outer-else (1), outer-then × inner-{then,else} (2) = 3.
+	if len(gs) != 3 {
+		t.Fatalf("graphs = %d, want 3", len(gs))
+	}
+	// Ctrl nesting: in the innermost path, r3's load is controlled by both
+	// r1's and r2's loads.
+	found := false
+	for _, g := range gs {
+		if g.Reads().Len() == 3 {
+			found = true
+			if g.Ctrl.Len() != 3 { // r1→b, r1→c, r2→c
+				t.Errorf("nested ctrl = %v", g.Ctrl)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("missing fully-taken path")
+	}
+}
+
+func TestSpeculativeCtrlDeps(t *testing.T) {
+	// Transient events under a branch still receive ctrl edges from the
+	// condition loads (the dependency exists microarchitecturally).
+	gs := Expand(SpectreV1(), ExpandOptions{Depth: 2})
+	for _, g := range gs {
+		for id := range g.TransientEvents() {
+			hasCtrl := false
+			for _, p := range g.Ctrl.Pairs() {
+				if p.To == id {
+					hasCtrl = true
+				}
+			}
+			if !hasCtrl && g.Events[id].IsMemory() {
+				t.Errorf("transient memory event %d lacks ctrl dep", id)
+			}
+		}
+	}
+}
+
+func TestExamplePrograms(t *testing.T) {
+	for _, tc := range []struct {
+		p      *Program
+		graphs int
+	}{
+		{SpectreV1(), 2},
+		{SpectreV1Variant(), 2},
+		{MP(), 1},
+		{SB(), 1},
+		{SBFenced(), 1},
+		{CoRR(), 1},
+	} {
+		gs := Expand(tc.p, ExpandOptions{})
+		if len(gs) != tc.graphs {
+			t.Errorf("%s: graphs = %d, want %d", tc.p.Name, len(gs), tc.graphs)
+		}
+		for _, g := range gs {
+			if err := g.Validate(); err != nil {
+				t.Errorf("%s: invalid graph: %v", tc.p.Name, err)
+			}
+		}
+	}
+}
+
+func TestAddressSpeculationExpansion(t *testing.T) {
+	// Without address speculation, Spectre v4 yields a single straight-line
+	// event structure.
+	plain := Expand(SpectreV4(), ExpandOptions{XStateForLocation: true})
+	if len(plain) != 1 {
+		t.Fatalf("plain graphs = %d, want 1", len(plain))
+	}
+	if plain[0].TransientEvents().Len() != 0 {
+		t.Error("transient events without speculation")
+	}
+	// With it, the reload of y opens a bypass window: transient copies of
+	// the load and its dependents precede the architectural re-execution.
+	spec := Expand(SpectreV4(), ExpandOptions{
+		Depth: 4, XStateForLocation: true, AddressSpeculation: true, Observer: true,
+	})
+	sawWindow := false
+	for _, g := range spec {
+		ts := g.TransientEvents()
+		if ts.Len() == 0 {
+			continue
+		}
+		sawWindow = true
+		// The transient window contains a read of y sharing xstate with
+		// the committed store to y (the Fig. 4a frx shape).
+		var yStore, yTransRead *event.Event
+		for _, e := range g.Events {
+			if e.IsWrite() && e.Loc == "y" && e.Committed() {
+				yStore = e
+			}
+			if e.IsRead() && e.Loc == "y" && e.Transient {
+				yTransRead = e
+			}
+		}
+		if yStore == nil || yTransRead == nil {
+			t.Fatal("bypass window missing the y store/transient read pair")
+		}
+		if yStore.XState != yTransRead.XState {
+			t.Error("store and transient read do not share xstate")
+		}
+		// tfo orders the transient read before... the re-executed load
+		// exists as a committed event after the window.
+		committedReload := false
+		for _, e := range g.Events {
+			if e.IsRead() && e.Loc == "y" && e.Committed() && g.TFO.Has(yTransRead.ID, e.ID) {
+				committedReload = true
+			}
+		}
+		if !committedReload {
+			t.Error("no committed re-execution after the window")
+		}
+	}
+	if !sawWindow {
+		t.Fatal("no bypass window enumerated")
+	}
+}

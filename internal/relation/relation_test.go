@@ -1,0 +1,356 @@
+package relation
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet(3, 1, 2)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if !s.Has(1) || !s.Has(2) || !s.Has(3) || s.Has(4) {
+		t.Fatalf("membership wrong: %v", s)
+	}
+	if got := s.String(); got != "{1, 2, 3}" {
+		t.Errorf("String = %q", got)
+	}
+	u := s.Union(NewSet(4))
+	if u.Len() != 4 || !u.Has(4) {
+		t.Errorf("Union wrong: %v", u)
+	}
+	i := s.Inter(NewSet(2, 3, 9))
+	if i.Len() != 2 || !i.Has(2) || !i.Has(3) {
+		t.Errorf("Inter wrong: %v", i)
+	}
+	d := s.Diff(NewSet(1))
+	if d.Len() != 2 || d.Has(1) {
+		t.Errorf("Diff wrong: %v", d)
+	}
+	c := s.Clone()
+	c.Add(99)
+	if s.Has(99) {
+		t.Error("Clone aliases original")
+	}
+}
+
+func TestAddRemoveHas(t *testing.T) {
+	r := New()
+	r.Add(1, 2)
+	r.Add(1, 2) // duplicate
+	r.Add(2, 3)
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	if !r.Has(1, 2) || !r.Has(2, 3) || r.Has(2, 1) {
+		t.Fatal("membership wrong")
+	}
+	r.Remove(1, 2)
+	if r.Has(1, 2) || r.Len() != 1 {
+		t.Fatal("Remove failed")
+	}
+	r.Remove(1, 2) // removing absent pair is a no-op
+	if r.Len() != 1 {
+		t.Fatal("double Remove changed size")
+	}
+}
+
+func TestFromEdgesPanicsOnOdd(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromEdges(1, 2, 3)
+}
+
+func TestUnionInterDiff(t *testing.T) {
+	a := FromEdges(1, 2, 2, 3)
+	b := FromEdges(2, 3, 3, 4)
+	u := a.Union(b)
+	if u.Len() != 3 || !u.Has(1, 2) || !u.Has(2, 3) || !u.Has(3, 4) {
+		t.Errorf("Union = %v", u)
+	}
+	i := a.Inter(b)
+	if i.Len() != 1 || !i.Has(2, 3) {
+		t.Errorf("Inter = %v", i)
+	}
+	d := a.Diff(b)
+	if d.Len() != 1 || !d.Has(1, 2) {
+		t.Errorf("Diff = %v", d)
+	}
+	// Variadic Union function.
+	v := Union(a, b, FromEdges(9, 9))
+	if v.Len() != 4 || !v.Has(9, 9) {
+		t.Errorf("Union(...) = %v", v)
+	}
+}
+
+func TestCompose(t *testing.T) {
+	// fr = ~rf.co: classic derivation shape.
+	rf := FromEdges(10, 20) // write 10 read by read 20
+	co := FromEdges(10, 11) // write 10 before write 11
+	fr := rf.Transpose().Compose(co)
+	if fr.Len() != 1 || !fr.Has(20, 11) {
+		t.Errorf("fr = %v, want {20→11}", fr)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	r := FromEdges(1, 2, 2, 3)
+	tr := r.Transpose()
+	if !tr.Has(2, 1) || !tr.Has(3, 2) || tr.Len() != 2 {
+		t.Errorf("Transpose = %v", tr)
+	}
+	if !tr.Transpose().Equal(r) {
+		t.Error("double transpose != original")
+	}
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	r := FromEdges(1, 2, 2, 3, 3, 4)
+	tc := r.TransitiveClosure()
+	want := FromEdges(1, 2, 1, 3, 1, 4, 2, 3, 2, 4, 3, 4)
+	if !tc.Equal(want) {
+		t.Errorf("closure = %v, want %v", tc, want)
+	}
+	// Cyclic graph: closure contains self-loops around the cycle.
+	c := FromEdges(1, 2, 2, 1)
+	cc := c.TransitiveClosure()
+	if !cc.Has(1, 1) || !cc.Has(2, 2) {
+		t.Errorf("cyclic closure = %v", cc)
+	}
+}
+
+func TestAcyclicity(t *testing.T) {
+	if !FromEdges(1, 2, 2, 3).IsAcyclic() {
+		t.Error("chain flagged cyclic")
+	}
+	if FromEdges(1, 2, 2, 3, 3, 1).IsAcyclic() {
+		t.Error("3-cycle flagged acyclic")
+	}
+	if FromEdges(5, 5).IsAcyclic() {
+		t.Error("self-loop flagged acyclic")
+	}
+	if !New().IsAcyclic() {
+		t.Error("empty relation flagged cyclic")
+	}
+}
+
+func TestFindCycle(t *testing.T) {
+	if c := FromEdges(1, 2, 2, 3).FindCycle(); c != nil {
+		t.Errorf("cycle in acyclic graph: %v", c)
+	}
+	c := FromEdges(1, 2, 2, 3, 3, 1).FindCycle()
+	if len(c) != 4 || c[0] != c[len(c)-1] {
+		t.Fatalf("cycle = %v", c)
+	}
+	r := FromEdges(1, 2, 2, 3, 3, 1)
+	for i := 0; i+1 < len(c); i++ {
+		if !r.Has(c[i], c[i+1]) {
+			t.Errorf("cycle edge %d→%d not in relation", c[i], c[i+1])
+		}
+	}
+	// Self-loop.
+	sl := FromEdges(7, 7).FindCycle()
+	if len(sl) != 2 || sl[0] != 7 || sl[1] != 7 {
+		t.Errorf("self-loop cycle = %v", sl)
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	r := FromEdges(1, 3, 2, 3, 3, 4)
+	order, ok := r.TopoOrder()
+	if !ok {
+		t.Fatal("acyclic graph reported cyclic")
+	}
+	pos := make(map[ID]int)
+	for i, n := range order {
+		pos[n] = i
+	}
+	for _, p := range r.Pairs() {
+		if pos[p.From] >= pos[p.To] {
+			t.Errorf("order violates edge %v", p)
+		}
+	}
+	if _, ok := FromEdges(1, 2, 2, 1).TopoOrder(); ok {
+		t.Error("cyclic graph reported acyclic")
+	}
+}
+
+func TestRestrictAndFilter(t *testing.T) {
+	r := FromEdges(1, 2, 2, 3, 3, 4)
+	sub := r.Restrict(NewSet(1, 2), NewSet(2, 4))
+	if sub.Len() != 1 || !sub.Has(1, 2) {
+		t.Errorf("Restrict = %v", sub)
+	}
+	if got := r.Restrict(nil, NewSet(3)); got.Len() != 1 || !got.Has(2, 3) {
+		t.Errorf("Restrict(nil, ...) = %v", got)
+	}
+	f := r.Filter(func(a, b ID) bool { return b-a > 1 })
+	if f.Len() != 0 {
+		t.Errorf("Filter = %v", f)
+	}
+}
+
+func TestIdentityAndReflexiveClosure(t *testing.T) {
+	u := NewSet(1, 2)
+	id := Identity(u)
+	if id.Len() != 2 || !id.Has(1, 1) || !id.Has(2, 2) {
+		t.Errorf("Identity = %v", id)
+	}
+	r := FromEdges(1, 2).ReflexiveClosure(u)
+	if r.Len() != 3 || !r.Has(1, 1) || !r.Has(2, 2) || !r.Has(1, 2) {
+		t.Errorf("ReflexiveClosure = %v", r)
+	}
+}
+
+func TestIsTotalOrderOn(t *testing.T) {
+	s := NewSet(1, 2, 3)
+	if !FromEdges(1, 2, 2, 3).IsTotalOrderOn(s) {
+		t.Error("chain not a total order")
+	}
+	if FromEdges(1, 2).IsTotalOrderOn(s) {
+		t.Error("incomparable 3 accepted")
+	}
+	if FromEdges(1, 2, 2, 3, 3, 1).IsTotalOrderOn(s) {
+		t.Error("cycle accepted as total order")
+	}
+}
+
+func TestDomainRange(t *testing.T) {
+	r := FromEdges(1, 2, 1, 3, 4, 2)
+	if d := r.Domain(); d.Len() != 2 || !d.Has(1) || !d.Has(4) {
+		t.Errorf("Domain = %v", d)
+	}
+	if g := r.Range(); g.Len() != 2 || !g.Has(2) || !g.Has(3) {
+		t.Errorf("Range = %v", g)
+	}
+}
+
+func TestString(t *testing.T) {
+	r := FromEdges(2, 1, 1, 2)
+	if got := r.String(); got != "{1→2, 2→1}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// randomRelation builds a pseudo-random relation over n elements with m edges.
+func randomRelation(rng *rand.Rand, n, m int) *Relation {
+	r := New()
+	for i := 0; i < m; i++ {
+		r.Add(rng.Intn(n), rng.Intn(n))
+	}
+	return r
+}
+
+// Property: transitive closure is idempotent and contains the original.
+func TestQuickClosureIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randomRelation(rng, 8, 12)
+		tc := r.TransitiveClosure()
+		if !tc.TransitiveClosure().Equal(tc) {
+			return false
+		}
+		return r.Diff(tc).IsEmpty()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: (r ∪ s)ᵀ = rᵀ ∪ sᵀ.
+func TestQuickTransposeDistributesOverUnion(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randomRelation(rng, 8, 10)
+		s := randomRelation(rng, 8, 10)
+		return r.Union(s).Transpose().Equal(r.Transpose().Union(s.Transpose()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: acyclicity of r equals acyclicity of rᵀ, and a found cycle is
+// genuinely a path of edges ending where it began.
+func TestQuickCycleWitness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randomRelation(rng, 6, 8)
+		if r.IsAcyclic() != r.Transpose().IsAcyclic() {
+			return false
+		}
+		c := r.FindCycle()
+		if r.IsAcyclic() {
+			return c == nil
+		}
+		if len(c) < 2 || c[0] != c[len(c)-1] {
+			return false
+		}
+		for i := 0; i+1 < len(c); i++ {
+			if !r.Has(c[i], c[i+1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: composition is associative: (r.s).t = r.(s.t).
+func TestQuickComposeAssociative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randomRelation(rng, 6, 8)
+		s := randomRelation(rng, 6, 8)
+		u := randomRelation(rng, 6, 8)
+		return r.Compose(s).Compose(u).Equal(r.Compose(s.Compose(u)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: TopoOrder, when it exists, is consistent with every edge.
+func TestQuickTopoRespectsEdges(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randomRelation(rng, 10, 9)
+		order, ok := r.TopoOrder()
+		if !ok {
+			return !r.IsAcyclic()
+		}
+		pos := make(map[ID]int)
+		for i, n := range order {
+			pos[n] = i
+		}
+		for _, p := range r.Pairs() {
+			if pos[p.From] >= pos[p.To] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	r := FromEdges(1, 2)
+	c := r.Clone()
+	c.Add(3, 4)
+	if r.Has(3, 4) {
+		t.Error("Clone shares storage with original")
+	}
+	if !reflect.DeepEqual(r.Pairs(), []Pair{{1, 2}}) {
+		t.Errorf("original mutated: %v", r)
+	}
+}

@@ -1,0 +1,112 @@
+// Package relation implements a small algebra of finite binary relations
+// over integer-identified elements. It is the calculus in which both memory
+// consistency models (MCMs) and leakage containment models (LCMs) are
+// expressed: axiomatic predicates such as sc_per_loc or the LCM
+// non-interference conditions are unions, compositions, and acyclicity
+// checks over relations like po, rf, co, fr, rfx, cox, and frx.
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ID identifies an element of the carrier set (an event in a candidate
+// execution). IDs are small non-negative integers assigned by the caller.
+type ID = int
+
+// Set is a finite set of element IDs.
+type Set map[ID]struct{}
+
+// NewSet returns a Set containing the given elements.
+func NewSet(ids ...ID) Set {
+	s := make(Set, len(ids))
+	for _, id := range ids {
+		s[id] = struct{}{}
+	}
+	return s
+}
+
+// Add inserts id into s.
+func (s Set) Add(id ID) { s[id] = struct{}{} }
+
+// Has reports whether id is a member of s.
+func (s Set) Has(id ID) bool {
+	_, ok := s[id]
+	return ok
+}
+
+// Len returns the cardinality of s.
+func (s Set) Len() int { return len(s) }
+
+// Union returns a new set containing every element of s and t.
+func (s Set) Union(t Set) Set {
+	u := make(Set, len(s)+len(t))
+	for id := range s {
+		u[id] = struct{}{}
+	}
+	for id := range t {
+		u[id] = struct{}{}
+	}
+	return u
+}
+
+// Inter returns a new set containing the elements common to s and t.
+func (s Set) Inter(t Set) Set {
+	small, large := s, t
+	if len(t) < len(s) {
+		small, large = t, s
+	}
+	u := make(Set)
+	for id := range small {
+		if large.Has(id) {
+			u[id] = struct{}{}
+		}
+	}
+	return u
+}
+
+// Diff returns a new set containing the elements of s not in t.
+func (s Set) Diff(t Set) Set {
+	u := make(Set)
+	for id := range s {
+		if !t.Has(id) {
+			u[id] = struct{}{}
+		}
+	}
+	return u
+}
+
+// Clone returns a copy of s.
+func (s Set) Clone() Set {
+	u := make(Set, len(s))
+	for id := range s {
+		u[id] = struct{}{}
+	}
+	return u
+}
+
+// Sorted returns the elements of s in ascending order.
+func (s Set) Sorted() []ID {
+	ids := make([]ID, 0, len(s))
+	for id := range s {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// String renders the set as {a, b, c} in ascending order.
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, id := range s.Sorted() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d", id)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,254 @@
+// Package repair implements Clou's automatic mitigation (§6.1): insert a
+// minimal number of speculation fences (lfence) so that no detected
+// transmitter survives. Candidate fence positions are instructions lying
+// between a finding's speculation primitive and its transmitter; a minimal
+// hitting set is computed with the smt package's cardinality constraints,
+// applied to the IR, and validated by re-running detection — the loop
+// continues until the program is clean.
+package repair
+
+import (
+	"fmt"
+	"sort"
+
+	"lcm/internal/acfg"
+	"lcm/internal/detect"
+	"lcm/internal/ir"
+	"lcm/internal/sat"
+	"lcm/internal/smt"
+)
+
+// Result reports a repair run.
+type Result struct {
+	Fences    int // fences inserted
+	Rounds    int // detect→repair iterations
+	Remaining int // findings left (0 on success)
+}
+
+// Repair analyzes fn with cfg, inserts fences into m until detection runs
+// clean (or maxRounds is hit), and reports the fence count.
+func Repair(m *ir.Module, fn string, cfg detect.Config, maxRounds int) (Result, error) {
+	if maxRounds == 0 {
+		maxRounds = 8
+	}
+	total := 0
+	for round := 1; round <= maxRounds; round++ {
+		res, err := detect.AnalyzeFunc(m, fn, cfg)
+		if err != nil {
+			return Result{Fences: total, Rounds: round}, err
+		}
+		if len(res.Findings) == 0 {
+			return Result{Fences: total, Rounds: round}, nil
+		}
+		points, err := minimalFences(res)
+		if err != nil {
+			return Result{Fences: total, Rounds: round, Remaining: len(res.Findings)}, err
+		}
+		if len(points) == 0 {
+			return Result{Fences: total, Rounds: round, Remaining: len(res.Findings)},
+				fmt.Errorf("repair: no fence position can cut remaining leakage")
+		}
+		for _, p := range points {
+			insertFenceBefore(m, p)
+			total++
+		}
+	}
+	res, err := detect.AnalyzeFunc(m, fn, cfg)
+	if err != nil {
+		return Result{Fences: total, Rounds: maxRounds}, err
+	}
+	return Result{Fences: total, Rounds: maxRounds, Remaining: len(res.Findings)}, nil
+}
+
+// minimalFences computes a minimum set of instructions before which an
+// lfence cuts every finding.
+func minimalFences(res *detect.Result) ([]*ir.Instr, error) {
+	g := res.Graph
+
+	// For each finding, the primitive node and transmitter node.
+	type span struct{ from, to int }
+	var spans []span
+	for _, f := range res.Findings {
+		from := f.Branch
+		if from < 0 {
+			from = f.Store
+		}
+		if from < 0 {
+			continue
+		}
+		spans = append(spans, span{from, f.Transmit})
+	}
+	if len(spans) == 0 {
+		return nil, nil
+	}
+
+	// Candidate cut instructions: instructions of nodes lying on some
+	// primitive→transmit path (transmitter included — a fence immediately
+	// before it always works; primitive excluded).
+	candSet := map[*ir.Instr]bool{}
+	for _, sp := range spans {
+		for _, n := range g.Nodes {
+			if n.Instr == nil || n.Kind == acfg.NEntry || n.Kind == acfg.NExit {
+				continue
+			}
+			if n.ID == sp.from {
+				continue
+			}
+			onPath := n.ID == sp.to ||
+				(reaches(g, sp.from, n.ID) && reaches(g, n.ID, sp.to))
+			if onPath && placeable(n.Instr) {
+				candSet[n.Instr] = true
+			}
+		}
+	}
+	cands := make([]*ir.Instr, 0, len(candSet))
+	for in := range candSet {
+		cands = append(cands, in)
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].String() < cands[j].String() })
+
+	// kills[i][j]: fencing before cands[j] cuts spans[i] — every
+	// primitive→transmit path crosses a node carrying that instruction.
+	solver := smt.NewSolver()
+	vars := make([]*smt.Expr, len(cands))
+	for j := range cands {
+		vars[j] = solver.Var(fmt.Sprintf("fence!%d", j))
+	}
+	for i, sp := range spans {
+		var killers []*smt.Expr
+		for j, in := range cands {
+			if cutsAllPaths(g, sp.from, sp.to, in) {
+				killers = append(killers, vars[j])
+			}
+		}
+		if len(killers) == 0 {
+			return nil, fmt.Errorf("repair: finding %d has no cutting position", i)
+		}
+		solver.AssertClause(killers...)
+	}
+
+	// Minimize the fence count: find the smallest k with a model.
+	for k := 1; k <= len(cands); k++ {
+		s2 := smt.NewSolver()
+		v2 := make([]*smt.Expr, len(cands))
+		for j := range cands {
+			v2[j] = s2.Var(fmt.Sprintf("fence!%d", j))
+		}
+		for _, sp := range spans {
+			var killers []*smt.Expr
+			for j, in := range cands {
+				if cutsAllPaths(g, sp.from, sp.to, in) {
+					killers = append(killers, v2[j])
+				}
+			}
+			s2.AssertClause(killers...)
+		}
+		s2.AtMostK(k, v2...)
+		if s2.Check() == sat.Sat {
+			var out []*ir.Instr
+			for j := range cands {
+				if s2.Value(v2[j]) {
+					out = append(out, cands[j])
+				}
+			}
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("repair: hitting set infeasible")
+}
+
+// placeable reports whether a fence may be inserted before the
+// instruction (terminators and allocas are poor anchors; memory and
+// arithmetic instructions are fine).
+func placeable(in *ir.Instr) bool {
+	switch in.Op {
+	case ir.OpAlloca, ir.OpBr:
+		return false
+	}
+	return true
+}
+
+func reaches(g *acfg.Graph, from, to int) bool {
+	if from == to {
+		return true
+	}
+	seen := map[int]bool{from: true}
+	stack := []int{from}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range g.Succs(n) {
+			if s == to {
+				return true
+			}
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+// cutsAllPaths reports whether every from→to path in the A-CFG crosses a
+// node whose instruction is in (so a fence before it blocks the window).
+func cutsAllPaths(g *acfg.Graph, from, to int, in *ir.Instr) bool {
+	if from == to {
+		return false
+	}
+	seen := map[int]bool{from: true}
+	stack := []int{from}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range g.Succs(n) {
+			if g.Nodes[s].Instr == in {
+				if s == to {
+					// A fence before the transmitter itself blocks it.
+					continue
+				}
+				continue // path blocked here
+			}
+			if s == to {
+				return false
+			}
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return true
+}
+
+// insertFenceBefore splices an lfence immediately before the instruction
+// in its containing block.
+func insertFenceBefore(m *ir.Module, target *ir.Instr) {
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for i, in := range b.Instrs {
+				if in == target {
+					fence := &ir.Instr{Op: ir.OpFence, Sub: "lfence", Line: in.Line}
+					fence.Blk = b
+					b.Instrs = append(b.Instrs[:i], append([]*ir.Instr{fence}, b.Instrs[i:]...)...)
+					return
+				}
+			}
+		}
+	}
+}
+
+// CountFences tallies lfence instructions in a module (for reporting).
+func CountFences(m *ir.Module) int {
+	n := 0
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpFence && in.Sub == "lfence" {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}

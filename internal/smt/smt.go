@@ -1,0 +1,348 @@
+// Package smt provides a boolean formula layer over the sat package: named
+// variables, And/Or/Not/Implies/Iff connectives, Tseitin transformation to
+// CNF, incremental solving under assumptions, and sequential-counter
+// cardinality constraints. Together with sat it replaces the Z3 instance
+// Clou drives (§5.3): symbolic S-AEG edges become formula variables, the
+// consistency/confidentiality predicates become asserted formulas, and
+// witness executions are read back from models.
+package smt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lcm/internal/sat"
+)
+
+type op int
+
+const (
+	opVar op = iota
+	opTrue
+	opFalse
+	opAnd
+	opOr
+	opNot
+)
+
+// Expr is an immutable boolean formula. Build leaves with Solver.Var,
+// Solver.True, and Solver.False; combine with And/Or/Not/Implies/Iff.
+type Expr struct {
+	op   op
+	kids []*Expr
+	name string
+	v    int // sat variable for opVar
+}
+
+// Name returns the variable name ("" for non-variables).
+func (e *Expr) Name() string { return e.name }
+
+// String renders the formula.
+func (e *Expr) String() string {
+	switch e.op {
+	case opVar:
+		return e.name
+	case opTrue:
+		return "⊤"
+	case opFalse:
+		return "⊥"
+	case opNot:
+		return "¬" + e.kids[0].String()
+	case opAnd, opOr:
+		sep := " ∧ "
+		if e.op == opOr {
+			sep = " ∨ "
+		}
+		parts := make([]string, len(e.kids))
+		for i, k := range e.kids {
+			parts[i] = k.String()
+		}
+		return "(" + strings.Join(parts, sep) + ")"
+	}
+	return "?"
+}
+
+// Solver wraps a sat.Solver with formula-level assertions.
+type Solver struct {
+	sat     *sat.Solver
+	vars    map[string]*Expr
+	lits    map[*Expr]sat.Lit
+	trueE   *Expr
+	falseE  *Expr
+	trueLit sat.Lit
+	// assumption literal bookkeeping for FailedAssumptions
+	lastAssumed map[sat.Lit]*Expr
+}
+
+// NewSolver returns an empty solver.
+func NewSolver() *Solver {
+	s := &Solver{
+		sat:  sat.New(),
+		vars: make(map[string]*Expr),
+		lits: make(map[*Expr]sat.Lit),
+	}
+	s.trueE = &Expr{op: opTrue}
+	s.falseE = &Expr{op: opFalse}
+	tv := s.sat.NewVar()
+	s.trueLit = sat.Lit(tv)
+	s.sat.AddClause(s.trueLit)
+	return s
+}
+
+// True and False return the boolean constants.
+func (s *Solver) True() *Expr { return s.trueE }
+
+// False returns the constant false formula.
+func (s *Solver) False() *Expr { return s.falseE }
+
+// Var returns the variable with the given name, creating it on first use.
+func (s *Solver) Var(name string) *Expr {
+	if e, ok := s.vars[name]; ok {
+		return e
+	}
+	e := &Expr{op: opVar, name: name, v: s.sat.NewVar()}
+	s.vars[name] = e
+	return e
+}
+
+// FreshVar allocates an anonymous variable with a unique generated name.
+func (s *Solver) FreshVar(prefix string) *Expr {
+	return s.Var(fmt.Sprintf("%s!%d", prefix, s.sat.NumVars()))
+}
+
+// NumVars returns the number of underlying SAT variables.
+func (s *Solver) NumVars() int { return s.sat.NumVars() }
+
+// NumClauses returns the number of CNF clauses generated so far.
+func (s *Solver) NumClauses() int { return s.sat.NumClauses() }
+
+// And returns the conjunction of es (True if empty).
+func And(es ...*Expr) *Expr {
+	flat := flatten(opAnd, es)
+	switch len(flat) {
+	case 0:
+		return nil // resolved by solver at Tseitin time: nil means True in And context
+	case 1:
+		return flat[0]
+	}
+	return &Expr{op: opAnd, kids: flat}
+}
+
+// Or returns the disjunction of es (False if empty).
+func Or(es ...*Expr) *Expr {
+	flat := flatten(opOr, es)
+	switch len(flat) {
+	case 0:
+		return nil
+	case 1:
+		return flat[0]
+	}
+	return &Expr{op: opOr, kids: flat}
+}
+
+func flatten(o op, es []*Expr) []*Expr {
+	var out []*Expr
+	for _, e := range es {
+		if e == nil {
+			continue
+		}
+		if e.op == o {
+			out = append(out, e.kids...)
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Not returns the negation of e.
+func Not(e *Expr) *Expr {
+	if e.op == opNot {
+		return e.kids[0]
+	}
+	return &Expr{op: opNot, kids: []*Expr{e}}
+}
+
+// Implies returns a → b.
+func Implies(a, b *Expr) *Expr { return Or(Not(a), b) }
+
+// Iff returns a ↔ b.
+func Iff(a, b *Expr) *Expr {
+	return And(Implies(a, b), Implies(b, a))
+}
+
+// Xor returns a ⊕ b.
+func Xor(a, b *Expr) *Expr {
+	return Or(And(a, Not(b)), And(Not(a), b))
+}
+
+// lit Tseitin-transforms e and returns its defining literal. Results are
+// memoized per node, so shared subformulas encode once.
+func (s *Solver) lit(e *Expr) sat.Lit {
+	if e == nil {
+		return s.trueLit
+	}
+	if l, ok := s.lits[e]; ok {
+		return l
+	}
+	var l sat.Lit
+	switch e.op {
+	case opVar:
+		l = sat.Lit(e.v)
+	case opTrue:
+		l = s.trueLit
+	case opFalse:
+		l = s.trueLit.Neg()
+	case opNot:
+		l = s.lit(e.kids[0]).Neg()
+	case opAnd:
+		v := sat.Lit(s.sat.NewVar())
+		all := make([]sat.Lit, 0, len(e.kids)+1)
+		for _, k := range e.kids {
+			kl := s.lit(k)
+			s.sat.AddClause(v.Neg(), kl) // v → k
+			all = append(all, kl.Neg())
+		}
+		all = append(all, v) // (∧k) → v
+		s.sat.AddClause(all...)
+		l = v
+	case opOr:
+		v := sat.Lit(s.sat.NewVar())
+		all := make([]sat.Lit, 0, len(e.kids)+1)
+		for _, k := range e.kids {
+			kl := s.lit(k)
+			s.sat.AddClause(v, kl.Neg()) // k → v
+			all = append(all, kl)
+		}
+		all = append(all, v.Neg()) // v → ∨k
+		s.sat.AddClause(all...)
+		l = v
+	}
+	s.lits[e] = l
+	return l
+}
+
+// Assert adds e as a hard constraint.
+func (s *Solver) Assert(e *Expr) {
+	s.sat.AddClause(s.lit(e))
+}
+
+// AssertClause adds a disjunction of formulas as one CNF clause (cheaper
+// than Assert(Or(...)) — no auxiliary variable).
+func (s *Solver) AssertClause(es ...*Expr) {
+	lits := make([]sat.Lit, len(es))
+	for i, e := range es {
+		lits[i] = s.lit(e)
+	}
+	s.sat.AddClause(lits...)
+}
+
+// Check determines satisfiability of the asserted formulas under the given
+// assumptions.
+func (s *Solver) Check(assumptions ...*Expr) sat.Status {
+	lits := make([]sat.Lit, len(assumptions))
+	s.lastAssumed = make(map[sat.Lit]*Expr, len(assumptions))
+	for i, a := range assumptions {
+		lits[i] = s.lit(a)
+		s.lastAssumed[lits[i]] = a
+	}
+	return s.sat.Solve(lits...)
+}
+
+// FailedAssumptions returns the assumption formulas involved in the last
+// Unsat verdict.
+func (s *Solver) FailedAssumptions() []*Expr {
+	var out []*Expr
+	for _, l := range s.sat.FailedAssumptions() {
+		if e, ok := s.lastAssumed[l]; ok {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// Value evaluates e under the current model (valid after a Sat result).
+func (s *Solver) Value(e *Expr) bool {
+	switch e.op {
+	case opTrue:
+		return true
+	case opFalse:
+		return false
+	case opVar:
+		return s.sat.Value(e.v)
+	case opNot:
+		return !s.Value(e.kids[0])
+	case opAnd:
+		for _, k := range e.kids {
+			if !s.Value(k) {
+				return false
+			}
+		}
+		return true
+	case opOr:
+		for _, k := range e.kids {
+			if s.Value(k) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// AtMostK asserts that at most k of es are true, using the sequential
+// counter encoding (Sinz 2005).
+func (s *Solver) AtMostK(k int, es ...*Expr) {
+	n := len(es)
+	if k >= n {
+		return
+	}
+	if k < 0 {
+		s.Assert(s.False())
+		return
+	}
+	if k == 0 {
+		for _, e := range es {
+			s.Assert(Not(e))
+		}
+		return
+	}
+	lits := make([]sat.Lit, n)
+	for i, e := range es {
+		lits[i] = s.lit(e)
+	}
+	// r[i][j]: among es[0..i], at least j+1 are true.
+	r := make([][]sat.Lit, n)
+	for i := range r {
+		r[i] = make([]sat.Lit, k)
+		for j := range r[i] {
+			r[i][j] = sat.Lit(s.sat.NewVar())
+		}
+	}
+	s.sat.AddClause(lits[0].Neg(), r[0][0])
+	for j := 1; j < k; j++ {
+		s.sat.AddClause(r[0][j].Neg())
+	}
+	for i := 1; i < n; i++ {
+		s.sat.AddClause(lits[i].Neg(), r[i][0])
+		s.sat.AddClause(r[i-1][0].Neg(), r[i][0])
+		for j := 1; j < k; j++ {
+			s.sat.AddClause(lits[i].Neg(), r[i-1][j-1].Neg(), r[i][j])
+			s.sat.AddClause(r[i-1][j].Neg(), r[i][j])
+		}
+		s.sat.AddClause(lits[i].Neg(), r[i-1][k-1].Neg())
+	}
+}
+
+// AtLeastOne asserts that at least one of es is true.
+func (s *Solver) AtLeastOne(es ...*Expr) {
+	s.AssertClause(es...)
+}
+
+// ExactlyOne asserts that exactly one of es is true.
+func (s *Solver) ExactlyOne(es ...*Expr) {
+	s.AtLeastOne(es...)
+	s.AtMostK(1, es...)
+}

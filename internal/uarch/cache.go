@@ -1,0 +1,93 @@
+// Package uarch is the microarchitectural substrate standing in for the
+// paper's hardware testbed: an IR executor with a direct-mapped
+// write-allocate L1 cache, a bimodal branch predictor with wrong-path
+// transient execution and rollback, an optional store buffer with
+// store-to-load bypass (Spectre v4), optional silent stores (Fig. 5a),
+// and an optional indirect memory prefetcher (Fig. 5b). It dynamically
+// witnesses the leaks LCMs predict: distinct secrets leave distinct cache
+// residue observable by a Prime+Probe-style ⊥ observer.
+package uarch
+
+// Cache is a direct-mapped, write-allocate cache keyed by line address.
+type Cache struct {
+	lineSize uint64
+	sets     uint64
+	tags     []uint64
+	valid    []bool
+	Hits     int64
+	Misses   int64
+}
+
+// NewCache builds a cache with the given number of sets and line size
+// (both powers of two).
+func NewCache(sets, lineSize int) *Cache {
+	return &Cache{
+		lineSize: uint64(lineSize),
+		sets:     uint64(sets),
+		tags:     make([]uint64, sets),
+		valid:    make([]bool, sets),
+	}
+}
+
+func (c *Cache) index(addr uint64) (set, tag uint64) {
+	line := addr / c.lineSize
+	return line % c.sets, line / c.sets
+}
+
+// Touch accesses addr: a hit returns true; a miss allocates the line
+// (write-allocate applies to stores too) and returns false.
+func (c *Cache) Touch(addr uint64) bool {
+	set, tag := c.index(addr)
+	if c.valid[set] && c.tags[set] == tag {
+		c.Hits++
+		return true
+	}
+	c.Misses++
+	c.valid[set] = true
+	c.tags[set] = tag
+	return false
+}
+
+// Present reports whether addr's line is cached without touching state —
+// the observer's probe (⊥ reads xstate without perturbing the experiment).
+func (c *Cache) Present(addr uint64) bool {
+	set, tag := c.index(addr)
+	return c.valid[set] && c.tags[set] == tag
+}
+
+// Flush invalidates every line (the attacker's prime/flush phase).
+func (c *Cache) Flush() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+}
+
+// Predictor is a table of 2-bit saturating counters keyed by branch site.
+type Predictor struct {
+	counters map[interface{}]int8
+}
+
+// NewPredictor returns an empty bimodal predictor (weakly not-taken).
+func NewPredictor() *Predictor {
+	return &Predictor{counters: make(map[interface{}]int8)}
+}
+
+// Predict returns the predicted direction for a branch site.
+func (p *Predictor) Predict(site interface{}) bool {
+	return p.counters[site] >= 2
+}
+
+// Train updates the counter with the resolved direction.
+func (p *Predictor) Train(site interface{}, taken bool) {
+	c := p.counters[site]
+	if taken {
+		if c < 3 {
+			c++
+		}
+	} else {
+		if c > 0 {
+			c--
+		}
+	}
+	p.counters[site] = c
+}

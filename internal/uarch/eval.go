@@ -1,0 +1,18 @@
+package uarch
+
+import "lcm/internal/ir"
+
+// thin aliases over the ir package's evaluation helpers so both executors
+// share operator semantics.
+
+func evalBinOp(op string, ty ir.Type, l, r uint64) uint64 { return ir.EvalBin(op, ty, l, r) }
+
+func evalCmpOp(pred string, ty ir.Type, l, r uint64) bool { return ir.EvalCmp(pred, ty, l, r) }
+
+func evalCastOp(kind string, from, to ir.Type, v uint64) uint64 {
+	return ir.EvalCast(kind, from, to, v)
+}
+
+func signExtendVal(ty ir.Type, v uint64) uint64 { return ir.SignExtend(ty, v) }
+
+func truncVal(ty ir.Type, v uint64) uint64 { return ir.TruncTo(ty, v) }

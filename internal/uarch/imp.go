@@ -1,0 +1,138 @@
+package uarch
+
+import (
+	"lcm/internal/ir"
+)
+
+// impState implements an indirect memory prefetcher (Fig. 5b, [80]): it
+// watches dependent load pairs (an index load feeding the address of a
+// data load), fits the linear mapping address = base + scale·value, and on
+// each new index access prefetches the data line for the *next* index
+// element — reading program memory on its own, exactly the universal-read
+// behaviour §4.2 highlights.
+type impState struct {
+	pairs    map[[2]*ir.Instr]*impPair
+	lastLoad map[*ir.Instr]loadSample
+	// depCache maps a load instruction to the load feeding its address
+	// (computed lazily from the IR def chain).
+	depCache map[*ir.Instr]*ir.Instr
+}
+
+type loadSample struct {
+	addr   uint64
+	val    uint64
+	stride int64
+	valid  bool
+}
+
+type impPair struct {
+	// two (value, addr) samples to fit addr = base + scale·value
+	v1, a1   uint64
+	v2, a2   uint64
+	nSamples int
+	scale    int64
+	base     uint64
+	fitted   bool
+}
+
+// impObserve is called on every architectural load; it trains the
+// prefetcher and issues prefetches.
+func (ma *Machine) impObserve(in *ir.Instr, addr uint64, size int) {
+	if !ma.cfg.IMP {
+		return
+	}
+	st := &ma.imp
+	if st.depCache == nil {
+		st.depCache = map[*ir.Instr]*ir.Instr{}
+	}
+	val := ma.Mem.Load(addr, size)
+
+	// Track stride of this load.
+	s := st.lastLoad[in]
+	if s.valid {
+		s.stride = int64(addr) - int64(s.addr)
+	}
+	s.addr, s.val, s.valid = addr, val, true
+	st.lastLoad[in] = s
+
+	// Is this load's address fed by another load?
+	idx, ok := st.depCache[in]
+	if !ok {
+		idx = addressFeeder(in)
+		st.depCache[in] = idx
+	}
+	if idx == nil {
+		return
+	}
+	idxSample, ok := st.lastLoad[idx]
+	if !ok || !idxSample.valid {
+		return
+	}
+	key := [2]*ir.Instr{idx, in}
+	p := st.pairs[key]
+	if p == nil {
+		p = &impPair{}
+		st.pairs[key] = p
+	}
+	// Record a (index value, data address) sample.
+	switch p.nSamples {
+	case 0:
+		p.v1, p.a1 = idxSample.val, addr
+		p.nSamples = 1
+	default:
+		if idxSample.val != p.v1 {
+			p.v2, p.a2 = idxSample.val, addr
+			p.nSamples = 2
+			dv := int64(p.v2) - int64(p.v1)
+			da := int64(p.a2) - int64(p.a1)
+			if dv != 0 {
+				p.scale = da / dv
+				p.base = uint64(int64(p.a1) - p.scale*int64(p.v1))
+				p.fitted = true
+			}
+		}
+	}
+	// Prefetch: read the next index element and touch the predicted data
+	// line.
+	if p.fitted && idxSample.stride != 0 {
+		nextIdxAddr := uint64(int64(idxSample.addr) + idxSample.stride)
+		nextVal := ma.Mem.Load(nextIdxAddr, size)
+		target := uint64(int64(p.base) + p.scale*int64(nextVal))
+		ma.Cache.Touch(target)
+		ma.Prefetches++
+	}
+}
+
+// addressFeeder walks a load's address operand def chain (gep/cast/bin)
+// to find a load whose value feeds it.
+func addressFeeder(in *ir.Instr) *ir.Instr {
+	var walk func(v ir.Value, depth int) *ir.Instr
+	walk = func(v ir.Value, depth int) *ir.Instr {
+		if depth > 8 {
+			return nil
+		}
+		iv, ok := v.(*ir.Instr)
+		if !ok {
+			return nil
+		}
+		switch iv.Op {
+		case ir.OpLoad:
+			return iv
+		case ir.OpGEP:
+			// prefer the index operand (the indirect pattern)
+			if f := walk(iv.Args[1], depth+1); f != nil {
+				return f
+			}
+			return walk(iv.Args[0], depth+1)
+		case ir.OpCast, ir.OpFieldGEP:
+			return walk(iv.Args[0], depth+1)
+		case ir.OpBin:
+			if f := walk(iv.Args[0], depth+1); f != nil {
+				return f
+			}
+			return walk(iv.Args[1], depth+1)
+		}
+		return nil
+	}
+	return walk(in.Args[0], 0)
+}

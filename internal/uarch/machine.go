@@ -1,0 +1,294 @@
+package uarch
+
+import (
+	"fmt"
+
+	"lcm/internal/ir"
+)
+
+// Config selects the modeled microarchitectural features.
+type Config struct {
+	CacheSets int // default 512
+	LineSize  int // default 64
+	ROB       int // transient window length in instructions (default 64)
+	// StoreBufferDepth is how many instructions a store stays pending
+	// before committing to memory (default 8).
+	StoreBufferDepth int
+	// StoreBypass enables Spectre v4 behaviour: a load whose address
+	// matches a pending store may transiently read the stale value.
+	StoreBypass bool
+	// SilentStores elides committed stores whose value matches memory
+	// (Fig. 5a): the cache line is not touched.
+	SilentStores bool
+	// IMP enables the indirect memory prefetcher (Fig. 5b).
+	IMP bool
+	// Budget bounds executed instructions.
+	Budget int64
+}
+
+func (c *Config) defaults() {
+	if c.CacheSets == 0 {
+		c.CacheSets = 512
+	}
+	if c.LineSize == 0 {
+		c.LineSize = 64
+	}
+	if c.ROB == 0 {
+		c.ROB = 64
+	}
+	if c.StoreBufferDepth == 0 {
+		c.StoreBufferDepth = 8
+	}
+	if c.Budget == 0 {
+		c.Budget = 10_000_000
+	}
+}
+
+// Machine executes IR with microarchitectural side effects.
+type Machine struct {
+	M     *ir.Module
+	Mem   *ir.Memory
+	Cache *Cache
+	Pred  *Predictor
+	cfg   Config
+
+	globalAddr map[string]uint64
+	stackTop   uint64
+	budget     int64
+
+	storeBuf []bufStore
+	// Squashed counts transiently executed (and rolled back) instructions.
+	Squashed int64
+	// Prefetches counts IMP-issued prefetches.
+	Prefetches int64
+
+	imp impState
+}
+
+type bufStore struct {
+	addr uint64
+	size int
+	val  uint64
+	age  int
+}
+
+// New builds a machine over the module, laying out globals like the
+// reference interpreter.
+func New(m *ir.Module, cfg Config) *Machine {
+	cfg.defaults()
+	ref := ir.NewInterp(m)
+	ma := &Machine{
+		M:          m,
+		Mem:        ref.Mem,
+		Cache:      NewCache(cfg.CacheSets, cfg.LineSize),
+		Pred:       NewPredictor(),
+		cfg:        cfg,
+		globalAddr: map[string]uint64{},
+		stackTop:   0x1000_0000,
+		imp:        impState{pairs: map[[2]*ir.Instr]*impPair{}, lastLoad: map[*ir.Instr]loadSample{}},
+	}
+	for _, g := range m.Globals {
+		if a, ok := ref.GlobalAddr(g.Nm); ok {
+			ma.globalAddr[g.Nm] = a
+		}
+	}
+	return ma
+}
+
+// GlobalAddr returns a global's runtime address.
+func (ma *Machine) GlobalAddr(name string) (uint64, bool) {
+	a, ok := ma.globalAddr[name]
+	return a, ok
+}
+
+// Probe reports whether the line containing addr is cached — the observer.
+func (ma *Machine) Probe(addr uint64) bool { return ma.Cache.Present(addr) }
+
+// Flush empties the cache (prime phase).
+func (ma *Machine) Flush() { ma.Cache.Flush() }
+
+type mframe struct {
+	fn   *ir.Func
+	vals map[*ir.Instr]uint64
+	args []uint64
+}
+
+// Call runs fn architecturally, with transient side channels enabled per
+// the configuration.
+func (ma *Machine) Call(fn string, args ...uint64) (uint64, error) {
+	ma.budget = ma.cfg.Budget
+	v, err := ma.run(fn, args, false)
+	ma.drainStores(true)
+	return v, err
+}
+
+func (ma *Machine) run(fn string, args []uint64, transient bool) (uint64, error) {
+	f := ma.M.Func(fn)
+	if f == nil || f.IsDecl() {
+		return 0, nil // externals are no-ops microarchitecturally
+	}
+	fr := &mframe{fn: f, vals: map[*ir.Instr]uint64{}, args: args}
+	blk := f.Entry()
+	for {
+		next, ret, done, err := ma.runBlock(fr, blk, transient)
+		if err != nil || done {
+			return ret, err
+		}
+		blk = next
+	}
+}
+
+// runBlock executes one block architecturally; it returns the next block,
+// or done=true with the return value.
+func (ma *Machine) runBlock(fr *mframe, blk *ir.Block, transient bool) (*ir.Block, uint64, bool, error) {
+	for _, in := range blk.Instrs {
+		ma.budget--
+		if ma.budget < 0 {
+			return nil, 0, true, fmt.Errorf("uarch: budget exhausted")
+		}
+		ma.tickStores()
+		switch in.Op {
+		case ir.OpAlloca:
+			size := uint64(in.AllocaElem.Size())
+			ma.stackTop -= size
+			ma.stackTop &^= 7
+			fr.vals[in] = ma.stackTop
+		case ir.OpLoad:
+			addr := ma.eval(fr, in.Args[0])
+			size := in.Ty.Size()
+			ma.Cache.Touch(addr)
+			ma.impObserve(in, addr, size)
+			if pending, stale, ok := ma.forward(addr, size); ok {
+				if ma.cfg.StoreBypass {
+					// Spectre v4: transiently run ahead with the stale
+					// value before the forwarded value arrives.
+					ma.transientFrom(fr, blk, in, stale)
+				}
+				fr.vals[in] = pending
+			} else {
+				fr.vals[in] = ma.Mem.Load(addr, size)
+			}
+		case ir.OpStore:
+			v := ma.eval(fr, in.Args[0])
+			addr := ma.eval(fr, in.Args[1])
+			size := in.Args[0].Type().Size()
+			ma.storeBuf = append(ma.storeBuf, bufStore{addr: addr, size: size, val: v})
+		case ir.OpGEP:
+			base := ma.eval(fr, in.Args[0])
+			idx := int64(signExtendVal(in.Args[1].Type(), ma.eval(fr, in.Args[1])))
+			fr.vals[in] = base + uint64(idx*int64(ir.Elem(in.Args[0].Type()).Size()))
+		case ir.OpFieldGEP:
+			base := ma.eval(fr, in.Args[0])
+			st := ir.Elem(in.Args[0].Type()).(*ir.StructType)
+			fld, _ := st.Field(in.Field)
+			fr.vals[in] = base + uint64(fld.Offset)
+		case ir.OpBin:
+			fr.vals[in] = truncVal(in.Ty, evalBinOp(in.Sub, in.Ty, ma.eval(fr, in.Args[0]), ma.eval(fr, in.Args[1])))
+		case ir.OpCmp:
+			if evalCmpOp(in.Sub, in.Args[0].Type(), ma.eval(fr, in.Args[0]), ma.eval(fr, in.Args[1])) {
+				fr.vals[in] = 1
+			} else {
+				fr.vals[in] = 0
+			}
+		case ir.OpCast:
+			fr.vals[in] = evalCastOp(in.Sub, in.Args[0].Type(), in.Ty, ma.eval(fr, in.Args[0]))
+		case ir.OpCall:
+			args := make([]uint64, len(in.Args))
+			for i, a := range in.Args {
+				args[i] = ma.eval(fr, a)
+			}
+			v, err := ma.run(in.Callee, args, transient)
+			if err != nil {
+				return nil, 0, true, err
+			}
+			if in.Nm != "" && in.Ty != nil {
+				fr.vals[in] = truncVal(in.Ty, v)
+			}
+		case ir.OpBr:
+			return in.Then, 0, false, nil
+		case ir.OpCondBr:
+			cond := ma.eval(fr, in.Args[0]) != 0
+			predicted := ma.Pred.Predict(in)
+			ma.Pred.Train(in, cond)
+			if predicted != cond && !transient && ma.cfg.ROB > 0 {
+				// Mis-speculation: transiently fetch the wrong arm.
+				wrong := in.Else
+				if predicted {
+					wrong = in.Then
+				}
+				ma.transientBlock(fr, wrong)
+			}
+			if cond {
+				return in.Then, 0, false, nil
+			}
+			return in.Else, 0, false, nil
+		case ir.OpRet:
+			ma.drainStores(true)
+			if len(in.Args) == 1 {
+				return nil, ma.eval(fr, in.Args[0]), true, nil
+			}
+			return nil, 0, true, nil
+		case ir.OpFence:
+			// lfence: stop speculation (meaningful only as a transient
+			// barrier, handled in the transient executor) and drain the
+			// store buffer.
+			ma.drainStores(true)
+		}
+	}
+	return nil, 0, true, fmt.Errorf("uarch: block %%%s fell through", blk.Nm)
+}
+
+func (ma *Machine) eval(fr *mframe, v ir.Value) uint64 {
+	switch v := v.(type) {
+	case *ir.Const:
+		return v.Val
+	case *ir.Global:
+		return ma.globalAddr[v.Nm]
+	case *ir.Param:
+		return fr.args[v.Idx]
+	case *ir.Instr:
+		return fr.vals[v]
+	}
+	panic("uarch: unknown value")
+}
+
+// forward checks the store buffer for a pending same-address store. It
+// returns the forwarded (correct) value and the stale in-memory value.
+func (ma *Machine) forward(addr uint64, size int) (pending, stale uint64, ok bool) {
+	for i := len(ma.storeBuf) - 1; i >= 0; i-- {
+		s := ma.storeBuf[i]
+		if s.addr == addr && s.size == size {
+			return s.val, ma.Mem.Load(addr, size), true
+		}
+	}
+	return 0, 0, false
+}
+
+// tickStores ages the store buffer and commits entries past the buffer
+// depth.
+func (ma *Machine) tickStores() {
+	for i := range ma.storeBuf {
+		ma.storeBuf[i].age++
+	}
+	for len(ma.storeBuf) > 0 && ma.storeBuf[0].age > ma.cfg.StoreBufferDepth {
+		ma.commitStore(ma.storeBuf[0])
+		ma.storeBuf = ma.storeBuf[1:]
+	}
+}
+
+func (ma *Machine) drainStores(all bool) {
+	for len(ma.storeBuf) > 0 {
+		ma.commitStore(ma.storeBuf[0])
+		ma.storeBuf = ma.storeBuf[1:]
+	}
+}
+
+// commitStore writes a store to memory; with SilentStores, a store whose
+// value matches memory is elided and does not touch the cache (Fig. 5a).
+func (ma *Machine) commitStore(s bufStore) {
+	if ma.cfg.SilentStores && ma.Mem.Load(s.addr, s.size) == s.val {
+		return // silent: microarchitecturally a read, no allocation
+	}
+	ma.Cache.Touch(s.addr)
+	ma.Mem.Store(s.addr, s.size, s.val)
+}

@@ -1,0 +1,181 @@
+package uarch
+
+import (
+	"lcm/internal/ir"
+)
+
+// transientBlock executes up to ROB instructions starting at blk with
+// shadow register/memory state; cache effects are real (that is the
+// channel), everything else is rolled back.
+func (ma *Machine) transientBlock(fr *mframe, blk *ir.Block) {
+	sh := &shadow{
+		ma:     ma,
+		vals:   map[*ir.Instr]uint64{},
+		writes: map[uint64]byte{},
+		frame:  fr,
+	}
+	sh.run(blk, 0, ma.cfg.ROB)
+}
+
+// transientFrom re-executes the remainder of the current block starting at
+// the bypassing load, substituting the stale value (Spectre v4): the
+// dependent instructions run transiently before rollback.
+func (ma *Machine) transientFrom(fr *mframe, blk *ir.Block, load *ir.Instr, stale uint64) {
+	sh := &shadow{
+		ma:     ma,
+		vals:   map[*ir.Instr]uint64{load: stale},
+		writes: map[uint64]byte{},
+		frame:  fr,
+	}
+	// Find the load's position and continue after it.
+	start := -1
+	for i, in := range blk.Instrs {
+		if in == load {
+			start = i + 1
+		}
+	}
+	if start < 0 {
+		return
+	}
+	sh.runFrom(blk, start, ma.cfg.ROB)
+}
+
+// shadow is the transient execution context: values and memory writes are
+// buffered and discarded at rollback; cache touches hit the real cache.
+type shadow struct {
+	ma     *Machine
+	vals   map[*ir.Instr]uint64
+	writes map[uint64]byte
+	frame  *mframe
+}
+
+func (sh *shadow) value(v ir.Value) uint64 {
+	switch v := v.(type) {
+	case *ir.Const:
+		return v.Val
+	case *ir.Global:
+		return sh.ma.globalAddr[v.Nm]
+	case *ir.Param:
+		return sh.frame.args[v.Idx]
+	case *ir.Instr:
+		if x, ok := sh.vals[v]; ok {
+			return x
+		}
+		return sh.frame.vals[v] // values computed before the window
+	}
+	return 0
+}
+
+func (sh *shadow) load(addr uint64, size int) uint64 {
+	// Transient loads forward from shadow writes, then from the pending
+	// store buffer (the window sees in-flight architectural stores), then
+	// from memory.
+	if _, ok := sh.writes[addr]; !ok {
+		if v, _, ok := sh.ma.forward(addr, size); ok {
+			return v
+		}
+	}
+	var v uint64
+	for i := 0; i < size; i++ {
+		b, ok := sh.writes[addr+uint64(i)]
+		if !ok {
+			b = byte(sh.ma.Mem.Load(addr+uint64(i), 1))
+		}
+		v |= uint64(b) << (8 * uint(i))
+	}
+	return v
+}
+
+func (sh *shadow) store(addr uint64, size int, v uint64) {
+	for i := 0; i < size; i++ {
+		sh.writes[addr+uint64(i)] = byte(v >> (8 * uint(i)))
+	}
+}
+
+func (sh *shadow) run(blk *ir.Block, depth, budget int) {
+	sh.runFrom(blk, 0, budget)
+}
+
+// runFrom executes transiently from instruction index start, following
+// predicted directions at branches, until the window budget is spent, an
+// lfence is reached, or the path ends.
+func (sh *shadow) runFrom(blk *ir.Block, start, budget int) {
+	ma := sh.ma
+	for budget > 0 {
+		executedTerminator := false
+		for i := start; i < len(blk.Instrs); i++ {
+			if budget <= 0 {
+				return
+			}
+			in := blk.Instrs[i]
+			budget--
+			ma.Squashed++
+			switch in.Op {
+			case ir.OpAlloca:
+				// transient allocas get scratch addresses below the stack
+				ma.stackTop -= uint64(in.AllocaElem.Size())
+				sh.vals[in] = ma.stackTop
+			case ir.OpLoad:
+				addr := sh.value(in.Args[0])
+				size := in.Ty.Size()
+				ma.Cache.Touch(addr) // the transient side channel
+				sh.vals[in] = sh.load(addr, size)
+			case ir.OpStore:
+				v := sh.value(in.Args[0])
+				addr := sh.value(in.Args[1])
+				size := in.Args[0].Type().Size()
+				ma.Cache.Touch(addr) // write-allocate fills the line
+				sh.store(addr, size, v)
+			case ir.OpGEP:
+				base := sh.value(in.Args[0])
+				idx := int64(signExtendVal(in.Args[1].Type(), sh.value(in.Args[1])))
+				sh.vals[in] = base + uint64(idx*int64(ir.Elem(in.Args[0].Type()).Size()))
+			case ir.OpFieldGEP:
+				base := sh.value(in.Args[0])
+				st := ir.Elem(in.Args[0].Type()).(*ir.StructType)
+				fld, _ := st.Field(in.Field)
+				sh.vals[in] = base + uint64(fld.Offset)
+			case ir.OpBin:
+				sh.vals[in] = truncVal(in.Ty, evalBinOp(in.Sub, in.Ty, sh.value(in.Args[0]), sh.value(in.Args[1])))
+			case ir.OpCmp:
+				if evalCmpOp(in.Sub, in.Args[0].Type(), sh.value(in.Args[0]), sh.value(in.Args[1])) {
+					sh.vals[in] = 1
+				} else {
+					sh.vals[in] = 0
+				}
+			case ir.OpCast:
+				sh.vals[in] = evalCastOp(in.Sub, in.Args[0].Type(), in.Ty, sh.value(in.Args[0]))
+			case ir.OpCall:
+				// Transient calls: execute the callee's entry window too
+				// would require a shadow frame; conservatively stop here.
+				return
+			case ir.OpBr:
+				blk = in.Then
+				start = 0
+				executedTerminator = true
+			case ir.OpCondBr:
+				// Inside the window, follow the transient condition value
+				// (computed from possibly-stale data).
+				if sh.value(in.Args[0]) != 0 {
+					blk = in.Then
+				} else {
+					blk = in.Else
+				}
+				start = 0
+				executedTerminator = true
+			case ir.OpRet:
+				return
+			case ir.OpFence:
+				if in.Sub == "lfence" {
+					return // speculation barrier
+				}
+			}
+			if executedTerminator {
+				break
+			}
+		}
+		if !executedTerminator {
+			return // fell off the block without a terminator (shouldn't happen)
+		}
+	}
+}
