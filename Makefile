@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test race check vet fmt bench
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmt fails if any file needs reformatting (CI-style gofmt gate).
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed:"; echo "$$out"; exit 1; \
+	fi
+
+check: vet fmt race
+
+bench:
+	$(GO) test -bench . -benchtime 1x ./...

@@ -436,6 +436,55 @@ func BenchmarkAblation_TaintFilter(b *testing.B) {
 	}
 }
 
+// BenchmarkDetectPruned measures the static range-analysis pruner: the
+// same libsodium functions analyzed with pruning (default) and with
+// -noprune, reporting how many universal candidate patterns the interval
+// facts discharge before the SMT stage sees them.
+func BenchmarkDetectPruned(b *testing.B) {
+	lib, _ := cryptolib.Lookup("libsodium")
+	m := compileSrc(b, lib.Source)
+	fns := []string{"crypto_pwhash_mix", "sodium_bin2hex", "crypto_kdf_derive"}
+	run := func(noPrune bool) (cand, pruned, queries int) {
+		for _, fn := range fns {
+			cfg := detect.DefaultPHT()
+			cfg.NoPrune = noPrune
+			cfg.Timeout = 5 * time.Second
+			r, err := detect.AnalyzeFunc(m, fn, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cand += r.Candidates
+			pruned += r.Pruned
+			queries += r.Queries
+		}
+		return
+	}
+	b.Run("pruned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(false)
+		}
+	})
+	b.Run("unpruned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(true)
+		}
+	})
+	cand, pruned, qOn := run(false)
+	_, zero, qOff := run(true)
+	if pruned == 0 {
+		b.Fatalf("range analysis pruned nothing out of %d candidates", cand)
+	}
+	if zero != 0 {
+		b.Fatalf("NoPrune run still pruned %d candidates", zero)
+	}
+	if qOn > qOff {
+		b.Fatalf("pruning issued more SMT queries (%d) than the unpruned run (%d)", qOn, qOff)
+	}
+	once("detect-pruned", fmt.Sprintf(
+		"range pruning (libsodium %v): %d/%d universal candidates discharged statically; SMT queries %d→%d",
+		fns, pruned, cand, qOff, qOn))
+}
+
 // BenchmarkBaselineScaling exercises the Table 2 scaling contrast: the
 // baseline's eager path exploration vs Clou's symbolic encoding on a
 // branch-heavy function.

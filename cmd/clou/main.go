@@ -37,6 +37,8 @@ func main() {
 	emitDot := flag.Bool("dot", false, "print a witness execution as DOT for each finding class")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-function time budget")
 	printIR := flag.Bool("ir", false, "dump the lowered IR and exit")
+	verbose := flag.Bool("v", false, "report candidate and range-pruned pattern counts per function")
+	noPrune := flag.Bool("noprune", false, "disable range-analysis candidate pruning")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -74,6 +76,7 @@ func main() {
 	cfg.AEG.LSQ = *lsq
 	cfg.AEG.Wsize = *wsize
 	cfg.Timeout = *timeout
+	cfg.NoPrune = *noPrune
 	if *classes != "" {
 		for _, c := range strings.Split(*classes, ",") {
 			switch strings.TrimSpace(strings.ToLower(c)) {
@@ -104,6 +107,9 @@ func main() {
 			res.Duration.Round(time.Millisecond), timedOut(res.TimedOut))
 		fmt.Printf("   DT=%d CT=%d UDT=%d UCT=%d\n",
 			counts[core.DT], counts[core.CT], counts[core.UDT], counts[core.UCT])
+		if *verbose {
+			fmt.Printf("   candidates=%d pruned=%d (range analysis)\n", res.Candidates, res.Pruned)
+		}
 		for _, f := range res.Findings {
 			fmt.Printf("   %s\n", f)
 			totalFindings++

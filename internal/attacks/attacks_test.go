@@ -1,0 +1,113 @@
+package attacks_test
+
+import (
+	"testing"
+
+	"lcm/internal/attacks"
+	"lcm/internal/core"
+)
+
+// TestAttackWellFormed checks the structural invariants every
+// reconstructed figure must satisfy before any leakage analysis: unique
+// names, a non-empty event structure, gold labels that actually name
+// events of the graph, and transient flags consistent with those events.
+func TestAttackWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range attacks.All() {
+		if a.Name == "" || a.Figure == "" {
+			t.Fatalf("attack with empty name/figure: %+v", a)
+		}
+		if seen[a.Name] {
+			t.Fatalf("duplicate attack name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if a.Graph == nil || len(a.Graph.Events) == 0 {
+			t.Fatalf("%s: empty event structure", a.Name)
+		}
+		if len(a.Expect) == 0 {
+			t.Fatalf("%s: no gold transmitters", a.Name)
+		}
+		byLabel := map[string]int{}
+		for id, ev := range a.Graph.Events {
+			if ev.Label != "" {
+				byLabel[ev.Label] = id
+			}
+		}
+		for _, want := range a.Expect {
+			id, ok := byLabel[want.Label]
+			if !ok {
+				t.Errorf("%s: gold label %q names no event", a.Name, want.Label)
+				continue
+			}
+			if a.Graph.Events[id].Transient != want.Transient {
+				t.Errorf("%s: gold label %q transient=%v but event is transient=%v",
+					a.Name, want.Label, want.Transient, a.Graph.Events[id].Transient)
+			}
+		}
+	}
+}
+
+// TestAttackMachinesAcceptOwnExecutions pins that each figure's candidate
+// execution is admitted by the machine the attack pairs it with — the
+// premise of §4.2's sampling (a leak only exists on a machine that can
+// produce the execution).
+func TestAttackMachinesAcceptOwnExecutions(t *testing.T) {
+	for _, a := range attacks.All() {
+		if !a.Machine.Confidential(a.Graph) {
+			t.Errorf("%s (%s): machine %s rejects the figure's execution",
+				a.Name, a.Figure, a.Machine.Name())
+		}
+	}
+}
+
+// TestAttackExpectedWitnesses runs the leakage definition of §4.1 over
+// each attack and checks that classification produces exactly the
+// transmitter classes the paper assigns to the labeled instructions.
+func TestAttackExpectedWitnesses(t *testing.T) {
+	for _, a := range attacks.All() {
+		t.Run(a.Name, func(t *testing.T) {
+			vs := core.CheckNonInterference(a.Graph)
+			if len(vs) == 0 {
+				t.Fatalf("%s: execution is non-interfering; the figure must leak", a.Figure)
+			}
+			ts := core.Classify(a.Graph, vs, core.ClassifyOptions{})
+			// Most severe class per labeled event.
+			best := map[string]core.Transmitter{}
+			for _, tr := range ts {
+				lbl := a.Graph.Events[tr.Event].Label
+				if cur, ok := best[lbl]; !ok || tr.Class.Rank() > cur.Class.Rank() {
+					best[lbl] = tr
+				}
+			}
+			for _, want := range a.Expect {
+				got, ok := best[want.Label]
+				if !ok {
+					t.Errorf("%s: %q produced no transmitter, want %v", a.Figure, want.Label, want.Class)
+					continue
+				}
+				if got.Class != want.Class || got.Transient != want.Transient {
+					t.Errorf("%s: %q classified %v (transient=%v), want %v (transient=%v)",
+						a.Figure, want.Label, got.Class, got.Transient, want.Class, want.Transient)
+				}
+			}
+		})
+	}
+}
+
+// TestAttackUniversalWitnessesCarryIndex checks Table 1's shape for the
+// universal classes: a UDT/UCT transmitter names both its access and its
+// index instruction.
+func TestAttackUniversalWitnessesCarryIndex(t *testing.T) {
+	for _, a := range attacks.All() {
+		vs := core.CheckNonInterference(a.Graph)
+		ts := core.Classify(a.Graph, vs, core.ClassifyOptions{})
+		for _, tr := range ts {
+			if tr.Class == core.UDT || tr.Class == core.UCT {
+				if tr.Access < 0 || tr.Index < 0 {
+					t.Errorf("%s: %v transmitter %d lacks access/index (%d/%d)",
+						a.Name, tr.Class, tr.Event, tr.Access, tr.Index)
+				}
+			}
+		}
+	}
+}

@@ -22,6 +22,12 @@ type Library struct {
 	// KnownGadgets lists functions where the corpus intentionally embeds
 	// a Spectre gadget (for harness validation).
 	KnownGadgets []string
+	// SecretParams names the parameters (across all of the library's
+	// functions) that hold secret material — the corpus's own annotation
+	// of what a constant-time lint should treat as tainted. Empty means
+	// the library carries no annotation and lint drivers fall back to the
+	// name heuristic.
+	SecretParams []string
 }
 
 // LoC returns the static line count of the library source.

@@ -22,6 +22,12 @@ func Libsodium() Library {
 			"sodium_version_digit",
 		},
 		KnownGadgets: []string{"sodium_bin2hex", "sodium_lookup_gadget", "crypto_box_seal_probe", "sodium_unpad"},
+		// bin is the secret binary input of sodium_bin2hex (its hex-table
+		// lookups are the classic secret-indexed access); buf is the
+		// decrypted plaintext sodium_unpad scans, branching on padding
+		// bytes; tag flows through the branch-free crypto_verify_16 and
+		// must stay quiet under lint.
+		SecretParams: []string{"bin", "buf", "tag"},
 		Source:       libsodiumSrc,
 	}
 }

@@ -1,0 +1,369 @@
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lcm/internal/ir"
+)
+
+// LintKind classifies a constant-time violation.
+type LintKind int
+
+// The two violation shapes: branching on a secret, and using a secret as
+// a memory index — exactly the two event kinds a cache/port observer sees
+// under the constant-time contract.
+const (
+	LintBranch LintKind = iota
+	LintAccess
+)
+
+func (k LintKind) String() string {
+	if k == LintAccess {
+		return "secret-indexed access"
+	}
+	return "secret-dependent branch"
+}
+
+// LintFinding is one constant-time violation at the IR level.
+type LintFinding struct {
+	Fn     string
+	Kind   LintKind
+	Line   int
+	Instr  *ir.Instr
+	Detail string
+}
+
+func (f LintFinding) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", f.Fn, f.Line, f.Kind, f.Detail)
+}
+
+// SecretSpec selects which function parameters hold secrets. A pointer
+// parameter marks the buffer it points to as secret (loads through it
+// yield secret data; the pointer value itself is public); an integer
+// parameter is itself secret data.
+type SecretSpec struct {
+	// Names marks parameters secret by name in any function.
+	Names map[string]bool
+	// Heuristic additionally marks parameters whose lowercased name
+	// contains "secret", "key", or "priv", or equals "sk".
+	Heuristic bool
+}
+
+// HeuristicSpec is the default used by cmd/lcmlint when no explicit
+// secret names are given.
+func HeuristicSpec() SecretSpec { return SecretSpec{Heuristic: true} }
+
+// NamedSpec marks exactly the given parameter names secret.
+func NamedSpec(names ...string) SecretSpec {
+	m := map[string]bool{}
+	for _, n := range names {
+		m[n] = true
+	}
+	return SecretSpec{Names: m}
+}
+
+// Secret reports whether spec marks the parameter.
+func (s SecretSpec) Secret(p *ir.Param) bool {
+	if s.Names[p.Nm] {
+		return true
+	}
+	if !s.Heuristic {
+		return false
+	}
+	n := strings.ToLower(p.Nm)
+	return strings.Contains(n, "secret") || strings.Contains(n, "key") ||
+		strings.Contains(n, "priv") || n == "sk"
+}
+
+// linter runs the two-taint constant-time analysis: S is secret data
+// (values carrying secret bytes), P is pointers into secret buffers, and
+// slot contents propagate both through the -O0 spill discipline. Calls
+// propagate interprocedurally through argument/parameter and return
+// bindings, so the fixpoint is module-wide.
+type linter struct {
+	m       *ir.Module
+	secret  map[ir.Value]bool // S: value carries secret data
+	ptr     map[ir.Value]bool // P: value points into a secret buffer
+	changed bool
+}
+
+// LintModule flags secret-dependent branches and secret-indexed accesses
+// in every defined function of m, under spec's secret marking.
+func LintModule(m *ir.Module, spec SecretSpec) []LintFinding {
+	lt := &linter{m: m, secret: map[ir.Value]bool{}, ptr: map[ir.Value]bool{}}
+	for _, f := range m.Funcs {
+		for _, p := range f.Params {
+			if !spec.Secret(p) {
+				continue
+			}
+			if ir.IsPtr(p.Ty) {
+				lt.ptr[p] = true
+			} else {
+				lt.secret[p] = true
+			}
+		}
+	}
+	for {
+		lt.changed = false
+		for _, f := range m.Funcs {
+			for _, b := range f.Blocks {
+				for _, in := range b.Instrs {
+					lt.step(in)
+				}
+			}
+		}
+		if !lt.changed {
+			break
+		}
+	}
+
+	var out []LintFinding
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				out = append(out, lt.check(f, in)...)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Fn != out[j].Fn {
+			return out[i].Fn < out[j].Fn
+		}
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+func (lt *linter) markSecret(v ir.Value) {
+	if v != nil && !lt.secret[v] {
+		lt.secret[v] = true
+		lt.changed = true
+	}
+}
+
+func (lt *linter) markPtr(v ir.Value) {
+	if v != nil && !lt.ptr[v] {
+		lt.ptr[v] = true
+		lt.changed = true
+	}
+}
+
+func (lt *linter) anySecret(vs []ir.Value) bool {
+	for _, v := range vs {
+		if lt.secret[v] {
+			return true
+		}
+	}
+	return false
+}
+
+// step propagates taint through one instruction.
+func (lt *linter) step(in *ir.Instr) {
+	switch in.Op {
+	case ir.OpLoad:
+		if lt.ptr[in.Args[0]] {
+			lt.markSecret(in) // reading a secret buffer (or a secret slot)
+		}
+		if lt.ptr[ptrSlotKey(baseObj(in.Args[0]))] {
+			// The slot holds a pointer into a secret buffer.
+			if ir.IsPtr(in.Ty) {
+				lt.markPtr(in)
+			} else {
+				lt.markSecret(in)
+			}
+		}
+	case ir.OpStore:
+		// The -O0 spill discipline: storing secret data into an object
+		// makes loads from that object secret; storing a secret-buffer
+		// pointer makes loads from the slot yield secret-buffer pointers.
+		// Taint at object granularity (the GEP/bitcast chain's base), so
+		// distinct derived pointers to the same object agree.
+		if lt.secret[in.Args[0]] {
+			lt.markPtr(baseObj(in.Args[1]))
+		}
+		if lt.ptr[in.Args[0]] {
+			lt.markPtrSlot(baseObj(in.Args[1]))
+		}
+	case ir.OpGEP:
+		if lt.ptr[in.Args[0]] {
+			lt.markPtr(in) // stepping within a secret buffer
+		}
+	case ir.OpFieldGEP:
+		if lt.ptr[in.Args[0]] {
+			lt.markPtr(in)
+		}
+	case ir.OpCast:
+		if lt.secret[in.Args[0]] {
+			lt.markSecret(in)
+		}
+		if lt.ptr[in.Args[0]] && in.Sub == "bitcast" {
+			lt.markPtr(in)
+		}
+	case ir.OpBin, ir.OpCmp:
+		if lt.anySecret(in.Args) {
+			lt.markSecret(in)
+		}
+	case ir.OpPhi:
+		if lt.anySecret(in.Args) {
+			lt.markSecret(in)
+		}
+	case ir.OpCall:
+		lt.stepCall(in)
+	case ir.OpRet:
+		if len(in.Args) == 1 && lt.secret[in.Args[0]] && in.Blk != nil && in.Blk.Fn != nil {
+			lt.markSecretReturn(in.Blk.Fn)
+		}
+	}
+}
+
+// baseObj walks a direct GEP/fieldgep/bitcast chain to the object whose
+// storage the address names (a global, an alloca, or an arbitrary pointer
+// value when the chain bottoms out).
+func baseObj(addr ir.Value) ir.Value {
+	for {
+		in, ok := addr.(*ir.Instr)
+		if !ok {
+			return addr
+		}
+		switch {
+		case in.Op == ir.OpGEP || in.Op == ir.OpFieldGEP:
+			addr = in.Args[0]
+		case in.Op == ir.OpCast && in.Sub == "bitcast":
+			addr = in.Args[0]
+		default:
+			return addr
+		}
+	}
+}
+
+// markPtrSlot records that the object holds a pointer to a secret buffer;
+// loading from it yields a secret-buffer pointer rather than secret data.
+// The wrapper key keeps this distinct from the object holding secret
+// bytes itself.
+func (lt *linter) markPtrSlot(obj ir.Value) {
+	if k := ptrSlotKey(obj); k != nil && !lt.ptr[k] {
+		lt.ptr[k] = true
+		lt.changed = true
+	}
+}
+
+type slotKey struct{ v ir.Value }
+
+// Type implements ir.Value (never used as a real operand).
+func (s slotKey) Type() ir.Type { return nil }
+
+// ValueName implements ir.Value.
+func (s slotKey) ValueName() string { return "slot(" + s.v.ValueName() + ")" }
+
+func ptrSlotKey(addr ir.Value) ir.Value {
+	if addr == nil {
+		return nil
+	}
+	return slotKey{addr}
+}
+
+type retKey struct{ f *ir.Func }
+
+// Type implements ir.Value.
+func (r retKey) Type() ir.Type { return nil }
+
+// ValueName implements ir.Value.
+func (r retKey) ValueName() string { return "ret(@" + r.f.Nm + ")" }
+
+func (lt *linter) markSecretReturn(f *ir.Func) {
+	k := retKey{f}
+	if !lt.secret[k] {
+		lt.secret[k] = true
+		lt.changed = true
+	}
+}
+
+// stepCall binds taints across the call: secret args taint callee
+// parameters, secret returns taint the call result.
+func (lt *linter) stepCall(in *ir.Instr) {
+	callee := lt.m.Func(in.Callee)
+	if callee == nil || callee.IsDecl() {
+		// External call: any secret input (data or buffer) may flow into
+		// the result.
+		for _, a := range in.Args {
+			if lt.secret[a] || lt.ptr[a] {
+				lt.markSecret(in)
+				break
+			}
+		}
+		return
+	}
+	for i, a := range in.Args {
+		if i >= len(callee.Params) {
+			break
+		}
+		p := callee.Params[i]
+		if lt.secret[a] {
+			if ir.IsPtr(p.Ty) {
+				lt.markPtr(p)
+			} else {
+				lt.markSecret(p)
+			}
+		}
+		if lt.ptr[a] {
+			lt.markPtr(p)
+		}
+	}
+	if lt.secret[retKey{callee}] {
+		lt.markSecret(in)
+	}
+}
+
+// check reports the findings at one instruction.
+func (lt *linter) check(f *ir.Func, in *ir.Instr) []LintFinding {
+	var out []LintFinding
+	switch in.Op {
+	case ir.OpCondBr:
+		if lt.secret[in.Args[0]] {
+			out = append(out, LintFinding{
+				Fn: f.Nm, Kind: LintBranch, Line: in.Line, Instr: in,
+				Detail: fmt.Sprintf("branch condition %s depends on secret data", in.Args[0].ValueName()),
+			})
+		}
+	case ir.OpLoad:
+		if lt.secretAddr(in.Args[0]) {
+			out = append(out, LintFinding{
+				Fn: f.Nm, Kind: LintAccess, Line: in.Line, Instr: in,
+				Detail: fmt.Sprintf("load address %s derived from secret data", in.Args[0].ValueName()),
+			})
+		}
+	case ir.OpStore:
+		if lt.secretAddr(in.Args[1]) {
+			out = append(out, LintFinding{
+				Fn: f.Nm, Kind: LintAccess, Line: in.Line, Instr: in,
+				Detail: fmt.Sprintf("store address %s derived from secret data", in.Args[1].ValueName()),
+			})
+		}
+	}
+	return out
+}
+
+// secretAddr reports whether an address value is computed from secret
+// data (a secret-indexed GEP chain or a secret integer cast to pointer) —
+// the cache-line observation channel.
+func (lt *linter) secretAddr(addr ir.Value) bool {
+	in, ok := addr.(*ir.Instr)
+	if !ok {
+		return lt.secret[addr]
+	}
+	switch in.Op {
+	case ir.OpGEP:
+		return lt.secret[in.Args[1]] || lt.secretAddr(in.Args[0])
+	case ir.OpFieldGEP:
+		return lt.secretAddr(in.Args[0])
+	case ir.OpCast:
+		return lt.secret[in.Args[0]] || (in.Sub == "bitcast" && lt.secretAddr(in.Args[0]))
+	default:
+		return lt.secret[in]
+	}
+}

@@ -1,0 +1,142 @@
+package dataflow_test
+
+import (
+	"strings"
+	"testing"
+
+	"lcm/internal/cryptolib"
+	"lcm/internal/dataflow"
+)
+
+func libsodiumModule(t *testing.T) *cryptolib.Library {
+	t.Helper()
+	for _, lib := range cryptolib.All() {
+		if lib.Name == "libsodium" {
+			return &lib
+		}
+	}
+	t.Fatal("libsodium corpus entry not found")
+	return nil
+}
+
+func byFunc(fs []dataflow.LintFinding, fn string) []dataflow.LintFinding {
+	var out []dataflow.LintFinding
+	for _, f := range fs {
+		if f.Fn == fn {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func TestLintFlagsBin2hex(t *testing.T) {
+	lib := libsodiumModule(t)
+	m := compile(t, lib.Source)
+	fs := dataflow.LintModule(m, dataflow.NamedSpec("bin"))
+	got := byFunc(fs, "sodium_bin2hex")
+	if len(got) == 0 {
+		t.Fatalf("bin2hex indexes ls_hexmap with secret nibbles; want findings, got none (all: %v)", fs)
+	}
+	var access bool
+	for _, f := range got {
+		if f.Kind == dataflow.LintAccess {
+			access = true
+			if f.Line == 0 {
+				t.Errorf("finding lacks a source line: %v", f)
+			}
+			if !strings.Contains(f.String(), "secret-indexed access") {
+				t.Errorf("String() = %q, want the kind spelled out", f.String())
+			}
+		}
+	}
+	if !access {
+		t.Fatalf("want a secret-indexed access finding in sodium_bin2hex, got %v", got)
+	}
+}
+
+func TestLintQuietOnConstantTime(t *testing.T) {
+	lib := libsodiumModule(t)
+	m := compile(t, lib.Source)
+	fs := dataflow.LintModule(m, dataflow.NamedSpec("b1", "b2"))
+	if got := byFunc(fs, "sodium_memcmp"); len(got) != 0 {
+		t.Fatalf("sodium_memcmp is constant time; want no findings, got %v", got)
+	}
+}
+
+func TestLintSecretBranchInterprocedural(t *testing.T) {
+	m := compile(t, `
+uint8_t out;
+uint8_t helper(uint8_t v) {
+	if (v > 10) {
+		return 1;
+	}
+	return 0;
+}
+void outer(uint8_t *data) {
+	out = helper(data[0]);
+}
+`)
+	fs := dataflow.LintModule(m, dataflow.NamedSpec("data"))
+	got := byFunc(fs, "helper")
+	if len(got) == 0 {
+		t.Fatalf("secret flows through the call into helper's branch; want a finding, got %v", fs)
+	}
+	if got[0].Kind != dataflow.LintBranch {
+		t.Fatalf("want a secret-dependent branch, got %v", got[0])
+	}
+	// The public-index store through `out` must not be flagged.
+	if extra := byFunc(fs, "outer"); len(extra) != 0 {
+		t.Fatalf("outer only moves secret data to public locations; got %v", extra)
+	}
+}
+
+// TestLintCorpusAnnotations drives lint with each library's own
+// SecretParams annotation — the configuration cmd/lcmlint uses for a
+// corpus sweep. libsodium must yield the two known constant-time
+// violations; donna and openssl annotate secrets that are handled
+// branch-free and must stay quiet.
+func TestLintCorpusAnnotations(t *testing.T) {
+	wantDirty := map[string][]string{
+		"libsodium": {"sodium_bin2hex", "sodium_unpad"},
+	}
+	for _, lib := range cryptolib.All() {
+		if len(lib.SecretParams) == 0 {
+			continue
+		}
+		m := compile(t, lib.Source)
+		fs := dataflow.LintModule(m, dataflow.NamedSpec(lib.SecretParams...))
+		dirty := map[string]bool{}
+		for _, f := range fs {
+			dirty[f.Fn] = true
+		}
+		for _, fn := range wantDirty[lib.Name] {
+			if !dirty[fn] {
+				t.Errorf("%s: want a finding in %s, got %v", lib.Name, fn, fs)
+			}
+			delete(dirty, fn)
+		}
+		if len(dirty) != 0 {
+			t.Errorf("%s: unexpected findings outside the known violations: %v", lib.Name, fs)
+		}
+	}
+}
+
+func TestLintHeuristicSpec(t *testing.T) {
+	m := compile(t, `
+uint8_t sbox[256];
+uint8_t out;
+void expand(uint8_t *key) {
+	out = sbox[key[0]];
+}
+void copy(uint8_t *src) {
+	out = src[0];
+}
+`)
+	fs := dataflow.LintModule(m, dataflow.HeuristicSpec())
+	if len(byFunc(fs, "expand")) == 0 {
+		t.Fatal("heuristic spec must treat the key parameter as secret and flag the sbox lookup")
+	}
+	if got := byFunc(fs, "copy"); len(got) != 0 {
+		t.Fatalf("src is not a heuristic secret name; got %v", got)
+	}
+}

@@ -1,0 +1,125 @@
+package dataflow
+
+// Direction selects forward (facts flow along edges) or backward (against
+// edges) propagation.
+type Direction int
+
+// The two directions.
+const (
+	Forward Direction = iota
+	Backward
+)
+
+// Problem specifies a monotone dataflow problem over a Graph. The solver
+// computes, per node, the fact flowing in (the merge over incident
+// neighbours) and the fact flowing out (Transfer applied to it).
+type Problem[F any] interface {
+	Direction() Direction
+	// Bottom is the initial fact for node n (the lattice ⊥).
+	Bottom(n int) F
+	// Boundary is the fact entering the graph at n: entry nodes (no
+	// predecessors) for forward problems, exit nodes (no successors) for
+	// backward ones.
+	Boundary(n int) F
+	// Merge joins src into acc at node n, reporting whether acc changed.
+	// Implementations apply widening here (e.g. at loop heads) to
+	// guarantee termination on infinite-height domains.
+	Merge(n int, acc, src F) (F, bool)
+	// Transfer applies node n's effect to its incoming fact.
+	Transfer(n int, in F) F
+}
+
+// Solution holds the fixpoint facts per node.
+type Solution[F any] struct {
+	In  []F
+	Out []F
+}
+
+// Solve runs a worklist iteration to the least fixpoint (or a widened
+// post-fixpoint, if Merge widens). Nodes never reached from a boundary
+// node keep their Bottom facts.
+func Solve[F any](g Graph, p Problem[F]) *Solution[F] {
+	n := g.Len()
+	sol := &Solution[F]{In: make([]F, n), Out: make([]F, n)}
+	edgesIn, edgesOut := Graph.Preds, Graph.Succs
+	if p.Direction() == Backward {
+		edgesIn, edgesOut = Graph.Succs, Graph.Preds
+	}
+
+	for i := 0; i < n; i++ {
+		if len(edgesIn(g, i)) == 0 {
+			sol.In[i] = p.Boundary(i)
+		} else {
+			sol.In[i] = p.Bottom(i)
+		}
+		sol.Out[i] = p.Bottom(i)
+	}
+
+	// Seed the worklist with every node, in an order that approximates
+	// topological for the chosen direction so most facts settle in one
+	// sweep.
+	order := make([]int, 0, n)
+	seen := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if len(edgesIn(g, i)) == 0 {
+			for _, m := range rpoFrom(g, i, edgesOut, seen) {
+				order = append(order, m)
+			}
+		}
+	}
+	for i := 0; i < n; i++ { // cycles unreachable from any boundary node
+		if !seen[i] {
+			order = append(order, i)
+			seen[i] = true
+		}
+	}
+
+	inList := make([]bool, n)
+	work := make([]int, len(order))
+	copy(work, order)
+	for _, m := range work {
+		inList[m] = true
+	}
+	for len(work) > 0 {
+		m := work[0]
+		work = work[1:]
+		inList[m] = false
+		out := p.Transfer(m, sol.In[m])
+		sol.Out[m], _ = p.Merge(m, sol.Out[m], out)
+		for _, s := range edgesOut(g, m) {
+			next, changed := p.Merge(s, sol.In[s], sol.Out[m])
+			if changed {
+				sol.In[s] = next
+				if !inList[s] {
+					inList[s] = true
+					work = append(work, s)
+				}
+			}
+		}
+	}
+	return sol
+}
+
+// rpoFrom appends the reverse postorder of the subgraph reachable from
+// root along next-edges, skipping already-seen nodes.
+func rpoFrom(g Graph, root int, next func(Graph, int) []int, seen []bool) []int {
+	var post []int
+	var walk func(n int)
+	walk = func(n int) {
+		seen[n] = true
+		for _, s := range next(g, n) {
+			if !seen[s] {
+				walk(s)
+			}
+		}
+		post = append(post, n)
+	}
+	if seen[root] {
+		return nil
+	}
+	walk(root)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}

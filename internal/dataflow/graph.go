@@ -1,0 +1,85 @@
+// Package dataflow is the reusable static-analysis substrate under Clou's
+// detection engines: a generic forward/backward fixpoint solver over
+// integer-indexed flow graphs, dominator trees, reaching definitions, an
+// interval-domain value-range analysis, an IR well-formedness verifier,
+// and a constant-time lint pass. The A-CFG (internal/acfg) satisfies the
+// Graph interface directly; FuncGraph adapts an ir.Func's basic blocks.
+package dataflow
+
+import (
+	"lcm/internal/ir"
+)
+
+// Graph is the flow-graph shape shared by the fixpoint engine and the
+// dominator construction: nodes are dense integers [0, Len()).
+type Graph interface {
+	Len() int
+	Succs(n int) []int
+	Preds(n int) []int
+}
+
+// FuncGraph adapts an ir.Func's basic blocks to the Graph interface.
+// Node 0 is the entry block; edge order follows terminator operand order
+// (Then before Else), so predecessor lists are deterministic.
+type FuncGraph struct {
+	F      *ir.Func
+	Blocks []*ir.Block
+	Index  map[*ir.Block]int
+	succs  [][]int
+	preds  [][]int
+}
+
+// NewFuncGraph builds the block-level CFG of f.
+func NewFuncGraph(f *ir.Func) *FuncGraph {
+	g := &FuncGraph{F: f, Blocks: f.Blocks, Index: make(map[*ir.Block]int, len(f.Blocks))}
+	for i, b := range f.Blocks {
+		g.Index[b] = i
+	}
+	g.succs = make([][]int, len(f.Blocks))
+	g.preds = make([][]int, len(f.Blocks))
+	for i, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			j, ok := g.Index[s]
+			if !ok {
+				continue // foreign target; the verifier reports it
+			}
+			g.succs[i] = append(g.succs[i], j)
+			g.preds[j] = append(g.preds[j], i)
+		}
+	}
+	return g
+}
+
+// Len implements Graph.
+func (g *FuncGraph) Len() int { return len(g.Blocks) }
+
+// Succs implements Graph.
+func (g *FuncGraph) Succs(n int) []int { return g.succs[n] }
+
+// Preds implements Graph.
+func (g *FuncGraph) Preds(n int) []int { return g.preds[n] }
+
+// ReversePostorder returns the nodes reachable from root in reverse
+// postorder of a depth-first traversal — the canonical iteration order for
+// forward dataflow problems.
+func ReversePostorder(g Graph, root int) []int {
+	seen := make([]bool, g.Len())
+	var post []int
+	var walk func(n int)
+	walk = func(n int) {
+		seen[n] = true
+		for _, s := range g.Succs(n) {
+			if !seen[s] {
+				walk(s)
+			}
+		}
+		post = append(post, n)
+	}
+	if root >= 0 && root < g.Len() {
+		walk(root)
+	}
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}

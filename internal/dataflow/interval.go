@@ -1,0 +1,445 @@
+package dataflow
+
+import (
+	"fmt"
+	"math"
+
+	"lcm/internal/ir"
+)
+
+// Interval is a bound on an integer value's numeric interpretation (signed
+// for iN, unsigned for uN). Unbounded ends are explicit flags rather than
+// saturated sentinels so that u64 values above MaxInt64 stay sound.
+//
+// LoadFree additionally records that the value was derived without reading
+// memory (constants, parameters, addresses, and arithmetic over those).
+// The PHT pruner may use any interval — wrong-path execution still follows
+// CFG edges, so flow-sensitive facts hold transiently — but the STL pruner
+// only trusts LoadFree intervals, because a bypassed store can make any
+// load return stale data.
+type Interval struct {
+	Lo, Hi       int64
+	LoUnb, HiUnb bool
+	LoadFree     bool
+}
+
+// Top is the unbounded interval.
+func Top() Interval { return Interval{LoUnb: true, HiUnb: true} }
+
+// Point is the singleton interval [v, v].
+func Point(v int64) Interval { return Interval{Lo: v, Hi: v, LoadFree: true} }
+
+// Rng is the bounded interval [lo, hi].
+func Rng(lo, hi int64) Interval { return Interval{Lo: lo, Hi: hi} }
+
+// TypedTop is the full range of values representable in ty: [0, 2^n-1]
+// for unsigned, [-2^(n-1), 2^(n-1)-1] for signed; 64-bit ends that do not
+// fit int64 become unbounded flags.
+func TypedTop(ty ir.Type) Interval {
+	it, ok := ty.(ir.IntType)
+	if !ok {
+		return Top()
+	}
+	if it.Unsigned {
+		if it.Bits == 64 {
+			return Interval{Lo: 0, HiUnb: true}
+		}
+		return Interval{Lo: 0, Hi: int64(1)<<uint(it.Bits) - 1}
+	}
+	if it.Bits == 64 {
+		return Top()
+	}
+	half := int64(1) << uint(it.Bits-1)
+	return Interval{Lo: -half, Hi: half - 1}
+}
+
+// Bounded reports whether both ends are finite.
+func (iv Interval) Bounded() bool { return !iv.LoUnb && !iv.HiUnb }
+
+// NonNeg reports whether every value in the interval is ≥ 0.
+func (iv Interval) NonNeg() bool { return !iv.LoUnb && iv.Lo >= 0 }
+
+// Contains reports whether o is entirely within iv (ignoring LoadFree).
+func (iv Interval) Contains(o Interval) bool {
+	loOK := iv.LoUnb || (!o.LoUnb && o.Lo >= iv.Lo)
+	hiOK := iv.HiUnb || (!o.HiUnb && o.Hi <= iv.Hi)
+	return loOK && hiOK
+}
+
+// Eq reports full equality including flags.
+func (iv Interval) Eq(o Interval) bool {
+	if iv.LoUnb != o.LoUnb || iv.HiUnb != o.HiUnb || iv.LoadFree != o.LoadFree {
+		return false
+	}
+	if !iv.LoUnb && iv.Lo != o.Lo {
+		return false
+	}
+	if !iv.HiUnb && iv.Hi != o.Hi {
+		return false
+	}
+	return true
+}
+
+// Join is the least upper bound.
+func (iv Interval) Join(o Interval) Interval {
+	r := Interval{LoadFree: iv.LoadFree && o.LoadFree}
+	if iv.LoUnb || o.LoUnb {
+		r.LoUnb = true
+	} else {
+		r.Lo = min64(iv.Lo, o.Lo)
+	}
+	if iv.HiUnb || o.HiUnb {
+		r.HiUnb = true
+	} else {
+		r.Hi = max64(iv.Hi, o.Hi)
+	}
+	return r
+}
+
+// Widen jumps any bound of iv that moved past old to infinity — the
+// classic interval widening applied at loop heads to force termination.
+func (iv Interval) Widen(old Interval) Interval {
+	r := iv
+	if !old.LoUnb && (iv.LoUnb || iv.Lo < old.Lo) {
+		r.LoUnb = true
+	} else if old.LoUnb {
+		r.LoUnb = true
+	}
+	if !old.HiUnb && (iv.HiUnb || iv.Hi > old.Hi) {
+		r.HiUnb = true
+	} else if old.HiUnb {
+		r.HiUnb = true
+	}
+	return r
+}
+
+func (iv Interval) String() string {
+	lo, hi := fmt.Sprint(iv.Lo), fmt.Sprint(iv.Hi)
+	if iv.LoUnb {
+		lo = "-inf"
+	}
+	if iv.HiUnb {
+		hi = "+inf"
+	}
+	s := "[" + lo + ", " + hi + "]"
+	if iv.LoadFree {
+		s += "!"
+	}
+	return s
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// addOv adds with overflow detection.
+func addOv(a, b int64) (int64, bool) {
+	s := a + b
+	if (b > 0 && s < a) || (b < 0 && s > a) {
+		return 0, false
+	}
+	return s, true
+}
+
+func mulOv(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	p := a * b
+	if p/b != a {
+		return 0, false
+	}
+	return p, true
+}
+
+// clampToType widens iv to TypedTop(ty) unless it already fits inside the
+// type's representable range — modular wraparound invalidates tighter
+// bounds.
+func clampToType(iv Interval, ty ir.Type) Interval {
+	tt := TypedTop(ty)
+	if tt.Contains(iv) {
+		return iv
+	}
+	tt.LoadFree = iv.LoadFree
+	return tt
+}
+
+// AddConst shifts the interval by a constant (no type clamp; used for
+// address offsets, which are full 64-bit).
+func (iv Interval) AddConst(c int64) Interval {
+	r := iv
+	if !r.LoUnb {
+		if lo, ok := addOv(r.Lo, c); ok {
+			r.Lo = lo
+		} else {
+			r.LoUnb = true
+		}
+	}
+	if !r.HiUnb {
+		if hi, ok := addOv(r.Hi, c); ok {
+			r.Hi = hi
+		} else {
+			r.HiUnb = true
+		}
+	}
+	return r
+}
+
+// AddIv adds two intervals without a type clamp (address arithmetic).
+func (iv Interval) AddIv(o Interval) Interval {
+	r := Interval{LoadFree: iv.LoadFree && o.LoadFree}
+	if iv.LoUnb || o.LoUnb {
+		r.LoUnb = true
+	} else if lo, ok := addOv(iv.Lo, o.Lo); ok {
+		r.Lo = lo
+	} else {
+		r.LoUnb = true
+	}
+	if iv.HiUnb || o.HiUnb {
+		r.HiUnb = true
+	} else if hi, ok := addOv(iv.Hi, o.Hi); ok {
+		r.Hi = hi
+	} else {
+		r.HiUnb = true
+	}
+	return r
+}
+
+// ScaleConst multiplies by a non-negative constant (element size in GEP
+// address computations).
+func (iv Interval) ScaleConst(c int64) Interval {
+	if c == 0 {
+		return Interval{LoadFree: iv.LoadFree}
+	}
+	r := Interval{LoadFree: iv.LoadFree, LoUnb: iv.LoUnb, HiUnb: iv.HiUnb}
+	if !iv.LoUnb {
+		if lo, ok := mulOv(iv.Lo, c); ok {
+			r.Lo = lo
+		} else {
+			r.LoUnb = true
+		}
+	}
+	if !iv.HiUnb {
+		if hi, ok := mulOv(iv.Hi, c); ok {
+			r.Hi = hi
+		} else {
+			r.HiUnb = true
+		}
+	}
+	return r
+}
+
+// binInterval abstracts ir's evalBin over intervals, mirroring the
+// reference interpreter's semantics (wrapping two's complement, shift
+// counts masked to 6 bits, division by zero yields zero).
+func binInterval(sub string, ty ir.Type, l, r Interval) Interval {
+	lf := l.LoadFree && r.LoadFree
+	out := Top()
+	switch sub {
+	case "add":
+		out = clampToType(l.AddIv(r), ty)
+	case "sub":
+		neg := Interval{Lo: -r.Hi, Hi: -r.Lo, LoUnb: r.HiUnb, HiUnb: r.LoUnb, LoadFree: r.LoadFree}
+		// Negating MinInt64 overflows; treat as unbounded.
+		if !r.HiUnb && r.Hi == math.MinInt64 {
+			neg.HiUnb = true
+		}
+		if !r.LoUnb && r.Lo == math.MinInt64 {
+			neg.LoUnb = true
+		}
+		out = clampToType(l.AddIv(neg), ty)
+	case "mul":
+		if l.Bounded() && r.Bounded() {
+			cands := [4][2]int64{{l.Lo, r.Lo}, {l.Lo, r.Hi}, {l.Hi, r.Lo}, {l.Hi, r.Hi}}
+			lo, hi := int64(math.MaxInt64), int64(math.MinInt64)
+			ok := true
+			for _, c := range cands {
+				p, pok := mulOv(c[0], c[1])
+				if !pok {
+					ok = false
+					break
+				}
+				lo, hi = min64(lo, p), max64(hi, p)
+			}
+			if ok {
+				out = clampToType(Rng(lo, hi), ty)
+			}
+		}
+	case "udiv":
+		// For unsigned semantics the quotient never exceeds the dividend
+		// (divide-by-zero yields 0).
+		if l.NonNeg() && !l.HiUnb {
+			out = Rng(0, l.Hi)
+		}
+	case "sdiv":
+		// Positive divisor: magnitude shrinks, sign preserved.
+		if r.NonNeg() && r.Lo >= 1 && l.Bounded() {
+			out = Rng(min64(l.Lo, 0), max64(l.Hi, 0))
+		}
+	case "urem":
+		if r.Bounded() && r.Hi >= 1 {
+			out = Rng(0, r.Hi-1) // r == 0 yields result 0, already inside
+		} else if l.NonNeg() && !l.HiUnb {
+			out = Rng(0, l.Hi)
+		}
+	case "srem":
+		if r.Bounded() {
+			m := max64(abs64(r.Lo), abs64(r.Hi))
+			if m >= 1 {
+				lo := -(m - 1)
+				if l.NonNeg() {
+					lo = 0
+				}
+				out = Rng(lo, m-1)
+			}
+		}
+	case "and":
+		// x & m ≤ m when m's values are non-negative (sign bit clear), for
+		// either operand — regardless of the other side.
+		hi := int64(math.MaxInt64)
+		found := false
+		if l.NonNeg() && !l.HiUnb {
+			hi, found = l.Hi, true
+		}
+		if r.NonNeg() && !r.HiUnb {
+			hi, found = min64(hi, r.Hi), true
+		}
+		if found {
+			out = Rng(0, hi)
+		}
+	case "or", "xor":
+		if l.NonNeg() && !l.HiUnb && r.NonNeg() && !r.HiUnb {
+			out = Rng(0, upToPow2(max64(l.Hi, r.Hi)))
+		}
+	case "shl":
+		if k1, k2, ok := shiftRange(r); ok && l.NonNeg() && !l.HiUnb {
+			lo, okLo := mulOv(l.Lo, 1<<uint(k1))
+			hi, okHi := mulOv(l.Hi, 1<<uint(k2))
+			if okLo && okHi {
+				out = clampToType(Rng(lo, hi), ty)
+			}
+		}
+	case "lshr":
+		if k1, k2, ok := shiftRange(r); ok {
+			if l.NonNeg() && !l.HiUnb {
+				out = Rng(l.Lo>>uint(k2), l.Hi>>uint(k1))
+			} else if it, iok := ty.(ir.IntType); iok && it.Unsigned && k1 >= 1 {
+				// Raw bits < 2^Bits, so the shift is bounded even when the
+				// operand interval is not (the u64 case).
+				out = Rng(0, int64(1)<<uint(int64(it.Bits)-k1)-1)
+			}
+		}
+	case "ashr":
+		if k1, k2, ok := shiftRange(r); ok && l.Bounded() {
+			if l.Lo >= 0 {
+				out = Rng(l.Lo>>uint(k2), l.Hi>>uint(k1))
+			} else {
+				out = Rng(l.Lo>>uint(k1), max64(l.Hi, 0)>>uint(k1))
+			}
+		}
+	}
+	if Top().Eq(out) || !TypedTop(ty).Contains(out) {
+		out = TypedTop(ty)
+	}
+	out.LoadFree = lf
+	return out
+}
+
+// shiftRange extracts a usable shift-amount range (the interpreter masks
+// counts with &63).
+func shiftRange(r Interval) (lo, hi int64, ok bool) {
+	if !r.Bounded() || r.Lo < 0 || r.Hi > 63 {
+		return 0, 0, false
+	}
+	return r.Lo, r.Hi, true
+}
+
+// upToPow2 returns the smallest 2^k-1 ≥ v (v ≥ 0).
+func upToPow2(v int64) int64 {
+	m := int64(1)
+	for m-1 < v && m > 0 {
+		m <<= 1
+	}
+	if m <= 0 {
+		return math.MaxInt64
+	}
+	return m - 1
+}
+
+func abs64(v int64) int64 {
+	if v == math.MinInt64 {
+		return math.MaxInt64
+	}
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// castInterval abstracts ir's evalCast.
+func castInterval(kind string, from, to ir.Type, x Interval) Interval {
+	lf := x.LoadFree
+	out := TypedTop(to)
+	switch kind {
+	case "zext":
+		ft, fok := from.(ir.IntType)
+		switch {
+		case fok && ft.Unsigned, x.NonNeg():
+			out = clampToType(x, to)
+		case fok && ft.Bits < 64:
+			out = clampToType(Rng(0, int64(1)<<uint(ft.Bits)-1), to)
+		}
+	case "sext":
+		out = clampToType(x, to)
+	case "trunc":
+		// Low-bit truncation preserves the numeric value exactly when it
+		// already fits the destination's representable range.
+		if TypedTop(to).Contains(x) {
+			out = x
+		}
+	case "bitcast", "ptrtoint", "inttoptr":
+		// Same-bits reinterpretation: the numeric value is preserved exactly
+		// when it is representable identically in both types — i.e. within
+		// TypedTop(from) ∩ TypedTop(to) (lower uses int→int bitcasts for
+		// signedness changes, so this is the common constant/index case).
+		ft, fok := from.(ir.IntType)
+		tt, tok := to.(ir.IntType)
+		if fok && tok && ft.Size() == tt.Size() &&
+			TypedTop(from).Contains(x) && TypedTop(to).Contains(x) {
+			out = x
+		}
+	}
+	out.LoadFree = lf
+	return out
+}
+
+// constInterval interprets a constant under its type.
+func constInterval(c *ir.Const) Interval {
+	it, ok := c.Ty.(ir.IntType)
+	if !ok {
+		iv := Top()
+		iv.LoadFree = true
+		return iv
+	}
+	if it.Unsigned {
+		if c.Val > math.MaxInt64 {
+			return Interval{Lo: math.MaxInt64, HiUnb: true, LoadFree: true}
+		}
+		return Point(int64(c.Val))
+	}
+	v := c.Val
+	if it.Bits < 64 && v&(1<<uint(it.Bits-1)) != 0 {
+		v |= ^uint64(0) << uint(it.Bits)
+	}
+	return Point(int64(v))
+}

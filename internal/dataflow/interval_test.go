@@ -1,0 +1,90 @@
+package dataflow_test
+
+import (
+	"math"
+	"testing"
+
+	"lcm/internal/dataflow"
+	"lcm/internal/ir"
+)
+
+func TestIntervalBasics(t *testing.T) {
+	if !dataflow.Point(5).Bounded() || !dataflow.Point(5).NonNeg() {
+		t.Fatal("point intervals are bounded and (for 5) non-negative")
+	}
+	if dataflow.Top().Bounded() || dataflow.Top().NonNeg() {
+		t.Fatal("top is unbounded on both ends")
+	}
+	if !dataflow.Rng(0, 31).Contains(dataflow.Point(31)) {
+		t.Fatal("[0,31] must contain 31")
+	}
+	if dataflow.Rng(0, 31).Contains(dataflow.Rng(0, 32)) {
+		t.Fatal("[0,31] must not contain [0,32]")
+	}
+	if dataflow.Rng(0, 1).Contains(dataflow.Top()) {
+		t.Fatal("nothing bounded contains top")
+	}
+}
+
+func TestIntervalJoinAndWiden(t *testing.T) {
+	j := dataflow.Rng(0, 3).Join(dataflow.Rng(5, 9))
+	if !j.Eq(dataflow.Rng(0, 9)) {
+		t.Fatalf("[0,3] ⊔ [5,9] = %v, want [0,9]", j)
+	}
+	// LoadFree survives a join only when both sides carry it.
+	if !dataflow.Point(1).Join(dataflow.Point(2)).LoadFree {
+		t.Fatal("join of two load-free points must stay load-free")
+	}
+	if dataflow.Point(1).Join(dataflow.Rng(0, 2)).LoadFree {
+		t.Fatal("join with a non-load-free side must drop the flag")
+	}
+
+	// Widening jumps only the moving bound to infinity.
+	w := dataflow.Rng(0, 10).Widen(dataflow.Rng(0, 5))
+	if w.LoUnb || !w.HiUnb || w.Lo != 0 {
+		t.Fatalf("widen([0,10] after [0,5]) = %v, want [0,+inf]", w)
+	}
+	s := dataflow.Rng(0, 5).Widen(dataflow.Rng(0, 5))
+	if !s.Eq(dataflow.Rng(0, 5)) {
+		t.Fatalf("widening a stable interval must not change it, got %v", s)
+	}
+}
+
+func TestIntervalTypedTop(t *testing.T) {
+	u8 := dataflow.TypedTop(ir.U8)
+	if !u8.Eq(dataflow.Rng(0, 255)) {
+		t.Fatalf("typed top of u8 = %v, want [0,255]", u8)
+	}
+	i8 := dataflow.TypedTop(ir.I8)
+	if !i8.Eq(dataflow.Rng(-128, 127)) {
+		t.Fatalf("typed top of i8 = %v, want [-128,127]", i8)
+	}
+	u64 := dataflow.TypedTop(ir.U64)
+	if u64.LoUnb || u64.Lo != 0 || !u64.HiUnb {
+		t.Fatalf("typed top of u64 = %v, want [0,+inf]: 2^64-1 does not fit int64", u64)
+	}
+	i64 := dataflow.TypedTop(ir.I64)
+	if !i64.LoUnb || !i64.HiUnb {
+		t.Fatalf("typed top of i64 = %v, want unbounded", i64)
+	}
+}
+
+func TestIntervalArith(t *testing.T) {
+	a := dataflow.Rng(2, 4).AddIv(dataflow.Rng(10, 20))
+	if !a.Eq(dataflow.Rng(12, 24)) {
+		t.Fatalf("[2,4]+[10,20] = %v, want [12,24]", a)
+	}
+	sc := dataflow.Rng(0, 31).ScaleConst(8)
+	if !sc.Eq(dataflow.Rng(0, 248)) {
+		t.Fatalf("[0,31]*8 = %v, want [0,248]", sc)
+	}
+	// Overflow must lose the bound, never wrap.
+	ov := dataflow.Rng(0, math.MaxInt64).AddConst(1)
+	if !ov.HiUnb {
+		t.Fatalf("MaxInt64+1 = %v, want unbounded high end", ov)
+	}
+	ovm := dataflow.Rng(0, math.MaxInt64).ScaleConst(2)
+	if !ovm.HiUnb || ovm.LoUnb || ovm.Lo != 0 {
+		t.Fatalf("[0,MaxInt64]*2 = %v, want [0,+inf]", ovm)
+	}
+}

@@ -1,0 +1,89 @@
+package dataflow_test
+
+import (
+	"testing"
+
+	"lcm/internal/dataflow"
+	"lcm/internal/ir"
+)
+
+func TestReachingDefsBranch(t *testing.T) {
+	m := compile(t, `
+int32_t pick(int32_t c) {
+	int32_t x = 1;
+	int32_t y = x;
+	if (c != 0) {
+		x = 2;
+	}
+	return x + y;
+}
+`)
+	f := fn(t, m, "pick")
+	slot := findAlloca(t, f, "x.addr")
+	stores := accesses(f, ir.OpStore, slot)
+	loads := accesses(f, ir.OpLoad, slot)
+	if len(stores) != 2 || len(loads) != 2 {
+		t.Fatalf("got %d stores / %d loads of x.addr, want 2/2", len(stores), len(loads))
+	}
+
+	r := dataflow.NewReachingDefs(f)
+	if !r.Tracked(slot) {
+		t.Fatalf("x.addr must be tracked: its address never escapes")
+	}
+
+	// The load for `y = x` precedes the branch: only the initial store
+	// reaches it.
+	d0 := r.Defs(loads[0])
+	if len(d0) != 1 || d0[0] != stores[0] {
+		t.Errorf("defs of pre-branch load = %v, want exactly the x=1 store", d0)
+	}
+	// The load in `return x + y` sits at the join: both stores reach it.
+	d1 := r.Defs(loads[1])
+	if len(d1) != 2 {
+		t.Errorf("defs of post-branch load = %v, want both stores", d1)
+	}
+}
+
+func TestReachingDefsKill(t *testing.T) {
+	m := compile(t, `
+int32_t redef(int32_t c) {
+	int32_t x = 1;
+	x = c;
+	return x;
+}
+`)
+	f := fn(t, m, "redef")
+	slot := findAlloca(t, f, "x.addr")
+	stores := accesses(f, ir.OpStore, slot)
+	loads := accesses(f, ir.OpLoad, slot)
+	if len(stores) != 2 || len(loads) != 1 {
+		t.Fatalf("got %d stores / %d loads of x.addr, want 2/1", len(stores), len(loads))
+	}
+	r := dataflow.NewReachingDefs(f)
+	d := r.Defs(loads[0])
+	if len(d) != 1 || d[0] != stores[1] {
+		t.Errorf("straight-line redefinition must kill the first store; defs = %v", d)
+	}
+}
+
+func TestTrackedSlotsEscape(t *testing.T) {
+	m := compile(t, `
+uint8_t sink;
+void esc(uint32_t i) {
+	uint8_t buf[4];
+	uint8_t x = 7;
+	buf[i & 3] = x;
+	sink = buf[0];
+}
+`)
+	f := fn(t, m, "esc")
+	tracked := dataflow.TrackedSlots(f)
+	buf := findAlloca(t, f, "buf.addr")
+	x := findAlloca(t, f, "x.addr")
+	if tracked[buf] {
+		t.Errorf("buf's address feeds GEPs; it must not be tracked")
+	}
+	if !tracked[x] {
+		t.Errorf("x is only loaded and stored directly; it must be tracked")
+	}
+}

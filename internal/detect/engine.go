@@ -9,6 +9,7 @@ import (
 	"lcm/internal/aeg"
 	"lcm/internal/alias"
 	"lcm/internal/core"
+	"lcm/internal/dataflow"
 	"lcm/internal/ir"
 	"lcm/internal/sat"
 	"lcm/internal/smt"
@@ -51,6 +52,32 @@ type Config struct {
 	// Timeout bounds wall time per function (0 = unlimited); the paper
 	// imposes per-function timeouts in Table 2.
 	Timeout time.Duration
+	// Pruner is the range-analysis prune hook: universal candidates it
+	// discharges are skipped before taint filtering and solver queries.
+	// Pruning only removes the universality claim — a discharged pattern
+	// may still be reported by the DT/CT stages, which is where an
+	// in-bounds table access (it leaks the table's contents, not
+	// attacker-chosen memory) belongs in the taxonomy.
+	// Leave nil to install the default dataflow pruner; set NoPrune to
+	// disable pruning entirely (the ablation baseline).
+	Pruner  Pruner
+	NoPrune bool
+}
+
+// Pruner discharges universal candidates with static value-range facts.
+// Implementations must be sound under the engines' speculation models:
+// InBoundsAccess may use any CFG-valid fact (PHT wrong paths are still
+// CFG paths), while DisjointPair must not rely on values read from
+// memory, since STL bypass makes loads return stale data.
+type Pruner interface {
+	// InBoundsAccess reports that the load/store provably stays inside
+	// its base object, so it cannot read attacker-chosen memory and
+	// cannot serve as a universal-transmitter access.
+	InBoundsAccess(in *ir.Instr) bool
+	// DisjointPair reports that the store and load provably touch
+	// disjoint bytes of one object, so the load cannot observe the
+	// store being bypassed.
+	DisjointPair(store, load *ir.Instr) bool
 }
 
 // DefaultPHT returns the paper's Clou-pht configuration (ROB/LSQ 250/50).
@@ -103,6 +130,11 @@ type Result struct {
 	Duration  time.Duration
 	Queries   int
 	TimedOut  bool
+	// Candidates counts universal candidates examined (distinct access
+	// loads for PHT, bypassable store/load pairs for STL); Pruned counts
+	// those discharged statically by the Prune hook.
+	Candidates int
+	Pruned     int
 	// Graph and AEG are retained for witness rendering and repair.
 	Graph *acfg.Graph
 	AEG   *aeg.AEG
@@ -134,10 +166,15 @@ func AnalyzeFunc(m *ir.Module, fn string, cfg Config) (*Result, error) {
 	ta := taint.Analyze(g, al)
 	a := aeg.Build(g, al, cfg.AEG)
 
+	pruner := cfg.Pruner
+	if pruner == nil && !cfg.NoPrune {
+		pruner = dataflow.NewPruner(m)
+	}
 	d := &detector{
 		cfg: cfg, g: g, al: al, ta: ta, a: a, start: start,
 		res:      &Result{Fn: fn, NodeCount: g.Len(), Graph: g, AEG: a},
 		cfgReach: cfgReachability(g),
+		pruner:   pruner,
 	}
 	d.flow = buildFlowGraph(g, al, d.cfgReach)
 	d.run()
@@ -160,6 +197,29 @@ type detector struct {
 	fenceOK    map[int]map[int]bool // fence-free reachability, per source
 	feedsCache map[int][]indexEdge
 	allLoads   []*acfg.Node
+	pruner     Pruner
+	prunedAcc  map[int]bool // pruneAccess memo, also dedups the counters
+}
+
+// pruneAccess counts a universal access candidate once and asks the Prune
+// hook whether its address is provably confined to its base object — in
+// which case it cannot leak attacker-chosen memory and every universal
+// pattern built on it is skipped before taint filtering or solver work.
+func (d *detector) pruneAccess(accID int) bool {
+	if d.prunedAcc == nil {
+		d.prunedAcc = map[int]bool{}
+	}
+	if v, ok := d.prunedAcc[accID]; ok {
+		return v
+	}
+	d.res.Candidates++
+	n := d.g.Nodes[accID]
+	v := d.pruner != nil && n.Instr != nil && d.pruner.InBoundsAccess(n.Instr)
+	if v {
+		d.res.Pruned++
+	}
+	d.prunedAcc[accID] = v
+	return v
 }
 
 // cfgReachability precomputes DAG reachability as bitsets.
@@ -338,6 +398,9 @@ func (d *detector) runPHT() {
 			if d.outOfBudget() {
 				return
 			}
+			if d.pruneAccess(accID) {
+				continue
+			}
 			if d.cfg.RequireTaint && !d.ta.AddressControlled(d.g.Nodes[accID]) {
 				continue
 			}
@@ -451,6 +514,9 @@ func (d *detector) controlPatterns(st steering, mems, loads []*acfg.Node, branch
 					if !d.a.InWindow(b, accID) {
 						continue
 					}
+					if d.pruneAccess(accID) {
+						continue
+					}
 					if d.cfg.RequireTaint && !d.ta.AddressControlled(d.g.Nodes[accID]) {
 						continue
 					}
@@ -548,6 +614,12 @@ func (d *detector) runSTL() {
 				continue
 			}
 			if dist := d.minDist(s.ID, l.ID); dist < 0 || dist > d.a.Opts.LSQ {
+				continue
+			}
+			d.res.Candidates++
+			if d.pruner != nil && s.Instr != nil && l.Instr != nil &&
+				d.pruner.DisjointPair(s.Instr, l.Instr) {
+				d.res.Pruned++
 				continue
 			}
 			pairs = append(pairs, pair{s.ID, l.ID})

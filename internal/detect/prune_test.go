@@ -1,0 +1,176 @@
+package detect
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"lcm/internal/core"
+	"lcm/internal/cryptolib"
+)
+
+// normClass folds each universal class onto its non-universal counterpart.
+// Pruning discharges only the universality claim of a pattern: a pruned
+// (transmit, access) pair must still surface through the DT/CT stages, so
+// under this normalization the finding sets are required to be identical.
+func normClass(c core.Class) core.Class {
+	switch c {
+	case core.UDT:
+		return core.DT
+	case core.UCT:
+		return core.CT
+	}
+	return c
+}
+
+// pairKeys canonicalizes findings to (fn, normalized class, transmit,
+// access) for set comparison; the index operand is dropped because a
+// downgraded finding loses it by construction.
+func pairKeys(r *Result) []string {
+	set := map[string]bool{}
+	for _, f := range r.Findings {
+		set[fmt.Sprintf("%s/%s/t%d/a%d", f.Fn, normClass(f.Class), f.Transmit, f.Access)] = true
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// universalKeys returns the (transmit, access) pairs reported at universal
+// severity.
+func universalKeys(r *Result) map[string]bool {
+	set := map[string]bool{}
+	for _, f := range r.Findings {
+		if f.Class == core.UDT || f.Class == core.UCT {
+			set[fmt.Sprintf("%s/%s/t%d/a%d", f.Fn, f.Class, f.Transmit, f.Access)] = true
+		}
+	}
+	return set
+}
+
+func equalKeys(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkPruneInvariant analyzes fn with and without pruning and enforces
+// the soundness contract: identical findings modulo universality, and the
+// pruned run's universal findings a subset of the unpruned run's.
+func checkPruneInvariant(t *testing.T, src, fn string, cfg Config) (with, without *Result) {
+	t.Helper()
+	with = analyze(t, src, fn, cfg)
+	off := cfg
+	off.NoPrune = true
+	without = analyze(t, src, fn, off)
+	if without.Pruned != 0 {
+		t.Errorf("%v/%s: NoPrune run still pruned %d candidates", cfg.Engine, fn, without.Pruned)
+	}
+	if !equalKeys(pairKeys(with), pairKeys(without)) {
+		t.Errorf("%v/%s: pruning changed findings beyond universality downgrades:\nwith:    %v\nwithout: %v",
+			cfg.Engine, fn, pairKeys(with), pairKeys(without))
+	}
+	ref := universalKeys(without)
+	for k := range universalKeys(with) {
+		if !ref[k] {
+			t.Errorf("%v/%s: pruning introduced universal finding %s", cfg.Engine, fn, k)
+		}
+	}
+	return with, without
+}
+
+func libsodiumSource(t *testing.T) string {
+	t.Helper()
+	lib, ok := cryptolib.Lookup("libsodium")
+	if !ok {
+		t.Fatal("libsodium corpus entry not found")
+	}
+	return lib.Source
+}
+
+// TestPrunedCandidatesReduced pins the tentpole property: on a real
+// corpus function whose indices are masked to the table size, the range
+// pruner removes universal candidates before the SMT stage.
+func TestPrunedCandidatesReduced(t *testing.T) {
+	src := libsodiumSource(t)
+	with, _ := checkPruneInvariant(t, src, "crypto_pwhash_mix", DefaultPHT())
+	if with.Candidates == 0 {
+		t.Fatal("no access candidates counted; instrumentation broken")
+	}
+	if with.Pruned == 0 {
+		t.Fatalf("crypto_pwhash_mix masks every index to its table; want pruned candidates, got 0 of %d",
+			with.Candidates)
+	}
+	if with.Pruned > with.Candidates {
+		t.Fatalf("pruned %d of %d candidates", with.Pruned, with.Candidates)
+	}
+}
+
+// TestPruneInvariantOnGadgets re-analyzes the libsodium functions with
+// confirmed leakage witnesses under both engines: pruning must never drop
+// a (transmit, access) pair or upgrade one to universal — only discharge
+// universality claims the range facts refute.
+func TestPruneInvariantOnGadgets(t *testing.T) {
+	src := libsodiumSource(t)
+	lib, _ := cryptolib.Lookup("libsodium")
+	fns := append([]string{"crypto_pwhash_mix", "sodium_memcmp"}, lib.KnownGadgets...)
+	for _, cfg := range []Config{DefaultPHT(), DefaultSTL()} {
+		for _, fn := range fns {
+			checkPruneInvariant(t, src, fn, cfg)
+		}
+	}
+}
+
+// TestPruneKeepsTrueUniversals pins that the genuinely universal gadget in
+// sodium_bin2hex (the attacker-addressed bin[i] access feeding the hexmap
+// lookups) keeps its UDT classification with pruning enabled — only the
+// in-bounds hexmap accesses lose theirs.
+func TestPruneKeepsTrueUniversals(t *testing.T) {
+	src := libsodiumSource(t)
+	r := analyze(t, src, "sodium_bin2hex", DefaultPHT())
+	if r.Pruned == 0 {
+		t.Fatalf("bin2hex's hexmap loads are provably in [0,16); want pruned candidates, got 0 of %d",
+			r.Candidates)
+	}
+	found := false
+	for _, f := range r.Findings {
+		if f.Class == core.UDT {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("pruning must keep bin2hex's true UDT (unbounded bin[i] access)")
+	}
+}
+
+// TestSTLDisjointPairPruned checks the store-bypass side: a store and a
+// load at distinct constant offsets of the same array cannot forward
+// stale data, so the pair is dropped from the candidate pairs — and since
+// no bypass witness exists either way, findings are untouched.
+func TestSTLDisjointPairPruned(t *testing.T) {
+	src := `
+uint64_t sd_arr[8];
+uint64_t sd_dst;
+void stl_disjoint(uint64_t v) {
+	sd_arr[0] = v;
+	sd_dst = sd_arr[1];
+}
+`
+	with, _ := checkPruneInvariant(t, src, "stl_disjoint", DefaultSTL())
+	if with.Candidates == 0 {
+		t.Fatal("no store-load pairs counted")
+	}
+	if with.Pruned == 0 {
+		t.Fatalf("constant disjoint offsets must prune the pair; candidates=%d", with.Candidates)
+	}
+}

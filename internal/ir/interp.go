@@ -205,6 +205,11 @@ func (ip *Interp) call(f *Func, args []uint64) (uint64, error) {
 				return 0, nil
 			case OpFence:
 				// No semantic effect in the reference interpreter.
+			case OpPhi:
+				// The lowerer's memory-SSA discipline never emits phis, and
+				// this block-at-a-time interpreter does not track the
+				// predecessor edge a phi would need.
+				return 0, &RunError{fmt.Sprintf("@%s: phi %s not supported by the reference interpreter", f.Nm, in)}
 			}
 		}
 		if next == nil {

@@ -83,13 +83,19 @@ const (
 	OpCondBr   // Args: [cond]; Then/Else targets
 	OpRet      // Args: [] or [value]
 	OpFence    // Sub = "lfence": the speculation barrier Clou inserts (§6.1)
+	// OpPhi selects Args[i] when control arrived from Incoming[i]. The
+	// lowerer never emits phis (-O0 keeps locals in stack slots, so values
+	// cross blocks only through memory); the op exists for passes that
+	// build pruned or transformed IR, and the dataflow verifier checks its
+	// arity against block predecessors.
+	OpPhi
 )
 
 var opNames = map[Op]string{
 	OpAlloca: "alloca", OpLoad: "load", OpStore: "store", OpGEP: "gep",
 	OpFieldGEP: "fieldgep", OpBin: "bin", OpCmp: "cmp", OpCast: "cast",
 	OpCall: "call", OpBr: "br", OpCondBr: "condbr", OpRet: "ret",
-	OpFence: "fence",
+	OpFence: "fence", OpPhi: "phi",
 }
 
 func (o Op) String() string { return opNames[o] }
@@ -107,6 +113,8 @@ type Instr struct {
 	Else   *Block // OpCondBr
 	// AllocaElem is the slot type for OpAlloca (Ty is Ptr(AllocaElem)).
 	AllocaElem Type
+	// Incoming lists OpPhi's source block per argument (parallel to Args).
+	Incoming []*Block
 	// Line is the source line this instruction lowers from.
 	Line int
 	// Parent block, set when appended.
@@ -341,6 +349,16 @@ func (in *Instr) String() string {
 		return fmt.Sprintf("ret %s", args[0])
 	case OpFence:
 		return fmt.Sprintf("fence %s", in.Sub)
+	case OpPhi:
+		parts := make([]string, len(in.Args))
+		for i, a := range args {
+			blk := "?"
+			if i < len(in.Incoming) && in.Incoming[i] != nil {
+				blk = in.Incoming[i].Nm
+			}
+			parts[i] = fmt.Sprintf("[%s, %%%s]", a, blk)
+		}
+		return fmt.Sprintf("%sphi %s %s", lhs, in.Ty, strings.Join(parts, ", "))
 	}
 	return "???"
 }

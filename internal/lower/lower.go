@@ -9,6 +9,7 @@ package lower
 import (
 	"fmt"
 
+	"lcm/internal/dataflow"
 	"lcm/internal/ir"
 	"lcm/internal/minic"
 )
@@ -50,6 +51,13 @@ func Module(f *minic.File) (*ir.Module, error) {
 		}
 	}
 	if err := ir.Verify(lw.m); err != nil {
+		return nil, err
+	}
+	// The SSA verifier catches what the quick structural pass cannot:
+	// dominance violations, foreign branch targets, and per-opcode type
+	// inconsistencies. Running it here means every minic round-trip test
+	// exercises it on the lowered module for free.
+	if err := dataflow.VerifyModule(lw.m); err != nil {
 		return nil, err
 	}
 	return lw.m, nil
