@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race check vet fmt bench
+.PHONY: all build test race race-core check vet fmt bench bench-all
 
 all: build test
 
@@ -13,6 +13,12 @@ test:
 race:
 	$(GO) test -race ./...
 
+# race-core exercises the packages with real shared state under the
+# parallel pipeline: the worker pool + process-wide caches (harness) and
+# the frontend cache + detector (detect).
+race-core:
+	$(GO) test -race ./internal/harness ./internal/detect
+
 vet:
 	$(GO) vet ./...
 
@@ -23,7 +29,13 @@ fmt:
 		echo "gofmt needed:"; echo "$$out"; exit 1; \
 	fi
 
-check: vet fmt race
+check: vet fmt race-core
 
+# bench regenerates the evaluation sweeps in parallel and leaves a
+# machine-readable artifact (workload → ns/op, workers, queries, cache
+# hits). bench-all runs the full Go benchmark suite instead.
 bench:
+	$(GO) run ./cmd/benchjson -o BENCH_parallel.json
+
+bench-all:
 	$(GO) test -bench . -benchtime 1x ./...

@@ -8,6 +8,8 @@ package lcm
 import (
 	"fmt"
 	"os"
+	"reflect"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -489,23 +491,6 @@ func BenchmarkDetectPruned(b *testing.B) {
 // baseline's eager path exploration vs Clou's symbolic encoding on a
 // branch-heavy function.
 func BenchmarkBaselineScaling(b *testing.B) {
-	src := `
-	uint8_t A[16];
-	uint8_t t;
-	void f(uint32_t x) {
-		if (x & 1) { t += A[1]; }
-		if (x & 2) { t += A[2]; }
-		if (x & 4) { t += A[3]; }
-		if (x & 8) { t += A[4]; }
-		if (x & 16) { t += A[5]; }
-		if (x & 32) { t += A[6]; }
-		if (x & 64) { t += A[7]; }
-		if (x & 128) { t += A[8]; }
-		if (x & 256) { t += A[9]; }
-		if (x & 512) { t += A[10]; }
-	}
-	`
-	_ = src
 	mk := func(branches int) *ir.Module {
 		code := "uint8_t A[64];\nuint8_t t;\nvoid f(uint32_t x) {\n"
 		for i := 0; i < branches; i++ {
@@ -535,4 +520,79 @@ func BenchmarkBaselineScaling(b *testing.B) {
 		}
 	}
 	once("baseline-scaling", report)
+}
+
+// --- Parallel pipeline: worker-pool speedup and determinism ---
+
+// BenchmarkParallelSweep runs the two broadest corpus libraries through
+// the harness at Parallelism 1 and 4 and reports the speedup. A warmup
+// sweep fills the process-wide frontend cache first, so both measured
+// runs are equally cache-hot and the ratio isolates the worker pool
+// itself. Findings must be identical across worker counts; the ≥2×
+// speedup expectation is asserted only on machines that actually have
+// four CPUs to schedule onto.
+func BenchmarkParallelSweep(b *testing.B) {
+	libNames := []string{"libsodium", "openssl"}
+	sweep := func(workers int) ([]harness.Row, time.Duration, error) {
+		opts := harness.Options{
+			FuncTimeout:         5 * time.Second,
+			CryptoUniversalOnly: true,
+			Parallelism:         workers,
+		}
+		start := time.Now()
+		var all []harness.Row
+		for _, name := range libNames {
+			lib, ok := cryptolib.Lookup(name)
+			if !ok {
+				return nil, 0, fmt.Errorf("unknown library %s", name)
+			}
+			rows, err := harness.RunLibrary(lib, opts)
+			if err != nil {
+				return nil, 0, err
+			}
+			all = append(all, rows...)
+		}
+		return all, time.Since(start), nil
+	}
+
+	if _, _, err := sweep(1); err != nil { // warmup: fill the frontend cache
+		b.Fatal(err)
+	}
+
+	results := map[int][]harness.Row{}
+	timings := map[int]time.Duration{}
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows, elapsed, err := sweep(workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, ok := results[workers]; !ok {
+					results[workers] = rows
+					timings[workers] = elapsed
+				}
+			}
+		})
+	}
+
+	serial, par := results[1], results[4]
+	if len(serial) != len(par) {
+		b.Fatalf("row count differs across worker counts: %d vs %d", len(serial), len(par))
+	}
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i].Findings, par[i].Findings) {
+			b.Fatalf("row %d (%s/%s): findings differ across worker counts",
+				i, serial[i].App, serial[i].Tool)
+		}
+	}
+	speedup := float64(timings[1]) / float64(timings[4])
+	once("parallel-sweep", fmt.Sprintf(
+		"Parallel sweep (libsodium+openssl, cache-hot): workers=1 %v, workers=4 %v, speedup %.2fx (GOMAXPROCS=%d)",
+		timings[1].Round(time.Millisecond), timings[4].Round(time.Millisecond),
+		speedup, runtime.GOMAXPROCS(0)))
+	if runtime.GOMAXPROCS(0) >= 4 && speedup < 2 {
+		b.Fatalf("speedup %.2fx < 2x with %d CPUs available", speedup, runtime.GOMAXPROCS(0))
+	}
 }

@@ -1,0 +1,113 @@
+// Command benchjson runs the evaluation sweeps — the Table 2 litmus
+// suites, the crypto-library corpus, and the Fig. 8 series — under the
+// parallel harness and emits machine-readable timings as JSON, one entry
+// per workload:
+//
+//	{"litmus-pht": {"ns_per_op": ..., "workers": 4, "queries": ..., "cache_hits": ...}, ...}
+//
+// It exists so `make bench` leaves a diffable artifact (BENCH_parallel.json)
+// rather than scrolling text: ns_per_op is the workload's wall time,
+// queries the solver calls it issued, cache_hits the frontend-cache hits
+// it scored (warm second engines and repeated sweeps drive this up).
+//
+// Usage:
+//
+//	benchjson [-j N] [-timeout 5s] [-donna-timeout 30s] [-o BENCH_parallel.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"lcm/internal/cryptolib"
+	"lcm/internal/harness"
+)
+
+// entry is one workload's record in the output JSON.
+type entry struct {
+	NsPerOp   int64 `json:"ns_per_op"`
+	Workers   int   `json:"workers"`
+	Queries   int   `json:"queries"`
+	CacheHits int64 `json:"cache_hits"`
+}
+
+func main() {
+	par := flag.Int("j", runtime.GOMAXPROCS(0), "worker-pool size for every sweep")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-function budget for litmus suites and libraries")
+	donnaTimeout := flag.Duration("donna-timeout", 30*time.Second, "per-function budget for donna (its scalar mult dwarfs the rest)")
+	out := flag.String("o", "BENCH_parallel.json", "output path")
+	flag.Parse()
+
+	results := map[string]entry{}
+	record := func(name string, f func() (int, error)) {
+		hits0, _ := harness.CacheStats()
+		start := time.Now()
+		queries, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		elapsed := time.Since(start)
+		hits1, _ := harness.CacheStats()
+		results[name] = entry{
+			NsPerOp:   elapsed.Nanoseconds(),
+			Workers:   *par,
+			Queries:   queries,
+			CacheHits: hits1 - hits0,
+		}
+		fmt.Printf("%-22s %12v  queries=%-6d cache-hits=%d\n", name, elapsed.Round(time.Millisecond), queries, hits1-hits0)
+	}
+
+	for _, suite := range []string{"pht", "stl", "fwd", "new"} {
+		suite := suite
+		record("litmus-"+suite, func() (int, error) {
+			rows, err := harness.RunLitmusSuite(suite, harness.Options{
+				FuncTimeout: *timeout, Parallelism: *par,
+			})
+			q := 0
+			for _, r := range rows {
+				q += r.Queries
+			}
+			return q, err
+		})
+	}
+
+	for _, lib := range cryptolib.All() {
+		lib := lib
+		ft := *timeout
+		if lib.Name == "donna" {
+			ft = *donnaTimeout
+		}
+		record(lib.Name, func() (int, error) {
+			rows, err := harness.RunLibrary(lib, harness.Options{
+				FuncTimeout: ft, Parallelism: *par, CryptoUniversalOnly: true,
+			})
+			q := 0
+			for _, r := range rows {
+				q += r.Queries
+			}
+			return q, err
+		})
+	}
+
+	record("fig8", func() (int, error) {
+		_, err := harness.RunFig8(harness.Options{FuncTimeout: *timeout, Parallelism: *par})
+		return 0, err
+	})
+
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d workloads)\n", *out, len(results))
+}

@@ -14,12 +14,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"lcm/internal/core"
 	"lcm/internal/detect"
 	"lcm/internal/dot"
+	"lcm/internal/harness"
 	"lcm/internal/ir"
 	"lcm/internal/lower"
 	"lcm/internal/minic"
@@ -39,6 +41,7 @@ func main() {
 	printIR := flag.Bool("ir", false, "dump the lowered IR and exit")
 	verbose := flag.Bool("v", false, "report candidate and range-pruned pattern counts per function")
 	noPrune := flag.Bool("noprune", false, "disable range-analysis candidate pruning")
+	par := flag.Int("j", runtime.GOMAXPROCS(0), "analyze up to N functions in parallel")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -94,10 +97,26 @@ func main() {
 		}
 	}
 
+	// Detection fans out over the worker pool; repair (which mutates the
+	// module) and printing stay serial, in input order. The analysis cache
+	// shares frontends between workers, but is withheld under -fix: a
+	// cache must never outlive a module mutation.
+	var cache *detect.Cache
+	if !*fix {
+		cache = detect.NewCache()
+		cfg.Cache = cache
+	}
 	fns := targets(m, *fn)
+	results := make([]*detect.Result, len(fns))
+	errs := make([]error, len(fns))
+	harness.ForEach(*par, len(fns), func(i int) error {
+		results[i], errs[i] = detect.AnalyzeFunc(m, fns[i], cfg)
+		return nil
+	})
+
 	totalFindings := 0
-	for _, name := range fns {
-		res, err := detect.AnalyzeFunc(m, name, cfg)
+	for i, name := range fns {
+		res, err := results[i], errs[i]
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "clou: %s: %v\n", name, err)
 			continue
@@ -109,6 +128,9 @@ func main() {
 			counts[core.DT], counts[core.CT], counts[core.UDT], counts[core.UCT])
 		if *verbose {
 			fmt.Printf("   candidates=%d pruned=%d (range analysis)\n", res.Candidates, res.Pruned)
+			fmt.Printf("   frontend=%v encode=%v solve=%v cached=%v memo-hits=%d\n",
+				res.FrontendTime.Round(time.Microsecond), res.EncodeTime.Round(time.Microsecond),
+				res.SolveTime.Round(time.Microsecond), res.CacheHit, res.MemoHits)
 		}
 		for _, f := range res.Findings {
 			fmt.Printf("   %s\n", f)
@@ -133,6 +155,10 @@ func main() {
 	if *fix {
 		fmt.Println("== repaired IR ==")
 		fmt.Print(m.String())
+	}
+	if *verbose && cache != nil {
+		hits, misses := cache.Stats()
+		fmt.Printf("== workers=%d frontend-cache: hits=%d misses=%d\n", *par, hits, misses)
 	}
 	if totalFindings > 0 && !*fix {
 		os.Exit(1)

@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	lcmlint [-lib name|all] [-secrets a,b,c] [file.c ...]
+//	lcmlint [-lib name|all] [-secrets a,b,c] [-j N] [file.c ...]
 //
 // Secrets come from, in order of preference: the -secrets flag (an
 // explicit parameter-name list), the corpus library's own SecretParams
@@ -21,18 +21,28 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"lcm/internal/cryptolib"
 	"lcm/internal/dataflow"
+	"lcm/internal/harness"
 	"lcm/internal/ir"
 	"lcm/internal/lower"
 	"lcm/internal/minic"
 )
 
+// unit is one lint job: a named source with its secret spec.
+type unit struct {
+	name string
+	src  string
+	spec dataflow.SecretSpec
+}
+
 func main() {
 	lib := flag.String("lib", "all", "cryptolib corpus entry to lint when no files are given")
 	secrets := flag.String("secrets", "", "comma-separated secret parameter names; empty = name heuristic")
+	par := flag.Int("j", runtime.GOMAXPROCS(0), "lint up to N units in parallel")
 	flag.Parse()
 
 	var explicit *dataflow.SecretSpec
@@ -47,7 +57,7 @@ func main() {
 		explicit = &s
 	}
 
-	total := 0
+	var units []unit
 	if flag.NArg() > 0 {
 		spec := dataflow.HeuristicSpec()
 		if explicit != nil {
@@ -58,26 +68,40 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			total += lint(path, string(src), spec)
+			units = append(units, unit{name: path, src: string(src), spec: spec})
 		}
 	} else {
-		found := false
 		for _, l := range cryptolib.All() {
 			if *lib != "all" && l.Name != *lib {
 				continue
 			}
-			found = true
 			spec := dataflow.HeuristicSpec()
 			if explicit != nil {
 				spec = *explicit
 			} else if len(l.SecretParams) > 0 {
 				spec = dataflow.NamedSpec(l.SecretParams...)
 			}
-			total += lint(l.Name, l.Source, spec)
+			units = append(units, unit{name: l.Name, src: l.Source, spec: spec})
 		}
-		if !found {
+		if len(units) == 0 {
 			fatal(fmt.Errorf("unknown corpus library %q", *lib))
 		}
+	}
+
+	// Lint units in parallel, print reports serially in input order.
+	reports := make([]string, len(units))
+	counts := make([]int, len(units))
+	if err := harness.ForEach(*par, len(units), func(i int) error {
+		var err error
+		reports[i], counts[i], err = lint(units[i])
+		return err
+	}); err != nil {
+		fatal(err)
+	}
+	total := 0
+	for i := range units {
+		fmt.Print(reports[i])
+		total += counts[i]
 	}
 	if total > 0 {
 		fmt.Printf("%d finding(s)\n", total)
@@ -85,18 +109,20 @@ func main() {
 	}
 }
 
-// lint compiles one source unit and prints its findings, prefixed with
-// the unit name so corpus-wide sweeps stay attributable.
-func lint(unit, src string, spec dataflow.SecretSpec) int {
-	m, err := compile(src)
+// lint compiles one source unit and renders its findings, prefixed with
+// the unit name so corpus-wide sweeps stay attributable. It returns the
+// report rather than printing so parallel workers never interleave.
+func lint(u unit) (string, int, error) {
+	m, err := compile(u.src)
 	if err != nil {
-		fatal(fmt.Errorf("%s: %w", unit, err))
+		return "", 0, fmt.Errorf("%s: %w", u.name, err)
 	}
-	fs := dataflow.LintModule(m, spec)
+	fs := dataflow.LintModule(m, u.spec)
+	var b strings.Builder
 	for _, f := range fs {
-		fmt.Printf("%s: %s\n", unit, f)
+		fmt.Fprintf(&b, "%s: %s\n", u.name, f)
 	}
-	return len(fs)
+	return b.String(), len(fs), nil
 }
 
 func compile(src string) (*ir.Module, error) {

@@ -11,6 +11,7 @@
 package aeg
 
 import (
+	"context"
 	"fmt"
 
 	"lcm/internal/acfg"
@@ -292,6 +293,23 @@ func (a *AEG) InWindow(b, n int) bool {
 func (a *AEG) Check(assumptions ...*smt.Expr) sat.Status {
 	return a.S.Check(assumptions...)
 }
+
+// CheckCtx is Check under a context: a cancelled ctx aborts the solver
+// search promptly with sat.Unknown (the FuncTimeout path of §6.2).
+func (a *AEG) CheckCtx(ctx context.Context, assumptions ...*smt.Expr) sat.Status {
+	return a.S.CheckCtx(ctx, assumptions...)
+}
+
+// CheckMemo decides a query through the solver's verdict memo: repeated
+// queries over semantically equal assumption sets are answered without a
+// solver call. Memo hits carry no model — witness reconstruction must use
+// Check, which re-solves.
+func (a *AEG) CheckMemo(ctx context.Context, assumptions ...*smt.Expr) (sat.Status, bool) {
+	return a.S.CheckMemo(ctx, assumptions...)
+}
+
+// MemoStats reports the solver's query-memo hit/lookup counters.
+func (a *AEG) MemoStats() (hits, lookups int64) { return a.S.MemoStats() }
 
 // Model reads back, after a Sat query, the architectural path (node IDs)
 // and the transient nodes (from encoded windows), for witness

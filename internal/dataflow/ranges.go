@@ -1,6 +1,8 @@
 package dataflow
 
 import (
+	"sync"
+
 	"lcm/internal/ir"
 )
 
@@ -355,7 +357,12 @@ func (r *RangeAnalysis) DisjointRanges(store, load *ir.Instr) bool {
 
 // ModuleRanges lazily computes per-function range analyses for a module.
 type ModuleRanges struct {
-	M    *ir.Module
+	M *ir.Module
+	// mu guards the lazily filled byFn memo: one ModuleRanges (via the
+	// detect analysis cache's shared Pruner) may serve many concurrent
+	// per-function analyses. RangeAnalysis itself is immutable once built
+	// and its query methods are read-only, so only the memo needs a lock.
+	mu   sync.Mutex
 	byFn map[*ir.Func]*RangeAnalysis
 }
 
@@ -364,11 +371,14 @@ func NewModuleRanges(m *ir.Module) *ModuleRanges {
 	return &ModuleRanges{M: m, byFn: map[*ir.Func]*RangeAnalysis{}}
 }
 
-// ForFunc returns (computing on first use) the analysis for f.
+// ForFunc returns (computing on first use) the analysis for f. Safe for
+// concurrent use.
 func (mr *ModuleRanges) ForFunc(f *ir.Func) *RangeAnalysis {
 	if f == nil || f.IsDecl() {
 		return nil
 	}
+	mr.mu.Lock()
+	defer mr.mu.Unlock()
 	if r, ok := mr.byFn[f]; ok {
 		return r
 	}

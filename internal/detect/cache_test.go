@@ -1,0 +1,118 @@
+package detect
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"lcm/internal/cryptolib"
+)
+
+// TestCachedAnalysisMatchesUncached runs both engines over a corpus
+// library with and without a shared Cache and requires identical findings:
+// the cache must be a pure memoization, never an approximation.
+func TestCachedAnalysisMatchesUncached(t *testing.T) {
+	lib, ok := cryptolib.Lookup("tea")
+	if !ok {
+		t.Fatal("tea library missing from corpus")
+	}
+	m := compile(t, lib.Source)
+	cache := NewCache()
+	for _, mk := range []func() Config{DefaultPHT, DefaultSTL} {
+		for _, fn := range lib.PublicFuncs {
+			plain := mk()
+			r1, err := AnalyzeFunc(m, fn, plain)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cached := mk()
+			cached.Cache = cache
+			r2, err := AnalyzeFunc(m, fn, cached)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(r1.Findings, r2.Findings) {
+				t.Errorf("%s/%v: cached findings differ from uncached", fn, plain.Engine)
+			}
+		}
+	}
+}
+
+// TestCacheSharesFrontendAcrossEngines asserts the second engine over the
+// same function is a frontend hit, and the counters advance.
+func TestCacheSharesFrontendAcrossEngines(t *testing.T) {
+	m := compile(t, spectreV1Src)
+	cache := NewCache()
+
+	pht := DefaultPHT()
+	pht.Cache = cache
+	r1, err := AnalyzeFunc(m, "victim", pht)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.CacheHit {
+		t.Error("first analysis reported a cache hit")
+	}
+
+	stl := DefaultSTL()
+	stl.Cache = cache
+	r2, err := AnalyzeFunc(m, "victim", stl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.CacheHit {
+		t.Error("second engine did not hit the shared frontend")
+	}
+
+	hits, misses := cache.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("Stats() = (%d hits, %d misses), want (1, 1)", hits, misses)
+	}
+}
+
+// TestTimeoutBindsMidQuery is the FuncTimeout regression test: before the
+// context plumbing, the budget was only polled between solver queries, so
+// one slow SAT query could overshoot the timeout arbitrarily. A tiny
+// timeout on the corpus's biggest function must now abort promptly and be
+// reported as TimedOut.
+func TestTimeoutBindsMidQuery(t *testing.T) {
+	lib, ok := cryptolib.Lookup("donna")
+	if !ok {
+		t.Fatal("donna library missing from corpus")
+	}
+	m := compile(t, lib.Source)
+	fn := lib.PublicFuncs[0]
+
+	// Pre-warm the frontend so the timed run measures only the search and
+	// solver phases — the phases the context must interrupt mid-query.
+	cache := NewCache()
+	warm := DefaultPHT()
+	warm.Cache = cache
+	if _, _, err := cache.frontend(m, fn, warm.ACFG); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := DefaultPHT()
+	cfg.Cache = cache
+	cfg.Timeout = 50 * time.Millisecond
+
+	start := time.Now()
+	r, err := AnalyzeFunc(m, fn, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if !r.TimedOut {
+		// The whole analysis finishing under the budget would also be
+		// fine, but then it must have been fast.
+		if elapsed > time.Second {
+			t.Fatalf("took %v with a 50ms budget and did not report TimedOut", elapsed)
+		}
+		t.Skip("analysis completed inside the 50ms budget on this machine")
+	}
+	// Generous bound: the abort must happen within the solver's poll
+	// granularity, not after a full unbounded query.
+	if elapsed > 2*time.Second {
+		t.Fatalf("timed out but only after %v; budget was 50ms", elapsed)
+	}
+}

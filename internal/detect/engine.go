@@ -1,6 +1,7 @@
 package detect
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -62,6 +63,12 @@ type Config struct {
 	// disable pruning entirely (the ablation baseline).
 	Pruner  Pruner
 	NoPrune bool
+	// Cache, when non-nil, memoizes the engine-independent front end
+	// (A-CFG, alias, taint, reachability, value flow) per (module,
+	// function), sharing it between the PHT and STL engines and across
+	// concurrent workers. The module must not be mutated while the cache
+	// is live; repair therefore always runs uncached.
+	Cache *Cache
 }
 
 // Pruner discharges universal candidates with static value-range facts.
@@ -135,6 +142,16 @@ type Result struct {
 	// those discharged statically by the Prune hook.
 	Candidates int
 	Pruned     int
+	// Per-stage wall times: FrontendTime covers A-CFG + alias + taint +
+	// reachability + value flow (near zero on a cache hit), EncodeTime
+	// the S-AEG construction, SolveTime the accumulated solver queries.
+	FrontendTime time.Duration
+	EncodeTime   time.Duration
+	SolveTime    time.Duration
+	// CacheHit reports whether the front end came from Config.Cache;
+	// MemoHits counts queries answered by the solver's verdict memo.
+	CacheHit bool
+	MemoHits int
 	// Graph and AEG are retained for witness rendering and repair.
 	Graph *acfg.Graph
 	AEG   *aeg.AEG
@@ -157,32 +174,81 @@ func (r *Result) Counts() map[core.Class]int {
 
 // AnalyzeFunc runs one engine over one function.
 func AnalyzeFunc(m *ir.Module, fn string, cfg Config) (*Result, error) {
+	return AnalyzeFuncCtx(context.Background(), m, fn, cfg)
+}
+
+// AnalyzeFuncCtx is AnalyzeFunc under a context: cancellation (or the
+// cfg.Timeout deadline layered on top of ctx) aborts promptly, even in
+// the middle of a long solver query, and marks the result TimedOut.
+func AnalyzeFuncCtx(ctx context.Context, m *ir.Module, fn string, cfg Config) (*Result, error) {
 	start := time.Now()
-	g, err := acfg.Build(m, fn, cfg.ACFG)
+	if cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+		defer cancel()
+	}
+
+	var (
+		fe  *frontend
+		hit bool
+		err error
+	)
+	if cfg.Cache != nil {
+		fe, hit, err = cfg.Cache.frontend(m, fn, cfg.ACFG)
+	} else {
+		fe, err = buildFrontend(m, fn, cfg.ACFG)
+	}
 	if err != nil {
 		return nil, err
 	}
-	al := alias.Analyze(g)
-	ta := taint.Analyze(g, al)
-	a := aeg.Build(g, al, cfg.AEG)
+	frontendTime := time.Since(start)
+
+	// Frontend construction is not interruptible; if it alone consumed the
+	// budget, report the timeout without encoding or searching.
+	if ctx.Err() != nil {
+		return &Result{
+			Fn: fn, NodeCount: fe.g.Len(), Graph: fe.g,
+			FrontendTime: frontendTime, CacheHit: hit,
+			TimedOut: true, Duration: time.Since(start),
+		}, nil
+	}
+
+	encodeStart := time.Now()
+	a := aeg.Build(fe.g, fe.al, cfg.AEG)
+	encodeTime := time.Since(encodeStart)
+	if ctx.Err() != nil {
+		return &Result{
+			Fn: fn, NodeCount: fe.g.Len(), Graph: fe.g, AEG: a,
+			FrontendTime: frontendTime, EncodeTime: encodeTime, CacheHit: hit,
+			TimedOut: true, Duration: time.Since(start),
+		}, nil
+	}
 
 	pruner := cfg.Pruner
 	if pruner == nil && !cfg.NoPrune {
-		pruner = dataflow.NewPruner(m)
+		if cfg.Cache != nil {
+			pruner = cfg.Cache.pruner(m)
+		} else {
+			pruner = dataflow.NewPruner(m)
+		}
 	}
 	d := &detector{
-		cfg: cfg, g: g, al: al, ta: ta, a: a, start: start,
-		res:      &Result{Fn: fn, NodeCount: g.Len(), Graph: g, AEG: a},
-		cfgReach: cfgReachability(g),
+		ctx: ctx, cfg: cfg, g: fe.g, al: fe.al, ta: fe.ta, a: a,
+		res: &Result{
+			Fn: fn, NodeCount: fe.g.Len(), Graph: fe.g, AEG: a,
+			FrontendTime: frontendTime, EncodeTime: encodeTime, CacheHit: hit,
+		},
+		cfgReach: fe.cfgReach,
+		flow:     fe.flow,
 		pruner:   pruner,
 	}
-	d.flow = buildFlowGraph(g, al, d.cfgReach)
 	d.run()
 	d.res.Duration = time.Since(start)
 	return d.res, nil
 }
 
 type detector struct {
+	ctx        context.Context
 	cfg        Config
 	g          *acfg.Graph
 	al         *alias.Analysis
@@ -190,7 +256,6 @@ type detector struct {
 	a          *aeg.AEG
 	flow       *flowGraph
 	res        *Result
-	start      time.Time
 	cfgReach   func(from, to int) bool
 	flows      map[int]reachInfo
 	dists      map[int]map[int]int  // BFS distance maps, per source
@@ -272,9 +337,11 @@ func (d *detector) wantClass(c core.Class) bool {
 }
 
 func (d *detector) outOfBudget() bool {
-	if d.cfg.Timeout > 0 && time.Since(d.start) > d.cfg.Timeout {
+	select {
+	case <-d.ctx.Done():
 		d.res.TimedOut = true
 		return true
+	default:
 	}
 	if d.cfg.MaxQueries > 0 && d.res.Queries >= d.cfg.MaxQueries {
 		return true
@@ -307,7 +374,18 @@ func (d *detector) query(assumptions ...*smt.Expr) bool {
 		return false
 	}
 	d.res.Queries++
-	return d.a.Check(assumptions...) == sat.Sat
+	t0 := time.Now()
+	st, hit := d.a.CheckMemo(d.ctx, assumptions...)
+	d.res.SolveTime += time.Since(t0)
+	if hit {
+		d.res.MemoHits++
+	}
+	if st == sat.Unknown {
+		// The context fired mid-query: the budget is spent.
+		d.res.TimedOut = true
+		return false
+	}
+	return st == sat.Sat
 }
 
 func (d *detector) run() {
@@ -332,6 +410,18 @@ func (d *detector) run() {
 type steering struct {
 	// steers[acc] = transmitters whose address acc's value reaches
 	steers map[int][]int
+}
+
+// accs returns the steered access IDs in ascending order: candidate
+// enumeration (and therefore finding order, and which candidate a budget
+// cut lands on) must not depend on map iteration order.
+func (s steering) accs() []int {
+	out := make([]int, 0, len(s.steers))
+	for a := range s.steers {
+		out = append(out, a)
+	}
+	sort.Ints(out)
+	return out
 }
 
 type indexEdge struct {
@@ -366,6 +456,11 @@ func (d *detector) feedsOf(accID int) []indexEdge {
 func (d *detector) computeSteering(loads []*acfg.Node, mems []*acfg.Node) steering {
 	s := steering{steers: map[int][]int{}}
 	for _, acc := range loads {
+		// flowFrom is the expensive step of this precomputation; honor the
+		// budget between accesses so a timeout binds before the first query.
+		if d.outOfBudget() {
+			return s
+		}
 		r := d.flowFrom(acc.ID)
 		for _, t := range mems {
 			if t.ID == acc.ID {
@@ -394,7 +489,8 @@ func (d *detector) runPHT() {
 
 	// Universal data transmitters.
 	if d.wantClass(core.UDT) {
-		for accID, ts := range st.steers {
+		for _, accID := range st.accs() {
+			ts := st.steers[accID]
 			if d.outOfBudget() {
 				return
 			}
@@ -436,7 +532,8 @@ func (d *detector) runPHT() {
 
 	// Data transmitters (non-universal or committed-access patterns).
 	if d.wantClass(core.DT) {
-		for accID, ts := range st.steers {
+		for _, accID := range st.accs() {
+			ts := st.steers[accID]
 			if d.outOfBudget() {
 				return
 			}
@@ -606,6 +703,9 @@ func (d *detector) runSTL() {
 	type pair struct{ s, l int }
 	var pairs []pair
 	for _, s := range stores {
+		if d.outOfBudget() {
+			return
+		}
 		for _, l := range loads {
 			if !d.cfgReach(s.ID, l.ID) {
 				continue

@@ -2,12 +2,23 @@
 // Table 2 rows (runtimes and classified transmitter counts for Clou-pht /
 // Clou-stl versus the BH-style baseline, over the litmus suites and the
 // crypto-library corpus) and the Fig. 8 runtime-versus-size series.
+//
+// Sweeps fan out over a bounded worker pool (Options.Parallelism, the -j
+// of the command-line tools): every per-function detect.AnalyzeFunc call
+// is an independent job, results are written into index-addressed slots,
+// and rows are reassembled in input order — so the output is byte-for-byte
+// identical at any worker count. Library sources are parsed and lowered
+// once per process, and the engine-independent front end (A-CFG, alias,
+// taint, reachability, value flow) is shared between the PHT and STL
+// engines through a process-wide detect.Cache.
 package harness
 
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"lcm/internal/baseline"
@@ -29,6 +40,16 @@ type Row struct {
 	Leaks    int // baseline's flat count
 	Funcs    int
 	TimedOut int
+	// Queries totals solver queries across the row's functions (Clou
+	// rows only).
+	Queries int
+	// Workers records the parallelism the row was produced with; it is
+	// not part of Format, so output stays comparable across -j values.
+	Workers int
+	// Findings concatenates the per-function findings in input order
+	// (Clou rows only). Not printed by Format; the determinism guard
+	// compares these across worker counts.
+	Findings []detect.Finding
 }
 
 // Format renders the row like Table 2: time then DT/CT/UDT/UCT counts.
@@ -48,6 +69,9 @@ type Options struct {
 	// CryptoUniversalOnly restricts crypto-library searches to UDT/UCT
 	// (§6.2: "For crypto-libraries, Clou looks for UDTs and UCTs only").
 	CryptoUniversalOnly bool
+	// Parallelism bounds concurrent per-function analyses; 0 means
+	// runtime.GOMAXPROCS(0). 1 reproduces the serial pipeline exactly.
+	Parallelism int
 }
 
 func (o *Options) defaults() {
@@ -57,15 +81,47 @@ func (o *Options) defaults() {
 	if o.MaxQueries == 0 {
 		o.MaxQueries = 4000
 	}
+	if o.Parallelism == 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
 }
 
-func compileSrc(src string) (*ir.Module, error) {
-	f, err := minic.Parse(src)
-	if err != nil {
-		return nil, err
-	}
-	return lower.Module(f)
+// modEntry is one slot of the process-wide compile cache; once makes
+// concurrent first compilations of the same source collapse into one.
+type modEntry struct {
+	once sync.Once
+	m    *ir.Module
+	err  error
 }
+
+// modCache maps source text to its lowered module, so each litmus case or
+// corpus library is parsed and lowered once per process rather than once
+// per engine per benchmark iteration. Compiled modules are never mutated
+// by the harness (repair clones its own), so sharing is safe.
+var modCache sync.Map // string → *modEntry
+
+func compileSrc(src string) (*ir.Module, error) {
+	e, _ := modCache.LoadOrStore(src, &modEntry{})
+	ent := e.(*modEntry)
+	ent.once.Do(func() {
+		f, err := minic.Parse(src)
+		if err != nil {
+			ent.err = err
+			return
+		}
+		ent.m, ent.err = lower.Module(f)
+	})
+	return ent.m, ent.err
+}
+
+// analysisCache is the process-wide front-end cache shared by every
+// harness run; it is keyed by module pointer, and modCache guarantees
+// those pointers are stable per source for the life of the process.
+var analysisCache = detect.NewCache()
+
+// CacheStats reports the process-wide analysis-cache hit/miss counters
+// (clou -v and the bench tooling surface these).
+func CacheStats() (hits, misses int64) { return analysisCache.Stats() }
 
 func clouConfig(engine detect.Engine, opts Options, universalOnly bool) detect.Config {
 	var cfg detect.Config
@@ -76,10 +132,25 @@ func clouConfig(engine detect.Engine, opts Options, universalOnly bool) detect.C
 	}
 	cfg.Timeout = opts.FuncTimeout
 	cfg.MaxQueries = opts.MaxQueries
+	cfg.Cache = analysisCache
 	if universalOnly {
 		cfg.Transmitters = []core.Class{core.UDT, core.UCT}
 	}
 	return cfg
+}
+
+// addResult folds one function's analysis into a row.
+func (r *Row) addResult(res *detect.Result) {
+	r.Time += res.Duration
+	for cl, n := range res.Counts() {
+		r.Counts[cl] += n
+	}
+	r.Funcs++
+	r.Queries += res.Queries
+	r.Findings = append(r.Findings, res.Findings...)
+	if res.TimedOut {
+		r.TimedOut++
+	}
 }
 
 // RunLitmusSuite produces the Clou and baseline rows for one suite
@@ -95,47 +166,60 @@ func RunLitmusSuite(suite string, opts Options) ([]Row, error) {
 		engines = []detect.Engine{detect.PHT, detect.STL}
 	}
 
+	// Clou jobs: engine-major over the suite's cases.
+	results := make([]*detect.Result, len(engines)*len(cases))
+	err := ForEach(opts.Parallelism, len(results), func(i int) error {
+		e, c := engines[i/len(cases)], cases[i%len(cases)]
+		m, err := compileSrc(c.Source)
+		if err != nil {
+			return fmt.Errorf("%s: %w", c.Name, err)
+		}
+		r, err := detect.AnalyzeFunc(m, c.Fn, clouConfig(e, opts, false))
+		if err != nil {
+			return fmt.Errorf("%s: %w", c.Name, err)
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var rows []Row
-	for _, e := range engines {
-		row := Row{App: "litmus-" + suite, Tool: e.String(), Counts: map[core.Class]int{}}
-		for _, c := range cases {
-			m, err := compileSrc(c.Source)
-			if err != nil {
-				return nil, fmt.Errorf("%s: %w", c.Name, err)
-			}
-			r, err := detect.AnalyzeFunc(m, c.Fn, clouConfig(e, opts, false))
-			if err != nil {
-				return nil, fmt.Errorf("%s: %w", c.Name, err)
-			}
-			row.Time += r.Duration
-			for cl, n := range r.Counts() {
-				row.Counts[cl] += n
-			}
-			row.Funcs++
-			if r.TimedOut {
-				row.TimedOut++
-			}
+	for ei, e := range engines {
+		row := Row{App: "litmus-" + suite, Tool: e.String(), Counts: map[core.Class]int{}, Workers: opts.Parallelism}
+		for ci := range cases {
+			row.addResult(results[ei*len(cases)+ci])
 		}
 		rows = append(rows, row)
 	}
+
 	// Baseline rows.
-	for _, e := range engines {
+	bres := make([]*baseline.Result, len(engines)*len(cases))
+	err = ForEach(opts.Parallelism, len(bres), func(i int) error {
+		e, c := engines[i/len(cases)], cases[i%len(cases)]
+		cfg := baseline.Config{PHT: e != detect.STL, Timeout: opts.FuncTimeout}
+		m, err := compileSrc(c.Source)
+		if err != nil {
+			return err
+		}
+		r, err := baseline.AnalyzeFunc(m, c.Fn, cfg)
+		if err != nil {
+			return err
+		}
+		bres[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ei, e := range engines {
 		tool := "bh-pht"
-		cfg := baseline.Config{PHT: true, Timeout: opts.FuncTimeout}
 		if e == detect.STL {
 			tool = "bh-stl"
-			cfg = baseline.Config{PHT: false, Timeout: opts.FuncTimeout}
 		}
-		row := Row{App: "litmus-" + suite, Tool: tool}
-		for _, c := range cases {
-			m, err := compileSrc(c.Source)
-			if err != nil {
-				return nil, err
-			}
-			r, err := baseline.AnalyzeFunc(m, c.Fn, cfg)
-			if err != nil {
-				return nil, err
-			}
+		row := Row{App: "litmus-" + suite, Tool: tool, Workers: opts.Parallelism}
+		for ci := range cases {
+			r := bres[ei*len(cases)+ci]
 			row.Time += r.Duration
 			row.Leaks += r.Leaks
 			row.Funcs++
@@ -153,22 +237,25 @@ func RunLibrary(lib cryptolib.Library, opts Options) ([]Row, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", lib.Name, err)
 	}
+	engines := []detect.Engine{detect.PHT, detect.STL}
+	results := make([]*detect.Result, len(engines)*len(lib.PublicFuncs))
+	err = ForEach(opts.Parallelism, len(results), func(i int) error {
+		e, fn := engines[i/len(lib.PublicFuncs)], lib.PublicFuncs[i%len(lib.PublicFuncs)]
+		r, err := detect.AnalyzeFunc(m, fn, clouConfig(e, opts, opts.CryptoUniversalOnly))
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", lib.Name, fn, err)
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var rows []Row
-	for _, e := range []detect.Engine{detect.PHT, detect.STL} {
-		row := Row{App: lib.Name, Tool: e.String(), Counts: map[core.Class]int{}}
-		for _, fn := range lib.PublicFuncs {
-			r, err := detect.AnalyzeFunc(m, fn, clouConfig(e, opts, opts.CryptoUniversalOnly))
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", lib.Name, fn, err)
-			}
-			row.Time += r.Duration
-			for cl, n := range r.Counts() {
-				row.Counts[cl] += n
-			}
-			row.Funcs++
-			if r.TimedOut {
-				row.TimedOut++
-			}
+	for ei, e := range engines {
+		row := Row{App: lib.Name, Tool: e.String(), Counts: map[core.Class]int{}, Workers: opts.Parallelism}
+		for fi := range lib.PublicFuncs {
+			row.addResult(results[ei*len(lib.PublicFuncs)+fi])
 		}
 		rows = append(rows, row)
 	}
@@ -193,17 +280,21 @@ func RunFig8(opts Options) ([]Fig8Point, error) {
 	if err != nil {
 		return nil, err
 	}
-	var pts []Fig8Point
-	for _, e := range []detect.Engine{detect.PHT, detect.STL} {
-		for _, fn := range lib.PublicFuncs {
-			r, err := detect.AnalyzeFunc(m, fn, clouConfig(e, opts, true))
-			if err != nil {
-				return nil, fmt.Errorf("%s: %w", fn, err)
-			}
-			pts = append(pts, Fig8Point{Fn: fn, Engine: e.String(), Nodes: r.NodeCount, Runtime: r.Duration})
+	engines := []detect.Engine{detect.PHT, detect.STL}
+	pts := make([]Fig8Point, len(engines)*len(lib.PublicFuncs))
+	err = ForEach(opts.Parallelism, len(pts), func(i int) error {
+		e, fn := engines[i/len(lib.PublicFuncs)], lib.PublicFuncs[i%len(lib.PublicFuncs)]
+		r, err := detect.AnalyzeFunc(m, fn, clouConfig(e, opts, true))
+		if err != nil {
+			return fmt.Errorf("%s: %w", fn, err)
 		}
+		pts[i] = Fig8Point{Fn: fn, Engine: e.String(), Nodes: r.NodeCount, Runtime: r.Duration}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	sort.Slice(pts, func(i, j int) bool { return pts[i].Nodes < pts[j].Nodes })
+	sort.SliceStable(pts, func(i, j int) bool { return pts[i].Nodes < pts[j].Nodes })
 	return pts, nil
 }
 

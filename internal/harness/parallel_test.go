@@ -1,0 +1,127 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"lcm/internal/cryptolib"
+)
+
+// normalize strips the fields that legitimately vary run-to-run (wall
+// time, worker count) so rows can be compared across parallelism levels.
+func normalize(rows []Row) []Row {
+	out := make([]Row, len(rows))
+	copy(out, rows)
+	for i := range out {
+		out[i].Time = 0
+		out[i].Workers = 0
+	}
+	return out
+}
+
+func formats(rows []Row) []string {
+	var out []string
+	for _, r := range rows {
+		out = append(out, r.Format())
+	}
+	return out
+}
+
+// TestLitmusDeterministicAcrossWorkers is the determinism guard for the
+// parallel pipeline: every litmus suite must produce byte-identical rows
+// and identical findings at Parallelism=1 and Parallelism=8.
+func TestLitmusDeterministicAcrossWorkers(t *testing.T) {
+	for _, suite := range []string{"pht", "stl", "fwd", "new"} {
+		t.Run(suite, func(t *testing.T) {
+			serial, err := RunLitmusSuite(suite, Options{Parallelism: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := RunLitmusSuite(suite, Options{Parallelism: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sn, pn := normalize(serial), normalize(par)
+			if got, want := formats(pn), formats(sn); !reflect.DeepEqual(got, want) {
+				t.Errorf("rows differ across worker counts:\nserial: %v\nparallel: %v", want, got)
+			}
+			for i := range sn {
+				if !reflect.DeepEqual(sn[i].Findings, pn[i].Findings) {
+					t.Errorf("row %d (%s/%s): findings differ across worker counts", i, sn[i].App, sn[i].Tool)
+				}
+			}
+		})
+	}
+}
+
+// TestLibraryDeterministicAcrossWorkers checks the same property on a
+// crypto-library sweep (both engines, many functions, shared frontends).
+func TestLibraryDeterministicAcrossWorkers(t *testing.T) {
+	lib, ok := cryptolib.Lookup("tea")
+	if !ok {
+		t.Fatal("tea library missing from corpus")
+	}
+	opts := Options{CryptoUniversalOnly: true}
+	opts.Parallelism = 1
+	serial, err := RunLibrary(lib, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Parallelism = 8
+	par, err := RunLibrary(lib, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn, pn := normalize(serial), normalize(par)
+	if got, want := formats(pn), formats(sn); !reflect.DeepEqual(got, want) {
+		t.Errorf("rows differ across worker counts:\nserial: %v\nparallel: %v", want, got)
+	}
+	for i := range sn {
+		if !reflect.DeepEqual(sn[i].Findings, pn[i].Findings) {
+			t.Errorf("row %d (%s/%s): findings differ across worker counts", i, sn[i].App, sn[i].Tool)
+		}
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		const n = 50
+		var counts [n]atomic.Int32
+		if err := ForEach(workers, n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	want := errors.New("boom-3")
+	err := ForEach(4, 10, func(i int) error {
+		if i == 3 {
+			return want
+		}
+		if i == 7 {
+			return fmt.Errorf("boom-7")
+		}
+		return nil
+	})
+	if err != want {
+		t.Fatalf("got %v, want the lowest-index error %v", err, want)
+	}
+}
+
+func TestForEachZeroJobs(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,52 @@
+package harness
+
+import (
+	"sync"
+)
+
+// ForEach runs job(0), …, job(n-1) over at most workers goroutines. It is
+// the bounded worker pool behind every parallel sweep in this repo (the
+// paper ran Clou "in parallel on many cores, one process per analyzed
+// function", §6.2); cmd/clou and cmd/lcmlint reuse it for their -j flags.
+//
+// Determinism contract: jobs receive their index, so callers write
+// results into index-addressed slots and reassemble them in input order —
+// scheduling never changes the output. Errors are collected per index and
+// the lowest-index error is returned, so the error surfaced is the same
+// one a serial run would have hit first.
+func ForEach(workers, n int, job func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = job(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

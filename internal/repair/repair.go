@@ -8,6 +8,7 @@
 package repair
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -28,12 +29,24 @@ type Result struct {
 // Repair analyzes fn with cfg, inserts fences into m until detection runs
 // clean (or maxRounds is hit), and reports the fence count.
 func Repair(m *ir.Module, fn string, cfg detect.Config, maxRounds int) (Result, error) {
+	return RepairCtx(context.Background(), m, fn, cfg, maxRounds)
+}
+
+// RepairCtx is Repair under a context: cancellation aborts the current
+// detection round promptly (each round still gets cfg.Timeout on top).
+// Repair mutates m between rounds, so any analysis cache the caller set
+// on cfg is dropped — cached front ends would describe the pre-fence IR.
+func RepairCtx(ctx context.Context, m *ir.Module, fn string, cfg detect.Config, maxRounds int) (Result, error) {
+	cfg.Cache = nil
 	if maxRounds == 0 {
 		maxRounds = 8
 	}
 	total := 0
 	for round := 1; round <= maxRounds; round++ {
-		res, err := detect.AnalyzeFunc(m, fn, cfg)
+		if err := ctx.Err(); err != nil {
+			return Result{Fences: total, Rounds: round}, err
+		}
+		res, err := detect.AnalyzeFuncCtx(ctx, m, fn, cfg)
 		if err != nil {
 			return Result{Fences: total, Rounds: round}, err
 		}
@@ -53,7 +66,7 @@ func Repair(m *ir.Module, fn string, cfg detect.Config, maxRounds int) (Result, 
 			total++
 		}
 	}
-	res, err := detect.AnalyzeFunc(m, fn, cfg)
+	res, err := detect.AnalyzeFuncCtx(ctx, m, fn, cfg)
 	if err != nil {
 		return Result{Fences: total, Rounds: maxRounds}, err
 	}

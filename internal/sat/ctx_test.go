@@ -1,0 +1,86 @@
+package sat
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// encodePigeonhole encodes PHP(pigeons, holes): every pigeon sits in some hole,
+// no two pigeons share a hole. Unsatisfiable when pigeons > holes, and
+// exponentially hard for CDCL/resolution — a single Solve call runs far
+// longer than any per-function budget, which is exactly the shape the
+// context plumbing must interrupt.
+func encodePigeonhole(s *Solver, pigeons, holes int) {
+	vars := make([][]Lit, pigeons)
+	for p := 0; p < pigeons; p++ {
+		vars[p] = make([]Lit, holes)
+		for h := 0; h < holes; h++ {
+			vars[p][h] = Lit(s.NewVar())
+		}
+		s.AddClause(vars[p]...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(vars[p1][h].Neg(), vars[p2][h].Neg())
+			}
+		}
+	}
+}
+
+func TestSolveCtxInterruptsMidQuery(t *testing.T) {
+	s := New()
+	encodePigeonhole(s, 12, 11)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	st := s.SolveCtx(ctx)
+	elapsed := time.Since(start)
+	if st != Unknown {
+		// A machine fast enough to refute PHP(12,11) in 50ms would be
+		// remarkable; treat it as a pass if it genuinely finished.
+		if st == Unsat && elapsed < 50*time.Millisecond {
+			t.Skip("solver refuted PHP(12,11) inside the deadline")
+		}
+		t.Fatalf("status = %v, want Unknown after cancellation", st)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v to bind; the poll loop is broken", elapsed)
+	}
+}
+
+func TestSolverReusableAfterInterrupt(t *testing.T) {
+	s := New()
+	// A satisfiable formula: PHP(5,5) has models but enough structure to
+	// exercise the search once resumed.
+	encodePigeonhole(s, 5, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if st := s.SolveCtx(ctx); st != Unknown {
+		t.Fatalf("pre-cancelled ctx: status = %v, want Unknown", st)
+	}
+	// The solver must stay usable after the interrupt.
+	a, b := Lit(s.NewVar()), Lit(s.NewVar())
+	s.AddClause(a, b)
+	if st := s.Solve(a); st != Sat {
+		t.Fatalf("post-interrupt Solve = %v, want Sat", st)
+	}
+	if !s.Value(a.Var()) {
+		t.Fatal("assumption not honored in model")
+	}
+}
+
+func TestSolveCtxBackgroundUnchanged(t *testing.T) {
+	s := New()
+	x, y := Lit(s.NewVar()), Lit(s.NewVar())
+	s.AddClause(x, y)
+	s.AddClause(x.Neg(), y)
+	if st := s.SolveCtx(context.Background()); st != Sat {
+		t.Fatalf("status = %v, want Sat", st)
+	}
+	if !s.Value(y.Var()) {
+		t.Fatal("y must be true in every model")
+	}
+}

@@ -8,6 +8,7 @@
 package sat
 
 import (
+	"context"
 	"errors"
 	"sort"
 )
@@ -513,6 +514,20 @@ func luby(i int64) int64 {
 // model is available via Value/Model; on Unsat under assumptions, the
 // failed assumption set is available via FailedAssumptions.
 func (s *Solver) Solve(assumptions ...Lit) Status {
+	return s.SolveCtx(context.Background(), assumptions...)
+}
+
+// pollEvery is how many conflicts or decisions pass between context
+// checks in SolveCtx: frequent enough that cancellation binds within
+// milliseconds even on hard instances, rare enough to stay off the
+// propagation fast path.
+const pollEvery = 256
+
+// SolveCtx is Solve under a context: the search polls ctx every few
+// hundred conflicts/decisions and returns Unknown once it is cancelled,
+// leaving the solver reusable (all learnt clauses are kept, the trail is
+// unwound to the root level).
+func (s *Solver) SolveCtx(ctx context.Context, assumptions ...Lit) Status {
 	if !s.ok {
 		return Unsat
 	}
@@ -523,12 +538,35 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 	restart := int64(1)
 	conflictBudget := 100 * luby(restart)
 	conflictsThisRestart := int64(0)
+	sincePoll := 0
+	cancelled := func() bool {
+		sincePoll++
+		if sincePoll < pollEvery {
+			return false
+		}
+		sincePoll = 0
+		select {
+		case <-ctx.Done():
+			return true
+		default:
+			return false
+		}
+	}
+	// A context that arrives already cancelled aborts before any search.
+	select {
+	case <-ctx.Done():
+		return Unknown
+	default:
+	}
 
 	for {
 		conflict := s.propagate()
 		if conflict != nil {
 			s.conflicts++
 			conflictsThisRestart++
+			if cancelled() {
+				return Unknown
+			}
 			if s.decisionLevel() == 0 {
 				s.ok = false
 				return Unsat
@@ -603,6 +641,9 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			return Sat
 		}
 		s.decisions++
+		if cancelled() {
+			return Unknown
+		}
 		s.trailLim = append(s.trailLim, len(s.trail))
 		if s.polarity[v] {
 			s.uncheckedEnqueue(Lit(v), nil)

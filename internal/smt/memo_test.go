@@ -1,0 +1,90 @@
+package smt
+
+import (
+	"context"
+	"testing"
+
+	"lcm/internal/sat"
+)
+
+func TestCheckMemoHitsOnEqualAssumptionSets(t *testing.T) {
+	s := NewSolver()
+	a, b, c := s.Var("a"), s.Var("b"), s.Var("c")
+	s.Assert(Implies(a, b))
+
+	ctx := context.Background()
+	st, hit := s.CheckMemo(ctx, a, Not(b))
+	if st != sat.Unsat || hit {
+		t.Fatalf("first query: status=%v hit=%v, want Unsat miss", st, hit)
+	}
+	// Same set, different order and duplicated literal: must hit.
+	st, hit = s.CheckMemo(ctx, Not(b), a, a)
+	if st != sat.Unsat || !hit {
+		t.Fatalf("reordered query: status=%v hit=%v, want Unsat hit", st, hit)
+	}
+	// Semantically equal assumptions built from fresh Expr nodes share the
+	// same underlying literals, so they hit too.
+	st, hit = s.CheckMemo(ctx, Or(a), Not(b))
+	if st != sat.Unsat || !hit {
+		t.Fatalf("fresh-node query: status=%v hit=%v, want Unsat hit", st, hit)
+	}
+	// A different set misses.
+	st, hit = s.CheckMemo(ctx, a, c)
+	if st != sat.Sat || hit {
+		t.Fatalf("distinct query: status=%v hit=%v, want Sat miss", st, hit)
+	}
+	hits, lookups := s.MemoStats()
+	if hits != 2 || lookups != 4 {
+		t.Fatalf("stats = %d hits / %d lookups, want 2/4", hits, lookups)
+	}
+}
+
+func TestCheckMemoInvalidatedByAssert(t *testing.T) {
+	s := NewSolver()
+	a, b := s.Var("a"), s.Var("b")
+	s.Assert(Or(a, b))
+
+	ctx := context.Background()
+	if st, _ := s.CheckMemo(ctx, a); st != sat.Sat {
+		t.Fatalf("status = %v, want Sat", st)
+	}
+	// A new hard constraint can flip prior Sat verdicts: the memo must not
+	// serve the stale one.
+	s.Assert(Not(a))
+	st, hit := s.CheckMemo(ctx, a)
+	if hit {
+		t.Fatal("memo served a verdict across an Assert")
+	}
+	if st != sat.Unsat {
+		t.Fatalf("status = %v, want Unsat after Assert(¬a)", st)
+	}
+}
+
+func TestCheckMemoInvalidatedByAtMostK(t *testing.T) {
+	s := NewSolver()
+	a, b, c := s.Var("a"), s.Var("b"), s.Var("c")
+	ctx := context.Background()
+	if st, _ := s.CheckMemo(ctx, a, b, c); st != sat.Sat {
+		t.Fatal("want Sat before cardinality constraint")
+	}
+	s.AtMostK(1, a, b, c)
+	st, hit := s.CheckMemo(ctx, a, b, c)
+	if hit || st != sat.Unsat {
+		t.Fatalf("status=%v hit=%v, want fresh Unsat after AtMostK", st, hit)
+	}
+}
+
+func TestCheckCtxCancelled(t *testing.T) {
+	s := NewSolver()
+	a := s.Var("a")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if st := s.CheckCtx(ctx, a); st != sat.Unknown {
+		t.Fatalf("status = %v, want Unknown under cancelled ctx", st)
+	}
+	// Unknown verdicts are not memoized.
+	st, hit := s.CheckMemo(context.Background(), a)
+	if hit || st != sat.Sat {
+		t.Fatalf("status=%v hit=%v, want fresh Sat", st, hit)
+	}
+}

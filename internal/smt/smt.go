@@ -8,6 +8,7 @@
 package smt
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -73,6 +74,14 @@ type Solver struct {
 	trueLit sat.Lit
 	// assumption literal bookkeeping for FailedAssumptions
 	lastAssumed map[sat.Lit]*Expr
+	// memo caches Check verdicts keyed by the canonicalized assumption
+	// literal set; it is dropped whenever a user-level constraint is
+	// asserted (new constraints can flip Sat verdicts). Tseitin
+	// definitional clauses added while encoding new expressions are an
+	// equisatisfiable extension and do not invalidate it.
+	memo        map[string]sat.Status
+	memoHits    int64
+	memoLookups int64
 }
 
 // NewSolver returns an empty solver.
@@ -225,12 +234,14 @@ func (s *Solver) lit(e *Expr) sat.Lit {
 
 // Assert adds e as a hard constraint.
 func (s *Solver) Assert(e *Expr) {
+	s.memo = nil
 	s.sat.AddClause(s.lit(e))
 }
 
 // AssertClause adds a disjunction of formulas as one CNF clause (cheaper
 // than Assert(Or(...)) — no auxiliary variable).
 func (s *Solver) AssertClause(es ...*Expr) {
+	s.memo = nil
 	lits := make([]sat.Lit, len(es))
 	for i, e := range es {
 		lits[i] = s.lit(e)
@@ -241,13 +252,74 @@ func (s *Solver) AssertClause(es ...*Expr) {
 // Check determines satisfiability of the asserted formulas under the given
 // assumptions.
 func (s *Solver) Check(assumptions ...*Expr) sat.Status {
+	return s.CheckCtx(context.Background(), assumptions...)
+}
+
+// CheckCtx is Check under a context: long-running solver queries return
+// sat.Unknown promptly once ctx is cancelled, leaving the solver usable.
+func (s *Solver) CheckCtx(ctx context.Context, assumptions ...*Expr) sat.Status {
+	return s.sat.SolveCtx(ctx, s.assume(assumptions)...)
+}
+
+// assume encodes the assumption formulas and records the literal → formula
+// mapping FailedAssumptions reads back.
+func (s *Solver) assume(assumptions []*Expr) []sat.Lit {
 	lits := make([]sat.Lit, len(assumptions))
 	s.lastAssumed = make(map[sat.Lit]*Expr, len(assumptions))
 	for i, a := range assumptions {
 		lits[i] = s.lit(a)
 		s.lastAssumed[lits[i]] = a
 	}
-	return s.sat.Solve(lits...)
+	return lits
+}
+
+// CheckMemo is CheckCtx with a verdict memo keyed by the canonicalized
+// (sorted, deduplicated) assumption literal set: semantically equal
+// assumption sets — even ones built from distinct Expr nodes — share one
+// solver call. The second result reports whether the verdict came from
+// the memo; memo hits do not refresh the model or FailedAssumptions, so
+// callers needing either must re-Check.
+func (s *Solver) CheckMemo(ctx context.Context, assumptions ...*Expr) (sat.Status, bool) {
+	lits := s.assume(assumptions)
+	key := canonKey(lits)
+	s.memoLookups++
+	if st, ok := s.memo[key]; ok {
+		s.memoHits++
+		return st, true
+	}
+	st := s.sat.SolveCtx(ctx, lits...)
+	if st != sat.Unknown {
+		if s.memo == nil {
+			s.memo = make(map[string]sat.Status)
+		}
+		s.memo[key] = st
+	}
+	return st, false
+}
+
+// MemoStats returns the query-memo hit and lookup counters.
+func (s *Solver) MemoStats() (hits, lookups int64) {
+	return s.memoHits, s.memoLookups
+}
+
+// canonKey renders a canonical byte key for an assumption literal set.
+func canonKey(lits []sat.Lit) string {
+	sorted := append([]sat.Lit(nil), lits...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var b strings.Builder
+	b.Grow(len(sorted) * 9)
+	var prev sat.Lit
+	for i, l := range sorted {
+		if i > 0 && l == prev {
+			continue
+		}
+		prev = l
+		v := uint64(int64(l))
+		for j := 0; j < 8; j++ {
+			b.WriteByte(byte(v >> (8 * j)))
+		}
+	}
+	return b.String()
 }
 
 // FailedAssumptions returns the assumption formulas involved in the last
@@ -299,6 +371,7 @@ func (s *Solver) AtMostK(k int, es ...*Expr) {
 	if k >= n {
 		return
 	}
+	s.memo = nil
 	if k < 0 {
 		s.Assert(s.False())
 		return
