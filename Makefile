@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-core check vet fmt bench bench-all
+.PHONY: all build test race race-core check vet fmt bench bench-all fuzz
 
 all: build test
 
@@ -30,6 +30,15 @@ fmt:
 	fi
 
 check: vet fmt race-core
+	$(GO) test ./internal/attacks ./internal/obsv ./internal/sat ./cmd/clou
+
+# fuzz gives each native fuzz target a short budget — enough to shake out
+# shallow regressions in CI. Crashing inputs are written to testdata/fuzz/
+# and become permanent regression seeds. For a real campaign, run a single
+# target with -fuzz and no -fuzztime.
+fuzz:
+	$(GO) test -fuzz=FuzzMinicParse -fuzztime=10s ./internal/minic
+	$(GO) test -fuzz=FuzzLower -fuzztime=10s ./internal/lower
 
 # bench regenerates the evaluation sweeps in parallel and leaves a
 # machine-readable artifact (workload → ns/op, workers, queries, cache

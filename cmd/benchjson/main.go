@@ -6,9 +6,11 @@
 //	{"litmus-pht": {"ns_per_op": ..., "workers": 4, "queries": ..., "cache_hits": ...}, ...}
 //
 // It exists so `make bench` leaves a diffable artifact (BENCH_parallel.json)
-// rather than scrolling text: ns_per_op is the workload's wall time,
-// queries the solver calls it issued, cache_hits the frontend-cache hits
-// it scored (warm second engines and repeated sweeps drive this up).
+// rather than scrolling text. The numbers come from the observability
+// layer rather than ad-hoc stopwatches: each workload runs under its own
+// obsv.Tracer/Registry, ns_per_op is the workload root span's wall time,
+// and queries/cache_hits are the detect.* counter deltas its registry
+// accumulated (warm second engines and repeated sweeps drive hits up).
 //
 // Usage:
 //
@@ -25,13 +27,14 @@ import (
 
 	"lcm/internal/cryptolib"
 	"lcm/internal/harness"
+	"lcm/internal/obsv"
 )
 
 // entry is one workload's record in the output JSON.
 type entry struct {
 	NsPerOp   int64 `json:"ns_per_op"`
 	Workers   int   `json:"workers"`
-	Queries   int   `json:"queries"`
+	Queries   int64 `json:"queries"`
 	CacheHits int64 `json:"cache_hits"`
 }
 
@@ -43,36 +46,38 @@ func main() {
 	flag.Parse()
 
 	results := map[string]entry{}
-	record := func(name string, f func() (int, error)) {
-		hits0, _ := harness.CacheStats()
-		start := time.Now()
-		queries, err := f()
-		if err != nil {
+	// record runs one workload under a fresh tracer/registry pair and
+	// reads its timing and counters back from the observability layer.
+	record := func(name string, f func(tr *obsv.Tracer, reg *obsv.Registry) error) {
+		tr := obsv.NewTracer()
+		reg := obsv.NewRegistry()
+		if err := f(tr, reg); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		elapsed := time.Since(start)
-		hits1, _ := harness.CacheStats()
-		results[name] = entry{
+		var elapsed time.Duration
+		for _, root := range tr.Roots() {
+			elapsed += root.Wall()
+		}
+		snap := reg.Snapshot()
+		e := entry{
 			NsPerOp:   elapsed.Nanoseconds(),
 			Workers:   *par,
-			Queries:   queries,
-			CacheHits: hits1 - hits0,
+			Queries:   snap.Counters["detect.queries"],
+			CacheHits: snap.Counters["detect.cache_hits"],
 		}
-		fmt.Printf("%-22s %12v  queries=%-6d cache-hits=%d\n", name, elapsed.Round(time.Millisecond), queries, hits1-hits0)
+		results[name] = e
+		fmt.Printf("%-22s %12v  queries=%-6d cache-hits=%d\n",
+			name, elapsed.Round(time.Millisecond), e.Queries, e.CacheHits)
 	}
 
 	for _, suite := range []string{"pht", "stl", "fwd", "new"} {
 		suite := suite
-		record("litmus-"+suite, func() (int, error) {
-			rows, err := harness.RunLitmusSuite(suite, harness.Options{
-				FuncTimeout: *timeout, Parallelism: *par,
+		record("litmus-"+suite, func(tr *obsv.Tracer, reg *obsv.Registry) error {
+			_, err := harness.RunLitmusSuite(suite, harness.Options{
+				FuncTimeout: *timeout, Parallelism: *par, Tracer: tr, Metrics: reg,
 			})
-			q := 0
-			for _, r := range rows {
-				q += r.Queries
-			}
-			return q, err
+			return err
 		})
 	}
 
@@ -82,21 +87,20 @@ func main() {
 		if lib.Name == "donna" {
 			ft = *donnaTimeout
 		}
-		record(lib.Name, func() (int, error) {
-			rows, err := harness.RunLibrary(lib, harness.Options{
+		record(lib.Name, func(tr *obsv.Tracer, reg *obsv.Registry) error {
+			_, err := harness.RunLibrary(lib, harness.Options{
 				FuncTimeout: ft, Parallelism: *par, CryptoUniversalOnly: true,
+				Tracer: tr, Metrics: reg,
 			})
-			q := 0
-			for _, r := range rows {
-				q += r.Queries
-			}
-			return q, err
+			return err
 		})
 	}
 
-	record("fig8", func() (int, error) {
-		_, err := harness.RunFig8(harness.Options{FuncTimeout: *timeout, Parallelism: *par})
-		return 0, err
+	record("fig8", func(tr *obsv.Tracer, reg *obsv.Registry) error {
+		_, err := harness.RunFig8(harness.Options{
+			FuncTimeout: *timeout, Parallelism: *par, Tracer: tr, Metrics: reg,
+		})
+		return err
 	})
 
 	data, err := json.MarshalIndent(results, "", "  ")

@@ -7,7 +7,12 @@
 // Usage:
 //
 //	clou -engine pht|stl [-func name] [-rob 250] [-lsq 50] [-w 100]
-//	     [-transmitter udt,uct,dt,ct] [-fix] [-dot] [-timeout 30s] file.c
+//	     [-transmitter udt,uct,dt,ct] [-fix] [-dot] [-timeout 30s]
+//	     [-report out.json] [-debug-addr :6060] file.c
+//
+// -report writes the machine-readable run manifest (per-function
+// verdicts, metric snapshot, span tree; see internal/obsv); -debug-addr
+// serves expvar and net/http/pprof for live inspection of long runs.
 package main
 
 import (
@@ -21,10 +26,10 @@ import (
 	"lcm/internal/core"
 	"lcm/internal/detect"
 	"lcm/internal/dot"
-	"lcm/internal/harness"
 	"lcm/internal/ir"
 	"lcm/internal/lower"
 	"lcm/internal/minic"
+	"lcm/internal/obsv"
 	"lcm/internal/repair"
 )
 
@@ -42,6 +47,8 @@ func main() {
 	verbose := flag.Bool("v", false, "report candidate and range-pruned pattern counts per function")
 	noPrune := flag.Bool("noprune", false, "disable range-analysis candidate pruning")
 	par := flag.Int("j", runtime.GOMAXPROCS(0), "analyze up to N functions in parallel")
+	reportPath := flag.String("report", "", "write a machine-readable JSON run report to this path (- for stdout)")
+	debugAddr := flag.String("debug-addr", "", "serve expvar and net/http/pprof on this address (e.g. :6060)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -97,6 +104,23 @@ func main() {
 		}
 	}
 
+	// Observability: the tracer and registry are allocated only when a
+	// consumer asked for them (-report or -debug-addr); nil handles make
+	// every span/metric call a no-op.
+	var tracer *obsv.Tracer
+	var metrics *obsv.Registry
+	if *reportPath != "" || *debugAddr != "" {
+		tracer = obsv.NewTracer()
+		metrics = obsv.NewRegistry()
+	}
+	if *debugAddr != "" {
+		addr, err := obsv.ServeDebug(*debugAddr, metrics)
+		if err != nil {
+			fatal(fmt.Errorf("debug server: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "clou: debug server on http://%s/debug/\n", addr)
+	}
+
 	// Detection fans out over the worker pool; repair (which mutates the
 	// module) and printing stay serial, in input order. The analysis cache
 	// shares frontends between workers, but is withheld under -fix: a
@@ -106,13 +130,10 @@ func main() {
 		cache = detect.NewCache()
 		cfg.Cache = cache
 	}
+	cfg.Metrics = metrics
+	sweepStart := time.Now()
 	fns := targets(m, *fn)
-	results := make([]*detect.Result, len(fns))
-	errs := make([]error, len(fns))
-	harness.ForEach(*par, len(fns), func(i int) error {
-		results[i], errs[i] = detect.AnalyzeFunc(m, fns[i], cfg)
-		return nil
-	})
+	results, errs := analyzeAll(m, fns, cfg, *par, tracer)
 
 	totalFindings := 0
 	for i, name := range fns {
@@ -159,6 +180,12 @@ func main() {
 	if *verbose && cache != nil {
 		hits, misses := cache.Stats()
 		fmt.Printf("== workers=%d frontend-cache: hits=%d misses=%d\n", *par, hits, misses)
+	}
+	if *reportPath != "" {
+		rep := buildReport(*engine, *par, fns, results, errs, tracer, metrics, time.Since(sweepStart))
+		if err := rep.WriteFile(*reportPath); err != nil {
+			fatal(fmt.Errorf("report: %w", err))
+		}
 	}
 	if totalFindings > 0 && !*fix {
 		os.Exit(1)

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"time"
+
+	"lcm/internal/detect"
+	"lcm/internal/harness"
+	"lcm/internal/ir"
+	"lcm/internal/obsv"
+)
+
+// analyzeAll runs the parallel detection sweep over fns under one root
+// span, returning per-function results and errors in input order. The
+// tracer and registry may be nil (observability disabled).
+func analyzeAll(m *ir.Module, fns []string, cfg detect.Config, par int, tr *obsv.Tracer) ([]*detect.Result, []error) {
+	results := make([]*detect.Result, len(fns))
+	errs := make([]error, len(fns))
+	root := tr.Start("clou")
+	harness.ForEachSpan(root, "detect", par, len(fns), func(i int, sp *obsv.Span) error {
+		c := cfg
+		c.Span = sp
+		results[i], errs[i] = detect.AnalyzeFunc(m, fns[i], c)
+		return nil
+	})
+	root.End()
+	return results, errs
+}
+
+// buildReport assembles the stable JSON run manifest from a finished
+// sweep: per-function verdicts in input order, the metrics snapshot, and
+// the span tree.
+func buildReport(engine string, workers int, fns []string, results []*detect.Result,
+	errs []error, tr *obsv.Tracer, reg *obsv.Registry, wall time.Duration) *obsv.Report {
+	rep := &obsv.Report{
+		Tool:    "clou",
+		Version: obsv.Version,
+		Engine:  engine,
+		Workers: workers,
+		WallNs:  wall.Nanoseconds(),
+		Metrics: reg.Snapshot(),
+		Spans:   obsv.SpanTree(tr),
+	}
+	for i, name := range fns {
+		if errs[i] != nil {
+			rep.Functions = append(rep.Functions, obsv.FuncReport{
+				Name: name, Verdict: "error", Error: errs[i].Error(),
+			})
+			continue
+		}
+		rep.Functions = append(rep.Functions, results[i].Report())
+	}
+	return rep
+}

@@ -1,0 +1,38 @@
+/* Golden-report fixture: a small zoo of Spectre shapes so the report
+ * exercises leak, clean, and fence-repaired verdicts in one sweep. */
+
+uint8_t array1[16];
+uint8_t array2[131072];
+uint32_t array1_size = 16;
+uint8_t temp;
+uint32_t idx_slot;
+
+void lfence(void);
+
+/* Classic v1 bounds-check bypass: both accesses transient. */
+void victim_v1(uint32_t x) {
+    if (x < array1_size) {
+        temp &= array2[array1[x] * 512];
+    }
+}
+
+/* Index masking keeps the access in bounds on every path. */
+void victim_masked(uint32_t x) {
+    if (x < array1_size) {
+        temp &= array2[array1[x & 15] * 512];
+    }
+}
+
+/* The fence retires the bounds check before the accesses issue. */
+void victim_fenced(uint32_t x) {
+    if (x < array1_size) {
+        lfence();
+        temp &= array2[array1[x] * 512];
+    }
+}
+
+/* v4 shape: the masking store can be bypassed by the reload. */
+void victim_v4(uint32_t x) {
+    idx_slot = x & (array1_size - 1);
+    temp &= array2[array1[idx_slot] * 512];
+}

@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	lcmlint [-lib name|all] [-secrets a,b,c] [-j N] [file.c ...]
+//	lcmlint [-lib name|all] [-secrets a,b,c] [-j N] [-report out.json] [file.c ...]
 //
 // Secrets come from, in order of preference: the -secrets flag (an
 // explicit parameter-name list), the corpus library's own SecretParams
@@ -23,6 +23,7 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"lcm/internal/cryptolib"
 	"lcm/internal/dataflow"
@@ -30,6 +31,7 @@ import (
 	"lcm/internal/ir"
 	"lcm/internal/lower"
 	"lcm/internal/minic"
+	"lcm/internal/obsv"
 )
 
 // unit is one lint job: a named source with its secret spec.
@@ -43,6 +45,7 @@ func main() {
 	lib := flag.String("lib", "all", "cryptolib corpus entry to lint when no files are given")
 	secrets := flag.String("secrets", "", "comma-separated secret parameter names; empty = name heuristic")
 	par := flag.Int("j", runtime.GOMAXPROCS(0), "lint up to N units in parallel")
+	reportPath := flag.String("report", "", "write a machine-readable JSON run report to this path (- for stdout)")
 	flag.Parse()
 
 	var explicit *dataflow.SecretSpec
@@ -89,19 +92,54 @@ func main() {
 	}
 
 	// Lint units in parallel, print reports serially in input order.
+	var tracer *obsv.Tracer
+	var metrics *obsv.Registry
+	if *reportPath != "" {
+		tracer = obsv.NewTracer()
+		metrics = obsv.NewRegistry()
+	}
+	start := time.Now()
 	reports := make([]string, len(units))
 	counts := make([]int, len(units))
-	if err := harness.ForEach(*par, len(units), func(i int) error {
+	findings := make([][]string, len(units))
+	root := tracer.Start("lcmlint")
+	err := harness.ForEachSpan(root, "lint", *par, len(units), func(i int, sp *obsv.Span) error {
+		us := sp.Start("unit:" + units[i].name)
+		defer us.End()
 		var err error
-		reports[i], counts[i], err = lint(units[i])
+		reports[i], counts[i], findings[i], err = lint(units[i])
+		metrics.Counter("lint.findings").Add(int64(counts[i]))
+		metrics.Counter("lint.units").Add(1)
 		return err
-	}); err != nil {
+	})
+	root.End()
+	if err != nil {
 		fatal(err)
 	}
 	total := 0
 	for i := range units {
 		fmt.Print(reports[i])
 		total += counts[i]
+	}
+	if *reportPath != "" {
+		rep := &obsv.Report{
+			Tool:    "lcmlint",
+			Version: obsv.Version,
+			Workers: *par,
+			WallNs:  time.Since(start).Nanoseconds(),
+			Metrics: metrics.Snapshot(),
+			Spans:   obsv.SpanTree(tracer),
+		}
+		for i, u := range units {
+			fr := obsv.FuncReport{Name: u.name, Verdict: "clean", Lint: findings[i]}
+			if counts[i] > 0 {
+				fr.Verdict = "flagged"
+			}
+			rep.Functions = append(rep.Functions, fr)
+		}
+		if err := rep.WriteFile(*reportPath); err != nil {
+			fatal(fmt.Errorf("report: %w", err))
+		}
 	}
 	if total > 0 {
 		fmt.Printf("%d finding(s)\n", total)
@@ -111,18 +149,21 @@ func main() {
 
 // lint compiles one source unit and renders its findings, prefixed with
 // the unit name so corpus-wide sweeps stay attributable. It returns the
-// report rather than printing so parallel workers never interleave.
-func lint(u unit) (string, int, error) {
+// report rather than printing so parallel workers never interleave,
+// plus the raw finding strings for the JSON run report.
+func lint(u unit) (string, int, []string, error) {
 	m, err := compile(u.src)
 	if err != nil {
-		return "", 0, fmt.Errorf("%s: %w", u.name, err)
+		return "", 0, nil, fmt.Errorf("%s: %w", u.name, err)
 	}
 	fs := dataflow.LintModule(m, u.spec)
 	var b strings.Builder
+	var raw []string
 	for _, f := range fs {
 		fmt.Fprintf(&b, "%s: %s\n", u.name, f)
+		raw = append(raw, f.String())
 	}
-	return b.String(), len(fs), nil
+	return b.String(), len(fs), raw, nil
 }
 
 func compile(src string) (*ir.Module, error) {

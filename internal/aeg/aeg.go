@@ -185,7 +185,17 @@ func (a *AEG) encodeBranch(b int) {
 	m := a.S.Var(fmt.Sprintf("misspec!%d", b))
 	a.misspec[b] = m
 	a.S.Assert(smt.Implies(m, a.arch[b]))
-	for n, arms := range win {
+	// Window nodes are visited in sorted order so SMT variable numbering
+	// and clause order are run-to-run deterministic; otherwise the CDCL
+	// search (and its effort counters in run reports) would depend on Go
+	// map iteration order.
+	nodes := make([]int, 0, len(win))
+	for n := range win {
+		nodes = append(nodes, n)
+	}
+	sortInts(nodes)
+	for _, n := range nodes {
+		arms := win[n]
 		v := a.S.Var(fmt.Sprintf("transin!%d!%d", b, n))
 		a.transIn[[2]int{b, n}] = v
 		var armOK []*smt.Expr
@@ -198,7 +208,7 @@ func (a *AEG) encodeBranch(b int) {
 		a.S.Assert(smt.Implies(v, smt.And(m, smt.Or(armOK...))))
 	}
 	// Data feasibility, within this window.
-	for n := range win {
+	for _, n := range nodes {
 		node := a.G.Nodes[n]
 		v := a.transIn[[2]int{b, n}]
 		for _, defs := range node.ArgDefs {
@@ -310,6 +320,12 @@ func (a *AEG) CheckMemo(ctx context.Context, assumptions ...*smt.Expr) (sat.Stat
 
 // MemoStats reports the solver's query-memo hit/lookup counters.
 func (a *AEG) MemoStats() (hits, lookups int64) { return a.S.MemoStats() }
+
+// SolverStats reports the CDCL search-effort counters accumulated by this
+// AEG's solver (decisions, propagations, conflicts, restarts).
+func (a *AEG) SolverStats() (decisions, propagations, conflicts, restarts int64) {
+	return a.S.SatStats()
+}
 
 // Model reads back, after a Sat query, the architectural path (node IDs)
 // and the transient nodes (from encoded windows), for witness

@@ -1,0 +1,206 @@
+package attacks_test
+
+import (
+	"testing"
+	"time"
+
+	"lcm/internal/core"
+	"lcm/internal/detect"
+	"lcm/internal/ir"
+	"lcm/internal/litmus"
+	"lcm/internal/lower"
+	"lcm/internal/mcm"
+	"lcm/internal/minic"
+	"lcm/internal/prog"
+)
+
+// This file cross-checks the two independent leakage-detection layers the
+// repo carries against each other:
+//
+//   - the bounded-enumeration layer (prog.Expand + core.FindLeakage),
+//     which exhaustively walks candidate executions of a litmus program
+//     under a memory model — slow but, within its depth bound, ground
+//     truth;
+//   - the symbolic Clou layer (lower + detect), which finds leakage by
+//     SAT queries over the AEG without enumerating executions.
+//
+// The two share no code above the core relations, so agreement is strong
+// evidence that neither engine's verdict is an artifact of its encoding.
+
+func compileDiff(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	file, err := minic.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	m, err := lower.Module(file)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return m
+}
+
+func clouAnalyze(t *testing.T, src, fn string, engine detect.Engine) *detect.Result {
+	t.Helper()
+	var cfg detect.Config
+	if engine == detect.PHT {
+		cfg = detect.DefaultPHT()
+	} else {
+		cfg = detect.DefaultSTL()
+	}
+	cfg.Timeout = 60 * time.Second
+	res, err := detect.AnalyzeFunc(compileDiff(t, src), fn, cfg)
+	if err != nil {
+		t.Fatalf("detect %s: %v", fn, err)
+	}
+	if res.TimedOut {
+		t.Fatalf("detect %s: timed out", fn)
+	}
+	return res
+}
+
+// TestDifferentialSpectreProgsVsClou runs the three running-example
+// attacks of §3–§4 through both layers: the litmus program through
+// bounded enumeration, and the equivalent mini-C through Clou. Both must
+// call the program leaky.
+func TestDifferentialSpectreProgsVsClou(t *testing.T) {
+	cases := []struct {
+		name   string
+		prog   *prog.Program
+		src    string
+		fn     string
+		engine detect.Engine
+	}{
+		{
+			// Fig. 1: classic bounds-check bypass.
+			name: "spectre-v1", prog: prog.SpectreV1(), fn: "victim", engine: detect.PHT,
+			src: `
+uint8_t A[16];
+uint8_t B[131072];
+uint32_t size_A = 16;
+uint8_t tmp;
+void victim(uint32_t y) {
+	if (y < size_A) {
+		tmp &= B[A[y] * 512];
+	}
+}`,
+		},
+		{
+			// Fig. 3: the access instruction is non-transient; only the
+			// transmitter is transient.
+			name: "spectre-v1-variant", prog: prog.SpectreV1Variant(), fn: "victim", engine: detect.PHT,
+			src: `
+uint8_t A[16];
+uint8_t B[131072];
+uint32_t size_A = 16;
+uint8_t tmp;
+void victim(uint32_t y) {
+	uint8_t x = A[y];
+	if (y < size_A) {
+		tmp &= B[x * 512];
+	}
+}`,
+		},
+		{
+			// Fig. 4a: store-bypass — the masking store to y can be
+			// bypassed, so the reload may observe the stale unmasked
+			// index.
+			name: "spectre-v4", prog: prog.SpectreV4(), fn: "victim", engine: detect.STL,
+			src: `
+uint8_t A[16];
+uint8_t B[131072];
+uint32_t size_A = 16;
+uint8_t tmp;
+uint32_t y_slot;
+void victim(uint32_t y) {
+	y_slot = y & (size_A - 1);
+	tmp &= B[A[y_slot] * 512];
+}`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Ground truth: exhaustive candidate-execution enumeration
+			// under TSO, with the expansion options the paper's sampling
+			// uses (transient control flow, x-state per location, an
+			// observer thread, and store-bypass windows).
+			structures := prog.Expand(tc.prog, prog.ExpandOptions{
+				Depth:              2,
+				XStateForLocation:  true,
+				Observer:           true,
+				AddressSpeculation: true,
+			})
+			findings := core.FindLeakageInProgramGraphs(structures, core.FindOptions{
+				Model: mcm.TSO{},
+			})
+			if len(findings) == 0 {
+				t.Fatalf("enumeration found no leaky execution — ground truth disagrees with the paper")
+			}
+			sum := core.Summarize(findings)
+			enumTransient := sum[core.UDT]+sum[core.UCT]+sum[core.DT]+sum[core.CT] > 0
+			if !enumTransient {
+				t.Fatalf("enumeration found leakage but no transient transmitter class: %v", sum)
+			}
+
+			// Symbolic layer: Clou on the mini-C rendering.
+			res := clouAnalyze(t, tc.src, tc.fn, tc.engine)
+			if len(res.Findings) == 0 {
+				t.Fatalf("Clou (%d enumerated leaks) found nothing in:\n%s", len(findings), tc.src)
+			}
+		})
+	}
+}
+
+// knownDivergences lists litmus cases where Clou's verdict is documented
+// to differ from the benchmark's Secure annotation, with the reason. The
+// sweep below asserts each divergence still happens exactly as recorded —
+// if the detector gains precision, this table must shrink with it, and if
+// it loses precision the unexplained mismatch fails the sweep.
+//
+// Currently empty: upstream Clou false-positives pht06 (index masking,
+// §6.1) because it has no semantic analysis of masks, but the dataflow
+// range analysis in internal/dataflow proves the masked index in-bounds
+// and prunes the candidate, so this implementation agrees with every
+// Secure annotation in the corpus.
+var knownDivergences = map[string]string{}
+
+// TestLitmusVerdictsMatchAnnotations sweeps every litmus case in every
+// suite and compares Clou's leak/clean verdict against the benchmark's
+// Secure annotation, modulo the documented divergence table.
+func TestLitmusVerdictsMatchAnnotations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full litmus sweep in -short mode")
+	}
+	for suite, cases := range litmus.Suites() {
+		engines := []detect.Engine{detect.PHT}
+		switch suite {
+		case "stl":
+			engines = []detect.Engine{detect.STL}
+		case "fwd", "new":
+			engines = []detect.Engine{detect.PHT, detect.STL}
+		}
+		for _, c := range cases {
+			c := c
+			t.Run(c.Name, func(t *testing.T) {
+				leak := false
+				for _, e := range engines {
+					if len(clouAnalyze(t, c.Source, c.Fn, e).Findings) > 0 {
+						leak = true
+					}
+				}
+				wantLeak := !c.Secure
+				reason, divergent := knownDivergences[c.Name]
+				switch {
+				case leak == wantLeak && !divergent:
+					// agreement, as annotated
+				case leak == wantLeak && divergent:
+					t.Errorf("verdict now matches annotation; remove %s from knownDivergences (was: %s)", c.Name, reason)
+				case leak != wantLeak && divergent:
+					// documented divergence, pinned
+				default:
+					t.Errorf("Clou=%v but Secure=%v with no documented divergence (%s)", leak, c.Secure, c.Note)
+				}
+			})
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"lcm/internal/core"
 	"lcm/internal/dataflow"
 	"lcm/internal/ir"
+	"lcm/internal/obsv"
 	"lcm/internal/sat"
 	"lcm/internal/smt"
 	"lcm/internal/taint"
@@ -69,6 +70,14 @@ type Config struct {
 	// concurrent workers. The module must not be mutated while the cache
 	// is live; repair therefore always runs uncached.
 	Cache *Cache
+	// Span, when non-nil, is the parent observability span: each analyzed
+	// function records a "fn:<name>" child with frontend/encode/search
+	// stage children underneath. Nil (the default) disables tracing at
+	// zero cost.
+	Span *obsv.Span
+	// Metrics, when non-nil, receives the run's counters and per-stage
+	// latency histograms (detect.* and sat.* names).
+	Metrics *obsv.Registry
 }
 
 // Pruner discharges universal candidates with static value-range facts.
@@ -152,6 +161,11 @@ type Result struct {
 	// MemoHits counts queries answered by the solver's verdict memo.
 	CacheHit bool
 	MemoHits int
+	// CDCL search-effort counters harvested from the function's solver.
+	Decisions    int64
+	Propagations int64
+	Conflicts    int64
+	Restarts     int64
 	// Graph and AEG are retained for witness rendering and repair.
 	Graph *acfg.Graph
 	AEG   *aeg.AEG
@@ -182,6 +196,8 @@ func AnalyzeFunc(m *ir.Module, fn string, cfg Config) (*Result, error) {
 // the middle of a long solver query, and marks the result TimedOut.
 func AnalyzeFuncCtx(ctx context.Context, m *ir.Module, fn string, cfg Config) (*Result, error) {
 	start := time.Now()
+	fnSpan := cfg.Span.Start("fn:" + fn)
+	defer fnSpan.End()
 	if cfg.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
@@ -193,11 +209,13 @@ func AnalyzeFuncCtx(ctx context.Context, m *ir.Module, fn string, cfg Config) (*
 		hit bool
 		err error
 	)
+	feSpan := fnSpan.Start("frontend")
 	if cfg.Cache != nil {
 		fe, hit, err = cfg.Cache.frontend(m, fn, cfg.ACFG)
 	} else {
 		fe, err = buildFrontend(m, fn, cfg.ACFG)
 	}
+	feSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -206,22 +224,28 @@ func AnalyzeFuncCtx(ctx context.Context, m *ir.Module, fn string, cfg Config) (*
 	// Frontend construction is not interruptible; if it alone consumed the
 	// budget, report the timeout without encoding or searching.
 	if ctx.Err() != nil {
-		return &Result{
+		res := &Result{
 			Fn: fn, NodeCount: fe.g.Len(), Graph: fe.g,
 			FrontendTime: frontendTime, CacheHit: hit,
 			TimedOut: true, Duration: time.Since(start),
-		}, nil
+		}
+		res.record(cfg.Metrics)
+		return res, nil
 	}
 
+	encSpan := fnSpan.Start("encode")
 	encodeStart := time.Now()
 	a := aeg.Build(fe.g, fe.al, cfg.AEG)
 	encodeTime := time.Since(encodeStart)
+	encSpan.End()
 	if ctx.Err() != nil {
-		return &Result{
+		res := &Result{
 			Fn: fn, NodeCount: fe.g.Len(), Graph: fe.g, AEG: a,
 			FrontendTime: frontendTime, EncodeTime: encodeTime, CacheHit: hit,
 			TimedOut: true, Duration: time.Since(start),
-		}, nil
+		}
+		res.record(cfg.Metrics)
+		return res, nil
 	}
 
 	pruner := cfg.Pruner
@@ -242,8 +266,12 @@ func AnalyzeFuncCtx(ctx context.Context, m *ir.Module, fn string, cfg Config) (*
 		flow:     fe.flow,
 		pruner:   pruner,
 	}
+	searchSpan := fnSpan.Start("search")
 	d.run()
+	searchSpan.End()
+	d.res.Decisions, d.res.Propagations, d.res.Conflicts, d.res.Restarts = a.SolverStats()
 	d.res.Duration = time.Since(start)
+	d.res.record(cfg.Metrics)
 	return d.res, nil
 }
 

@@ -100,12 +100,15 @@ func Witness(res *Result, f Finding) (*event.Graph, error) {
 
 	// Dependencies: address deps from def chains into address operands,
 	// data deps into stored values, ctrl deps from branch conditions.
-	for id, ev := range evOf {
-		n := res.Graph.Nodes[id]
-		if n.Instr == nil {
+	// Walked in topological order, not evOf map order, so edge insertion —
+	// and with it the rendered DOT — is deterministic across runs.
+	for _, id := range res.Graph.Topo() {
+		ev, ok := evOf[id]
+		if !ok || ev == nil {
 			continue
 		}
-		if ev == nil {
+		n := res.Graph.Nodes[id]
+		if n.Instr == nil {
 			continue
 		}
 		if n.IsLoad() || n.IsStore() {

@@ -29,6 +29,7 @@ import (
 	"lcm/internal/litmus"
 	"lcm/internal/lower"
 	"lcm/internal/minic"
+	"lcm/internal/obsv"
 )
 
 // Row is one Table 2 row for one tool on one workload.
@@ -72,6 +73,13 @@ type Options struct {
 	// Parallelism bounds concurrent per-function analyses; 0 means
 	// runtime.GOMAXPROCS(0). 1 reproduces the serial pipeline exactly.
 	Parallelism int
+	// Tracer, when non-nil, records one root span per sweep, with
+	// per-stage ("clou", "baseline") and per-function children. Nil (the
+	// default) disables tracing at zero cost.
+	Tracer *obsv.Tracer
+	// Metrics, when non-nil, receives the detect.* and sat.* counters of
+	// every analyzed function.
+	Metrics *obsv.Registry
 }
 
 func (o *Options) defaults() {
@@ -123,7 +131,7 @@ var analysisCache = detect.NewCache()
 // (clou -v and the bench tooling surface these).
 func CacheStats() (hits, misses int64) { return analysisCache.Stats() }
 
-func clouConfig(engine detect.Engine, opts Options, universalOnly bool) detect.Config {
+func clouConfig(engine detect.Engine, opts Options, universalOnly bool, span *obsv.Span) detect.Config {
 	var cfg detect.Config
 	if engine == detect.PHT {
 		cfg = detect.DefaultPHT()
@@ -133,6 +141,8 @@ func clouConfig(engine detect.Engine, opts Options, universalOnly bool) detect.C
 	cfg.Timeout = opts.FuncTimeout
 	cfg.MaxQueries = opts.MaxQueries
 	cfg.Cache = analysisCache
+	cfg.Span = span
+	cfg.Metrics = opts.Metrics
 	if universalOnly {
 		cfg.Transmitters = []core.Class{core.UDT, core.UCT}
 	}
@@ -157,6 +167,8 @@ func (r *Row) addResult(res *detect.Result) {
 // ("pht", "stl", "fwd", "new").
 func RunLitmusSuite(suite string, opts Options) ([]Row, error) {
 	opts.defaults()
+	root := opts.Tracer.Start("litmus-" + suite)
+	defer root.End()
 	cases := litmus.Suites()[suite]
 	engines := []detect.Engine{detect.PHT}
 	if suite == "stl" {
@@ -168,13 +180,13 @@ func RunLitmusSuite(suite string, opts Options) ([]Row, error) {
 
 	// Clou jobs: engine-major over the suite's cases.
 	results := make([]*detect.Result, len(engines)*len(cases))
-	err := ForEach(opts.Parallelism, len(results), func(i int) error {
+	err := ForEachSpan(root, "clou", opts.Parallelism, len(results), func(i int, sp *obsv.Span) error {
 		e, c := engines[i/len(cases)], cases[i%len(cases)]
 		m, err := compileSrc(c.Source)
 		if err != nil {
 			return fmt.Errorf("%s: %w", c.Name, err)
 		}
-		r, err := detect.AnalyzeFunc(m, c.Fn, clouConfig(e, opts, false))
+		r, err := detect.AnalyzeFunc(m, c.Fn, clouConfig(e, opts, false, sp))
 		if err != nil {
 			return fmt.Errorf("%s: %w", c.Name, err)
 		}
@@ -195,7 +207,7 @@ func RunLitmusSuite(suite string, opts Options) ([]Row, error) {
 
 	// Baseline rows.
 	bres := make([]*baseline.Result, len(engines)*len(cases))
-	err = ForEach(opts.Parallelism, len(bres), func(i int) error {
+	err = ForEachSpan(root, "baseline", opts.Parallelism, len(bres), func(i int, _ *obsv.Span) error {
 		e, c := engines[i/len(cases)], cases[i%len(cases)]
 		cfg := baseline.Config{PHT: e != detect.STL, Timeout: opts.FuncTimeout}
 		m, err := compileSrc(c.Source)
@@ -233,15 +245,17 @@ func RunLitmusSuite(suite string, opts Options) ([]Row, error) {
 // analyzing each public function individually like §6.2.
 func RunLibrary(lib cryptolib.Library, opts Options) ([]Row, error) {
 	opts.defaults()
+	root := opts.Tracer.Start("library-" + lib.Name)
+	defer root.End()
 	m, err := compileSrc(lib.Source)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", lib.Name, err)
 	}
 	engines := []detect.Engine{detect.PHT, detect.STL}
 	results := make([]*detect.Result, len(engines)*len(lib.PublicFuncs))
-	err = ForEach(opts.Parallelism, len(results), func(i int) error {
+	err = ForEachSpan(root, "clou", opts.Parallelism, len(results), func(i int, sp *obsv.Span) error {
 		e, fn := engines[i/len(lib.PublicFuncs)], lib.PublicFuncs[i%len(lib.PublicFuncs)]
-		r, err := detect.AnalyzeFunc(m, fn, clouConfig(e, opts, opts.CryptoUniversalOnly))
+		r, err := detect.AnalyzeFunc(m, fn, clouConfig(e, opts, opts.CryptoUniversalOnly, sp))
 		if err != nil {
 			return fmt.Errorf("%s/%s: %w", lib.Name, fn, err)
 		}
@@ -275,6 +289,8 @@ type Fig8Point struct {
 // corpus, for both engines.
 func RunFig8(opts Options) ([]Fig8Point, error) {
 	opts.defaults()
+	root := opts.Tracer.Start("fig8")
+	defer root.End()
 	lib := cryptolib.Libsodium()
 	m, err := compileSrc(lib.Source)
 	if err != nil {
@@ -282,9 +298,9 @@ func RunFig8(opts Options) ([]Fig8Point, error) {
 	}
 	engines := []detect.Engine{detect.PHT, detect.STL}
 	pts := make([]Fig8Point, len(engines)*len(lib.PublicFuncs))
-	err = ForEach(opts.Parallelism, len(pts), func(i int) error {
+	err = ForEachSpan(root, "clou", opts.Parallelism, len(pts), func(i int, sp *obsv.Span) error {
 		e, fn := engines[i/len(lib.PublicFuncs)], lib.PublicFuncs[i%len(lib.PublicFuncs)]
-		r, err := detect.AnalyzeFunc(m, fn, clouConfig(e, opts, true))
+		r, err := detect.AnalyzeFunc(m, fn, clouConfig(e, opts, true, sp))
 		if err != nil {
 			return fmt.Errorf("%s: %w", fn, err)
 		}

@@ -2,6 +2,8 @@ package harness
 
 import (
 	"sync"
+
+	"lcm/internal/obsv"
 )
 
 // ForEach runs job(0), …, job(n-1) over at most workers goroutines. It is
@@ -49,4 +51,14 @@ func ForEach(workers, n int, job func(i int) error) error {
 		}
 	}
 	return nil
+}
+
+// ForEachSpan is ForEach under an observability span: the pool's wall
+// time is recorded as one child span of parent named name, and every job
+// receives that span to parent its own per-function spans under. With a
+// nil parent (tracing disabled) it degenerates to ForEach at no cost.
+func ForEachSpan(parent *obsv.Span, name string, workers, n int, job func(i int, sp *obsv.Span) error) error {
+	sp := parent.Start(name)
+	defer sp.End()
+	return ForEach(workers, n, func(i int) error { return job(i, sp) })
 }

@@ -12,6 +12,18 @@ func (c *fctx) condValue(e minic.Expr) (ir.Value, error) {
 	return c.rvalue(e)
 }
 
+// discard lowers an expression whose value is dropped (expression
+// statements, for-loop post). Unlike rvalue it permits calls to void
+// functions, whose results are typeless and must not reach a use site.
+func (c *fctx) discard(e minic.Expr) error {
+	if call, ok := e.(*minic.Call); ok {
+		_, err := c.call(call)
+		return err
+	}
+	_, err := c.rvalue(e)
+	return err
+}
+
 // decay converts a pointer-to-array value into a pointer to its first
 // element (C array decay).
 func (c *fctx) decay(v ir.Value) ir.Value {
@@ -231,7 +243,14 @@ func (c *fctx) rvalue(e minic.Expr) (ir.Value, error) {
 		pt := lv.Type().(ir.PtrType)
 		return c.emit(&ir.Instr{Op: ir.OpLoad, Ty: pt.Elem, Args: []ir.Value{lv}, Line: e.Line}), nil
 	case *minic.Call:
-		return c.call(e)
+		v, err := c.call(e)
+		if err != nil {
+			return nil, err
+		}
+		if v.Type() == nil {
+			return nil, errf(e.Line, "void value of call to %q used in expression", e.Fun)
+		}
+		return v, nil
 	case *minic.Cast:
 		ty, err := c.lw.typeOf(e.Type)
 		if err != nil {

@@ -1,0 +1,34 @@
+package lower
+
+import (
+	"testing"
+
+	"lcm/internal/minic"
+)
+
+// FuzzLower is the native fuzz target for the lowering pass: any file the
+// frontend accepts must lower without panicking. Returning an error is
+// fine — the lowerer rejects plenty of parsable-but-unsupported shapes —
+// but an index-out-of-range or nil deref on parser-approved input is a
+// bug. Run with `make fuzz` or `go test -fuzz=FuzzLower ./internal/lower`.
+func FuzzLower(f *testing.F) {
+	for _, seed := range []string{
+		"int f(void) { return 0; }",
+		"uint8_t t[256];\nint v1(long i, long n) { if (i < n) { return t[i] * 2; } return 0; }",
+		"struct P { int x; int y; };\nint dot(struct P *a, struct P *b) { return a->x * b->x + a->y * b->y; }",
+		"int sum(int *a, int n) { int s = 0; for (int i = 0; i < n; i++) { s += a[i]; } return s; }",
+		"int g;\nvoid w(int x) { g = x ? sizeof(long) : -x; }",
+		"static long mix(long a, long b) { return (a << 7) ^ (b >> 3) ^ (a & b); }",
+		"char buf[8];\nvoid cpy(char *src) { int i = 0; do { buf[i] = src[i]; i++; } while (src[i]); }",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := minic.Parse(src)
+		if err != nil {
+			return
+		}
+		// Must not panic; errors are expected for unsupported constructs.
+		_, _ = Module(file)
+	})
+}

@@ -295,8 +295,7 @@ func (c *fctx) stmt(s minic.Stmt) error {
 		}
 		return nil
 	case *minic.ExprStmt:
-		_, err := c.rvalue(s.X)
-		return err
+		return c.discard(s.X)
 	case *minic.IfStmt:
 		return c.ifStmt(s)
 	case *minic.WhileStmt:
@@ -468,7 +467,7 @@ func (c *fctx) forStmt(s *minic.ForStmt) error {
 	}
 	c.setBlock(postB)
 	if s.Post != nil {
-		if _, err := c.rvalue(s.Post); err != nil {
+		if err := c.discard(s.Post); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,44 @@
+package minic
+
+import "testing"
+
+// FuzzMinicParse is the native fuzz target for the frontend. It checks
+// two properties on arbitrary byte strings:
+//
+//  1. Parse never panics (errors are fine — most inputs are garbage);
+//  2. for inputs that do parse, the printer round-trips: Print output
+//     re-parses, and a second print is byte-identical to the first
+//     (print idempotence — the normalized form is a fixed point).
+//
+// Run with `make fuzz` or `go test -fuzz=FuzzMinicParse ./internal/minic`.
+func FuzzMinicParse(f *testing.F) {
+	for _, seed := range []string{
+		"int f(void) { return 0; }",
+		"uint64_t x = 0x10;\nstatic int a[4] = {1, 2, 3, 4};",
+		"struct S { int x; int *p; };\nint g(struct S *s) { return s->x + (*s).x; }",
+		"typedef unsigned long word; word w(word a, word b) { return a ^ (b << 3); }",
+		"void v1(int i) { if (i < 16) { a[i]++; } else { while (i--) { i /= 2; } } }",
+		"int loop(int n) { int s = 0; for (int i = 0; i < n; i++) { s += i; } return s; }",
+		"int c(int x) { return (x > 0) ? sizeof(int) : sizeof(x); }",
+		"enum { A, B = 5, C };\nint e(void) { do { B += A; } while (C); return B; }",
+		"char msg[] = \"hi\";\nint cast(long l) { return (int)(char)l; }",
+		"int deep(int x) { return -~!*&x; }",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := Parse(src)
+		if err != nil {
+			return
+		}
+		p1 := Print(file)
+		file2, err := Parse(p1)
+		if err != nil {
+			t.Fatalf("printed output does not re-parse: %v\ninput:\n%s\nprinted:\n%s", err, src, p1)
+		}
+		p2 := Print(file2)
+		if p2 != p1 {
+			t.Fatalf("print not idempotent\nfirst:\n%s\nsecond:\n%s", p1, p2)
+		}
+	})
+}

@@ -165,7 +165,7 @@ func Lex(src string) ([]Token, error) {
 			advance(1)
 			start := i
 			for i < len(src) && src[i] != '"' {
-				if src[i] == '\\' {
+				if src[i] == '\\' && i+1 < len(src) {
 					advance(1)
 				}
 				advance(1)
@@ -185,6 +185,9 @@ func Lex(src string) ([]Token, error) {
 			var v uint64
 			if src[i] == '\\' {
 				advance(1)
+				if i >= len(src) {
+					return nil, &LexError{startLine, startCol, "unterminated char"}
+				}
 				switch src[i] {
 				case 'n':
 					v = '\n'

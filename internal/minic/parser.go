@@ -17,10 +17,26 @@ func (e *ParseError) Error() string {
 type parser struct {
 	toks     []Token
 	pos      int
+	depth    int
 	typedefs map[string]TypeExpr
 	structs  map[string]bool
 	file     *File
 }
+
+// maxParseDepth bounds recursive-descent depth (nested statements,
+// parenthesized and unary expressions) so hostile inputs fail with a
+// ParseError instead of exhausting the goroutine stack.
+const maxParseDepth = 1000
+
+func (p *parser) enter() error {
+	p.depth++
+	if p.depth > maxParseDepth {
+		return p.errf("nesting too deep (limit %d)", maxParseDepth)
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }
 
 // builtinTypedefs are the stdint/stddef names the corpus uses.
 var builtinTypedefs = map[string]TypeExpr{
@@ -507,10 +523,12 @@ func (p *parser) parseFuncRest(static bool, ret TypeExpr, name string) error {
 			}
 			for p.accept("[") {
 				// array parameter decays to pointer
-				for !p.peek("]") {
+				for !p.peek("]") && p.cur().Kind != TEOF {
 					p.next()
 				}
-				p.expect("]")
+				if err := p.expect("]"); err != nil {
+					return err
+				}
 				pty.Ptr++
 			}
 			fd.Params = append(fd.Params, &VarDecl{Name: pname, Type: pty})
@@ -568,6 +586,10 @@ func blockOf(s Stmt) *Block {
 }
 
 func (p *parser) parseStmt() (Stmt, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	t := p.cur()
 	switch {
 	case p.peek("{"):
@@ -858,6 +880,10 @@ func (p *parser) parseBinExpr(level int) (Expr, error) {
 }
 
 func (p *parser) parseUnary() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	t := p.cur()
 	if t.Kind == TPunct {
 		switch t.Text {
@@ -924,7 +950,12 @@ func (p *parser) parseUnary() (Expr, error) {
 	return p.parsePostfix()
 }
 
-// parseCastType parses a type inside a cast: base + stars (no declarator).
+// parseCastType parses a type inside a cast or sizeof: base + stars +
+// optional constant array dimensions. Array dimensions are accepted here
+// (unlike C's abstract-declarator syntax) so that typedef-resolved array
+// types round-trip through the printer: `typedef int arr[4]; sizeof(arr)`
+// parses to a type with dimensions, which Print renders as
+// `sizeof(int[4])`.
 func (p *parser) parseCastType() (TypeExpr, error) {
 	base, err := p.parseTypeBase()
 	if err != nil {
@@ -932,6 +963,24 @@ func (p *parser) parseCastType() (TypeExpr, error) {
 	}
 	for p.accept("*") {
 		base.Ptr++
+	}
+	for p.accept("[") {
+		if p.accept("]") {
+			base.ArrayDims = append(base.ArrayDims, 0)
+			continue
+		}
+		dimExpr, err := p.parseCondExpr()
+		if err != nil {
+			return base, err
+		}
+		dim, ok := EvalConst(dimExpr)
+		if !ok {
+			return base, p.errf("array dimension must be a constant expression")
+		}
+		base.ArrayDims = append(base.ArrayDims, dim)
+		if err := p.expect("]"); err != nil {
+			return base, err
+		}
 	}
 	return base, nil
 }

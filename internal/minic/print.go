@@ -1,0 +1,369 @@
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders a parsed file back to mini-C source. Its contract, checked
+// by FuzzMinicParse, is a round-trip property rather than source fidelity:
+// for any file f produced by Parse, Parse(Print(f)) must succeed, and
+// printing must be idempotent — Print(Parse(Print(f))) == Print(f).
+//
+// The printed form is normalized, not source-faithful:
+//
+//   - typedef declarations are not emitted: the parser resolves typedef
+//     uses at parse time, so every printed type is already in base form;
+//   - every compound expression is fully parenthesized, which erases the
+//     original precedence spelling but makes re-parsing unambiguous;
+//   - declaration groups print one declarator per line, and for-loop
+//     declarations are hoisted into an enclosing block;
+//   - array parameters appear in their decayed pointer form (the parser
+//     performs the decay, so the array spelling is unrecoverable).
+//
+// Two parser quirks need escape hatches. Statements and sizeof operands
+// beginning with a builtin typedef name (`uint8_t`…) would re-parse as
+// declarations or types, so the printer prefixes them with unary `+`,
+// which the parser discards. And cast types may carry array dimensions
+// after typedef resolution, which parseCastType accepts back.
+func Print(f *File) string {
+	var p printer
+	for _, sd := range f.Structs {
+		p.structDecl(sd)
+	}
+	for _, g := range f.Globals {
+		p.varDecl(g)
+	}
+	for _, fd := range f.Funcs {
+		p.funcDecl(fd)
+	}
+	return p.b.String()
+}
+
+type printer struct {
+	b      strings.Builder
+	indent int
+}
+
+func (p *printer) pad() {
+	for i := 0; i < p.indent; i++ {
+		p.b.WriteByte('\t')
+	}
+}
+
+func (p *printer) lnf(format string, args ...interface{}) {
+	p.pad()
+	fmt.Fprintf(&p.b, format, args...)
+	p.b.WriteByte('\n')
+}
+
+// typeBase renders the scalar part of a type: base keyword or struct
+// reference, with the unsigned qualifier.
+func typeBase(t TypeExpr) string {
+	s := t.Base
+	if t.Base == "struct" {
+		s = "struct " + t.StructName
+	}
+	if t.Unsigned {
+		s = "unsigned " + s
+	}
+	return s
+}
+
+// declarator renders stars + name + array dimensions, the part of a
+// declaration that follows the base type.
+func declarator(t TypeExpr, name string) string {
+	s := strings.Repeat("*", t.Ptr) + name
+	for _, d := range t.ArrayDims {
+		if d == 0 {
+			s += "[]"
+		} else {
+			s += fmt.Sprintf("[%d]", d)
+		}
+	}
+	return s
+}
+
+// castType renders a type for cast/sizeof position: base, stars, dims in
+// the flat order parseCastType accepts.
+func castType(t TypeExpr) string {
+	s := typeBase(t) + strings.Repeat("*", t.Ptr)
+	for _, d := range t.ArrayDims {
+		if d == 0 {
+			s += "[]"
+		} else {
+			s += fmt.Sprintf("[%d]", d)
+		}
+	}
+	return s
+}
+
+func (p *printer) structDecl(sd *StructDecl) {
+	name := ""
+	if sd.Name != "" {
+		name = sd.Name + " "
+	}
+	p.lnf("struct %s{", name)
+	p.indent++
+	for _, f := range sd.Fields {
+		p.lnf("%s %s;", typeBase(f.Type), declarator(f.Type, f.Name))
+	}
+	p.indent--
+	p.lnf("};")
+}
+
+func (p *printer) varDecl(v *VarDecl) {
+	var prefix string
+	if v.Static {
+		prefix = "static "
+	}
+	if v.Register {
+		prefix += "register "
+	}
+	s := prefix + typeBase(v.Type) + " " + declarator(v.Type, v.Name)
+	switch {
+	case v.Init != nil:
+		s += " = " + atom(v.Init)
+	case len(v.InitList) > 0:
+		elems := make([]string, len(v.InitList))
+		for i, e := range v.InitList {
+			elems[i] = atom(e)
+		}
+		s += " = {" + strings.Join(elems, ", ") + "}"
+	}
+	p.lnf("%s;", s)
+}
+
+// param renders one parameter in decayed form: written array dimensions
+// become pointer stars at parse time, and typedef-carried dimensions
+// cannot be spelled in parameter position, so both print as stars.
+func param(v *VarDecl) string {
+	stars := strings.Repeat("*", v.Type.Ptr+len(v.Type.ArrayDims))
+	s := typeBase(TypeExpr{Base: v.Type.Base, StructName: v.Type.StructName, Unsigned: v.Type.Unsigned})
+	if stars != "" || v.Name != "" {
+		s += " " + stars + v.Name
+	}
+	return s
+}
+
+func (p *printer) funcDecl(fd *FuncDecl) {
+	var prefix string
+	if fd.Static {
+		prefix = "static "
+	}
+	var params []string
+	for _, v := range fd.Params {
+		params = append(params, param(v))
+	}
+	if fd.Variadic {
+		params = append(params, "...")
+	}
+	plist := strings.Join(params, ", ")
+	if plist == "" {
+		plist = "void"
+	}
+	head := fmt.Sprintf("%s%s %s(%s)", prefix, typeBase(fd.Ret), declarator(fd.Ret, fd.Name), plist)
+	if fd.Body == nil {
+		p.lnf("%s;", head)
+		return
+	}
+	p.lnf("%s {", head)
+	p.indent++
+	p.stmts(fd.Body)
+	p.indent--
+	p.lnf("}")
+}
+
+func (p *printer) stmts(b *Block) {
+	for _, s := range b.Stmts {
+		p.stmt(s)
+	}
+}
+
+func (p *printer) block(b *Block) {
+	p.lnf("{")
+	p.indent++
+	p.stmts(b)
+	p.indent--
+	p.lnf("}")
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *Block:
+		p.block(s)
+	case *DeclStmt:
+		for _, v := range s.Decls {
+			p.varDecl(v)
+		}
+	case *ExprStmt:
+		p.lnf("%s;", stmtExpr(s.X))
+	case *IfStmt:
+		p.lnf("if (%s) {", atom(s.Cond))
+		p.indent++
+		p.stmts(s.Then)
+		p.indent--
+		if s.Else == nil {
+			p.lnf("}")
+			return
+		}
+		p.lnf("} else {")
+		p.indent++
+		p.stmts(s.Else)
+		p.indent--
+		p.lnf("}")
+	case *WhileStmt:
+		if s.PostCheck {
+			p.lnf("do {")
+			p.indent++
+			p.stmts(s.Body)
+			p.indent--
+			p.lnf("} while (%s);", atom(s.Cond))
+			return
+		}
+		p.lnf("while (%s) {", atom(s.Cond))
+		p.indent++
+		p.stmts(s.Body)
+		p.indent--
+		p.lnf("}")
+	case *ForStmt:
+		if ds, ok := s.Init.(*DeclStmt); ok {
+			// A declaration in for-init cannot be reprinted inline (the
+			// group may mix derivations); hoist it into a wrapper block,
+			// which the re-parse preserves as Block{decls, for}.
+			p.lnf("{")
+			p.indent++
+			p.stmt(ds)
+			p.forHeader(s, "")
+			p.indent--
+			p.lnf("}")
+			return
+		}
+		init := ""
+		if es, ok := s.Init.(*ExprStmt); ok {
+			init = stmtExpr(es.X)
+		}
+		p.forHeader(s, init)
+	case *ReturnStmt:
+		if s.X == nil {
+			p.lnf("return;")
+			return
+		}
+		p.lnf("return %s;", atom(s.X))
+	case *BreakStmt:
+		p.lnf("break;")
+	case *ContinueStmt:
+		p.lnf("continue;")
+	}
+}
+
+func (p *printer) forHeader(s *ForStmt, init string) {
+	cond, post := "", ""
+	if s.Cond != nil {
+		cond = " " + atom(s.Cond)
+	}
+	if s.Post != nil {
+		post = " " + atom(s.Post)
+	}
+	p.lnf("for (%s;%s;%s) {", init, cond, post)
+	p.indent++
+	p.stmts(s.Body)
+	p.indent--
+	p.lnf("}")
+}
+
+// stmtExpr renders an expression for statement-start position. A bare
+// printed form that begins with a builtin typedef name would re-parse as
+// a declaration, so such expressions get a leading unary `+`, which the
+// parser discards without an AST trace.
+func stmtExpr(e Expr) string {
+	s := atom(e)
+	if leadingTypedefIdent(e) {
+		s = "+" + s
+	}
+	return s
+}
+
+// leadingTypedefIdent reports whether the bare printed form of e starts
+// with an identifier that names a builtin typedef (the only typedefs in
+// scope when printed output is re-parsed — user typedefs are resolved
+// away and not re-emitted).
+func leadingTypedefIdent(e Expr) bool {
+	for {
+		switch x := e.(type) {
+		case *Ident:
+			_, ok := builtinTypedefs[x.Name]
+			return ok
+		case *Call:
+			_, ok := builtinTypedefs[x.Fun]
+			return ok
+		case *Index:
+			e = x.L
+		case *Member:
+			e = x.X
+		case *Unary:
+			if !x.Post {
+				return false
+			}
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// atom renders an expression as a self-delimiting operand: primaries and
+// postfix chains print bare (they bind tightest), everything else prints
+// inside parentheses. Identifiers and literals are never parenthesized,
+// because `(uint8_t)` followed by an expression would re-parse as a cast.
+func atom(e Expr) string {
+	switch e := e.(type) {
+	case *NumLit:
+		return fmt.Sprintf("%d", e.Val)
+	case *Ident:
+		return e.Name
+	case *Index:
+		return postfixOperand(e.L) + "[" + atom(e.R) + "]"
+	case *Call:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = atom(a)
+		}
+		return e.Fun + "(" + strings.Join(args, ", ") + ")"
+	case *Member:
+		sep := "."
+		if e.Arrow {
+			sep = "->"
+		}
+		return postfixOperand(e.X) + sep + e.Field
+	case *Unary:
+		if e.Post {
+			return postfixOperand(e.X) + e.Op
+		}
+		if e.Op == "sizeof" {
+			// sizeof over an expression: the operand gets a leading `+`
+			// so that e.g. sizeof((uint8_t)) cannot re-parse as
+			// sizeof(type).
+			return "sizeof(+" + atom(e.X) + ")"
+		}
+		return "(" + e.Op + atom(e.X) + ")"
+	case *Binary:
+		return "(" + atom(e.L) + " " + e.Op + " " + atom(e.R) + ")"
+	case *Assign:
+		return "(" + atom(e.L) + " " + e.Op + "= " + atom(e.R) + ")"
+	case *Cast:
+		return "((" + castType(e.Type) + ")" + atom(e.X) + ")"
+	case *SizeofExpr:
+		return "sizeof(" + castType(e.Type) + ")"
+	case *Cond:
+		return "(" + atom(e.C) + " ? " + atom(e.A) + " : " + atom(e.B) + ")"
+	}
+	return "0"
+}
+
+// postfixOperand renders the operand of a postfix operation ([], ., ->,
+// x++). Postfix and primary forms chain bare; atom already parenthesizes
+// every other shape.
+func postfixOperand(e Expr) string {
+	return atom(e)
+}

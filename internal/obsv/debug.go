@@ -1,0 +1,32 @@
+package obsv
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux
+	"sync"
+)
+
+// publishOnce guards expvar registration: expvar.Publish panics on
+// duplicate names, and tests may start several debug servers.
+var publishOnce sync.Once
+
+// ServeDebug starts an HTTP server on addr exposing the stdlib debug
+// surface — expvar at /debug/vars and pprof at /debug/pprof/ — plus the
+// given registry's snapshot under the "obsv" expvar. It returns the
+// bound address (useful with ":0") without blocking; the server runs
+// until the process exits.
+func ServeDebug(addr string, reg *Registry) (string, error) {
+	publishOnce.Do(func() {
+		expvar.Publish("obsv", expvar.Func(func() any {
+			return reg.Snapshot()
+		}))
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go http.Serve(ln, nil)
+	return ln.Addr().String(), nil
+}

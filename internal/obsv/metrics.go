@@ -1,0 +1,207 @@
+package obsv
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry is a typed metrics registry. Metric handles are interned by
+// name, so hot paths can either hold a handle or look it up per event;
+// all mutation is atomic and goroutine-safe. A nil *Registry is the
+// disabled registry: every lookup returns nil, and nil handles accept
+// every method as a no-op.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an enabled, empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter is a monotonically increasing int64.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter. Nil-safe.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable int64 level.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the gauge value. Nil-safe.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Value returns the current level (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram accumulates duration observations: count, sum, min, max.
+// Latency distributions in this pipeline are consumed as aggregates, so
+// no bucketing is kept.
+type Histogram struct {
+	mu       sync.Mutex
+	count    int64
+	sum      time.Duration
+	min, max time.Duration
+}
+
+// Observe records one duration. Nil-safe.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	if h.count == 0 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.count++
+	h.sum += d
+	h.mu.Unlock()
+}
+
+// Counter interns the named counter (nil on a nil registry).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge interns the named gauge (nil on a nil registry).
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram interns the named histogram (nil on a nil registry).
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// HistStat is one histogram's aggregate in a snapshot. The ns-valued
+// fields are volatile (timing) and zeroed by Report.Normalize; Count is
+// deterministic for a deterministic workload.
+type HistStat struct {
+	Count int64 `json:"count"`
+	SumNs int64 `json:"sum_ns"`
+	MinNs int64 `json:"min_ns"`
+	MaxNs int64 `json:"max_ns"`
+}
+
+// SnapshotData is a point-in-time copy of a registry. Map keys are
+// emitted sorted by encoding/json, so its serialized form is stable.
+type SnapshotData struct {
+	Counters   map[string]int64    `json:"counters,omitempty"`
+	Gauges     map[string]int64    `json:"gauges,omitempty"`
+	Histograms map[string]HistStat `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the registry's current values. A nil registry yields
+// the empty snapshot.
+func (r *Registry) Snapshot() SnapshotData {
+	var s SnapshotData
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistStat, len(r.hists))
+		for name, h := range r.hists {
+			h.mu.Lock()
+			s.Histograms[name] = HistStat{
+				Count: h.count,
+				SumNs: h.sum.Nanoseconds(),
+				MinNs: h.min.Nanoseconds(),
+				MaxNs: h.max.Nanoseconds(),
+			}
+			h.mu.Unlock()
+		}
+	}
+	return s
+}
+
+// CounterNames returns the registered counter names, sorted.
+func (r *Registry) CounterNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

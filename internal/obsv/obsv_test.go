@@ -1,0 +1,203 @@
+package obsv
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanHierarchy(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("run")
+	a := root.Start("frontend")
+	time.Sleep(time.Millisecond)
+	a.End()
+	b := root.Start("solve")
+	b.End()
+	root.End()
+
+	roots := tr.Roots()
+	if len(roots) != 1 || roots[0].Name() != "run" {
+		t.Fatalf("roots = %v", roots)
+	}
+	kids := roots[0].Children()
+	if len(kids) != 2 || kids[0].Name() != "frontend" || kids[1].Name() != "solve" {
+		t.Fatalf("children = %v", kids)
+	}
+	if root.Wall() <= 0 || a.Wall() <= 0 {
+		t.Fatalf("wall durations not recorded: root=%v a=%v", root.Wall(), a.Wall())
+	}
+	if root.Wall() < a.Wall() {
+		t.Fatalf("root wall %v < child wall %v", root.Wall(), a.Wall())
+	}
+	if self := root.Self(); self > root.Wall() {
+		t.Fatalf("self %v exceeds wall %v", self, root.Wall())
+	}
+}
+
+func TestSpanConcurrentChildren(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("run")
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := root.Start(fmt.Sprintf("job%d", i))
+			s.End()
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+	if got := len(root.Children()); got != 32 {
+		t.Fatalf("children = %d, want 32", got)
+	}
+}
+
+// TestDisabledZeroAlloc pins the disabled-tracer contract: starting and
+// ending spans, and bumping metrics, through nil handles allocates
+// nothing.
+func TestDisabledZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	var reg *Registry
+	allocs := testing.AllocsPerRun(1000, func() {
+		s := tr.Start("run")
+		c := s.Start("stage")
+		c.End()
+		s.End()
+		reg.Counter("x").Add(1)
+		reg.Histogram("y").Observe(time.Second)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled path allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestRegistryCountersConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				reg.Counter("hits").Add(1)
+				reg.Gauge("level").Set(int64(j))
+				reg.Histogram("lat").Observe(time.Duration(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("hits").Value(); got != 8000 {
+		t.Fatalf("hits = %d, want 8000", got)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["hits"] != 8000 {
+		t.Fatalf("snapshot hits = %d", snap.Counters["hits"])
+	}
+	if snap.Histograms["lat"].Count != 8000 {
+		t.Fatalf("snapshot lat count = %d", snap.Histograms["lat"].Count)
+	}
+}
+
+// TestSnapshotJSONStable pins that serialized snapshots are key-sorted
+// regardless of insertion order.
+func TestSnapshotJSONStable(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("z.last").Add(3)
+	reg.Counter("a.first").Add(1)
+	reg.Counter("m.mid").Add(2)
+	data, err := json.Marshal(reg.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if !(strings.Index(s, "a.first") < strings.Index(s, "m.mid") &&
+		strings.Index(s, "m.mid") < strings.Index(s, "z.last")) {
+		t.Fatalf("counter keys not sorted in %s", s)
+	}
+	if names := reg.CounterNames(); len(names) != 3 || names[0] != "a.first" {
+		t.Fatalf("CounterNames = %v", names)
+	}
+}
+
+func TestReportNormalize(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("run")
+	root.Start("b-child").End()
+	root.Start("a-child").End()
+	root.End()
+
+	reg := NewRegistry()
+	reg.Histogram("detect.func_ns").Observe(5 * time.Millisecond)
+
+	r := Report{
+		Tool: "clou", Version: Version, Workers: 4,
+		WallNs: 123456,
+		Functions: []FuncReport{{
+			Name: "f", Verdict: "leak", DurationNs: 99,
+			FrontendNs: 1, EncodeNs: 2, SolveNs: 3,
+		}},
+		Metrics: reg.Snapshot(),
+		Spans:   SpanTree(tr),
+	}
+	r.Normalize()
+	if r.WallNs != 0 || r.Functions[0].DurationNs != 0 || r.Functions[0].SolveNs != 0 {
+		t.Fatalf("timing fields survived Normalize: %+v", r)
+	}
+	h := r.Metrics.Histograms["detect.func_ns"]
+	if h.SumNs != 0 || h.MinNs != 0 || h.MaxNs != 0 {
+		t.Fatalf("histogram ns fields survived: %+v", h)
+	}
+	if h.Count != 1 {
+		t.Fatalf("histogram count zeroed: %+v", h)
+	}
+	kids := r.Spans[0].Children
+	if kids[0].Name != "a-child" || kids[1].Name != "b-child" {
+		t.Fatalf("span children not sorted by name: %v", kids)
+	}
+	if kids[0].WallNs != 0 {
+		t.Fatalf("span wall survived Normalize")
+	}
+
+	// Normalized reports of the same shape serialize identically.
+	var b1, b2 bytes.Buffer
+	if err := r.WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("normalized report not byte-stable")
+	}
+}
+
+func TestServeDebug(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("probe.hits").Add(7)
+	addr, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{"/debug/vars", "/debug/pprof/"} {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if path == "/debug/vars" && !strings.Contains(string(body), "probe.hits") {
+			t.Fatalf("expvar output missing registry snapshot: %s", body)
+		}
+	}
+}

@@ -38,6 +38,9 @@ func Repair(m *ir.Module, fn string, cfg detect.Config, maxRounds int) (Result, 
 // on cfg is dropped — cached front ends would describe the pre-fence IR.
 func RepairCtx(ctx context.Context, m *ir.Module, fn string, cfg detect.Config, maxRounds int) (Result, error) {
 	cfg.Cache = nil
+	parent := cfg.Span
+	repairSpan := parent.Start("repair:" + fn)
+	defer repairSpan.End()
 	if maxRounds == 0 {
 		maxRounds = 8
 	}
@@ -46,18 +49,25 @@ func RepairCtx(ctx context.Context, m *ir.Module, fn string, cfg detect.Config, 
 		if err := ctx.Err(); err != nil {
 			return Result{Fences: total, Rounds: round}, err
 		}
+		roundSpan := repairSpan.Start(fmt.Sprintf("round-%d", round))
+		cfg.Span = roundSpan
 		res, err := detect.AnalyzeFuncCtx(ctx, m, fn, cfg)
 		if err != nil {
+			roundSpan.End()
 			return Result{Fences: total, Rounds: round}, err
 		}
 		if len(res.Findings) == 0 {
+			roundSpan.End()
+			cfg.Metrics.Counter("repair.rounds").Add(int64(round))
 			return Result{Fences: total, Rounds: round}, nil
 		}
 		points, err := minimalFences(res)
 		if err != nil {
+			roundSpan.End()
 			return Result{Fences: total, Rounds: round, Remaining: len(res.Findings)}, err
 		}
 		if len(points) == 0 {
+			roundSpan.End()
 			return Result{Fences: total, Rounds: round, Remaining: len(res.Findings)},
 				fmt.Errorf("repair: no fence position can cut remaining leakage")
 		}
@@ -65,7 +75,10 @@ func RepairCtx(ctx context.Context, m *ir.Module, fn string, cfg detect.Config, 
 			insertFenceBefore(m, p)
 			total++
 		}
+		cfg.Metrics.Counter("repair.fences").Add(int64(len(points)))
+		roundSpan.End()
 	}
+	cfg.Span = repairSpan
 	res, err := detect.AnalyzeFuncCtx(ctx, m, fn, cfg)
 	if err != nil {
 		return Result{Fences: total, Rounds: maxRounds}, err

@@ -1,0 +1,278 @@
+package sat
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// This file is the differential oracle for the CDCL solver: a naive DPLL
+// reference solver (unit propagation + chronological backtracking, no
+// learning, no heuristics — simple enough to audit by eye) is run against
+// sat.Solver on ~1k seeded random CNF instances around the 3-SAT phase
+// transition. Verdicts must agree exactly; Sat verdicts must additionally
+// come with a model that satisfies every clause.
+
+// refSolve decides satisfiability of the clause set by DPLL. Variables
+// are 1..nVars; assignment values are 0 (unset), 1 (true), -1 (false).
+func refSolve(nVars int, clauses [][]Lit) bool {
+	assign := make([]int8, nVars+1)
+	return refDPLL(assign, clauses)
+}
+
+func refDPLL(assign []int8, clauses [][]Lit) bool {
+	// Unit propagation to fixpoint.
+	trail := []int{}
+	for {
+		unitFound := false
+		for _, c := range clauses {
+			sat := false
+			unassigned := 0
+			var unit Lit
+			for _, l := range c {
+				switch val(assign, l) {
+				case 1:
+					sat = true
+				case 0:
+					unassigned++
+					unit = l
+				}
+				if sat {
+					break
+				}
+			}
+			if sat {
+				continue
+			}
+			if unassigned == 0 {
+				// Conflict: undo propagation before returning.
+				for _, v := range trail {
+					assign[v] = 0
+				}
+				return false
+			}
+			if unassigned == 1 {
+				set(assign, unit)
+				trail = append(trail, unit.Var())
+				unitFound = true
+			}
+		}
+		if !unitFound {
+			break
+		}
+	}
+
+	// Pick the first unassigned variable and branch.
+	branch := 0
+	for v := 1; v < len(assign); v++ {
+		if assign[v] == 0 {
+			branch = v
+			break
+		}
+	}
+	if branch == 0 {
+		// Complete assignment with no conflict: satisfiable.
+		for _, v := range trail {
+			assign[v] = 0
+		}
+		return true
+	}
+	for _, sign := range []int8{1, -1} {
+		assign[branch] = sign
+		if refDPLL(assign, clauses) {
+			assign[branch] = 0
+			for _, v := range trail {
+				assign[v] = 0
+			}
+			return true
+		}
+	}
+	assign[branch] = 0
+	for _, v := range trail {
+		assign[v] = 0
+	}
+	return false
+}
+
+func val(assign []int8, l Lit) int8 {
+	a := assign[l.Var()]
+	if a == 0 {
+		return 0
+	}
+	if (a == 1) == l.Sign() {
+		return 1
+	}
+	return -1
+}
+
+func set(assign []int8, l Lit) {
+	if l.Sign() {
+		assign[l.Var()] = 1
+	} else {
+		assign[l.Var()] = -1
+	}
+}
+
+// randomCNF generates a random k-CNF instance. Clause lengths vary in
+// [1, 3] with a bias toward 3, so unit clauses and binary clauses (the
+// propagation-heavy shapes) are exercised too.
+func randomCNF(rng *rand.Rand, nVars, nClauses int) [][]Lit {
+	clauses := make([][]Lit, nClauses)
+	for i := range clauses {
+		length := 3
+		switch rng.Intn(10) {
+		case 0:
+			length = 1
+		case 1, 2:
+			length = 2
+		}
+		c := make([]Lit, 0, length)
+		for len(c) < length {
+			v := 1 + rng.Intn(nVars)
+			l := Lit(v)
+			if rng.Intn(2) == 0 {
+				l = -l
+			}
+			dup := false
+			for _, e := range c {
+				if e.Var() == v {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				c = append(c, l)
+			}
+		}
+		clauses[i] = c
+	}
+	return clauses
+}
+
+// checkModel verifies the solver's model satisfies every clause.
+func checkModel(t *testing.T, s *Solver, clauses [][]Lit, tag string) {
+	t.Helper()
+	for ci, c := range clauses {
+		ok := false
+		for _, l := range c {
+			if s.Value(l.Var()) == l.Sign() {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("%s: model violates clause %d: %v", tag, ci, c)
+		}
+	}
+}
+
+// TestDifferentialRandomCNF cross-checks sat.Solver against the DPLL
+// reference on seeded random instances spanning the under- and
+// over-constrained regimes (clause/variable ratios 2..6 around the ~4.27
+// 3-SAT phase transition).
+func TestDifferentialRandomCNF(t *testing.T) {
+	const instances = 1000
+	rng := rand.New(rand.NewSource(20260806))
+	for i := 0; i < instances; i++ {
+		nVars := 3 + rng.Intn(10)             // 3..12
+		ratio := 2 + rng.Intn(5)              // 2..6
+		nClauses := nVars*ratio + rng.Intn(4) // jitter off the grid
+		clauses := randomCNF(rng, nVars, nClauses)
+
+		s := New()
+		for v := 0; v < nVars; v++ {
+			s.NewVar()
+		}
+		top := true // false once AddClause detected top-level unsat
+		for _, c := range clauses {
+			if !s.AddClause(c...) {
+				top = false
+				break
+			}
+		}
+		want := refSolve(nVars, clauses)
+		tag := fmt.Sprintf("instance %d (vars=%d clauses=%d)", i, nVars, nClauses)
+		if !top {
+			if want {
+				t.Fatalf("%s: AddClause says unsat, reference says sat", tag)
+			}
+			continue
+		}
+		got := s.Solve()
+		if got == Unknown {
+			t.Fatalf("%s: unexpected Unknown", tag)
+		}
+		if (got == Sat) != want {
+			t.Fatalf("%s: solver=%v reference=%v", tag, got, want)
+		}
+		if got == Sat {
+			checkModel(t, s, clauses, tag)
+		}
+	}
+}
+
+// TestDifferentialAssumptions cross-checks Solve under assumption
+// literals: the verdict must match the reference run on clauses plus the
+// assumptions as unit clauses, and the incremental solver must stay
+// reusable (a second call without assumptions matches the plain verdict).
+func TestDifferentialAssumptions(t *testing.T) {
+	const instances = 300
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < instances; i++ {
+		nVars := 4 + rng.Intn(8)
+		nClauses := nVars * (2 + rng.Intn(3))
+		clauses := randomCNF(rng, nVars, nClauses)
+
+		s := New()
+		for v := 0; v < nVars; v++ {
+			s.NewVar()
+		}
+		top := true
+		for _, c := range clauses {
+			if !s.AddClause(c...) {
+				top = false
+				break
+			}
+		}
+		if !top {
+			continue // covered by the plain differential test
+		}
+
+		nAssume := 1 + rng.Intn(3)
+		seen := map[int]bool{}
+		var assumptions []Lit
+		for len(assumptions) < nAssume {
+			v := 1 + rng.Intn(nVars)
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			l := Lit(v)
+			if rng.Intn(2) == 0 {
+				l = -l
+			}
+			assumptions = append(assumptions, l)
+		}
+
+		withUnits := append([][]Lit{}, clauses...)
+		for _, a := range assumptions {
+			withUnits = append(withUnits, []Lit{a})
+		}
+		want := refSolve(nVars, withUnits)
+		tag := fmt.Sprintf("instance %d assumptions=%v", i, assumptions)
+		got := s.Solve(assumptions...)
+		if (got == Sat) != want {
+			t.Fatalf("%s: solver=%v reference=%v", tag, got, want)
+		}
+		if got == Sat {
+			checkModel(t, s, withUnits, tag)
+		}
+
+		// The solver must remain usable after an assumption query.
+		plainWant := refSolve(nVars, clauses)
+		plainGot := s.Solve()
+		if (plainGot == Sat) != plainWant {
+			t.Fatalf("%s: post-assumption solve=%v reference=%v", tag, plainGot, plainWant)
+		}
+	}
+}

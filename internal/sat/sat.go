@@ -98,6 +98,7 @@ type Solver struct {
 	conflicts    int64
 	propagations int64
 	decisions    int64
+	restarts     int64
 
 	// assumption handling
 	assumptions []Lit
@@ -148,6 +149,12 @@ func (s *Solver) NumClauses() int { return len(s.clauses) }
 // Stats returns (decisions, propagations, conflicts).
 func (s *Solver) Stats() (int64, int64, int64) {
 	return s.decisions, s.propagations, s.conflicts
+}
+
+// Counters returns the full search-effort counter set — decisions,
+// propagations, conflicts, and restarts — for metrics snapshots.
+func (s *Solver) Counters() (decisions, propagations, conflicts, restarts int64) {
+	return s.decisions, s.propagations, s.conflicts, s.restarts
 }
 
 var errBadLit = errors.New("sat: literal references unallocated variable")
@@ -609,6 +616,7 @@ func (s *Solver) SolveCtx(ctx context.Context, assumptions ...Lit) Status {
 
 		if conflictsThisRestart >= conflictBudget {
 			restart++
+			s.restarts++
 			conflictBudget = 100 * luby(restart)
 			conflictsThisRestart = 0
 			s.cancelUntil(0)

@@ -302,6 +302,12 @@ func (s *Solver) MemoStats() (hits, lookups int64) {
 	return s.memoHits, s.memoLookups
 }
 
+// SatStats returns the underlying CDCL solver's search-effort counters
+// (decisions, propagations, conflicts, restarts).
+func (s *Solver) SatStats() (decisions, propagations, conflicts, restarts int64) {
+	return s.sat.Counters()
+}
+
 // canonKey renders a canonical byte key for an assumption literal set.
 func canonKey(lits []sat.Lit) string {
 	sorted := append([]sat.Lit(nil), lits...)
