@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-core check vet fmt bench bench-all fuzz
+.PHONY: all build test race race-core check vet fmt bench bench-all fuzz conform cover
 
 all: build test
 
@@ -39,6 +39,27 @@ check: vet fmt race-core
 fuzz:
 	$(GO) test -fuzz=FuzzMinicParse -fuzztime=10s ./internal/minic
 	$(GO) test -fuzz=FuzzLower -fuzztime=10s ./internal/lower
+
+# conform runs the seeded conformance campaign (internal/progen): generate
+# CONFORM_N programs under CONFORM_SEED, run the repair-soundness,
+# metamorphic, architectural, and differential oracles on each. Oracle
+# failures are ddmin-shrunk into internal/progen/testdata/regressions/
+# where TestRegressionReplay replays them on every plain `go test`.
+CONFORM_N ?= 200
+CONFORM_SEED ?= 1
+conform:
+	$(GO) test ./internal/progen -run 'TestConformRun|TestRegressionReplay' -v \
+		-conform.n $(CONFORM_N) -conform.seed $(CONFORM_SEED) -timeout 30m
+
+# cover writes per-package coverage profiles and prints the summary for
+# the packages with documented baselines (see README).
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	@$(GO) tool cover -func=cover.out | tail -1
+	@for p in internal/detect internal/lower internal/repair internal/progen; do \
+		$(GO) test -coverprofile=cover.$$(basename $$p).out ./$$p >/dev/null && \
+		echo "$$p: $$($(GO) tool cover -func=cover.$$(basename $$p).out | tail -1 | awk '{print $$3}')"; \
+	done
 
 # bench regenerates the evaluation sweeps in parallel and leaves a
 # machine-readable artifact (workload → ns/op, workers, queries, cache

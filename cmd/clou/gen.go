@@ -1,0 +1,70 @@
+// Conformance smoke mode: `clou -gen N -seed S` generates N seeded
+// mini-C programs (internal/progen), runs every applicable oracle family
+// on each — repair soundness, metamorphic invariance, architectural
+// equivalence, differential enumeration — and prints a per-program
+// verdict summary. It exits non-zero if any oracle fails, and shares the
+// detection CLI's -j / -report / -timeout plumbing.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"lcm/internal/obsv"
+	"lcm/internal/progen"
+)
+
+// runGen drives one conformance sweep and exits the process.
+func runGen(n int, seed int64, jobs int, budget time.Duration, reportPath string) {
+	metrics := obsv.NewRegistry()
+	tracer := obsv.NewTracer()
+	root := tracer.Start("gen")
+	out, err := progen.Run(progen.Options{
+		Seed:    seed,
+		N:       n,
+		Jobs:    jobs,
+		Budget:  budget,
+		Metrics: metrics,
+		Span:    root,
+	})
+	root.End()
+	if err != nil {
+		fatal(err)
+	}
+
+	byVerdict := map[string]int{}
+	for _, r := range out.Programs {
+		byVerdict[r.Verdict]++
+		if r.Verdict == "fail" || r.Verdict == "error" {
+			fmt.Printf("== g%04d: %s\n   %s\n", r.Index, r.Verdict, r.Err)
+		}
+	}
+	fmt.Printf("== conform: seed=%d programs=%d leak=%d clean=%d fail=%d error=%d skipped=%d in %v\n",
+		seed, len(out.Programs), byVerdict["leak"], byVerdict["clean"],
+		byVerdict["fail"], byVerdict["error"], byVerdict["skipped"],
+		out.Wall.Round(time.Millisecond))
+	for _, f := range out.Failures {
+		fmt.Printf("   oracle %s seed=%d index=%d: %s\n", f.Oracle, f.Seed, f.Index, firstLine(f.Detail))
+	}
+
+	if reportPath != "" {
+		rep := out.Report(seed, jobs, metrics, tracer)
+		if err := rep.WriteFile(reportPath); err != nil {
+			fatal(fmt.Errorf("report: %w", err))
+		}
+	}
+	if len(out.Failures) > 0 {
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}

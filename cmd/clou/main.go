@@ -9,6 +9,11 @@
 //	clou -engine pht|stl [-func name] [-rob 250] [-lsq 50] [-w 100]
 //	     [-transmitter udt,uct,dt,ct] [-fix] [-dot] [-timeout 30s]
 //	     [-report out.json] [-debug-addr :6060] file.c
+//	clou -gen N [-seed S] [-j 8] [-gen-budget 2m] [-report out.json]
+//
+// -gen N switches to conformance smoke mode: generate N seeded mini-C
+// programs and run the progen oracle families on each (see
+// internal/progen) instead of analyzing a file.
 //
 // -report writes the machine-readable run manifest (per-function
 // verdicts, metric snapshot, span tree; see internal/obsv); -debug-addr
@@ -49,8 +54,15 @@ func main() {
 	par := flag.Int("j", runtime.GOMAXPROCS(0), "analyze up to N functions in parallel")
 	reportPath := flag.String("report", "", "write a machine-readable JSON run report to this path (- for stdout)")
 	debugAddr := flag.String("debug-addr", "", "serve expvar and net/http/pprof on this address (e.g. :6060)")
+	genN := flag.Int("gen", 0, "conformance smoke mode: generate N seeded programs and run the oracle families instead of analyzing a file")
+	seed := flag.Int64("seed", 1, "generator seed for -gen")
+	genBudget := flag.Duration("gen-budget", 0, "optional wall-clock budget for -gen (0 = none; budgeted runs may skip programs)")
 	flag.Parse()
 
+	if *genN > 0 {
+		runGen(*genN, *seed, *par, *genBudget, *reportPath)
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: clou [flags] file.c")
 		flag.Usage()

@@ -1,0 +1,210 @@
+package progen
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"lcm/internal/harness"
+	"lcm/internal/obsv"
+)
+
+// Options parameterizes a conformance run.
+type Options struct {
+	Seed int64
+	N    int // programs to generate
+	Jobs int // worker pool width (<=1 = serial)
+	// Budget, when non-zero, bounds wall time: programs not started before
+	// the deadline are recorded as skipped. Budgeted runs trade the
+	// cross--j report-determinism guarantee for bounded CI time; leave 0
+	// for byte-reproducible reports.
+	Budget time.Duration
+	// RegrDir, when non-empty, receives one shrunk .c regression file per
+	// failure (see WriteRegression for the format).
+	RegrDir string
+	// Metrics and Span are optional observability sinks.
+	Metrics *obsv.Registry
+	Span    *obsv.Span
+}
+
+// Outcome aggregates one conformance run.
+type Outcome struct {
+	Programs []ProgramResult
+	Failures []Failure
+	Wall     time.Duration
+}
+
+// ProgramResult is one generated program's summary.
+type ProgramResult struct {
+	Index   int
+	Verdict string // "leak", "clean", "fail", "skipped", or "error"
+	Counts  map[string]int
+	Nodes   int
+	Queries int
+	Gadget  string // template name for differential subjects
+	Err     string
+}
+
+// Run executes the conformance harness: generate N programs under Seed,
+// run every applicable oracle on each, shrink failures, and (optionally)
+// write them to the regression corpus. Results are index-addressed, so
+// the outcome — and the report built from it — is identical at any Jobs
+// width; only Budget (a wall-clock cut) can break that.
+func Run(opts Options) (*Outcome, error) {
+	start := time.Now()
+	if opts.N <= 0 {
+		opts.N = 1
+	}
+	if opts.Jobs <= 0 {
+		opts.Jobs = 1
+	}
+	var deadline time.Time
+	if opts.Budget > 0 {
+		deadline = start.Add(opts.Budget)
+	}
+
+	results := make([]ProgramResult, opts.N)
+	failures := make([][]Failure, opts.N)
+	harness.ForEachSpan(opts.Span, "conform", opts.Jobs, opts.N, func(i int, sp *obsv.Span) error {
+		psp := sp.Start(fmt.Sprintf("prog-%04d", i))
+		defer psp.End()
+		r := &results[i]
+		r.Index = i
+		r.Counts = map[string]int{}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			r.Verdict = "skipped"
+			opts.Metrics.Counter("conform.skipped").Add(1)
+			return nil
+		}
+		p, err := Generate(opts.Seed, i)
+		if err != nil {
+			r.Verdict = "error"
+			r.Err = err.Error()
+			failures[i] = []Failure{{Oracle: "compile", Detail: err.Error(), Src: "", Seed: opts.Seed, Index: i}}
+			opts.Metrics.Counter("conform.failures").Add(1)
+			return nil
+		}
+		opts.Metrics.Counter("conform.generated").Add(1)
+		if p.Gadget != nil {
+			r.Gadget = p.Gadget.Name
+			opts.Metrics.Counter("conform.gadgets").Add(1)
+		}
+		v, fails := Check(p)
+		r.Counts = v.Counts
+		r.Nodes, r.Queries = v.Nodes, v.Queries
+		switch {
+		case len(fails) > 0:
+			r.Verdict = "fail"
+			r.Err = fails[0].Error()
+		case v.Leak:
+			r.Verdict = "leak"
+			opts.Metrics.Counter("conform.leaky").Add(1)
+		default:
+			r.Verdict = "clean"
+			opts.Metrics.Counter("conform.clean").Add(1)
+		}
+		if len(fails) > 0 {
+			opts.Metrics.Counter("conform.failures").Add(int64(len(fails)))
+			for fi := range fails {
+				fails[fi].Src = ShrinkFailure(fails[fi])
+			}
+			failures[i] = fails
+		}
+		return nil
+	})
+
+	out := &Outcome{Programs: results, Wall: time.Since(start)}
+	for _, fs := range failures {
+		out.Failures = append(out.Failures, fs...)
+	}
+	if opts.RegrDir != "" {
+		for _, f := range out.Failures {
+			if err := WriteRegression(opts.RegrDir, f); err != nil {
+				return out, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// ShrinkFailure minimizes a failure's source with the ddmin shrinker,
+// using "the same oracle still fails" as the predicate. Oracles without a
+// source-only replay (diff-enum needs the paired litmus rendering) are
+// returned unshrunk.
+func ShrinkFailure(f Failure) string {
+	switch f.Oracle {
+	case "diff-enum":
+		return f.Src
+	}
+	return Shrink(f.Src, func(src string) bool {
+		return RunOracle(f.Oracle, src, "victim") != nil
+	})
+}
+
+// WriteRegression records a shrunk failure as a replayable .c file. The
+// header comment carries the oracle name, seed, and index; the regression
+// replay test parses it back and re-runs the oracle.
+func WriteRegression(dir string, f Failure) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	name := fmt.Sprintf("%s-seed%d-idx%d.c", f.Oracle, f.Seed, f.Index)
+	detail := strings.ReplaceAll(f.Detail, "\n", "\n// ")
+	body := fmt.Sprintf("// progen regression: oracle=%s seed=%d index=%d\n// %s\n%s",
+		f.Oracle, f.Seed, f.Index, detail, f.Src)
+	return os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644)
+}
+
+// ParseRegression extracts the oracle name from a regression file header.
+func ParseRegression(data []byte) (oracle string, src string, err error) {
+	s := string(data)
+	const tag = "// progen regression: oracle="
+	if !strings.HasPrefix(s, tag) {
+		return "", "", fmt.Errorf("missing regression header")
+	}
+	rest := s[len(tag):]
+	end := strings.IndexAny(rest, " \n")
+	if end < 0 {
+		return "", "", fmt.Errorf("malformed regression header")
+	}
+	return rest[:end], s, nil
+}
+
+// Report renders the outcome as the shared normalized run manifest, the
+// same schema detection runs emit (internal/obsv): one FuncReport per
+// generated program plus the metrics snapshot and span tree.
+func (o *Outcome) Report(seed int64, workers int, reg *obsv.Registry, tr *obsv.Tracer) *obsv.Report {
+	rep := &obsv.Report{
+		Tool:    "conform",
+		Version: obsv.Version,
+		Engine:  fmt.Sprintf("seed=%d", seed),
+		Workers: workers,
+		WallNs:  o.Wall.Nanoseconds(),
+		Metrics: reg.Snapshot(),
+		Spans:   obsv.SpanTree(tr),
+	}
+	for _, r := range o.Programs {
+		fr := obsv.FuncReport{
+			Name:    fmt.Sprintf("g%04d", r.Index),
+			Verdict: r.Verdict,
+			Nodes:   r.Nodes,
+			Queries: r.Queries,
+			Error:   r.Err,
+		}
+		if r.Gadget != "" {
+			fr.Name += ":" + r.Gadget
+		}
+		if len(r.Counts) > 0 {
+			fr.Counts = map[string]int{}
+			for k, v := range r.Counts {
+				fr.Counts[k] = v
+			}
+		}
+		rep.Functions = append(rep.Functions, fr)
+	}
+	sort.SliceStable(rep.Functions, func(i, j int) bool { return rep.Functions[i].Name < rep.Functions[j].Name })
+	return rep
+}

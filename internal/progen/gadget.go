@@ -1,0 +1,173 @@
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lcm/internal/core"
+	"lcm/internal/detect"
+	"lcm/internal/mcm"
+	"lcm/internal/prog"
+)
+
+// Gadget is an abstract leakage shape rendered twice: as mini-C (Src, fed
+// to the symbolic Clou pipeline) and as a litmus program (Prog, fed to
+// bounded candidate-execution enumeration). The two renderings are built
+// from the same template parameters, so a verdict disagreement is a bug
+// in one of the engines — the differential oracle's invariant, extending
+// the pinned divergence-table pattern of internal/attacks/diff_test.go.
+type Gadget struct {
+	Name   string
+	Src    string
+	Engine detect.Engine
+	Prog   *prog.Program
+	Expand prog.ExpandOptions
+}
+
+// EnumLeaks runs bounded enumeration over the gadget's litmus rendering
+// and reports whether any transient transmitter class is found.
+func (g *Gadget) EnumLeaks() bool {
+	structures := prog.Expand(g.Prog, g.Expand)
+	findings := core.FindLeakageInProgramGraphs(structures, core.FindOptions{Model: mcm.TSO{}})
+	sum := core.Summarize(findings)
+	return sum[core.UDT]+sum[core.UCT]+sum[core.DT]+sum[core.CT] > 0
+}
+
+// genGadget instantiates one differential template. Templates stay close
+// to the paper's running examples (Fig. 1, Fig. 3, Fig. 4a) because those
+// are the shapes both semantics are known to model faithfully; variation
+// comes from padding loads before the gadget and the probe multiplier.
+func genGadget(rng *rand.Rand) *Gadget {
+	npad := rng.Intn(3)
+	mult := 256 + 256*rng.Intn(2)
+	switch rng.Intn(4) {
+	case 0:
+		return gadgetV1(npad, mult)
+	case 1:
+		return gadgetV1Variant(npad, mult)
+	case 2:
+		return gadgetV4(npad, mult)
+	default:
+		return gadgetSafeMasked(npad)
+	}
+}
+
+// pad emits npad committed public loads before the gadget on both sides:
+// mini-C statements reading distinct globals, and matching litmus loads.
+func pad(npad int) (src string, nodes []prog.Node) {
+	for i := 0; i < npad; i++ {
+		g := fmt.Sprintf("pub%d", i)
+		src += fmt.Sprintf("\tslot = slot + %s;\n", g)
+		nodes = append(nodes,
+			prog.Load(prog.Reg(fmt.Sprintf("rp%d", i)), g, "", false),
+			prog.Store("slot", "", prog.Reg(fmt.Sprintf("rp%d", i))))
+	}
+	return src, nodes
+}
+
+const gadgetHeader = `uint8_t A[16];
+uint8_t B[131072];
+uint32_t size_A = 16;
+uint8_t tmp;
+uint32_t slot;
+uint32_t pub0;
+uint32_t pub1;
+`
+
+func gadgetSrc(body string) string {
+	return gadgetHeader + "uint32_t victim(uint32_t y) {\n" + body + "\treturn slot;\n}\n"
+}
+
+// gadgetV1 is the Fig. 1 bounds-check bypass.
+func gadgetV1(npad, mult int) *Gadget {
+	padSrc, padNodes := pad(npad)
+	body := padSrc + fmt.Sprintf(
+		"\tif (y < size_A) {\n\t\ttmp &= B[A[y] * %d];\n\t}\n", mult)
+	thread := append(padNodes,
+		prog.Load("r1", "size", "", false),
+		prog.Load("r2", "y", "", false),
+		prog.If{
+			Cond:  []prog.Reg{"r1", "r2"},
+			Label: "y < size_A",
+			Then: []prog.Node{
+				prog.Load("r4", "A", "r2", true),
+				prog.Load("r5", "B", "r4", true),
+				prog.Store("tmp", "", "r5"),
+			},
+		})
+	return &Gadget{
+		Name:   fmt.Sprintf("v1/pad%d/mult%d", npad, mult),
+		Src:    gadgetSrc(body),
+		Engine: detect.PHT,
+		Prog:   &prog.Program{Name: "gen-v1", Threads: [][]prog.Node{thread}},
+		Expand: prog.ExpandOptions{Depth: 2, XStateForLocation: true, Observer: true},
+	}
+}
+
+// gadgetV1Variant is the Fig. 3 shape: the access is non-transient, only
+// the transmitter executes under the mis-speculated bounds check.
+func gadgetV1Variant(npad, mult int) *Gadget {
+	padSrc, padNodes := pad(npad)
+	body := padSrc + fmt.Sprintf(
+		"\tuint8_t x = A[y & 15];\n\tif (y < size_A) {\n\t\ttmp &= B[x * %d];\n\t}\n", mult)
+	thread := append(padNodes,
+		prog.Load("r1", "y", "", false),
+		prog.Load("r2", "A", "r1", true),
+		prog.Load("r0", "size", "", false),
+		prog.If{
+			Cond:  []prog.Reg{"r0", "r1"},
+			Label: "y < size_A",
+			Then: []prog.Node{
+				prog.Load("r3", "B", "r2", true),
+				prog.Store("tmp", "", "r3"),
+			},
+		})
+	return &Gadget{
+		Name:   fmt.Sprintf("v1var/pad%d/mult%d", npad, mult),
+		Src:    gadgetSrc(body),
+		Engine: detect.PHT,
+		Prog:   &prog.Program{Name: "gen-v1var", Threads: [][]prog.Node{thread}},
+		Expand: prog.ExpandOptions{Depth: 2, XStateForLocation: true, Observer: true},
+	}
+}
+
+// gadgetV4 is the Fig. 4a store-bypass: the masking store can be bypassed,
+// so the reload may observe the stale unmasked index.
+func gadgetV4(npad, mult int) *Gadget {
+	padSrc, padNodes := pad(npad)
+	body := padSrc + fmt.Sprintf(
+		"\tslot = y & (size_A - 1);\n\ttmp &= B[A[slot] * %d];\n", mult)
+	thread := append(padNodes,
+		prog.Load("r0", "size", "", false),
+		prog.Load("r1", "y", "", false),
+		prog.Store("yslot", "", "r0", "r1"),
+		prog.Load("r2", "yslot", "", false),
+		prog.Load("r3", "A", "r2", true),
+		prog.Load("r4", "B", "r3", true),
+		prog.Store("tmp", "", "r4"))
+	return &Gadget{
+		Name:   fmt.Sprintf("v4/pad%d/mult%d", npad, mult),
+		Src:    gadgetSrc(body),
+		Engine: detect.STL,
+		Prog:   &prog.Program{Name: "gen-v4", Threads: [][]prog.Node{thread}},
+		Expand: prog.ExpandOptions{Depth: 2, XStateForLocation: true, Observer: true, AddressSpeculation: true},
+	}
+}
+
+// gadgetSafeMasked is the clean control: a straight-line masked access
+// with no speculation primitive. Both sides must report no leakage.
+func gadgetSafeMasked(npad int) *Gadget {
+	padSrc, padNodes := pad(npad)
+	body := padSrc + "\ttmp &= A[y & 15];\n"
+	thread := append(padNodes,
+		prog.Load("r1", "y", "", false),
+		prog.Load("r2", "A", "r1", true),
+		prog.Store("tmp", "", "r2"))
+	return &Gadget{
+		Name:   fmt.Sprintf("safe-masked/pad%d", npad),
+		Src:    gadgetSrc(body),
+		Engine: detect.PHT,
+		Prog:   &prog.Program{Name: "gen-safe", Threads: [][]prog.Node{thread}},
+		Expand: prog.ExpandOptions{Depth: 2, XStateForLocation: true, Observer: true},
+	}
+}

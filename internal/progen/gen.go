@@ -1,0 +1,231 @@
+// Package progen is the conformance-by-construction layer: a seeded,
+// grammar-driven mini-C program generator plus oracle families that close
+// the loop across the whole stack (minic → lower → dataflow → detect →
+// repair → uarch). Programs are deterministic per (seed, index) and biased
+// toward leakage-shaped structure — attacker-reachable array indexing,
+// bounds-checked branches, secret-dependent loads, store/load aliasing
+// pairs — so the detector, the repairer, and the two reference semantics
+// are exercised where it matters. Oracle failures are minimized by the
+// ddmin shrinker in shrink.go and pinned as replayable regressions under
+// testdata/regressions/.
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"lcm/internal/minic"
+)
+
+// Program is one generated conformance subject.
+type Program struct {
+	Seed  int64  // harness base seed
+	Index int    // program index under Seed
+	Src   string // normalized (printed) mini-C source
+	Fn    string // entry function name
+	// Gadget is non-nil for differential subjects: the same abstract
+	// leakage shape rendered as a litmus program for bounded enumeration.
+	Gadget *Gadget
+}
+
+// splitmix64 hashes (seed, index) into an independent per-program stream
+// seed, so program i is the same whether generated serially or by worker
+// w of a parallel sweep — the determinism contract of the harness.
+func splitmix64(seed int64, index int) int64 {
+	z := uint64(seed) + uint64(index+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// Generate builds program index under the harness seed. The result is
+// printed back through minic.Print, so Src is in the normalized form, and
+// the Parse(Print(p)) round-trip is part of the generator's contract: a
+// program that fails it is a generator (or printer) bug, not a subject.
+func Generate(seed int64, index int) (Program, error) {
+	rng := rand.New(rand.NewSource(splitmix64(seed, index)))
+	p := Program{Seed: seed, Index: index, Fn: "victim"}
+
+	var raw string
+	if rng.Intn(4) == 0 {
+		g := genGadget(rng)
+		p.Gadget = g
+		raw = g.Src
+	} else {
+		raw = genFree(rng)
+	}
+
+	norm, err := normalize(raw)
+	if err != nil {
+		return p, fmt.Errorf("progen: seed %d index %d: %w\nsource:\n%s", seed, index, err, raw)
+	}
+	p.Src = norm
+	return p, nil
+}
+
+// GenerateN builds programs 0..n-1 under seed.
+func GenerateN(seed int64, n int) ([]Program, error) {
+	out := make([]Program, n)
+	for i := range out {
+		p, err := Generate(seed, i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// normalize parses src, prints it back, and verifies the printed form is
+// a parseable fixed point.
+func normalize(src string) (string, error) {
+	f, err := minic.Parse(src)
+	if err != nil {
+		return "", fmt.Errorf("parse: %w", err)
+	}
+	printed := minic.Print(f)
+	f2, err := minic.Parse(printed)
+	if err != nil {
+		return "", fmt.Errorf("round-trip parse: %w", err)
+	}
+	if again := minic.Print(f2); again != printed {
+		return "", fmt.Errorf("print not idempotent")
+	}
+	return printed, nil
+}
+
+// header is the fixed global environment every free-form program shares:
+// a small indexable table (A), a large probe array (B), a secret table
+// (S), the bounds-check limit, and scalar state the oracles compare.
+const header = `uint8_t A[16];
+uint8_t B[131072];
+uint8_t S[16];
+uint32_t size_A = 16;
+uint8_t tmp;
+uint32_t slot;
+uint32_t pub0;
+uint32_t pub1;
+`
+
+// gen carries one free-form generation pass.
+type gen struct {
+	rng   *rand.Rand
+	b     strings.Builder
+	fresh int // fresh-local counter
+}
+
+func (g *gen) linef(indent int, format string, args ...interface{}) {
+	g.b.WriteString(strings.Repeat("\t", indent))
+	fmt.Fprintf(&g.b, format, args...)
+	g.b.WriteByte('\n')
+}
+
+func (g *gen) pick(xs ...string) string { return xs[g.rng.Intn(len(xs))] }
+
+// idx picks an attacker-reachable index expression: a parameter or a
+// local derived from one.
+func (g *gen) idx() string { return g.pick("y", "z", "a", "b") }
+
+func (g *gen) local(prefix string) string {
+	g.fresh++
+	return fmt.Sprintf("%s%d", prefix, g.fresh)
+}
+
+// genFree emits a free-form program: fixed globals, a victim function
+// with two attacker-controlled parameters, and 2–7 statements drawn from
+// leakage-biased templates. Every program is architecturally memory-safe
+// for all inputs (guards and masks keep accesses in bounds) and always
+// terminates, so the interpreter and the speculative machine can run it.
+func genFree(rng *rand.Rand) string {
+	g := &gen{rng: rng}
+	g.b.WriteString(header)
+	g.linef(0, "uint32_t victim(uint32_t y, uint32_t z) {")
+	g.linef(1, "uint32_t a = y;")
+	g.linef(1, "uint32_t b = z;")
+	n := 2 + rng.Intn(6)
+	for i := 0; i < n; i++ {
+		g.stmt(1, 0)
+	}
+	g.linef(1, "return ((a * 31) + (b * 7)) + slot;")
+	g.linef(0, "}")
+	return g.b.String()
+}
+
+// stmt emits one statement at the given indent; depth bounds branch
+// nesting so programs stay small enough for the solver and the bounded
+// enumerator.
+func (g *gen) stmt(indent, depth int) {
+	switch g.rng.Intn(10) {
+	case 0, 1: // scalar arithmetic
+		switch g.rng.Intn(3) {
+		case 0:
+			g.linef(indent, "a = a %s (b + %d);", g.pick("+", "-", "^", "|", "&"), g.rng.Intn(97))
+		case 1:
+			g.linef(indent, "b = (b %s %d) + a;", g.pick("<<", ">>"), 1+g.rng.Intn(7))
+		default:
+			g.linef(indent, "pub0 = a; pub1 = pub1 + b;")
+		}
+	case 2: // masked in-bounds access (range analysis should discharge it)
+		if g.rng.Intn(2) == 0 {
+			g.linef(indent, "tmp &= A[%s & 15];", g.idx())
+		} else {
+			g.linef(indent, "A[%s & 15] = (uint8_t)%s;", g.idx(), g.pick("a", "b"))
+		}
+	case 3, 4: // Spectre-v1 shape: bounds-checked branch, double access
+		idx := g.idx()
+		fence := g.rng.Intn(4) == 0
+		if g.rng.Intn(3) == 0 {
+			// v1-variant: the access itself is non-transient.
+			x := g.local("x")
+			g.linef(indent, "uint8_t %s = A[%s & 15];", x, idx)
+			g.linef(indent, "if (%s < size_A) {", idx)
+			if fence {
+				g.linef(indent+1, "lfence();")
+			}
+			g.linef(indent+1, "tmp &= B[%s * %d];", x, 256+256*g.rng.Intn(2))
+			g.linef(indent, "}")
+			return
+		}
+		g.linef(indent, "if (%s < size_A) {", idx)
+		if fence {
+			g.linef(indent+1, "lfence();")
+		}
+		x := g.local("x")
+		g.linef(indent+1, "uint8_t %s = A[%s];", x, idx)
+		g.linef(indent+1, "tmp &= B[%s * %d];", x, 256+256*g.rng.Intn(2))
+		g.linef(indent, "}")
+	case 5: // secret-dependent load under a guard: the DT shape
+		idx := g.idx()
+		g.linef(indent, "if (%s < size_A) {", idx)
+		g.linef(indent+1, "tmp &= B[S[%s & 15] * 512];", idx)
+		g.linef(indent, "}")
+	case 6: // Spectre-v4 shape: masking store, bypassable reload
+		idx := g.idx()
+		g.linef(indent, "slot = %s & 15;", idx)
+		if g.rng.Intn(4) == 0 {
+			g.linef(indent, "lfence();")
+		}
+		x := g.local("x")
+		g.linef(indent, "uint8_t %s = A[slot];", x)
+		g.linef(indent, "tmp &= B[%s * 512];", x)
+	case 7: // plain data branch, possibly wrapping a nested statement
+		g.linef(indent, "if ((a ^ b) & %d) {", 1+g.rng.Intn(15))
+		if depth < 1 && g.rng.Intn(2) == 0 {
+			g.stmt(indent+1, depth+1)
+		} else {
+			g.linef(indent+1, "a = a + %d;", 1+g.rng.Intn(9))
+		}
+		g.linef(indent, "} else {")
+		g.linef(indent+1, "b = b | %d;", 1+g.rng.Intn(255))
+		g.linef(indent, "}")
+	case 8: // bounded loop over the table
+		i := g.local("i")
+		g.linef(indent, "for (uint32_t %s = 0; %s < %d; %s++) {", i, i, 2+g.rng.Intn(6), i)
+		g.linef(indent+1, "a = a + A[%s & 15];", i)
+		g.linef(indent, "}")
+	case 9: // same-array store/load aliasing pair
+		g.linef(indent, "A[a & 15] = (uint8_t)b;")
+		g.linef(indent, "tmp &= A[b & 15];")
+	}
+}

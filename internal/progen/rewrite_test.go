@@ -1,0 +1,129 @@
+package progen
+
+import (
+	"strings"
+	"testing"
+)
+
+const rewriteSubject = `uint8_t A[16];
+uint8_t tmp;
+uint32_t slot;
+uint32_t pub0;
+uint32_t victim(uint32_t y, uint32_t z) {
+	uint32_t a = y;
+	uint32_t b = z;
+	slot = a & 15;
+	pub0 = b + 3;
+	tmp &= A[y & 15];
+	return (a + b) + slot;
+}
+`
+
+// TestAlphaRename: every parameter and local is renamed, globals are not,
+// and the result still compiles to the same classification.
+func TestAlphaRename(t *testing.T) {
+	out, applied, err := AlphaRename(rewriteSubject, "victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !applied {
+		t.Fatal("alpha rename did not apply to a function with four locals")
+	}
+	for _, name := range []string{"tmp", "slot", "pub0", "A"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("global %s disappeared:\n%s", name, out)
+		}
+	}
+	for _, frag := range []string{"= y;", "= z;", "(a + b)"} {
+		if strings.Contains(out, frag) {
+			t.Errorf("old name survived rename (%q):\n%s", frag, out)
+		}
+	}
+	if _, err := compileSrc(out); err != nil {
+		t.Fatalf("renamed program does not compile: %v\n%s", err, out)
+	}
+}
+
+// TestInsertDead: the dead block lands at the top of the function body and
+// the program still compiles.
+func TestInsertDead(t *testing.T) {
+	out, applied, err := InsertDead(rewriteSubject, "victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !applied {
+		t.Fatal("dead insertion did not apply")
+	}
+	if !strings.Contains(out, "zzdead0") {
+		t.Fatalf("no dead statement in output:\n%s", out)
+	}
+	// Dead code must precede all original statements (it may never sit
+	// inside a speculation window opened by an original branch).
+	if strings.Index(out, "zzdead0") > strings.Index(out, "slot =") {
+		t.Fatalf("dead statements not at function start:\n%s", out)
+	}
+	if _, err := compileSrc(out); err != nil {
+		t.Fatalf("dead-extended program does not compile: %v\n%s", err, out)
+	}
+}
+
+// TestReorderIndependent: two adjacent assignments with disjoint footprints
+// (slot=a&15 / pub0=b+3) must be swappable; the rewritten program compiles.
+func TestReorderIndependent(t *testing.T) {
+	out, applied, err := ReorderIndependent(rewriteSubject, "victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !applied {
+		t.Fatal("reorder found no independent adjacent pair in a program that has one")
+	}
+	if out == rewriteSubject {
+		t.Fatal("reorder reported applied but changed nothing")
+	}
+	if strings.Index(out, "pub0 =") > strings.Index(out, "slot =") {
+		t.Fatalf("expected the pair swapped:\n%s", out)
+	}
+	if _, err := compileSrc(out); err != nil {
+		t.Fatalf("reordered program does not compile: %v\n%s", err, out)
+	}
+}
+
+// TestReorderRespectsDependence: statements with a def-use chain between
+// them must never be swapped.
+func TestReorderRespectsDependence(t *testing.T) {
+	src := `uint32_t slot;
+uint32_t victim(uint32_t y, uint32_t z) {
+	uint32_t a = y;
+	a = a + z;
+	slot = a;
+	return slot;
+}
+`
+	out, applied, err := ReorderIndependent(src, "victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied {
+		t.Fatalf("reorder swapped dependent statements:\n%s", out)
+	}
+}
+
+// TestMetamorphicInvarianceSweep drives the full meta oracle over a batch
+// of generated programs: every applicable rewrite must preserve the
+// per-class transmitter counts.
+func TestMetamorphicInvarianceSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("metamorphic sweep in -short mode")
+	}
+	for i := 0; i < 8; i++ {
+		p, err := Generate(123, i)
+		if err != nil {
+			t.Fatalf("gen %d: %v", i, err)
+		}
+		for _, rw := range Rewrites() {
+			if f := RunOracle("meta-"+rw, p.Src, p.Fn); f != nil {
+				t.Errorf("program %d: %v", i, f.Error())
+			}
+		}
+	}
+}

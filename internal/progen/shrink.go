@@ -1,0 +1,462 @@
+package progen
+
+import (
+	"lcm/internal/minic"
+)
+
+// Shrink minimizes src while pred keeps returning true (the failure
+// reproduces). It alternates three deterministic passes until a fixpoint:
+// ddmin over every block's statement list, control-structure unwrapping
+// (if/loop bodies hoisted into the enclosing block), and expression
+// simplification (operands replace operations, literals replace leaves).
+// Every candidate must survive the Parse(Print) round-trip before pred
+// sees it, so the result is always a valid normalized program. The number
+// of pred evaluations is bounded; pred itself should be deterministic or
+// the result will be, at worst, less minimal than possible.
+func Shrink(src string, pred func(string) bool) string {
+	s := &shrinker{pred: pred, budget: 3000}
+	cur, err := normalize(src)
+	if err != nil || !s.check(cur) {
+		// The failure does not reproduce on the normalized input — return
+		// the original rather than minimize the wrong predicate.
+		return src
+	}
+	for round := 0; round < 8; round++ {
+		next := s.pass(cur)
+		if next == cur || s.budget <= 0 {
+			return next
+		}
+		cur = next
+	}
+	return cur
+}
+
+type shrinker struct {
+	pred   func(string) bool
+	budget int
+}
+
+// check runs pred under the evaluation budget.
+func (s *shrinker) check(src string) bool {
+	if s.budget <= 0 {
+		return false
+	}
+	s.budget--
+	return s.pred(src)
+}
+
+// try re-parses cur, applies edit to the fresh AST, and accepts the
+// edited program if it still round-trips and still fails. It returns the
+// new source and whether the edit was accepted.
+func (s *shrinker) try(cur string, edit func(*minic.File) bool) (string, bool) {
+	f, err := minic.Parse(cur)
+	if err != nil {
+		return cur, false
+	}
+	if !edit(f) {
+		return cur, false
+	}
+	out, err := normalize(minic.Print(f))
+	if err != nil || out == cur {
+		return cur, false
+	}
+	if !s.check(out) {
+		return cur, false
+	}
+	return out, true
+}
+
+// pass runs one full round of all shrinking strategies.
+func (s *shrinker) pass(cur string) string {
+	cur = s.shrinkStmts(cur)
+	cur = s.unwrap(cur)
+	cur = s.shrinkExprs(cur)
+	cur = s.dropGlobals(cur)
+	return cur
+}
+
+// allBlocks returns every block in the file in a stable traversal order.
+func allBlocks(f *minic.File) []*minic.Block {
+	var out []*minic.Block
+	var rec func(b *minic.Block)
+	rec = func(b *minic.Block) {
+		if b == nil {
+			return
+		}
+		out = append(out, b)
+		for _, st := range b.Stmts {
+			switch st := st.(type) {
+			case *minic.Block:
+				rec(st)
+			case *minic.IfStmt:
+				rec(st.Then)
+				rec(st.Else)
+			case *minic.WhileStmt:
+				rec(st.Body)
+			case *minic.ForStmt:
+				rec(st.Body)
+			}
+		}
+	}
+	for _, fd := range f.Funcs {
+		rec(fd.Body)
+	}
+	return out
+}
+
+// shrinkStmts applies ddmin to each block's statement list.
+func (s *shrinker) shrinkStmts(cur string) string {
+	for bi := 0; ; bi++ {
+		f, err := minic.Parse(cur)
+		if err != nil {
+			return cur
+		}
+		bs := allBlocks(f)
+		if bi >= len(bs) {
+			return cur
+		}
+		n := len(bs[bi].Stmts)
+		if n == 0 {
+			continue
+		}
+		// ddmin over this block: test removing index subsets.
+		cur = s.ddminBlock(cur, bi, n)
+	}
+}
+
+// ddminBlock runs the ddmin loop over block bi, which currently has n
+// statements, returning the possibly-shrunk source.
+func (s *shrinker) ddminBlock(cur string, bi, n int) string {
+	chunks := 2
+	for n > 0 && s.budget > 0 {
+		if chunks > n {
+			chunks = n
+		}
+		size := (n + chunks - 1) / chunks
+		shrunk := false
+		for start := 0; start < n; start += size {
+			end := start + size
+			if end > n {
+				end = n
+			}
+			next, ok := s.try(cur, func(f *minic.File) bool {
+				bs := allBlocks(f)
+				if bi >= len(bs) || len(bs[bi].Stmts) != n {
+					return false
+				}
+				b := bs[bi]
+				b.Stmts = append(append([]minic.Stmt{}, b.Stmts[:start]...), b.Stmts[end:]...)
+				return true
+			})
+			if ok {
+				cur = next
+				n -= end - start
+				shrunk = true
+				break
+			}
+		}
+		if shrunk {
+			if chunks > 2 {
+				chunks--
+			}
+			continue
+		}
+		if chunks >= n {
+			return cur
+		}
+		chunks *= 2
+	}
+	return cur
+}
+
+// unwrap hoists if/loop bodies into the enclosing block, removing the
+// control structure while keeping its body (and separately tries dropping
+// an if's else branch).
+func (s *shrinker) unwrap(cur string) string {
+	for si := 0; ; si++ {
+		applied := false
+		next, ok := s.try(cur, func(f *minic.File) bool {
+			i := -1
+			done := false
+			for _, b := range allBlocks(f) {
+				if done {
+					break
+				}
+				for j, st := range b.Stmts {
+					var repl []minic.Stmt
+					switch st := st.(type) {
+					case *minic.IfStmt:
+						repl = st.Then.Stmts
+						if st.Else != nil {
+							repl = append(append([]minic.Stmt{}, repl...), st.Else.Stmts...)
+						}
+					case *minic.WhileStmt:
+						repl = st.Body.Stmts
+					case *minic.ForStmt:
+						repl = st.Body.Stmts
+					case *minic.Block:
+						repl = st.Stmts
+					default:
+						continue
+					}
+					i++
+					if i != si {
+						continue
+					}
+					b.Stmts = append(append(append([]minic.Stmt{}, b.Stmts[:j]...), repl...), b.Stmts[j+1:]...)
+					done = true
+					break
+				}
+			}
+			return done
+		})
+		if ok {
+			cur = next
+			applied = true
+			si-- // the same index now names a different site
+		}
+		if !applied {
+			// Probe whether site si existed at all; if not, we are done.
+			f, err := minic.Parse(cur)
+			if err != nil {
+				return cur
+			}
+			count := 0
+			for _, b := range allBlocks(f) {
+				for _, st := range b.Stmts {
+					switch st.(type) {
+					case *minic.IfStmt, *minic.WhileStmt, *minic.ForStmt, *minic.Block:
+						count++
+					}
+				}
+			}
+			if si >= count {
+				return cur
+			}
+		}
+		if s.budget <= 0 {
+			return cur
+		}
+	}
+}
+
+// shrinkExprs walks expression sites and tries replacing each operation
+// with one of its operands or a literal zero.
+func (s *shrinker) shrinkExprs(cur string) string {
+	for si := 0; ; si++ {
+		progressed := false
+		for alt := 0; alt < 3; alt++ {
+			next, ok := s.try(cur, func(f *minic.File) bool {
+				return rewriteNthExpr(f, si, alt)
+			})
+			if ok {
+				cur = next
+				progressed = true
+				break
+			}
+			if s.budget <= 0 {
+				return cur
+			}
+		}
+		if progressed {
+			si-- // re-examine the same position after substitution
+			continue
+		}
+		f, err := minic.Parse(cur)
+		if err != nil {
+			return cur
+		}
+		if si >= countExprSites(f) {
+			return cur
+		}
+	}
+}
+
+// substitutions returns the candidate replacements for an expression, in
+// preference order (smaller first).
+func substitutions(e minic.Expr) []minic.Expr {
+	switch e := e.(type) {
+	case *minic.Binary:
+		return []minic.Expr{e.L, e.R, &minic.NumLit{Val: 0}}
+	case *minic.Unary:
+		if e.Op == "++" || e.Op == "--" {
+			return nil // dropping a side effect is handled at stmt level
+		}
+		return []minic.Expr{e.X}
+	case *minic.Cast:
+		return []minic.Expr{e.X}
+	case *minic.Cond:
+		return []minic.Expr{e.A, e.B, e.C}
+	case *minic.Index:
+		return []minic.Expr{e.R, &minic.NumLit{Val: 0}}
+	case *minic.NumLit:
+		if e.Val != 0 {
+			return []minic.Expr{&minic.NumLit{Val: 0}}
+		}
+	}
+	return nil
+}
+
+// forEachExprSlot visits every expression-holding slot in the file with a
+// setter, in deterministic order.
+func forEachExprSlot(f *minic.File, visit func(get func() minic.Expr, set func(minic.Expr)) bool) {
+	var expr func(get func() minic.Expr, set func(minic.Expr)) bool
+	expr = func(get func() minic.Expr, set func(minic.Expr)) bool {
+		e := get()
+		if e == nil {
+			return true
+		}
+		if !visit(get, set) {
+			return false
+		}
+		switch e := e.(type) {
+		case *minic.Unary:
+			return expr(func() minic.Expr { return e.X }, func(n minic.Expr) { e.X = n })
+		case *minic.Binary:
+			return expr(func() minic.Expr { return e.L }, func(n minic.Expr) { e.L = n }) &&
+				expr(func() minic.Expr { return e.R }, func(n minic.Expr) { e.R = n })
+		case *minic.Assign:
+			return expr(func() minic.Expr { return e.L }, func(n minic.Expr) { e.L = n }) &&
+				expr(func() minic.Expr { return e.R }, func(n minic.Expr) { e.R = n })
+		case *minic.Index:
+			return expr(func() minic.Expr { return e.L }, func(n minic.Expr) { e.L = n }) &&
+				expr(func() minic.Expr { return e.R }, func(n minic.Expr) { e.R = n })
+		case *minic.Call:
+			for i := range e.Args {
+				i := i
+				if !expr(func() minic.Expr { return e.Args[i] }, func(n minic.Expr) { e.Args[i] = n }) {
+					return false
+				}
+			}
+		case *minic.Member:
+			return expr(func() minic.Expr { return e.X }, func(n minic.Expr) { e.X = n })
+		case *minic.Cast:
+			return expr(func() minic.Expr { return e.X }, func(n minic.Expr) { e.X = n })
+		case *minic.Cond:
+			return expr(func() minic.Expr { return e.C }, func(n minic.Expr) { e.C = n }) &&
+				expr(func() minic.Expr { return e.A }, func(n minic.Expr) { e.A = n }) &&
+				expr(func() minic.Expr { return e.B }, func(n minic.Expr) { e.B = n })
+		}
+		return true
+	}
+
+	var stmt func(st minic.Stmt) bool
+	stmt = func(st minic.Stmt) bool {
+		switch st := st.(type) {
+		case *minic.DeclStmt:
+			for _, d := range st.Decls {
+				d := d
+				if d.Init != nil && !expr(func() minic.Expr { return d.Init }, func(n minic.Expr) { d.Init = n }) {
+					return false
+				}
+			}
+		case *minic.ExprStmt:
+			return expr(func() minic.Expr { return st.X }, func(n minic.Expr) { st.X = n })
+		case *minic.IfStmt:
+			return expr(func() minic.Expr { return st.Cond }, func(n minic.Expr) { st.Cond = n })
+		case *minic.WhileStmt:
+			return expr(func() minic.Expr { return st.Cond }, func(n minic.Expr) { st.Cond = n })
+		case *minic.ForStmt:
+			if st.Init != nil && !stmt(st.Init) {
+				return false
+			}
+			if st.Cond != nil && !expr(func() minic.Expr { return st.Cond }, func(n minic.Expr) { st.Cond = n }) {
+				return false
+			}
+			if st.Post != nil && !expr(func() minic.Expr { return st.Post }, func(n minic.Expr) { st.Post = n }) {
+				return false
+			}
+		case *minic.ReturnStmt:
+			if st.X != nil {
+				return expr(func() minic.Expr { return st.X }, func(n minic.Expr) { st.X = n })
+			}
+		}
+		return true
+	}
+
+	cont := true
+	for _, fd := range f.Funcs {
+		if fd.Body == nil || !cont {
+			continue
+		}
+		walkStmts(fd.Body, func(st minic.Stmt) {
+			if cont {
+				cont = stmt(st)
+			}
+		})
+	}
+}
+
+func countExprSites(f *minic.File) int {
+	n := 0
+	forEachExprSlot(f, func(get func() minic.Expr, set func(minic.Expr)) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+// rewriteNthExpr substitutes alternative alt at expression site si.
+func rewriteNthExpr(f *minic.File, si, alt int) bool {
+	i := -1
+	done := false
+	forEachExprSlot(f, func(get func() minic.Expr, set func(minic.Expr)) bool {
+		i++
+		if i != si {
+			return true
+		}
+		subs := substitutions(get())
+		if alt < len(subs) {
+			set(subs[alt])
+			done = true
+		}
+		return false
+	})
+	return done
+}
+
+// dropGlobals removes globals not referenced by any function or other
+// global initializer.
+func (s *shrinker) dropGlobals(cur string) string {
+	for {
+		next, ok := s.try(cur, func(f *minic.File) bool {
+			used := map[string]bool{}
+			for _, fd := range f.Funcs {
+				walkFuncExprs(fd, func(e minic.Expr) {
+					if id, ok := e.(*minic.Ident); ok {
+						used[id.Name] = true
+					}
+				})
+			}
+			for _, g := range f.Globals {
+				walkExpr(g.Init, func(e minic.Expr) {
+					if id, ok := e.(*minic.Ident); ok {
+						used[id.Name] = true
+					}
+				})
+				for _, e := range g.InitList {
+					walkExpr(e, func(e minic.Expr) {
+						if id, ok := e.(*minic.Ident); ok {
+							used[id.Name] = true
+						}
+					})
+				}
+			}
+			var kept []*minic.VarDecl
+			for _, g := range f.Globals {
+				if used[g.Name] {
+					kept = append(kept, g)
+				}
+			}
+			if len(kept) == len(f.Globals) {
+				return false
+			}
+			f.Globals = kept
+			return true
+		})
+		if !ok {
+			return cur
+		}
+		cur = next
+	}
+}

@@ -137,3 +137,120 @@ func TestRepairTwoGadgets(t *testing.T) {
 		t.Errorf("fences = %d, want 2 (one per gadget; +1 tolerated for spill bypass)", res.Fences)
 	}
 }
+
+// removeFenceAt deletes the i-th lfence (in block/instruction order) from
+// the module and returns an undo closure restoring it in place.
+func removeFenceAt(m *ir.Module, i int) func() {
+	n := 0
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for k, in := range b.Instrs {
+				if in.Op != ir.OpFence || in.Sub != "lfence" {
+					continue
+				}
+				if n == i {
+					b, k, in := b, k, in
+					b.Instrs = append(b.Instrs[:k], b.Instrs[k+1:]...)
+					return func() {
+						b.Instrs = append(b.Instrs[:k], append([]*ir.Instr{in}, b.Instrs[k:]...)...)
+					}
+				}
+				n++
+			}
+		}
+	}
+	return nil
+}
+
+// checkRepairMinimal asserts the §6.1 minimality claim on a repaired
+// module: removing any single inserted fence re-introduces a violation.
+func checkRepairMinimal(t *testing.T, m *ir.Module, fn string, cfg detect.Config, fences int) {
+	t.Helper()
+	for i := 0; i < fences; i++ {
+		undo := removeFenceAt(m, i)
+		if undo == nil {
+			t.Fatalf("fence %d not found in repaired module", i)
+		}
+		res, err := detect.AnalyzeFunc(m, fn, cfg)
+		undo()
+		if err != nil {
+			t.Fatalf("re-detect without fence %d: %v", i, err)
+		}
+		if len(res.Findings) == 0 {
+			t.Errorf("fence %d is redundant: removing it leaves the program clean", i)
+		}
+	}
+	// Sanity: with all fences restored the program is clean again.
+	res, err := detect.AnalyzeFunc(m, fn, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Findings) != 0 {
+		t.Fatalf("restored module is not clean: %v", res.Findings)
+	}
+}
+
+// TestRepairMinimalityTwoGadgetsPHT: in a two-gadget PHT program every
+// inserted fence is load-bearing — no strict subset suffices.
+func TestRepairMinimalityTwoGadgetsPHT(t *testing.T) {
+	m := compile(t, `
+		uint8_t A[16];
+		uint8_t B[131072];
+		uint32_t size_A = 16;
+		uint8_t tmp;
+		void victim(uint32_t y, uint32_t z) {
+			if (y < size_A) {
+				uint8_t x = A[y];
+				tmp &= B[x * 512];
+			}
+			if (z < size_A) {
+				uint8_t w = A[z];
+				tmp &= B[w * 512];
+			}
+		}
+	`)
+	cfg := detect.DefaultPHT()
+	res, err := Repair(m, "victim", cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Remaining != 0 {
+		t.Fatalf("leakage remains: %d", res.Remaining)
+	}
+	if res.Fences < 2 {
+		t.Fatalf("fences = %d, want >= 2 (one per gadget)", res.Fences)
+	}
+	checkRepairMinimal(t, m, "victim", cfg, res.Fences)
+}
+
+// TestRepairMinimalityTwoGadgetsSTL: same claim under the store-bypass
+// engine, with two independent masking-store/reload pairs.
+func TestRepairMinimalityTwoGadgetsSTL(t *testing.T) {
+	m := compile(t, `
+		uint8_t A[16];
+		uint8_t B[131072];
+		uint8_t tmp;
+		uint32_t slot_a;
+		uint32_t slot_b;
+		void victim(uint32_t y, uint32_t z) {
+			slot_a = y & 15;
+			uint8_t x = A[slot_a];
+			tmp &= B[x * 512];
+			slot_b = z & 15;
+			uint8_t w = A[slot_b];
+			tmp &= B[w * 512];
+		}
+	`)
+	cfg := detect.DefaultSTL()
+	res, err := Repair(m, "victim", cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Remaining != 0 {
+		t.Fatalf("leakage remains: %d", res.Remaining)
+	}
+	if res.Fences < 2 {
+		t.Fatalf("fences = %d, want >= 2 (one per masking store)", res.Fences)
+	}
+	checkRepairMinimal(t, m, "victim", cfg, res.Fences)
+}
