@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-core check vet fmt bench bench-all fuzz conform cover
+.PHONY: all build test race race-core check vet fmt bench bench-all fuzz conform chaos cover
 
 all: build test
 
@@ -47,9 +47,27 @@ fuzz:
 # where TestRegressionReplay replays them on every plain `go test`.
 CONFORM_N ?= 200
 CONFORM_SEED ?= 1
+CONFORM_CHECKPOINT ?=
 conform:
-	$(GO) test ./internal/progen -run 'TestConformRun|TestRegressionReplay' -v \
-		-conform.n $(CONFORM_N) -conform.seed $(CONFORM_SEED) -timeout 30m
+	$(GO) test ./internal/progen -run 'TestConformRun|TestRegressionReplay|TestDegradationReplay' -v \
+		-conform.n $(CONFORM_N) -conform.seed $(CONFORM_SEED) \
+		$(if $(CONFORM_CHECKPOINT),-conform.checkpoint $(CONFORM_CHECKPOINT) -conform.resume) \
+		-timeout 30m
+
+# chaos runs the fault-injection campaign (internal/chaos) under the race
+# detector: CHAOS_N generated programs through both engines with the
+# deterministic fault plan (CHAOS_FAULT_SEED, CHAOS_RATE) armed. The test
+# asserts the robustness contract — no crashes, no lost inputs, identical
+# -j1/-j8 reports, and every injected fault reconciled in the metrics.
+CHAOS_N ?= 100
+CHAOS_RATE ?= 0.3
+CHAOS_SEED ?= 1
+CHAOS_FAULT_SEED ?= 7
+chaos:
+	$(GO) test -race ./internal/chaos -run TestChaosCampaign -count=1 -v \
+		-chaos.n $(CHAOS_N) -chaos.rate $(CHAOS_RATE) \
+		-chaos.seed $(CHAOS_SEED) -chaos.fault-seed $(CHAOS_FAULT_SEED) \
+		-timeout 30m
 
 # cover writes per-package coverage profiles and prints the summary for
 # the packages with documented baselines (see README).

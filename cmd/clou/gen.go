@@ -3,61 +3,85 @@
 // on each — repair soundness, metamorphic invariance, architectural
 // equivalence, differential enumeration — and prints a per-program
 // verdict summary. It exits non-zero if any oracle fails, and shares the
-// detection CLI's -j / -report / -timeout plumbing.
+// detection CLI's -j / -report / -timeout plumbing. With -checkpoint the
+// campaign is resumable: completed programs are logged as they finish and
+// -resume skips them on the next run.
 package main
 
 import (
+	"context"
 	"fmt"
-	"os"
+	"io"
 	"time"
 
 	"lcm/internal/obsv"
 	"lcm/internal/progen"
 )
 
-// runGen drives one conformance sweep and exits the process.
-func runGen(n int, seed int64, jobs int, budget time.Duration, reportPath string) {
+type genOptions struct {
+	n          int
+	seed       int64
+	jobs       int
+	budget     time.Duration
+	report     string
+	checkpoint string
+	resume     bool
+}
+
+// runGen drives one conformance sweep and returns the exit code.
+func runGen(o genOptions, stdout, stderr io.Writer) int {
 	metrics := obsv.NewRegistry()
 	tracer := obsv.NewTracer()
 	root := tracer.Start("gen")
-	out, err := progen.Run(progen.Options{
-		Seed:    seed,
-		N:       n,
-		Jobs:    jobs,
-		Budget:  budget,
-		Metrics: metrics,
-		Span:    root,
+	out, err := progen.RunCtx(context.Background(), progen.Options{
+		Seed:       o.seed,
+		N:          o.n,
+		Jobs:       o.jobs,
+		Budget:     o.budget,
+		Checkpoint: o.checkpoint,
+		Resume:     o.resume,
+		Metrics:    metrics,
+		Span:       root,
 	})
 	root.End()
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "clou:", err)
+		return exitUsage
 	}
 
 	byVerdict := map[string]int{}
+	degraded := 0
 	for _, r := range out.Programs {
 		byVerdict[r.Verdict]++
+		if r.Rung != "" {
+			degraded++
+		}
 		if r.Verdict == "fail" || r.Verdict == "error" {
-			fmt.Printf("== g%04d: %s\n   %s\n", r.Index, r.Verdict, r.Err)
+			fmt.Fprintf(stdout, "== g%04d: %s\n   %s\n", r.Index, r.Verdict, r.Err)
 		}
 	}
-	fmt.Printf("== conform: seed=%d programs=%d leak=%d clean=%d fail=%d error=%d skipped=%d in %v\n",
-		seed, len(out.Programs), byVerdict["leak"], byVerdict["clean"],
-		byVerdict["fail"], byVerdict["error"], byVerdict["skipped"],
-		out.Wall.Round(time.Millisecond))
+	fmt.Fprintf(stdout, "== conform: seed=%d programs=%d leak=%d clean=%d fail=%d error=%d unknown=%d skipped=%d resumed=%d in %v\n",
+		o.seed, len(out.Programs), byVerdict["leak"], byVerdict["clean"],
+		byVerdict["fail"], byVerdict["error"], byVerdict["unknown"], byVerdict["skipped"],
+		out.Resumed, out.Wall.Round(time.Millisecond))
 	for _, f := range out.Failures {
-		fmt.Printf("   oracle %s seed=%d index=%d: %s\n", f.Oracle, f.Seed, f.Index, firstLine(f.Detail))
+		fmt.Fprintf(stdout, "   oracle %s seed=%d index=%d: %s\n", f.Oracle, f.Seed, f.Index, firstLine(f.Detail))
 	}
 
-	if reportPath != "" {
-		rep := out.Report(seed, jobs, metrics, tracer)
-		if err := rep.WriteFile(reportPath); err != nil {
-			fatal(fmt.Errorf("report: %w", err))
+	if o.report != "" {
+		rep := out.Report(o.seed, o.jobs, metrics, tracer)
+		if err := rep.WriteFile(o.report); err != nil {
+			fmt.Fprintln(stderr, "clou: report:", err)
+			return exitUsage
 		}
 	}
-	if len(out.Failures) > 0 {
-		os.Exit(1)
+	switch {
+	case len(out.Failures) > 0:
+		return exitFindings
+	case byVerdict["unknown"]+byVerdict["skipped"]+degraded > 0:
+		return exitPartial
 	}
-	os.Exit(0)
+	return exitClean
 }
 
 func firstLine(s string) string {

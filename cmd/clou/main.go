@@ -10,19 +10,29 @@
 //	     [-transmitter udt,uct,dt,ct] [-fix] [-dot] [-timeout 30s]
 //	     [-report out.json] [-debug-addr :6060] file.c
 //	clou -gen N [-seed S] [-j 8] [-gen-budget 2m] [-report out.json]
+//	     [-checkpoint run.ckpt [-resume]]
 //
 // -gen N switches to conformance smoke mode: generate N seeded mini-C
 // programs and run the progen oracle families on each (see
-// internal/progen) instead of analyzing a file.
+// internal/progen) instead of analyzing a file. -checkpoint logs each
+// completed program to disk; -resume skips the indices already logged,
+// so a killed campaign continues instead of restarting.
 //
 // -report writes the machine-readable run manifest (per-function
 // verdicts, metric snapshot, span tree; see internal/obsv); -debug-addr
 // serves expvar and net/http/pprof for live inspection of long runs.
+//
+// Exit codes: 0 = analysis completed clean at full precision; 1 = leaks
+// detected (or conformance oracle failures); 2 = usage, input, or I/O
+// error; 3 = no findings, but at least one verdict was degraded, unknown,
+// or skipped — the run is partial, not clean.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -38,51 +48,77 @@ import (
 	"lcm/internal/repair"
 )
 
+// Exit codes of the CLI contract (shared with lcmlint).
+const (
+	exitClean    = 0
+	exitFindings = 1
+	exitUsage    = 2
+	exitPartial  = 3
+)
+
 func main() {
-	engine := flag.String("engine", "pht", "detection engine: pht (Spectre v1/v1.1) or stl (Spectre v4)")
-	fn := flag.String("func", "", "analyze only this function (default: all defined functions)")
-	rob := flag.Int("rob", 250, "reorder buffer capacity")
-	lsq := flag.Int("lsq", 50, "load/store queue capacity")
-	wsize := flag.Int("w", 100, "sliding window size (Wsize)")
-	classes := flag.String("transmitter", "", "comma-separated classes to search (dt,ct,udt,uct); empty = all")
-	fix := flag.Bool("fix", false, "insert a minimal set of lfences and verify the repair")
-	emitDot := flag.Bool("dot", false, "print a witness execution as DOT for each finding class")
-	timeout := flag.Duration("timeout", 30*time.Second, "per-function time budget")
-	printIR := flag.Bool("ir", false, "dump the lowered IR and exit")
-	verbose := flag.Bool("v", false, "report candidate and range-pruned pattern counts per function")
-	noPrune := flag.Bool("noprune", false, "disable range-analysis candidate pruning")
-	par := flag.Int("j", runtime.GOMAXPROCS(0), "analyze up to N functions in parallel")
-	reportPath := flag.String("report", "", "write a machine-readable JSON run report to this path (- for stdout)")
-	debugAddr := flag.String("debug-addr", "", "serve expvar and net/http/pprof on this address (e.g. :6060)")
-	genN := flag.Int("gen", 0, "conformance smoke mode: generate N seeded programs and run the oracle families instead of analyzing a file")
-	seed := flag.Int64("seed", 1, "generator seed for -gen")
-	genBudget := flag.Duration("gen-budget", 0, "optional wall-clock budget for -gen (0 = none; budgeted runs may skip programs)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main under test: it parses args, drives one analysis or
+// conformance sweep, and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("clou", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	engine := fs.String("engine", "pht", "detection engine: pht (Spectre v1/v1.1) or stl (Spectre v4)")
+	fn := fs.String("func", "", "analyze only this function (default: all defined functions)")
+	rob := fs.Int("rob", 250, "reorder buffer capacity")
+	lsq := fs.Int("lsq", 50, "load/store queue capacity")
+	wsize := fs.Int("w", 100, "sliding window size (Wsize)")
+	classes := fs.String("transmitter", "", "comma-separated classes to search (dt,ct,udt,uct); empty = all")
+	fix := fs.Bool("fix", false, "insert a minimal set of lfences and verify the repair")
+	emitDot := fs.Bool("dot", false, "print a witness execution as DOT for each finding class")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-function time budget")
+	printIR := fs.Bool("ir", false, "dump the lowered IR and exit")
+	verbose := fs.Bool("v", false, "report candidate and range-pruned pattern counts per function")
+	noPrune := fs.Bool("noprune", false, "disable range-analysis candidate pruning")
+	par := fs.Int("j", runtime.GOMAXPROCS(0), "analyze up to N functions in parallel")
+	reportPath := fs.String("report", "", "write a machine-readable JSON run report to this path (- for stdout)")
+	debugAddr := fs.String("debug-addr", "", "serve expvar and net/http/pprof on this address (e.g. :6060)")
+	genN := fs.Int("gen", 0, "conformance smoke mode: generate N seeded programs and run the oracle families instead of analyzing a file")
+	seed := fs.Int64("seed", 1, "generator seed for -gen")
+	genBudget := fs.Duration("gen-budget", 0, "optional wall-clock budget for -gen (0 = none; budgeted runs may skip programs)")
+	checkpoint := fs.String("checkpoint", "", "for -gen: log each completed program to this file (JSON lines)")
+	resume := fs.Bool("resume", false, "for -gen: skip indices already recorded in -checkpoint")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
 
 	if *genN > 0 {
-		runGen(*genN, *seed, *par, *genBudget, *reportPath)
-		return
+		return runGen(genOptions{
+			n: *genN, seed: *seed, jobs: *par, budget: *genBudget,
+			report: *reportPath, checkpoint: *checkpoint, resume: *resume,
+		}, stdout, stderr)
 	}
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: clou [flags] file.c")
-		flag.Usage()
-		os.Exit(2)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: clou [flags] file.c")
+		fs.Usage()
+		return exitUsage
 	}
-	src, err := os.ReadFile(flag.Arg(0))
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "clou:", err)
+		return exitUsage
+	}
+	src, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	file, err := minic.Parse(string(src))
 	if err != nil {
-		fatal(fmt.Errorf("parse: %w", err))
+		return fail(fmt.Errorf("parse: %w", err))
 	}
 	m, err := lower.Module(file)
 	if err != nil {
-		fatal(fmt.Errorf("lower: %w", err))
+		return fail(fmt.Errorf("lower: %w", err))
 	}
 	if *printIR {
-		fmt.Print(m.String())
-		return
+		fmt.Fprint(stdout, m.String())
+		return exitClean
 	}
 
 	var cfg detect.Config
@@ -92,7 +128,7 @@ func main() {
 	case "stl":
 		cfg = detect.DefaultSTL()
 	default:
-		fatal(fmt.Errorf("unknown engine %q", *engine))
+		return fail(fmt.Errorf("unknown engine %q", *engine))
 	}
 	cfg.AEG.ROB = *rob
 	cfg.AEG.LSQ = *lsq
@@ -111,7 +147,7 @@ func main() {
 			case "uct":
 				cfg.Transmitters = append(cfg.Transmitters, core.UCT)
 			default:
-				fatal(fmt.Errorf("unknown transmitter class %q", c))
+				return fail(fmt.Errorf("unknown transmitter class %q", c))
 			}
 		}
 	}
@@ -128,9 +164,9 @@ func main() {
 	if *debugAddr != "" {
 		addr, err := obsv.ServeDebug(*debugAddr, metrics)
 		if err != nil {
-			fatal(fmt.Errorf("debug server: %w", err))
+			return fail(fmt.Errorf("debug server: %w", err))
 		}
-		fmt.Fprintf(os.Stderr, "clou: debug server on http://%s/debug/\n", addr)
+		fmt.Fprintf(stderr, "clou: debug server on http://%s/debug/\n", addr)
 	}
 
 	// Detection fans out over the worker pool; repair (which mutates the
@@ -145,63 +181,76 @@ func main() {
 	cfg.Metrics = metrics
 	sweepStart := time.Now()
 	fns := targets(m, *fn)
-	results, errs := analyzeAll(m, fns, cfg, *par, tracer)
+	results, errs := analyzeAll(context.Background(), m, fns, cfg, *par, tracer)
 
 	totalFindings := 0
+	sweepErrors := 0
+	degraded := 0
 	for i, name := range fns {
 		res, err := results[i], errs[i]
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "clou: %s: %v\n", name, err)
+			fmt.Fprintf(stderr, "clou: %s: %v\n", name, err)
+			sweepErrors++
 			continue
 		}
 		counts := res.Counts()
-		fmt.Printf("== %s: %d nodes, %d queries, %v%s\n", name, res.NodeCount, res.Queries,
-			res.Duration.Round(time.Millisecond), timedOut(res.TimedOut))
-		fmt.Printf("   DT=%d CT=%d UDT=%d UCT=%d\n",
+		fmt.Fprintf(stdout, "== %s: %d nodes, %d queries, %v%s\n", name, res.NodeCount, res.Queries,
+			res.Duration.Round(time.Millisecond), rungSuffix(res))
+		fmt.Fprintf(stdout, "   DT=%d CT=%d UDT=%d UCT=%d\n",
 			counts[core.DT], counts[core.CT], counts[core.UDT], counts[core.UCT])
+		if res.Rung != detect.RungFull {
+			degraded++
+		}
 		if *verbose {
-			fmt.Printf("   candidates=%d pruned=%d (range analysis)\n", res.Candidates, res.Pruned)
-			fmt.Printf("   frontend=%v encode=%v solve=%v cached=%v memo-hits=%d\n",
+			fmt.Fprintf(stdout, "   candidates=%d pruned=%d (range analysis)\n", res.Candidates, res.Pruned)
+			fmt.Fprintf(stdout, "   frontend=%v encode=%v solve=%v cached=%v memo-hits=%d\n",
 				res.FrontendTime.Round(time.Microsecond), res.EncodeTime.Round(time.Microsecond),
 				res.SolveTime.Round(time.Microsecond), res.CacheHit, res.MemoHits)
 		}
 		for _, f := range res.Findings {
-			fmt.Printf("   %s\n", f)
+			fmt.Fprintf(stdout, "   %s\n", f)
 			totalFindings++
 		}
 		if *emitDot && len(res.Findings) > 0 {
 			g, err := detect.Witness(res, res.Findings[0])
 			if err == nil {
-				fmt.Println(dot.Graph(g, name+"-witness"))
+				fmt.Fprintln(stdout, dot.Graph(g, name+"-witness"))
 			}
 		}
 		if *fix && len(res.Findings) > 0 {
 			rr, err := repair.Repair(m, name, cfg, 0)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "clou: repair %s: %v\n", name, err)
+				fmt.Fprintf(stderr, "clou: repair %s: %v\n", name, err)
+				sweepErrors++
 				continue
 			}
-			fmt.Printf("   repaired with %d lfence(s) in %d round(s); remaining findings: %d\n",
+			fmt.Fprintf(stdout, "   repaired with %d lfence(s) in %d round(s); remaining findings: %d\n",
 				rr.Fences, rr.Rounds, rr.Remaining)
 		}
 	}
 	if *fix {
-		fmt.Println("== repaired IR ==")
-		fmt.Print(m.String())
+		fmt.Fprintln(stdout, "== repaired IR ==")
+		fmt.Fprint(stdout, m.String())
 	}
 	if *verbose && cache != nil {
 		hits, misses := cache.Stats()
-		fmt.Printf("== workers=%d frontend-cache: hits=%d misses=%d\n", *par, hits, misses)
+		fmt.Fprintf(stdout, "== workers=%d frontend-cache: hits=%d misses=%d\n", *par, hits, misses)
 	}
 	if *reportPath != "" {
 		rep := buildReport(*engine, *par, fns, results, errs, tracer, metrics, time.Since(sweepStart))
 		if err := rep.WriteFile(*reportPath); err != nil {
-			fatal(fmt.Errorf("report: %w", err))
+			return fail(fmt.Errorf("report: %w", err))
 		}
 	}
-	if totalFindings > 0 && !*fix {
-		os.Exit(1)
+	switch {
+	case sweepErrors > 0:
+		return exitUsage
+	case totalFindings > 0 && !*fix:
+		return exitFindings
+	case degraded > 0:
+		return exitPartial
 	}
+	return exitClean
 }
 
 func targets(m *ir.Module, only string) []string {
@@ -217,14 +266,14 @@ func targets(m *ir.Module, only string) []string {
 	return out
 }
 
-func timedOut(b bool) string {
-	if b {
-		return " (timed out)"
+// rungSuffix annotates the per-function summary line with the
+// degradation-ladder rung the verdict was decided at, when not full.
+func rungSuffix(res *detect.Result) string {
+	if res.Rung == detect.RungFull {
+		return ""
 	}
-	return ""
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "clou:", err)
-	os.Exit(1)
+	if res.Failure != "" {
+		return fmt.Sprintf(" (rung=%s after %s)", res.Rung, res.Failure)
+	}
+	return fmt.Sprintf(" (rung=%s)", res.Rung)
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"time"
 
 	"lcm/internal/detect"
@@ -10,18 +11,26 @@ import (
 )
 
 // analyzeAll runs the parallel detection sweep over fns under one root
-// span, returning per-function results and errors in input order. The
-// tracer and registry may be nil (observability disabled).
-func analyzeAll(m *ir.Module, fns []string, cfg detect.Config, par int, tr *obsv.Tracer) ([]*detect.Result, []error) {
+// span, returning per-function results and errors in input order. Each
+// function goes through the fault-tolerant supervisor, so a deadline,
+// budget exhaustion, or worker panic degrades that function's verdict
+// down the ladder instead of losing it. The tracer and registry may be
+// nil (observability disabled).
+func analyzeAll(ctx context.Context, m *ir.Module, fns []string, cfg detect.Config, par int, tr *obsv.Tracer) ([]*detect.Result, []error) {
 	results := make([]*detect.Result, len(fns))
 	errs := make([]error, len(fns))
 	root := tr.Start("clou")
-	harness.ForEachSpan(root, "detect", par, len(fns), func(i int, sp *obsv.Span) error {
+	itemErrs := harness.ForEachSpanCtx(ctx, root, "detect", par, len(fns), func(i int, sp *obsv.Span) error {
 		c := cfg
 		c.Span = sp
-		results[i], errs[i] = detect.AnalyzeFunc(m, fns[i], c)
+		results[i], errs[i] = detect.AnalyzeFuncLadder(ctx, m, fns[i], c)
 		return nil
 	})
+	for i, err := range itemErrs {
+		if err != nil && errs[i] == nil && results[i] == nil {
+			errs[i] = err
+		}
+	}
 	root.End()
 	return results, errs
 }

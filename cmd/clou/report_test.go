@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
@@ -74,7 +75,7 @@ func runReport(t *testing.T, src, engine string, workers int) []byte {
 
 	start := time.Now()
 	fns := targets(m, "")
-	results, errs := analyzeAll(m, fns, cfg, workers, tracer)
+	results, errs := analyzeAll(context.Background(), m, fns, cfg, workers, tracer)
 	rep := buildReport(engine, workers, fns, results, errs, tracer, cfg.Metrics, time.Since(start))
 	rep.Normalize()
 

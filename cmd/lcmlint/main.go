@@ -15,11 +15,19 @@
 // explicit parameter-name list), the corpus library's own SecretParams
 // annotation, or a name heuristic (parameters whose names contain
 // "secret", "key", "priv", or equal "sk").
+//
+// Exit codes follow the shared CLI contract: 0 = all units clean;
+// 1 = findings; 2 = usage or I/O error; 3 = partial — some unit failed
+// to compile (the rest were still linted) and nothing was flagged.
+// Findings dominate partial: a flagged sweep exits 1 even if another
+// unit errored.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -34,6 +42,14 @@ import (
 	"lcm/internal/obsv"
 )
 
+// Exit codes of the CLI contract (shared with clou).
+const (
+	exitClean    = 0
+	exitFindings = 1
+	exitUsage    = 2
+	exitPartial  = 3
+)
+
 // unit is one lint job: a named source with its secret spec.
 type unit struct {
 	name string
@@ -42,11 +58,24 @@ type unit struct {
 }
 
 func main() {
-	lib := flag.String("lib", "all", "cryptolib corpus entry to lint when no files are given")
-	secrets := flag.String("secrets", "", "comma-separated secret parameter names; empty = name heuristic")
-	par := flag.Int("j", runtime.GOMAXPROCS(0), "lint up to N units in parallel")
-	reportPath := flag.String("report", "", "write a machine-readable JSON run report to this path (- for stdout)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main under test: parse args, lint, return the exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lcmlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	lib := fs.String("lib", "all", "cryptolib corpus entry to lint when no files are given")
+	secrets := fs.String("secrets", "", "comma-separated secret parameter names; empty = name heuristic")
+	par := fs.Int("j", runtime.GOMAXPROCS(0), "lint up to N units in parallel")
+	reportPath := fs.String("report", "", "write a machine-readable JSON run report to this path (- for stdout)")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "lcmlint:", err)
+		return exitUsage
+	}
 
 	var explicit *dataflow.SecretSpec
 	if *secrets != "" {
@@ -61,15 +90,15 @@ func main() {
 	}
 
 	var units []unit
-	if flag.NArg() > 0 {
+	if fs.NArg() > 0 {
 		spec := dataflow.HeuristicSpec()
 		if explicit != nil {
 			spec = *explicit
 		}
-		for _, path := range flag.Args() {
+		for _, path := range fs.Args() {
 			src, err := os.ReadFile(path)
 			if err != nil {
-				fatal(err)
+				return fail(err)
 			}
 			units = append(units, unit{name: path, src: string(src), spec: spec})
 		}
@@ -87,11 +116,13 @@ func main() {
 			units = append(units, unit{name: l.Name, src: l.Source, spec: spec})
 		}
 		if len(units) == 0 {
-			fatal(fmt.Errorf("unknown corpus library %q", *lib))
+			return fail(fmt.Errorf("unknown corpus library %q", *lib))
 		}
 	}
 
-	// Lint units in parallel, print reports serially in input order.
+	// Lint units in parallel, print reports serially in input order. A
+	// unit that fails to compile (or panics) costs that unit, not the
+	// sweep: its error is reported per item and the run exits partial.
 	var tracer *obsv.Tracer
 	var metrics *obsv.Registry
 	if *reportPath != "" {
@@ -103,7 +134,7 @@ func main() {
 	counts := make([]int, len(units))
 	findings := make([][]string, len(units))
 	root := tracer.Start("lcmlint")
-	err := harness.ForEachSpan(root, "lint", *par, len(units), func(i int, sp *obsv.Span) error {
+	errs := harness.ForEachSpanCtx(context.Background(), root, "lint", *par, len(units), func(i int, sp *obsv.Span) error {
 		us := sp.Start("unit:" + units[i].name)
 		defer us.End()
 		var err error
@@ -113,12 +144,14 @@ func main() {
 		return err
 	})
 	root.End()
-	if err != nil {
-		fatal(err)
-	}
-	total := 0
+	total, failed := 0, 0
 	for i := range units {
-		fmt.Print(reports[i])
+		if errs[i] != nil {
+			fmt.Fprintf(stderr, "lcmlint: %v\n", errs[i])
+			failed++
+			continue
+		}
+		fmt.Fprint(stdout, reports[i])
 		total += counts[i]
 	}
 	if *reportPath != "" {
@@ -132,19 +165,27 @@ func main() {
 		}
 		for i, u := range units {
 			fr := obsv.FuncReport{Name: u.name, Verdict: "clean", Lint: findings[i]}
-			if counts[i] > 0 {
+			switch {
+			case errs[i] != nil:
+				fr.Verdict = "error"
+				fr.Error = errs[i].Error()
+			case counts[i] > 0:
 				fr.Verdict = "flagged"
 			}
 			rep.Functions = append(rep.Functions, fr)
 		}
 		if err := rep.WriteFile(*reportPath); err != nil {
-			fatal(fmt.Errorf("report: %w", err))
+			return fail(fmt.Errorf("report: %w", err))
 		}
 	}
-	if total > 0 {
-		fmt.Printf("%d finding(s)\n", total)
-		os.Exit(1)
+	switch {
+	case total > 0:
+		fmt.Fprintf(stdout, "%d finding(s)\n", total)
+		return exitFindings
+	case failed > 0:
+		return exitPartial
 	}
+	return exitClean
 }
 
 // lint compiles one source unit and renders its findings, prefixed with
@@ -176,9 +217,4 @@ func compile(src string) (*ir.Module, error) {
 		return nil, fmt.Errorf("lower: %w", err)
 	}
 	return m, nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "lcmlint:", err)
-	os.Exit(1)
 }

@@ -2,6 +2,7 @@ package detect
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -11,6 +12,8 @@ import (
 	"lcm/internal/alias"
 	"lcm/internal/core"
 	"lcm/internal/dataflow"
+	"lcm/internal/faultinject"
+	"lcm/internal/faults"
 	"lcm/internal/ir"
 	"lcm/internal/obsv"
 	"lcm/internal/sat"
@@ -51,9 +54,27 @@ type Config struct {
 	RequireTaint bool
 	// MaxQueries bounds solver calls per function (0 = unlimited).
 	MaxQueries int
+	// MaxConflicts bounds per-query CDCL effort (0 = unlimited). Unlike
+	// Timeout it is deterministic, so budget-degraded results are
+	// byte-reproducible; exhaustion is classified faults.ErrBudget, never
+	// misread as UNSAT.
+	MaxConflicts int64
 	// Timeout bounds wall time per function (0 = unlimited); the paper
 	// imposes per-function timeouts in Table 2.
 	Timeout time.Duration
+	// TriageOnly switches the detector to the range-prune-only triage
+	// rung: structural candidate enumeration, pruning, and taint filtering
+	// still run, but every solver query is answered optimistically true
+	// without search. Findings are then a sound over-approximation — no
+	// leak the full analysis would report is missed — at the price of
+	// possible false positives; consumers see the precision loss through
+	// Result.Rung.
+	TriageOnly bool
+	// InjectKey identifies this analysis to the fault-injection probes
+	// (internal/faultinject); empty means the function name. The
+	// degradation ladder appends its rung so retried attempts make fresh
+	// injection decisions.
+	InjectKey string
 	// Pruner is the range-analysis prune hook: universal candidates it
 	// discharges are skipped before taint filtering and solver queries.
 	// Pruning only removes the universality claim — a discharged pattern
@@ -146,6 +167,22 @@ type Result struct {
 	Duration  time.Duration
 	Queries   int
 	TimedOut  bool
+	// BudgetHit reports that a step budget (MaxQueries or MaxConflicts)
+	// bound the search before it finished; the findings present are valid
+	// but the absence of further findings is not proven.
+	BudgetHit bool
+	// Fault carries the classified fault (faults taxonomy) that aborted
+	// the search mid-analysis, nil for a clean run. Injected probe faults
+	// land here; the supervisor reads it to pick the next ladder rung.
+	Fault error
+	// Rung is the degradation-ladder rung this result was decided at
+	// (RungFull for a direct AnalyzeFunc call); Failure names the fault
+	// kind that forced the final downgrade ("" unless Rung is
+	// RungUnknown). Both are set by AnalyzeFuncLadder.
+	Rung    Rung
+	Failure string
+	// Attempts counts ladder attempts consumed (1 for an undegraded run).
+	Attempts int
 	// Candidates counts universal candidates examined (distinct access
 	// loads for PHT, bypassable store/load pairs for STL); Pruned counts
 	// those discharged statically by the Prune hook.
@@ -203,6 +240,10 @@ func AnalyzeFuncCtx(ctx context.Context, m *ir.Module, fn string, cfg Config) (*
 		ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
 		defer cancel()
 	}
+	key := cfg.InjectKey
+	if key == "" {
+		key = fn
+	}
 
 	var (
 		fe  *frontend
@@ -210,10 +251,12 @@ func AnalyzeFuncCtx(ctx context.Context, m *ir.Module, fn string, cfg Config) (*
 		err error
 	)
 	feSpan := fnSpan.Start("frontend")
-	if cfg.Cache != nil {
-		fe, hit, err = cfg.Cache.frontend(m, fn, cfg.ACFG)
-	} else {
-		fe, err = buildFrontend(m, fn, cfg.ACFG)
+	if err = faultinject.Error(faultinject.ProbeCacheLookup, key); err == nil {
+		if cfg.Cache != nil {
+			fe, hit, err = cfg.Cache.frontend(m, fn, cfg.ACFG)
+		} else {
+			fe, err = buildFrontend(m, fn, cfg.ACFG)
+		}
 	}
 	feSpan.End()
 	if err != nil {
@@ -235,7 +278,14 @@ func AnalyzeFuncCtx(ctx context.Context, m *ir.Module, fn string, cfg Config) (*
 
 	encSpan := fnSpan.Start("encode")
 	encodeStart := time.Now()
+	if err := faultinject.Error(faultinject.ProbeAEGBuild, key); err != nil {
+		encSpan.End()
+		return nil, err
+	}
 	a := aeg.Build(fe.g, fe.al, cfg.AEG)
+	if cfg.MaxConflicts > 0 {
+		a.S.SetBudget(sat.Budget{Conflicts: cfg.MaxConflicts})
+	}
 	encodeTime := time.Since(encodeStart)
 	encSpan.End()
 	if ctx.Err() != nil {
@@ -257,7 +307,7 @@ func AnalyzeFuncCtx(ctx context.Context, m *ir.Module, fn string, cfg Config) (*
 		}
 	}
 	d := &detector{
-		ctx: ctx, cfg: cfg, g: fe.g, al: fe.al, ta: fe.ta, a: a,
+		ctx: ctx, cfg: cfg, key: key, g: fe.g, al: fe.al, ta: fe.ta, a: a,
 		res: &Result{
 			Fn: fn, NodeCount: fe.g.Len(), Graph: fe.g, AEG: a,
 			FrontendTime: frontendTime, EncodeTime: encodeTime, CacheHit: hit,
@@ -278,6 +328,7 @@ func AnalyzeFuncCtx(ctx context.Context, m *ir.Module, fn string, cfg Config) (*
 type detector struct {
 	ctx        context.Context
 	cfg        Config
+	key        string // fault-injection identity
 	g          *acfg.Graph
 	al         *alias.Analysis
 	ta         *taint.Analysis
@@ -365,13 +416,19 @@ func (d *detector) wantClass(c core.Class) bool {
 }
 
 func (d *detector) outOfBudget() bool {
+	if d.res.Fault != nil {
+		return true
+	}
 	select {
 	case <-d.ctx.Done():
 		d.res.TimedOut = true
+		d.res.Fault = faults.FromContext(d.ctx.Err())
 		return true
 	default:
 	}
 	if d.cfg.MaxQueries > 0 && d.res.Queries >= d.cfg.MaxQueries {
+		d.res.BudgetHit = true
+		d.res.Fault = faults.Budgetf("%s: %d queries", d.res.Fn, d.res.Queries)
 		return true
 	}
 	return false
@@ -397,11 +454,25 @@ func (d *detector) loads() []*acfg.Node {
 	return out
 }
 
+// query runs one solver call. In triage mode (TriageOnly) it answers
+// true without search: the candidate already passed every structural,
+// range, and taint filter, so admitting it is the sound over-approximate
+// answer of the weakest ladder rung.
 func (d *detector) query(assumptions ...*smt.Expr) bool {
 	if d.outOfBudget() {
 		return false
 	}
+	if err := d.fireProbe(faultinject.ProbeSolverStep); err != nil {
+		d.res.Fault = err
+		if errors.Is(err, faults.ErrDeadline) {
+			d.res.TimedOut = true
+		}
+		return false
+	}
 	d.res.Queries++
+	if d.cfg.TriageOnly {
+		return true
+	}
 	t0 := time.Now()
 	st, hit := d.a.CheckMemo(d.ctx, assumptions...)
 	d.res.SolveTime += time.Since(t0)
@@ -409,11 +480,29 @@ func (d *detector) query(assumptions ...*smt.Expr) bool {
 		d.res.MemoHits++
 	}
 	if st == sat.Unknown {
-		// The context fired mid-query: the budget is spent.
-		d.res.TimedOut = true
+		// The query aborted mid-search: classify why before giving up.
+		// An Unknown is never a verdict — in particular not UNSAT.
+		cause := d.a.S.AbortCause()
+		switch {
+		case cause != nil && errors.Is(cause, faults.ErrBudget):
+			d.res.BudgetHit = true
+			d.res.Fault = cause
+		case cause != nil:
+			d.res.TimedOut = true
+			d.res.Fault = cause
+		default:
+			d.res.TimedOut = true
+			d.res.Fault = faults.Deadlinef("%s: query aborted", d.res.Fn)
+		}
 		return false
 	}
 	return st == sat.Sat
+}
+
+// fireProbe consults the solver-step injection probe (panics from it are
+// the supervisor's responsibility to recover).
+func (d *detector) fireProbe(probe string) error {
+	return faultinject.Error(probe, d.key)
 }
 
 func (d *detector) run() {

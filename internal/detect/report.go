@@ -18,6 +18,7 @@ func (r *Result) record(reg *obsv.Registry) {
 	reg.Counter("detect.findings").Add(int64(len(r.Findings)))
 	reg.Counter("detect.cache_hits").Add(b2i(r.CacheHit))
 	reg.Counter("detect.timeouts").Add(b2i(r.TimedOut))
+	reg.Counter("detect.budget_hits").Add(b2i(r.BudgetHit))
 	reg.Counter("sat.decisions").Add(r.Decisions)
 	reg.Counter("sat.propagations").Add(r.Propagations)
 	reg.Counter("sat.conflicts").Add(r.Conflicts)
@@ -53,6 +54,8 @@ func (r *Result) Report() obsv.FuncReport {
 		SolveNs:    r.SolveTime.Nanoseconds(),
 	}
 	switch {
+	case r.Rung == RungUnknown:
+		fr.Verdict = "unknown"
 	case len(r.Findings) > 0:
 		fr.Verdict = "leak"
 	case r.TimedOut:
@@ -60,6 +63,10 @@ func (r *Result) Report() obsv.FuncReport {
 	default:
 		fr.Verdict = "clean"
 	}
+	if r.Rung != RungFull {
+		fr.Rung = r.Rung.String()
+	}
+	fr.Failure = r.Failure
 	if counts := r.Counts(); len(counts) > 0 {
 		fr.Counts = make(map[string]int, len(counts))
 		for cl, n := range counts {

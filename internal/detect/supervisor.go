@@ -1,0 +1,209 @@
+package detect
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"lcm/internal/faultinject"
+	"lcm/internal/faults"
+	"lcm/internal/ir"
+	"lcm/internal/obsv"
+)
+
+// Rung identifies a degradation-ladder precision level. Lower rungs are
+// sound over-approximations of higher ones — the shape hardware-software
+// contracts give weaker contracts (Guarnieri et al.): a verdict decided
+// lower on the ladder may admit more behaviors, never fewer, so a "clean"
+// from a degraded rung is weaker evidence but a reported leak set always
+// covers the full-precision one.
+type Rung int
+
+// The ladder, strongest first.
+const (
+	// RungFull is the configured full-symbolic analysis.
+	RungFull Rung = iota
+	// RungReduced retries with a single loop unrolling, a reduced
+	// speculation window, and tight query/conflict budgets.
+	RungReduced
+	// RungTriage answers solver queries optimistically: range-prune-only
+	// triage, over-approximate but cheap and deterministic.
+	RungTriage
+	// RungUnknown is the final fallback: no analysis completed; the
+	// verdict is a sound "unknown", never a silent drop.
+	RungUnknown
+)
+
+func (r Rung) String() string {
+	switch r {
+	case RungFull:
+		return "full"
+	case RungReduced:
+		return "reduced"
+	case RungTriage:
+		return "triage"
+	case RungUnknown:
+		return "unknown"
+	}
+	return fmt.Sprintf("rung(%d)", int(r))
+}
+
+// ParseRung inverts Rung.String (used by degradation-regression replay).
+func ParseRung(s string) (Rung, error) {
+	for _, r := range []Rung{RungFull, RungReduced, RungTriage, RungUnknown} {
+		if r.String() == s {
+			return r, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown rung %q", s)
+}
+
+// reducedCfg derives the RungReduced configuration: the same engine and
+// filters over a smaller, cheaper abstraction. The bounds are fixed
+// constants — not fractions of the caller's — so a rung names one
+// reproducible precision level everywhere.
+func reducedCfg(cfg Config) Config {
+	c := cfg
+	c.ACFG.Unroll = 1
+	c.AEG.ROB = 32
+	c.AEG.LSQ = 16
+	c.AEG.Wsize = 32
+	if c.MaxQueries == 0 || c.MaxQueries > 512 {
+		c.MaxQueries = 512
+	}
+	if c.MaxConflicts == 0 || c.MaxConflicts > 20000 {
+		c.MaxConflicts = 20000
+	}
+	return c
+}
+
+// triageCfg derives the RungTriage configuration: no solver search at
+// all, so the only budgets left are the wall clock and the frontend.
+func triageCfg(cfg Config) Config {
+	c := reducedCfg(cfg)
+	c.TriageOnly = true
+	c.MaxQueries = 0
+	c.MaxConflicts = 0
+	return c
+}
+
+// AnalyzeFuncLadder is the fault-tolerant analysis supervisor: it runs
+// AnalyzeFuncCtx down the degradation ladder — full symbolic, then
+// reduced window and single unrolling, then range-prune-only triage —
+// retrying whenever an attempt dies of a classified fault (deadline,
+// budget, panic, or an injected cancellation), and finally returns a
+// sound RungUnknown verdict instead of failing. Every input therefore
+// gets exactly one Result; the rung it was decided at and the fault that
+// forced any downgrade ride along in Result.Rung / Result.Failure.
+//
+// Non-fault errors (unknown function, malformed IR) are returned as
+// errors: no amount of precision loss can decide those. A parent context
+// that is itself done aborts the ladder with a classified error — campaign
+// cancellation must not burn the remaining rungs.
+func AnalyzeFuncLadder(ctx context.Context, m *ir.Module, fn string, cfg Config) (*Result, error) {
+	baseKey := cfg.InjectKey
+	if baseKey == "" {
+		baseKey = fn
+	}
+	var lastFault error
+	attempts := 0
+	for _, rung := range []Rung{RungFull, RungReduced, RungTriage} {
+		if err := ctx.Err(); err != nil {
+			return nil, faults.FromContext(err)
+		}
+		c := cfg
+		switch rung {
+		case RungReduced:
+			c = reducedCfg(cfg)
+		case RungTriage:
+			c = triageCfg(cfg)
+		}
+		// Each rung makes fresh injection decisions: a fault that killed
+		// the full attempt does not automatically kill the retry.
+		c.InjectKey = fmt.Sprintf("%s@r%d", baseKey, int(rung))
+		attempts++
+		res, err := attemptRung(ctx, m, fn, c)
+		fault := classifyAttempt(res, err)
+		if fault == nil {
+			res.Rung = rung
+			res.Attempts = attempts
+			if rung > RungFull {
+				recordDegraded(cfg.Metrics, rung)
+			}
+			return res, nil
+		}
+		if !faults.IsFault(fault) {
+			return nil, fault
+		}
+		recordFault(cfg.Metrics, fault)
+		lastFault = fault
+		if ctx.Err() != nil {
+			// The campaign itself is shutting down, not just this attempt.
+			return nil, faults.FromContext(ctx.Err())
+		}
+		cfg.Metrics.Counter("supervisor.retries").Add(1)
+	}
+	// Every rung failed: emit the sound Unknown verdict carrying the last
+	// classified fault. This is a result, not an error — the item is
+	// accounted for, just undecided.
+	res := &Result{
+		Fn:       fn,
+		Rung:     RungUnknown,
+		Failure:  faults.Kind(lastFault),
+		Fault:    lastFault,
+		Attempts: attempts,
+	}
+	cfg.Metrics.Counter("supervisor.unknown").Add(1)
+	res.record(cfg.Metrics)
+	return res, nil
+}
+
+// attemptRung runs one analysis attempt with panic recovery: a panicking
+// worker (organic or injected) yields a classified faults.ErrPanic error
+// instead of unwinding the process.
+func attemptRung(ctx context.Context, m *ir.Module, fn string, cfg Config) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if pv, ok := r.(faultinject.PanicValue); ok {
+				err = fmt.Errorf("%w: %w: %v", faults.ErrPanic, faultinject.ErrInjected, pv)
+				return
+			}
+			err = faults.Panicf("detect %s: %v", fn, r)
+		}
+	}()
+	return AnalyzeFuncCtx(ctx, m, fn, cfg)
+}
+
+// classifyAttempt folds an attempt's outcome into a single error: nil for
+// success, a faults-taxonomy error for a recoverable fault, anything else
+// for a genuine error.
+func classifyAttempt(res *Result, err error) error {
+	switch {
+	case err != nil:
+		return err
+	case res.Fault != nil:
+		return res.Fault
+	case res.TimedOut:
+		return faults.Deadlinef("%s: analysis deadline", res.Fn)
+	case res.BudgetHit:
+		return faults.Budgetf("%s: analysis budget", res.Fn)
+	}
+	return nil
+}
+
+// recordFault tallies one failed attempt in the failure-taxonomy
+// counters; injected faults get a parallel counter so chaos campaigns can
+// reconcile them exactly against the armed plan.
+func recordFault(reg *obsv.Registry, fault error) {
+	kind := faults.Kind(fault)
+	reg.Counter("faults." + kind).Add(1)
+	if errors.Is(fault, faultinject.ErrInjected) {
+		reg.Counter("faults.injected." + kind).Add(1)
+	}
+}
+
+// recordDegraded tallies one verdict decided below full precision.
+func recordDegraded(reg *obsv.Registry, rung Rung) {
+	reg.Counter("supervisor.degraded").Add(1)
+	reg.Counter("supervisor.rung." + rung.String()).Add(1)
+}

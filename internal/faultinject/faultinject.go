@@ -1,0 +1,236 @@
+// Package faultinject provides deterministic, seeded fault injection for
+// the analysis pipeline's chaos campaigns. Named probe points are wired
+// into the layers a real failure can originate from — solver stepping,
+// S-AEG construction, frontend-cache lookup, and worker dispatch — and a
+// seeded Plan decides, purely from (probe, key), whether a probe fires
+// and which fault it raises: a panic, artificial deadline exhaustion, or
+// a cancellation.
+//
+// Determinism contract: a decision depends only on the plan seed, the
+// probe name, and the caller-supplied key (a stable item identity such as
+// "g0017/pht@r0" or a worker index), never on call order, wall clock, or
+// scheduling. Two runs of the same workload under the same plan therefore
+// inject the same faults at the same places even at different -j widths —
+// the property `make chaos` asserts byte-for-byte.
+//
+// With no plan armed every probe is a single atomic load and a nil check,
+// so production runs pay essentially nothing.
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"lcm/internal/faults"
+)
+
+// Kind is the fault a fired probe raises.
+type Kind uint8
+
+// The fault kinds a plan can arm.
+const (
+	None     Kind = iota
+	Panic         // probe panics with a PanicValue
+	Deadline      // probe reports artificial deadline exhaustion
+	Cancel        // probe reports an artificial cancellation
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Panic:
+		return "panic"
+	case Deadline:
+		return "deadline"
+	case Cancel:
+		return "canceled"
+	}
+	return "none"
+}
+
+// Probe point names. Keys are chosen by each site: detection probes use
+// the supervisor's inject key (function identity plus ladder rung), the
+// pool uses the item index.
+const (
+	ProbeSolverStep     = "solver.step"     // detect.query, before a solver call
+	ProbeAEGBuild       = "aeg.build"       // detect.AnalyzeFuncCtx, before aeg.Build
+	ProbeCacheLookup    = "cache.lookup"    // detect.AnalyzeFuncCtx, frontend lookup
+	ProbeWorkerDispatch = "worker.dispatch" // harness pool, before running a job
+)
+
+// Probes lists every probe point, for campaign-coverage assertions.
+func Probes() []string {
+	return []string{ProbeSolverStep, ProbeAEGBuild, ProbeCacheLookup, ProbeWorkerDispatch}
+}
+
+// ErrInjected marks an error (or panic) as planted by a plan rather than
+// organic, so chaos accounting can match fired probes against classified
+// failures exactly even if a real deadline fires during the campaign.
+var ErrInjected = fmt.Errorf("injected fault")
+
+// PanicValue is the value a Panic-kind probe panics with; recovery
+// handlers use it to tell injected panics from real ones.
+type PanicValue struct {
+	Probe string
+	Key   string
+}
+
+func (p PanicValue) String() string {
+	return fmt.Sprintf("faultinject: injected panic at %s[%s]", p.Probe, p.Key)
+}
+
+// Plan is a seeded injection plan. Decisions are pure functions of
+// (seed, probe, key); the plan additionally records which (probe, key)
+// pairs actually fired so campaigns can reconcile every injected fault
+// against the failure-taxonomy metrics.
+type Plan struct {
+	seed int64
+	// rate is the per-key fire probability in 1/65536ths.
+	rate uint32
+
+	mu     sync.Mutex
+	fired  map[string]Kind // "probe\x00key" → kind, first-fire only
+	counts [4]int64        // per-Kind fired tally
+}
+
+// NewPlan returns a plan that fires each (probe, key) decision with the
+// given probability (clamped to [0, 1]). The fault kind is also derived
+// from the hash, split evenly across Panic, Deadline, and Cancel.
+func NewPlan(seed int64, rate float64) *Plan {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	return &Plan{seed: seed, rate: uint32(rate * 65536), fired: map[string]Kind{}}
+}
+
+// Decide returns the fault, if any, the plan assigns to (probe, key).
+// It is a pure function: it does not record the decision as fired.
+func (p *Plan) Decide(probe, key string) Kind {
+	h := hash64(uint64(p.seed), probe, key)
+	if uint32(h&0xffff) >= p.rate {
+		return None
+	}
+	// Use high bits for the kind so they are independent of the fire bits.
+	return Kind(1 + (h>>32)%3)
+}
+
+// fire records and returns the decision for (probe, key). A key fires at
+// most once per plan: repeated probe visits (solver steps retry the same
+// key every query) return the kind without recounting.
+func (p *Plan) fire(probe, key string) Kind {
+	k := p.Decide(probe, key)
+	if k == None {
+		return None
+	}
+	id := probe + "\x00" + key
+	p.mu.Lock()
+	if _, seen := p.fired[id]; !seen {
+		p.fired[id] = k
+		p.counts[k]++
+	}
+	p.mu.Unlock()
+	return k
+}
+
+// Total returns how many distinct (probe, key) pairs have fired.
+func (p *Plan) Total() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.counts[Panic] + p.counts[Deadline] + p.counts[Cancel]
+}
+
+// Counts returns the fired tally per kind name.
+func (p *Plan) Counts() map[string]int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return map[string]int64{
+		Panic.String():    p.counts[Panic],
+		Deadline.String(): p.counts[Deadline],
+		Cancel.String():   p.counts[Cancel],
+	}
+}
+
+// FiredProbes returns, per probe name, how many keys fired there — the
+// campaign's probe-coverage evidence.
+func (p *Plan) FiredProbes() map[string]int64 {
+	out := map[string]int64{}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for id := range p.fired {
+		for i := 0; i < len(id); i++ {
+			if id[i] == 0 {
+				out[id[:i]]++
+				break
+			}
+		}
+	}
+	return out
+}
+
+// armed holds the process-wide active plan. Probes are meant for
+// single-campaign processes (`make chaos`, a chaos test binary); Arm and
+// Disarm are atomic so mis-nested tests fail loudly rather than race.
+var armed atomic.Pointer[Plan]
+
+// Arm installs the plan process-wide. It panics if a different plan is
+// already armed — campaigns must not overlap.
+func Arm(p *Plan) {
+	if !armed.CompareAndSwap(nil, p) {
+		panic("faultinject: a plan is already armed")
+	}
+}
+
+// Disarm removes the active plan.
+func Disarm() { armed.Store(nil) }
+
+// Fire consults the armed plan for (probe, key). With no plan armed it
+// returns None at the cost of one atomic load.
+func Fire(probe, key string) Kind {
+	p := armed.Load()
+	if p == nil {
+		return None
+	}
+	return p.fire(probe, key)
+}
+
+// Error fires the probe and converts the decision into its classified
+// error form: Deadline and Cancel become faults-taxonomy errors marked
+// ErrInjected; Panic panics with a PanicValue (callers' recovery handlers
+// convert it); None is nil.
+func Error(probe, key string) error {
+	switch Fire(probe, key) {
+	case Panic:
+		panic(PanicValue{Probe: probe, Key: key})
+	case Deadline:
+		return fmt.Errorf("%w: %w at %s[%s]", faults.ErrDeadline, ErrInjected, probe, key)
+	case Cancel:
+		return fmt.Errorf("%w: %w at %s[%s]", faults.ErrCanceled, ErrInjected, probe, key)
+	}
+	return nil
+}
+
+// hash64 is a splitmix64-style mix over the seed and the probe/key bytes
+// (FNV-1a absorb, splitmix finalize). It must stay stable: chaos goldens
+// and pinned fire counts depend on it.
+func hash64(seed uint64, probe, key string) uint64 {
+	h := seed ^ 0x9e3779b97f4a7c15
+	absorb := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 0x100000001b3
+		}
+		h ^= 0xff
+		h *= 0x100000001b3
+	}
+	absorb(probe)
+	absorb(key)
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}

@@ -1,0 +1,105 @@
+// Package faults defines the structured failure taxonomy of the
+// fault-tolerant analysis supervisor: every way a per-item analysis can
+// fail without the process dying is classified into exactly one of four
+// sentinel kinds. The taxonomy is the contract between the layers — the
+// worker pool (internal/harness) converts panics into ErrPanic items, the
+// detector marks deadline and budget exhaustion, the degradation ladder
+// (detect.AnalyzeFuncLadder) decides per kind whether to retry at a lower
+// precision rung, and the run report and metrics surface the kind so no
+// failure is ever silent.
+//
+// The package is a dependency leaf: sat, detect, harness, and the CLIs
+// all import it, so it must import nothing from this repo.
+package faults
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// The four sentinel failure kinds. Classified errors wrap exactly one of
+// them, so errors.Is works through any amount of context wrapping.
+var (
+	// ErrDeadline marks an analysis cut off by its wall-clock deadline
+	// (context.DeadlineExceeded at the item level).
+	ErrDeadline = errors.New("deadline exceeded")
+	// ErrBudget marks an analysis cut off by a step budget: solver query
+	// caps, conflict budgets, or node limits.
+	ErrBudget = errors.New("budget exhausted")
+	// ErrPanic marks a worker panic converted into a per-item error by the
+	// pool's recovery handler.
+	ErrPanic = errors.New("worker panic")
+	// ErrCanceled marks an item abandoned because its context was
+	// canceled (campaign shutdown or an injected cancellation).
+	ErrCanceled = errors.New("canceled")
+)
+
+// Kind names a classified error's sentinel: "deadline", "budget",
+// "panic", "canceled", or "" for nil / unclassified errors. The names are
+// stable identifiers used in metric counter names ("faults.<kind>"),
+// report failure fields, and degradation-regression headers.
+func Kind(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrDeadline):
+		return "deadline"
+	case errors.Is(err, ErrBudget):
+		return "budget"
+	case errors.Is(err, ErrPanic):
+		return "panic"
+	case errors.Is(err, ErrCanceled):
+		return "canceled"
+	}
+	return ""
+}
+
+// IsFault reports whether err is classified under the taxonomy. Faults
+// are recoverable by degradation; anything else (parse errors, missing
+// functions, IO) is a genuine error the supervisor must propagate.
+func IsFault(err error) bool { return Kind(err) != "" }
+
+// Kinds lists every kind name in fixed order, for exhaustive metrics
+// accounting.
+func Kinds() []string { return []string{"deadline", "budget", "panic", "canceled"} }
+
+// Deadlinef, Budgetf, Panicf, and Canceledf build classified errors with
+// context. The sentinel is wrapped, so errors.Is(err, ErrX) holds.
+
+// Deadlinef returns a classified deadline error.
+func Deadlinef(format string, args ...interface{}) error {
+	return wrap(ErrDeadline, format, args...)
+}
+
+// Budgetf returns a classified budget error.
+func Budgetf(format string, args ...interface{}) error {
+	return wrap(ErrBudget, format, args...)
+}
+
+// Panicf returns a classified panic error.
+func Panicf(format string, args ...interface{}) error {
+	return wrap(ErrPanic, format, args...)
+}
+
+// Canceledf returns a classified cancellation error.
+func Canceledf(format string, args ...interface{}) error {
+	return wrap(ErrCanceled, format, args...)
+}
+
+func wrap(sentinel error, format string, args ...interface{}) error {
+	return fmt.Errorf("%w: %s", sentinel, fmt.Sprintf(format, args...))
+}
+
+// FromContext classifies a context error: DeadlineExceeded → ErrDeadline,
+// Canceled → ErrCanceled, nil → nil.
+func FromContext(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("%w: %v", ErrDeadline, err)
+	default:
+		return fmt.Errorf("%w: %v", ErrCanceled, err)
+	}
+}

@@ -9,7 +9,7 @@ import (
 
 // Version identifies the report schema / toolchain generation. Bump it
 // when the JSON shape changes; the golden tests pin the serialized form.
-const Version = "0.3.0"
+const Version = "0.4.0"
 
 // Report is the machine-readable run manifest shared by clou -report,
 // lcmlint -report, and cmd/benchjson. All timing-valued fields end in
@@ -31,7 +31,13 @@ type Report struct {
 // FuncReport is one analyzed function (or lint unit) in a Report.
 type FuncReport struct {
 	Name    string `json:"name"`
-	Verdict string `json:"verdict"` // "leak", "clean", "timeout", or "error"
+	Verdict string `json:"verdict"` // "leak", "clean", "timeout", "unknown", or "error"
+	// Rung is the degradation-ladder rung the verdict was decided at
+	// ("reduced", "triage", "unknown"); empty means full precision.
+	// Failure names the failure-taxonomy kind ("deadline", "budget",
+	// "panic", "canceled") that forced the final downgrade, when any.
+	Rung    string `json:"rung,omitempty"`
+	Failure string `json:"failure,omitempty"`
 
 	Findings []FindingReport `json:"findings,omitempty"`
 	// Counts tallies findings by class name (one per static transmitter).

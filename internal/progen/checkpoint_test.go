@@ -1,0 +1,157 @@
+package progen
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lcm/internal/obsv"
+)
+
+// renderCampaign runs a campaign and renders its normalized report, the
+// byte string resume must reproduce exactly.
+func renderCampaign(t *testing.T, opts Options) ([]byte, *Outcome) {
+	t.Helper()
+	metrics := obsv.NewRegistry()
+	tracer := obsv.NewTracer()
+	root := tracer.Start("conform")
+	opts.Metrics = metrics
+	opts.Span = root
+	out, err := RunCtx(context.Background(), opts)
+	root.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := out.Report(opts.Seed, 1, metrics, tracer)
+	rep.Normalize()
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), out
+}
+
+// TestCheckpointResumeIdentity: kill a campaign partway (simulated by
+// rewriting its checkpoint with only some records plus a truncated
+// in-flight line), resume it, and demand the resumed report be
+// byte-identical to the uninterrupted run's — same verdicts, same
+// metrics, same everything.
+func TestCheckpointResumeIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("resume sweep in -short mode")
+	}
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.jsonl")
+	base := Options{Seed: 5, N: 8, Jobs: 2, Checkpoint: full}
+	want, uninterrupted := renderCampaign(t, base)
+	if uninterrupted.Resumed != 0 {
+		t.Fatalf("fresh campaign resumed %d items", uninterrupted.Resumed)
+	}
+
+	// Forge the kill: keep the header and every other record, then append
+	// half a line to mimic a write cut mid-record.
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) != base.N+1 {
+		t.Fatalf("checkpoint has %d lines, want header + %d records", len(lines), base.N)
+	}
+	kept := []string{lines[0]}
+	for i, ln := range lines[1:] {
+		if i%2 == 0 {
+			kept = append(kept, ln)
+		}
+	}
+	partial := filepath.Join(dir, "partial.jsonl")
+	body := strings.Join(kept, "\n") + "\n" + `{"index":999,"resu`
+	if err := os.WriteFile(partial, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	opts := base
+	opts.Checkpoint = partial
+	opts.Resume = true
+	got, out := renderCampaign(t, opts)
+	if out.Resumed != len(kept)-1 {
+		t.Errorf("resumed %d items, want %d (the surviving records)", out.Resumed, len(kept)-1)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("resumed report differs from uninterrupted run:\n--- uninterrupted ---\n%s\n--- resumed ---\n%s", want, got)
+	}
+
+	// The resumed run healed the log: a second resume restores every index.
+	got2, out2 := renderCampaign(t, opts)
+	if out2.Resumed != base.N {
+		t.Errorf("second resume restored %d items, want all %d", out2.Resumed, base.N)
+	}
+	if !bytes.Equal(got2, want) {
+		t.Fatal("fully-restored report differs from uninterrupted run")
+	}
+}
+
+// TestCheckpointSeedMismatch: indices address programs only under the
+// seed that generated them, so resuming someone else's log must refuse.
+func TestCheckpointSeedMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	if _, err := Run(Options{Seed: 1, N: 2, Jobs: 1, Checkpoint: path}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Run(Options{Seed: 2, N: 2, Jobs: 1, Checkpoint: path, Resume: true})
+	if err == nil {
+		t.Fatal("resume accepted a checkpoint written under a different seed")
+	}
+	if !strings.Contains(err.Error(), "seed") {
+		t.Fatalf("mismatch error does not name the seed: %v", err)
+	}
+}
+
+// TestCheckpointResumeMissingFileStartsFresh: -resume on a first run (no
+// log yet) is not an error — it just starts the campaign.
+func TestCheckpointResumeMissingFileStartsFresh(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	out, err := Run(Options{Seed: 1, N: 2, Jobs: 1, Checkpoint: path, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Resumed != 0 {
+		t.Fatalf("resumed %d items from a missing log", out.Resumed)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("fresh campaign left no checkpoint: %v", err)
+	}
+}
+
+// TestWriteDegradationRoundTrip: a written degradation entry parses back
+// to the same rung, fault, and verdict, with the source intact.
+func TestWriteDegradationRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	r := ProgramResult{
+		Index:   3,
+		Verdict: "leak",
+		Rung:    "triage",
+		Failure: "deadline",
+	}
+	src := "uint8_t A[16];\nvoid victim(uint32_t y) {\n\tA[y] = 1;\n}\n"
+	if err := WriteDegradation(dir, src, r, 9); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "triage-seed9-idx3.c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := ParseDegradation(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Rung != "triage" || d.Fault != "deadline" || d.Verdict != "leak" || d.Replay != "none" {
+		t.Fatalf("round trip lost fields: %+v", d)
+	}
+	if !strings.Contains(d.Src, "victim") {
+		t.Fatalf("source lost in round trip:\n%s", d.Src)
+	}
+}

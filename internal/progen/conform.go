@@ -1,13 +1,21 @@
 package progen
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"lcm/internal/detect"
+	"lcm/internal/faults"
 	"lcm/internal/harness"
 	"lcm/internal/obsv"
 )
@@ -25,6 +33,18 @@ type Options struct {
 	// RegrDir, when non-empty, receives one shrunk .c regression file per
 	// failure (see WriteRegression for the format).
 	RegrDir string
+	// DegrDir, when non-empty, receives one .c file per program whose
+	// verdict was decided below full ladder precision (see
+	// WriteDegradation for the format).
+	DegrDir string
+	// Checkpoint, when non-empty, is the campaign's index-addressed result
+	// log: each completed program appends one JSON line, so a killed run
+	// loses at most the records in flight. Resume loads the log and skips
+	// every index already recorded; replayed items re-increment the
+	// conform.* counters, so a resumed run's normalized report is
+	// byte-identical to an uninterrupted one.
+	Checkpoint string
+	Resume     bool
 	// Metrics and Span are optional observability sinks.
 	Metrics *obsv.Registry
 	Span    *obsv.Span
@@ -35,16 +55,24 @@ type Outcome struct {
 	Programs []ProgramResult
 	Failures []Failure
 	Wall     time.Duration
+	// Resumed counts programs restored from the checkpoint instead of
+	// re-analyzed.
+	Resumed int
 }
 
 // ProgramResult is one generated program's summary.
 type ProgramResult struct {
 	Index   int
-	Verdict string // "leak", "clean", "fail", "skipped", or "error"
+	Verdict string // "leak", "clean", "fail", "unknown", "skipped", or "error"
 	Counts  map[string]int
 	Nodes   int
 	Queries int
 	Gadget  string // template name for differential subjects
+	// Rung names the degradation-ladder rung the verdict was decided at
+	// when below full precision ("reduced", "triage", "unknown"); Failure
+	// is the fault kind that forced the downgrade.
+	Rung    string
+	Failure string
 	Err     string
 }
 
@@ -54,6 +82,13 @@ type ProgramResult struct {
 // the outcome — and the report built from it — is identical at any Jobs
 // width; only Budget (a wall-clock cut) can break that.
 func Run(opts Options) (*Outcome, error) {
+	return RunCtx(context.Background(), opts)
+}
+
+// RunCtx is Run under a context. Cancellation stops dispatch: items never
+// started are recorded with an "unknown" verdict (failure "canceled") and
+// are not checkpointed, so a resumed campaign re-runs exactly those.
+func RunCtx(ctx context.Context, opts Options) (*Outcome, error) {
 	start := time.Now()
 	if opts.N <= 0 {
 		opts.N = 1
@@ -65,18 +100,35 @@ func Run(opts Options) (*Outcome, error) {
 	if opts.Budget > 0 {
 		deadline = start.Add(opts.Budget)
 	}
+	var ck *checkpointer
+	if opts.Checkpoint != "" {
+		var err error
+		ck, err = openCheckpoint(opts.Checkpoint, opts.Seed, opts.Resume)
+		if err != nil {
+			return nil, err
+		}
+		defer ck.close()
+	}
 
+	var resumed atomic.Int64
 	results := make([]ProgramResult, opts.N)
 	failures := make([][]Failure, opts.N)
-	harness.ForEachSpan(opts.Span, "conform", opts.Jobs, opts.N, func(i int, sp *obsv.Span) error {
+	itemErrs := harness.ForEachSpanCtx(ctx, opts.Span, "conform", opts.Jobs, opts.N, func(i int, sp *obsv.Span) error {
 		psp := sp.Start(fmt.Sprintf("prog-%04d", i))
 		defer psp.End()
 		r := &results[i]
 		r.Index = i
 		r.Counts = map[string]int{}
+		if rec, ok := ck.take(i); ok {
+			*r = rec.Result
+			failures[i] = rec.Failures
+			recordProgram(opts.Metrics, *r, len(rec.Failures))
+			resumed.Add(1)
+			return nil
+		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			r.Verdict = "skipped"
-			opts.Metrics.Counter("conform.skipped").Add(1)
+			recordProgram(opts.Metrics, *r, 0)
 			return nil
 		}
 		p, err := Generate(opts.Seed, i)
@@ -84,39 +136,66 @@ func Run(opts Options) (*Outcome, error) {
 			r.Verdict = "error"
 			r.Err = err.Error()
 			failures[i] = []Failure{{Oracle: "compile", Detail: err.Error(), Src: "", Seed: opts.Seed, Index: i}}
-			opts.Metrics.Counter("conform.failures").Add(1)
-			return nil
+			recordProgram(opts.Metrics, *r, 1)
+			return ck.append(i, *r, failures[i])
 		}
-		opts.Metrics.Counter("conform.generated").Add(1)
 		if p.Gadget != nil {
 			r.Gadget = p.Gadget.Name
-			opts.Metrics.Counter("conform.gadgets").Add(1)
 		}
 		v, fails := Check(p)
 		r.Counts = v.Counts
 		r.Nodes, r.Queries = v.Nodes, v.Queries
+		if v.Rung != detect.RungFull {
+			r.Rung = v.Rung.String()
+			r.Failure = v.Failure
+		}
 		switch {
 		case len(fails) > 0:
 			r.Verdict = "fail"
 			r.Err = fails[0].Error()
-		case v.Leak:
-			r.Verdict = "leak"
-			opts.Metrics.Counter("conform.leaky").Add(1)
-		default:
-			r.Verdict = "clean"
-			opts.Metrics.Counter("conform.clean").Add(1)
-		}
-		if len(fails) > 0 {
-			opts.Metrics.Counter("conform.failures").Add(int64(len(fails)))
 			for fi := range fails {
 				fails[fi].Src = ShrinkFailure(fails[fi])
 			}
 			failures[i] = fails
+		case v.Unknown():
+			r.Verdict = "unknown"
+		case v.Leak:
+			r.Verdict = "leak"
+		default:
+			r.Verdict = "clean"
 		}
-		return nil
+		recordProgram(opts.Metrics, *r, len(fails))
+		if r.Rung != "" && opts.DegrDir != "" {
+			if err := WriteDegradation(opts.DegrDir, p.Src, *r, opts.Seed); err != nil {
+				return err
+			}
+		}
+		return ck.append(i, *r, failures[i])
 	})
+	for i, err := range itemErrs {
+		if err == nil {
+			continue
+		}
+		if faults.IsFault(err) {
+			// The item died of a classified fault before producing a result
+			// (canceled dispatch, a panic the ladder could not absorb). It
+			// is accounted for as a sound unknown — never silently dropped —
+			// and deliberately not checkpointed, so resume re-runs it.
+			results[i] = ProgramResult{
+				Index:   i,
+				Verdict: "unknown",
+				Counts:  map[string]int{},
+				Failure: faults.Kind(err),
+				Err:     err.Error(),
+			}
+			recordProgram(opts.Metrics, results[i], 0)
+			failures[i] = nil
+			continue
+		}
+		return nil, fmt.Errorf("prog-%04d: %w", i, err)
+	}
 
-	out := &Outcome{Programs: results, Wall: time.Since(start)}
+	out := &Outcome{Programs: results, Wall: time.Since(start), Resumed: int(resumed.Load())}
 	for _, fs := range failures {
 		out.Failures = append(out.Failures, fs...)
 	}
@@ -128,6 +207,167 @@ func Run(opts Options) (*Outcome, error) {
 		}
 	}
 	return out, nil
+}
+
+// recordProgram folds one program result into the conform.* counters. The
+// live path and the checkpoint-replay path both go through here, so a
+// resumed run's metrics snapshot matches an uninterrupted run exactly.
+func recordProgram(reg *obsv.Registry, r ProgramResult, nfails int) {
+	switch r.Verdict {
+	case "error":
+		reg.Counter("conform.failures").Add(1)
+		return
+	case "skipped":
+		reg.Counter("conform.skipped").Add(1)
+		return
+	}
+	reg.Counter("conform.generated").Add(1)
+	if r.Gadget != "" {
+		reg.Counter("conform.gadgets").Add(1)
+	}
+	if r.Rung != "" {
+		reg.Counter("conform.degraded").Add(1)
+	}
+	switch r.Verdict {
+	case "fail":
+		reg.Counter("conform.failures").Add(int64(nfails))
+	case "leak":
+		reg.Counter("conform.leaky").Add(1)
+	case "clean":
+		reg.Counter("conform.clean").Add(1)
+	case "unknown":
+		reg.Counter("conform.unknown").Add(1)
+	}
+}
+
+// ckRecord is one checkpoint line: an index-addressed completed result.
+type ckRecord struct {
+	Index    int           `json:"index"`
+	Result   ProgramResult `json:"result"`
+	Failures []Failure     `json:"failures,omitempty"`
+}
+
+// checkpointer is the campaign's append-only JSONL result log. The first
+// line is a header binding the log to its seed; every later line is one
+// ckRecord, written on item completion under a mutex (completion order —
+// the index field, not line order, addresses the record).
+type checkpointer struct {
+	mu        sync.Mutex
+	f         *os.File
+	completed map[int]ckRecord
+}
+
+// openCheckpoint creates (or, with resume, loads and rewrites compacted)
+// the checkpoint at path. Resuming against a log written under a
+// different seed is an error: the indices would address different
+// programs. A missing file under resume starts a fresh campaign; a
+// truncated final line — the usual residue of a killed run — is ignored.
+func openCheckpoint(path string, seed int64, resume bool) (*checkpointer, error) {
+	ck := &checkpointer{completed: map[int]ckRecord{}}
+	if resume {
+		data, err := os.ReadFile(path)
+		switch {
+		case err == nil:
+			if err := ck.load(data, seed); err != nil {
+				return nil, fmt.Errorf("checkpoint %s: %w", path, err)
+			}
+		case !errors.Is(err, os.ErrNotExist):
+			return nil, err
+		}
+	}
+	// (Re)write the log compacted: header plus every surviving record, in
+	// index order. Appending to the old file instead would land new records
+	// after a truncated tail and corrupt them both.
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	hdr, err := json.Marshal(map[string]map[string]int64{"conform": {"seed": seed}})
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Write(append(hdr, '\n')); err != nil {
+		f.Close()
+		return nil, err
+	}
+	idxs := make([]int, 0, len(ck.completed))
+	for i := range ck.completed {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		line, err := json.Marshal(ck.completed[i])
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		if _, err := f.Write(append(line, '\n')); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	ck.f = f
+	return ck, nil
+}
+
+func (ck *checkpointer) load(data []byte, seed int64) error {
+	lines := strings.Split(string(data), "\n")
+	var hdr struct {
+		Conform *struct {
+			Seed int64 `json:"seed"`
+		} `json:"conform"`
+	}
+	if len(lines) == 0 || json.Unmarshal([]byte(lines[0]), &hdr) != nil || hdr.Conform == nil {
+		return fmt.Errorf("malformed header")
+	}
+	if hdr.Conform.Seed != seed {
+		return fmt.Errorf("log seed %d does not match campaign seed %d", hdr.Conform.Seed, seed)
+	}
+	for _, ln := range lines[1:] {
+		if ln == "" {
+			continue
+		}
+		var rec ckRecord
+		if err := json.Unmarshal([]byte(ln), &rec); err != nil {
+			// Truncated tail from a killed run: everything before it is
+			// intact, the in-flight record is simply lost and re-run.
+			break
+		}
+		ck.completed[rec.Index] = rec
+	}
+	return nil
+}
+
+// take returns the recorded result for index i, if any. The completed map
+// is read-only after load, so no lock is needed.
+func (ck *checkpointer) take(i int) (ckRecord, bool) {
+	if ck == nil {
+		return ckRecord{}, false
+	}
+	rec, ok := ck.completed[i]
+	return rec, ok
+}
+
+func (ck *checkpointer) append(i int, r ProgramResult, fails []Failure) error {
+	if ck == nil {
+		return nil
+	}
+	data, err := json.Marshal(ckRecord{Index: i, Result: r, Failures: fails})
+	if err != nil {
+		return err
+	}
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	_, err = ck.f.Write(append(data, '\n'))
+	return err
+}
+
+func (ck *checkpointer) close() error {
+	if ck == nil || ck.f == nil {
+		return nil
+	}
+	return ck.f.Close()
 }
 
 // ShrinkFailure minimizes a failure's source with the ddmin shrinker,
@@ -173,6 +413,120 @@ func ParseRegression(data []byte) (oracle string, src string, err error) {
 	return rest[:end], s, nil
 }
 
+// Degradation is one parsed degradation-regression entry: a program whose
+// verdict was decided below full ladder precision, plus how to replay the
+// downgrade. Replay "budget" entries carry the query/conflict budgets
+// that deterministically force the descent; replay "none" entries (the
+// usual organic case — wall-clock deadlines are not reproducible) only
+// promise that the program still compiles and the ladder still decides
+// it without an error.
+type Degradation struct {
+	Rung         string
+	Fault        string
+	Verdict      string
+	Replay       string // "budget" or "none"
+	MaxQueries   int
+	MaxConflicts int64
+	Src          string
+}
+
+// WriteDegradation records a ladder-degraded program as a replayable .c
+// file, mirroring the regression corpus format. Organic downgrades are
+// deadline-caused and hence written replay=none.
+func WriteDegradation(dir, src string, r ProgramResult, seed int64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	name := fmt.Sprintf("%s-seed%d-idx%d.c", r.Rung, seed, r.Index)
+	body := fmt.Sprintf("// progen degradation: rung=%s fault=%s verdict=%s replay=none seed=%d index=%d\n%s",
+		r.Rung, r.Failure, r.Verdict, seed, r.Index, src)
+	return os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644)
+}
+
+// ParseDegradation inverts WriteDegradation (and accepts the curated
+// replay=budget entries with maxqueries=/maxconflicts= fields).
+func ParseDegradation(data []byte) (Degradation, error) {
+	s := string(data)
+	const tag = "// progen degradation: "
+	if !strings.HasPrefix(s, tag) {
+		return Degradation{}, fmt.Errorf("missing degradation header")
+	}
+	nl := strings.IndexByte(s, '\n')
+	if nl < 0 {
+		return Degradation{}, fmt.Errorf("malformed degradation header")
+	}
+	d := Degradation{Replay: "none", Src: s[nl+1:]}
+	for _, kv := range strings.Fields(s[len(tag):nl]) {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return Degradation{}, fmt.Errorf("malformed degradation field %q", kv)
+		}
+		var err error
+		switch k {
+		case "rung":
+			d.Rung = v
+		case "fault":
+			d.Fault = v
+		case "verdict":
+			d.Verdict = v
+		case "replay":
+			d.Replay = v
+		case "maxqueries":
+			d.MaxQueries, err = strconv.Atoi(v)
+		case "maxconflicts":
+			d.MaxConflicts, err = strconv.ParseInt(v, 10, 64)
+		case "seed", "index":
+			// informational
+		default:
+			return Degradation{}, fmt.Errorf("unknown degradation field %q", k)
+		}
+		if err != nil {
+			return Degradation{}, fmt.Errorf("degradation field %q: %w", kv, err)
+		}
+	}
+	if d.Rung == "" {
+		return Degradation{}, fmt.Errorf("degradation header missing rung")
+	}
+	return d, nil
+}
+
+// ReplayDegradation re-runs a degradation entry's program through the
+// ladder under the entry's recorded budgets and returns the combined
+// (worst-rung, verdict) pair across both engines — the values a
+// replay=budget entry pins exactly.
+func ReplayDegradation(d Degradation) (rung string, verdict string, err error) {
+	m, err := compileSrc(d.Src)
+	if err != nil {
+		return "", "", err
+	}
+	worst := detect.RungFull
+	leak := false
+	for _, e := range []detect.Engine{detect.PHT, detect.STL} {
+		cfg := conformCfg(e)
+		cfg.MaxQueries = d.MaxQueries
+		cfg.MaxConflicts = d.MaxConflicts
+		res, rerr := detect.AnalyzeFuncLadder(context.Background(), m, "victim", cfg)
+		if rerr != nil {
+			return "", "", rerr
+		}
+		if res.Rung > worst {
+			worst = res.Rung
+		}
+		if res.Rung != detect.RungUnknown && len(res.Findings) > 0 {
+			leak = true
+		}
+	}
+	switch {
+	case leak:
+		verdict = "leak"
+	case worst == detect.RungUnknown:
+		verdict = "unknown"
+	default:
+		verdict = "clean"
+	}
+	return worst.String(), verdict, nil
+}
+
 // Report renders the outcome as the shared normalized run manifest, the
 // same schema detection runs emit (internal/obsv): one FuncReport per
 // generated program plus the metrics snapshot and span tree.
@@ -190,6 +544,8 @@ func (o *Outcome) Report(seed int64, workers int, reg *obsv.Registry, tr *obsv.T
 		fr := obsv.FuncReport{
 			Name:    fmt.Sprintf("g%04d", r.Index),
 			Verdict: r.Verdict,
+			Rung:    r.Rung,
+			Failure: r.Failure,
 			Nodes:   r.Nodes,
 			Queries: r.Queries,
 			Error:   r.Err,

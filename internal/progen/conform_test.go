@@ -18,9 +18,11 @@ import (
 //
 //	go test ./internal/progen -run TestConformRun -conform.n 200 -conform.seed 1
 var (
-	conformN    = flag.Int("conform.n", 24, "programs per conformance sweep")
-	conformSeed = flag.Int64("conform.seed", 1, "generator seed for the conformance sweep")
-	conformJobs = flag.Int("conform.jobs", runtime.GOMAXPROCS(0), "conformance sweep worker width")
+	conformN      = flag.Int("conform.n", 24, "programs per conformance sweep")
+	conformSeed   = flag.Int64("conform.seed", 1, "generator seed for the conformance sweep")
+	conformJobs   = flag.Int("conform.jobs", runtime.GOMAXPROCS(0), "conformance sweep worker width")
+	conformCkpt   = flag.String("conform.checkpoint", "", "index-addressed campaign checkpoint file (empty = none)")
+	conformResume = flag.Bool("conform.resume", false, "resume from the checkpoint, skipping completed indices")
 )
 
 // TestConformRun is the conformance harness entry point: generate the
@@ -32,12 +34,15 @@ func TestConformRun(t *testing.T) {
 	tracer := obsv.NewTracer()
 	root := tracer.Start("conform")
 	out, err := Run(Options{
-		Seed:    *conformSeed,
-		N:       *conformN,
-		Jobs:    *conformJobs,
-		RegrDir: filepath.Join("testdata", "regressions"),
-		Metrics: metrics,
-		Span:    root,
+		Seed:       *conformSeed,
+		N:          *conformN,
+		Jobs:       *conformJobs,
+		RegrDir:    filepath.Join("testdata", "regressions"),
+		DegrDir:    filepath.Join("testdata", "degradations"),
+		Checkpoint: *conformCkpt,
+		Resume:     *conformResume,
+		Metrics:    metrics,
+		Span:       root,
 	})
 	root.End()
 	if err != nil {
@@ -47,9 +52,9 @@ func TestConformRun(t *testing.T) {
 	for _, r := range out.Programs {
 		byVerdict[r.Verdict]++
 	}
-	t.Logf("seed=%d programs=%d leak=%d clean=%d fail=%d error=%d in %v",
+	t.Logf("seed=%d programs=%d leak=%d clean=%d fail=%d error=%d unknown=%d resumed=%d in %v",
 		*conformSeed, len(out.Programs), byVerdict["leak"], byVerdict["clean"],
-		byVerdict["fail"], byVerdict["error"], out.Wall)
+		byVerdict["fail"], byVerdict["error"], byVerdict["unknown"], out.Resumed, out.Wall)
 	for _, f := range out.Failures {
 		t.Errorf("%v", f.Error())
 	}

@@ -1,0 +1,54 @@
+package progen
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDegradationReplay re-runs every pinned entry in
+// testdata/degradations/ through the ladder. Curated replay=budget
+// entries must reproduce their recorded rung and verdict exactly under
+// the recorded budgets; organic replay=none entries (deadline-caused,
+// not reproducible) must still compile and be decided without an error.
+func TestDegradationReplay(t *testing.T) {
+	dir := filepath.Join("testdata", "degradations")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Skipf("no degradation corpus: %v", err)
+	}
+	ran := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".c") {
+			continue
+		}
+		ran++
+		t.Run(e.Name(), func(t *testing.T) {
+			data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := ParseDegradation(data)
+			if err != nil {
+				t.Fatalf("bad degradation header: %v", err)
+			}
+			rung, verdict, err := ReplayDegradation(d)
+			if err != nil {
+				t.Fatalf("ladder failed to decide the pinned program: %v", err)
+			}
+			if d.Replay != "budget" {
+				return // organic entry: deciding without an error is the contract
+			}
+			if rung != d.Rung {
+				t.Errorf("rung = %s, want %s", rung, d.Rung)
+			}
+			if verdict != d.Verdict {
+				t.Errorf("verdict = %s, want %s", verdict, d.Verdict)
+			}
+		})
+	}
+	if ran == 0 {
+		t.Skip("degradation corpus is empty")
+	}
+}

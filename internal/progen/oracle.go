@@ -1,6 +1,7 @@
 package progen
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -72,9 +73,21 @@ type Verdict struct {
 	Leak    bool
 	Nodes   int // PHT S-AEG size
 	Queries int
+	// Rung is the weakest degradation-ladder rung either engine's
+	// analysis was decided at (detect.RungFull when nothing degraded);
+	// Failure names the fault kind behind the final downgrade.
+	Rung    detect.Rung
+	Failure string
 }
 
-// classify analyzes src's fn under both engines and merges class counts.
+// Unknown reports that at least one engine's analysis exhausted the
+// whole ladder: the program's classification is a sound "don't know".
+func (v Verdict) Unknown() bool { return v.Rung == detect.RungUnknown }
+
+// classify analyzes src's fn under both engines through the degradation
+// ladder and merges class counts. A fault at full precision degrades the
+// verdict's rung instead of failing the program; only genuine errors
+// (non-analyzable input) are returned.
 func classify(src, fn string) (Verdict, error) {
 	v := Verdict{Counts: map[string]int{}}
 	m, err := compileSrc(src)
@@ -82,12 +95,15 @@ func classify(src, fn string) (Verdict, error) {
 		return v, err
 	}
 	for _, e := range []detect.Engine{detect.PHT, detect.STL} {
-		res, err := detect.AnalyzeFunc(m, fn, conformCfg(e))
+		res, err := detect.AnalyzeFuncLadder(context.Background(), m, fn, conformCfg(e))
 		if err != nil {
 			return v, fmt.Errorf("detect %v: %w", e, err)
 		}
-		if res.TimedOut {
-			return v, fmt.Errorf("detect %v: timed out", e)
+		if res.Rung > v.Rung {
+			v.Rung, v.Failure = res.Rung, res.Failure
+		}
+		if res.Rung == detect.RungUnknown {
+			continue
 		}
 		name := "pht"
 		if e == detect.STL {

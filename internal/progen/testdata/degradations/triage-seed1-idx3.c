@@ -1,0 +1,15 @@
+// progen degradation: rung=triage fault=budget verdict=leak replay=budget maxqueries=1 seed=1 index=3
+unsigned char A[16];
+unsigned char B[131072];
+unsigned int size_A = 16;
+unsigned char tmp;
+unsigned int slot;
+unsigned int pub0;
+unsigned int pub1;
+unsigned int victim(unsigned int y) {
+	(slot = (slot + pub0));
+	if ((y < size_A)) {
+		(tmp &= B[(A[y] * 512)]);
+	}
+	return slot;
+}

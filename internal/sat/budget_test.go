@@ -1,0 +1,102 @@
+package sat
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"lcm/internal/faults"
+)
+
+// TestConflictBudgetClassifiedNotUnsat: PHP(9,8) is unsatisfiable but
+// needs far more than 50 conflicts to refute; a conflict budget that
+// small must abort with Unknown — never a misleading Unsat — and
+// AbortCause must classify the abort as faults.ErrBudget.
+func TestConflictBudgetClassifiedNotUnsat(t *testing.T) {
+	s := New()
+	encodePigeonhole(s, 9, 8)
+	s.SetBudget(Budget{Conflicts: 50})
+	st := s.SolveCtx(context.Background())
+	if st == Unsat {
+		t.Fatal("budget-aborted solve reported Unsat: an exhausted budget proved nothing")
+	}
+	if st != Unknown {
+		t.Fatalf("status = %v, want Unknown under an exhausted conflict budget", st)
+	}
+	cause := s.AbortCause()
+	if !errors.Is(cause, faults.ErrBudget) {
+		t.Fatalf("AbortCause = %v, want faults.ErrBudget", cause)
+	}
+	if faults.Kind(cause) != "budget" {
+		t.Fatalf("Kind(AbortCause) = %q, want budget", faults.Kind(cause))
+	}
+}
+
+// TestDecisionBudgetClassified exercises the decision-count leg of the
+// budget with the same must-not-conclude contract.
+func TestDecisionBudgetClassified(t *testing.T) {
+	s := New()
+	encodePigeonhole(s, 9, 8)
+	s.SetBudget(Budget{Decisions: 10})
+	if st := s.SolveCtx(context.Background()); st != Unknown {
+		t.Fatalf("status = %v, want Unknown under an exhausted decision budget", st)
+	}
+	if cause := s.AbortCause(); !errors.Is(cause, faults.ErrBudget) {
+		t.Fatalf("AbortCause = %v, want faults.ErrBudget", cause)
+	}
+}
+
+// TestBudgetAbortDistinctFromCancellation: the taxonomy must separate
+// effort exhaustion from context cancellation — consumers retry them
+// differently.
+func TestBudgetAbortDistinctFromCancellation(t *testing.T) {
+	s := New()
+	encodePigeonhole(s, 9, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if st := s.SolveCtx(ctx); st != Unknown {
+		t.Fatalf("status = %v, want Unknown under cancelled ctx", st)
+	}
+	cause := s.AbortCause()
+	if !errors.Is(cause, faults.ErrCanceled) {
+		t.Fatalf("AbortCause = %v, want faults.ErrCanceled", cause)
+	}
+	if errors.Is(cause, faults.ErrBudget) {
+		t.Fatal("cancellation misclassified as budget exhaustion")
+	}
+}
+
+// TestBudgetLiftedSolvesHonestly: the solver must stay reusable after a
+// budget abort, and removing the budget must let the same query finish
+// with a real verdict (and a nil AbortCause).
+func TestBudgetLiftedSolvesHonestly(t *testing.T) {
+	s := New()
+	encodePigeonhole(s, 5, 4)
+	s.SetBudget(Budget{Conflicts: 1})
+	if st := s.SolveCtx(context.Background()); st != Unknown {
+		t.Fatalf("status = %v, want Unknown under a 1-conflict budget", st)
+	}
+	s.SetBudget(Budget{})
+	if st := s.SolveCtx(context.Background()); st != Unsat {
+		t.Fatalf("status = %v, want Unsat with the budget lifted", st)
+	}
+	if cause := s.AbortCause(); cause != nil {
+		t.Fatalf("AbortCause = %v after a completed solve, want nil", cause)
+	}
+}
+
+// TestBudgetPerSolveNotCumulative: the budget bounds each SolveCtx call
+// independently, so a solver that just spent conflicts on one query is
+// not pre-exhausted for the next.
+func TestBudgetPerSolveNotCumulative(t *testing.T) {
+	s := New()
+	encodePigeonhole(s, 5, 4)
+	s.SetBudget(Budget{Conflicts: 5000})
+	if st := s.SolveCtx(context.Background()); st != Unsat {
+		t.Skip("PHP(5,4) did not finish under 5000 conflicts")
+	}
+	// Run it again: the second call gets its own 5000 conflicts.
+	if st := s.SolveCtx(context.Background()); st != Unsat {
+		t.Fatalf("second solve = %v, want Unsat (budget must reset per call)", st)
+	}
+}

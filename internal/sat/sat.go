@@ -11,6 +11,8 @@ import (
 	"context"
 	"errors"
 	"sort"
+
+	"lcm/internal/faults"
 )
 
 // Lit is a literal: variable index (1-based) with sign. Positive values
@@ -107,8 +109,37 @@ type Solver struct {
 	modelVal    []bool // satisfying assignment captured at Sat time
 	seenScratch []bool // reusable conflict-analysis buffer
 
+	// budget bounds one SolveCtx call's search effort; abortCause records
+	// why the last SolveCtx returned Unknown (see AbortCause).
+	budget     Budget
+	abortCause error
+
 	ok bool // false once a top-level contradiction is found
 }
+
+// Budget bounds one solve call's search effort. Zero fields are
+// unlimited. Unlike a wall-clock deadline, an effort budget is
+// deterministic: the same query under the same budget always aborts at
+// the same point, on any machine — which is what lets budget-degraded
+// analysis stay byte-reproducible across runs and worker counts.
+type Budget struct {
+	Conflicts int64 // max conflicts per solve
+	Decisions int64 // max decisions per solve
+}
+
+func (b Budget) unlimited() bool { return b.Conflicts <= 0 && b.Decisions <= 0 }
+
+// SetBudget installs the per-solve effort budget; it applies to every
+// subsequent SolveCtx until changed. The zero Budget removes all bounds.
+func (s *Solver) SetBudget(b Budget) { s.budget = b }
+
+// AbortCause classifies the last SolveCtx's Unknown verdict:
+// faults.ErrBudget when the effort budget ran out, faults.ErrCanceled /
+// faults.ErrDeadline when the context fired, nil after a decided (Sat or
+// Unsat) call. Callers that see Unknown consult this instead of guessing;
+// a budget abort must never be read as UNSAT, and the verdict memo layer
+// (smt.CheckMemo) never caches aborted calls.
+func (s *Solver) AbortCause() error { return s.abortCause }
 
 // New returns an empty solver.
 func New() *Solver {
@@ -538,10 +569,12 @@ func (s *Solver) SolveCtx(ctx context.Context, assumptions ...Lit) Status {
 	if !s.ok {
 		return Unsat
 	}
+	s.abortCause = nil
 	s.assumptions = append(s.assumptions[:0], assumptions...)
 	s.conflictSet = nil
 	defer s.cancelUntil(0)
 
+	baseConflicts, baseDecisions := s.conflicts, s.decisions
 	restart := int64(1)
 	conflictBudget := 100 * luby(restart)
 	conflictsThisRestart := int64(0)
@@ -554,14 +587,33 @@ func (s *Solver) SolveCtx(ctx context.Context, assumptions ...Lit) Status {
 		sincePoll = 0
 		select {
 		case <-ctx.Done():
+			s.abortCause = faults.FromContext(ctx.Err())
 			return true
 		default:
 			return false
 		}
 	}
+	// exhausted reports whether this solve's effort budget ran out; the
+	// check is exact (every conflict/decision), so budget aborts land on
+	// the same step in every run.
+	exhausted := func() bool {
+		if s.budget.unlimited() {
+			return false
+		}
+		if s.budget.Conflicts > 0 && s.conflicts-baseConflicts >= s.budget.Conflicts {
+			s.abortCause = faults.Budgetf("solver: %d conflicts", s.conflicts-baseConflicts)
+			return true
+		}
+		if s.budget.Decisions > 0 && s.decisions-baseDecisions >= s.budget.Decisions {
+			s.abortCause = faults.Budgetf("solver: %d decisions", s.decisions-baseDecisions)
+			return true
+		}
+		return false
+	}
 	// A context that arrives already cancelled aborts before any search.
 	select {
 	case <-ctx.Done():
+		s.abortCause = faults.FromContext(ctx.Err())
 		return Unknown
 	default:
 	}
@@ -571,7 +623,7 @@ func (s *Solver) SolveCtx(ctx context.Context, assumptions ...Lit) Status {
 		if conflict != nil {
 			s.conflicts++
 			conflictsThisRestart++
-			if cancelled() {
+			if cancelled() || exhausted() {
 				return Unknown
 			}
 			if s.decisionLevel() == 0 {
@@ -649,7 +701,7 @@ func (s *Solver) SolveCtx(ctx context.Context, assumptions ...Lit) Status {
 			return Sat
 		}
 		s.decisions++
-		if cancelled() {
+		if cancelled() || exhausted() {
 			return Unknown
 		}
 		s.trailLim = append(s.trailLim, len(s.trail))

@@ -2,8 +2,11 @@ package smt
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"testing"
 
+	"lcm/internal/faults"
 	"lcm/internal/sat"
 )
 
@@ -71,6 +74,54 @@ func TestCheckMemoInvalidatedByAtMostK(t *testing.T) {
 	st, hit := s.CheckMemo(ctx, a, b, c)
 	if hit || st != sat.Unsat {
 		t.Fatalf("status=%v hit=%v, want fresh Unsat after AtMostK", st, hit)
+	}
+}
+
+// TestCheckMemoNeverCachesBudgetAborts: a budget-aborted Unknown must
+// not enter the verdict memo — a later, properly funded query has to
+// recompute and return the honest verdict.
+func TestCheckMemoNeverCachesBudgetAborts(t *testing.T) {
+	s := NewSolver()
+	// PHP(7,6): every pigeon sits somewhere, no hole holds two. Unsat,
+	// and hard enough that a 5-conflict budget cannot refute it.
+	const pigeons, holes = 7, 6
+	vars := make([][]*Expr, pigeons)
+	for p := 0; p < pigeons; p++ {
+		vars[p] = make([]*Expr, holes)
+		for h := 0; h < holes; h++ {
+			vars[p][h] = s.Var(fmt.Sprintf("p%dh%d", p, h))
+		}
+		s.Assert(Or(vars[p]...))
+	}
+	for h := 0; h < holes; h++ {
+		col := make([]*Expr, pigeons)
+		for p := 0; p < pigeons; p++ {
+			col[p] = vars[p][h]
+		}
+		s.AtMostK(1, col...)
+	}
+
+	ctx := context.Background()
+	s.SetBudget(sat.Budget{Conflicts: 5})
+	st, hit := s.CheckMemo(ctx)
+	if hit {
+		t.Fatal("first query reported a memo hit")
+	}
+	if st != sat.Unknown {
+		t.Skipf("PHP(7,6) resolved under a 5-conflict budget (status %v)", st)
+	}
+	if cause := s.AbortCause(); !errors.Is(cause, faults.ErrBudget) {
+		t.Fatalf("AbortCause = %v, want faults.ErrBudget", cause)
+	}
+	// Lift the budget: the memo must miss (Unknown was not cached) and
+	// the recomputed verdict must be the honest Unsat.
+	s.SetBudget(sat.Budget{})
+	st, hit = s.CheckMemo(ctx)
+	if hit {
+		t.Fatal("memo served a budget-aborted Unknown as a verdict")
+	}
+	if st != sat.Unsat {
+		t.Fatalf("unbudgeted recheck = %v, want Unsat", st)
 	}
 }
 

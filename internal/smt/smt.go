@@ -302,6 +302,16 @@ func (s *Solver) MemoStats() (hits, lookups int64) {
 	return s.memoHits, s.memoLookups
 }
 
+// SetBudget bounds every subsequent solve call's search effort (see
+// sat.Budget). Budget-aborted calls return sat.Unknown and are never
+// cached by CheckMemo, so a later unbudgeted Check recomputes honestly.
+func (s *Solver) SetBudget(b sat.Budget) { s.sat.SetBudget(b) }
+
+// AbortCause classifies the last Unknown verdict: faults.ErrBudget for an
+// exhausted effort budget, faults.ErrDeadline / faults.ErrCanceled for a
+// fired context, nil after a decided call.
+func (s *Solver) AbortCause() error { return s.sat.AbortCause() }
+
 // SatStats returns the underlying CDCL solver's search-effort counters
 // (decisions, propagations, conflicts, restarts).
 func (s *Solver) SatStats() (decisions, propagations, conflicts, restarts int64) {
