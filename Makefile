@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-core check vet fmt bench bench-all fuzz conform chaos cover
+.PHONY: all build test race race-core check vet fmt lint audit-presolve bench bench-all fuzz conform chaos cover
 
 all: build test
 
@@ -29,8 +29,20 @@ fmt:
 		echo "gofmt needed:"; echo "$$out"; exit 1; \
 	fi
 
-check: vet fmt race-core
+# lint runs the in-tree determinism analyzer (tools/determlint): it flags
+# map-range loops whose iteration order can reach reports, encodings, or
+# candidate enumeration without being sorted first.
+lint:
+	$(GO) run ./tools/determlint ./...
+
+check: vet fmt lint race-core
 	$(GO) test ./internal/attacks ./internal/obsv ./internal/sat ./cmd/clou
+
+# audit-presolve replays every statically discharged candidate through the
+# full SAT encoding and fails on any disagreement — the soundness gate for
+# the pre-solver's refutation and witness rules (see DESIGN.md).
+audit-presolve: build
+	$(GO) run ./cmd/clou -litmus all -audit-presolve
 
 # fuzz gives each native fuzz target a short budget — enough to shake out
 # shallow regressions in CI. Crashing inputs are written to testdata/fuzz/

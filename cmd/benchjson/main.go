@@ -36,6 +36,11 @@ type entry struct {
 	Workers   int   `json:"workers"`
 	Queries   int64 `json:"queries"`
 	CacheHits int64 `json:"cache_hits"`
+	// Pre-solver counters: candidates discharged statically and solver
+	// queries avoided. With -nopresolve both are zero and Queries is the
+	// ablation baseline.
+	Discharged     int64 `json:"discharged"`
+	SkippedQueries int64 `json:"skipped_queries"`
 }
 
 func main() {
@@ -43,6 +48,7 @@ func main() {
 	timeout := flag.Duration("timeout", 5*time.Second, "per-function budget for litmus suites and libraries")
 	donnaTimeout := flag.Duration("donna-timeout", 30*time.Second, "per-function budget for donna (its scalar mult dwarfs the rest)")
 	out := flag.String("o", "BENCH_parallel.json", "output path")
+	noPresolve := flag.Bool("nopresolve", false, "disable the static pre-solver (records the ablation baseline)")
 	flag.Parse()
 
 	results := map[string]entry{}
@@ -61,14 +67,16 @@ func main() {
 		}
 		snap := reg.Snapshot()
 		e := entry{
-			NsPerOp:   elapsed.Nanoseconds(),
-			Workers:   *par,
-			Queries:   snap.Counters["detect.queries"],
-			CacheHits: snap.Counters["detect.cache_hits"],
+			NsPerOp:        elapsed.Nanoseconds(),
+			Workers:        *par,
+			Queries:        snap.Counters["detect.queries"],
+			CacheHits:      snap.Counters["detect.cache_hits"],
+			Discharged:     snap.Counters["presolve.discharged"],
+			SkippedQueries: snap.Counters["presolve.skipped_queries"],
 		}
 		results[name] = e
-		fmt.Printf("%-22s %12v  queries=%-6d cache-hits=%d\n",
-			name, elapsed.Round(time.Millisecond), e.Queries, e.CacheHits)
+		fmt.Printf("%-22s %12v  queries=%-6d cache-hits=%d discharged=%d skipped=%d\n",
+			name, elapsed.Round(time.Millisecond), e.Queries, e.CacheHits, e.Discharged, e.SkippedQueries)
 	}
 
 	for _, suite := range []string{"pht", "stl", "fwd", "new"} {
@@ -76,6 +84,7 @@ func main() {
 		record("litmus-"+suite, func(tr *obsv.Tracer, reg *obsv.Registry) error {
 			_, err := harness.RunLitmusSuite(suite, harness.Options{
 				FuncTimeout: *timeout, Parallelism: *par, Tracer: tr, Metrics: reg,
+				NoPresolve: *noPresolve,
 			})
 			return err
 		})
@@ -90,7 +99,7 @@ func main() {
 		record(lib.Name, func(tr *obsv.Tracer, reg *obsv.Registry) error {
 			_, err := harness.RunLibrary(lib, harness.Options{
 				FuncTimeout: ft, Parallelism: *par, CryptoUniversalOnly: true,
-				Tracer: tr, Metrics: reg,
+				Tracer: tr, Metrics: reg, NoPresolve: *noPresolve,
 			})
 			return err
 		})
@@ -99,6 +108,7 @@ func main() {
 	record("fig8", func(tr *obsv.Tracer, reg *obsv.Registry) error {
 		_, err := harness.RunFig8(harness.Options{
 			FuncTimeout: *timeout, Parallelism: *par, Tracer: tr, Metrics: reg,
+			NoPresolve: *noPresolve,
 		})
 		return err
 	})

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"lcm/internal/harness"
+)
+
+// litmusOptions parameterizes the -litmus corpus mode.
+type litmusOptions struct {
+	suite      string // "pht", "stl", "fwd", "new", or "all"
+	jobs       int
+	timeout    time.Duration
+	noPresolve bool
+	audit      bool
+	verbose    bool
+}
+
+// runLitmus sweeps the built-in litmus corpus through the harness. With
+// -audit-presolve every statically refuted query is replayed through the
+// solver; any disagreement fails the run — this is the CI audit job's
+// entry point.
+func runLitmus(o litmusOptions, stdout, stderr io.Writer) int {
+	suites := []string{o.suite}
+	if o.suite == "all" {
+		suites = []string{"pht", "stl", "fwd", "new"}
+	}
+	opts := harness.Options{
+		FuncTimeout:   o.timeout,
+		Parallelism:   o.jobs,
+		NoPresolve:    o.noPresolve,
+		AuditPresolve: o.audit,
+	}
+	var discharged, skipped, audited, disagreements, queries int
+	for _, suite := range suites {
+		rows, err := harness.RunLitmusSuite(suite, opts)
+		if err != nil {
+			fmt.Fprintf(stderr, "clou: litmus %s: %v\n", suite, err)
+			return exitUsage
+		}
+		for _, r := range rows {
+			fmt.Fprintln(stdout, r.Format())
+			discharged += r.Discharged
+			skipped += r.SkippedQueries
+			audited += r.Audited
+			disagreements += r.Disagreements
+			queries += r.Queries
+			if o.verbose && (r.Discharged > 0 || r.Audited > 0 || r.SkippedQueries > 0) {
+				fmt.Fprintf(stdout, "%-14s %-9s   presolve: discharged=%d skipped-queries=%d audited=%d disagreements=%d\n",
+					r.App, r.Tool, r.Discharged, r.SkippedQueries, r.Audited, r.Disagreements)
+			}
+		}
+	}
+	fmt.Fprintf(stdout, "== presolve: queries=%d discharged=%d skipped-queries=%d audited=%d disagreements=%d\n",
+		queries, discharged, skipped, audited, disagreements)
+	if disagreements > 0 {
+		fmt.Fprintf(stderr, "clou: presolve audit: %d disagreement(s)\n", disagreements)
+		return exitFindings
+	}
+	return exitClean
+}

@@ -77,6 +77,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	printIR := fs.Bool("ir", false, "dump the lowered IR and exit")
 	verbose := fs.Bool("v", false, "report candidate and range-pruned pattern counts per function")
 	noPrune := fs.Bool("noprune", false, "disable range-analysis candidate pruning")
+	noPresolve := fs.Bool("nopresolve", false, "disable the proof-carrying static pre-solver (ablation baseline)")
+	auditPresolve := fs.Bool("audit-presolve", false, "replay every statically refuted query through the solver and fail on disagreement")
+	litmusSuite := fs.String("litmus", "", "run the built-in litmus corpus (pht, stl, fwd, new, or all) instead of analyzing a file")
 	par := fs.Int("j", runtime.GOMAXPROCS(0), "analyze up to N functions in parallel")
 	reportPath := fs.String("report", "", "write a machine-readable JSON run report to this path (- for stdout)")
 	debugAddr := fs.String("debug-addr", "", "serve expvar and net/http/pprof on this address (e.g. :6060)")
@@ -93,6 +96,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runGen(genOptions{
 			n: *genN, seed: *seed, jobs: *par, budget: *genBudget,
 			report: *reportPath, checkpoint: *checkpoint, resume: *resume,
+		}, stdout, stderr)
+	}
+	if *litmusSuite != "" {
+		return runLitmus(litmusOptions{
+			suite: *litmusSuite, jobs: *par, timeout: *timeout,
+			noPresolve: *noPresolve, audit: *auditPresolve, verbose: *verbose,
 		}, stdout, stderr)
 	}
 	if fs.NArg() != 1 {
@@ -135,6 +144,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg.AEG.Wsize = *wsize
 	cfg.Timeout = *timeout
 	cfg.NoPrune = *noPrune
+	cfg.NoPresolve = *noPresolve
+	cfg.AuditPresolve = *auditPresolve
 	if *classes != "" {
 		for _, c := range strings.Split(*classes, ",") {
 			switch strings.TrimSpace(strings.ToLower(c)) {
@@ -186,6 +197,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	totalFindings := 0
 	sweepErrors := 0
 	degraded := 0
+	disagreements := 0
 	for i, name := range fns {
 		res, err := results[i], errs[i]
 		if err != nil {
@@ -201,8 +213,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if res.Rung != detect.RungFull {
 			degraded++
 		}
+		disagreements += res.PresolveDisagreements
 		if *verbose {
 			fmt.Fprintf(stdout, "   candidates=%d pruned=%d (range analysis)\n", res.Candidates, res.Pruned)
+			if !*noPresolve {
+				fmt.Fprintf(stdout, "   presolve: discharged=%d skipped-queries=%d certs=%d audited=%d disagreements=%d\n",
+					res.Discharged, res.SkippedQueries, len(res.Certificates), res.PresolveAudited, res.PresolveDisagreements)
+			}
 			fmt.Fprintf(stdout, "   frontend=%v encode=%v solve=%v cached=%v memo-hits=%d\n",
 				res.FrontendTime.Round(time.Microsecond), res.EncodeTime.Round(time.Microsecond),
 				res.SolveTime.Round(time.Microsecond), res.CacheHit, res.MemoHits)
@@ -242,9 +259,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return fail(fmt.Errorf("report: %w", err))
 		}
 	}
+	if disagreements > 0 {
+		fmt.Fprintf(stderr, "clou: presolve audit: %d disagreement(s)\n", disagreements)
+	}
 	switch {
 	case sweepErrors > 0:
 		return exitUsage
+	case disagreements > 0:
+		return exitFindings
 	case totalFindings > 0 && !*fix:
 		return exitFindings
 	case degraded > 0:

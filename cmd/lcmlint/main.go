@@ -9,7 +9,15 @@
 //
 // Usage:
 //
-//	lcmlint [-lib name|all] [-secrets a,b,c] [-j N] [-report out.json] [file.c ...]
+//	lcmlint [-lib name|all] [-secrets a,b,c] [-j N] [-why] [-report out.json] [file.c ...]
+//
+// -why annotates every finding with the static pre-solver's view of the
+// flagged site: its must-alias class, the interval analysis's resolution
+// of the touched address, and its speculative-window reachability (which
+// branches can transiently fetch it, and from how close). These are the
+// same facts internal/presolve uses to discharge SAT queries, so the
+// annotation explains both why the site is interesting and what a
+// detector run would already know about it statically.
 //
 // Secrets come from, in order of preference: the -secrets flag (an
 // explicit parameter-name list), the corpus library's own SecretParams
@@ -33,6 +41,9 @@ import (
 	"strings"
 	"time"
 
+	"lcm/internal/acfg"
+	"lcm/internal/aeg"
+	"lcm/internal/alias"
 	"lcm/internal/cryptolib"
 	"lcm/internal/dataflow"
 	"lcm/internal/harness"
@@ -40,6 +51,7 @@ import (
 	"lcm/internal/lower"
 	"lcm/internal/minic"
 	"lcm/internal/obsv"
+	"lcm/internal/presolve"
 )
 
 // Exit codes of the CLI contract (shared with clou).
@@ -68,6 +80,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	lib := fs.String("lib", "all", "cryptolib corpus entry to lint when no files are given")
 	secrets := fs.String("secrets", "", "comma-separated secret parameter names; empty = name heuristic")
 	par := fs.Int("j", runtime.GOMAXPROCS(0), "lint up to N units in parallel")
+	why := fs.Bool("why", false, "annotate each finding with the pre-solver facts for the flagged site")
 	reportPath := fs.String("report", "", "write a machine-readable JSON run report to this path (- for stdout)")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
@@ -138,7 +151,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		us := sp.Start("unit:" + units[i].name)
 		defer us.End()
 		var err error
-		reports[i], counts[i], findings[i], err = lint(units[i])
+		reports[i], counts[i], findings[i], err = lint(units[i], *why)
 		metrics.Counter("lint.findings").Add(int64(counts[i]))
 		metrics.Counter("lint.units").Add(1)
 		return err
@@ -191,20 +204,80 @@ func run(args []string, stdout, stderr io.Writer) int {
 // lint compiles one source unit and renders its findings, prefixed with
 // the unit name so corpus-wide sweeps stay attributable. It returns the
 // report rather than printing so parallel workers never interleave,
-// plus the raw finding strings for the JSON run report.
-func lint(u unit) (string, int, []string, error) {
+// plus the raw finding strings for the JSON run report. With why set,
+// each finding carries the pre-solver's facts for the flagged site.
+func lint(u unit, why bool) (string, int, []string, error) {
 	m, err := compile(u.src)
 	if err != nil {
 		return "", 0, nil, fmt.Errorf("%s: %w", u.name, err)
 	}
 	fs := dataflow.LintModule(m, u.spec)
+	var ex *explainer
+	if why && len(fs) > 0 {
+		ex = newExplainer(m)
+	}
 	var b strings.Builder
 	var raw []string
 	for _, f := range fs {
 		fmt.Fprintf(&b, "%s: %s\n", u.name, f)
 		raw = append(raw, f.String())
+		if ex == nil {
+			continue
+		}
+		for _, line := range ex.explain(f) {
+			fmt.Fprintf(&b, "    why: %s\n", line)
+		}
 	}
 	return b.String(), len(fs), raw, nil
+}
+
+// explainer lazily builds, per function, the same static fact base the
+// detector's pre-solver uses (A-CFG, alias partition, interval ranges,
+// speculation-window geometry) and renders it for a finding's site.
+type explainer struct {
+	m     *ir.Module
+	mr    *dataflow.ModuleRanges
+	funcs map[string]*fnFacts
+}
+
+type fnFacts struct {
+	facts *presolve.Facts
+	win   presolve.WindowSource
+	err   error
+}
+
+func newExplainer(m *ir.Module) *explainer {
+	return &explainer{m: m, mr: dataflow.NewModuleRanges(m), funcs: map[string]*fnFacts{}}
+}
+
+func (e *explainer) forFunc(fn string) *fnFacts {
+	if ff, ok := e.funcs[fn]; ok {
+		return ff
+	}
+	ff := &fnFacts{}
+	g, err := acfg.Build(e.m, fn, acfg.Options{})
+	if err != nil {
+		ff.err = err
+	} else {
+		al := alias.Analyze(g)
+		ff.facts = presolve.NewFacts(g, al, e.mr)
+		// Default engine geometry (ROB 250): -why reports reachability
+		// under the same bound the PHT detector assumes.
+		ff.win = aeg.Build(g, al, aeg.Options{})
+	}
+	e.funcs[fn] = ff
+	return ff
+}
+
+func (e *explainer) explain(f dataflow.LintFinding) []string {
+	if f.Instr == nil {
+		return nil
+	}
+	ff := e.forFunc(f.Fn)
+	if ff.err != nil {
+		return []string{fmt.Sprintf("facts unavailable: %v", ff.err)}
+	}
+	return presolve.Explain(ff.facts, ff.win, f.Instr)
 }
 
 func compile(src string) (*ir.Module, error) {

@@ -55,6 +55,9 @@ type AEG struct {
 	// windows[b]: nodes reachable from either arm of b within the
 	// speculation bound without crossing a fence, flagged per arm.
 	windows map[int]map[int][2]bool
+	// windist[b]: minimum fetch distance of each window node from b (the
+	// first node of an arm is at distance 1).
+	windist map[int]map[int]int
 }
 
 // Build constructs the AEG, asserts the architectural path semantics, and
@@ -71,6 +74,7 @@ func Build(g *acfg.Graph, al *alias.Analysis, opts Options) *AEG {
 		transIn: map[[2]int]*smt.Expr{},
 		encoded: map[int]bool{},
 		windows: map[int]map[int][2]bool{},
+		windist: map[int]map[int]int{},
 	}
 	a.encodeArch()
 	a.computeWindows()
@@ -157,14 +161,19 @@ func (a *AEG) computeWindows() {
 			continue
 		}
 		win := map[int][2]bool{}
+		dist := map[int]int{}
 		for arm := 0; arm < 2; arm++ {
-			for n := range a.windowFrom(succ[arm]) {
+			for n, d := range a.windowFrom(succ[arm]) {
 				w := win[n]
 				w[arm] = true
 				win[n] = w
+				if old, ok := dist[n]; !ok || d+1 < old {
+					dist[n] = d + 1
+				}
 			}
 		}
 		a.windows[b.ID] = win
+		a.windist[b.ID] = dist
 	}
 }
 
@@ -229,30 +238,31 @@ func (a *AEG) encodeBranch(b int) {
 }
 
 // windowFrom returns nodes reachable from start within the speculation
-// bound, stopping at lfence nodes.
-func (a *AEG) windowFrom(start int) map[int]bool {
+// bound, stopping at lfence nodes, each mapped to its BFS depth from
+// start (start itself is at depth 0).
+func (a *AEG) windowFrom(start int) map[int]int {
 	bound := a.Opts.ROB
 	if a.Opts.Wsize < bound {
 		bound = a.Opts.Wsize
 	}
-	out := map[int]bool{}
+	out := map[int]int{}
 	if a.G.Nodes[start].IsFence() && a.G.Nodes[start].Instr.Sub == "lfence" {
 		return out
 	}
-	out[start] = true
+	out[start] = 0
 	frontier := []int{start}
 	for depth := 0; depth < bound && len(frontier) > 0; depth++ {
 		var next []int
 		for _, n := range frontier {
 			for _, s := range a.G.Succs(n) {
-				if out[s] {
+				if _, seen := out[s]; seen {
 					continue
 				}
 				sn := a.G.Nodes[s]
 				if sn.IsFence() && sn.Instr.Sub == "lfence" {
 					continue // speculation barrier
 				}
-				out[s] = true
+				out[s] = depth + 1
 				next = append(next, s)
 			}
 		}
@@ -287,6 +297,23 @@ func sortInts(xs []int) {
 			xs[j], xs[j-1] = xs[j-1], xs[j]
 		}
 	}
+}
+
+// WindowInfo reports whether node n lies inside some speculation window
+// of branch b and, if so, down which arms it is fetchable and its minimum
+// fetch distance from the branch. It is the static window interface the
+// pre-solver (internal/presolve) consumes, engine-agnostically, through
+// its WindowSource contract.
+func (a *AEG) WindowInfo(b, n int) (arms [2]bool, dist int, ok bool) {
+	win, okb := a.windows[b]
+	if !okb {
+		return arms, 0, false
+	}
+	arms, ok = win[n]
+	if !ok {
+		return arms, 0, false
+	}
+	return arms, a.windist[b][n], true
 }
 
 // InWindow reports whether node n is statically inside some window of b.

@@ -97,6 +97,12 @@ func Run(ctx context.Context, opts Options) (*Outcome, error) {
 			cfg := e.mk()
 			cfg.Timeout = opts.Timeout
 			cfg.Metrics = opts.Metrics
+			// The campaign drives the solver directly: the static
+			// pre-solver discharges most queries, which would starve the
+			// solver.step probes the fault plan targets. Its own soundness
+			// has dedicated coverage (audit-presolve CI job, `presolve`
+			// conformance oracle); chaos owns the fault taxonomy.
+			cfg.NoPresolve = true
 			cfg.InjectKey = fmt.Sprintf("g%04d/%s", i, e.name)
 			res, err := detect.AnalyzeFuncLadder(ctx, m, p.Fn, cfg)
 			if err != nil {

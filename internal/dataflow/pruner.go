@@ -30,6 +30,11 @@ func NewPruner(m *ir.Module) *Pruner {
 	return &Pruner{mr: NewModuleRanges(m)}
 }
 
+// Ranges exposes the pruner's shared per-module range analyses, so the
+// static pre-solver (internal/presolve) derives its certificates from the
+// same interval facts the prune decisions use.
+func (p *Pruner) Ranges() *ModuleRanges { return p.mr }
+
 // InBoundsAccess reports whether the access provably stays inside its
 // base object for every admitted value, including on transient paths.
 func (p *Pruner) InBoundsAccess(in *ir.Instr) bool {

@@ -8,6 +8,7 @@ import (
 	"lcm/internal/alias"
 	"lcm/internal/dataflow"
 	"lcm/internal/ir"
+	"lcm/internal/presolve"
 	"lcm/internal/taint"
 )
 
@@ -24,6 +25,21 @@ type frontend struct {
 	ta       *taint.Analysis
 	cfgReach func(from, to int) bool
 	flow     *flowGraph
+
+	// psOnce/ps hold the pre-solver's engine-independent fact base (arch
+	// arms, must-alias partition). Like the rest of the frontend it is
+	// immutable once built and shared between the PHT and STL runs.
+	psOnce sync.Once
+	ps     *presolve.Facts
+}
+
+// presolveFacts returns (building on first use) the function's shared
+// pre-solver facts. mr is the module's range analyses — in any one run
+// configuration the pruner, and therefore mr, is stable per module, so
+// memoizing with the first caller's value is safe.
+func (fe *frontend) presolveFacts(mr *dataflow.ModuleRanges) *presolve.Facts {
+	fe.psOnce.Do(func() { fe.ps = presolve.NewFacts(fe.g, fe.al, mr) })
+	return fe.ps
 }
 
 // buildFrontend computes the artifacts from scratch.

@@ -16,6 +16,7 @@ import (
 	"lcm/internal/faults"
 	"lcm/internal/ir"
 	"lcm/internal/obsv"
+	"lcm/internal/presolve"
 	"lcm/internal/sat"
 	"lcm/internal/smt"
 	"lcm/internal/taint"
@@ -85,6 +86,17 @@ type Config struct {
 	// disable pruning entirely (the ablation baseline).
 	Pruner  Pruner
 	NoPrune bool
+	// NoPresolve disables the proof-carrying static pre-solver
+	// (internal/presolve), the ablation baseline: every candidate query
+	// goes to the solver. Presolve is also off on the triage rung, whose
+	// contract is "no search at all".
+	NoPresolve bool
+	// AuditPresolve keeps the pre-solver's verdicts advisory: every
+	// statically refuted query is still sent to the solver, the two
+	// answers are compared, and any disagreement is counted on the result
+	// and flagged on the certificate. Findings under audit are exactly the
+	// no-presolve findings.
+	AuditPresolve bool
 	// Cache, when non-nil, memoizes the engine-independent front end
 	// (A-CFG, alias, taint, reachability, value flow) per (module,
 	// function), sharing it between the PHT and STL engines and across
@@ -188,6 +200,21 @@ type Result struct {
 	// those discharged statically by the Prune hook.
 	Candidates int
 	Pruned     int
+	// Pre-solver accounting. Discharged counts candidates retired without
+	// any solver work: range-rule discharges (one per pruned candidate when
+	// the pre-solver could certify the prune) plus window-rule candidates
+	// all of whose queries were statically refuted. SkippedQueries counts
+	// the solver calls avoided (always 0 under audit, where refuted queries
+	// still run). PresolveAudited/PresolveDisagreements count audit replays
+	// and the replays that contradicted a certificate.
+	Discharged            int
+	SkippedQueries        int
+	PresolveAudited       int
+	PresolveDisagreements int
+	// Certificates holds the machine-checkable refutation proofs emitted
+	// by the pre-solver, in candidate-enumeration order, deduplicated by
+	// certificate key.
+	Certificates []*presolve.Certificate
 	// Per-stage wall times: FrontendTime covers A-CFG + alias + taint +
 	// reachability + value flow (near zero on a cache hit), EncodeTime
 	// the S-AEG construction, SolveTime the accumulated solver queries.
@@ -306,6 +333,14 @@ func AnalyzeFuncCtx(ctx context.Context, m *ir.Module, fn string, cfg Config) (*
 			pruner = dataflow.NewPruner(m)
 		}
 	}
+	var ps *presolve.Analysis
+	if !cfg.NoPresolve && !cfg.TriageOnly {
+		var mr *dataflow.ModuleRanges
+		if dp, ok := pruner.(*dataflow.Pruner); ok {
+			mr = dp.Ranges()
+		}
+		ps = presolve.NewAnalysis(fe.presolveFacts(mr), a)
+	}
 	d := &detector{
 		ctx: ctx, cfg: cfg, key: key, g: fe.g, al: fe.al, ta: fe.ta, a: a,
 		res: &Result{
@@ -315,6 +350,7 @@ func AnalyzeFuncCtx(ctx context.Context, m *ir.Module, fn string, cfg Config) (*
 		cfgReach: fe.cfgReach,
 		flow:     fe.flow,
 		pruner:   pruner,
+		ps:       ps,
 	}
 	searchSpan := fnSpan.Start("search")
 	d.run()
@@ -342,7 +378,17 @@ type detector struct {
 	feedsCache map[int][]indexEdge
 	allLoads   []*acfg.Node
 	pruner     Pruner
-	prunedAcc  map[int]bool // pruneAccess memo, also dedups the counters
+	prunedAcc  map[int]bool       // pruneAccess memo, also dedups the counters
+	ps         *presolve.Analysis // nil when the pre-solver is disabled
+	certSeen   map[string]bool    // certificate keys already emitted
+	cands      map[string]*candStat
+}
+
+// candStat tracks one window-rule candidate's query outcomes so fully
+// refuted candidates can be counted as discharged at the end of the run.
+type candStat struct {
+	queries int
+	refuted int
 }
 
 // pruneAccess counts a universal access candidate once and asks the Prune
@@ -361,9 +407,63 @@ func (d *detector) pruneAccess(accID int) bool {
 	v := d.pruner != nil && n.Instr != nil && d.pruner.InBoundsAccess(n.Instr)
 	if v {
 		d.res.Pruned++
+		d.dischargeCert(func() (*presolve.Certificate, bool) { return d.ps.CertInBounds(n) })
 	}
 	d.prunedAcc[accID] = v
 	return v
+}
+
+// dischargeCert records a range-rule discharge: the trusted pruner already
+// retired the candidate; the pre-solver re-derives the interval facts into
+// a certificate. Under audit, a certificate that cannot be reconstructed
+// or whose arithmetic fails Check is a disagreement.
+func (d *detector) dischargeCert(derive func() (*presolve.Certificate, bool)) {
+	if d.ps == nil {
+		return
+	}
+	d.res.Discharged++
+	cert, ok := derive()
+	if !ok {
+		if d.cfg.AuditPresolve {
+			d.res.PresolveAudited++
+			d.res.PresolveDisagreements++
+		}
+		return
+	}
+	d.addCert(cert)
+	if d.cfg.AuditPresolve {
+		d.res.PresolveAudited++
+		if err := cert.Check(); err != nil {
+			d.res.PresolveDisagreements++
+			cert.Disagreement = true
+		}
+	}
+}
+
+// addCert retains a certificate on the result, deduplicated by key, in
+// candidate-enumeration order.
+func (d *detector) addCert(c *presolve.Certificate) {
+	if d.certSeen == nil {
+		d.certSeen = map[string]bool{}
+	}
+	if d.certSeen[c.Key] {
+		return
+	}
+	d.certSeen[c.Key] = true
+	d.res.Certificates = append(d.res.Certificates, c)
+}
+
+// candStatFor returns (allocating on first use) a window candidate's stat.
+func (d *detector) candStatFor(key string) *candStat {
+	if d.cands == nil {
+		d.cands = map[string]*candStat{}
+	}
+	cs, ok := d.cands[key]
+	if !ok {
+		cs = &candStat{}
+		d.cands[key] = cs
+	}
+	return cs
 }
 
 // cfgReachability precomputes DAG reachability as bitsets.
@@ -499,6 +599,93 @@ func (d *detector) query(assumptions ...*smt.Expr) bool {
 	return st == sat.Sat
 }
 
+// queryWin is query for the window engines: the static pre-solver gets a
+// shot at refuting the query before any solver work. mk builds the solver
+// assumptions lazily — Misspec/TransUnder/ExecUnder encode branch windows
+// into the solver on first use, and a refuted query must not pay (or
+// perturb) that encoding. candKey identifies the candidate for discharge
+// accounting; q is the query's static shadow.
+func (d *detector) queryWin(candKey string, q presolve.Query, mk func() []*smt.Expr) bool {
+	if d.ps == nil {
+		return d.query(mk()...)
+	}
+	cs := d.candStatFor(candKey)
+	cs.queries++
+	cert, refuted := d.ps.RefuteQuery(q)
+	if refuted {
+		cs.refuted++
+		d.addCert(cert)
+		if !d.cfg.AuditPresolve {
+			// Skipped queries consume no solver budget: the refutation is
+			// a proof, not a search.
+			d.res.SkippedQueries++
+			return false
+		}
+		// Audit replay: run the solver anyway and return its verdict, so
+		// the audited run's findings match the no-presolve run exactly. A
+		// Sat verdict contradicts the refutation. Aborted queries (budget,
+		// fault, timeout) are not evidence either way and not counted.
+		got := d.query(mk()...)
+		if d.res.Fault == nil {
+			d.res.PresolveAudited++
+			if got {
+				d.res.PresolveDisagreements++
+				cert.Disagreement = true
+			}
+		}
+		return got
+	}
+	// The dual rule: an explicit model makes the query SAT without search.
+	if wcert, ok := d.ps.WitnessQuery(q); ok {
+		cs.refuted++
+		d.addCert(wcert)
+		if !d.cfg.AuditPresolve {
+			d.res.SkippedQueries++
+			return true
+		}
+		got := d.query(mk()...)
+		if d.res.Fault == nil {
+			d.res.PresolveAudited++
+			if !got {
+				d.res.PresolveDisagreements++
+				wcert.Disagreement = true
+			}
+		}
+		return got
+	}
+	return d.query(mk()...)
+}
+
+// queryArch is query for branch-free architectural queries (the STL
+// engine's shape): the pre-solver tries to witness the whole query SAT by
+// explicit path construction before the solver is consulted.
+func (d *detector) queryArch(candKey string, nodes []int, mk func() []*smt.Expr) bool {
+	if d.ps == nil {
+		return d.query(mk()...)
+	}
+	cs := d.candStatFor(candKey)
+	cs.queries++
+	cert, ok := d.ps.WitnessArch(nodes)
+	if !ok {
+		return d.query(mk()...)
+	}
+	cs.refuted++
+	d.addCert(cert)
+	if !d.cfg.AuditPresolve {
+		d.res.SkippedQueries++
+		return true
+	}
+	got := d.query(mk()...)
+	if d.res.Fault == nil {
+		d.res.PresolveAudited++
+		if !got {
+			d.res.PresolveDisagreements++
+			cert.Disagreement = true
+		}
+	}
+	return got
+}
+
 // fireProbe consults the solver-step injection probe (panics from it are
 // the supervisor's responsibility to recover).
 func (d *detector) fireProbe(probe string) error {
@@ -511,6 +698,14 @@ func (d *detector) run() {
 		d.runPHT()
 	case STL:
 		d.runSTL()
+	}
+	// A window candidate whose every issued query was statically refuted
+	// needed no solver work at all: count it discharged. (Map iteration
+	// order is irrelevant to a sum.)
+	for _, cs := range d.cands {
+		if cs.queries > 0 && cs.queries == cs.refuted {
+			d.res.Discharged++
+		}
 	}
 	sort.Slice(d.res.Findings, func(i, j int) bool {
 		a, b := d.res.Findings[i], d.res.Findings[j]
@@ -630,7 +825,10 @@ func (d *detector) runPHT() {
 						if !d.a.InWindow(b, tID) || !d.a.InWindow(b, accID) {
 							continue
 						}
-						if d.query(d.a.Misspec(b), d.a.TransUnder(b, tID), d.a.TransUnder(b, accID), d.a.ExecUnder(b, e.idx)) {
+						q := presolve.Query{Branch: b, Trans: []int{tID, accID}, Exec: []int{e.idx}}
+						if d.queryWin(key, q, func() []*smt.Expr {
+							return []*smt.Expr{d.a.Misspec(b), d.a.TransUnder(b, tID), d.a.TransUnder(b, accID), d.a.ExecUnder(b, e.idx)}
+						}) {
 							seen[key] = true
 							d.res.Findings = append(d.res.Findings, Finding{
 								Fn: d.res.Fn, Class: core.UDT,
@@ -666,7 +864,10 @@ func (d *detector) runPHT() {
 					if !d.a.InWindow(b, tID) {
 						continue
 					}
-					if d.query(d.a.Misspec(b), d.a.TransUnder(b, tID), d.a.ExecUnder(b, accID)) {
+					q := presolve.Query{Branch: b, Trans: []int{tID}, Exec: []int{accID}}
+					if d.queryWin(key, q, func() []*smt.Expr {
+						return []*smt.Expr{d.a.Misspec(b), d.a.TransUnder(b, tID), d.a.ExecUnder(b, accID)}
+					}) {
 						seen[key] = true
 						d.res.Findings = append(d.res.Findings, Finding{
 							Fn: d.res.Fn, Class: core.DT,
@@ -746,7 +947,10 @@ func (d *detector) controlPatterns(st steering, mems, loads []*acfg.Node, branch
 							if seen[key] {
 								continue
 							}
-							if d.query(d.a.Misspec(b), d.a.TransUnder(b, t.ID), d.a.TransUnder(b, accID), d.a.TransUnder(b, c), d.a.ExecUnder(b, e.idx)) {
+							q := presolve.Query{Branch: b, Trans: []int{t.ID, accID, c}, Exec: []int{e.idx}}
+							if d.queryWin(key, q, func() []*smt.Expr {
+								return []*smt.Expr{d.a.Misspec(b), d.a.TransUnder(b, t.ID), d.a.TransUnder(b, accID), d.a.TransUnder(b, c), d.a.ExecUnder(b, e.idx)}
+							}) {
 								seen[key] = true
 								d.res.Findings = append(d.res.Findings, Finding{
 									Fn: d.res.Fn, Class: core.UCT,
@@ -785,7 +989,10 @@ func (d *detector) controlPatterns(st steering, mems, loads []*acfg.Node, branch
 				if seen[key] {
 					continue
 				}
-				if d.query(d.a.Misspec(b), d.a.TransUnder(b, t.ID), d.a.ExecUnder(b, accID)) {
+				q := presolve.Query{Branch: b, Trans: []int{t.ID}, Exec: []int{accID}}
+				if d.queryWin(key, q, func() []*smt.Expr {
+					return []*smt.Expr{d.a.Misspec(b), d.a.TransUnder(b, t.ID), d.a.ExecUnder(b, accID)}
+				}) {
 					seen[key] = true
 					d.res.Findings = append(d.res.Findings, Finding{
 						Fn: d.res.Fn, Class: core.CT,
@@ -837,6 +1044,7 @@ func (d *detector) runSTL() {
 			if d.pruner != nil && s.Instr != nil && l.Instr != nil &&
 				d.pruner.DisjointPair(s.Instr, l.Instr) {
 				d.res.Pruned++
+				d.dischargeCert(func() (*presolve.Certificate, bool) { return d.ps.CertDisjoint(s, l) })
 				continue
 			}
 			pairs = append(pairs, pair{s.ID, l.ID})
@@ -874,7 +1082,9 @@ func (d *detector) runSTL() {
 			if seen[key] {
 				continue
 			}
-			if d.query(d.a.Arch(p.s), d.a.Arch(p.l), d.a.Exec(t.ID)) {
+			if d.queryArch(key, []int{p.s, p.l, t.ID}, func() []*smt.Expr {
+				return []*smt.Expr{d.a.Arch(p.s), d.a.Arch(p.l), d.a.Exec(t.ID)}
+			}) {
 				seen[key] = true
 				d.res.Findings = append(d.res.Findings, Finding{
 					Fn: d.res.Fn, Class: class,

@@ -71,7 +71,9 @@ func TestPHTDetectsSpectreV1(t *testing.T) {
 			}
 		}
 	}
-	if r.Queries == 0 || r.NodeCount == 0 {
+	// The pre-solver may discharge every query statically; either way the
+	// candidate traffic must be accounted somewhere.
+	if r.Queries+r.SkippedQueries == 0 || r.NodeCount == 0 {
 		t.Error("stats not recorded")
 	}
 }

@@ -16,6 +16,11 @@ func (r *Result) record(reg *obsv.Registry) {
 	reg.Counter("detect.candidates").Add(int64(r.Candidates))
 	reg.Counter("detect.pruned").Add(int64(r.Pruned))
 	reg.Counter("detect.findings").Add(int64(len(r.Findings)))
+	reg.Counter("presolve.discharged").Add(int64(r.Discharged))
+	reg.Counter("presolve.skipped_queries").Add(int64(r.SkippedQueries))
+	reg.Counter("presolve.certificates").Add(int64(len(r.Certificates)))
+	reg.Counter("presolve.audited").Add(int64(r.PresolveAudited))
+	reg.Counter("presolve.disagreements").Add(int64(r.PresolveDisagreements))
 	reg.Counter("detect.cache_hits").Add(b2i(r.CacheHit))
 	reg.Counter("detect.timeouts").Add(b2i(r.TimedOut))
 	reg.Counter("detect.budget_hits").Add(b2i(r.BudgetHit))
@@ -40,18 +45,22 @@ func b2i(b bool) int64 {
 // record of the stable JSON schema clou -report emits.
 func (r *Result) Report() obsv.FuncReport {
 	fr := obsv.FuncReport{
-		Name:       r.Fn,
-		Nodes:      r.NodeCount,
-		Queries:    r.Queries,
-		Candidates: r.Candidates,
-		Pruned:     r.Pruned,
-		MemoHits:   r.MemoHits,
-		CacheHit:   r.CacheHit,
-		TimedOut:   r.TimedOut,
-		DurationNs: r.Duration.Nanoseconds(),
-		FrontendNs: r.FrontendTime.Nanoseconds(),
-		EncodeNs:   r.EncodeTime.Nanoseconds(),
-		SolveNs:    r.SolveTime.Nanoseconds(),
+		Name:          r.Fn,
+		Nodes:         r.NodeCount,
+		Queries:       r.Queries,
+		Candidates:    r.Candidates,
+		Pruned:        r.Pruned,
+		Discharged:    r.Discharged,
+		Skipped:       r.SkippedQueries,
+		Audited:       r.PresolveAudited,
+		Disagreements: r.PresolveDisagreements,
+		MemoHits:      r.MemoHits,
+		CacheHit:      r.CacheHit,
+		TimedOut:      r.TimedOut,
+		DurationNs:    r.Duration.Nanoseconds(),
+		FrontendNs:    r.FrontendTime.Nanoseconds(),
+		EncodeNs:      r.EncodeTime.Nanoseconds(),
+		SolveNs:       r.SolveTime.Nanoseconds(),
 	}
 	switch {
 	case r.Rung == RungUnknown:

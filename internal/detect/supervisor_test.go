@@ -36,6 +36,10 @@ func TestLadderDescendsOnBudget(t *testing.T) {
 	m := compile(t, spectreV1Src)
 	cfg := DefaultPHT()
 	cfg.MaxQueries = 1
+	// Pin the raw solver query stream: with the pre-solver discharging
+	// queries a 1-query budget never trips and the ladder has nothing to
+	// descend from.
+	cfg.NoPresolve = true
 	cfg.Metrics = obsv.NewRegistry()
 	res, err := AnalyzeFuncLadder(context.Background(), m, "victim", cfg)
 	if err != nil {

@@ -44,6 +44,14 @@ type Row struct {
 	// Queries totals solver queries across the row's functions (Clou
 	// rows only).
 	Queries int
+	// Pre-solver totals across the row's functions: statically discharged
+	// candidates, solver queries skipped, audit replays, and audit
+	// disagreements (which must be zero — the conformance harness and the
+	// audit-presolve CI job assert it).
+	Discharged     int
+	SkippedQueries int
+	Audited        int
+	Disagreements  int
 	// Workers records the parallelism the row was produced with; it is
 	// not part of Format, so output stays comparable across -j values.
 	Workers int
@@ -80,6 +88,11 @@ type Options struct {
 	// Metrics, when non-nil, receives the detect.* and sat.* counters of
 	// every analyzed function.
 	Metrics *obsv.Registry
+	// NoPresolve disables the static pre-solver (ablation baseline);
+	// AuditPresolve replays every statically refuted query through the
+	// solver and counts disagreements instead of skipping it.
+	NoPresolve    bool
+	AuditPresolve bool
 }
 
 func (o *Options) defaults() {
@@ -143,6 +156,8 @@ func clouConfig(engine detect.Engine, opts Options, universalOnly bool, span *ob
 	cfg.Cache = analysisCache
 	cfg.Span = span
 	cfg.Metrics = opts.Metrics
+	cfg.NoPresolve = opts.NoPresolve
+	cfg.AuditPresolve = opts.AuditPresolve
 	if universalOnly {
 		cfg.Transmitters = []core.Class{core.UDT, core.UCT}
 	}
@@ -157,6 +172,10 @@ func (r *Row) addResult(res *detect.Result) {
 	}
 	r.Funcs++
 	r.Queries += res.Queries
+	r.Discharged += res.Discharged
+	r.SkippedQueries += res.SkippedQueries
+	r.Audited += res.PresolveAudited
+	r.Disagreements += res.PresolveDisagreements
 	r.Findings = append(r.Findings, res.Findings...)
 	if res.TimedOut {
 		r.TimedOut++

@@ -1,0 +1,78 @@
+package litmus
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lcm/internal/presolve"
+)
+
+var updateCerts = flag.Bool("update", false, "rewrite the certificate golden file")
+
+// TestCertificatesGolden pins the pre-solver's discharge behaviour on the
+// litmus corpus: for every case, the set of certificates (refutations,
+// witnesses, range discharges) is serialized and compared byte-for-byte
+// against testdata/certs.golden.json. A diff means the pre-solver's
+// verdicts moved — either a deliberate rule change (regenerate with
+// `go test ./internal/litmus -run TestCertificatesGolden -update`) or an
+// unintended regression in discharge coverage.
+//
+// Every certificate must also pass its own structural Check: the golden
+// file is a corpus of machine-checkable proofs, not just a snapshot.
+func TestCertificatesGolden(t *testing.T) {
+	got := map[string][]*presolve.Certificate{}
+	for _, c := range All() {
+		r := analyzeCase(t, c)
+		for _, cert := range r.Certificates {
+			if err := cert.Check(); err != nil {
+				t.Errorf("%s: certificate fails self-check: %v\n%s", c.Name, err, cert)
+			}
+		}
+		if len(r.Certificates) > 0 {
+			got[c.Name] = r.Certificates
+		}
+	}
+
+	buf, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf = append(buf, '\n')
+
+	path := filepath.Join("testdata", "certs.golden.json")
+	if *updateCerts {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf, want) {
+		t.Errorf("certificates diverge from %s (run with -update after an intentional rule change)", path)
+	}
+}
+
+// TestCertificatesDischargeFloor guards the headline discharge result:
+// the corpus-wide certificate count must not silently collapse. The floor
+// is deliberately below the current value (650) so rule tuning has slack,
+// but an accidental disconnection of the pre-solver (zero certs) or a
+// major coverage loss fails loudly.
+func TestCertificatesDischargeFloor(t *testing.T) {
+	total := 0
+	for _, c := range All() {
+		total += len(analyzeCase(t, c).Certificates)
+	}
+	if total < 400 {
+		t.Errorf("litmus corpus discharged %d certificates, want >= 400", total)
+	}
+}

@@ -9,7 +9,7 @@ import (
 
 // Version identifies the report schema / toolchain generation. Bump it
 // when the JSON shape changes; the golden tests pin the serialized form.
-const Version = "0.4.0"
+const Version = "0.5.0"
 
 // Report is the machine-readable run manifest shared by clou -report,
 // lcmlint -report, and cmd/benchjson. All timing-valued fields end in
@@ -45,13 +45,19 @@ type FuncReport struct {
 	// Lint carries constant-time lint findings (lcmlint units only).
 	Lint []string `json:"lint,omitempty"`
 
-	Nodes      int  `json:"nodes,omitempty"`
-	Queries    int  `json:"queries,omitempty"`
-	Candidates int  `json:"candidates,omitempty"`
-	Pruned     int  `json:"pruned,omitempty"`
-	MemoHits   int  `json:"memo_hits,omitempty"`
-	CacheHit   bool `json:"cache_hit,omitempty"`
-	TimedOut   bool `json:"timed_out,omitempty"`
+	Nodes      int `json:"nodes,omitempty"`
+	Queries    int `json:"queries,omitempty"`
+	Candidates int `json:"candidates,omitempty"`
+	Pruned     int `json:"pruned,omitempty"`
+	// Pre-solver accounting: candidates discharged statically, solver
+	// queries skipped, audit replays run, and audit disagreements found.
+	Discharged    int  `json:"discharged,omitempty"`
+	Skipped       int  `json:"skipped_queries,omitempty"`
+	Audited       int  `json:"audited,omitempty"`
+	Disagreements int  `json:"disagreements,omitempty"`
+	MemoHits      int  `json:"memo_hits,omitempty"`
+	CacheHit      bool `json:"cache_hit,omitempty"`
+	TimedOut      bool `json:"timed_out,omitempty"`
 
 	DurationNs int64 `json:"duration_ns"`
 	FrontendNs int64 `json:"frontend_ns,omitempty"`

@@ -1,0 +1,126 @@
+package presolve
+
+import (
+	"sync"
+
+	"lcm/internal/acfg"
+)
+
+// archArms is the flow-sensitive arch-arm analysis: for one branch b, it
+// partitions the A-CFG by how architectural execution of each node
+// constrains b's direction variable. The S-AEG's architectural encoding
+// makes arch(n) equivalent to "control reaches n under the resolved branch
+// outcomes", so every entry-to-n path classifies n:
+//
+//   - bypass: a path avoiding b's out-edges exists — arch(n) is consistent
+//     with either take value;
+//   - arm0: a path leaves b through its first successor — that path needs
+//     take(b) = true;
+//   - arm1: through the second successor — take(b) = false.
+//
+// The union over n's paths over-approximates the take values any
+// satisfying assignment with arch(n)=1 can give b, which is exactly the
+// soundness direction a refutation needs: a value outside the union is
+// impossible, so a query forcing it is UNSAT.
+type archArms struct {
+	g *acfg.Graph
+
+	mu   sync.Mutex
+	by   map[int]*branchArms
+	from map[int][]bool // plain forward reachability, per source
+}
+
+// branchArms holds the three per-node reachability vectors of one branch.
+type branchArms struct {
+	bypass []bool // reachable from entry without using b's out-edges
+	arm0   []bool // reachable from b's first successor
+	arm1   []bool // reachable from b's second successor
+}
+
+func newArchArms(g *acfg.Graph) *archArms {
+	return &archArms{g: g, by: map[int]*branchArms{}, from: map[int][]bool{}}
+}
+
+// comparable reports whether m and n can lie on one entry path: one must
+// reach the other. The architectural encoding asserts arch(n) ⟺ "some
+// take-consistent predecessor executes" per node, and every non-branch
+// node has a single successor, so the arch-true set of any model is the
+// unique path the take values select — two arch nodes are always
+// reachability-ordered. A node pair violating this can never be jointly
+// architectural, whatever the take values.
+func (aa *archArms) comparable(m, n int) bool {
+	if m == n {
+		return true
+	}
+	return aa.reachFrom(m)[n] || aa.reachFrom(n)[m]
+}
+
+// reachFrom memoizes plain forward reachability per source node.
+func (aa *archArms) reachFrom(n int) []bool {
+	aa.mu.Lock()
+	defer aa.mu.Unlock()
+	if r, ok := aa.from[n]; ok {
+		return r
+	}
+	r := aa.reach(n, -1)
+	aa.from[n] = r
+	return r
+}
+
+// of returns (computing on first use) branch b's arm vectors. Safe for
+// concurrent callers: the underlying graph is immutable and the memo is
+// lock-guarded.
+func (aa *archArms) of(b int) *branchArms {
+	aa.mu.Lock()
+	defer aa.mu.Unlock()
+	if ba, ok := aa.by[b]; ok {
+		return ba
+	}
+	ba := &branchArms{
+		bypass: aa.reach(aa.g.Entry, b),
+		arm0:   make([]bool, aa.g.Len()),
+		arm1:   make([]bool, aa.g.Len()),
+	}
+	if succ := aa.g.Succs(b); len(succ) >= 2 {
+		ba.arm0 = aa.reach(succ[0], -1)
+		ba.arm1 = aa.reach(succ[1], -1)
+	}
+	aa.by[b] = ba
+	return ba
+}
+
+// reach computes forward reachability from start, never expanding the
+// successors of cut (-1 for none). The cut node itself stays reachable:
+// a path may end at it without resolving its branch.
+func (aa *archArms) reach(start, cut int) []bool {
+	out := make([]bool, aa.g.Len())
+	out[start] = true
+	frontier := []int{start}
+	for len(frontier) > 0 {
+		n := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		if n == cut {
+			continue
+		}
+		for _, s := range aa.g.Succs(n) {
+			if !out[s] {
+				out[s] = true
+				frontier = append(frontier, s)
+			}
+		}
+	}
+	return out
+}
+
+// archTake reports whether arch(n)=1 is consistent with take(b)=v: some
+// entry-to-n path either avoids b or leaves b down the arm v selects
+// (take=true resolves to the first successor).
+func (ba *branchArms) archTake(n int, v bool) bool {
+	if ba.bypass[n] {
+		return true
+	}
+	if v {
+		return ba.arm0[n]
+	}
+	return ba.arm1[n]
+}

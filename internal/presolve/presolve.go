@@ -1,0 +1,485 @@
+// Package presolve is the proof-carrying static pre-solver: it classifies
+// S-AEG detect candidates as Refuted (with a machine-checkable certificate)
+// or Unknown before any SAT query is issued. It layers three flow-sensitive
+// facts on top of the existing per-function frontend:
+//
+//   - a must-alias / must-not-alias partition refining internal/alias's
+//     flow-insensitive points-to sets (partition.go);
+//   - interval facts from internal/dataflow proving address separation,
+//     reused verbatim from the trusted pruner so the range certificates
+//     record exactly the arithmetic behind each prune decision;
+//   - speculative-window reachability over the A-CFG: per branch, which
+//     take values are consistent with each node being architecturally
+//     executed or transiently fetched (archarms.go).
+//
+// The window rule is the only rule that entails UNSAT of an actual solver
+// query, so it is the one -audit-presolve replays through the full SAT
+// path; the range rules mirror the pruner (which already suppressed the
+// SAT work) and are rechecked by arithmetic. Everything here is pure
+// static computation over immutable inputs — results are independent of
+// worker count, keeping reports byte-identical across -j levels.
+package presolve
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+
+	"lcm/internal/acfg"
+	"lcm/internal/alias"
+	"lcm/internal/dataflow"
+)
+
+// WindowSource answers per-branch speculation-window membership queries.
+// *aeg.AEG implements it; the indirection keeps this package free of the
+// encoder (and of an import cycle through detect).
+type WindowSource interface {
+	// WindowInfo reports whether node n is inside branch b's speculation
+	// window: arms[i] says n is fetchable down successor i, dist is n's
+	// minimum fetch distance from b.
+	WindowInfo(b, n int) (arms [2]bool, dist int, ok bool)
+}
+
+// Facts bundles one function's engine-independent static facts. It is
+// built once per (function, A-CFG options) by the detect cache and shared
+// by every engine run and audit replay; all lazy members are safe for
+// concurrent use.
+type Facts struct {
+	G  *acfg.Graph
+	Al *alias.Analysis
+	MR *dataflow.ModuleRanges // nil when range facts are unavailable
+
+	arms *archArms
+
+	partOnce sync.Once
+	part     *Partition
+}
+
+// NewFacts builds the shared fact base for one function.
+func NewFacts(g *acfg.Graph, al *alias.Analysis, mr *dataflow.ModuleRanges) *Facts {
+	return &Facts{G: g, Al: al, MR: mr, arms: newArchArms(g)}
+}
+
+// Partition returns (building on first use) the must-alias partition.
+func (f *Facts) Partition() *Partition {
+	f.partOnce.Do(func() { f.part = buildPartition(f.G, f.Al, f.MR) })
+	return f.part
+}
+
+// Query is the static shadow of one window-engine SAT query: the solver is
+// asked for a model with misspec(Branch) plus TransUnder(Branch, n) for
+// each n in Trans, ExecUnder(Branch, n) for each n in Exec, and arch(n)
+// for each n in Arch.
+type Query struct {
+	Branch int
+	Trans  []int
+	Exec   []int
+	Arch   []int
+}
+
+// Analysis evaluates refutations for one engine run. It pairs the shared
+// Facts with that run's window geometry (ROB size differs per engine).
+// Not safe for concurrent use — each detector run owns one Analysis, as
+// it owns one solver.
+type Analysis struct {
+	f   *Facts
+	win WindowSource
+
+	feas  map[feasKey]*feasSet
+	memo  map[string]*Certificate // queryKey → cert; nil entry = known not refuted
+	wit   map[witKey]*satWitness
+	wmemo map[string]*Certificate // queryKey → witness cert; nil = no witness found
+	amemo map[string]*Certificate // archKey → arch-witness cert; nil = none
+}
+
+// NewAnalysis binds facts to an engine run's window source.
+func NewAnalysis(f *Facts, win WindowSource) *Analysis {
+	return &Analysis{
+		f: f, win: win,
+		feas: map[feasKey]*feasSet{}, memo: map[string]*Certificate{},
+		wit: map[witKey]*satWitness{}, wmemo: map[string]*Certificate{},
+		amemo: map[string]*Certificate{},
+	}
+}
+
+// Facts exposes the shared fact base (for -why descriptions).
+func (a *Analysis) Facts() *Facts { return a.f }
+
+type feasKey struct {
+	b int
+	v bool
+}
+
+// feasSet is the transient-fetch feasibility of every node for one
+// (branch, take value) pair.
+type feasSet struct {
+	armOK []bool // inside the window, down an arm the take value admits
+	can   []bool // armOK and survives the data-feasibility fixpoint
+}
+
+// feasFor returns (computing on first use) the feasibility set of (b, v).
+//
+// The starting set over-approximates TransUnder: outside the window
+// TransUnder is constant false, and fetching down arm i asserts the take
+// value that makes arm i the mispredicted path (take=true resolves the
+// branch to its first successor, so transient fetch down it needs
+// take=false). The greatest-fixpoint step then applies the encoder's data
+// feasibility clause: a transient node needs, for every non-empty operand
+// group, some definition that is architecturally executed or itself
+// transiently fetched. Deleting nodes that fail this can only shrink the
+// set toward the true one: by induction, the transiently-fetched set of
+// any satisfying assignment with take(b)=v is contained in `can`.
+func (a *Analysis) feasFor(b int, v bool) *feasSet {
+	k := feasKey{b, v}
+	if fs, ok := a.feas[k]; ok {
+		return fs
+	}
+	g := a.f.G
+	fs := &feasSet{armOK: make([]bool, g.Len()), can: make([]bool, g.Len())}
+	for _, n := range g.Nodes {
+		arms, _, ok := a.win.WindowInfo(b, n.ID)
+		if !ok {
+			continue
+		}
+		if (v && arms[1]) || (!v && arms[0]) {
+			fs.armOK[n.ID] = true
+			fs.can[n.ID] = true
+		}
+	}
+	ba := a.f.arms.of(b)
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes {
+			if !fs.can[n.ID] {
+				continue
+			}
+			for _, grp := range n.ArgDefs {
+				if len(grp) == 0 {
+					continue
+				}
+				fed := false
+				for _, d := range grp {
+					if fs.can[d] || a.archOK(ba, b, d, v) {
+						fed = true
+						break
+					}
+				}
+				if !fed {
+					fs.can[n.ID] = false
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	a.feas[k] = fs
+	return fs
+}
+
+// RefuteQuery decides whether q is statically UNSAT. On success it returns
+// the certificate witnessing infeasibility of both take directions.
+func (a *Analysis) RefuteQuery(q Query) (*Certificate, bool) {
+	key := queryKey(q)
+	if c, ok := a.memo[key]; ok {
+		return c, c != nil
+	}
+	tcF, refF := a.refuteCase(q, false)
+	if !refF {
+		a.memo[key] = nil
+		return nil, false
+	}
+	tcT, refT := a.refuteCase(q, true)
+	if !refT {
+		a.memo[key] = nil
+		return nil, false
+	}
+	c := &Certificate{
+		Kind: KindWindow,
+		Fn:   a.f.G.Fn,
+		Key:  key,
+		Window: &WindowFact{
+			Branch: q.Branch,
+			Trans:  sortedCopy(q.Trans),
+			Exec:   sortedCopy(q.Exec),
+			Arch:   sortedCopy(q.Arch),
+			Cases:  [2]TakeCase{tcF, tcT},
+		},
+	}
+	a.memo[key] = c
+	return c, true
+}
+
+// refuteCase tries to refute q under take(Branch)=v, returning the witness
+// when the direction is infeasible.
+func (a *Analysis) refuteCase(q Query, v bool) (TakeCase, bool) {
+	tc := TakeCase{Take: v}
+	ba := a.f.arms.of(q.Branch)
+	// misspec(b) implies arch(b): an unreachable branch cannot misspeculate
+	// at all. (bypass[b] holds exactly when entry reaches b — the cut only
+	// stops traversal past b's out-edges.)
+	if !ba.bypass[q.Branch] {
+		tc.Reason = ReasonBranchUnreachable
+		tc.Node = q.Branch
+		return tc, true
+	}
+	fs := a.feasFor(q.Branch, v)
+	for _, t := range q.Trans {
+		if fs.can[t] {
+			continue
+		}
+		tc.Node = t
+		if arms, dist, ok := a.win.WindowInfo(q.Branch, t); !ok {
+			tc.Reason = ReasonOutsideWindow
+		} else if !((v && arms[1]) || (!v && arms[0])) {
+			tc.Reason = ReasonArmConflict
+			tc.Dist = dist
+		} else {
+			tc.Reason = ReasonDataStarved
+			tc.Dist = dist
+		}
+		return tc, true
+	}
+	for _, e := range q.Exec {
+		if a.archOK(ba, q.Branch, e, v) || fs.can[e] {
+			continue
+		}
+		tc.Node = e
+		if !a.f.arms.comparable(e, q.Branch) {
+			tc.Reason = ReasonArchIncomparable
+		} else {
+			tc.Reason = ReasonExecInfeasible
+		}
+		if _, dist, ok := a.win.WindowInfo(q.Branch, e); ok {
+			tc.Dist = dist
+		}
+		return tc, true
+	}
+	for _, n := range q.Arch {
+		if a.archOK(ba, q.Branch, n, v) {
+			continue
+		}
+		tc.Node = n
+		if !a.f.arms.comparable(n, q.Branch) {
+			tc.Reason = ReasonArchIncomparable
+		} else {
+			tc.Reason = ReasonArchArmConflict
+		}
+		return tc, true
+	}
+	return tc, false
+}
+
+// archOK over-approximates "arch(n)=1 is consistent with misspec(b) and
+// take(b)=v": n's arm constraints admit v, and n shares an entry path with
+// b (misspec(b) forces arch(b), and a model's arch set is a single path).
+func (a *Analysis) archOK(ba *branchArms, b, n int, v bool) bool {
+	return ba.archTake(n, v) && a.f.arms.comparable(n, b)
+}
+
+// CertInBounds reconstructs the interval facts behind a successful
+// InBoundsAccess prune of the access at node n and packages them as a
+// certificate. It mirrors dataflow.RangeAnalysis.InBounds exactly; a false
+// return with a pruner that fired is an audit disagreement.
+func (a *Analysis) CertInBounds(n *acfg.Node) (*Certificate, bool) {
+	if a.f.MR == nil || n == nil || n.Instr == nil {
+		return nil, false
+	}
+	i := addrOperand(n)
+	if i < 0 {
+		return nil, false
+	}
+	r := a.f.MR.ForInstr(n.Instr)
+	if r == nil {
+		return nil, false
+	}
+	ai := r.Addr(n.Instr.Args[i])
+	if !ai.Known || !ai.Off.Bounded() || ai.Off.Lo < 0 {
+		return nil, false
+	}
+	obj := objectSize(ai)
+	w := accessWidth(n)
+	if obj <= 0 || w <= 0 {
+		return nil, false
+	}
+	// Hi is bounded and obj/w are positive ints, so the subtraction form
+	// of the end comparison cannot overflow.
+	if ai.Off.Hi > int64(obj)-int64(w) {
+		return nil, false
+	}
+	return &Certificate{
+		Kind: KindInBounds,
+		Fn:   a.f.G.Fn,
+		Key:  fmt.Sprintf("in-bounds|n=%d", n.ID),
+		InBounds: &BoundsFact{
+			Access: n.ID,
+			Line:   n.Instr.Line,
+			Base:   baseName(ai),
+			Lo:     ai.Off.Lo,
+			Hi:     ai.Off.Hi,
+			Width:  w,
+			Object: obj,
+		},
+	}, true
+}
+
+// CertDisjoint reconstructs the facts behind a successful DisjointPair
+// prune of (store s, load l), mirroring dataflow's DisjointRanges and the
+// pruner's cross-inline global case.
+func (a *Analysis) CertDisjoint(s, l *acfg.Node) (*Certificate, bool) {
+	if a.f.MR == nil || s == nil || l == nil || !s.IsStore() || !l.IsLoad() {
+		return nil, false
+	}
+	rs := a.f.MR.ForInstr(s.Instr)
+	rl := a.f.MR.ForInstr(l.Instr)
+	if rs == nil || rl == nil {
+		return nil, false
+	}
+	as := rs.Addr(s.Instr.Args[1])
+	al := rl.Addr(l.Instr.Args[0])
+	if !as.Known || !al.Known {
+		return nil, false
+	}
+	sameBase := (as.Global != nil && as.Global == al.Global) ||
+		(rs == rl && as.Slot != nil && as.Slot == al.Slot)
+	if !sameBase {
+		return nil, false
+	}
+	if !as.Off.LoadFree || !al.Off.LoadFree || !as.Off.Bounded() || !al.Off.Bounded() {
+		return nil, false
+	}
+	sw := accessWidth(s)
+	lw := accessWidth(l)
+	if sw <= 0 || lw <= 0 {
+		return nil, false
+	}
+	sEnd, ok1 := addOv(as.Off.Hi, int64(sw))
+	lEnd, ok2 := addOv(al.Off.Hi, int64(lw))
+	if !ok1 || !ok2 || (sEnd > al.Off.Lo && lEnd > as.Off.Lo) {
+		return nil, false
+	}
+	return &Certificate{
+		Kind: KindDisjoint,
+		Fn:   a.f.G.Fn,
+		Key:  fmt.Sprintf("stl-disjoint|s=%d|l=%d", s.ID, l.ID),
+		Disjoint: &DisjointFact{
+			Store:      s.ID,
+			Load:       l.ID,
+			Base:       baseName(as),
+			StoreLo:    as.Off.Lo,
+			StoreHi:    as.Off.Hi,
+			StoreWidth: sw,
+			LoadLo:     al.Off.Lo,
+			LoadHi:     al.Off.Hi,
+			LoadWidth:  lw,
+			LoadFree:   true,
+		},
+	}, true
+}
+
+// Recheck re-derives a certificate from the current graph and facts and
+// verifies the stored facts agree — the audit path for certificates whose
+// rule is not a SAT query (and a structural sanity pass for those that
+// are; their SAT replay happens in the detect engine).
+func (a *Analysis) Recheck(c *Certificate) error {
+	if err := c.Check(); err != nil {
+		return err
+	}
+	switch c.Kind {
+	case KindWindow:
+		w := c.Window
+		d, ok := a.RefuteQuery(Query{Branch: w.Branch, Trans: w.Trans, Exec: w.Exec, Arch: w.Arch})
+		if !ok {
+			return fmt.Errorf("window query %s no longer refuted", c.Key)
+		}
+		if !reflect.DeepEqual(d.Window, w) {
+			return fmt.Errorf("window witness drifted for %s", c.Key)
+		}
+	case KindWitness:
+		w := c.Witness
+		d, ok := a.WitnessQuery(Query{Branch: w.Branch, Trans: w.Trans, Exec: w.Exec, Arch: w.Arch})
+		if !ok {
+			return fmt.Errorf("window query %s no longer witnessed", c.Key)
+		}
+		if !reflect.DeepEqual(d.Witness, w) {
+			return fmt.Errorf("sat witness drifted for %s", c.Key)
+		}
+	case KindArchWitness:
+		w := c.Arch
+		d, ok := a.WitnessArch(w.Nodes)
+		if !ok {
+			return fmt.Errorf("arch query %s no longer witnessed", c.Key)
+		}
+		if !reflect.DeepEqual(d.Arch, w) {
+			return fmt.Errorf("arch witness drifted for %s", c.Key)
+		}
+	case KindInBounds:
+		n := a.node(c.InBounds.Access)
+		d, ok := a.CertInBounds(n)
+		if !ok {
+			return fmt.Errorf("in-bounds facts no longer derivable for %s", c.Key)
+		}
+		if !reflect.DeepEqual(d.InBounds, c.InBounds) {
+			return fmt.Errorf("in-bounds facts drifted for %s", c.Key)
+		}
+	case KindDisjoint:
+		d, ok := a.CertDisjoint(a.node(c.Disjoint.Store), a.node(c.Disjoint.Load))
+		if !ok {
+			return fmt.Errorf("stl-disjoint facts no longer derivable for %s", c.Key)
+		}
+		if !reflect.DeepEqual(d.Disjoint, c.Disjoint) {
+			return fmt.Errorf("stl-disjoint facts drifted for %s", c.Key)
+		}
+	default:
+		return fmt.Errorf("unknown certificate kind %q", c.Kind)
+	}
+	return nil
+}
+
+// node returns the A-CFG node with the given ID (nil when out of range).
+func (a *Analysis) node(id int) *acfg.Node {
+	if id < 0 || id >= a.f.G.Len() {
+		return nil
+	}
+	return a.f.G.Nodes[id]
+}
+
+// objectSize is the byte size of a resolved base object.
+func objectSize(ai dataflow.AddrInfo) int {
+	switch {
+	case ai.Global != nil:
+		return ai.Global.Elem.Size()
+	case ai.Slot != nil:
+		return ai.Slot.AllocaElem.Size()
+	}
+	return 0
+}
+
+// addOv is overflow-checked addition, mirroring dataflow's helper.
+func addOv(a, b int64) (int64, bool) {
+	s := a + b
+	if (b > 0 && s < a) || (b < 0 && s > a) {
+		return 0, false
+	}
+	return s, true
+}
+
+// sortedCopy normalizes a node list; empty lists become nil so that
+// certificates compare equal across a JSON round-trip (omitempty).
+func sortedCopy(ns []int) []int {
+	if len(ns) == 0 {
+		return nil
+	}
+	s := append([]int{}, ns...)
+	sortInts(s)
+	return s
+}
+
+// sortInts is a tiny insertion sort — query node lists are short, and
+// keeping it local avoids importing sort twice across files.
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,304 @@
+// Tests live in an external package so they can drive the real encoder
+// (lcm/internal/aeg implements WindowSource) and cross-check every static
+// refutation against the solver — the same agreement -audit-presolve
+// asserts at the tool level, proven here per-query at the unit level.
+package presolve_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"lcm/internal/acfg"
+	"lcm/internal/aeg"
+	"lcm/internal/alias"
+	"lcm/internal/dataflow"
+	"lcm/internal/ir"
+	"lcm/internal/lower"
+	"lcm/internal/minic"
+	"lcm/internal/presolve"
+	"lcm/internal/sat"
+)
+
+// world bundles one compiled function's frontend, encoder, and pre-solver.
+type world struct {
+	g  *acfg.Graph
+	a  *aeg.AEG
+	an *presolve.Analysis
+}
+
+func build(t *testing.T, src, fn string) *world {
+	t.Helper()
+	f, err := minic.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := lower.Module(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := acfg.Build(m, fn, acfg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	al := alias.Analyze(g)
+	a := aeg.Build(g, al, aeg.Options{})
+	facts := presolve.NewFacts(g, al, dataflow.NewModuleRanges(m))
+	return &world{g: g, a: a, an: presolve.NewAnalysis(facts, a)}
+}
+
+// loadAt returns the (unique) array load on a source line, skipping the
+// Clang-O0-style reloads of local slots that share the line.
+func (w *world) loadAt(t *testing.T, line int) int {
+	t.Helper()
+	id := -1
+	for _, n := range w.g.Nodes {
+		if !n.IsLoad() || n.Instr.Line != line || isSlotLoad(n) {
+			continue
+		}
+		if id >= 0 {
+			t.Fatalf("multiple array loads on line %d", line)
+		}
+		id = n.ID
+	}
+	if id < 0 {
+		t.Fatalf("no array load on line %d", line)
+	}
+	return id
+}
+
+// isSlotLoad reports whether the load reads a local alloca slot directly.
+func isSlotLoad(n *acfg.Node) bool {
+	in, ok := n.Instr.Args[0].(*ir.Instr)
+	return ok && in.Op == ir.OpAlloca
+}
+
+func (w *world) storeAt(t *testing.T, line int) int {
+	t.Helper()
+	for _, n := range w.g.Nodes {
+		if n.IsStore() && n.Instr.Line == line {
+			return n.ID
+		}
+	}
+	t.Fatalf("no store on line %d", line)
+	return -1
+}
+
+// theBranch returns the function's single branch node.
+func (w *world) theBranch(t *testing.T) int {
+	t.Helper()
+	bs := w.a.Branches()
+	if len(bs) != 1 {
+		t.Fatalf("branches = %d, want 1", len(bs))
+	}
+	return bs[0]
+}
+
+// crossArm puts the two loads in opposite arms of one branch: no take
+// value lets both be fetched transiently under it.
+const crossArm = `
+int A[16];
+int B[16];
+int f(int y, int z) {
+	int r = 0;
+	if (y < 16) {
+		r = A[z];
+	} else {
+		r = B[z];
+	}
+	return r;
+}
+`
+
+func TestCrossArmRefuted(t *testing.T) {
+	w := build(t, crossArm, "f")
+	b := w.theBranch(t)
+	la, lb := w.loadAt(t, 7), w.loadAt(t, 9)
+	q := presolve.Query{Branch: b, Trans: []int{la, lb}}
+	cert, ok := w.an.RefuteQuery(q)
+	if !ok {
+		t.Fatal("cross-arm query not refuted")
+	}
+	if err := cert.Check(); err != nil {
+		t.Fatalf("certificate check: %v", err)
+	}
+	// Each direction individually must remain feasible — the refutation is
+	// about the pair, and an over-eager rule would break findings.
+	for _, n := range []int{la, lb} {
+		if _, ok := w.an.RefuteQuery(presolve.Query{Branch: b, Trans: []int{n}}); ok {
+			t.Errorf("single-arm query on node %d wrongly refuted", n)
+		}
+	}
+	if err := w.an.Recheck(cert); err != nil {
+		t.Errorf("recheck: %v", err)
+	}
+}
+
+// TestRefutationsAgreeWithSolver is the unit-level audit: over every
+// branch and every small query shape drawn from window members, a static
+// refutation must coincide with solver UNSAT.
+func TestRefutationsAgreeWithSolver(t *testing.T) {
+	srcs := map[string]string{"crossArm/f": crossArm, "deps/g": `
+int A[16];
+int B[16];
+int g(int y, int z) {
+	int r = 0;
+	if (y < 16) {
+		int i = A[y];
+		r = B[i];
+	} else {
+		r = B[z];
+	}
+	return r;
+}
+`}
+	for name, src := range srcs {
+		fn := name[len(name)-1:]
+		w := build(t, src, fn)
+		for _, b := range w.a.Branches() {
+			var win []int
+			for _, n := range w.g.Nodes {
+				if w.a.InWindow(b, n.ID) {
+					win = append(win, n.ID)
+				}
+			}
+			for _, n1 := range win {
+				for _, n2 := range win {
+					q := presolve.Query{Branch: b, Trans: []int{n1, n2}}
+					_, refuted := w.an.RefuteQuery(q)
+					st := w.a.Check(w.a.Misspec(b), w.a.TransUnder(b, n1), w.a.TransUnder(b, n2))
+					if refuted && st != sat.Unsat {
+						t.Fatalf("%s: branch %d trans {%d,%d}: refuted but solver says %v", name, b, n1, n2, st)
+					}
+				}
+			}
+		}
+	}
+}
+
+// inBounds has a provably confined access: offsets 0..15 of a 16-int
+// global, so the pruner discharges it and the certificate must agree.
+const inBounds = `
+int A[16];
+int f(int y) {
+	int r = 0;
+	int i = y & 15;
+	if (y < 16) {
+		r = A[i];
+	}
+	return r;
+}
+`
+
+func TestCertInBounds(t *testing.T) {
+	w := build(t, inBounds, "f")
+	acc := w.loadAt(t, 7)
+	cert, ok := w.an.CertInBounds(w.g.Nodes[acc])
+	if !ok {
+		t.Fatal("no in-bounds certificate for masked access")
+	}
+	if err := cert.Check(); err != nil {
+		t.Fatalf("certificate check: %v", err)
+	}
+	f := cert.InBounds
+	if f.Base != "global:A" || f.Lo != 0 || f.Hi != 60 || f.Width != 4 || f.Object != 64 {
+		t.Errorf("unexpected bounds fact: %+v", f)
+	}
+	if err := w.an.Recheck(cert); err != nil {
+		t.Errorf("recheck: %v", err)
+	}
+	// Tampering must be caught by the arithmetic check.
+	bad := *cert
+	badf := *f
+	badf.Hi = 64
+	bad.InBounds = &badf
+	if err := bad.Check(); err == nil {
+		t.Error("tampered certificate passed Check")
+	}
+}
+
+// disjoint writes the low half and reads the high half of one global:
+// store bypass cannot make the load observe stale data.
+const disjoint = `
+int A[16];
+int f(int y) {
+	A[1] = y;
+	int r = A[8];
+	return r;
+}
+`
+
+func TestCertDisjoint(t *testing.T) {
+	w := build(t, disjoint, "f")
+	s, l := w.storeAt(t, 4), w.loadAt(t, 5)
+	cert, ok := w.an.CertDisjoint(w.g.Nodes[s], w.g.Nodes[l])
+	if !ok {
+		t.Fatal("no stl-disjoint certificate for constant-offset pair")
+	}
+	if err := cert.Check(); err != nil {
+		t.Fatalf("certificate check: %v", err)
+	}
+	f := cert.Disjoint
+	if f.Base != "global:A" || f.StoreLo != 4 || f.LoadLo != 32 || !f.LoadFree {
+		t.Errorf("unexpected disjoint fact: %+v", f)
+	}
+	if err := w.an.Recheck(cert); err != nil {
+		t.Errorf("recheck: %v", err)
+	}
+	bad := *cert
+	badf := *f
+	badf.LoadLo, badf.LoadHi = 4, 4
+	bad.Disjoint = &badf
+	if err := bad.Check(); err == nil {
+		t.Error("overlapping ranges passed Check")
+	}
+}
+
+func TestCertificateJSONRoundTrip(t *testing.T) {
+	w := build(t, crossArm, "f")
+	b := w.theBranch(t)
+	q := presolve.Query{Branch: b, Trans: []int{w.loadAt(t, 7), w.loadAt(t, 9)}}
+	cert, ok := w.an.RefuteQuery(q)
+	if !ok {
+		t.Fatal("query not refuted")
+	}
+	data, err := json.Marshal(cert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back presolve.Certificate
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Check(); err != nil {
+		t.Fatalf("round-tripped certificate: %v", err)
+	}
+	if err := w.an.Recheck(&back); err != nil {
+		t.Fatalf("round-tripped recheck: %v", err)
+	}
+}
+
+func TestPartitionRelations(t *testing.T) {
+	const src = `
+int A[16];
+int B[16];
+int f(int y) {
+	int s = 0;
+	int t = 0;
+	s = A[0];
+	t = B[0];
+	return s + t;
+}
+`
+	w := build(t, src, "f")
+	part := w.an.Facts().Partition()
+	la, lb := w.loadAt(t, 7), w.loadAt(t, 8)
+	if got := part.Rel(la, lb); got != presolve.RelMustNotArch {
+		t.Errorf("A[0] vs B[0]: rel = %v, want arch-only separation", got)
+	}
+	if got := part.Rel(la, la); got != presolve.RelMay {
+		t.Errorf("self relation = %v, want may-alias", got)
+	}
+	if d := part.Describe(la); d == "untracked access" {
+		t.Errorf("describe(A[0]) = %q", d)
+	}
+}

@@ -1,0 +1,425 @@
+package presolve
+
+import "lcm/internal/acfg"
+
+// The witness rule is the dual of RefuteQuery: instead of proving a query
+// UNSAT it constructs an explicit satisfying assignment of the S-AEG
+// encoding and lets the engine record the finding without a solver call.
+// The encoding admits a closed-form model: the take variables select a
+// unique maximal architectural path from entry (encodeArch asserts
+// arch(n) ⟺ a take-consistent predecessor executes, and non-branch nodes
+// have a single successor), and every other constraint is an implication
+// that an all-false assignment of the remaining misspec/transin variables
+// satisfies vacuously. A witness therefore consists of
+//
+//   - a take assignment whose selected path visits the query branch b,
+//   - misspec(b) = 1 (arch(b) holds — b is on the path), and
+//   - a transient fetch set: the least fixpoint of the window's data-
+//     feasibility clause over nodes fetchable down the arm the take value
+//     mispredicts, seeded by definitions on the architectural path.
+//
+// If the fetch set covers the query's Trans nodes (and path ∪ fetch its
+// Exec nodes, path its Arch nodes), the assignment satisfies every
+// asserted clause, so the query is SAT. Like refutations, witnesses are
+// untrusted: -audit-presolve replays each one through the solver and
+// asserts it answers Sat.
+
+// BranchTake is one branch's direction in a witness's take assignment.
+type BranchTake struct {
+	Branch int  `json:"branch"`
+	Take   bool `json:"take"`
+}
+
+// satWitness is the canonical model fragment for one (branch, take) pair:
+// the take-selected architectural path and the transient-fetch fixpoint.
+type satWitness struct {
+	ok     bool
+	path   []int // in path order, entry first
+	onPath []bool
+	takes  []BranchTake // sorted by branch
+	fetch  []bool
+}
+
+type witKey struct {
+	b int
+	v bool
+}
+
+// witnessFor returns (computing on first use) the canonical witness of
+// misspeculating branch b with take(b)=v.
+func (a *Analysis) witnessFor(b int, v bool) *satWitness {
+	k := witKey{b, v}
+	if w, ok := a.wit[k]; ok {
+		return w
+	}
+	w := a.buildWitness(b, v)
+	a.wit[k] = w
+	return w
+}
+
+func (a *Analysis) buildWitness(b int, v bool) *satWitness {
+	g := a.f.G
+	// Entry-to-b prefix: any BFS path is take-realizable, because each hop
+	// is a successor edge and a simple path resolves every branch on it at
+	// most once.
+	parent := make([]int, g.Len())
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[g.Entry] = g.Entry
+	queue := []int{g.Entry}
+	for len(queue) > 0 && parent[b] == -1 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, s := range g.Succs(n) {
+			if parent[s] == -1 {
+				parent[s] = n
+				queue = append(queue, s)
+			}
+		}
+	}
+	if parent[b] == -1 {
+		return &satWitness{} // entry cannot reach b: refutation territory
+	}
+	var path []int
+	for n := b; ; n = parent[n] {
+		path = append(path, n)
+		if n == g.Entry {
+			break
+		}
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+
+	onPath := make([]bool, g.Len())
+	takes := map[int]bool{}
+	for i, n := range path {
+		onPath[n] = true
+		if i+1 < len(path) {
+			if t, ok := takeFor(g, n, path[i+1]); ok {
+				takes[n] = t
+			}
+		}
+	}
+	takes[b] = v
+
+	// Continue past b along the take-selected successors until the path
+	// closes on itself or exits: the Iff semantics of encodeArch force the
+	// architectural set to be exactly such a maximal path, so stopping
+	// early would leave a node whose selected successor is un-executed.
+	for cur := b; ; {
+		succ := a.f.G.Succs(cur)
+		if len(succ) == 0 {
+			break
+		}
+		next := succ[0]
+		if g.Nodes[cur].IsBranch() && len(succ) >= 2 && succ[0] != succ[1] {
+			t, ok := takes[cur]
+			if !ok {
+				t = true
+				takes[cur] = t
+			}
+			if !t {
+				next = succ[1]
+			}
+		}
+		if onPath[next] {
+			break
+		}
+		onPath[next] = true
+		path = append(path, next)
+		cur = next
+	}
+
+	// Transient fetch set: least fixpoint of the data-feasibility clause
+	// over window nodes fetchable down the mispredicted arm (take=true
+	// resolves architecturally to the first successor, so the transient
+	// fetch runs down the second).
+	fetch := make([]bool, g.Len())
+	elig := make([]bool, g.Len())
+	for _, n := range g.Nodes {
+		arms, _, ok := a.win.WindowInfo(b, n.ID)
+		if !ok {
+			continue
+		}
+		if (v && arms[1]) || (!v && arms[0]) {
+			elig[n.ID] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes {
+			if fetch[n.ID] || !elig[n.ID] {
+				continue
+			}
+			fed := true
+			for _, grp := range n.ArgDefs {
+				if len(grp) == 0 {
+					continue
+				}
+				grpFed := false
+				for _, d := range grp {
+					if onPath[d] || fetch[d] {
+						grpFed = true
+						break
+					}
+				}
+				if !grpFed {
+					fed = false
+					break
+				}
+			}
+			if fed {
+				fetch[n.ID] = true
+				changed = true
+			}
+		}
+	}
+
+	tl := make([]BranchTake, 0, len(takes))
+	for br, t := range takes {
+		tl = append(tl, BranchTake{Branch: br, Take: t})
+	}
+	sortTakes(tl)
+	return &satWitness{ok: true, path: path, onPath: onPath, takes: tl, fetch: fetch}
+}
+
+// takeFor reports the take value that routes branch p to successor q,
+// sharing the encoder's rule: take=true selects the first successor. The
+// second result is false when the edge is unconditional (p is not a
+// proper branch, or both arms coincide).
+func takeFor(g *acfg.Graph, p, q int) (bool, bool) {
+	succ := g.Succs(p)
+	if len(succ) < 2 || succ[0] == succ[1] {
+		return false, false
+	}
+	return succ[0] == q, true
+}
+
+// WitnessQuery decides whether q is statically SAT by explicit model
+// construction. On success the certificate records the take assignment,
+// architectural path, and transient fetch set; audit mode replays the
+// query asserting the solver also answers Sat.
+func (a *Analysis) WitnessQuery(q Query) (*Certificate, bool) {
+	key := queryKey(q)
+	if c, ok := a.wmemo[key]; ok {
+		return c, c != nil
+	}
+	for _, v := range []bool{false, true} {
+		w := a.witnessFor(q.Branch, v)
+		if !w.ok || !a.covers(w, q) {
+			continue
+		}
+		var fl []int
+		for n, f := range w.fetch {
+			if f {
+				fl = append(fl, n)
+			}
+		}
+		c := &Certificate{
+			Kind: KindWitness,
+			Fn:   a.f.G.Fn,
+			Key:  key,
+			Witness: &WitnessFact{
+				Branch: q.Branch,
+				Take:   v,
+				Trans:  sortedCopy(q.Trans),
+				Exec:   sortedCopy(q.Exec),
+				Arch:   sortedCopy(q.Arch),
+				Path:   append([]int{}, w.path...),
+				Takes:  append([]BranchTake{}, w.takes...),
+				Fetch:  fl,
+			},
+		}
+		a.wmemo[key] = c
+		return c, true
+	}
+	a.wmemo[key] = nil
+	return nil, false
+}
+
+// WitnessArch decides branch-free architectural queries — the STL
+// engine's Arch(s) ∧ Arch(l) ∧ Exec(t) shape — by the same model
+// construction without any transient machinery: all misspec and transin
+// variables are false, and the take variables route one path through
+// every queried node. The A-CFG is a DAG (back edges are cut during
+// construction), so the per-segment take assignments can never conflict:
+// two segments sharing an interior node would close a cycle. The
+// certificate records the node set, the path, and the take assignment.
+func (a *Analysis) WitnessArch(nodes []int) (*Certificate, bool) {
+	key := archKey(nodes)
+	if c, ok := a.amemo[key]; ok {
+		return c, c != nil
+	}
+	c := a.buildArchWitness(key, nodes)
+	a.amemo[key] = c
+	return c, c != nil
+}
+
+func (a *Analysis) buildArchWitness(key string, nodes []int) *Certificate {
+	g := a.f.G
+	// Order the waypoints by reachability. Reachability on a DAG is a
+	// partial order; if some pair is incomparable no single path covers
+	// both and the query is left to the solver (it is in fact UNSAT, but
+	// the engines pre-gate chained candidates so the case is dead).
+	ord := dedupSorted(nodes)
+	for i := 1; i < len(ord); i++ {
+		for j := i; j > 0 && a.f.arms.reachFrom(ord[j])[ord[j-1]]; j-- {
+			ord[j], ord[j-1] = ord[j-1], ord[j]
+		}
+	}
+	for i := 1; i < len(ord); i++ {
+		if ord[i-1] != ord[i] && !a.f.arms.reachFrom(ord[i-1])[ord[i]] {
+			return nil
+		}
+	}
+
+	// Take assignments along entry → ord[0] → … → ord[k]; conflicts fail
+	// the witness (impossible on a DAG, but checked rather than trusted).
+	takes := map[int]bool{}
+	cur := g.Entry
+	for _, w := range ord {
+		if w == cur {
+			continue
+		}
+		seg := bfsPath(g, cur, w)
+		if seg == nil {
+			return nil
+		}
+		for i := 0; i+1 < len(seg); i++ {
+			if t, ok := takeFor(g, seg[i], seg[i+1]); ok {
+				if prev, dup := takes[seg[i]]; dup && prev != t {
+					return nil
+				}
+				takes[seg[i]] = t
+			}
+		}
+		cur = w
+	}
+
+	// Replay the take assignment from entry: the selected path must visit
+	// every waypoint, and extends maximally so the arch Iff closes.
+	var path []int
+	onPath := make([]bool, g.Len())
+	for n := g.Entry; ; {
+		path = append(path, n)
+		onPath[n] = true
+		succ := g.Succs(n)
+		if len(succ) == 0 {
+			break
+		}
+		next := succ[0]
+		if g.Nodes[n].IsBranch() && len(succ) >= 2 && succ[0] != succ[1] {
+			t, ok := takes[n]
+			if !ok {
+				t = true
+				takes[n] = t
+			}
+			if !t {
+				next = succ[1]
+			}
+		}
+		if onPath[next] {
+			break
+		}
+		n = next
+	}
+	for _, w := range ord {
+		if !onPath[w] {
+			return nil
+		}
+	}
+
+	tl := make([]BranchTake, 0, len(takes))
+	for br, t := range takes {
+		tl = append(tl, BranchTake{Branch: br, Take: t})
+	}
+	sortTakes(tl)
+	return &Certificate{
+		Kind: KindArchWitness,
+		Fn:   g.Fn,
+		Key:  key,
+		Arch: &ArchFact{
+			Nodes: dedupSorted(nodes),
+			Path:  path,
+			Takes: tl,
+		},
+	}
+}
+
+// bfsPath returns a shortest path from src to dst over successor edges
+// (nil when unreachable), deterministic in queue order.
+func bfsPath(g *acfg.Graph, src, dst int) []int {
+	parent := make([]int, g.Len())
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[src] = src
+	queue := []int{src}
+	for len(queue) > 0 && parent[dst] == -1 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, s := range g.Succs(n) {
+			if parent[s] == -1 {
+				parent[s] = n
+				queue = append(queue, s)
+			}
+		}
+	}
+	if parent[dst] == -1 {
+		return nil
+	}
+	var path []int
+	for n := dst; ; n = parent[n] {
+		path = append(path, n)
+		if n == src {
+			break
+		}
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// sortTakes orders a take assignment by branch ID.
+func sortTakes(tl []BranchTake) {
+	for i := 1; i < len(tl); i++ {
+		for j := i; j > 0 && tl[j].Branch < tl[j-1].Branch; j-- {
+			tl[j], tl[j-1] = tl[j-1], tl[j]
+		}
+	}
+}
+
+// dedupSorted sorts and deduplicates a node list.
+func dedupSorted(ns []int) []int {
+	s := sortedCopy(ns)
+	out := s[:0]
+	for i, n := range s {
+		if i == 0 || n != s[i-1] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// covers reports whether witness w satisfies every literal of query q.
+func (a *Analysis) covers(w *satWitness, q Query) bool {
+	for _, t := range q.Trans {
+		if !w.fetch[t] {
+			return false
+		}
+	}
+	for _, e := range q.Exec {
+		if !w.fetch[e] && !w.onPath[e] {
+			return false
+		}
+	}
+	for _, n := range q.Arch {
+		if !w.onPath[n] {
+			return false
+		}
+	}
+	return true
+}

@@ -505,6 +505,11 @@ func ReplayDegradation(d Degradation) (rung string, verdict string, err error) {
 		cfg := conformCfg(e)
 		cfg.MaxQueries = d.MaxQueries
 		cfg.MaxConflicts = d.MaxConflicts
+		// Budget entries pin how the ladder degrades under a raw solver
+		// budget; the pre-solver legitimately shrinks the query stream
+		// (the same budget then no longer trips), so replay disables it
+		// to keep the pinned rungs meaningful.
+		cfg.NoPresolve = true
 		res, rerr := detect.AnalyzeFuncLadder(context.Background(), m, "victim", cfg)
 		if rerr != nil {
 			return "", "", rerr

@@ -30,11 +30,12 @@ func (f Failure) Error() string {
 	return fmt.Sprintf("%s (seed %d index %d): %s", f.Oracle, f.Seed, f.Index, f.Detail)
 }
 
-// Oracles lists every oracle family member in a fixed order. "compile"
-// and "uarch" run on all programs, "repair-*" on leaky ones, "meta-*"
-// wherever a rewrite applies, and "diff-enum" on gadget subjects only.
+// Oracles lists every oracle family member in a fixed order. "compile",
+// "uarch", and "presolve" run on all programs, "repair-*" on leaky ones,
+// "meta-*" wherever a rewrite applies, and "diff-enum" on gadget
+// subjects only.
 func Oracles() []string {
-	return []string{"compile", "repair-pht", "repair-stl", "meta-alpha", "meta-dead", "meta-reorder", "uarch", "diff-enum"}
+	return []string{"compile", "repair-pht", "repair-stl", "meta-alpha", "meta-dead", "meta-reorder", "presolve", "uarch", "diff-enum"}
 }
 
 // conformCfg is the detection configuration all oracles share. LSQ and
@@ -221,10 +222,80 @@ func RunOracle(name, src, fn string) *Failure {
 		return repairOracle(src, fn, detect.STL)
 	case "meta-alpha", "meta-dead", "meta-reorder":
 		return metaOracle(strings.TrimPrefix(name, "meta-"), src, fn)
+	case "presolve":
+		return presolveOracle(src, fn)
 	case "uarch":
 		return uarchOracle(src, fn)
 	}
 	return nil
+}
+
+// presolveOracle cross-checks the static pre-solver (internal/presolve)
+// against the solver on one program, under both engines:
+//
+//  1. findings with the pre-solver enabled must be identical to findings
+//     with it disabled (the discharge rules change cost, never verdicts);
+//  2. an audit run — every discharged candidate replayed through the full
+//     SAT encoding — must report zero disagreements; and
+//  3. every emitted certificate must pass its structural self-check.
+//
+// Programs that time out or degrade are skipped: a budget abort makes the
+// enabled/disabled query sequences diverge legitimately.
+func presolveOracle(src, fn string) *Failure {
+	m, err := compileSrc(src)
+	if err != nil {
+		return nil
+	}
+	for _, engine := range []detect.Engine{detect.PHT, detect.STL} {
+		tag := "pht"
+		if engine == detect.STL {
+			tag = "stl"
+		}
+		cfg := conformCfg(engine)
+		with, err := detect.AnalyzeFunc(m, fn, cfg)
+		if err != nil || with.TimedOut || with.Fault != nil {
+			return nil
+		}
+		off := cfg
+		off.NoPresolve = true
+		without, err := detect.AnalyzeFunc(m, fn, off)
+		if err != nil || without.TimedOut || without.Fault != nil {
+			return nil
+		}
+		if !countsEqual(countsOf(with), countsOf(without)) {
+			return &Failure{Oracle: "presolve", Src: src,
+				Detail: fmt.Sprintf("%s: findings differ with pre-solver on/off: %s -> %s",
+					tag, countsString(countsOf(without)), countsString(countsOf(with)))}
+		}
+		audit := cfg
+		audit.AuditPresolve = true
+		au, err := detect.AnalyzeFunc(m, fn, audit)
+		if err != nil || au.TimedOut || au.Fault != nil {
+			return nil
+		}
+		if au.PresolveDisagreements > 0 {
+			return &Failure{Oracle: "presolve", Src: src,
+				Detail: fmt.Sprintf("%s: audit found %d disagreement(s) over %d replayed discharge(s)",
+					tag, au.PresolveDisagreements, au.PresolveAudited)}
+		}
+		for _, cert := range with.Certificates {
+			if err := cert.Check(); err != nil {
+				return &Failure{Oracle: "presolve", Src: src,
+					Detail: fmt.Sprintf("%s: certificate fails self-check: %v", tag, err)}
+			}
+		}
+	}
+	return nil
+}
+
+// countsOf renders a result's per-class transmitter counts with string
+// keys, for countsEqual/countsString.
+func countsOf(res *detect.Result) map[string]int {
+	out := map[string]int{}
+	for class, n := range res.Counts() {
+		out[class.String()] = n
+	}
+	return out
 }
 
 // repairOracle checks the §5.4 soundness claim: after fence insertion,
@@ -426,7 +497,7 @@ func Check(p Program) (Verdict, []Failure) {
 		add(&Failure{Oracle: "compile", Detail: err.Error()})
 		return v, fails
 	}
-	for _, name := range []string{"repair-pht", "repair-stl", "meta-alpha", "meta-dead", "meta-reorder", "uarch"} {
+	for _, name := range []string{"repair-pht", "repair-stl", "meta-alpha", "meta-dead", "meta-reorder", "presolve", "uarch"} {
 		add(RunOracle(name, p.Src, p.Fn))
 	}
 	add(diffOracle(p))

@@ -208,6 +208,7 @@ func (r *Relation) TransitiveClosure() *Relation {
 	for src := range r.succ {
 		seen := make(Set)
 		stack := make([]ID, 0, len(r.succ[src]))
+		//determlint:ignore DFS worklist; visit order cannot affect the closure (set semantics)
 		for to := range r.succ[src] {
 			stack = append(stack, to)
 		}
@@ -219,6 +220,7 @@ func (r *Relation) TransitiveClosure() *Relation {
 			}
 			seen.Add(n)
 			u.Add(src, n)
+			//determlint:ignore DFS worklist; visit order cannot affect the closure (set semantics)
 			for to := range r.succ[n] {
 				if !seen.Has(to) {
 					stack = append(stack, to)

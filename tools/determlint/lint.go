@@ -1,0 +1,230 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Pass carries one typechecked package through the analyzer, mirroring
+// the go/analysis shape without the dependency.
+type Pass struct {
+	Fset   *token.FileSet
+	Files  []*ast.File
+	Info   *types.Info
+	Report func(Diagnostic)
+}
+
+// lint walks every function and flags map-range loops whose bodies feed
+// ordered sinks. The sinks mirror how nondeterminism actually escaped in
+// this repo before PR 2/PR 3 pinned reports: formatted output, writer
+// calls, channel sends, and accumulation into outer slices or strings
+// that are never sorted afterwards.
+func lint(pass *Pass) {
+	for _, file := range pass.Files {
+		ignored := ignoreLines(pass.Fset, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			lintFunc(pass, fn, ignored)
+			return true
+		})
+	}
+}
+
+// ignoreLines collects the lines suppressed by //determlint:ignore — the
+// directive acts on its own line and the one below it.
+func ignoreLines(fset *token.FileSet, file *ast.File) map[int]bool {
+	out := map[int]bool{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "determlint:ignore") {
+				line := fset.Position(c.Pos()).Line
+				out[line] = true
+				out[line+1] = true
+			}
+		}
+	}
+	return out
+}
+
+func lintFunc(pass *Pass, fn *ast.FuncDecl, ignored map[int]bool) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.Info.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		pos := pass.Fset.Position(rs.Pos())
+		if ignored[pos.Line] {
+			return true
+		}
+		if sink := findSink(pass, fn, rs); sink != "" {
+			pass.Report(Diagnostic{
+				Pos: pos,
+				Message: "map iteration order feeds " + sink +
+					"; sort the keys first (or annotate //determlint:ignore if the order provably cannot escape)",
+			})
+		}
+		return true
+	})
+}
+
+// findSink returns a description of the first ordered sink the loop body
+// feeds, or "" when the iteration order provably stays internal.
+func findSink(pass *Pass, fn *ast.FuncDecl, rs *ast.RangeStmt) string {
+	var sink string
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.SendStmt:
+			sink = "a channel send"
+			return false
+		case *ast.CallExpr:
+			if name := orderedCall(pass, s); name != "" {
+				sink = name
+				return false
+			}
+		case *ast.AssignStmt:
+			if name := orderedAssign(pass, fn, rs, s); name != "" {
+				sink = name
+				return false
+			}
+		}
+		return true
+	})
+	return sink
+}
+
+// orderedCall classifies calls whose argument order is observable: fmt
+// formatting and Write-family methods (io.Writer, strings.Builder,
+// bytes.Buffer, bufio.Writer all share the names).
+func orderedCall(pass *Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	name := sel.Sel.Name
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := pass.Info.Uses[id].(*types.PkgName); ok {
+			if pn.Imported().Path() == "fmt" && strings.HasPrefix(name, "Print") ||
+				pn.Imported().Path() == "fmt" && strings.HasPrefix(name, "Fprint") ||
+				pn.Imported().Path() == "fmt" && strings.HasPrefix(name, "Sprint") {
+				return "fmt." + name
+			}
+			return ""
+		}
+	}
+	if name == "Write" || name == "WriteString" || name == "WriteByte" ||
+		name == "WriteRune" || strings.HasPrefix(name, "Print") {
+		return "a ." + name + " call"
+	}
+	return ""
+}
+
+// orderedAssign flags growth of state declared outside the loop — slice
+// appends with no later sort, and string concatenation.
+func orderedAssign(pass *Pass, fn *ast.FuncDecl, rs *ast.RangeStmt, as *ast.AssignStmt) string {
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil {
+			obj = pass.Info.Defs[id]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || insideLoop(rs, v.Pos()) {
+			continue
+		}
+		if as.Tok == token.ADD_ASSIGN {
+			if _, isString := v.Type().Underlying().(*types.Basic); isString &&
+				v.Type().Underlying().(*types.Basic).Info()&types.IsString != 0 {
+				return "string concatenation into an outer variable"
+			}
+		}
+		if as.Tok == token.ASSIGN && i < len(as.Rhs) {
+			if call, ok := as.Rhs[i].(*ast.CallExpr); ok && isAppendOf(pass, call) {
+				if !sortedLater(pass, fn, rs, v) {
+					return "an append to an outer slice with no later sort"
+				}
+			}
+		}
+	}
+	return ""
+}
+
+func isAppendOf(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+func insideLoop(rs *ast.RangeStmt, pos token.Pos) bool {
+	return pos >= rs.Pos() && pos <= rs.End()
+}
+
+// sortedLater reports whether, after the loop, the function passes v to a
+// call whose name mentions sorting (sort.Ints, sort.Slice, sortInts, …) —
+// the idiom this repo uses to pin enumeration order before it escapes.
+func sortedLater(pass *Pass, fn *ast.FuncDecl, rs *ast.RangeStmt, v *types.Var) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		var name string
+		switch f := call.Fun.(type) {
+		case *ast.Ident:
+			name = f.Name
+		case *ast.SelectorExpr:
+			name = f.Sel.Name
+			if id, ok := f.X.(*ast.Ident); ok {
+				name = id.Name + "." + name
+			}
+		}
+		if !strings.Contains(strings.ToLower(name), "sort") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentions(pass, arg, v) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// mentions reports whether expr references variable v.
+func mentions(pass *Pass, expr ast.Expr, v *types.Var) bool {
+	hit := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == v {
+			hit = true
+			return false
+		}
+		return !hit
+	})
+	return hit
+}

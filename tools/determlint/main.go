@@ -1,0 +1,137 @@
+// Command determlint is a stdlib-only static lint for report determinism:
+// it flags `for ... range` over a map whose body feeds an ordered sink —
+// printing, writer output, channel sends, or accumulation into an outer
+// slice or string — without an intervening deterministic sort. Go's map
+// iteration order is randomized per run, so any such loop silently
+// threads nondeterminism into reports, SMT encodings, or candidate
+// enumeration, which this repo pins byte-for-byte across -j levels.
+//
+// The loader shells out to `go list -json -export -deps` so imports are
+// resolved from the toolchain's export data rather than re-typechecking
+// the world; only the module's own packages are parsed and typechecked
+// from source. No dependencies outside the standard library.
+//
+// Usage:
+//
+//	determlint [packages]
+//
+// Exit status is 1 when any diagnostic is reported, 2 on loader errors.
+// A finding is suppressed with a `//determlint:ignore` comment on the
+// range statement's line or the line above it.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// pkgMeta is the subset of `go list -json` output the loader consumes.
+type pkgMeta struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	Module     *struct{ Path string }
+}
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := run(".", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "determlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: %s\n", d.Pos, d.Message)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// Diagnostic is one lint finding at a resolved source position.
+type Diagnostic struct {
+	Pos     token.Position
+	Message string
+}
+
+// run loads the packages matching patterns rooted at dir and lints every
+// non-test source file of the module's own packages.
+func run(dir string, patterns []string) ([]Diagnostic, error) {
+	args := append([]string{"list", "-json", "-export", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var targets []*pkgMeta
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p pkgMeta
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.Standard && p.Module != nil {
+			q := p
+			targets = append(targets, &q)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var diags []Diagnostic
+	for _, p := range targets {
+		var files []*ast.File
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types: map[ast.Expr]types.TypeAndValue{},
+			Uses:  map[*ast.Ident]types.Object{},
+			Defs:  map[*ast.Ident]types.Object{},
+		}
+		conf := types.Config{Importer: imp}
+		if _, err := conf.Check(p.ImportPath, fset, files, info); err != nil {
+			return nil, fmt.Errorf("typecheck %s: %v", p.ImportPath, err)
+		}
+		pass := &Pass{Fset: fset, Files: files, Info: info}
+		pass.Report = func(d Diagnostic) { diags = append(diags, d) }
+		lint(pass)
+	}
+	return diags, nil
+}
