@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-core check vet fmt lint audit-presolve bench bench-all fuzz conform chaos cover
+.PHONY: all build test race race-core check vet fmt lint audit-presolve bench bench-all bench-smoke profile fuzz conform chaos cover
 
 all: build test
 
@@ -99,3 +99,22 @@ bench:
 
 bench-all:
 	$(GO) test -bench . -benchtime 1x ./...
+
+# bench-smoke is the CI-scale sweep: litmus suites only, so it finishes in
+# seconds while still exercising the frontend, both engines, the pre-solver,
+# and the {1,8}-worker sweep. The artifact has the same shape as
+# BENCH_parallel.json and is uploaded from CI for trend inspection.
+bench-smoke:
+	$(GO) run ./cmd/benchjson -litmus-only -o BENCH_smoke.json
+
+# profile captures CPU and allocation profiles for one benchmark
+# (default: the heaviest end-to-end workload). Inspect with
+#   go tool pprof -top cpu.out
+# The benchmark's package is located from its name prefix; detect holds
+# all current Benchmark* end-to-end targets.
+BENCH ?= BenchmarkDetectDonna
+PROFILE_COUNT ?= 3x
+profile:
+	$(GO) test ./internal/detect -run '^$$' -bench '^$(BENCH)$$' \
+		-benchtime $(PROFILE_COUNT) -cpuprofile cpu.out -memprofile mem.out
+	@echo "profiles written: cpu.out mem.out (go tool pprof -top cpu.out)"

@@ -3,7 +3,8 @@
 // parallel harness and emits machine-readable timings as JSON, one entry
 // per workload:
 //
-//	{"litmus-pht": {"ns_per_op": ..., "workers": 4, "queries": ..., "cache_hits": ...}, ...}
+//	{"litmus-pht": {"ns_per_op": ..., "workers": 4, "queries": ...,
+//	                "sweep": [{"workers": 1, "ns_per_op": ...}, ...]}, ...}
 //
 // It exists so `make bench` leaves a diffable artifact (BENCH_parallel.json)
 // rather than scrolling text. The numbers come from the observability
@@ -12,9 +13,16 @@
 // and queries/cache_hits are the detect.* counter deltas its registry
 // accumulated (warm second engines and repeated sweeps drive hits up).
 //
+// Every workload is measured once per worker count in the sweep set
+// ({1, 8}, plus -j when distinct), with the process-wide frontend cache
+// reset before each run so every point is a cold, comparable start. The
+// flat top-level fields keep the historical shape and report the -j run;
+// the "sweep" array carries the scaling curve.
+//
 // Usage:
 //
 //	benchjson [-j N] [-timeout 5s] [-donna-timeout 30s] [-o BENCH_parallel.json]
+//	benchjson -litmus-only -o BENCH_smoke.json   # CI smoke scale
 package main
 
 import (
@@ -30,7 +38,14 @@ import (
 	"lcm/internal/obsv"
 )
 
-// entry is one workload's record in the output JSON.
+// point is one worker-count measurement of a workload.
+type point struct {
+	Workers int   `json:"workers"`
+	NsPerOp int64 `json:"ns_per_op"`
+}
+
+// entry is one workload's record in the output JSON. The flat fields
+// describe the -j run; Sweep holds every measured worker count.
 type entry struct {
 	NsPerOp   int64 `json:"ns_per_op"`
 	Workers   int   `json:"workers"`
@@ -41,53 +56,75 @@ type entry struct {
 	// ablation baseline.
 	Discharged     int64 `json:"discharged"`
 	SkippedQueries int64 `json:"skipped_queries"`
+
+	Sweep []point `json:"sweep"`
 }
 
 func main() {
-	par := flag.Int("j", runtime.GOMAXPROCS(0), "worker-pool size for every sweep")
+	par := flag.Int("j", runtime.GOMAXPROCS(0), "worker-pool size reported in the flat fields")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-function budget for litmus suites and libraries")
 	donnaTimeout := flag.Duration("donna-timeout", 30*time.Second, "per-function budget for donna (its scalar mult dwarfs the rest)")
 	out := flag.String("o", "BENCH_parallel.json", "output path")
 	noPresolve := flag.Bool("nopresolve", false, "disable the static pre-solver (records the ablation baseline)")
+	litmusOnly := flag.Bool("litmus-only", false, "measure only the litmus suites (CI smoke scale; skips the crypto corpus and Fig. 8)")
 	flag.Parse()
 
+	// The sweep set: single-threaded and wide, plus the -j width when it
+	// is neither (so the flat fields always describe a measured run).
+	sweep := []int{1, 8}
+	if *par != 1 && *par != 8 {
+		sweep = append(sweep, *par)
+	}
+
 	results := map[string]entry{}
-	// record runs one workload under a fresh tracer/registry pair and
-	// reads its timing and counters back from the observability layer.
-	record := func(name string, f func(tr *obsv.Tracer, reg *obsv.Registry) error) {
-		tr := obsv.NewTracer()
-		reg := obsv.NewRegistry()
-		if err := f(tr, reg); err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", name, err)
-			os.Exit(1)
-		}
-		var elapsed time.Duration
-		for _, root := range tr.Roots() {
-			elapsed += root.Wall()
-		}
-		snap := reg.Snapshot()
-		e := entry{
-			NsPerOp:        elapsed.Nanoseconds(),
-			Workers:        *par,
-			Queries:        snap.Counters["detect.queries"],
-			CacheHits:      snap.Counters["detect.cache_hits"],
-			Discharged:     snap.Counters["presolve.discharged"],
-			SkippedQueries: snap.Counters["presolve.skipped_queries"],
+	// record measures one workload at every sweep width. Each run gets a
+	// fresh tracer/registry pair and a cold frontend cache, and reads its
+	// timing and counters back from the observability layer.
+	record := func(name string, f func(workers int, tr *obsv.Tracer, reg *obsv.Registry) error) {
+		e := entry{Workers: *par}
+		for _, w := range sweep {
+			harness.ResetFrontendCache()
+			tr := obsv.NewTracer()
+			reg := obsv.NewRegistry()
+			if err := f(w, tr, reg); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %s (j=%d): %v\n", name, w, err)
+				os.Exit(1)
+			}
+			var elapsed time.Duration
+			for _, root := range tr.Roots() {
+				elapsed += root.Wall()
+			}
+			snap := reg.Snapshot()
+			e.Sweep = append(e.Sweep, point{Workers: w, NsPerOp: elapsed.Nanoseconds()})
+			if w == *par || e.NsPerOp == 0 {
+				e.NsPerOp = elapsed.Nanoseconds()
+				e.Queries = snap.Counters["detect.queries"]
+				e.CacheHits = snap.Counters["detect.cache_hits"]
+				e.Discharged = snap.Counters["presolve.discharged"]
+				e.SkippedQueries = snap.Counters["presolve.skipped_queries"]
+			}
+			fmt.Printf("%-22s j=%-2d %12v  queries=%-6d cache-hits=%d discharged=%d skipped=%d\n",
+				name, w, elapsed.Round(time.Millisecond), snap.Counters["detect.queries"],
+				snap.Counters["detect.cache_hits"], snap.Counters["presolve.discharged"],
+				snap.Counters["presolve.skipped_queries"])
 		}
 		results[name] = e
-		fmt.Printf("%-22s %12v  queries=%-6d cache-hits=%d discharged=%d skipped=%d\n",
-			name, elapsed.Round(time.Millisecond), e.Queries, e.CacheHits, e.Discharged, e.SkippedQueries)
 	}
 
 	for _, suite := range []string{"pht", "stl", "fwd", "new"} {
 		suite := suite
-		record("litmus-"+suite, func(tr *obsv.Tracer, reg *obsv.Registry) error {
+		record("litmus-"+suite, func(workers int, tr *obsv.Tracer, reg *obsv.Registry) error {
 			_, err := harness.RunLitmusSuite(suite, harness.Options{
-				FuncTimeout: *timeout, Parallelism: *par, Tracer: tr, Metrics: reg,
+				FuncTimeout: *timeout, Parallelism: workers, Tracer: tr, Metrics: reg,
 				NoPresolve: *noPresolve,
 			})
 			return err
 		})
+	}
+
+	if *litmusOnly {
+		writeResults(*out, results)
+		return
 	}
 
 	for _, lib := range cryptolib.All() {
@@ -96,32 +133,37 @@ func main() {
 		if lib.Name == "donna" {
 			ft = *donnaTimeout
 		}
-		record(lib.Name, func(tr *obsv.Tracer, reg *obsv.Registry) error {
+		record(lib.Name, func(workers int, tr *obsv.Tracer, reg *obsv.Registry) error {
 			_, err := harness.RunLibrary(lib, harness.Options{
-				FuncTimeout: ft, Parallelism: *par, CryptoUniversalOnly: true,
+				FuncTimeout: ft, Parallelism: workers, CryptoUniversalOnly: true,
 				Tracer: tr, Metrics: reg, NoPresolve: *noPresolve,
 			})
 			return err
 		})
 	}
 
-	record("fig8", func(tr *obsv.Tracer, reg *obsv.Registry) error {
+	record("fig8", func(workers int, tr *obsv.Tracer, reg *obsv.Registry) error {
 		_, err := harness.RunFig8(harness.Options{
-			FuncTimeout: *timeout, Parallelism: *par, Tracer: tr, Metrics: reg,
+			FuncTimeout: *timeout, Parallelism: workers, Tracer: tr, Metrics: reg,
 			NoPresolve: *noPresolve,
 		})
 		return err
 	})
 
+	writeResults(*out, results)
+}
+
+// writeResults marshals the workload map and writes the JSON artifact.
+func writeResults(path string, results map[string]entry) {
 	data, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	if err := os.WriteFile(path, data, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s (%d workloads)\n", *out, len(results))
+	fmt.Printf("wrote %s (%d workloads)\n", path, len(results))
 }

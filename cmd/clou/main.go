@@ -143,6 +143,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg.AEG.LSQ = *lsq
 	cfg.AEG.Wsize = *wsize
 	cfg.Timeout = *timeout
+	cfg.ShardWorkers = *par
 	cfg.NoPrune = *noPrune
 	cfg.NoPresolve = *noPresolve
 	cfg.AuditPresolve = *auditPresolve
@@ -223,6 +224,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "   frontend=%v encode=%v solve=%v cached=%v memo-hits=%d\n",
 				res.FrontendTime.Round(time.Microsecond), res.EncodeTime.Round(time.Microsecond),
 				res.SolveTime.Round(time.Microsecond), res.CacheHit, res.MemoHits)
+			fmt.Fprintf(stdout, "   frontend: alias=%v flowgraph=%v aeg-build=%v presolve-facts=%v\n",
+				res.AliasTime.Round(time.Microsecond), res.FlowTime.Round(time.Microsecond),
+				res.EncodeTime.Round(time.Microsecond), res.PresolveFactsTime.Round(time.Microsecond))
 		}
 		for _, f := range res.Findings {
 			fmt.Fprintf(stdout, "   %s\n", f)

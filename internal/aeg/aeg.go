@@ -16,6 +16,7 @@ import (
 
 	"lcm/internal/acfg"
 	"lcm/internal/alias"
+	"lcm/internal/dataflow"
 	"lcm/internal/sat"
 	"lcm/internal/smt"
 )
@@ -55,6 +56,10 @@ type AEG struct {
 	// windows[b]: nodes reachable from either arm of b within the
 	// speculation bound without crossing a fence, flagged per arm.
 	windows map[int]map[int][2]bool
+	// winBits[b]: dense mirror of windows[b]'s key set — the detectors
+	// probe window membership once per (candidate, branch), where the
+	// nested map hash is measurable.
+	winBits map[int]dataflow.BitSet
 	// windist[b]: minimum fetch distance of each window node from b (the
 	// first node of an arm is at distance 1).
 	windist map[int]map[int]int
@@ -74,6 +79,7 @@ func Build(g *acfg.Graph, al *alias.Analysis, opts Options) *AEG {
 		transIn: map[[2]int]*smt.Expr{},
 		encoded: map[int]bool{},
 		windows: map[int]map[int][2]bool{},
+		winBits: map[int]dataflow.BitSet{},
 		windist: map[int]map[int]int{},
 	}
 	a.encodeArch()
@@ -174,6 +180,11 @@ func (a *AEG) computeWindows() {
 		}
 		a.windows[b.ID] = win
 		a.windist[b.ID] = dist
+		bits := dataflow.NewBitSet(a.G.Len())
+		for n := range win {
+			bits.Set(n)
+		}
+		a.winBits[b.ID] = bits
 	}
 }
 
@@ -316,14 +327,20 @@ func (a *AEG) WindowInfo(b, n int) (arms [2]bool, dist int, ok bool) {
 	return arms, a.windist[b][n], true
 }
 
+// ForEachWindowNode visits every node of branch b's speculation window
+// with its arm fetchability — presolve.WindowEnumerator's fast path over
+// probing WindowInfo per graph node. Iteration order is the windows map's,
+// i.e. unspecified; callers must not depend on it.
+func (a *AEG) ForEachWindowNode(b int, f func(n int, arms [2]bool)) {
+	for n, arms := range a.windows[b] {
+		f(n, arms)
+	}
+}
+
 // InWindow reports whether node n is statically inside some window of b.
 func (a *AEG) InWindow(b, n int) bool {
-	win, ok := a.windows[b]
-	if !ok {
-		return false
-	}
-	_, ok = win[n]
-	return ok
+	bits, ok := a.winBits[b]
+	return ok && bits.Has(n)
 }
 
 // Check decides a query under the structural constraints.

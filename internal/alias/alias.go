@@ -4,10 +4,25 @@
 // S-AEG refinements the paper states — distinct stack allocations have
 // distinct addresses, and alias facts are not trusted during transient
 // execution.
+//
+// The analysis runs on dense indexed representations: abstract locations
+// are interned into small ints at construction (external is id 0,
+// followed by allocas and globals in first-appearance order), points-to
+// and memory-contents sets are dataflow.BitSet words, and the fixpoint is
+// a dirty-node worklist that provably evaluates the same node/state
+// sequence as the naive round-robin reference (ref.go) with the no-op
+// evaluations elided. Alias queries are answered from per-memory-node
+// summaries precomputed once after the fixpoint, so MayAlias and friends
+// are a few word operations instead of a fresh map resolution per call.
+// All state is immutable after Analyze returns, so one Analysis may serve
+// concurrent detector runs.
 package alias
 
 import (
+	"math/bits"
+
 	"lcm/internal/acfg"
+	"lcm/internal/dataflow"
 	"lcm/internal/ir"
 )
 
@@ -29,129 +44,358 @@ const (
 	LExternal // attacker-visible or unknown provenance
 )
 
+// extLoc is the interned id of the external location.
+const extLoc = 0
+
 // Analysis holds points-to results for one A-CFG.
 type Analysis struct {
 	g *acfg.Graph
-	// pts maps a pointer-producing node to its points-to set.
-	pts map[int]map[Loc]bool
-	// contents maps an abstract location to the pointer values (as
-	// points-to sets) stored into it.
-	contents map[Loc]map[Loc]bool
+
+	// locs is the interned location universe; locs[extLoc] is external.
+	locs      []Loc
+	words     int            // BitSet words per location set
+	allocaLoc []int32        // alloca node ID → loc id (-1 otherwise)
+	globalLoc map[string]int // global name → loc id
+
+	// pts[n] is node n's points-to set (nil: not pointer-valued).
+	pts []dataflow.BitSet
+	// contents[l] is the set of pointer values stored into location l
+	// (nil: nothing stored; never empty once allocated).
+	contents []dataflow.BitSet
+
+	globalMask dataflow.BitSet // bits of all global locs
+
+	// sums[n] summarizes memory node n's resolved address (loads/stores).
+	sums []memSummary
+
+	// Fixpoint scratch, unused after Analyze returns.
+	scratch     dataflow.BitSet
+	addrScratch dataflow.BitSet
+	loadersOf   [][]int32         // loc id → registered load nodes
+	loaderSeen  []dataflow.BitSet // loc id → registration dedup
 }
 
-var external = Loc{Kind: LExternal}
+// memSummary answers the alias queries for one load/store without
+// re-resolving its address: addr is the address points-to set, aliasMask
+// the set of locations the address may collide with architecturally
+// (addr itself, plus every global if external is present, plus external
+// if any global is present), soleAlloca the unique alloca target when the
+// address resolves to exactly one stack slot.
+type memSummary struct {
+	addr         dataflow.BitSet
+	aliasMask    dataflow.BitSet
+	soleAlloca   int32
+	hasNonAlloca bool
+	valid        bool
+}
 
 // Analyze computes points-to sets for every pointer-valued node.
 func Analyze(g *acfg.Graph) *Analysis {
-	a := &Analysis{
-		g:        g,
-		pts:      make(map[int]map[Loc]bool),
-		contents: make(map[Loc]map[Loc]bool),
+	a := &Analysis{g: g, globalLoc: map[string]int{}}
+	a.intern()
+	a.solve()
+	a.summarize()
+	a.scratch, a.addrScratch = nil, nil
+	a.loadersOf, a.loaderSeen = nil, nil
+	return a
+}
+
+// intern fixes the location universe upfront: the fixpoint only ever
+// produces external, allocas present in the graph, and globals named by
+// some operand, so every location can be assigned a dense id before any
+// set is built.
+func (a *Analysis) intern() {
+	a.locs = append(a.locs, Loc{Kind: LExternal})
+	a.allocaLoc = make([]int32, a.g.Len())
+	for i := range a.allocaLoc {
+		a.allocaLoc[i] = -1
 	}
-	// Iterate to fixpoint: node points-to sets depend on memory contents
-	// which depend on stores of pointer values.
-	for changed := true; changed; {
-		changed = false
-		for _, n := range g.Nodes {
-			if n.Kind != acfg.NInstr || n.Instr == nil {
-				continue
-			}
-			set := a.eval(n)
-			if set != nil && !eqSet(a.pts[n.ID], set) {
-				a.pts[n.ID] = set
-				changed = true
-			}
-			// Stores of pointer values update contents.
-			if n.IsStore() && ir.IsPtr(n.Instr.Args[0].Type()) {
-				vals := a.valuePts(n, 0)
-				addrs := a.valuePts(n, 1)
-				for l := range addrs {
-					if a.mergeContents(l, vals) {
-						changed = true
-					}
+	for _, n := range a.g.Nodes {
+		if n.Instr == nil {
+			continue
+		}
+		if n.Kind == acfg.NInstr && n.Instr.Op == ir.OpAlloca {
+			a.allocaLoc[n.ID] = int32(len(a.locs))
+			a.locs = append(a.locs, Loc{Kind: LAlloca, Node: n.ID})
+		}
+		for _, arg := range n.Instr.Args {
+			if gv, ok := arg.(*ir.Global); ok {
+				if _, ok := a.globalLoc[gv.Nm]; !ok {
+					a.globalLoc[gv.Nm] = len(a.locs)
+					a.locs = append(a.locs, Loc{Kind: LGlobal, Global: gv.Nm})
 				}
 			}
 		}
 	}
-	return a
+	a.words = (len(a.locs) + 63) / 64
+	a.globalMask = make(dataflow.BitSet, a.words)
+	for nm := range a.globalLoc {
+		a.globalMask.Set(a.globalLoc[nm])
+	}
 }
 
-// eval computes the points-to set of a pointer-producing node.
-func (a *Analysis) eval(n *acfg.Node) map[Loc]bool {
+// solve runs the fixpoint. It simulates the reference round-robin
+// iteration exactly — every sweep visits dirty nodes in ascending ID
+// order, and a change at node i re-dirties a dependent d into the same
+// sweep when d > i (the reference would see the new value later in the
+// same pass) and into the next sweep otherwise — so eliding the evals
+// whose inputs are unchanged (pure no-ops) yields the reference fixpoint
+// even though the load rule is not monotone (a load's set gains external
+// while a slot is empty and is replaced once contents arrive).
+func (a *Analysis) solve() {
+	n := a.g.Len()
+	a.pts = make([]dataflow.BitSet, n)
+	a.contents = make([]dataflow.BitSet, len(a.locs))
+	a.scratch = make(dataflow.BitSet, a.words)
+	a.addrScratch = make(dataflow.BitSet, a.words)
+	a.loadersOf = make([][]int32, len(a.locs))
+	a.loaderSeen = make([]dataflow.BitSet, len(a.locs))
+
+	// deps[d] lists the nodes consuming d's value through some operand.
+	deps := make([][]int32, n)
+	for _, nd := range a.g.Nodes {
+		if nd.Instr == nil {
+			continue
+		}
+		for _, defs := range nd.ArgDefs {
+			for _, d := range defs {
+				deps[d] = append(deps[d], int32(nd.ID))
+			}
+		}
+	}
+
+	dirtyNow := dataflow.NewBitSet(n)
+	dirtyNext := dataflow.NewBitSet(n)
+	for id := 0; id < n; id++ {
+		dirtyNow.Set(id)
+	}
+	cur := 0
+	mark := func(d int) {
+		if d > cur {
+			dirtyNow.Set(d)
+		} else {
+			dirtyNext.Set(d)
+		}
+	}
+
+	for {
+		any := false
+		for cur = 0; cur < n; cur++ {
+			if !dirtyNow.Has(cur) {
+				continue
+			}
+			dirtyNow.Clear(cur)
+			nd := a.g.Nodes[cur]
+			if nd.Kind != acfg.NInstr || nd.Instr == nil {
+				continue
+			}
+			if a.eval(nd, a.scratch) {
+				if p := a.pts[cur]; p == nil || !p.Equal(a.scratch) {
+					if p == nil {
+						a.pts[cur] = a.scratch.Clone()
+					} else {
+						copy(p, a.scratch)
+					}
+					for _, d := range deps[cur] {
+						mark(int(d))
+					}
+				}
+			}
+			if nd.IsStore() && ir.IsPtr(nd.Instr.Args[0].Type()) {
+				a.valuePts(nd, 0, a.scratch)
+				a.valuePts(nd, 1, a.addrScratch)
+				a.forEachLoc(a.addrScratch, func(l int) {
+					if a.mergeContents(l, a.scratch) {
+						for _, ld := range a.loadersOf[l] {
+							mark(int(ld))
+						}
+					}
+				})
+			}
+		}
+		for w := range dirtyNext {
+			if dirtyNext[w] != 0 {
+				any = true
+			}
+		}
+		if !any {
+			return
+		}
+		dirtyNow, dirtyNext = dirtyNext, dirtyNow
+	}
+}
+
+// eval computes the points-to set of a pointer-producing node into out,
+// reporting false for nodes that produce no pointer value.
+func (a *Analysis) eval(n *acfg.Node, out dataflow.BitSet) bool {
 	in := n.Instr
 	switch in.Op {
 	case ir.OpAlloca:
-		return set(Loc{Kind: LAlloca, Node: n.ID})
+		out.Reset()
+		out.Set(int(a.allocaLoc[n.ID]))
+		return true
 	case ir.OpGEP, ir.OpFieldGEP:
-		return a.valuePts(n, 0)
+		a.valuePts(n, 0, out)
+		return true
 	case ir.OpCast:
 		if ir.IsPtr(in.Ty) {
 			if in.Sub == "inttoptr" {
-				return set(external)
+				out.Reset()
+				out.Set(extLoc)
+				return true
 			}
-			return a.valuePts(n, 0)
+			a.valuePts(n, 0, out)
+			return true
 		}
-		return nil
+		return false
 	case ir.OpLoad:
 		if !ir.IsPtr(in.Ty) {
-			return nil
+			return false
 		}
-		addrs := a.valuePts(n, 0)
-		out := map[Loc]bool{}
-		for l := range addrs {
-			if l.Kind == LExternal || l.Kind == LGlobal {
+		a.valuePts(n, 0, a.addrScratch)
+		out.Reset()
+		a.forEachLoc(a.addrScratch, func(l int) {
+			if l == extLoc || a.locs[l].Kind == LGlobal {
 				// Pointers loaded from globals or external memory have
 				// unknown targets (the attacker does not control base
 				// pointers architecturally, but their targets are
 				// unconstrained).
-				out[external] = true
-				continue
+				out.Set(extLoc)
+				return
 			}
-			for v := range a.contents[l] {
-				out[v] = true
+			if c := a.contents[l]; c != nil {
+				out.UnionInto(c)
+			} else {
+				out.Set(extLoc) // uninitialized slot
 			}
-			if len(a.contents[l]) == 0 {
-				out[external] = true // uninitialized slot
-			}
-		}
-		return out
+			a.registerLoader(l, n.ID)
+		})
+		return true
 	case ir.OpCall:
 		if in.Ty != nil && ir.IsPtr(in.Ty) {
-			return set(external)
+			out.Reset()
+			out.Set(extLoc)
+			return true
 		}
-		return nil
+		return false
 	}
-	return nil
+	return false
 }
 
-// valuePts resolves the points-to set of operand i of node n.
-func (a *Analysis) valuePts(n *acfg.Node, i int) map[Loc]bool {
-	v := n.Instr.Args[i]
-	switch v := v.(type) {
-	case *ir.Global:
-		return set(Loc{Kind: LGlobal, Global: v.Nm})
-	case *ir.Const:
-		return set(external)
-	case *ir.Param:
-		return set(external)
+// registerLoader records that load node id observes location l's
+// contents, so a later contents merge re-dirties it.
+func (a *Analysis) registerLoader(l, id int) {
+	seen := a.loaderSeen[l]
+	if seen == nil {
+		seen = dataflow.NewBitSet(a.g.Len())
+		a.loaderSeen[l] = seen
 	}
-	out := map[Loc]bool{}
+	if seen.Has(id) {
+		return
+	}
+	seen.Set(id)
+	a.loadersOf[l] = append(a.loadersOf[l], int32(id))
+}
+
+// valuePts resolves the points-to set of operand i of node n into out.
+func (a *Analysis) valuePts(n *acfg.Node, i int, out dataflow.BitSet) {
+	out.Reset()
+	switch v := n.Instr.Args[i].(type) {
+	case *ir.Global:
+		out.Set(a.globalLoc[v.Nm])
+		return
+	case *ir.Const, *ir.Param:
+		out.Set(extLoc)
+		return
+	}
 	if i < len(n.ArgDefs) {
 		for _, d := range n.ArgDefs[i] {
-			for l := range a.pts[d] {
-				out[l] = true
+			if p := a.pts[d]; p != nil {
+				out.UnionInto(p)
 			}
 		}
 	}
-	if len(out) == 0 {
-		out[external] = true
+	if out.Empty() {
+		out.Set(extLoc)
 	}
-	return out
 }
 
-// PointsTo returns the points-to set of the pointer operand i of node n.
-func (a *Analysis) PointsTo(n *acfg.Node, i int) map[Loc]bool {
-	return a.valuePts(n, i)
+func (a *Analysis) mergeContents(l int, vals dataflow.BitSet) bool {
+	c := a.contents[l]
+	if c == nil {
+		a.contents[l] = vals.Clone()
+		return true
+	}
+	return c.UnionInto(vals)
+}
+
+// forEachLoc calls f with every location id set in s.
+func (a *Analysis) forEachLoc(s dataflow.BitSet, f func(l int)) {
+	for w, word := range s {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			f(w*64 + b)
+			word &^= 1 << uint(b)
+		}
+	}
+}
+
+// summarize resolves every memory node's address points-to set once and
+// precomputes the masks the alias queries need.
+func (a *Analysis) summarize() {
+	a.sums = make([]memSummary, a.g.Len())
+	for _, n := range a.g.Nodes {
+		i := pointerOperandIndex(n)
+		if i < 0 {
+			continue
+		}
+		addr := make(dataflow.BitSet, a.words)
+		a.valuePts(n, i, addr)
+		s := memSummary{addr: addr, soleAlloca: -1, valid: true}
+		hasExt := addr.Has(extLoc)
+		hasGlobal := addr.Intersects(a.globalMask)
+		s.hasNonAlloca = hasExt || hasGlobal
+		mask := addr.Clone()
+		if hasExt {
+			mask.UnionInto(a.globalMask) // external aliases every global
+		}
+		if hasGlobal {
+			mask.Set(extLoc) // globals alias external
+		}
+		s.aliasMask = mask
+		if sole, ok := soleBit(addr); ok && a.locs[sole].Kind == LAlloca {
+			s.soleAlloca = int32(a.locs[sole].Node)
+		}
+		a.sums[n.ID] = s
+	}
+}
+
+// soleBit returns the unique set bit's index when exactly one bit is set.
+func soleBit(s dataflow.BitSet) (int, bool) {
+	idx, count := -1, 0
+	for w, word := range s {
+		c := bits.OnesCount64(word)
+		if c == 0 {
+			continue
+		}
+		count += c
+		if count > 1 {
+			return -1, false
+		}
+		idx = w*64 + bits.TrailingZeros64(word)
+	}
+	return idx, count == 1
+}
+
+// PointsTo returns the points-to set of the pointer operand i of node n,
+// in interning order (external first, then first appearance). The slice
+// is freshly allocated; callers may reorder it.
+func (a *Analysis) PointsTo(n *acfg.Node, i int) []Loc {
+	out := make(dataflow.BitSet, a.words)
+	a.valuePts(n, i, out)
+	var ls []Loc
+	a.forEachLoc(out, func(l int) { ls = append(ls, a.locs[l]) })
+	return ls
 }
 
 // pointerOperandIndex returns the address operand index of a memory node.
@@ -170,32 +414,11 @@ func pointerOperandIndex(n *acfg.Node) int {
 // aliases globals and other externals but never stack allocations, and
 // distinct stack allocations never alias (§5.2).
 func (a *Analysis) MayAlias(m, n *acfg.Node) bool {
-	pi, qi := pointerOperandIndex(m), pointerOperandIndex(n)
-	if pi < 0 || qi < 0 {
+	p, q := &a.sums[m.ID], &a.sums[n.ID]
+	if !p.valid || !q.valid {
 		return false
 	}
-	return locsMayAlias(a.valuePts(m, pi), a.valuePts(n, qi))
-}
-
-func locsMayAlias(p, q map[Loc]bool) bool {
-	for lp := range p {
-		for lq := range q {
-			if locPairAlias(lp, lq) {
-				return true
-			}
-		}
-	}
-	return false
-}
-
-func locPairAlias(a, b Loc) bool {
-	if a.Kind == LAlloca || b.Kind == LAlloca {
-		return a == b // distinct stack slots never alias, external never reaches the stack
-	}
-	if a.Kind == LExternal || b.Kind == LExternal {
-		return true
-	}
-	return a == b // same global
+	return p.aliasMask.Intersects(q.addr)
 }
 
 // MayAliasTransient is MayAlias without trusting resolution across
@@ -203,20 +426,23 @@ func locPairAlias(a, b Loc) bool {
 // any two non-stack accesses may collide; distinct stack slots still have
 // distinct addresses.
 func (a *Analysis) MayAliasTransient(m, n *acfg.Node) bool {
-	pi, qi := pointerOperandIndex(m), pointerOperandIndex(n)
-	if pi < 0 || qi < 0 {
+	p, q := &a.sums[m.ID], &a.sums[n.ID]
+	if !p.valid || !q.valid {
 		return false
 	}
-	p, q := a.valuePts(m, pi), a.valuePts(n, qi)
-	for lp := range p {
-		for lq := range q {
-			if lp.Kind == LAlloca || lq.Kind == LAlloca {
-				if lp == lq {
-					return true
-				}
-				continue
-			}
-			return true // globals/external: assume collision possible
+	if p.hasNonAlloca && q.hasNonAlloca {
+		return true
+	}
+	// Only a shared stack slot remains: external and globals never collide
+	// with allocas, so intersect the addresses minus the non-alloca bits.
+	for w := range p.addr {
+		inter := p.addr[w] & q.addr[w]
+		if w == 0 {
+			inter &^= 1 // drop the external bit
+		}
+		inter &^= a.globalMask[w]
+		if inter != 0 {
+			return true
 		}
 	}
 	return false
@@ -225,59 +451,9 @@ func (a *Analysis) MayAliasTransient(m, n *acfg.Node) bool {
 // SameAlloca reports whether both accesses certainly target the same
 // single stack slot (used for store-to-load chains through spills).
 func (a *Analysis) SameAlloca(m, n *acfg.Node) (int, bool) {
-	pi, qi := pointerOperandIndex(m), pointerOperandIndex(n)
-	if pi < 0 || qi < 0 {
+	p, q := &a.sums[m.ID], &a.sums[n.ID]
+	if !p.valid || !q.valid || p.soleAlloca < 0 || p.soleAlloca != q.soleAlloca {
 		return 0, false
 	}
-	p, q := a.valuePts(m, pi), a.valuePts(n, qi)
-	if len(p) != 1 || len(q) != 1 {
-		return 0, false
-	}
-	var lp, lq Loc
-	for l := range p {
-		lp = l
-	}
-	for l := range q {
-		lq = l
-	}
-	if lp.Kind == LAlloca && lp == lq {
-		return lp.Node, true
-	}
-	return 0, false
-}
-
-func set(ls ...Loc) map[Loc]bool {
-	m := make(map[Loc]bool, len(ls))
-	for _, l := range ls {
-		m[l] = true
-	}
-	return m
-}
-
-func eqSet(a, b map[Loc]bool) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for l := range a {
-		if !b[l] {
-			return false
-		}
-	}
-	return true
-}
-
-func (a *Analysis) mergeContents(l Loc, vals map[Loc]bool) bool {
-	c, ok := a.contents[l]
-	if !ok {
-		c = map[Loc]bool{}
-		a.contents[l] = c
-	}
-	changed := false
-	for v := range vals {
-		if !c[v] {
-			c[v] = true
-			changed = true
-		}
-	}
-	return changed
+	return int(p.soleAlloca), true
 }

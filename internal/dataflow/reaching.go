@@ -39,6 +39,43 @@ func (s BitSet) UnionInto(o BitSet) bool {
 	return changed
 }
 
+// Reset clears every bit in place.
+func (s BitSet) Reset() {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// Empty reports whether no bit is set.
+func (s BitSet) Empty() bool {
+	for _, w := range s {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and o (of equal capacity) hold the same bits.
+func (s BitSet) Equal(o BitSet) bool {
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether s and o share any set bit.
+func (s BitSet) Intersects(o BitSet) bool {
+	for i := range s {
+		if s[i]&o[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // ReachingDefs computes which stores may reach each load, at the
 // granularity Clou's -O0 IR makes natural: a definition is a store whose
 // address is directly an alloca (a stack slot), and slots whose address

@@ -1,0 +1,101 @@
+package detect
+
+// Frontend and end-to-end benchmarks over the two heaviest cryptolib
+// subjects. The frontend pair isolates the dense rewrite's stages —
+// points-to solving and value-flow construction plus a full reach sweep —
+// while BenchmarkDetectDonna runs both engines over donna's Montgomery
+// ladder, the workload the BENCH_parallel.json acceptance numbers track.
+// `make profile BENCH=BenchmarkDetectDonna` captures a CPU profile.
+
+import (
+	"testing"
+
+	"lcm/internal/acfg"
+	"lcm/internal/alias"
+	"lcm/internal/cryptolib"
+)
+
+// benchSubjects are the corpus entries the frontend benchmarks sweep.
+var benchSubjects = []struct {
+	lib string
+	fn  string
+}{
+	{"donna", "crypto_scalarmult"},
+	{"secretbox", "crypto_secretbox_open"},
+}
+
+// benchGraph builds the subject's A-CFG once, outside the timed loop.
+func benchGraph(b *testing.B, libName, fn string) *acfg.Graph {
+	b.Helper()
+	lib, ok := cryptolib.Lookup(libName)
+	if !ok {
+		b.Fatalf("corpus entry %q missing", libName)
+	}
+	m := compile(b, lib.Source)
+	g, err := acfg.Build(m, fn, acfg.Options{})
+	if err != nil {
+		b.Fatalf("acfg: %v", err)
+	}
+	return g
+}
+
+func BenchmarkFrontendAlias(b *testing.B) {
+	for _, s := range benchSubjects {
+		s := s
+		b.Run(s.lib, func(b *testing.B) {
+			g := benchGraph(b, s.lib, s.fn)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				alias.Analyze(g)
+			}
+		})
+	}
+}
+
+func BenchmarkFrontendFlow(b *testing.B) {
+	for _, s := range benchSubjects {
+		s := s
+		b.Run(s.lib, func(b *testing.B) {
+			g := benchGraph(b, s.lib, s.fn)
+			al := alias.Analyze(g)
+			reach := cfgReachability(g)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Construction plus the full per-source reach sweep the
+				// engines amortize through the memo.
+				fg := buildFlowGraph(g, al, reach)
+				for _, n := range g.Nodes {
+					if n.IsLoad() || n.IsStore() {
+						fg.from(n.ID)
+					}
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDetectDonna(b *testing.B) {
+	lib, ok := cryptolib.Lookup("donna")
+	if !ok {
+		b.Fatal("donna corpus entry missing")
+	}
+	m := compile(b, lib.Source)
+	for _, eng := range []struct {
+		name string
+		mk   func() Config
+	}{{"pht", DefaultPHT}, {"stl", DefaultSTL}} {
+		eng := eng
+		b.Run(eng.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg := eng.mk()
+				cfg.ShardWorkers = 8
+				if _, err := AnalyzeFunc(m, "crypto_scalarmult", cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

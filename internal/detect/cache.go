@@ -3,6 +3,7 @@ package detect
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lcm/internal/acfg"
 	"lcm/internal/alias"
@@ -26,6 +27,11 @@ type frontend struct {
 	cfgReach func(from, to int) bool
 	flow     *flowGraph
 
+	// Construction sub-stage wall times, attributed to the building run's
+	// report (cache hits see zeros — they paid nothing).
+	aliasTime time.Duration
+	flowTime  time.Duration
+
 	// psOnce/ps hold the pre-solver's engine-independent fact base (arch
 	// arms, must-alias partition). Like the rest of the frontend it is
 	// immutable once built and shared between the PHT and STL runs.
@@ -38,7 +44,12 @@ type frontend struct {
 // configuration the pruner, and therefore mr, is stable per module, so
 // memoizing with the first caller's value is safe.
 func (fe *frontend) presolveFacts(mr *dataflow.ModuleRanges) *presolve.Facts {
-	fe.psOnce.Do(func() { fe.ps = presolve.NewFacts(fe.g, fe.al, mr) })
+	fe.psOnce.Do(func() {
+		fe.ps = presolve.NewFacts(fe.g, fe.al, mr)
+		// Share the frontend's transitive closure; the arch-arm analysis
+		// would otherwise rebuild the same rows.
+		fe.ps.SetReachOracle(fe.cfgReach)
+	})
 	return fe.ps
 }
 
@@ -48,14 +59,19 @@ func buildFrontend(m *ir.Module, fn string, opts acfg.Options) (*frontend, error
 	if err != nil {
 		return nil, err
 	}
+	aliasStart := time.Now()
 	al := alias.Analyze(g)
+	aliasTime := time.Since(aliasStart)
 	fe := &frontend{
-		g:        g,
-		al:       al,
-		ta:       taint.Analyze(g, al),
-		cfgReach: cfgReachability(g),
+		g:         g,
+		al:        al,
+		ta:        taint.Analyze(g, al),
+		cfgReach:  cfgReachability(g),
+		aliasTime: aliasTime,
 	}
+	flowStart := time.Now()
 	fe.flow = buildFlowGraph(g, al, fe.cfgReach)
+	fe.flowTime = time.Since(flowStart)
 	return fe, nil
 }
 

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/bits"
+	"slices"
 	"sort"
 	"time"
 
@@ -20,6 +22,7 @@ import (
 	"lcm/internal/sat"
 	"lcm/internal/smt"
 	"lcm/internal/taint"
+	"lcm/internal/workpool"
 )
 
 // Engine selects the speculation primitive searched for (§5.3).
@@ -97,6 +100,15 @@ type Config struct {
 	// and flagged on the certificate. Findings under audit are exactly the
 	// no-presolve findings.
 	AuditPresolve bool
+	// ShardWorkers bounds the intra-function workers that precompute the
+	// per-candidate value-flow and distance summaries (the pure, dominant
+	// cost of the candidate loop) before the serial decision replay; 0 or
+	// 1 keeps the whole search single-threaded. Findings, counters, and
+	// certificates are byte-identical at any width: the parallel stage
+	// only warms memo caches with pure results, and every decision —
+	// solver queries, budgets, fault probes, certificate dedup — replays
+	// in input order on one goroutine.
+	ShardWorkers int
 	// Cache, when non-nil, memoizes the engine-independent front end
 	// (A-CFG, alias, taint, reachability, value flow) per (module,
 	// function), sharing it between the PHT and STL engines and across
@@ -221,6 +233,14 @@ type Result struct {
 	FrontendTime time.Duration
 	EncodeTime   time.Duration
 	SolveTime    time.Duration
+	// Frontend sub-stage wall times, for attributing a frontend
+	// regression without re-profiling: AliasTime and FlowTime cover the
+	// points-to fixpoint and value-flow CSR construction (zero on a cache
+	// hit — the builder paid them), PresolveFactsTime the pre-solver's
+	// shared fact base (zero when a sibling engine already built it).
+	AliasTime         time.Duration
+	FlowTime          time.Duration
+	PresolveFactsTime time.Duration
 	// CacheHit reports whether the front end came from Config.Cache;
 	// MemoHits counts queries answered by the solver's verdict memo.
 	CacheHit bool
@@ -334,18 +354,27 @@ func AnalyzeFuncCtx(ctx context.Context, m *ir.Module, fn string, cfg Config) (*
 		}
 	}
 	var ps *presolve.Analysis
+	var psFactsTime time.Duration
 	if !cfg.NoPresolve && !cfg.TriageOnly {
 		var mr *dataflow.ModuleRanges
 		if dp, ok := pruner.(*dataflow.Pruner); ok {
 			mr = dp.Ranges()
 		}
-		ps = presolve.NewAnalysis(fe.presolveFacts(mr), a)
+		psStart := time.Now()
+		facts := fe.presolveFacts(mr)
+		psFactsTime = time.Since(psStart)
+		ps = presolve.NewAnalysis(facts, a)
+	}
+	var aliasTime, flowTime time.Duration
+	if !hit {
+		aliasTime, flowTime = fe.aliasTime, fe.flowTime
 	}
 	d := &detector{
 		ctx: ctx, cfg: cfg, key: key, g: fe.g, al: fe.al, ta: fe.ta, a: a,
 		res: &Result{
 			Fn: fn, NodeCount: fe.g.Len(), Graph: fe.g, AEG: a,
 			FrontendTime: frontendTime, EncodeTime: encodeTime, CacheHit: hit,
+			AliasTime: aliasTime, FlowTime: flowTime, PresolveFactsTime: psFactsTime,
 		},
 		cfgReach: fe.cfgReach,
 		flow:     fe.flow,
@@ -372,17 +401,36 @@ type detector struct {
 	flow       *flowGraph
 	res        *Result
 	cfgReach   func(from, to int) bool
-	flows      map[int]reachInfo
-	dists      map[int]map[int]int  // BFS distance maps, per source
-	fenceOK    map[int]map[int]bool // fence-free reachability, per source
+	flows      map[int]reachInfo // detector-local view of flow.memo (no mutex)
+	condCache  map[int][]int     // condFeeders memo, per branch
+	dists      map[int]*nearSets // bounded-distance bitsets, per source
+	fenceOK    map[int][]bool    // dense fence-free reachability, per source
 	feedsCache map[int][]indexEdge
 	allLoads   []*acfg.Node
 	pruner     Pruner
-	prunedAcc  map[int]bool       // pruneAccess memo, also dedups the counters
-	ps         *presolve.Analysis // nil when the pre-solver is disabled
-	certSeen   map[string]bool    // certificate keys already emitted
-	cands      map[string]*candStat
+	prunedAcc  map[int]bool                   // pruneAccess memo, also dedups the counters
+	ps         *presolve.Analysis             // nil when the pre-solver is disabled
+	certSeen   map[*presolve.Certificate]bool // certificates already emitted
+	cands      map[candKey]*candStat
+	candArena  []candStat // chunked backing store for cands values
 }
+
+// candKey identifies one window/arch-rule candidate without string
+// formatting (the Sprintf keys dominated the candidate loops' allocation
+// profile): the pattern kind plus up to three node IDs, unused slots zero.
+type candKey struct {
+	kind    uint8
+	a, b, c int
+}
+
+// Candidate-pattern kinds for candKey.
+const (
+	candUDT = uint8(iota)
+	candDT
+	candUCT
+	candCT
+	candSTL
+)
 
 // candStat tracks one window-rule candidate's query outcomes so fully
 // refuted candidates can be counted as discharged at the end of the run.
@@ -442,25 +490,35 @@ func (d *detector) dischargeCert(derive func() (*presolve.Certificate, bool)) {
 
 // addCert retains a certificate on the result, deduplicated by key, in
 // candidate-enumeration order.
+// addCert appends c unless already emitted. Dedup is by pointer: the
+// pre-solver memoizes certificates per key, so two candidates reaching
+// the same query share one *Certificate — hashing the pointer avoids
+// re-hashing the key string per probe.
 func (d *detector) addCert(c *presolve.Certificate) {
 	if d.certSeen == nil {
-		d.certSeen = map[string]bool{}
+		d.certSeen = map[*presolve.Certificate]bool{}
 	}
-	if d.certSeen[c.Key] {
+	if d.certSeen[c] {
 		return
 	}
-	d.certSeen[c.Key] = true
+	d.certSeen[c] = true
 	d.res.Certificates = append(d.res.Certificates, c)
 }
 
-// candStatFor returns (allocating on first use) a window candidate's stat.
-func (d *detector) candStatFor(key string) *candStat {
+// candStatFor returns (allocating on first use) a window candidate's
+// stat. Stats come out of a chunked arena: one tiny heap object per
+// candidate is visible in the allocation profile at donna's scale.
+func (d *detector) candStatFor(key candKey) *candStat {
 	if d.cands == nil {
-		d.cands = map[string]*candStat{}
+		d.cands = map[candKey]*candStat{}
 	}
 	cs, ok := d.cands[key]
 	if !ok {
-		cs = &candStat{}
+		if len(d.candArena) == cap(d.candArena) {
+			d.candArena = make([]candStat, 0, 1024)
+		}
+		d.candArena = d.candArena[:len(d.candArena)+1]
+		cs = &d.candArena[len(d.candArena)-1]
 		d.cands[key] = cs
 	}
 	return cs
@@ -491,12 +549,16 @@ func cfgReachability(g *acfg.Graph) func(from, to int) bool {
 	}
 }
 
+// flowFrom returns the value-flow reach info of one source node. The
+// authoritative memo lives on the shared flowGraph — warm across both
+// engines of a cached frontend and across the prewarm shards — and the
+// detector keeps a mutex-free local view for the hot serial loops.
 func (d *detector) flowFrom(n int) reachInfo {
-	if d.flows == nil {
-		d.flows = map[int]reachInfo{}
-	}
 	if r, ok := d.flows[n]; ok {
 		return r
+	}
+	if d.flows == nil {
+		d.flows = map[int]reachInfo{}
 	}
 	r := d.flow.from(n)
 	d.flows[n] = r
@@ -599,19 +661,35 @@ func (d *detector) query(assumptions ...*smt.Expr) bool {
 	return st == sat.Sat
 }
 
-// queryWin is query for the window engines: the static pre-solver gets a
-// shot at refuting the query before any solver work. mk builds the solver
-// assumptions lazily — Misspec/TransUnder/ExecUnder encode branch windows
-// into the solver on first use, and a refuted query must not pay (or
-// perturb) that encoding. candKey identifies the candidate for discharge
-// accounting; q is the query's static shadow.
-func (d *detector) queryWin(candKey string, q presolve.Query, mk func() []*smt.Expr) bool {
-	if d.ps == nil {
-		return d.query(mk()...)
+// winExprs builds the solver assumptions a window query's static shadow
+// describes: Misspec plus TransUnder/ExecUnder in query order. Built
+// lazily — Misspec/TransUnder/ExecUnder encode branch windows into the
+// solver on first use, and a refuted query must not pay (or perturb) that
+// encoding. Deriving the assumptions from q instead of taking a closure
+// keeps the candidate loops from allocating a capture per probe.
+func (d *detector) winExprs(q presolve.Query) []*smt.Expr {
+	out := make([]*smt.Expr, 0, 1+len(q.Trans)+len(q.Exec))
+	out = append(out, d.a.Misspec(q.Branch))
+	for _, t := range q.Trans {
+		out = append(out, d.a.TransUnder(q.Branch, t))
 	}
-	cs := d.candStatFor(candKey)
+	for _, e := range q.Exec {
+		out = append(out, d.a.ExecUnder(q.Branch, e))
+	}
+	return out
+}
+
+// queryWin is query for the window engines: the static pre-solver gets a
+// shot at refuting the query before any solver work. candKey identifies
+// the candidate for discharge accounting; q is the query's static shadow
+// and, via winExprs, the recipe for the solver assumptions.
+func (d *detector) queryWin(key candKey, q presolve.Query) bool {
+	if d.ps == nil {
+		return d.query(d.winExprs(q)...)
+	}
+	cs := d.candStatFor(key)
 	cs.queries++
-	cert, refuted := d.ps.RefuteQuery(q)
+	cert, refuted, witnessed := d.ps.Decide(q)
 	if refuted {
 		cs.refuted++
 		d.addCert(cert)
@@ -625,7 +703,7 @@ func (d *detector) queryWin(candKey string, q presolve.Query, mk func() []*smt.E
 		// the audited run's findings match the no-presolve run exactly. A
 		// Sat verdict contradicts the refutation. Aborted queries (budget,
 		// fault, timeout) are not evidence either way and not counted.
-		got := d.query(mk()...)
+		got := d.query(d.winExprs(q)...)
 		if d.res.Fault == nil {
 			d.res.PresolveAudited++
 			if got {
@@ -636,14 +714,14 @@ func (d *detector) queryWin(candKey string, q presolve.Query, mk func() []*smt.E
 		return got
 	}
 	// The dual rule: an explicit model makes the query SAT without search.
-	if wcert, ok := d.ps.WitnessQuery(q); ok {
+	if wcert := cert; witnessed {
 		cs.refuted++
 		d.addCert(wcert)
 		if !d.cfg.AuditPresolve {
 			d.res.SkippedQueries++
 			return true
 		}
-		got := d.query(mk()...)
+		got := d.query(d.winExprs(q)...)
 		if d.res.Fault == nil {
 			d.res.PresolveAudited++
 			if !got {
@@ -653,17 +731,17 @@ func (d *detector) queryWin(candKey string, q presolve.Query, mk func() []*smt.E
 		}
 		return got
 	}
-	return d.query(mk()...)
+	return d.query(d.winExprs(q)...)
 }
 
 // queryArch is query for branch-free architectural queries (the STL
 // engine's shape): the pre-solver tries to witness the whole query SAT by
 // explicit path construction before the solver is consulted.
-func (d *detector) queryArch(candKey string, nodes []int, mk func() []*smt.Expr) bool {
+func (d *detector) queryArch(key candKey, nodes []int, mk func() []*smt.Expr) bool {
 	if d.ps == nil {
 		return d.query(mk()...)
 	}
-	cs := d.candStatFor(candKey)
+	cs := d.candStatFor(key)
 	cs.queries++
 	cert, ok := d.ps.WitnessArch(nodes)
 	if !ok {
@@ -693,6 +771,7 @@ func (d *detector) fireProbe(probe string) error {
 }
 
 func (d *detector) run() {
+	d.prewarm()
 	switch d.cfg.Engine {
 	case PHT:
 		d.runPHT()
@@ -714,6 +793,80 @@ func (d *detector) run() {
 		}
 		return a.Transmit < b.Transmit
 	})
+}
+
+// prewarm is the intra-function sharding stage: with ShardWorkers > 1 it
+// computes, in parallel, exactly the pure per-candidate summaries the
+// serial candidate loops would compute lazily — value-flow reach per load,
+// and for STL the per-source BFS distance and fence-free-reach maps — and
+// installs them in the detector's memo caches. The loops then replay
+// serially and find every cache warm, so findings, counters, budget cuts,
+// and certificates are identical to the single-threaded run byte for byte:
+// no solver query, probe, or decision happens off the replay goroutine.
+// Prewarm fires no fault-injection probes (workpool.Prewarm's contract) —
+// an injected fault must hit the replay's deterministic probe sequence,
+// not a racy warm-up.
+func (d *detector) prewarm() {
+	w := d.cfg.ShardWorkers
+	if w <= 1 || d.ctx.Err() != nil {
+		return
+	}
+	loads := d.loads()
+	workpool.Prewarm(w, len(loads), func(i int) {
+		if d.ctx.Err() != nil {
+			return
+		}
+		d.flow.from(loads[i].ID)
+	})
+	if d.cfg.Engine != STL {
+		return
+	}
+	// STL's pair enumeration asks withinLSQ/withinWsize from every store
+	// and load and fenceBetween from every store; warm those into
+	// index-addressed slots and merge serially (the memo maps themselves
+	// are not concurrency-safe).
+	var srcs []int
+	for _, n := range d.g.Nodes {
+		if n.IsStore() || n.IsLoad() {
+			srcs = append(srcs, n.ID)
+		}
+	}
+	dists := make([]*nearSets, len(srcs))
+	workpool.Prewarm(w, len(srcs), func(i int) {
+		if d.ctx.Err() != nil {
+			return
+		}
+		dists[i] = d.bfsDist(srcs[i])
+	})
+	if d.dists == nil {
+		d.dists = map[int]*nearSets{}
+	}
+	for i, src := range srcs {
+		if dists[i] != nil {
+			d.dists[src] = dists[i]
+		}
+	}
+	var stores []int
+	for _, n := range d.g.Nodes {
+		if n.IsStore() {
+			stores = append(stores, n.ID)
+		}
+	}
+	fences := make([][]bool, len(stores))
+	workpool.Prewarm(w, len(stores), func(i int) {
+		if d.ctx.Err() != nil {
+			return
+		}
+		fences[i] = d.fenceReach(stores[i])
+	})
+	if d.fenceOK == nil {
+		d.fenceOK = map[int][]bool{}
+	}
+	for i, s := range stores {
+		if fences[i] != nil {
+			d.fenceOK[s] = fences[i]
+		}
+	}
 }
 
 // steering precomputes, per access load, the memory nodes whose address it
@@ -767,6 +920,22 @@ func (d *detector) feedsOf(accID int) []indexEdge {
 
 func (d *detector) computeSteering(loads []*acfg.Node, mems []*acfg.Node) steering {
 	s := steering{steers: map[int][]int{}}
+	// Inverted sweep: instead of probing every memory node's address defs
+	// against each source's reach set (|loads| × |mems| probes), index
+	// defs → mems once and walk each source's reached ∩ defs words. The
+	// per-source hit list is re-sorted into mems order so downstream
+	// iteration (and therefore findings and budget boundaries) is
+	// unchanged.
+	mask := dataflow.NewBitSet(d.g.Len())
+	byDef := make([][]int32, d.g.Len())
+	for pos, t := range mems {
+		for _, def := range addrDefs(t) {
+			mask.Set(def)
+			byDef[def] = append(byDef[def], int32(pos))
+		}
+	}
+	hit := make([]bool, len(mems))
+	var hits []int32
 	for _, acc := range loads {
 		// flowFrom is the expensive step of this precomputation; honor the
 		// budget between accesses so a timeout binds before the first query.
@@ -774,11 +943,24 @@ func (d *detector) computeSteering(loads []*acfg.Node, mems []*acfg.Node) steeri
 			return s
 		}
 		r := d.flowFrom(acc.ID)
-		for _, t := range mems {
-			if t.ID == acc.ID {
-				continue
+		hits = hits[:0]
+		for w, word := range r.reached {
+			word &= mask[w]
+			for word != 0 {
+				def := w*64 + bits.TrailingZeros64(word)
+				word &= word - 1
+				for _, pos := range byDef[def] {
+					if !hit[pos] {
+						hit[pos] = true
+						hits = append(hits, pos)
+					}
+				}
 			}
-			if ok, _ := flowsToAddr(r, t); ok {
+		}
+		slices.Sort(hits)
+		for _, pos := range hits {
+			hit[pos] = false
+			if t := mems[pos]; t.ID != acc.ID {
 				s.steers[acc.ID] = append(s.steers[acc.ID], t.ID)
 			}
 		}
@@ -795,9 +977,13 @@ func (d *detector) runPHT() {
 	loads := d.loads()
 	d.allLoads = loads
 	st := d.computeSteering(loads, mems)
-	seen := map[string]bool{}
+	seen := map[candKey]bool{}
 	branches := d.a.Branches()
 	sort.Ints(branches)
+	// Query slices share these scratch arrays across the candidate loops:
+	// the pre-solver copies anything it retains, so a fresh slice literal
+	// per probe is pure allocation churn.
+	var qt, qe [2]int
 
 	// Universal data transmitters.
 	if d.wantClass(core.UDT) {
@@ -817,7 +1003,7 @@ func (d *detector) runPHT() {
 					continue
 				}
 				for _, tID := range ts {
-					key := fmt.Sprintf("udt|%d|%d", tID, accID)
+					key := candKey{kind: candUDT, a: tID, b: accID}
 					if seen[key] {
 						continue
 					}
@@ -825,10 +1011,9 @@ func (d *detector) runPHT() {
 						if !d.a.InWindow(b, tID) || !d.a.InWindow(b, accID) {
 							continue
 						}
-						q := presolve.Query{Branch: b, Trans: []int{tID, accID}, Exec: []int{e.idx}}
-						if d.queryWin(key, q, func() []*smt.Expr {
-							return []*smt.Expr{d.a.Misspec(b), d.a.TransUnder(b, tID), d.a.TransUnder(b, accID), d.a.ExecUnder(b, e.idx)}
-						}) {
+						qt[0], qt[1], qe[0] = tID, accID, e.idx
+						q := presolve.Query{Branch: b, Trans: qt[:2], Exec: qe[:1]}
+						if d.queryWin(key, q) {
 							seen[key] = true
 							d.res.Findings = append(d.res.Findings, Finding{
 								Fn: d.res.Fn, Class: core.UDT,
@@ -853,10 +1038,10 @@ func (d *detector) runPHT() {
 				return
 			}
 			for _, tID := range ts {
-				if seen[fmt.Sprintf("udt|%d|%d", tID, accID)] {
+				if seen[candKey{kind: candUDT, a: tID, b: accID}] {
 					continue // already reported at higher severity
 				}
-				key := fmt.Sprintf("dt|%d|%d", tID, accID)
+				key := candKey{kind: candDT, a: tID, b: accID}
 				if seen[key] {
 					continue
 				}
@@ -864,10 +1049,9 @@ func (d *detector) runPHT() {
 					if !d.a.InWindow(b, tID) {
 						continue
 					}
-					q := presolve.Query{Branch: b, Trans: []int{tID}, Exec: []int{accID}}
-					if d.queryWin(key, q, func() []*smt.Expr {
-						return []*smt.Expr{d.a.Misspec(b), d.a.TransUnder(b, tID), d.a.ExecUnder(b, accID)}
-					}) {
+					qt[0], qe[0] = tID, accID
+					q := presolve.Query{Branch: b, Trans: qt[:1], Exec: qe[:1]}
+					if d.queryWin(key, q) {
 						seen[key] = true
 						d.res.Findings = append(d.res.Findings, Finding{
 							Fn: d.res.Fn, Class: core.DT,
@@ -891,26 +1075,38 @@ func (d *detector) runPHT() {
 	}
 }
 
-// condFeeders returns the loads whose values feed branch c's condition.
+// condFeeders returns the loads whose values feed branch c's condition,
+// memoized per branch: the UCT pattern asks for the same inner branch
+// under every outer branch, and the scan is O(loads) each time.
 func (d *detector) condFeeders(c int, loads []*acfg.Node) []int {
-	cn := d.g.Nodes[c]
-	if len(cn.ArgDefs) == 0 {
-		return nil
+	if accs, ok := d.condCache[c]; ok {
+		return accs
 	}
+	if d.condCache == nil {
+		d.condCache = map[int][]int{}
+	}
+	cn := d.g.Nodes[c]
 	var accs []int
-	for _, acc := range loads {
-		r := d.flowFrom(acc.ID)
-		for _, condDef := range cn.ArgDefs[0] {
-			if ok, _ := r.reaches(condDef); ok {
-				accs = append(accs, acc.ID)
-				break
+	if len(cn.ArgDefs) > 0 {
+		for _, acc := range loads {
+			r := d.flowFrom(acc.ID)
+			for _, condDef := range cn.ArgDefs[0] {
+				if ok, _ := r.reaches(condDef); ok {
+					accs = append(accs, acc.ID)
+					break
+				}
 			}
 		}
 	}
+	d.condCache[c] = accs
 	return accs
 }
 
-func (d *detector) controlPatterns(st steering, mems, loads []*acfg.Node, branches []int, seen map[string]bool) {
+func (d *detector) controlPatterns(st steering, mems, loads []*acfg.Node, branches []int, seen map[candKey]bool) {
+	// Query slices share these scratch arrays (see runPHT): the
+	// pre-solver copies anything it retains.
+	var qt [3]int
+	var qe [1]int
 	// Universal control transmitters require the nested shape: an outer
 	// branch b opens the window; inside it, a transient access (whose
 	// address the index steers via addr_gep) feeds an inner branch c; any
@@ -943,14 +1139,13 @@ func (d *detector) controlPatterns(st steering, mems, loads []*acfg.Node, branch
 							if !d.a.InWindow(b, t.ID) || !d.cfgReach(c, t.ID) {
 								continue
 							}
-							key := fmt.Sprintf("uct|%d|%d", t.ID, accID)
+							key := candKey{kind: candUCT, a: t.ID, b: accID}
 							if seen[key] {
 								continue
 							}
-							q := presolve.Query{Branch: b, Trans: []int{t.ID, accID, c}, Exec: []int{e.idx}}
-							if d.queryWin(key, q, func() []*smt.Expr {
-								return []*smt.Expr{d.a.Misspec(b), d.a.TransUnder(b, t.ID), d.a.TransUnder(b, accID), d.a.TransUnder(b, c), d.a.ExecUnder(b, e.idx)}
-							}) {
+							qt[0], qt[1], qt[2], qe[0] = t.ID, accID, c, e.idx
+							q := presolve.Query{Branch: b, Trans: qt[:3], Exec: qe[:1]}
+							if d.queryWin(key, q) {
 								seen[key] = true
 								d.res.Findings = append(d.res.Findings, Finding{
 									Fn: d.res.Fn, Class: core.UCT,
@@ -982,17 +1177,16 @@ func (d *detector) controlPatterns(st steering, mems, loads []*acfg.Node, branch
 				continue
 			}
 			for _, accID := range accs {
-				if seen[fmt.Sprintf("uct|%d|%d", t.ID, accID)] {
+				if seen[candKey{kind: candUCT, a: t.ID, b: accID}] {
 					continue
 				}
-				key := fmt.Sprintf("ct|%d|%d", t.ID, accID)
+				key := candKey{kind: candCT, a: t.ID, b: accID}
 				if seen[key] {
 					continue
 				}
-				q := presolve.Query{Branch: b, Trans: []int{t.ID}, Exec: []int{accID}}
-				if d.queryWin(key, q, func() []*smt.Expr {
-					return []*smt.Expr{d.a.Misspec(b), d.a.TransUnder(b, t.ID), d.a.ExecUnder(b, accID)}
-				}) {
+				qt[0], qe[0] = t.ID, accID
+				q := presolve.Query{Branch: b, Trans: qt[:1], Exec: qe[:1]}
+				if d.queryWin(key, q) {
 					seen[key] = true
 					d.res.Findings = append(d.res.Findings, Finding{
 						Fn: d.res.Fn, Class: core.CT,
@@ -1014,7 +1208,7 @@ func (d *detector) controlPatterns(st steering, mems, loads []*acfg.Node, branch
 func (d *detector) runSTL() {
 	mems := d.memoryNodes()
 	loads := d.loads()
-	seen := map[string]bool{}
+	seen := map[candKey]bool{}
 
 	var stores []*acfg.Node
 	for _, n := range d.g.Nodes {
@@ -1037,7 +1231,7 @@ func (d *detector) runSTL() {
 			if !d.al.MayAliasTransient(s, l) {
 				continue
 			}
-			if dist := d.minDist(s.ID, l.ID); dist < 0 || dist > d.a.Opts.LSQ {
+			if !d.withinLSQ(s.ID, l.ID) {
 				continue
 			}
 			d.res.Candidates++
@@ -1051,24 +1245,39 @@ func (d *detector) runSTL() {
 		}
 	}
 
+	// One inverted value-flow sweep per distinct stale load replaces the
+	// per-pair probe over every memory node: the steered lists come back
+	// in mems order, so per-pair iteration (and every downstream decision)
+	// is unchanged. flowsToAddr was the most selective filter in this
+	// loop; the surviving checks run only on its few hits.
+	var stale []*acfg.Node
+	staleSeen := map[int]bool{}
+	for _, p := range pairs {
+		if !staleSeen[p.l] {
+			staleSeen[p.l] = true
+			stale = append(stale, d.g.Nodes[p.l])
+		}
+	}
+	st := d.computeSteering(stale, mems)
+
+	// Scratch for queryArch's node sets: the pre-solver copies anything it
+	// retains, so a fresh slice literal per probe is pure churn.
+	var qn [3]int
 	for _, p := range pairs {
 		if d.outOfBudget() {
 			return
 		}
 		l := d.g.Nodes[p.l]
-		r := d.flowFrom(p.l)
-		for _, t := range mems {
-			if t.ID == p.l || !d.cfgReach(p.l, t.ID) {
+		near := d.nearFrom(p.l)
+		for _, tID := range st.steers[p.l] {
+			if !d.cfgReach(p.l, tID) {
 				continue
 			}
-			if dist := d.minDist(p.l, t.ID); dist < 0 || dist > d.a.Opts.Wsize {
+			if !near.win.Has(tID) {
 				continue
 			}
-			hits, _ := flowsToAddr(r, t)
-			if !hits {
-				continue
-			}
-			if d.fenceBetween(p.s, t.ID) {
+			t := d.g.Nodes[tID]
+			if d.fenceBetween(p.s, tID) {
 				continue
 			}
 			class := core.UDT
@@ -1078,11 +1287,12 @@ func (d *detector) runSTL() {
 			if !d.wantClass(class) {
 				continue
 			}
-			key := fmt.Sprintf("stl|%d|%d|%d", p.s, p.l, t.ID)
+			key := candKey{kind: candSTL, a: p.s, b: p.l, c: t.ID}
 			if seen[key] {
 				continue
 			}
-			if d.queryArch(key, []int{p.s, p.l, t.ID}, func() []*smt.Expr {
+			qn[0], qn[1], qn[2] = p.s, p.l, t.ID
+			if d.queryArch(key, qn[:3], func() []*smt.Expr {
 				return []*smt.Expr{d.a.Arch(p.s), d.a.Arch(p.l), d.a.Exec(t.ID)}
 			}) {
 				seen[key] = true
@@ -1105,68 +1315,111 @@ func staleControlled(l *acfg.Node) bool {
 	return ir.IsInt(l.Instr.Ty) || ir.IsPtr(l.Instr.Ty)
 }
 
-// minDist returns the minimum path length between two DAG nodes (-1 if
-// unreachable). Distance maps are cached per source.
-func (d *detector) minDist(from, to int) int {
-	if from == to {
-		return 0
+// nearSets are one source's bounded-distance verdicts: the engines never
+// ask for an exact BFS distance, only whether a node lies within the LSQ
+// bound (store→load bypass range) or the Wsize bound (load→transmitter
+// window), so two bitsets replace the full distance map — slice-speed
+// lookups in the pair loops at a fraction of the memory.
+type nearSets struct {
+	lsq dataflow.BitSet // nodes within Opts.LSQ hops of the source
+	win dataflow.BitSet // nodes within Opts.Wsize hops of the source
+}
+
+// bfsDist computes one source's nearSets by BFS out to the larger bound;
+// farther nodes stay unset, which callers treat like unreachable ones.
+// Pure: reads only the immutable graph and options, so prewarm shards may
+// run it concurrently.
+func (d *detector) bfsDist(from int) *nearSets {
+	lsqB, winB := int32(d.a.Opts.LSQ), int32(d.a.Opts.Wsize)
+	bound := lsqB
+	if winB > bound {
+		bound = winB
 	}
-	if d.dists == nil {
-		d.dists = map[int]map[int]int{}
-	}
-	dist, ok := d.dists[from]
-	if !ok {
-		dist = map[int]int{from: 0}
-		depth := 0
-		frontier := []int{from}
-		for len(frontier) > 0 {
-			depth++
-			var next []int
-			for _, n := range frontier {
-				for _, s := range d.g.Succs(n) {
-					if _, seen := dist[s]; !seen {
-						dist[s] = depth
-						next = append(next, s)
-					}
-				}
-			}
-			frontier = next
+	ns := &nearSets{lsq: dataflow.NewBitSet(d.g.Len()), win: dataflow.NewBitSet(d.g.Len())}
+	mark := func(n int, dn int32) {
+		if dn <= lsqB {
+			ns.lsq.Set(n)
 		}
-		d.dists[from] = dist
+		if dn <= winB {
+			ns.win.Set(n)
+		}
 	}
-	if v, ok := dist[to]; ok {
-		return v
+	mark(from, 0)
+	dist := map[int]int32{from: 0}
+	queue := []int{from}
+	for head := 0; head < len(queue); head++ {
+		n := queue[head]
+		dn := dist[n]
+		if dn == bound {
+			continue
+		}
+		for _, s := range d.g.Succs(n) {
+			if _, seen := dist[s]; !seen {
+				dist[s] = dn + 1
+				mark(s, dn+1)
+				queue = append(queue, s)
+			}
+		}
 	}
-	return -1
+	return ns
+}
+
+// nearFrom returns (building on first use) the source's bounded-distance
+// sets.
+func (d *detector) nearFrom(from int) *nearSets {
+	if d.dists == nil {
+		d.dists = map[int]*nearSets{}
+	}
+	ns, ok := d.dists[from]
+	if !ok {
+		ns = d.bfsDist(from)
+		d.dists[from] = ns
+	}
+	return ns
+}
+
+// withinLSQ reports a path from→to of length ≤ Opts.LSQ.
+func (d *detector) withinLSQ(from, to int) bool {
+	return from == to || d.nearFrom(from).lsq.Has(to)
+}
+
+// withinWsize reports a path from→to of length ≤ Opts.Wsize.
+func (d *detector) withinWsize(from, to int) bool {
+	return from == to || d.nearFrom(from).win.Has(to)
+}
+
+// fenceReach computes the dense fence-free reachability vector from one
+// source. Pure: reads only the immutable graph.
+func (d *detector) fenceReach(a int) []bool {
+	reach := make([]bool, d.g.Len())
+	reach[a] = true
+	queue := []int{a}
+	for head := 0; head < len(queue); head++ {
+		n := queue[head]
+		for _, s := range d.g.Succs(n) {
+			if reach[s] {
+				continue
+			}
+			sn := d.g.Nodes[s]
+			if sn.IsFence() && sn.Instr.Sub == "lfence" {
+				continue
+			}
+			reach[s] = true
+			queue = append(queue, s)
+		}
+	}
+	return reach
 }
 
 // fenceBetween reports whether every path from a to b crosses an lfence.
-// Fence-free reachability sets are cached per source.
+// Fence-free reachability vectors are cached per source.
 func (d *detector) fenceBetween(a, b int) bool {
 	if d.fenceOK == nil {
-		d.fenceOK = map[int]map[int]bool{}
+		d.fenceOK = map[int][]bool{}
 	}
 	reach, ok := d.fenceOK[a]
 	if !ok {
-		reach = map[int]bool{a: true}
-		frontier := []int{a}
-		for len(frontier) > 0 {
-			var next []int
-			for _, n := range frontier {
-				for _, s := range d.g.Succs(n) {
-					if reach[s] {
-						continue
-					}
-					sn := d.g.Nodes[s]
-					if sn.IsFence() && sn.Instr.Sub == "lfence" {
-						continue
-					}
-					reach[s] = true
-					next = append(next, s)
-				}
-			}
-			frontier = next
-		}
+		reach = d.fenceReach(a)
 		d.fenceOK[a] = reach
 	}
 	return !reach[b]

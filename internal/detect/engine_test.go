@@ -9,7 +9,7 @@ import (
 	"lcm/internal/minic"
 )
 
-func compile(t *testing.T, src string) *ir.Module {
+func compile(t testing.TB, src string) *ir.Module {
 	t.Helper()
 	f, err := minic.Parse(src)
 	if err != nil {

@@ -9,8 +9,12 @@
 package detect
 
 import (
+	"math/bits"
+	"sync"
+
 	"lcm/internal/acfg"
 	"lcm/internal/alias"
+	"lcm/internal/dataflow"
 	"lcm/internal/ir"
 )
 
@@ -20,20 +24,33 @@ import (
 // at -O0 every spill/reload is one). A load's address operand is *not* a
 // value edge: value used as an address is an addr dependency, the pattern
 // boundary of Table 1, not a link inside a chain.
+//
+// The adjacency is a CSR array: edges[start[n]:start[n+1]] are node n's
+// out-edges, each packed to<<1|gep, where gep marks a hop entering a GEP
+// through its index operand (the addr_gep signal of §5.2). Per-source
+// reach info is memoized on the graph itself, so it is shared across the
+// candidates of one engine run, across the PHT and STL engines of a
+// cached frontend, and across concurrent detector runs.
 type flowGraph struct {
-	g *acfg.Graph
-	// succ[n] lists value-flow successors; gepIndex marks hops entering a
-	// GEP through its index operand (the addr_gep signal of §5.2).
-	succ map[int][]flowEdge
-}
+	g     *acfg.Graph
+	start []int32
+	edges []int32
 
-type flowEdge struct {
-	to       int
-	gepIndex bool
+	mu   sync.Mutex
+	memo map[int]reachInfo
 }
 
 func buildFlowGraph(g *acfg.Graph, al *alias.Analysis, cfgReach func(from, to int) bool) *flowGraph {
-	f := &flowGraph{g: g, succ: map[int][]flowEdge{}}
+	f := &flowGraph{g: g, memo: map[int]reachInfo{}}
+	type rawEdge struct{ src, packed int32 }
+	var raw []rawEdge
+	add := func(src, to int, gep bool) {
+		p := int32(to) << 1
+		if gep {
+			p |= 1
+		}
+		raw = append(raw, rawEdge{src: int32(src), packed: p})
+	}
 	for _, n := range g.Nodes {
 		if n.Instr == nil {
 			continue
@@ -43,14 +60,14 @@ func buildFlowGraph(g *acfg.Graph, al *alias.Analysis, cfgReach func(from, to in
 			// Arguments flow into the havoc result.
 			for _, defs := range n.ArgDefs {
 				for _, d := range defs {
-					f.succ[d] = append(f.succ[d], flowEdge{to: n.ID})
+					add(d, n.ID, false)
 				}
 			}
 		case n.IsLoad():
 			// no value edges in: the loaded value comes from memory
 		case n.IsStore():
 			for _, d := range n.ArgDefs[0] { // stored value only
-				f.succ[d] = append(f.succ[d], flowEdge{to: n.ID})
+				add(d, n.ID, false)
 			}
 		case n.Kind == acfg.NInstr:
 			switch n.Instr.Op {
@@ -58,7 +75,7 @@ func buildFlowGraph(g *acfg.Graph, al *alias.Analysis, cfgReach func(from, to in
 				for i, defs := range n.ArgDefs {
 					gep := n.Instr.Op == ir.OpGEP && i == 1
 					for _, d := range defs {
-						f.succ[d] = append(f.succ[d], flowEdge{to: n.ID, gepIndex: gep})
+						add(d, n.ID, gep)
 					}
 				}
 			}
@@ -78,40 +95,91 @@ func buildFlowGraph(g *acfg.Graph, al *alias.Analysis, cfgReach func(from, to in
 	for _, s := range stores {
 		for _, l := range loads {
 			if al.MayAlias(s, l) && cfgReach(s.ID, l.ID) {
-				f.succ[s.ID] = append(f.succ[s.ID], flowEdge{to: l.ID})
+				add(s.ID, l.ID, false)
 			}
 		}
+	}
+	// Counting sort into CSR, stable per source.
+	n := g.Len()
+	f.start = make([]int32, n+1)
+	for _, e := range raw {
+		f.start[e.src+1]++
+	}
+	for i := 0; i < n; i++ {
+		f.start[i+1] += f.start[i]
+	}
+	f.edges = make([]int32, len(raw))
+	cursor := make([]int32, n)
+	copy(cursor, f.start[:n])
+	for _, e := range raw {
+		f.edges[cursor[e.src]] = e.packed
+		cursor[e.src]++
 	}
 	return f
 }
 
-// reachInfo records value-flow reachability from one source.
+// reachInfo records value-flow reachability from one source as two
+// bitsets over node IDs: reached nodes, and nodes some reaching path
+// crosses a gep index hop to arrive at.
 type reachInfo struct {
-	reached map[int]bool // node is reachable
-	viaGep  map[int]bool // some reaching path crosses a gep index hop
+	reached dataflow.BitSet
+	viaGep  dataflow.BitSet
 }
 
+// from returns (computing and memoizing on first use) the reach info of
+// one source node. Safe for concurrent use; the traversal is pure, so two
+// racing computations produce identical results and either may be kept.
 func (f *flowGraph) from(src int) reachInfo {
-	info := reachInfo{reached: map[int]bool{}, viaGep: map[int]bool{}}
-	type st struct {
-		n   int
-		gep bool
+	f.mu.Lock()
+	if r, ok := f.memo[src]; ok {
+		f.mu.Unlock()
+		return r
 	}
-	stack := []st{{src, false}}
-	seen := map[st]bool{}
+	f.mu.Unlock()
+	r := f.compute(src)
+	f.mu.Lock()
+	if prev, ok := f.memo[src]; ok {
+		r = prev
+	} else {
+		f.memo[src] = r
+	}
+	f.mu.Unlock()
+	return r
+}
+
+// memoSize reports how many sources have been computed so far.
+func (f *flowGraph) memoSize() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.memo)
+}
+
+// compute runs the DFS over (node, crossed-gep) states. A state is
+// packed node<<1|gep — the same packing as a CSR edge, so following an
+// edge is a single OR of the gep flags.
+func (f *flowGraph) compute(src int) reachInfo {
+	n := f.g.Len()
+	info := reachInfo{reached: dataflow.NewBitSet(n), viaGep: dataflow.NewBitSet(n)}
+	visited := dataflow.NewBitSet(2 * n)
+	stack := make([]int32, 1, 64)
+	stack[0] = int32(src) << 1
 	for len(stack) > 0 {
-		cur := stack[len(stack)-1]
+		st := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		if seen[cur] {
+		if visited.Has(int(st)) {
 			continue
 		}
-		seen[cur] = true
-		info.reached[cur.n] = true
-		if cur.gep {
-			info.viaGep[cur.n] = true
+		visited.Set(int(st))
+		node, gep := int(st>>1), st&1
+		info.reached.Set(node)
+		if gep != 0 {
+			info.viaGep.Set(node)
 		}
-		for _, e := range f.succ[cur.n] {
-			stack = append(stack, st{e.to, cur.gep || e.gepIndex})
+		for _, e := range f.edges[f.start[node]:f.start[node+1]] {
+			next := e | gep
+			if !visited.Has(int(next)) {
+				stack = append(stack, next)
+			}
 		}
 	}
 	return info
@@ -120,7 +188,19 @@ func (f *flowGraph) from(src int) reachInfo {
 // reaches reports whether the source's value reaches node dst, and whether
 // some reaching path crosses a gep index.
 func (r reachInfo) reaches(dst int) (ok, viaGEPIndex bool) {
-	return r.reached[dst], r.viaGep[dst]
+	if r.reached == nil {
+		return false, false
+	}
+	return r.reached.Has(dst), r.viaGep.Has(dst)
+}
+
+// popcount returns the number of reached nodes (test support).
+func (r reachInfo) popcount() int {
+	total := 0
+	for _, w := range r.reached {
+		total += bits.OnesCount64(w)
+	}
+	return total
 }
 
 // addrDefs returns the defining nodes of a memory node's address operand

@@ -144,6 +144,12 @@ var analysisCache = detect.NewCache()
 // (clou -v and the bench tooling surface these).
 func CacheStats() (hits, misses int64) { return analysisCache.Stats() }
 
+// ResetFrontendCache discards the process-wide front-end cache, forcing the
+// next analysis to rebuild every frontend from scratch. Benchmarks use it
+// to measure cold frontends; concurrent analyses simply miss into the fresh
+// cache, so calling it mid-run costs recomputation, never correctness.
+func ResetFrontendCache() { analysisCache = detect.NewCache() }
+
 func clouConfig(engine detect.Engine, opts Options, universalOnly bool, span *obsv.Span) detect.Config {
 	var cfg detect.Config
 	if engine == detect.PHT {
@@ -153,6 +159,7 @@ func clouConfig(engine detect.Engine, opts Options, universalOnly bool, span *ob
 	}
 	cfg.Timeout = opts.FuncTimeout
 	cfg.MaxQueries = opts.MaxQueries
+	cfg.ShardWorkers = opts.Parallelism
 	cfg.Cache = analysisCache
 	cfg.Span = span
 	cfg.Metrics = opts.Metrics

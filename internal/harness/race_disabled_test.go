@@ -1,0 +1,6 @@
+//go:build !race
+
+package harness
+
+// raceDetectorEnabled is false in non-race builds; see race_enabled_test.go.
+const raceDetectorEnabled = false

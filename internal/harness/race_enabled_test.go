@@ -1,0 +1,10 @@
+//go:build race
+
+package harness
+
+// raceDetectorEnabled reports whether this test binary was built with
+// -race. The budget-unconstrained presolve-invariance tests skip under
+// it: they are single-threaded (Parallelism 1), so the detector adds no
+// coverage, while its ~15× slowdown makes their precondition — bigBudget
+// never binding — unattainable and the comparison void.
+const raceDetectorEnabled = true

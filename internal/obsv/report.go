@@ -9,7 +9,7 @@ import (
 
 // Version identifies the report schema / toolchain generation. Bump it
 // when the JSON shape changes; the golden tests pin the serialized form.
-const Version = "0.5.0"
+const Version = "0.6.0"
 
 // Report is the machine-readable run manifest shared by clou -report,
 // lcmlint -report, and cmd/benchjson. All timing-valued fields end in
@@ -63,6 +63,12 @@ type FuncReport struct {
 	FrontendNs int64 `json:"frontend_ns,omitempty"`
 	EncodeNs   int64 `json:"encode_ns,omitempty"`
 	SolveNs    int64 `json:"solve_ns,omitempty"`
+	// Frontend sub-stage timings (the perf-attribution breakdown of the
+	// frontend_ns total): points-to analysis, value-flow graph build, and
+	// the pre-solver's shared fact base. Zero on cache hits.
+	AliasNs         int64 `json:"alias_ns,omitempty"`
+	FlowNs          int64 `json:"flow_ns,omitempty"`
+	PresolveFactsNs int64 `json:"presolve_facts_ns,omitempty"`
 
 	Error string `json:"error,omitempty"`
 }
@@ -125,6 +131,9 @@ func (r *Report) Normalize() {
 		f.FrontendNs = 0
 		f.EncodeNs = 0
 		f.SolveNs = 0
+		f.AliasNs = 0
+		f.FlowNs = 0
+		f.PresolveFactsNs = 0
 	}
 	for name, h := range r.Metrics.Histograms {
 		h.SumNs, h.MinNs, h.MaxNs = 0, 0, 0

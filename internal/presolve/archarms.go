@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"lcm/internal/acfg"
+	"lcm/internal/dataflow"
 )
 
 // archArms is the flow-sensitive arch-arm analysis: for one branch b, it
@@ -25,20 +26,28 @@ import (
 type archArms struct {
 	g *acfg.Graph
 
+	// pred, when set, answers strict forward reachability (from == to is
+	// the caller's concern) — installed by Facts.SetReachOracle so the
+	// engine's existing transitive closure is shared instead of rebuilt.
+	pred func(from, to int) bool
+
 	mu   sync.Mutex
+	dom  *domTree
 	by   map[int]*branchArms
-	from map[int][]bool // plain forward reachability, per source
+	rows []dataflow.BitSet // fallback closure when no oracle is installed
 }
 
-// branchArms holds the three per-node reachability vectors of one branch.
+// branchArms answers one branch's arm and bypass queries against the
+// shared dominator tree and reachability closure.
 type branchArms struct {
-	bypass []bool // reachable from entry without using b's out-edges
-	arm0   []bool // reachable from b's first successor
-	arm1   []bool // reachable from b's second successor
+	b    int
+	succ []int // b's successor nodes; arms exist only when len >= 2
+	dom  *domTree
+	aa   *archArms
 }
 
 func newArchArms(g *acfg.Graph) *archArms {
-	return &archArms{g: g, by: map[int]*branchArms{}, from: map[int][]bool{}}
+	return &archArms{g: g, by: map[int]*branchArms{}}
 }
 
 // comparable reports whether m and n can lie on one entry path: one must
@@ -49,25 +58,48 @@ func newArchArms(g *acfg.Graph) *archArms {
 // reachability-ordered. A node pair violating this can never be jointly
 // architectural, whatever the take values.
 func (aa *archArms) comparable(m, n int) bool {
+	return aa.reaches(m, n) || aa.reaches(n, m)
+}
+
+// reaches reports forward reachability m →* n (reflexively).
+func (aa *archArms) reaches(m, n int) bool {
 	if m == n {
 		return true
 	}
-	return aa.reachFrom(m)[n] || aa.reachFrom(n)[m]
-}
-
-// reachFrom memoizes plain forward reachability per source node.
-func (aa *archArms) reachFrom(n int) []bool {
-	aa.mu.Lock()
-	defer aa.mu.Unlock()
-	if r, ok := aa.from[n]; ok {
-		return r
+	if p := aa.pred; p != nil {
+		return p(m, n)
 	}
-	r := aa.reach(n, -1)
-	aa.from[n] = r
-	return r
+	aa.mu.Lock()
+	rows := aa.closureLocked()
+	aa.mu.Unlock()
+	return rows[m].Has(n)
 }
 
-// of returns (computing on first use) branch b's arm vectors. Safe for
+// closureLocked builds (once) the full transitive closure in one pass
+// over a reverse topological order — each node's row is itself plus the
+// union of its successors' rows. Callers hold aa.mu; the returned rows
+// are immutable afterwards.
+func (aa *archArms) closureLocked() []dataflow.BitSet {
+	if aa.rows != nil {
+		return aa.rows
+	}
+	n := aa.g.Len()
+	rows := make([]dataflow.BitSet, n)
+	topo := aa.g.Topo()
+	for i := len(topo) - 1; i >= 0; i-- {
+		id := topo[i]
+		row := dataflow.NewBitSet(n)
+		row.Set(id)
+		for _, s := range aa.g.Succs(id) {
+			row.UnionInto(rows[s])
+		}
+		rows[id] = row
+	}
+	aa.rows = rows
+	return rows
+}
+
+// of returns (computing on first use) branch b's arm view. Safe for
 // concurrent callers: the underlying graph is immutable and the memo is
 // lock-guarded.
 func (aa *archArms) of(b int) *branchArms {
@@ -76,25 +108,22 @@ func (aa *archArms) of(b int) *branchArms {
 	if ba, ok := aa.by[b]; ok {
 		return ba
 	}
-	ba := &branchArms{
-		bypass: aa.reach(aa.g.Entry, b),
-		arm0:   make([]bool, aa.g.Len()),
-		arm1:   make([]bool, aa.g.Len()),
+	if aa.dom == nil {
+		aa.dom = newDomTree(aa.g)
 	}
-	if succ := aa.g.Succs(b); len(succ) >= 2 {
-		ba.arm0 = aa.reach(succ[0], -1)
-		ba.arm1 = aa.reach(succ[1], -1)
-	}
+	ba := &branchArms{b: b, succ: aa.g.Succs(b), dom: aa.dom, aa: aa}
 	aa.by[b] = ba
 	return ba
 }
 
 // reach computes forward reachability from start, never expanding the
 // successors of cut (-1 for none). The cut node itself stays reachable:
-// a path may end at it without resolving its branch.
-func (aa *archArms) reach(start, cut int) []bool {
-	out := make([]bool, aa.g.Len())
-	out[start] = true
+// a path may end at it without resolving its branch. It survives as the
+// reference implementation the dominator- and closure-based fast paths
+// are differentially tested against.
+func (aa *archArms) reach(start, cut int) dataflow.BitSet {
+	out := dataflow.NewBitSet(aa.g.Len())
+	out.Set(start)
 	frontier := []int{start}
 	for len(frontier) > 0 {
 		n := frontier[len(frontier)-1]
@@ -103,8 +132,8 @@ func (aa *archArms) reach(start, cut int) []bool {
 			continue
 		}
 		for _, s := range aa.g.Succs(n) {
-			if !out[s] {
-				out[s] = true
+			if !out.Has(s) {
+				out.Set(s)
 				frontier = append(frontier, s)
 			}
 		}
@@ -112,15 +141,122 @@ func (aa *archArms) reach(start, cut int) []bool {
 	return out
 }
 
+// bypass reports whether entry reaches n without using b's out-edges —
+// the cut-reachability set reach(entry, b), answered in O(1) from the
+// dominator tree instead of a fresh BFS per branch: a path through b must
+// continue through one of b's out-edges unless it ends at b, so the only
+// nodes a cut at b removes are those b strictly dominates.
+func (ba *branchArms) bypass(n int) bool {
+	d := ba.dom
+	if !d.reach.Has(n) {
+		return false
+	}
+	return n == ba.b || !d.dominates(ba.b, n)
+}
+
 // archTake reports whether arch(n)=1 is consistent with take(b)=v: some
 // entry-to-n path either avoids b or leaves b down the arm v selects
 // (take=true resolves to the first successor).
 func (ba *branchArms) archTake(n int, v bool) bool {
-	if ba.bypass[n] {
+	if ba.bypass(n) {
 		return true
 	}
-	if v {
-		return ba.arm0[n]
+	if len(ba.succ) < 2 {
+		return false
 	}
-	return ba.arm1[n]
+	if v {
+		return ba.aa.reaches(ba.succ[0], n)
+	}
+	return ba.aa.reaches(ba.succ[1], n)
+}
+
+// domTree is the entry-rooted dominator tree of the A-CFG with DFS
+// intervals for O(1) dominance tests. The A-CFG is a DAG (back edges are
+// cut during construction), so one pass over a topological order computes
+// every idom exactly — each node's idom is the nearest common ancestor of
+// its already-finalized predecessors.
+type domTree struct {
+	reach     dataflow.BitSet // entry-reachable nodes
+	idom      []int32         // parent in the dominator tree; entry points at itself
+	pre, post []int32         // DFS intervals over the dominator tree
+}
+
+func newDomTree(g *acfg.Graph) *domTree {
+	n := g.Len()
+	d := &domTree{
+		reach: dataflow.NewBitSet(n),
+		idom:  make([]int32, n),
+		pre:   make([]int32, n),
+		post:  make([]int32, n),
+	}
+	order := g.Topo()
+	ord := make([]int32, n) // topological position, orients the NCA walk
+	for i, id := range order {
+		ord[id] = int32(i)
+	}
+	d.reach.Set(g.Entry)
+	d.idom[g.Entry] = int32(g.Entry)
+	nca := func(a, b int32) int32 {
+		for a != b {
+			for ord[a] > ord[b] {
+				a = d.idom[a]
+			}
+			for ord[b] > ord[a] {
+				b = d.idom[b]
+			}
+		}
+		return a
+	}
+	for _, id := range order {
+		if id == g.Entry {
+			continue
+		}
+		cur := int32(-1)
+		for _, p := range g.Preds(id) {
+			if !d.reach.Has(p) {
+				continue
+			}
+			if cur < 0 {
+				cur = int32(p)
+			} else {
+				cur = nca(cur, int32(p))
+			}
+		}
+		if cur < 0 {
+			continue // entry does not reach id
+		}
+		d.reach.Set(id)
+		d.idom[id] = cur
+	}
+	// DFS intervals over the tree. Children are collected in node-id order;
+	// any order yields valid intervals.
+	kids := make([][]int32, n)
+	for id := 0; id < n; id++ {
+		if id != g.Entry && d.reach.Has(id) {
+			p := d.idom[id]
+			kids[p] = append(kids[p], int32(id))
+		}
+	}
+	clock := int32(0)
+	var dfs func(int32)
+	dfs = func(u int32) {
+		d.pre[u] = clock
+		clock++
+		for _, k := range kids[u] {
+			dfs(k)
+		}
+		d.post[u] = clock
+		clock++
+	}
+	dfs(int32(g.Entry))
+	return d
+}
+
+// dominates reports whether b dominates n (non-strict): every entry path
+// to n passes through b. False when either node is entry-unreachable.
+func (d *domTree) dominates(b, n int) bool {
+	if !d.reach.Has(b) || !d.reach.Has(n) {
+		return false
+	}
+	return d.pre[b] <= d.pre[n] && d.post[n] <= d.post[b]
 }

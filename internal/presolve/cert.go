@@ -2,8 +2,7 @@ package presolve
 
 import (
 	"fmt"
-	"sort"
-	"strings"
+	"strconv"
 )
 
 // Certificate kinds. A window certificate refutes one solver query of a
@@ -286,27 +285,53 @@ func (c *Certificate) String() string {
 	return c.Fn + ": " + c.Kind
 }
 
-// queryKey builds the stable deduplication key of a window query.
+// queryKey builds the stable deduplication key of a window query. It is
+// on the per-query hot path (computed by both RefuteQuery and
+// WitnessQuery), so it formats into one grown byte buffer rather than
+// through fmt; the byte layout is pinned by the certificate goldens.
 func queryKey(q Query) string {
-	part := func(ns []int) string {
-		s := append([]int(nil), ns...)
-		sort.Ints(s)
-		parts := make([]string, len(s))
-		for i, n := range s {
-			parts[i] = fmt.Sprint(n)
-		}
-		return strings.Join(parts, ",")
-	}
-	return fmt.Sprintf("window|b=%d|t=%s|e=%s|a=%s", q.Branch, part(q.Trans), part(q.Exec), part(q.Arch))
+	buf := make([]byte, 0, 16+8*(len(q.Trans)+len(q.Exec)+len(q.Arch)))
+	buf = append(buf, "window|b="...)
+	buf = strconv.AppendInt(buf, int64(q.Branch), 10)
+	buf = append(buf, "|t="...)
+	buf = appendSortedInts(buf, q.Trans)
+	buf = append(buf, "|e="...)
+	buf = appendSortedInts(buf, q.Exec)
+	buf = append(buf, "|a="...)
+	buf = appendSortedInts(buf, q.Arch)
+	return string(buf)
 }
 
 // archKey builds the stable deduplication key of a branch-free arch query.
 func archKey(nodes []int) string {
-	s := append([]int(nil), nodes...)
-	sortInts(s)
-	parts := make([]string, len(s))
-	for i, n := range s {
-		parts[i] = fmt.Sprint(n)
+	buf := make([]byte, 0, 8+8*len(nodes))
+	buf = append(buf, "arch|"...)
+	buf = appendSortedInts(buf, nodes)
+	return string(buf)
+}
+
+// appendSortedInts appends ns sorted and comma-separated. Query node
+// lists are tiny, so the sort runs on a stack copy — a heap copy per
+// field was a measurable share of the key path's allocations.
+func appendSortedInts(buf []byte, ns []int) []byte {
+	var tmp [8]int
+	var s []int
+	if len(ns) <= len(tmp) {
+		s = tmp[:len(ns)]
+		copy(s, ns)
+		for i := 1; i < len(s); i++ {
+			for j := i; j > 0 && s[j] < s[j-1]; j-- {
+				s[j], s[j-1] = s[j-1], s[j]
+			}
+		}
+	} else {
+		s = sortedCopy(ns)
 	}
-	return "arch|" + strings.Join(parts, ",")
+	for i, n := range s {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = strconv.AppendInt(buf, int64(n), 10)
+	}
+	return buf
 }

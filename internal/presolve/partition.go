@@ -161,7 +161,7 @@ func (p *Partition) signature(n *acfg.Node, al *alias.Analysis, mr *dataflow.Mod
 		return sig
 	}
 	pts := al.PointsTo(n, i)
-	for l := range pts {
+	for _, l := range pts {
 		sig.locs = append(sig.locs, l)
 		if l.Kind == alias.LExternal {
 			sig.external = true

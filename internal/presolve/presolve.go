@@ -23,6 +23,7 @@ package presolve
 import (
 	"fmt"
 	"reflect"
+	"sort"
 	"sync"
 
 	"lcm/internal/acfg"
@@ -38,6 +39,14 @@ type WindowSource interface {
 	// window: arms[i] says n is fetchable down successor i, dist is n's
 	// minimum fetch distance from b.
 	WindowInfo(b, n int) (arms [2]bool, dist int, ok bool)
+}
+
+// WindowEnumerator is an optional fast path of WindowSource: a source
+// that can enumerate a branch's window members directly saves the
+// pre-solver from probing WindowInfo once per graph node per branch.
+// Visit order may be arbitrary — consumers must not depend on it.
+type WindowEnumerator interface {
+	ForEachWindowNode(b int, f func(n int, arms [2]bool))
 }
 
 // Facts bundles one function's engine-independent static facts. It is
@@ -59,6 +68,12 @@ type Facts struct {
 func NewFacts(g *acfg.Graph, al *alias.Analysis, mr *dataflow.ModuleRanges) *Facts {
 	return &Facts{G: g, Al: al, MR: mr, arms: newArchArms(g)}
 }
+
+// SetReachOracle installs a shared DAG-reachability closure — reach(from,
+// to) with from == to answered by the analysis itself — so the arch-arm
+// analysis consults it instead of building its own transitive closure.
+// Call before the first engine run consults the pre-solver.
+func (f *Facts) SetReachOracle(reach func(from, to int) bool) { f.arms.pred = reach }
 
 // Partition returns (building on first use) the must-alias partition.
 func (f *Facts) Partition() *Partition {
@@ -90,6 +105,17 @@ type Analysis struct {
 	wit   map[witKey]*satWitness
 	wmemo map[string]*Certificate // queryKey → witness cert; nil = no witness found
 	amemo map[string]*Certificate // archKey → arch-witness cert; nil = none
+
+	// bfs is bfsPath's reusable scratch: epoch-stamped visit marks, so
+	// each search clears nothing. Owned by the single detector goroutine
+	// that owns this Analysis (see the type comment above).
+	bfs struct {
+		parent []int32
+		stamp  []uint32
+		epoch  uint32
+		queue  []int32
+		ord    []int32 // topological positions, for search pruning
+	}
 }
 
 // NewAnalysis binds facts to an engine run's window source.
@@ -136,24 +162,25 @@ func (a *Analysis) feasFor(b int, v bool) *feasSet {
 	}
 	g := a.f.G
 	fs := &feasSet{armOK: make([]bool, g.Len()), can: make([]bool, g.Len())}
-	for _, n := range g.Nodes {
-		arms, _, ok := a.win.WindowInfo(b, n.ID)
-		if !ok {
-			continue
-		}
+	var ids []int
+	a.eachWindowNode(b, func(id int, arms [2]bool) {
 		if (v && arms[1]) || (!v && arms[0]) {
-			fs.armOK[n.ID] = true
-			fs.can[n.ID] = true
+			fs.armOK[id] = true
+			fs.can[id] = true
+			ids = append(ids, id)
 		}
-	}
+	})
+	// The greatest fixpoint is unique whatever the deletion order; sorting
+	// just keeps the sweep sequence (and its round count) reproducible.
+	sortInts(ids)
 	ba := a.f.arms.of(b)
 	for changed := true; changed; {
 		changed = false
-		for _, n := range g.Nodes {
-			if !fs.can[n.ID] {
+		for _, id := range ids {
+			if !fs.can[id] {
 				continue
 			}
-			for _, grp := range n.ArgDefs {
+			for _, grp := range g.Nodes[id].ArgDefs {
 				if len(grp) == 0 {
 					continue
 				}
@@ -165,7 +192,7 @@ func (a *Analysis) feasFor(b int, v bool) *feasSet {
 					}
 				}
 				if !fed {
-					fs.can[n.ID] = false
+					fs.can[id] = false
 					changed = true
 					break
 				}
@@ -176,10 +203,43 @@ func (a *Analysis) feasFor(b int, v bool) *feasSet {
 	return fs
 }
 
+// eachWindowNode visits every node of branch b's window, through the
+// enumerator fast path when the source provides one.
+func (a *Analysis) eachWindowNode(b int, f func(n int, arms [2]bool)) {
+	if we, ok := a.win.(WindowEnumerator); ok {
+		we.ForEachWindowNode(b, f)
+		return
+	}
+	for _, n := range a.f.G.Nodes {
+		if arms, _, ok := a.win.WindowInfo(b, n.ID); ok {
+			f(n.ID, arms)
+		}
+	}
+}
+
 // RefuteQuery decides whether q is statically UNSAT. On success it returns
 // the certificate witnessing infeasibility of both take directions.
 func (a *Analysis) RefuteQuery(q Query) (*Certificate, bool) {
+	return a.refuteKeyed(queryKey(q), q)
+}
+
+// Decide applies the refutation rule and, failing that, its witness dual,
+// computing the query key once — every decided query consults both memos,
+// and formatting plus hashing the key twice shows up in the candidate
+// loops. When cert is non-nil exactly one of refuted/witnessed is true.
+func (a *Analysis) Decide(q Query) (cert *Certificate, refuted, witnessed bool) {
 	key := queryKey(q)
+	if c, ok := a.refuteKeyed(key, q); ok {
+		return c, true, false
+	}
+	if c, ok := a.witnessKeyed(key, q); ok {
+		return c, false, true
+	}
+	return nil, false, false
+}
+
+// refuteKeyed is RefuteQuery with the key precomputed by the caller.
+func (a *Analysis) refuteKeyed(key string, q Query) (*Certificate, bool) {
 	if c, ok := a.memo[key]; ok {
 		return c, c != nil
 	}
@@ -215,9 +275,9 @@ func (a *Analysis) refuteCase(q Query, v bool) (TakeCase, bool) {
 	tc := TakeCase{Take: v}
 	ba := a.f.arms.of(q.Branch)
 	// misspec(b) implies arch(b): an unreachable branch cannot misspeculate
-	// at all. (bypass[b] holds exactly when entry reaches b — the cut only
+	// at all. (bypass(b) holds exactly when entry reaches b — the cut only
 	// stops traversal past b's out-edges.)
-	if !ba.bypass[q.Branch] {
+	if !ba.bypass(q.Branch) {
 		tc.Reason = ReasonBranchUnreachable
 		tc.Node = q.Branch
 		return tc, true
@@ -474,9 +534,13 @@ func sortedCopy(ns []int) []int {
 	return s
 }
 
-// sortInts is a tiny insertion sort — query node lists are short, and
-// keeping it local avoids importing sort twice across files.
+// sortInts insertion-sorts short lists (query node lists mostly are) and
+// hands longer ones — window eligibility sweeps — to sort.Ints.
 func sortInts(s []int) {
+	if len(s) > 32 {
+		sort.Ints(s)
+		return
+	}
 	for i := 1; i < len(s); i++ {
 		for j := i; j > 0 && s[j] < s[j-1]; j-- {
 			s[j], s[j-1] = s[j-1], s[j]

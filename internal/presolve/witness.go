@@ -33,11 +33,12 @@ type BranchTake struct {
 // satWitness is the canonical model fragment for one (branch, take) pair:
 // the take-selected architectural path and the transient-fetch fixpoint.
 type satWitness struct {
-	ok     bool
-	path   []int // in path order, entry first
-	onPath []bool
-	takes  []BranchTake // sorted by branch
-	fetch  []bool
+	ok        bool
+	path      []int // in path order, entry first
+	onPath    []bool
+	takes     []BranchTake // sorted by branch
+	fetch     []bool
+	fetchList []int // indices of fetch, ascending (certificate form)
 }
 
 type witKey struct {
@@ -62,34 +63,9 @@ func (a *Analysis) buildWitness(b int, v bool) *satWitness {
 	// Entry-to-b prefix: any BFS path is take-realizable, because each hop
 	// is a successor edge and a simple path resolves every branch on it at
 	// most once.
-	parent := make([]int, g.Len())
-	for i := range parent {
-		parent[i] = -1
-	}
-	parent[g.Entry] = g.Entry
-	queue := []int{g.Entry}
-	for len(queue) > 0 && parent[b] == -1 {
-		n := queue[0]
-		queue = queue[1:]
-		for _, s := range g.Succs(n) {
-			if parent[s] == -1 {
-				parent[s] = n
-				queue = append(queue, s)
-			}
-		}
-	}
-	if parent[b] == -1 {
+	path := a.bfsPath(g.Entry, b)
+	if path == nil {
 		return &satWitness{} // entry cannot reach b: refutation territory
-	}
-	var path []int
-	for n := b; ; n = parent[n] {
-		path = append(path, n)
-		if n == g.Entry {
-			break
-		}
-	}
-	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
-		path[i], path[j] = path[j], path[i]
 	}
 
 	onPath := make([]bool, g.Len())
@@ -137,24 +113,23 @@ func (a *Analysis) buildWitness(b int, v bool) *satWitness {
 	// resolves architecturally to the first successor, so the transient
 	// fetch runs down the second).
 	fetch := make([]bool, g.Len())
-	elig := make([]bool, g.Len())
-	for _, n := range g.Nodes {
-		arms, _, ok := a.win.WindowInfo(b, n.ID)
-		if !ok {
-			continue
-		}
+	var elig []int
+	a.eachWindowNode(b, func(id int, arms [2]bool) {
 		if (v && arms[1]) || (!v && arms[0]) {
-			elig[n.ID] = true
+			elig = append(elig, id)
 		}
-	}
+	})
+	// The least fixpoint is order-independent; sorting keeps the sweep
+	// (and the round count) reproducible across map iteration orders.
+	sortInts(elig)
 	for changed := true; changed; {
 		changed = false
-		for _, n := range g.Nodes {
-			if fetch[n.ID] || !elig[n.ID] {
+		for _, id := range elig {
+			if fetch[id] {
 				continue
 			}
 			fed := true
-			for _, grp := range n.ArgDefs {
+			for _, grp := range g.Nodes[id].ArgDefs {
 				if len(grp) == 0 {
 					continue
 				}
@@ -171,7 +146,7 @@ func (a *Analysis) buildWitness(b int, v bool) *satWitness {
 				}
 			}
 			if fed {
-				fetch[n.ID] = true
+				fetch[id] = true
 				changed = true
 			}
 		}
@@ -182,7 +157,13 @@ func (a *Analysis) buildWitness(b int, v bool) *satWitness {
 		tl = append(tl, BranchTake{Branch: br, Take: t})
 	}
 	sortTakes(tl)
-	return &satWitness{ok: true, path: path, onPath: onPath, takes: tl, fetch: fetch}
+	var fl []int
+	for n, f := range fetch {
+		if f {
+			fl = append(fl, n)
+		}
+	}
+	return &satWitness{ok: true, path: path, onPath: onPath, takes: tl, fetch: fetch, fetchList: fl}
 }
 
 // takeFor reports the take value that routes branch p to successor q,
@@ -202,7 +183,11 @@ func takeFor(g *acfg.Graph, p, q int) (bool, bool) {
 // architectural path, and transient fetch set; audit mode replays the
 // query asserting the solver also answers Sat.
 func (a *Analysis) WitnessQuery(q Query) (*Certificate, bool) {
-	key := queryKey(q)
+	return a.witnessKeyed(queryKey(q), q)
+}
+
+// witnessKeyed is WitnessQuery with the key precomputed by the caller.
+func (a *Analysis) witnessKeyed(key string, q Query) (*Certificate, bool) {
 	if c, ok := a.wmemo[key]; ok {
 		return c, c != nil
 	}
@@ -211,12 +196,9 @@ func (a *Analysis) WitnessQuery(q Query) (*Certificate, bool) {
 		if !w.ok || !a.covers(w, q) {
 			continue
 		}
-		var fl []int
-		for n, f := range w.fetch {
-			if f {
-				fl = append(fl, n)
-			}
-		}
+		// Path/Takes/Fetch alias the memoized witness: it is immutable once
+		// built, certificates are read-only downstream, and copying them per
+		// distinct query dominated this function's profile.
 		c := &Certificate{
 			Kind: KindWitness,
 			Fn:   a.f.G.Fn,
@@ -227,9 +209,9 @@ func (a *Analysis) WitnessQuery(q Query) (*Certificate, bool) {
 				Trans:  sortedCopy(q.Trans),
 				Exec:   sortedCopy(q.Exec),
 				Arch:   sortedCopy(q.Arch),
-				Path:   append([]int{}, w.path...),
-				Takes:  append([]BranchTake{}, w.takes...),
-				Fetch:  fl,
+				Path:   w.path,
+				Takes:  w.takes,
+				Fetch:  w.fetchList,
 			},
 		}
 		a.wmemo[key] = c
@@ -265,12 +247,12 @@ func (a *Analysis) buildArchWitness(key string, nodes []int) *Certificate {
 	// the engines pre-gate chained candidates so the case is dead).
 	ord := dedupSorted(nodes)
 	for i := 1; i < len(ord); i++ {
-		for j := i; j > 0 && a.f.arms.reachFrom(ord[j])[ord[j-1]]; j-- {
+		for j := i; j > 0 && a.f.arms.reaches(ord[j], ord[j-1]); j-- {
 			ord[j], ord[j-1] = ord[j-1], ord[j]
 		}
 	}
 	for i := 1; i < len(ord); i++ {
-		if ord[i-1] != ord[i] && !a.f.arms.reachFrom(ord[i-1])[ord[i]] {
+		if ord[i-1] != ord[i] && !a.f.arms.reaches(ord[i-1], ord[i]) {
 			return nil
 		}
 	}
@@ -283,7 +265,7 @@ func (a *Analysis) buildArchWitness(key string, nodes []int) *Certificate {
 		if w == cur {
 			continue
 		}
-		seg := bfsPath(g, cur, w)
+		seg := a.bfsPath(cur, w)
 		if seg == nil {
 			return nil
 		}
@@ -349,29 +331,50 @@ func (a *Analysis) buildArchWitness(key string, nodes []int) *Certificate {
 }
 
 // bfsPath returns a shortest path from src to dst over successor edges
-// (nil when unreachable), deterministic in queue order.
-func bfsPath(g *acfg.Graph, src, dst int) []int {
-	parent := make([]int, g.Len())
-	for i := range parent {
-		parent[i] = -1
+// (nil when unreachable), deterministic in queue order. The visit marks
+// are epoch-stamped scratch on the Analysis (which is single-owner, per
+// the type comment), so repeated calls clear nothing.
+func (a *Analysis) bfsPath(src, dst int) []int {
+	g := a.f.G
+	sc := &a.bfs
+	if len(sc.parent) < g.Len() {
+		sc.parent = make([]int32, g.Len())
+		sc.stamp = make([]uint32, g.Len())
+		// Topological positions prune the search: in a DAG, a node
+		// ordered after dst cannot reach it, and dropping such nodes
+		// cannot perturb the parent chain of any node that can. The
+		// returned path — and so every certificate — is unchanged.
+		sc.ord = make([]int32, g.Len())
+		for i, id := range g.Topo() {
+			sc.ord[id] = int32(i)
+		}
 	}
-	parent[src] = src
-	queue := []int{src}
-	for len(queue) > 0 && parent[dst] == -1 {
-		n := queue[0]
-		queue = queue[1:]
+	sc.epoch++
+	if sc.epoch == 0 { // stamp wraparound: drop every stale mark
+		for i := range sc.stamp {
+			sc.stamp[i] = 0
+		}
+		sc.epoch = 1
+	}
+	ep := sc.epoch
+	bound := sc.ord[dst]
+	sc.stamp[src], sc.parent[src] = ep, int32(src)
+	queue := append(sc.queue[:0], int32(src))
+	for head := 0; head < len(queue) && sc.stamp[dst] != ep; head++ {
+		n := int(queue[head])
 		for _, s := range g.Succs(n) {
-			if parent[s] == -1 {
-				parent[s] = n
-				queue = append(queue, s)
+			if sc.stamp[s] != ep && sc.ord[s] <= bound {
+				sc.stamp[s], sc.parent[s] = ep, int32(n)
+				queue = append(queue, int32(s))
 			}
 		}
 	}
-	if parent[dst] == -1 {
+	sc.queue = queue
+	if sc.stamp[dst] != ep {
 		return nil
 	}
 	var path []int
-	for n := dst; ; n = parent[n] {
+	for n := dst; ; n = int(sc.parent[n]) {
 		path = append(path, n)
 		if n == src {
 			break
