@@ -111,7 +111,7 @@ func main() {
 		results[name] = e
 	}
 
-	for _, suite := range []string{"pht", "stl", "fwd", "new"} {
+	for _, suite := range []string{"pht", "stl", "fwd", "new", "psf", "imp", "ss"} {
 		suite := suite
 		record("litmus-"+suite, func(workers int, tr *obsv.Tracer, reg *obsv.Registry) error {
 			_, err := harness.RunLitmusSuite(suite, harness.Options{

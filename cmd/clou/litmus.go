@@ -10,7 +10,7 @@ import (
 
 // litmusOptions parameterizes the -litmus corpus mode.
 type litmusOptions struct {
-	suite      string // "pht", "stl", "fwd", "new", or "all"
+	suite      string // a litmus suite name, or "all"
 	jobs       int
 	timeout    time.Duration
 	noPresolve bool
@@ -25,7 +25,7 @@ type litmusOptions struct {
 func runLitmus(o litmusOptions, stdout, stderr io.Writer) int {
 	suites := []string{o.suite}
 	if o.suite == "all" {
-		suites = []string{"pht", "stl", "fwd", "new"}
+		suites = []string{"pht", "stl", "fwd", "new", "psf", "imp", "ss"}
 	}
 	opts := harness.Options{
 		FuncTimeout:   o.timeout,

@@ -65,7 +65,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("clou", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	engine := fs.String("engine", "pht", "detection engine: pht (Spectre v1/v1.1) or stl (Spectre v4)")
+	engine := fs.String("engine", "pht", "detection engine: pht (Spectre v1/v1.1), stl (Spectre v4), psf (alias-predicted store forwarding), imp (indirect memory prefetcher), or ss (silent stores)")
 	fn := fs.String("func", "", "analyze only this function (default: all defined functions)")
 	rob := fs.Int("rob", 250, "reorder buffer capacity")
 	lsq := fs.Int("lsq", 50, "load/store queue capacity")
@@ -79,7 +79,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	noPrune := fs.Bool("noprune", false, "disable range-analysis candidate pruning")
 	noPresolve := fs.Bool("nopresolve", false, "disable the proof-carrying static pre-solver (ablation baseline)")
 	auditPresolve := fs.Bool("audit-presolve", false, "replay every statically refuted query through the solver and fail on disagreement")
-	litmusSuite := fs.String("litmus", "", "run the built-in litmus corpus (pht, stl, fwd, new, or all) instead of analyzing a file")
+	litmusSuite := fs.String("litmus", "", "run the built-in litmus corpus (pht, stl, fwd, new, psf, imp, ss, or all) instead of analyzing a file")
 	par := fs.Int("j", runtime.GOMAXPROCS(0), "analyze up to N functions in parallel")
 	reportPath := fs.String("report", "", "write a machine-readable JSON run report to this path (- for stdout)")
 	debugAddr := fs.String("debug-addr", "", "serve expvar and net/http/pprof on this address (e.g. :6060)")
@@ -130,15 +130,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return exitClean
 	}
 
-	var cfg detect.Config
-	switch *engine {
-	case "pht":
-		cfg = detect.DefaultPHT()
-	case "stl":
-		cfg = detect.DefaultSTL()
-	default:
-		return fail(fmt.Errorf("unknown engine %q", *engine))
+	eng, err := detect.ParseEngine(*engine)
+	if err != nil {
+		return fail(err)
 	}
+	cfg := detect.DefaultConfig(eng)
 	cfg.AEG.ROB = *rob
 	cfg.AEG.LSQ = *lsq
 	cfg.AEG.Wsize = *wsize

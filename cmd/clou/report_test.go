@@ -27,7 +27,7 @@ func TestReportGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, engine := range []string{"pht", "stl"} {
+	for _, engine := range []string{"pht", "stl", "psf", "imp", "ss"} {
 		golden := filepath.Join("testdata", "report_"+engine+".golden.json")
 		for _, workers := range []int{1, 8} {
 			t.Run(engine+"/j"+string(rune('0'+workers)), func(t *testing.T) {
@@ -62,12 +62,11 @@ func runReport(t *testing.T, src, engine string, workers int) []byte {
 	if err != nil {
 		t.Fatalf("lower: %v", err)
 	}
-	var cfg detect.Config
-	if engine == "pht" {
-		cfg = detect.DefaultPHT()
-	} else {
-		cfg = detect.DefaultSTL()
+	eng, err := detect.ParseEngine(engine)
+	if err != nil {
+		t.Fatal(err)
 	}
+	cfg := detect.DefaultConfig(eng)
 	cfg.Timeout = 60 * time.Second
 	cfg.Cache = detect.NewCache()
 	tracer := obsv.NewTracer()

@@ -36,3 +36,29 @@ void victim_v4(uint32_t x) {
     idx_slot = x & (array1_size - 1);
     temp &= array2[array1[idx_slot] * 512];
 }
+
+uint32_t sec_slot;
+uint32_t pub_idx;
+uint8_t idx_ary[16];
+
+/* psf shape: the in-flight secret store is wrongly forwarded to the
+ * pub_idx load, steering the dependent transmitter. */
+void victim_psf(uint32_t x) {
+    sec_slot = array1[x & 15];
+    uint32_t j = pub_idx;
+    temp &= array2[(j & 255) * 512];
+}
+
+/* imp shape: the dependent load-pair walk trains the prefetcher, which
+ * then dereferences the next index element on its own. */
+void victim_imp(uint32_t n) {
+    for (uint32_t i = 0; i < n; i++) {
+        temp &= array2[idx_ary[i & 7]];
+    }
+}
+
+/* ss shape: the store of secret data commits silently exactly when the
+ * value matches the slot's old content. */
+void victim_ss(uint32_t x) {
+    sec_slot = array1[x & 15];
+}

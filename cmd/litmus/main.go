@@ -57,7 +57,7 @@ func main() {
 		repairStudy(*timeout)
 	default:
 		fmt.Println("Table 2 (litmus suites):")
-		for _, suite := range []string{"pht", "stl", "fwd", "new"} {
+		for _, suite := range []string{"pht", "stl", "fwd", "new", "psf", "imp", "ss"} {
 			rows, err := harness.RunLitmusSuite(suite, opts)
 			if err != nil {
 				fatal(err)
@@ -83,8 +83,15 @@ func repairStudy(timeout time.Duration) {
 			fatal(err)
 		}
 		cfg := detect.DefaultPHT()
-		if c.Suite == "stl" {
+		switch c.Suite {
+		case "stl":
 			cfg = detect.DefaultSTL()
+		case "psf":
+			cfg = detect.DefaultPSF()
+		case "imp":
+			cfg = detect.DefaultIMP()
+		case "ss":
+			cfg = detect.DefaultSS()
 		}
 		cfg.Timeout = timeout
 		res, err := repair.Repair(m, c.Fn, cfg, 0)

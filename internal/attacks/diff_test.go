@@ -42,12 +42,7 @@ func compileDiff(t *testing.T, src string) *ir.Module {
 
 func clouAnalyze(t *testing.T, src, fn string, engine detect.Engine) *detect.Result {
 	t.Helper()
-	var cfg detect.Config
-	if engine == detect.PHT {
-		cfg = detect.DefaultPHT()
-	} else {
-		cfg = detect.DefaultSTL()
-	}
+	cfg := detect.DefaultConfig(engine)
 	cfg.Timeout = 60 * time.Second
 	res, err := detect.AnalyzeFunc(compileDiff(t, src), fn, cfg)
 	if err != nil {
@@ -178,6 +173,12 @@ func TestLitmusVerdictsMatchAnnotations(t *testing.T) {
 			engines = []detect.Engine{detect.STL}
 		case "fwd", "new":
 			engines = []detect.Engine{detect.PHT, detect.STL}
+		case "psf":
+			engines = []detect.Engine{detect.PSF}
+		case "imp":
+			engines = []detect.Engine{detect.IMP}
+		case "ss":
+			engines = []detect.Engine{detect.SS}
 		}
 		for _, c := range cases {
 			c := c

@@ -28,18 +28,50 @@ import (
 // Engine selects the speculation primitive searched for (§5.3).
 type Engine int
 
-// The two engines.
+// The engines, one per modeled speculation/optimization primitive
+// (Table 1's taxonomy beyond branch prediction).
 const (
 	PHT Engine = iota // control-flow speculation (Spectre v1, v1.1)
 	STL               // store-to-load bypass (Spectre v4)
+	PSF               // speculative store forwarding via alias prediction
+	IMP               // indirect memory prefetcher (Fig. 5b)
+	SS                // silent stores (Fig. 5a)
 )
 
 func (e Engine) String() string {
-	if e == STL {
+	switch e {
+	case STL:
 		return "clou-stl"
+	case PSF:
+		return "clou-psf"
+	case IMP:
+		return "clou-imp"
+	case SS:
+		return "clou-ss"
 	}
 	return "clou-pht"
 }
+
+// ParseEngine maps a CLI engine name ("pht", "stl", "psf", "imp", "ss",
+// or the full "clou-…" form) to its Engine.
+func ParseEngine(name string) (Engine, error) {
+	switch name {
+	case "pht", "clou-pht":
+		return PHT, nil
+	case "stl", "clou-stl":
+		return STL, nil
+	case "psf", "clou-psf":
+		return PSF, nil
+	case "imp", "clou-imp":
+		return IMP, nil
+	case "ss", "clou-ss":
+		return SS, nil
+	}
+	return PHT, fmt.Errorf("unknown engine %q (want pht, stl, psf, imp, or ss)", name)
+}
+
+// Engines lists every engine in presentation order.
+func Engines() []Engine { return []Engine{PHT, STL, PSF, IMP, SS} }
 
 // Config parameterizes an analysis run.
 type Config struct {
@@ -152,6 +184,40 @@ func DefaultSTL() Config {
 	return Config{Engine: STL, RequireGEP: false, RequireTaint: true}
 }
 
+// DefaultPSF returns the Clou-psf configuration. Like STL, addr_gep
+// cannot filter PSF leaks — the wrongly forwarded value may be any
+// in-flight store's data, pointer or not.
+func DefaultPSF() Config {
+	return Config{Engine: PSF, RequireGEP: false, RequireTaint: true}
+}
+
+// DefaultIMP returns the Clou-imp configuration. The prefetcher trains
+// only on dependent load pairs whose index feeds a GEP index, so the
+// addr_gep filter is structural here, not an approximation.
+func DefaultIMP() Config {
+	return Config{Engine: IMP, RequireGEP: true, RequireTaint: true}
+}
+
+// DefaultSS returns the Clou-ss configuration.
+func DefaultSS() Config {
+	return Config{Engine: SS, RequireGEP: false, RequireTaint: true}
+}
+
+// DefaultConfig returns the engine's default configuration.
+func DefaultConfig(e Engine) Config {
+	switch e {
+	case STL:
+		return DefaultSTL()
+	case PSF:
+		return DefaultPSF()
+	case IMP:
+		return DefaultIMP()
+	case SS:
+		return DefaultSS()
+	}
+	return DefaultPHT()
+}
+
 // Finding is one detected transmitter with its witness context.
 type Finding struct {
 	Fn       string
@@ -177,8 +243,13 @@ func (f Finding) String() string {
 	if f.Branch >= 0 {
 		s += fmt.Sprintf(", speculation primitive: branch %d", f.Branch)
 	}
-	if f.Store >= 0 {
+	switch {
+	case f.Store >= 0 && f.Transmit == f.Store:
+		s += fmt.Sprintf(", silent store %d, secret feeder load %d", f.Store, f.Access)
+	case f.Store >= 0:
 		s += fmt.Sprintf(", bypassed store %d → stale load %d", f.Store, f.Load)
+	case f.Branch < 0 && f.Load >= 0 && f.Index >= 0:
+		s += fmt.Sprintf(", trained load pair: index %d → data %d, prefetch past index %d", f.Load, f.Access, f.Index)
 	}
 	return s
 }
@@ -430,6 +501,9 @@ const (
 	candUCT
 	candCT
 	candSTL
+	candPSF
+	candIMP
+	candSS
 )
 
 // candStat tracks one window-rule candidate's query outcomes so fully
@@ -777,6 +851,12 @@ func (d *detector) run() {
 		d.runPHT()
 	case STL:
 		d.runSTL()
+	case PSF:
+		d.runPSF()
+	case IMP:
+		d.runIMP()
+	case SS:
+		d.runSS()
 	}
 	// A window candidate whose every issued query was statically refuted
 	// needed no solver work at all: count it discharged. (Map iteration
@@ -818,51 +898,64 @@ func (d *detector) prewarm() {
 		}
 		d.flow.from(loads[i].ID)
 	})
-	if d.cfg.Engine != STL {
-		return
-	}
-	// STL's pair enumeration asks withinLSQ/withinWsize from every store
-	// and load and fenceBetween from every store; warm those into
+	// Per-engine distance/fence summaries. STL and PSF pair enumeration
+	// asks withinLSQ/withinWsize from every store and load and
+	// fenceBetween from every store; IMP asks fenceBetween from every
+	// index load; SS asks fenceBetween from every store. Warm those into
 	// index-addressed slots and merge serially (the memo maps themselves
 	// are not concurrency-safe).
-	var srcs []int
-	for _, n := range d.g.Nodes {
-		if n.IsStore() || n.IsLoad() {
-			srcs = append(srcs, n.ID)
+	var distSrcs, fenceSrcs []int
+	switch d.cfg.Engine {
+	case STL, PSF:
+		for _, n := range d.g.Nodes {
+			if n.IsStore() || n.IsLoad() {
+				distSrcs = append(distSrcs, n.ID)
+			}
+			if n.IsStore() {
+				fenceSrcs = append(fenceSrcs, n.ID)
+			}
 		}
+	case IMP:
+		for _, n := range d.g.Nodes {
+			if n.IsLoad() {
+				fenceSrcs = append(fenceSrcs, n.ID)
+			}
+		}
+	case SS:
+		for _, n := range d.g.Nodes {
+			if n.IsStore() {
+				fenceSrcs = append(fenceSrcs, n.ID)
+			}
+		}
+	default:
+		return
 	}
-	dists := make([]*nearSets, len(srcs))
-	workpool.Prewarm(w, len(srcs), func(i int) {
+	dists := make([]*nearSets, len(distSrcs))
+	workpool.Prewarm(w, len(distSrcs), func(i int) {
 		if d.ctx.Err() != nil {
 			return
 		}
-		dists[i] = d.bfsDist(srcs[i])
+		dists[i] = d.bfsDist(distSrcs[i])
 	})
 	if d.dists == nil {
 		d.dists = map[int]*nearSets{}
 	}
-	for i, src := range srcs {
+	for i, src := range distSrcs {
 		if dists[i] != nil {
 			d.dists[src] = dists[i]
 		}
 	}
-	var stores []int
-	for _, n := range d.g.Nodes {
-		if n.IsStore() {
-			stores = append(stores, n.ID)
-		}
-	}
-	fences := make([][]bool, len(stores))
-	workpool.Prewarm(w, len(stores), func(i int) {
+	fences := make([][]bool, len(fenceSrcs))
+	workpool.Prewarm(w, len(fenceSrcs), func(i int) {
 		if d.ctx.Err() != nil {
 			return
 		}
-		fences[i] = d.fenceReach(stores[i])
+		fences[i] = d.fenceReach(fenceSrcs[i])
 	})
 	if d.fenceOK == nil {
 		d.fenceOK = map[int][]bool{}
 	}
-	for i, s := range stores {
+	for i, s := range fenceSrcs {
 		if fences[i] != nil {
 			d.fenceOK[s] = fences[i]
 		}

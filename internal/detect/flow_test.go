@@ -180,7 +180,7 @@ func TestShardDeterminism(t *testing.T) {
 	// Both budgets cut the search mid-candidate-loop: where the cut lands
 	// is the most order-sensitive output, so equality here subsumes the
 	// easy unbudgeted case (which the harness-level golden tests cover).
-	for _, mk := range []func() Config{DefaultPHT, DefaultSTL} {
+	for _, mk := range []func() Config{DefaultPHT, DefaultSTL, DefaultPSF, DefaultIMP, DefaultSS} {
 		for _, budget := range []int{200, 1000} {
 			cfg1 := mk()
 			cfg1.ShardWorkers = 1

@@ -1,0 +1,378 @@
+package detect
+
+import (
+	"lcm/internal/acfg"
+	"lcm/internal/core"
+	"lcm/internal/ir"
+	"lcm/internal/presolve"
+	"lcm/internal/smt"
+)
+
+// This file holds the taxonomy engines beyond branch prediction and
+// store-to-load bypass: speculative store forwarding via alias
+// prediction (Clou-psf), the indirect memory prefetcher (Clou-imp,
+// Fig. 5b), and silent stores (Clou-ss, Fig. 5a). They reuse the same
+// S-AEG, dense value-flow, bounded-distance bitsets, and pre-solver
+// query paths as Clou-pht/stl; only the candidate shapes differ.
+
+// runPSF searches for transmitters steered by a mispredicted alias
+// forward: a load l with an in-flight po-earlier store s that does NOT
+// have to alias it may be predicted to, transiently returning s's data —
+// which then steers a later transmitter. The shape mirrors STL with two
+// inversions: must-alias pairs are excluded (the forward would be
+// architecturally correct), and provably disjoint pairs are NOT pruned
+// (misprediction is exactly what makes disjoint pairs dangerous).
+func (d *detector) runPSF() {
+	mems := d.memoryNodes()
+	loads := d.loads()
+	seen := map[candKey]bool{}
+
+	var stores []*acfg.Node
+	for _, n := range d.g.Nodes {
+		if n.IsStore() {
+			stores = append(stores, n)
+		}
+	}
+
+	// Forwardable (store, load) pairs: the load issues while the store is
+	// still in the buffer (LSQ bound) and the pair is not an exact
+	// same-address forward.
+	type pair struct{ s, l int }
+	var pairs []pair
+	for _, s := range stores {
+		if d.outOfBudget() {
+			return
+		}
+		for _, l := range loads {
+			if !d.cfgReach(s.ID, l.ID) {
+				continue
+			}
+			if !d.withinLSQ(s.ID, l.ID) {
+				continue
+			}
+			if mustAliasExact(s, l) {
+				continue
+			}
+			d.res.Candidates++
+			pairs = append(pairs, pair{s.ID, l.ID})
+		}
+	}
+
+	// One inverted value-flow sweep per distinct mispredicted load (see
+	// runSTL): steered lists come back in mems order.
+	var fwd []*acfg.Node
+	fwdSeen := map[int]bool{}
+	for _, p := range pairs {
+		if !fwdSeen[p.l] {
+			fwdSeen[p.l] = true
+			fwd = append(fwd, d.g.Nodes[p.l])
+		}
+	}
+	st := d.computeSteering(fwd, mems)
+
+	var qn [3]int
+	for _, p := range pairs {
+		if d.outOfBudget() {
+			return
+		}
+		near := d.nearFrom(p.l)
+		for _, tID := range st.steers[p.l] {
+			if !d.cfgReach(p.l, tID) {
+				continue
+			}
+			if !near.win.Has(tID) {
+				continue
+			}
+			t := d.g.Nodes[tID]
+			// An lfence drains the store buffer: nothing is left to
+			// forward when every s→t path crosses one.
+			if d.fenceBetween(p.s, tID) {
+				continue
+			}
+			class := core.UDT
+			if d.cfg.RequireTaint && !forwardControlled(d.g.Nodes[p.s]) {
+				class = core.DT
+			}
+			if !d.wantClass(class) {
+				continue
+			}
+			key := candKey{kind: candPSF, a: p.s, b: p.l, c: tID}
+			if seen[key] {
+				continue
+			}
+			qn[0], qn[1], qn[2] = p.s, p.l, tID
+			if d.queryArch(key, qn[:3], func() []*smt.Expr {
+				return []*smt.Expr{d.a.Arch(p.s), d.a.Arch(p.l), d.a.Exec(tID)}
+			}) {
+				seen[key] = true
+				d.res.Findings = append(d.res.Findings, Finding{
+					Fn: d.res.Fn, Class: class,
+					Transmit: tID, Access: p.l, Index: -1,
+					Branch: -1, Store: p.s, Load: p.l,
+					TransientTransmit: true, TransientAccess: true,
+					Line: line(t),
+				})
+			}
+		}
+	}
+}
+
+// mustAliasExact reports that the store and load provably touch the same
+// address with the same width, so forwarding is architecturally correct
+// and the alias predictor has nothing to mispredict: the address
+// operands are literally the same value (the alloca-reload pattern) or
+// name the same global.
+func mustAliasExact(s, l *acfg.Node) bool {
+	if s.Instr == nil || l.Instr == nil {
+		return false
+	}
+	if s.Instr.Args[0].Type().Size() != l.Instr.Ty.Size() {
+		return false
+	}
+	sa, la := s.Instr.Args[1], l.Instr.Args[0]
+	if sa == la {
+		return true
+	}
+	sg, ok1 := sa.(*ir.Global)
+	lg, ok2 := la.(*ir.Global)
+	return ok1 && ok2 && sg.Nm == lg.Nm
+}
+
+// forwardControlled reports whether the wrongly forwarded value — the
+// store's data operand — may carry attacker-interesting bits: integer
+// and pointer data both qualify (the PSF analogue of staleControlled).
+func forwardControlled(s *acfg.Node) bool {
+	ty := s.Instr.Args[0].Type()
+	return ir.IsInt(ty) || ir.IsPtr(ty)
+}
+
+// runIMP searches for the indirect memory prefetcher's universal read: a
+// dependent load pair (index load i feeding data load t's address) that
+// executes at least twice trains the prefetcher, which then dereferences
+// the NEXT index element on its own — memory the program never
+// architecturally reads (Fig. 5b). Statically, "trained" means the same
+// static instruction pair has ≥2 instances in the unrolled A-CFG; each
+// adjacent instance pair is one training window, and the second data
+// instance is the transmitter whose prefetch leaks.
+func (d *detector) runIMP() {
+	loads := d.loads()
+	d.allLoads = loads
+	seen := map[candKey]bool{}
+
+	// Collect dependent pair instances in load-ID order (deterministic),
+	// grouped by static (index instr, data instr) pair. Reaching defs
+	// cross unrolled iterations (iteration 1's index load also feeds
+	// iteration 2's data load through the merge), so per data instance
+	// only the nearest instance of each static index load — the same
+	// iteration's — is the pair's index access.
+	type inst struct{ i, dnode int }
+	groups := map[[2]*ir.Instr][]inst{}
+	var order [][2]*ir.Instr
+	nearest := map[*ir.Instr]int{}
+	for _, dn := range loads {
+		if d.outOfBudget() {
+			return
+		}
+		if dn.Instr == nil {
+			continue
+		}
+		clear(nearest)
+		for _, e := range d.feedsOf(dn.ID) {
+			if d.cfg.RequireGEP && !e.gep {
+				continue
+			}
+			in := d.g.Nodes[e.idx]
+			if in.Instr == nil || !walkAddressed(in.Instr) {
+				continue
+			}
+			if prev, ok := nearest[in.Instr]; !ok || e.idx > prev {
+				nearest[in.Instr] = e.idx
+			}
+		}
+		// feedsOf returns edges in load-ID order, so the first sighting
+		// of each static index instr fixes a deterministic group order.
+		for _, e := range d.feedsOf(dn.ID) {
+			in := d.g.Nodes[e.idx]
+			if in.Instr == nil || nearest[in.Instr] != e.idx {
+				continue
+			}
+			gk := [2]*ir.Instr{in.Instr, dn.Instr}
+			if _, ok := groups[gk]; !ok {
+				order = append(order, gk)
+			}
+			groups[gk] = append(groups[gk], inst{i: e.idx, dnode: dn.ID})
+		}
+	}
+
+	var qn [4]int
+	for _, gk := range order {
+		insts := groups[gk]
+		// Adjacent instance pairs in program order: (i1,t1) trains,
+		// (i2,t2) fires the prefetch of the next element's line.
+		for k := 0; k+1 < len(insts); k++ {
+			a, b := insts[k], insts[k+1]
+			if a.dnode == b.dnode || !d.cfgReach(a.dnode, b.i) {
+				continue
+			}
+			if d.outOfBudget() {
+				return
+			}
+			d.res.Candidates++
+			// lfence flushes the prefetcher's training state: a fence on
+			// every path between the first index access and the second
+			// data access leaves it untrained when the prefetch would fire.
+			if d.fenceBetween(a.i, b.dnode) {
+				continue
+			}
+			// The prefetcher reads the next index element and its data
+			// line regardless of program bounds: a universal read.
+			if !d.wantClass(core.UDT) {
+				continue
+			}
+			key := candKey{kind: candIMP, a: a.i, b: b.dnode}
+			if seen[key] {
+				continue
+			}
+			qn[0], qn[1], qn[2], qn[3] = a.i, a.dnode, b.i, b.dnode
+			if d.queryArch(key, qn[:4], func() []*smt.Expr {
+				return []*smt.Expr{
+					d.a.Arch(a.i), d.a.Arch(a.dnode),
+					d.a.Arch(b.i), d.a.Arch(b.dnode),
+				}
+			}) {
+				seen[key] = true
+				d.res.Findings = append(d.res.Findings, Finding{
+					Fn: d.res.Fn, Class: core.UDT,
+					Transmit: b.dnode, Access: a.dnode, Index: b.i,
+					Branch: -1, Store: -1, Load: a.i,
+					// The training accesses are architectural; the leak is
+					// the prefetch the hardware issues alongside them.
+					TransientTransmit: false, TransientAccess: false,
+					Line: line(d.g.Nodes[b.dnode]),
+				})
+			}
+		}
+	}
+}
+
+// walkAddressed reports whether the index load's own address is computed
+// (a GEP) rather than a fixed slot: the prefetcher needs a striding
+// index stream, and a scalar reload (alloca or global) has stride zero.
+func walkAddressed(in *ir.Instr) bool {
+	a, ok := in.Args[0].(*ir.Instr)
+	return ok && (a.Op == ir.OpGEP || a.Op == ir.OpFieldGEP)
+}
+
+// runSS searches for silent-store transmitters: a store whose data
+// depends on a secret-holding load commits silently exactly when the
+// value already matches memory, so the presence/absence of the line
+// allocation transmits the comparison outcome (Fig. 5a). The channel is
+// control-shaped — one bit per store — so findings are CT, or UCT when
+// the attacker also steers which address is compared.
+func (d *detector) runSS() {
+	loads := d.loads()
+	exit := d.exitNode()
+	seen := map[candKey]bool{}
+
+	var qn [2]int
+	for _, s := range d.g.Nodes {
+		if !s.IsStore() || s.Instr == nil {
+			continue
+		}
+		if d.outOfBudget() {
+			return
+		}
+		feeders := d.valueFeeders(s, loads)
+		if len(feeders) == 0 {
+			continue
+		}
+		d.res.Candidates++
+		// A fence on every path from the store to the exit forces a
+		// verbatim drain: the write commits (and allocates) regardless of
+		// the compare, so no residue depends on the data.
+		if exit >= 0 && d.fenceBetween(s.ID, exit) {
+			continue
+		}
+		class := core.CT
+		if d.ta.AddressControlled(s) {
+			if d.pruner != nil && d.pruner.InBoundsAccess(s.Instr) {
+				// In-bounds store: the attacker steers within one object,
+				// not to arbitrary memory — only the universality claim
+				// dies, the one-bit channel remains.
+				d.res.Pruned++
+				d.dischargeCert(func() (*presolve.Certificate, bool) { return d.ps.CertInBounds(s) })
+			} else {
+				class = core.UCT
+			}
+		}
+		if !d.wantClass(class) {
+			continue
+		}
+		for _, aID := range feeders {
+			key := candKey{kind: candSS, a: s.ID, b: aID}
+			if seen[key] {
+				continue
+			}
+			qn[0], qn[1] = aID, s.ID
+			if d.queryArch(key, qn[:2], func() []*smt.Expr {
+				return []*smt.Expr{d.a.Arch(aID), d.a.Arch(s.ID)}
+			}) {
+				seen[key] = true
+				d.res.Findings = append(d.res.Findings, Finding{
+					Fn: d.res.Fn, Class: class,
+					Transmit: s.ID, Access: aID, Index: -1,
+					Branch: -1, Store: s.ID, Load: -1,
+					TransientTransmit: false, TransientAccess: false,
+					Line: line(s),
+				})
+				break // one witness per store; Counts dedups by transmitter
+			}
+		}
+	}
+}
+
+// valueFeeders returns the loads whose values flow into the store's data
+// operand — the secret sources a silent commit would compare against
+// memory — in load-ID order. Scalar alloca reloads are not feeders: a
+// -O0 spill slot only ever holds values the function computed itself
+// (arguments, locals), so a store sourced exclusively from them compares
+// attacker-known data against memory and leaks nothing.
+func (d *detector) valueFeeders(s *acfg.Node, loads []*acfg.Node) []int {
+	if len(s.ArgDefs) == 0 || len(s.ArgDefs[0]) == 0 {
+		return nil
+	}
+	var out []int
+	for _, acc := range loads {
+		if acc.ID == s.ID || allocaReload(acc) {
+			continue
+		}
+		r := d.flowFrom(acc.ID)
+		for _, def := range s.ArgDefs[0] {
+			if ok, _ := r.reaches(def); ok {
+				out = append(out, acc.ID)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// allocaReload reports whether the load reads a scalar stack slot
+// directly (its address operand is an alloca instruction).
+func allocaReload(n *acfg.Node) bool {
+	if n.Instr == nil || len(n.Instr.Args) == 0 {
+		return false
+	}
+	a, ok := n.Instr.Args[0].(*ir.Instr)
+	return ok && a.Op == ir.OpAlloca
+}
+
+// exitNode returns the function's synthetic exit node, -1 if absent.
+func (d *detector) exitNode() int {
+	for _, n := range d.g.Nodes {
+		if n.Kind == acfg.NExit {
+			return n.ID
+		}
+	}
+	return -1
+}

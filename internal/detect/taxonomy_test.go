@@ -1,0 +1,204 @@
+package detect
+
+import (
+	"testing"
+
+	"lcm/internal/core"
+)
+
+const psfGadgetSrc = `
+uint8_t sec_ary[16];
+uint8_t pub_ary[131072];
+uint32_t sec_slot;
+uint32_t pub_idx;
+uint8_t tmp;
+void psfv(uint32_t idx) {
+	sec_slot = sec_ary[idx & 15];
+	uint32_t j = pub_idx;
+	tmp &= pub_ary[(j & 255) * 512];
+}
+void psfv_fenced(uint32_t idx) {
+	sec_slot = sec_ary[idx & 15];
+	lfence();
+	uint32_t j = pub_idx;
+	tmp &= pub_ary[(j & 255) * 512];
+}
+`
+
+func TestPSFDetectsAliasForward(t *testing.T) {
+	r := analyze(t, psfGadgetSrc, "psfv", DefaultPSF())
+	if !hasClass(r, core.UDT) {
+		t.Fatalf("PSF UDT not found; findings: %v", r.Findings)
+	}
+	for _, f := range r.Findings {
+		if f.Class != core.UDT {
+			continue
+		}
+		if f.Store < 0 || f.Load < 0 {
+			t.Errorf("PSF finding lacks the forwarding pair: %+v", f)
+		}
+		if !f.TransientTransmit {
+			t.Errorf("PSF transmit not transient: %+v", f)
+		}
+	}
+	if r.Candidates == 0 {
+		t.Error("no candidates counted")
+	}
+}
+
+func TestPSFFenceSuppressesDetection(t *testing.T) {
+	r := analyze(t, psfGadgetSrc, "psfv_fenced", DefaultPSF())
+	if len(r.Findings) != 0 {
+		t.Errorf("findings despite the draining fence: %v", r.Findings)
+	}
+}
+
+func TestPSFExactForwardNotFlagged(t *testing.T) {
+	// The reload reads exactly the slot just stored: the forward is
+	// architecturally correct, and the value it carries is the attacker's
+	// own index — nothing mispredicted, nothing secret.
+	r := analyze(t, `
+		uint32_t slot;
+		uint8_t pub_ary[131072];
+		uint8_t tmp;
+		void correct(uint32_t idx) {
+			slot = idx & 15;
+			uint32_t j = slot;
+			tmp &= pub_ary[j * 512];
+		}
+	`, "correct", DefaultPSF())
+	for _, f := range r.Findings {
+		sn := r.Graph.Nodes[f.Store]
+		ln := r.Graph.Nodes[f.Load]
+		if mustAliasExact(sn, ln) {
+			t.Errorf("exact same-address forward flagged: %+v", f)
+		}
+	}
+}
+
+const impGadgetSrc = `
+uint8_t idx_ary[16];
+uint8_t data_ary[131072];
+uint8_t tmp;
+void walk(uint32_t n) {
+	for (uint32_t i = 0; i < n; i++) {
+		tmp &= data_ary[idx_ary[i & 7]];
+	}
+}
+void walk_fenced(uint32_t n) {
+	for (uint32_t i = 0; i < n; i++) {
+		lfence();
+		tmp &= data_ary[idx_ary[i & 7]];
+	}
+}
+void walk_direct(uint32_t n) {
+	for (uint32_t i = 0; i < n; i++) {
+		tmp &= data_ary[i & 7];
+	}
+}
+`
+
+func TestIMPDetectsTrainedWalk(t *testing.T) {
+	r := analyze(t, impGadgetSrc, "walk", DefaultIMP())
+	if !hasClass(r, core.UDT) {
+		t.Fatalf("IMP UDT not found; findings: %v", r.Findings)
+	}
+	for _, f := range r.Findings {
+		if f.Class != core.UDT {
+			continue
+		}
+		if f.Load < 0 || f.Index < 0 {
+			t.Errorf("IMP finding lacks the dependent pair instances: %+v", f)
+		}
+		if f.TransientTransmit {
+			t.Errorf("IMP training accesses are architectural: %+v", f)
+		}
+	}
+}
+
+func TestIMPFenceSuppressesDetection(t *testing.T) {
+	r := analyze(t, impGadgetSrc, "walk_fenced", DefaultIMP())
+	if len(r.Findings) != 0 {
+		t.Errorf("findings despite per-iteration fences: %v", r.Findings)
+	}
+}
+
+func TestIMPNoDependentPairClean(t *testing.T) {
+	// Direct induction-variable indexing: the only address feeder is a
+	// scalar reload with stride zero, which cannot train the prefetcher.
+	r := analyze(t, impGadgetSrc, "walk_direct", DefaultIMP())
+	if len(r.Findings) != 0 {
+		t.Errorf("findings without a dependent load pair: %v", r.Findings)
+	}
+}
+
+const ssGadgetSrc = `
+uint8_t sec_ary[16];
+uint8_t buf[256];
+uint8_t guess;
+uint32_t slot;
+void ss_fixed(uint32_t idx) {
+	slot = sec_ary[idx & 15];
+}
+void ss_addr(uint32_t idx) {
+	buf[idx] = guess;
+}
+void ss_fenced(uint32_t idx) {
+	slot = sec_ary[idx & 15];
+	lfence();
+}
+void ss_const(uint32_t idx) {
+	slot = 5;
+}
+`
+
+func TestSSDetectsSilentStore(t *testing.T) {
+	r := analyze(t, ssGadgetSrc, "ss_fixed", DefaultSS())
+	if !hasClass(r, core.CT) {
+		t.Fatalf("silent-store CT not found; findings: %v", r.Findings)
+	}
+	for _, f := range r.Findings {
+		if f.Store < 0 || f.Store != f.Transmit {
+			t.Errorf("SS finding's transmitter is not the store: %+v", f)
+		}
+		if f.Access < 0 {
+			t.Errorf("SS finding lacks the secret source: %+v", f)
+		}
+	}
+}
+
+func TestSSAttackerAddressedIsUCT(t *testing.T) {
+	r := analyze(t, ssGadgetSrc, "ss_addr", DefaultSS())
+	if !hasClass(r, core.UCT) {
+		t.Fatalf("attacker-addressed silent store not UCT; findings: %v", r.Findings)
+	}
+}
+
+func TestSSFenceSuppressesDetection(t *testing.T) {
+	r := analyze(t, ssGadgetSrc, "ss_fenced", DefaultSS())
+	if len(r.Findings) != 0 {
+		t.Errorf("findings despite the verbatim-drain fence: %v", r.Findings)
+	}
+}
+
+func TestSSConstantStoreClean(t *testing.T) {
+	r := analyze(t, ssGadgetSrc, "ss_const", DefaultSS())
+	if len(r.Findings) != 0 {
+		t.Errorf("findings for a constant store: %v", r.Findings)
+	}
+}
+
+func TestParseEngine(t *testing.T) {
+	for _, e := range Engines() {
+		short := e.String()[len("clou-"):]
+		for _, name := range []string{short, e.String()} {
+			got, err := ParseEngine(name)
+			if err != nil || got != e {
+				t.Errorf("ParseEngine(%q) = %v, %v; want %v", name, got, err, e)
+			}
+		}
+	}
+	if _, err := ParseEngine("bogus"); err == nil {
+		t.Error("ParseEngine accepted an unknown engine")
+	}
+}

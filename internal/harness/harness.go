@@ -151,12 +151,7 @@ func CacheStats() (hits, misses int64) { return analysisCache.Stats() }
 func ResetFrontendCache() { analysisCache = detect.NewCache() }
 
 func clouConfig(engine detect.Engine, opts Options, universalOnly bool, span *obsv.Span) detect.Config {
-	var cfg detect.Config
-	if engine == detect.PHT {
-		cfg = detect.DefaultPHT()
-	} else {
-		cfg = detect.DefaultSTL()
-	}
+	cfg := detect.DefaultConfig(engine)
 	cfg.Timeout = opts.FuncTimeout
 	cfg.MaxQueries = opts.MaxQueries
 	cfg.ShardWorkers = opts.Parallelism
@@ -190,18 +185,24 @@ func (r *Row) addResult(res *detect.Result) {
 }
 
 // RunLitmusSuite produces the Clou and baseline rows for one suite
-// ("pht", "stl", "fwd", "new").
+// ("pht", "stl", "fwd", "new", "psf", "imp", "ss").
 func RunLitmusSuite(suite string, opts Options) ([]Row, error) {
 	opts.defaults()
 	root := opts.Tracer.Start("litmus-" + suite)
 	defer root.End()
 	cases := litmus.Suites()[suite]
 	engines := []detect.Engine{detect.PHT}
-	if suite == "stl" {
+	switch suite {
+	case "stl":
 		engines = []detect.Engine{detect.STL}
-	}
-	if suite == "fwd" || suite == "new" {
+	case "fwd", "new":
 		engines = []detect.Engine{detect.PHT, detect.STL}
+	case "psf":
+		engines = []detect.Engine{detect.PSF}
+	case "imp":
+		engines = []detect.Engine{detect.IMP}
+	case "ss":
+		engines = []detect.Engine{detect.SS}
 	}
 
 	// Clou jobs: engine-major over the suite's cases.
@@ -231,7 +232,13 @@ func RunLitmusSuite(suite string, opts Options) ([]Row, error) {
 		rows = append(rows, row)
 	}
 
-	// Baseline rows.
+	// Baseline rows. The Blade/oo7-style baseline only models branch and
+	// store-bypass speculation, so the taxonomy suites get no baseline —
+	// there is nothing meaningful for it to measure there.
+	switch suite {
+	case "psf", "imp", "ss":
+		return rows, nil
+	}
 	bres := make([]*baseline.Result, len(engines)*len(cases))
 	err = ForEachSpan(root, "baseline", opts.Parallelism, len(bres), func(i int, _ *obsv.Span) error {
 		e, c := engines[i/len(cases)], cases[i%len(cases)]

@@ -519,6 +519,9 @@ func All() []Case {
 	out = append(out, STL()...)
 	out = append(out, FWD()...)
 	out = append(out, NEW()...)
+	out = append(out, PSF()...)
+	out = append(out, IMP()...)
+	out = append(out, SS()...)
 	return out
 }
 
@@ -529,5 +532,8 @@ func Suites() map[string][]Case {
 		"stl": STL(),
 		"fwd": FWD(),
 		"new": NEW(),
+		"psf": PSF(),
+		"imp": IMP(),
+		"ss":  SS(),
 	}
 }

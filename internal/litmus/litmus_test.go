@@ -42,8 +42,22 @@ func TestSuiteSizesMatchPaper(t *testing.T) {
 	if n := len(NEW()); n != 2 {
 		t.Errorf("new = %d, want 2", n)
 	}
-	if n := len(All()); n != 36 {
-		t.Errorf("total = %d, want 36 (§6: 36 Spectre benchmarks)", n)
+	paper := len(PHT()) + len(STL()) + len(FWD()) + len(NEW())
+	if paper != 36 {
+		t.Errorf("paper suites total = %d, want 36 (§6: 36 Spectre benchmarks)", paper)
+	}
+	// The taxonomy suites (psf/imp/ss) extend the corpus beyond the
+	// paper's Spectre benchmarks to the remaining Table 1 transmitters.
+	for _, s := range []struct {
+		name  string
+		cases []Case
+	}{{"psf", PSF()}, {"imp", IMP()}, {"ss", SS()}} {
+		if n := len(s.cases); n != 4 {
+			t.Errorf("%s = %d, want 4", s.name, n)
+		}
+	}
+	if n, want := len(All()), paper+12; n != want {
+		t.Errorf("total = %d, want %d", n, want)
 	}
 }
 
@@ -59,8 +73,15 @@ func analyzeCase(t *testing.T, c Case) *detect.Result {
 		t.Fatalf("%s: %v", c.Name, err)
 	}
 	cfg := detect.DefaultPHT()
-	if c.Suite == "stl" {
+	switch c.Suite {
+	case "stl":
 		cfg = detect.DefaultSTL()
+	case "psf":
+		cfg = detect.DefaultPSF()
+	case "imp":
+		cfg = detect.DefaultIMP()
+	case "ss":
+		cfg = detect.DefaultSS()
 	}
 	r, err := detect.AnalyzeFunc(m, c.Fn, cfg)
 	if err != nil {
@@ -122,6 +143,28 @@ func TestFWDAndNEWDetectedByPHTEngine(t *testing.T) {
 			r := analyzeCase(t, c)
 			if len(r.Findings) == 0 {
 				t.Errorf("%s: no findings", c.Name)
+			}
+		}
+	}
+}
+
+func TestTaxonomyIntendedTransmittersFound(t *testing.T) {
+	// Each taxonomy engine must flag every leaking case in its family at
+	// the intended class and stay clean on the patched/clean variants.
+	for _, suite := range []string{"psf", "imp", "ss"} {
+		for _, c := range Suites()[suite] {
+			r := analyzeCase(t, c)
+			if c.Secure {
+				if len(r.Findings) != 0 {
+					t.Errorf("%s (intended secure): findings %v", c.Name, r.Findings)
+				}
+				continue
+			}
+			got := r.Counts()
+			for _, want := range c.Intended {
+				if got[want] == 0 {
+					t.Errorf("%s: intended %v not found; counts=%v", c.Name, want, got)
+				}
 			}
 		}
 	}

@@ -1,0 +1,186 @@
+package litmus
+
+import "lcm/internal/core"
+
+// The taxonomy suites cover the transmitters of Table 1 beyond branch
+// prediction and store-to-load bypass: speculative store forwarding via
+// alias prediction (litmus-psf), the indirect memory prefetcher
+// (litmus-imp, Fig. 5b), and silent stores (litmus-ss, Fig. 5a). Each
+// suite pairs leaking gadgets with patched (lfence) and structurally
+// clean variants, and each case is shaped so the uarch simulator can
+// witness — or refute — the leak by two-secret distinguishability.
+
+const psfPrelude = `
+void lfence(void);
+uint8_t sec_ary[16];
+uint8_t pub_ary[131072];
+uint32_t sec_slot;
+uint32_t pub_idx;
+uint8_t temp;
+`
+
+// PSF returns the litmus-psf suite: a store of secret data is in flight
+// when a younger, non-aliasing load issues; the alias predictor wrongly
+// forwards the secret, which steers a transient transmitter.
+func PSF() []Case {
+	return []Case{
+		{
+			Name: "psf01", Suite: "psf", Fn: "psf_1",
+			Intended: []core.Class{core.UDT},
+			Note:     "secret store in flight; mispredicted forward to an unrelated load steers the transmitter",
+			Source: psfPrelude + `
+void psf_1(uint32_t idx) {
+	sec_slot = sec_ary[idx & 15];
+	uint32_t j = pub_idx;
+	temp &= pub_ary[(j & 255) * 512];
+}`,
+		},
+		{
+			Name: "psf02", Suite: "psf", Fn: "psf_2",
+			Intended: []core.Class{core.UDT},
+			Note:     "variant with arithmetic between the forward and the transmit",
+			Source: psfPrelude + `
+void psf_2(uint32_t idx) {
+	sec_slot = sec_ary[idx & 15];
+	uint32_t j = pub_idx + 1;
+	temp &= pub_ary[(j & 255) * 512];
+}`,
+		},
+		{
+			Name: "psf03", Suite: "psf", Fn: "psf_3",
+			Secure: true,
+			Note:   "fence drains the store buffer: nothing left to forward",
+			Source: psfPrelude + `
+void psf_3(uint32_t idx) {
+	sec_slot = sec_ary[idx & 15];
+	lfence();
+	uint32_t j = pub_idx;
+	temp &= pub_ary[(j & 255) * 512];
+}`,
+		},
+		{
+			Name: "psf04", Suite: "psf", Fn: "psf_4",
+			Secure: true,
+			Note:   "secret store in flight but no dependent access after it: nothing transmits",
+			Source: psfPrelude + `
+void psf_4(uint32_t idx) {
+	sec_slot = sec_ary[idx & 15];
+	temp = 0;
+}`,
+		},
+	}
+}
+
+const impPrelude = `
+void lfence(void);
+uint8_t idx_ary[16];
+uint8_t data_ary[131072];
+uint8_t temp;
+`
+
+// IMP returns the litmus-imp suite: a dependent load-pair walk trains
+// the indirect memory prefetcher, which then dereferences the NEXT index
+// element on its own — a universal read of memory the program never
+// architecturally touches (Fig. 5b).
+func IMP() []Case {
+	return []Case{
+		{
+			Name: "imp01", Suite: "imp", Fn: "imp_1",
+			Intended: []core.Class{core.UDT},
+			Note:     "index-walk gadget: the prefetcher reads idx_ary one element past the loop",
+			Source: impPrelude + `
+void imp_1(uint32_t n) {
+	for (uint32_t i = 0; i < n; i++) {
+		temp &= data_ary[idx_ary[i & 7]];
+	}
+}`,
+		},
+		{
+			Name: "imp02", Suite: "imp", Fn: "imp_2",
+			Intended: []core.Class{core.UDT},
+			Note:     "scaled mapping: the prefetcher fits addr = base + 2*value",
+			Source: impPrelude + `
+void imp_2(uint32_t n) {
+	for (uint32_t i = 0; i < n; i++) {
+		temp &= data_ary[idx_ary[i & 7] * 2];
+	}
+}`,
+		},
+		{
+			Name: "imp03", Suite: "imp", Fn: "imp_3",
+			Secure: true,
+			Note:   "per-iteration fence flushes the prefetcher's training state",
+			Source: impPrelude + `
+void imp_3(uint32_t n) {
+	for (uint32_t i = 0; i < n; i++) {
+		lfence();
+		temp &= data_ary[idx_ary[i & 7]];
+	}
+}`,
+		},
+		{
+			Name: "imp04", Suite: "imp", Fn: "imp_4",
+			Secure: true,
+			Note:   "induction-variable indexing: no dependent load pair, stride-zero index stream",
+			Source: impPrelude + `
+void imp_4(uint32_t n) {
+	for (uint32_t i = 0; i < n; i++) {
+		temp &= data_ary[i & 7];
+	}
+}`,
+		},
+	}
+}
+
+const ssPrelude = `
+void lfence(void);
+uint8_t sec_ary[16];
+uint8_t buf[256];
+uint8_t guess;
+uint32_t slot;
+`
+
+// SS returns the litmus-ss suite: a store of secret-derived data commits
+// silently exactly when the value already matches memory, so the line
+// allocation's presence transmits the comparison outcome (Fig. 5a).
+func SS() []Case {
+	return []Case{
+		{
+			Name: "ss01", Suite: "ss", Fn: "ss_1",
+			Intended: []core.Class{core.CT},
+			Note:     "secret written to a fixed slot: elision leaks secret == old content",
+			Source: ssPrelude + `
+void ss_1(uint32_t idx) {
+	slot = sec_ary[idx & 15];
+}`,
+		},
+		{
+			Name: "ss02", Suite: "ss", Fn: "ss_2",
+			Intended: []core.Class{core.UCT},
+			Note:     "attacker-addressed target: elision leaks whether buf[idx] equals the guess",
+			Source: ssPrelude + `
+void ss_2(uint32_t idx) {
+	buf[idx] = guess;
+}`,
+		},
+		{
+			Name: "ss03", Suite: "ss", Fn: "ss_3",
+			Secure: true,
+			Note:   "fence before return forces a verbatim commit: the line is always allocated",
+			Source: ssPrelude + `
+void ss_3(uint32_t idx) {
+	slot = sec_ary[idx & 15];
+	lfence();
+}`,
+		},
+		{
+			Name: "ss04", Suite: "ss", Fn: "ss_4",
+			Secure: true,
+			Note:   "stored value derives only from the attacker's own argument: no secret to compare",
+			Source: ssPrelude + `
+void ss_4(uint32_t idx) {
+	slot = idx & 15;
+}`,
+		},
+	}
+}

@@ -8,12 +8,16 @@ import (
 	"lcm/internal/detect"
 	"lcm/internal/mcm"
 	"lcm/internal/prog"
+	"lcm/internal/simdiff"
+	"lcm/internal/uarch"
 )
 
 // Gadget is an abstract leakage shape rendered twice: as mini-C (Src, fed
-// to the symbolic Clou pipeline) and as a litmus program (Prog, fed to
-// bounded candidate-execution enumeration). The two renderings are built
-// from the same template parameters, so a verdict disagreement is a bug
+// to the symbolic Clou pipeline) and as an independent reference — either
+// a litmus program (Prog, fed to bounded candidate-execution enumeration)
+// or, for the taxonomy transmitters the litmus IR cannot express, a
+// two-secret distinguishability experiment on the uarch simulator (Sim,
+// run with the transmitter on and off). A verdict disagreement is a bug
 // in one of the engines — the differential oracle's invariant, extending
 // the pinned divergence-table pattern of internal/attacks/diff_test.go.
 type Gadget struct {
@@ -22,6 +26,10 @@ type Gadget struct {
 	Engine detect.Engine
 	Prog   *prog.Program
 	Expand prog.ExpandOptions
+	// Sim-backed gadgets (Prog == nil): the experiment plus the machine
+	// configurations with the transmitter under test enabled/disabled.
+	Sim           *simdiff.Spec
+	SimOn, SimOff uarch.Config
 }
 
 // EnumLeaks runs bounded enumeration over the gadget's litmus rendering
@@ -40,13 +48,19 @@ func (g *Gadget) EnumLeaks() bool {
 func genGadget(rng *rand.Rand) *Gadget {
 	npad := rng.Intn(3)
 	mult := 256 + 256*rng.Intn(2)
-	switch rng.Intn(4) {
+	switch rng.Intn(7) {
 	case 0:
 		return gadgetV1(npad, mult)
 	case 1:
 		return gadgetV1Variant(npad, mult)
 	case 2:
 		return gadgetV4(npad, mult)
+	case 3:
+		return gadgetPSF(npad, mult)
+	case 4:
+		return gadgetIMP(npad, mult)
+	case 5:
+		return gadgetSS()
 	default:
 		return gadgetSafeMasked(npad)
 	}
@@ -67,6 +81,8 @@ func pad(npad int) (src string, nodes []prog.Node) {
 
 const gadgetHeader = `uint8_t A[16];
 uint8_t B[131072];
+uint8_t C[16];
+uint8_t D[256];
 uint32_t size_A = 16;
 uint8_t tmp;
 uint32_t slot;
@@ -151,6 +167,78 @@ func gadgetV4(npad, mult int) *Gadget {
 		Engine: detect.STL,
 		Prog:   &prog.Program{Name: "gen-v4", Threads: [][]prog.Node{thread}},
 		Expand: prog.ExpandOptions{Depth: 2, XStateForLocation: true, Observer: true, AddressSpeculation: true},
+	}
+}
+
+// gadgetPSF is the alias-forward shape (litmus-psf): the in-flight
+// secret store is wrongly forwarded to the unrelated pub0 load, steering
+// the dependent transmitter. The reference is the simulator with alias
+// prediction on/off.
+func gadgetPSF(npad, mult int) *Gadget {
+	padSrc, _ := pad(npad)
+	body := padSrc + fmt.Sprintf(
+		"\tslot = A[y & 15];\n\tuint32_t j = pub0;\n\ttmp &= B[(j & 255) * %d];\n", mult)
+	return &Gadget{
+		Name:   fmt.Sprintf("psf/pad%d/mult%d", npad, mult),
+		Src:    gadgetSrc(body),
+		Engine: detect.PSF,
+		Sim: &simdiff.Spec{
+			Fn: "victim", Args: []uint64{5},
+			Secret: simdiff.Write{Global: "A", Off: 5},
+			V1:     7, V2: 203,
+		},
+		SimOn:  uarch.Config{PSF: true},
+		SimOff: uarch.Config{},
+	}
+}
+
+// gadgetIMP is the trained-walk shape (litmus-imp): a constant-bound
+// dependent load-pair walk trains the prefetcher, which then reads the
+// next index element on its own. The loop bound stays constant so the
+// architectural oracles replay in bounded time on every input vector.
+func gadgetIMP(npad, mult int) *Gadget {
+	padSrc, _ := pad(npad)
+	body := padSrc + fmt.Sprintf(
+		"\tfor (uint32_t i = 0; i < 8; i++) {\n\t\ttmp &= B[C[i & 7] * %d];\n\t}\n", mult)
+	sim := &simdiff.Spec{
+		Fn: "victim", Args: []uint64{0},
+		Secret: simdiff.Write{Global: "C", Off: 8},
+		V1:     100, V2: 200,
+	}
+	for i := 0; i < 8; i++ {
+		sim.Init = append(sim.Init, simdiff.Write{Global: "C", Off: uint64(i), Val: uint64(i + 1)})
+	}
+	return &Gadget{
+		Name:   fmt.Sprintf("imp/pad%d/mult%d", npad, mult),
+		Src:    gadgetSrc(body),
+		Engine: detect.IMP,
+		Sim:    sim,
+		SimOn:  uarch.Config{IMP: true, ROB: -1},
+		SimOff: uarch.Config{ROB: -1},
+	}
+}
+
+// gadgetSS is the silent-store shape (litmus-ss): the store of secret
+// data commits silently exactly when the value matches the target's old
+// content, so the line allocation transmits the compare. The target is
+// an interior element of D that nothing ever loads (a reload would keep
+// the line resident in both runs), and there is no pad: pad stores to
+// slot are themselves silent-store channels for memory the experiment
+// does not vary, which would make the engine's verdict and the
+// experiment's verdict diverge for the wrong reason.
+func gadgetSS() *Gadget {
+	body := "\tD[128] = A[y & 15];\n"
+	return &Gadget{
+		Name:   "ss/basic",
+		Src:    gadgetSrc(body),
+		Engine: detect.SS,
+		Sim: &simdiff.Spec{
+			Fn: "victim", Args: []uint64{5},
+			Secret: simdiff.Write{Global: "A", Off: 5},
+			V1:     0, V2: 1,
+		},
+		SimOn:  uarch.Config{SilentStores: true},
+		SimOff: uarch.Config{},
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"lcm/internal/lower"
 	"lcm/internal/minic"
 	"lcm/internal/repair"
+	"lcm/internal/simdiff"
 	"lcm/internal/uarch"
 )
 
@@ -31,11 +32,14 @@ func (f Failure) Error() string {
 }
 
 // Oracles lists every oracle family member in a fixed order. "compile",
-// "uarch", and "presolve" run on all programs, "repair-*" on leaky ones,
-// "meta-*" wherever a rewrite applies, and "diff-enum" on gadget
-// subjects only.
+// "uarch", and "presolve" run on all programs, "repair-*" on leaky ones
+// (one per detection engine), "meta-*" wherever a rewrite applies, and
+// "diff-enum"/"diff-sim" on gadget subjects only.
 func Oracles() []string {
-	return []string{"compile", "repair-pht", "repair-stl", "meta-alpha", "meta-dead", "meta-reorder", "presolve", "uarch", "diff-enum"}
+	return []string{"compile",
+		"repair-pht", "repair-stl", "repair-psf", "repair-imp", "repair-ss",
+		"meta-alpha", "meta-dead", "meta-reorder", "presolve", "uarch",
+		"diff-enum", "diff-sim"}
 }
 
 // conformCfg is the detection configuration all oracles share. LSQ and
@@ -44,15 +48,16 @@ func Oracles() []string {
 // must not flip because a candidate pair drifted across a queue-capacity
 // boundary — the invariant is about the leak, not the queue geometry.
 func conformCfg(e detect.Engine) detect.Config {
-	var cfg detect.Config
-	if e == detect.PHT {
-		cfg = detect.DefaultPHT()
-	} else {
-		cfg = detect.DefaultSTL()
-	}
+	cfg := detect.DefaultConfig(e)
 	cfg.AEG = aeg.Options{ROB: 250, LSQ: 250, Wsize: 250}
 	cfg.Timeout = 60 * time.Second
 	return cfg
+}
+
+// engineTag is the short engine name used in oracle names and count keys
+// ("pht", "stl", "psf", "imp", "ss").
+func engineTag(e detect.Engine) string {
+	return strings.TrimPrefix(e.String(), "clou-")
 }
 
 func compileSrc(src string) (*ir.Module, error) {
@@ -95,7 +100,7 @@ func classify(src, fn string) (Verdict, error) {
 	if err != nil {
 		return v, err
 	}
-	for _, e := range []detect.Engine{detect.PHT, detect.STL} {
+	for _, e := range detect.Engines() {
 		res, err := detect.AnalyzeFuncLadder(context.Background(), m, fn, conformCfg(e))
 		if err != nil {
 			return v, fmt.Errorf("detect %v: %w", e, err)
@@ -106,10 +111,7 @@ func classify(src, fn string) (Verdict, error) {
 		if res.Rung == detect.RungUnknown {
 			continue
 		}
-		name := "pht"
-		if e == detect.STL {
-			name = "stl"
-		}
+		name := engineTag(e)
 		for class, n := range res.Counts() {
 			v.Counts[name+"/"+class.String()] = n
 		}
@@ -220,6 +222,12 @@ func RunOracle(name, src, fn string) *Failure {
 		return repairOracle(src, fn, detect.PHT)
 	case "repair-stl":
 		return repairOracle(src, fn, detect.STL)
+	case "repair-psf":
+		return repairOracle(src, fn, detect.PSF)
+	case "repair-imp":
+		return repairOracle(src, fn, detect.IMP)
+	case "repair-ss":
+		return repairOracle(src, fn, detect.SS)
 	case "meta-alpha", "meta-dead", "meta-reorder":
 		return metaOracle(strings.TrimPrefix(name, "meta-"), src, fn)
 	case "presolve":
@@ -246,11 +254,8 @@ func presolveOracle(src, fn string) *Failure {
 	if err != nil {
 		return nil
 	}
-	for _, engine := range []detect.Engine{detect.PHT, detect.STL} {
-		tag := "pht"
-		if engine == detect.STL {
-			tag = "stl"
-		}
+	for _, engine := range detect.Engines() {
+		tag := engineTag(engine)
 		cfg := conformCfg(engine)
 		with, err := detect.AnalyzeFunc(m, fn, cfg)
 		if err != nil || with.TimedOut || with.Fault != nil {
@@ -302,10 +307,7 @@ func countsOf(res *detect.Result) map[string]int {
 // re-detection under the same engine finds nothing, and the repaired
 // program is architecturally unchanged on every replay input.
 func repairOracle(src, fn string, engine detect.Engine) *Failure {
-	name := "repair-pht"
-	if engine == detect.STL {
-		name = "repair-stl"
-	}
+	name := "repair-" + engineTag(engine)
 	m, err := compileSrc(src)
 	if err != nil {
 		return nil
@@ -359,8 +361,28 @@ func repairOracle(src, fn string, engine detect.Engine) *Failure {
 	return nil
 }
 
+// stableCounts filters a verdict's count map down to the engines whose
+// candidate sets are invariant under the metamorphic rewrites. PHT and
+// STL candidates are anchored in control and data dependence, which
+// alpha-renaming, dead code, and reordering preserve. The taxonomy
+// engines (psf/imp/ss) are order-sensitive by design: store/load program
+// order decides which pairs can alias-forward, a dead store is a real
+// silent-store channel, and reordering changes which load pairs form a
+// trainable walk — the rewrites preserve architectural semantics but not
+// microarchitectural leakage, which is exactly why fences repair them.
+func stableCounts(c map[string]int) map[string]int {
+	out := map[string]int{}
+	for k, v := range c {
+		if strings.HasPrefix(k, "pht/") || strings.HasPrefix(k, "stl/") {
+			out[k] = v
+		}
+	}
+	return out
+}
+
 // metaOracle checks verdict invariance under one semantics-preserving
-// rewrite: per-class transmitter counts must match exactly.
+// rewrite: per-class transmitter counts must match exactly for the
+// rewrite-stable engines (see stableCounts).
 func metaOracle(rewrite, src, fn string) *Failure {
 	name := "meta-" + rewrite
 	base, err := classify(src, fn)
@@ -380,10 +402,10 @@ func metaOracle(rewrite, src, fn string) *Failure {
 		return &Failure{Oracle: name, Src: src,
 			Detail: fmt.Sprintf("rewritten program does not analyze: %v\nrewritten:\n%s", err, rewritten)}
 	}
-	if !countsEqual(base.Counts, after.Counts) {
+	if !countsEqual(stableCounts(base.Counts), stableCounts(after.Counts)) {
 		return &Failure{Oracle: name, Src: src,
 			Detail: fmt.Sprintf("verdict changed: %s -> %s\nrewritten:\n%s",
-				countsString(base.Counts), countsString(after.Counts), rewritten)}
+				countsString(stableCounts(base.Counts)), countsString(stableCounts(after.Counts)), rewritten)}
 	}
 	return nil
 }
@@ -435,12 +457,19 @@ var knownDivergences = map[string]string{
 	"safe-masked": "litmus rendering cannot express index masking; enumeration flags the access, range analysis discharges it",
 }
 
-// diffOracle cross-checks Clou's verdict on a gadget subject against
-// bounded candidate-execution enumeration of its litmus rendering.
+// diffOracle cross-checks Clou's verdict on a gadget subject against the
+// gadget's independent reference: bounded candidate-execution enumeration
+// of its litmus rendering ("diff-enum"), or — for the taxonomy shapes the
+// litmus IR cannot express — two-secret distinguishability on the uarch
+// simulator with the transmitter on and off ("diff-sim").
 func diffOracle(p Program) *Failure {
 	g := p.Gadget
 	if g == nil {
 		return nil
+	}
+	oracle := "diff-enum"
+	if g.Prog == nil {
+		oracle = "diff-sim"
 	}
 	m, err := compileSrc(p.Src)
 	if err != nil {
@@ -448,29 +477,53 @@ func diffOracle(p Program) *Failure {
 	}
 	res, err := detect.AnalyzeFunc(m, p.Fn, conformCfg(g.Engine))
 	if err != nil {
-		return &Failure{Oracle: "diff-enum", Src: p.Src, Seed: p.Seed, Index: p.Index,
+		return &Failure{Oracle: oracle, Src: p.Src, Seed: p.Seed, Index: p.Index,
 			Detail: fmt.Sprintf("gadget %s: detect failed: %v", g.Name, err)}
 	}
 	if res.TimedOut {
-		return &Failure{Oracle: "diff-enum", Src: p.Src, Seed: p.Seed, Index: p.Index,
+		return &Failure{Oracle: oracle, Src: p.Src, Seed: p.Seed, Index: p.Index,
 			Detail: fmt.Sprintf("gadget %s: detect timed out", g.Name)}
 	}
 	clouLeak := len(res.Findings) > 0
-	enumLeak := g.EnumLeaks()
+
+	var refLeak bool
+	switch {
+	case g.Prog != nil:
+		refLeak = g.EnumLeaks()
+	case g.Sim != nil:
+		on, err := simdiff.Distinguishes(m, g.SimOn, *g.Sim)
+		if err != nil {
+			return &Failure{Oracle: oracle, Src: p.Src, Seed: p.Seed, Index: p.Index,
+				Detail: fmt.Sprintf("gadget %s: simulator run failed: %v", g.Name, err)}
+		}
+		off, err := simdiff.Distinguishes(m, g.SimOff, *g.Sim)
+		if err != nil {
+			return &Failure{Oracle: oracle, Src: p.Src, Seed: p.Seed, Index: p.Index,
+				Detail: fmt.Sprintf("gadget %s: simulator run failed: %v", g.Name, err)}
+		}
+		if off {
+			return &Failure{Oracle: oracle, Src: p.Src, Seed: p.Seed, Index: p.Index,
+				Detail: fmt.Sprintf("gadget %s: residue depends on the secret with the transmitter disabled", g.Name)}
+		}
+		refLeak = on
+	default:
+		return nil
+	}
+
 	template := g.Name
 	if i := strings.IndexByte(template, '/'); i >= 0 {
 		template = template[:i]
 	}
 	if _, pinned := knownDivergences[template]; pinned {
-		if clouLeak != enumLeak {
+		if clouLeak != refLeak {
 			return nil // documented divergence, still present
 		}
-		return &Failure{Oracle: "diff-enum", Src: p.Src, Seed: p.Seed, Index: p.Index,
+		return &Failure{Oracle: oracle, Src: p.Src, Seed: p.Seed, Index: p.Index,
 			Detail: fmt.Sprintf("gadget %s: verdicts now agree; remove %q from knownDivergences", g.Name, template)}
 	}
-	if clouLeak != enumLeak {
-		return &Failure{Oracle: "diff-enum", Src: p.Src, Seed: p.Seed, Index: p.Index,
-			Detail: fmt.Sprintf("gadget %s: Clou leak=%v but enumeration leak=%v with no documented divergence", g.Name, clouLeak, enumLeak)}
+	if clouLeak != refLeak {
+		return &Failure{Oracle: oracle, Src: p.Src, Seed: p.Seed, Index: p.Index,
+			Detail: fmt.Sprintf("gadget %s: Clou leak=%v but reference leak=%v with no documented divergence", g.Name, clouLeak, refLeak)}
 	}
 	return nil
 }
@@ -497,7 +550,9 @@ func Check(p Program) (Verdict, []Failure) {
 		add(&Failure{Oracle: "compile", Detail: err.Error()})
 		return v, fails
 	}
-	for _, name := range []string{"repair-pht", "repair-stl", "meta-alpha", "meta-dead", "meta-reorder", "presolve", "uarch"} {
+	for _, name := range []string{
+		"repair-pht", "repair-stl", "repair-psf", "repair-imp", "repair-ss",
+		"meta-alpha", "meta-dead", "meta-reorder", "presolve", "uarch"} {
 		add(RunOracle(name, p.Src, p.Fn))
 	}
 	add(diffOracle(p))

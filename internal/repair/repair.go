@@ -95,9 +95,27 @@ func minimalFences(res *detect.Result) ([]*ir.Instr, error) {
 	type span struct{ from, to int }
 	var spans []span
 	for _, f := range res.Findings {
+		if f.Store >= 0 && f.Transmit == f.Store {
+			// Silent-store finding (Clou-ss): the store itself transmits
+			// when it commits, so there is no downstream transmitter to
+			// fence off. The cut is a serializing drain between the store
+			// and every reachable return — the fence forces a verbatim
+			// commit before the elision compare could fire.
+			for _, n := range g.Nodes {
+				if n.Instr != nil && n.Instr.Op == ir.OpRet && reaches(g, f.Store, n.ID) {
+					spans = append(spans, span{f.Store, n.ID})
+				}
+			}
+			continue
+		}
 		from := f.Branch
 		if from < 0 {
 			from = f.Store
+		}
+		if from < 0 {
+			// Clou-imp findings carry neither branch nor store: the
+			// window opens at the first trained index load.
+			from = f.Load
 		}
 		if from < 0 {
 			continue

@@ -223,6 +223,95 @@ func TestRepairMinimalityTwoGadgetsPHT(t *testing.T) {
 	checkRepairMinimal(t, m, "victim", cfg, res.Fences)
 }
 
+// TestRepairPSF: the alias-forward gadget is repaired by a draining
+// fence between the secret store and the steered transmitter, and the
+// fence is load-bearing.
+func TestRepairPSF(t *testing.T) {
+	m := compile(t, `
+		uint8_t sec_ary[16];
+		uint8_t pub_ary[131072];
+		uint32_t sec_slot;
+		uint32_t pub_idx;
+		uint8_t tmp;
+		void victim(uint32_t idx) {
+			sec_slot = sec_ary[idx & 15];
+			uint32_t j = pub_idx;
+			tmp &= pub_ary[(j & 255) * 512];
+		}
+	`)
+	cfg := detect.DefaultPSF()
+	res, err := Repair(m, "victim", cfg, 0)
+	if err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	if res.Remaining != 0 {
+		t.Fatalf("leakage remains: %d", res.Remaining)
+	}
+	if res.Fences < 1 {
+		t.Fatalf("fences = %d, want >= 1", res.Fences)
+	}
+	checkRepairMinimal(t, m, "victim", cfg, res.Fences)
+}
+
+// TestRepairIMP: the trained-walk gadget is repaired by a fence inside
+// the loop body, which flushes the prefetcher's training every
+// iteration.
+func TestRepairIMP(t *testing.T) {
+	m := compile(t, `
+		uint8_t idx_ary[16];
+		uint8_t data_ary[131072];
+		uint8_t tmp;
+		void victim(uint32_t n) {
+			for (uint32_t i = 0; i < n; i++) {
+				tmp &= data_ary[idx_ary[i & 7]];
+			}
+		}
+	`)
+	cfg := detect.DefaultIMP()
+	res, err := Repair(m, "victim", cfg, 0)
+	if err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	if res.Remaining != 0 {
+		t.Fatalf("leakage remains: %d", res.Remaining)
+	}
+	if res.Fences < 1 {
+		t.Fatalf("fences = %d, want >= 1", res.Fences)
+	}
+	checkRepairMinimal(t, m, "victim", cfg, res.Fences)
+}
+
+// TestRepairSS: a silent store has no downstream transmitter — the
+// repair is a serializing drain between the store and every return, and
+// one well-placed fence covers both exits of a diamond.
+func TestRepairSS(t *testing.T) {
+	m := compile(t, `
+		uint8_t sec_ary[16];
+		uint32_t slot;
+		uint8_t tmp;
+		void victim(uint32_t idx) {
+			slot = sec_ary[idx & 15];
+			if (idx & 1) {
+				tmp = 1;
+				return;
+			}
+			tmp = 2;
+		}
+	`)
+	cfg := detect.DefaultSS()
+	res, err := Repair(m, "victim", cfg, 0)
+	if err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	if res.Remaining != 0 {
+		t.Fatalf("leakage remains: %d", res.Remaining)
+	}
+	if res.Fences < 1 {
+		t.Fatalf("fences = %d, want >= 1", res.Fences)
+	}
+	checkRepairMinimal(t, m, "victim", cfg, res.Fences)
+}
+
 // TestRepairMinimalityTwoGadgetsSTL: same claim under the store-bypass
 // engine, with two independent masking-store/reload pairs.
 func TestRepairMinimalityTwoGadgetsSTL(t *testing.T) {

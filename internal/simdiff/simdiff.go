@@ -1,0 +1,82 @@
+// Package simdiff decides two-secret distinguishability on the uarch
+// simulator: run the same call twice under the same configuration,
+// differing only in one planted secret value, and compare the final
+// cache residues. A program leaks through a microarchitectural
+// transmitter exactly when some secret pair leaves distinct residue —
+// the operational counterpart of the axiomatic leakage predicate, used
+// to differentially test the static Clou engines.
+package simdiff
+
+import (
+	"fmt"
+	"slices"
+
+	"lcm/internal/ir"
+	"lcm/internal/uarch"
+)
+
+// Write plants a value into global memory before the call.
+type Write struct {
+	Global string
+	Off    uint64
+	Size   int // bytes; 0 means 1
+	Val    uint64
+}
+
+// Spec describes one distinguishability experiment: the victim call,
+// the public initial writes shared by both runs, and the secret
+// location with its two candidate values.
+type Spec struct {
+	Fn     string
+	Args   []uint64
+	Init   []Write
+	Secret Write // Val is ignored; V1 and V2 are planted instead
+	V1, V2 uint64
+}
+
+// Distinguishes runs sp.Fn twice under cfg — once with sp.V1 at the
+// secret location, once with sp.V2 — and reports whether the two runs
+// end with different cache residue. The architectural return values of
+// the two runs are not compared: committed state may legitimately
+// depend on the secret; only the cache side channel is at issue.
+func Distinguishes(m *ir.Module, cfg uarch.Config, sp Spec) (bool, error) {
+	s1, err := run(m, cfg, sp, sp.V1)
+	if err != nil {
+		return false, err
+	}
+	s2, err := run(m, cfg, sp, sp.V2)
+	if err != nil {
+		return false, err
+	}
+	return !slices.Equal(s1, s2), nil
+}
+
+func run(m *ir.Module, cfg uarch.Config, sp Spec, secret uint64) ([]uint64, error) {
+	ma := uarch.New(m, cfg)
+	for _, w := range sp.Init {
+		if err := plant(ma, w, w.Val); err != nil {
+			return nil, err
+		}
+	}
+	if err := plant(ma, sp.Secret, secret); err != nil {
+		return nil, err
+	}
+	ma.Flush()
+	if _, err := ma.Call(sp.Fn, sp.Args...); err != nil {
+		return nil, fmt.Errorf("%s: %w", sp.Fn, err)
+	}
+	return ma.Cache.Snapshot(), nil
+}
+
+func plant(ma *uarch.Machine, w Write, val uint64) error {
+	base, ok := ma.GlobalAddr(w.Global)
+	if !ok {
+		return fmt.Errorf("unknown global %q", w.Global)
+	}
+	size := w.Size
+	if size == 0 {
+		size = 1
+	}
+	ma.Mem.Store(base+w.Off, size, val)
+	return nil
+}

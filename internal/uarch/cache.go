@@ -55,6 +55,19 @@ func (c *Cache) Present(addr uint64) bool {
 	return c.valid[set] && c.tags[set] == tag
 }
 
+// Snapshot returns the full residue state — per-set tag, with invalid
+// sets mapped to a sentinel — so two runs can be compared for
+// distinguishability by an observer that sees all of xstate.
+func (c *Cache) Snapshot() []uint64 {
+	out := make([]uint64, c.sets)
+	for i := range out {
+		if c.valid[i] {
+			out[i] = c.tags[i] + 1 // +1 keeps tag 0 distinct from invalid
+		}
+	}
+	return out
+}
+
 // Flush invalidates every line (the attacker's prime/flush phase).
 func (c *Cache) Flush() {
 	for i := range c.valid {

@@ -18,6 +18,17 @@ type impState struct {
 	depCache map[*ir.Instr]*ir.Instr
 }
 
+// reset clears the prefetcher's training state (lfence flushes it); the
+// depCache survives since it is a pure IR fact, not observation history.
+func (s *impState) reset() {
+	if len(s.pairs) > 0 {
+		s.pairs = map[[2]*ir.Instr]*impPair{}
+	}
+	if len(s.lastLoad) > 0 {
+		s.lastLoad = map[*ir.Instr]loadSample{}
+	}
+}
+
 type loadSample struct {
 	addr   uint64
 	val    uint64

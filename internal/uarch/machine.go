@@ -17,6 +17,11 @@ type Config struct {
 	// StoreBypass enables Spectre v4 behaviour: a load whose address
 	// matches a pending store may transiently read the stale value.
 	StoreBypass bool
+	// PSF enables speculative store forwarding via alias prediction: a
+	// load with no same-address pending store may be predicted to alias
+	// the youngest buffered store and transiently run ahead with that
+	// store's (wrong) value before the prediction is squashed.
+	PSF bool
 	// SilentStores elides committed stores whose value matches memory
 	// (Fig. 5a): the cache line is not touched.
 	SilentStores bool
@@ -118,7 +123,7 @@ type mframe struct {
 func (ma *Machine) Call(fn string, args ...uint64) (uint64, error) {
 	ma.budget = ma.cfg.Budget
 	v, err := ma.run(fn, args, false)
-	ma.drainStores(true)
+	ma.drainStores(false)
 	return v, err
 }
 
@@ -166,6 +171,13 @@ func (ma *Machine) runBlock(fr *mframe, blk *ir.Block, transient bool) (*ir.Bloc
 				}
 				fr.vals[in] = pending
 			} else {
+				if ma.cfg.PSF && !transient && ma.cfg.ROB > 0 {
+					if v, ok := ma.psfPredict(); ok {
+						// Alias misprediction: transiently run ahead
+						// with the wrongly forwarded value.
+						ma.transientFrom(fr, blk, in, v)
+					}
+				}
 				fr.vals[in] = ma.Mem.Load(addr, size)
 			}
 		case ir.OpStore:
@@ -223,15 +235,19 @@ func (ma *Machine) runBlock(fr *mframe, blk *ir.Block, transient bool) (*ir.Bloc
 			}
 			return in.Else, 0, false, nil
 		case ir.OpRet:
-			ma.drainStores(true)
+			ma.drainStores(false)
 			if len(in.Args) == 1 {
 				return nil, ma.eval(fr, in.Args[0]), true, nil
 			}
 			return nil, 0, true, nil
 		case ir.OpFence:
 			// lfence: stop speculation (meaningful only as a transient
-			// barrier, handled in the transient executor) and drain the
-			// store buffer.
+			// barrier, handled in the transient executor), flush the
+			// prefetcher's training state, and drain the store buffer
+			// verbatim — a serializing fence commits writes without the
+			// silent-elision compare, so the fence leaves no
+			// value-dependent residue.
+			ma.imp.reset()
 			ma.drainStores(true)
 		}
 	}
@@ -276,9 +292,18 @@ func (ma *Machine) tickStores() {
 	}
 }
 
-func (ma *Machine) drainStores(all bool) {
+// drainStores empties the store buffer. A forced drain (lfence) commits
+// every entry verbatim — the fence serializes the writes and suppresses
+// silent elision, so it leaves no value-dependent residue. An unforced
+// drain (retire/return) commits through the normal path where silent
+// stores may still be elided.
+func (ma *Machine) drainStores(forced bool) {
 	for len(ma.storeBuf) > 0 {
-		ma.commitStore(ma.storeBuf[0])
+		if forced {
+			ma.commitStoreForced(ma.storeBuf[0])
+		} else {
+			ma.commitStore(ma.storeBuf[0])
+		}
 		ma.storeBuf = ma.storeBuf[1:]
 	}
 }
@@ -289,6 +314,22 @@ func (ma *Machine) commitStore(s bufStore) {
 	if ma.cfg.SilentStores && ma.Mem.Load(s.addr, s.size) == s.val {
 		return // silent: microarchitecturally a read, no allocation
 	}
+	ma.commitStoreForced(s)
+}
+
+// commitStoreForced commits a store unconditionally, always allocating
+// the line — the behaviour a serializing fence guarantees.
+func (ma *Machine) commitStoreForced(s bufStore) {
 	ma.Cache.Touch(s.addr)
 	ma.Mem.Store(s.addr, s.size, s.val)
+}
+
+// psfPredict models the alias predictor mispredicting a dependence: when
+// no pending store matches the load's address exactly, the youngest
+// buffered store's value is wrongly forwarded.
+func (ma *Machine) psfPredict() (uint64, bool) {
+	if n := len(ma.storeBuf); n > 0 {
+		return ma.storeBuf[n-1].val, true
+	}
+	return 0, false
 }
