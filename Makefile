@@ -51,6 +51,7 @@ audit-presolve: build
 fuzz:
 	$(GO) test -fuzz=FuzzMinicParse -fuzztime=10s ./internal/minic
 	$(GO) test -fuzz=FuzzLower -fuzztime=10s ./internal/lower
+	$(GO) test -fuzz=FuzzIncrementalSolve -fuzztime=10s ./internal/sat
 
 # conform runs the seeded conformance campaign (internal/progen): generate
 # CONFORM_N programs under CONFORM_SEED, run the repair-soundness,
@@ -104,8 +105,11 @@ bench-all:
 # seconds while still exercising the frontend, both engines, the pre-solver,
 # and the {1,8}-worker sweep. The artifact has the same shape as
 # BENCH_parallel.json and is uploaded from CI for trend inspection.
+# -assert-ablation gates the incremental residual path: a -nopresolve run
+# more than 3x slower than its presolve counterpart on any measurable
+# workload fails the job.
 bench-smoke:
-	$(GO) run ./cmd/benchjson -litmus-only -o BENCH_smoke.json
+	$(GO) run ./cmd/benchjson -litmus-only -assert-ablation 3 -o BENCH_smoke.json
 
 # profile captures CPU and allocation profiles for one benchmark
 # (default: the heaviest end-to-end workload). Inspect with

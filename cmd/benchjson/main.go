@@ -4,6 +4,7 @@
 // per workload:
 //
 //	{"litmus-pht": {"ns_per_op": ..., "workers": 4, "queries": ...,
+//	                "nopresolve_ns_per_op": ..., "ablation_ratio": ...,
 //	                "sweep": [{"workers": 1, "ns_per_op": ...}, ...]}, ...}
 //
 // It exists so `make bench` leaves a diffable artifact (BENCH_parallel.json)
@@ -17,12 +18,17 @@
 // ({1, 8}, plus -j when distinct), with the process-wide frontend cache
 // reset before each run so every point is a cold, comparable start. The
 // flat top-level fields keep the historical shape and report the -j run;
-// the "sweep" array carries the scaling curve.
+// the "sweep" array carries the scaling curve. Unless -nopresolve flips
+// the whole run, each workload is additionally measured once at -j width
+// with the static pre-solver disabled — the ablation column — and
+// -assert-ablation R fails the run if any workload's ablation is more
+// than R times slower than its presolve run (the incremental solver must
+// keep the residual path competitive even when *every* query reaches it).
 //
 // Usage:
 //
 //	benchjson [-j N] [-timeout 5s] [-donna-timeout 30s] [-o BENCH_parallel.json]
-//	benchjson -litmus-only -o BENCH_smoke.json   # CI smoke scale
+//	benchjson -litmus-only -assert-ablation 3 -o BENCH_smoke.json   # CI smoke scale
 package main
 
 import (
@@ -56,6 +62,21 @@ type entry struct {
 	// ablation baseline.
 	Discharged     int64 `json:"discharged"`
 	SkippedQueries int64 `json:"skipped_queries"`
+	// Incremental-solver counters of the -j run: assumption-trail literals
+	// reused across the per-function sweep, root facts promoted into
+	// clause-DB simplification, Tseitin gates emitted, and gate requests
+	// answered by the hash-cons table instead of fresh definitions.
+	PrefixLits    int64 `json:"prefix_lits"`
+	RootUnits     int64 `json:"root_units"`
+	TseitinGates  int64 `json:"tseitin_gates"`
+	TseitinShared int64 `json:"tseitin_shared"`
+	ModelHits     int64 `json:"model_hits"`
+	// Ablation column: the same workload at -j width with the static
+	// pre-solver disabled, so every candidate reaches the incremental
+	// solver. AblationRatio = NoPresolveNs / NsPerOp. Zero when the whole
+	// run is already an ablation (-nopresolve).
+	NoPresolveNs  int64   `json:"nopresolve_ns_per_op,omitempty"`
+	AblationRatio float64 `json:"ablation_ratio,omitempty"`
 
 	Sweep []point `json:"sweep"`
 }
@@ -65,8 +86,9 @@ func main() {
 	timeout := flag.Duration("timeout", 5*time.Second, "per-function budget for litmus suites and libraries")
 	donnaTimeout := flag.Duration("donna-timeout", 30*time.Second, "per-function budget for donna (its scalar mult dwarfs the rest)")
 	out := flag.String("o", "BENCH_parallel.json", "output path")
-	noPresolve := flag.Bool("nopresolve", false, "disable the static pre-solver (records the ablation baseline)")
+	noPresolve := flag.Bool("nopresolve", false, "disable the static pre-solver everywhere (the whole run becomes the ablation baseline; skips the per-workload ablation column)")
 	litmusOnly := flag.Bool("litmus-only", false, "measure only the litmus suites (CI smoke scale; skips the crypto corpus and Fig. 8)")
+	assertAblation := flag.Float64("assert-ablation", 0, "fail if any workload's -nopresolve run is more than this factor slower than its presolve run (0 disables)")
 	flag.Parse()
 
 	// The sweep set: single-threaded and wide, plus the -j width when it
@@ -77,24 +99,30 @@ func main() {
 	}
 
 	results := map[string]entry{}
-	// record measures one workload at every sweep width. Each run gets a
-	// fresh tracer/registry pair and a cold frontend cache, and reads its
-	// timing and counters back from the observability layer.
-	record := func(name string, f func(workers int, tr *obsv.Tracer, reg *obsv.Registry) error) {
+	exit := 0
+	// record measures one workload at every sweep width, then (unless the
+	// whole run is an ablation) once more at -j width with the pre-solver
+	// off for the ablation column. Each run gets a fresh tracer/registry
+	// pair and a cold frontend cache, and reads its timing and counters
+	// back from the observability layer.
+	record := func(name string, f func(workers int, noPresolve bool, tr *obsv.Tracer, reg *obsv.Registry) error) {
 		e := entry{Workers: *par}
-		for _, w := range sweep {
+		measure := func(w int, ablate bool) (time.Duration, obsv.SnapshotData) {
 			harness.ResetFrontendCache()
 			tr := obsv.NewTracer()
 			reg := obsv.NewRegistry()
-			if err := f(w, tr, reg); err != nil {
-				fmt.Fprintf(os.Stderr, "benchjson: %s (j=%d): %v\n", name, w, err)
+			if err := f(w, ablate, tr, reg); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %s (j=%d nopresolve=%v): %v\n", name, w, ablate, err)
 				os.Exit(1)
 			}
 			var elapsed time.Duration
 			for _, root := range tr.Roots() {
 				elapsed += root.Wall()
 			}
-			snap := reg.Snapshot()
+			return elapsed, reg.Snapshot()
+		}
+		for _, w := range sweep {
+			elapsed, snap := measure(w, *noPresolve)
 			e.Sweep = append(e.Sweep, point{Workers: w, NsPerOp: elapsed.Nanoseconds()})
 			if w == *par || e.NsPerOp == 0 {
 				e.NsPerOp = elapsed.Nanoseconds()
@@ -102,21 +130,46 @@ func main() {
 				e.CacheHits = snap.Counters["detect.cache_hits"]
 				e.Discharged = snap.Counters["presolve.discharged"]
 				e.SkippedQueries = snap.Counters["presolve.skipped_queries"]
+				e.PrefixLits = snap.Counters["sat.prefix_lits"]
+				e.RootUnits = snap.Counters["sat.root_units"]
+				e.TseitinGates = snap.Counters["smt.tseitin_gates"]
+				e.TseitinShared = snap.Counters["smt.tseitin_shared"]
+				e.ModelHits = snap.Counters["smt.model_hits"]
 			}
-			fmt.Printf("%-22s j=%-2d %12v  queries=%-6d cache-hits=%d discharged=%d skipped=%d\n",
+			fmt.Printf("%-22s j=%-2d %12v  queries=%-6d cache-hits=%d discharged=%d skipped=%d prefix-lits=%d tseitin-shared=%d\n",
 				name, w, elapsed.Round(time.Millisecond), snap.Counters["detect.queries"],
 				snap.Counters["detect.cache_hits"], snap.Counters["presolve.discharged"],
-				snap.Counters["presolve.skipped_queries"])
+				snap.Counters["presolve.skipped_queries"], snap.Counters["sat.prefix_lits"],
+				snap.Counters["smt.tseitin_shared"])
+		}
+		if !*noPresolve {
+			elapsed, snap := measure(*par, true)
+			e.NoPresolveNs = elapsed.Nanoseconds()
+			if e.NsPerOp > 0 {
+				e.AblationRatio = float64(e.NoPresolveNs) / float64(e.NsPerOp)
+			}
+			fmt.Printf("%-22s j=%-2d %12v  queries=%-6d [nopresolve ablation, ratio=%.2f]\n",
+				name, *par, elapsed.Round(time.Millisecond), snap.Counters["detect.queries"], e.AblationRatio)
+			// Sub-5ms workloads are scheduler noise: a ratio computed from
+			// two ~1ms wall times says nothing about solver throughput, so
+			// the gate only applies once either side is measurable.
+			measurable := e.NsPerOp >= (5*time.Millisecond).Nanoseconds() ||
+				e.NoPresolveNs >= (5*time.Millisecond).Nanoseconds()
+			if *assertAblation > 0 && measurable && e.AblationRatio > *assertAblation {
+				fmt.Fprintf(os.Stderr, "benchjson: %s: ablation ratio %.2f exceeds -assert-ablation %.2f\n",
+					name, e.AblationRatio, *assertAblation)
+				exit = 1
+			}
 		}
 		results[name] = e
 	}
 
 	for _, suite := range []string{"pht", "stl", "fwd", "new", "psf", "imp", "ss"} {
 		suite := suite
-		record("litmus-"+suite, func(workers int, tr *obsv.Tracer, reg *obsv.Registry) error {
+		record("litmus-"+suite, func(workers int, ablate bool, tr *obsv.Tracer, reg *obsv.Registry) error {
 			_, err := harness.RunLitmusSuite(suite, harness.Options{
 				FuncTimeout: *timeout, Parallelism: workers, Tracer: tr, Metrics: reg,
-				NoPresolve: *noPresolve,
+				NoPresolve: ablate,
 			})
 			return err
 		})
@@ -124,7 +177,7 @@ func main() {
 
 	if *litmusOnly {
 		writeResults(*out, results)
-		return
+		os.Exit(exit)
 	}
 
 	for _, lib := range cryptolib.All() {
@@ -133,24 +186,25 @@ func main() {
 		if lib.Name == "donna" {
 			ft = *donnaTimeout
 		}
-		record(lib.Name, func(workers int, tr *obsv.Tracer, reg *obsv.Registry) error {
+		record(lib.Name, func(workers int, ablate bool, tr *obsv.Tracer, reg *obsv.Registry) error {
 			_, err := harness.RunLibrary(lib, harness.Options{
 				FuncTimeout: ft, Parallelism: workers, CryptoUniversalOnly: true,
-				Tracer: tr, Metrics: reg, NoPresolve: *noPresolve,
+				Tracer: tr, Metrics: reg, NoPresolve: ablate,
 			})
 			return err
 		})
 	}
 
-	record("fig8", func(workers int, tr *obsv.Tracer, reg *obsv.Registry) error {
+	record("fig8", func(workers int, ablate bool, tr *obsv.Tracer, reg *obsv.Registry) error {
 		_, err := harness.RunFig8(harness.Options{
 			FuncTimeout: *timeout, Parallelism: workers, Tracer: tr, Metrics: reg,
-			NoPresolve: *noPresolve,
+			NoPresolve: ablate,
 		})
 		return err
 	})
 
 	writeResults(*out, results)
+	os.Exit(exit)
 }
 
 // writeResults marshals the workload map and writes the JSON artifact.

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"lcm/internal/harness"
+	"lcm/internal/smt"
 )
 
 // litmusOptions parameterizes the -litmus corpus mode.
@@ -16,6 +17,7 @@ type litmusOptions struct {
 	noPresolve bool
 	audit      bool
 	verbose    bool
+	solver     smt.Mode
 }
 
 // runLitmus sweeps the built-in litmus corpus through the harness. With
@@ -32,8 +34,10 @@ func runLitmus(o litmusOptions, stdout, stderr io.Writer) int {
 		Parallelism:   o.jobs,
 		NoPresolve:    o.noPresolve,
 		AuditPresolve: o.audit,
+		SolverMode:    o.solver,
 	}
 	var discharged, skipped, audited, disagreements, queries int
+	var selfChecks, selfMismatches int64
 	for _, suite := range suites {
 		rows, err := harness.RunLitmusSuite(suite, opts)
 		if err != nil {
@@ -47,6 +51,8 @@ func runLitmus(o litmusOptions, stdout, stderr io.Writer) int {
 			audited += r.Audited
 			disagreements += r.Disagreements
 			queries += r.Queries
+			selfChecks += r.SolverChecks
+			selfMismatches += r.SolverMismatches
 			if o.verbose && (r.Discharged > 0 || r.Audited > 0 || r.SkippedQueries > 0) {
 				fmt.Fprintf(stdout, "%-14s %-9s   presolve: discharged=%d skipped-queries=%d audited=%d disagreements=%d\n",
 					r.App, r.Tool, r.Discharged, r.SkippedQueries, r.Audited, r.Disagreements)
@@ -55,8 +61,15 @@ func runLitmus(o litmusOptions, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "== presolve: queries=%d discharged=%d skipped-queries=%d audited=%d disagreements=%d\n",
 		queries, discharged, skipped, audited, disagreements)
+	if o.solver == smt.ModeCheck {
+		fmt.Fprintf(stdout, "== solver self-check: checks=%d mismatches=%d\n", selfChecks, selfMismatches)
+	}
 	if disagreements > 0 {
 		fmt.Fprintf(stderr, "clou: presolve audit: %d disagreement(s)\n", disagreements)
+		return exitFindings
+	}
+	if selfMismatches > 0 {
+		fmt.Fprintf(stderr, "clou: solver self-check: %d verdict mismatch(es)\n", selfMismatches)
 		return exitFindings
 	}
 	return exitClean

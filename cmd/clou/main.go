@@ -46,6 +46,7 @@ import (
 	"lcm/internal/minic"
 	"lcm/internal/obsv"
 	"lcm/internal/repair"
+	"lcm/internal/smt"
 )
 
 // Exit codes of the CLI contract (shared with lcmlint).
@@ -79,6 +80,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	noPrune := fs.Bool("noprune", false, "disable range-analysis candidate pruning")
 	noPresolve := fs.Bool("nopresolve", false, "disable the proof-carrying static pre-solver (ablation baseline)")
 	auditPresolve := fs.Bool("audit-presolve", false, "replay every statically refuted query through the solver and fail on disagreement")
+	solverMode := fs.String("solver", "incremental", "residual-query solver mode: incremental (warm CDCL), fresh (replayed reference instance per query), or check (both; fail on verdict mismatch)")
 	litmusSuite := fs.String("litmus", "", "run the built-in litmus corpus (pht, stl, fwd, new, psf, imp, ss, or all) instead of analyzing a file")
 	par := fs.Int("j", runtime.GOMAXPROCS(0), "analyze up to N functions in parallel")
 	reportPath := fs.String("report", "", "write a machine-readable JSON run report to this path (- for stdout)")
@@ -98,10 +100,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 			report: *reportPath, checkpoint: *checkpoint, resume: *resume,
 		}, stdout, stderr)
 	}
+	mode, err := smt.ParseMode(*solverMode)
+	if err != nil {
+		fmt.Fprintln(stderr, "clou:", err)
+		return exitUsage
+	}
 	if *litmusSuite != "" {
 		return runLitmus(litmusOptions{
 			suite: *litmusSuite, jobs: *par, timeout: *timeout,
 			noPresolve: *noPresolve, audit: *auditPresolve, verbose: *verbose,
+			solver: mode,
 		}, stdout, stderr)
 	}
 	if fs.NArg() != 1 {
@@ -143,6 +151,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg.NoPrune = *noPrune
 	cfg.NoPresolve = *noPresolve
 	cfg.AuditPresolve = *auditPresolve
+	cfg.AEG.SolverMode = mode
 	if *classes != "" {
 		for _, c := range strings.Split(*classes, ",") {
 			switch strings.TrimSpace(strings.ToLower(c)) {

@@ -27,6 +27,10 @@ type Options struct {
 	ROB   int // reorder-buffer capacity: max speculation window length
 	LSQ   int // load-store-queue capacity: max store-bypass distance
 	Wsize int // sliding window for the transmitter search
+	// SolverMode selects how detection queries are discharged: warm
+	// incremental CDCL (default), fresh-replica-per-query reference, or
+	// both with verdict self-checking (see smt.Mode).
+	SolverMode smt.Mode
 }
 
 func (o *Options) defaults() {
@@ -72,7 +76,7 @@ func Build(g *acfg.Graph, al *alias.Analysis, opts Options) *AEG {
 	a := &AEG{
 		G:       g,
 		Alias:   al,
-		S:       smt.NewSolver(),
+		S:       smt.NewSolverMode(opts.SolverMode),
 		Opts:    opts,
 		take:    map[int]*smt.Expr{},
 		misspec: map[int]*smt.Expr{},
@@ -370,6 +374,23 @@ func (a *AEG) MemoStats() (hits, lookups int64) { return a.S.MemoStats() }
 func (a *AEG) SolverStats() (decisions, propagations, conflicts, restarts int64) {
 	return a.S.SatStats()
 }
+
+// IncrementalStats reports the warm CDCL instance's incremental-solving
+// counters (prefix-reuse depth, root-unit promotions, clause-DB diet).
+func (a *AEG) IncrementalStats() sat.IncStats { return a.S.IncrementalStats() }
+
+// EncodeStats reports the Tseitin gate counters: gates requested and gates
+// shared through the hash-cons table.
+func (a *AEG) EncodeStats() (gates, shared int64) { return a.S.EncodeStats() }
+
+// ModelCacheHits reports how many queries were answered Sat by extending
+// the last model over newly encoded gates, skipping the solver search.
+func (a *AEG) ModelCacheHits() int64 { return a.S.ModelCacheHits() }
+
+// SelfCheckStats reports, under Options.SolverMode == smt.ModeCheck, how
+// many query verdicts were replayed on a fresh reference solver and how
+// many disagreed.
+func (a *AEG) SelfCheckStats() (checks, mismatches int64) { return a.S.SelfCheckStats() }
 
 // Model reads back, after a Sat query, the architectural path (node IDs)
 // and the transient nodes (from encoded windows), for witness

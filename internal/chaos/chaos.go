@@ -23,6 +23,7 @@ import (
 	"lcm/internal/minic"
 	"lcm/internal/obsv"
 	"lcm/internal/progen"
+	"lcm/internal/smt"
 )
 
 // Options parameterizes a chaos campaign.
@@ -103,6 +104,11 @@ func Run(ctx context.Context, opts Options) (*Outcome, error) {
 			// has dedicated coverage (audit-presolve CI job, `presolve`
 			// conformance oracle); chaos owns the fault taxonomy.
 			cfg.NoPresolve = true
+			// Pin the warm incremental solver (the default, but load-bearing
+			// here): solver.step faults must land mid-sweep on a solver
+			// carrying reused trail prefixes and saved phases, so the
+			// campaign proves the incremental path degrades soundly too.
+			cfg.AEG.SolverMode = smt.ModeIncremental
 			cfg.InjectKey = fmt.Sprintf("g%04d/%s", i, e.name)
 			res, err := detect.AnalyzeFuncLadder(ctx, m, p.Fn, cfg)
 			if err != nil {

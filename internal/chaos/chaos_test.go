@@ -89,6 +89,14 @@ func TestChaosCampaign(t *testing.T) {
 		t.Errorf("plans diverged: %d faults at -j 1, %d at -j 8", p1.Total(), p8.Total())
 	}
 
+	// (6) the solver arm specifically: the campaign pins the warm
+	// incremental solver mode and disables the pre-solver, so solver.step
+	// faults land mid-sweep on a solver carrying reused trail prefixes —
+	// the path whose degradation the equivalence battery most cares about.
+	if fired[faultinject.ProbeSolverStep] == 0 {
+		t.Error("solver.step never fired on the incremental path")
+	}
+
 	// (5) exact fault accounting: the faults.injected.* counters must
 	// reconcile with the plan's fired tally, kind by kind.
 	snap := r1.Snapshot()

@@ -321,6 +321,24 @@ type Result struct {
 	Propagations int64
 	Conflicts    int64
 	Restarts     int64
+	// Incremental-solving counters: PrefixLits is the summed
+	// prefix-reuse depth across the query sweep, RootUnits the facts
+	// promoted to the root level, TseitinGates/TseitinShared the And/Or
+	// gates requested and the ones answered from the hash-cons table
+	// without fresh auxiliary variables. All are deterministic for a
+	// fixed query sequence and safe to pin in normalized reports.
+	PrefixLits    int64
+	RootUnits     int64
+	TseitinGates  int64
+	TseitinShared int64
+	// ModelCacheHits counts queries answered Sat by extending the last
+	// model over newly encoded gates instead of searching.
+	ModelCacheHits int64
+	// Solver self-check accounting (Config.AEG.SolverMode == smt.ModeCheck):
+	// verdicts replayed on a fresh reference solver, and disagreements
+	// (any nonzero SolverMismatches is an incremental-soundness bug).
+	SolverChecks     int64
+	SolverMismatches int64
 	// Graph and AEG are retained for witness rendering and repair.
 	Graph *acfg.Graph
 	AEG   *aeg.AEG
@@ -456,6 +474,11 @@ func AnalyzeFuncCtx(ctx context.Context, m *ir.Module, fn string, cfg Config) (*
 	d.run()
 	searchSpan.End()
 	d.res.Decisions, d.res.Propagations, d.res.Conflicts, d.res.Restarts = a.SolverStats()
+	inc := a.IncrementalStats()
+	d.res.PrefixLits, d.res.RootUnits = inc.PrefixLits, inc.RootUnits
+	d.res.TseitinGates, d.res.TseitinShared = a.EncodeStats()
+	d.res.SolverChecks, d.res.SolverMismatches = a.SelfCheckStats()
+	d.res.ModelCacheHits = a.ModelCacheHits()
 	d.res.Duration = time.Since(start)
 	d.res.record(cfg.Metrics)
 	return d.res, nil

@@ -28,6 +28,13 @@ func (r *Result) record(reg *obsv.Registry) {
 	reg.Counter("sat.propagations").Add(r.Propagations)
 	reg.Counter("sat.conflicts").Add(r.Conflicts)
 	reg.Counter("sat.restarts").Add(r.Restarts)
+	reg.Counter("sat.prefix_lits").Add(r.PrefixLits)
+	reg.Counter("sat.root_units").Add(r.RootUnits)
+	reg.Counter("smt.tseitin_gates").Add(r.TseitinGates)
+	reg.Counter("smt.tseitin_shared").Add(r.TseitinShared)
+	reg.Counter("smt.model_hits").Add(r.ModelCacheHits)
+	reg.Counter("smt.self_checks").Add(r.SolverChecks)
+	reg.Counter("smt.self_mismatches").Add(r.SolverMismatches)
 	reg.Histogram("detect.func_ns").Observe(r.Duration)
 	reg.Histogram("detect.frontend_ns").Observe(r.FrontendTime)
 	reg.Histogram("detect.encode_ns").Observe(r.EncodeTime)
@@ -55,6 +62,13 @@ func (r *Result) Report() obsv.FuncReport {
 		Audited:         r.PresolveAudited,
 		Disagreements:   r.PresolveDisagreements,
 		MemoHits:        r.MemoHits,
+		PrefixLits:      r.PrefixLits,
+		RootUnits:       r.RootUnits,
+		TseitinGates:    r.TseitinGates,
+		TseitinShared:   r.TseitinShared,
+		ModelHits:       r.ModelCacheHits,
+		SolverChecks:    r.SolverChecks,
+		Mismatches:      r.SolverMismatches,
 		CacheHit:        r.CacheHit,
 		TimedOut:        r.TimedOut,
 		DurationNs:      r.Duration.Nanoseconds(),

@@ -30,6 +30,7 @@ import (
 	"lcm/internal/lower"
 	"lcm/internal/minic"
 	"lcm/internal/obsv"
+	"lcm/internal/smt"
 )
 
 // Row is one Table 2 row for one tool on one workload.
@@ -52,6 +53,12 @@ type Row struct {
 	SkippedQueries int
 	Audited        int
 	Disagreements  int
+	// Solver self-check totals (Options.SolverMode == smt.ModeCheck):
+	// query verdicts replayed on a fresh reference solver, and verdicts
+	// that disagreed — any nonzero SolverMismatches is an incremental-
+	// soundness bug, and the equivalence battery asserts it stays zero.
+	SolverChecks     int64
+	SolverMismatches int64
 	// Workers records the parallelism the row was produced with; it is
 	// not part of Format, so output stays comparable across -j values.
 	Workers int
@@ -93,6 +100,10 @@ type Options struct {
 	// solver and counts disagreements instead of skipping it.
 	NoPresolve    bool
 	AuditPresolve bool
+	// SolverMode selects how residual queries are discharged: warm
+	// incremental CDCL (default), a fresh replayed reference instance per
+	// query, or both with verdict self-checking (smt.ModeCheck).
+	SolverMode smt.Mode
 }
 
 func (o *Options) defaults() {
@@ -160,6 +171,7 @@ func clouConfig(engine detect.Engine, opts Options, universalOnly bool, span *ob
 	cfg.Metrics = opts.Metrics
 	cfg.NoPresolve = opts.NoPresolve
 	cfg.AuditPresolve = opts.AuditPresolve
+	cfg.AEG.SolverMode = opts.SolverMode
 	if universalOnly {
 		cfg.Transmitters = []core.Class{core.UDT, core.UCT}
 	}
@@ -178,6 +190,8 @@ func (r *Row) addResult(res *detect.Result) {
 	r.SkippedQueries += res.SkippedQueries
 	r.Audited += res.PresolveAudited
 	r.Disagreements += res.PresolveDisagreements
+	r.SolverChecks += res.SolverChecks
+	r.SolverMismatches += res.SolverMismatches
 	r.Findings = append(r.Findings, res.Findings...)
 	if res.TimedOut {
 		r.TimedOut++

@@ -9,7 +9,7 @@ import (
 
 // Version identifies the report schema / toolchain generation. Bump it
 // when the JSON shape changes; the golden tests pin the serialized form.
-const Version = "0.7.0"
+const Version = "0.8.0"
 
 // Report is the machine-readable run manifest shared by clou -report,
 // lcmlint -report, and cmd/benchjson. All timing-valued fields end in
@@ -58,6 +58,21 @@ type FuncReport struct {
 	MemoHits      int  `json:"memo_hits,omitempty"`
 	CacheHit      bool `json:"cache_hit,omitempty"`
 	TimedOut      bool `json:"timed_out,omitempty"`
+	// Incremental-solving accounting: summed assumption-prefix reuse
+	// depth, root-level unit promotions, Tseitin gates requested, and
+	// gates shared through the hash-cons table. Deterministic for a fixed
+	// query sequence, hence pinned by the goldens like the other counters.
+	PrefixLits    int64 `json:"prefix_lits,omitempty"`
+	RootUnits     int64 `json:"root_units,omitempty"`
+	TseitinGates  int64 `json:"tseitin_gates,omitempty"`
+	TseitinShared int64 `json:"tseitin_shared,omitempty"`
+	// Queries answered Sat by extending the previous model over newly
+	// encoded gates instead of searching (the smt model cache).
+	ModelHits int64 `json:"model_hits,omitempty"`
+	// Solver self-check accounting (-solver check): verdicts replayed on
+	// a fresh reference solver and disagreements observed (must be 0).
+	SolverChecks int64 `json:"solver_checks,omitempty"`
+	Mismatches   int64 `json:"solver_mismatches,omitempty"`
 
 	DurationNs int64 `json:"duration_ns"`
 	FrontendNs int64 `json:"frontend_ns,omitempty"`

@@ -1,0 +1,291 @@
+package sat
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"lcm/internal/faults"
+)
+
+// This file is the incremental leg of the solver-equivalence battery: the
+// DPLL oracle of ref_test.go is extended from single calls to *sequences*
+// of assumption-set solves interleaved with clause additions, exactly the
+// shape the detection engines drive (one warm solver per function, many
+// candidate queries sharing assumption prefixes). Every verdict in a
+// sequence must match a from-scratch reference decision of the same
+// formula under the same assumptions; prefix reuse, root-unit promotion,
+// and phase saving may only change effort, never answers.
+
+// refDecide is the reference verdict for clauses under assumptions: the
+// assumptions are appended as unit clauses and the whole formula is
+// decided by DPLL from scratch.
+func refDecide(nVars int, clauses [][]Lit, assumptions []Lit) bool {
+	all := append([][]Lit{}, clauses...)
+	for _, a := range assumptions {
+		all = append(all, []Lit{a})
+	}
+	return refSolve(nVars, all)
+}
+
+// randomAssumptions draws n distinct-variable assumption literals.
+func randomAssumptions(rng *rand.Rand, nVars, n int) []Lit {
+	seen := map[int]bool{}
+	var out []Lit
+	for len(out) < n {
+		v := 1 + rng.Intn(nVars)
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		l := Lit(v)
+		if rng.Intn(2) == 0 {
+			l = -l
+		}
+		out = append(out, l)
+	}
+	return out
+}
+
+// TestDifferentialIncrementalSequences runs seeded random *query
+// sequences* on one warm solver — assumption sets that share prefixes with
+// their predecessor, plus occasional clause additions mid-sequence — and
+// cross-checks every verdict against the DPLL reference solving from
+// scratch. This is the property the per-function candidate sweep relies
+// on: a warm solver is verdict-equivalent to a fresh one at every step.
+func TestDifferentialIncrementalSequences(t *testing.T) {
+	const instances = 300
+	rng := rand.New(rand.NewSource(20260808))
+	var totalPrefix int64
+	for i := 0; i < instances; i++ {
+		nVars := 4 + rng.Intn(9)              // 4..12
+		nClauses := nVars * (2 + rng.Intn(3)) // ratios 2..4
+		clauses := randomCNF(rng, nVars, nClauses)
+
+		s := New()
+		for v := 0; v < nVars; v++ {
+			s.NewVar()
+		}
+		dead := false // AddClause found top-level unsat
+		for _, c := range clauses {
+			if !s.AddClause(append([]Lit(nil), c...)...) {
+				dead = true
+				break
+			}
+		}
+		if dead {
+			if refSolve(nVars, clauses) {
+				t.Fatalf("instance %d: AddClause says unsat, reference says sat", i)
+			}
+			continue
+		}
+
+		var prev []Lit
+		for step, steps := 0, 4+rng.Intn(6); step < steps; step++ {
+			// Mutate the assumption set: keep a random prefix of the
+			// previous one (biasing toward long shared prefixes, the shape
+			// the candidate loops produce) and append a fresh tail.
+			keep := 0
+			if len(prev) > 0 {
+				keep = rng.Intn(len(prev) + 1)
+			}
+			assumptions := append([]Lit(nil), prev[:keep]...)
+			assumptions = append(assumptions, randomAssumptions(rng, nVars, 1+rng.Intn(3))...)
+			prev = assumptions
+
+			want := refDecide(nVars, clauses, assumptions)
+			got := s.Solve(assumptions...)
+			tag := fmt.Sprintf("instance %d step %d assumptions=%v", i, step, assumptions)
+			if got == Unknown {
+				t.Fatalf("%s: unexpected Unknown", tag)
+			}
+			if (got == Sat) != want {
+				t.Fatalf("%s: warm solver=%v reference=%v", tag, got, want)
+			}
+			if got == Sat {
+				withUnits := append([][]Lit{}, clauses...)
+				for _, a := range assumptions {
+					withUnits = append(withUnits, []Lit{a})
+				}
+				checkModel(t, s, withUnits, tag)
+			}
+
+			// Occasionally grow the formula mid-sequence, as the lazy
+			// window encoding does between candidate queries.
+			if rng.Intn(3) == 0 {
+				extra := randomCNF(rng, nVars, 1)[0]
+				clauses = append(clauses, extra)
+				if !s.AddClause(append([]Lit(nil), extra...)...) {
+					if refSolve(nVars, clauses) {
+						t.Fatalf("instance %d step %d: AddClause says unsat, reference says sat", i, step)
+					}
+					break
+				}
+			}
+		}
+		totalPrefix += s.IncrementalStats().PrefixLits
+	}
+	// The sweep must actually exercise the warm path: with prefix-biased
+	// sequences over 300 instances, reuse firing zero times means the
+	// incremental machinery is dead code.
+	if totalPrefix == 0 {
+		t.Fatal("assumption-prefix reuse never fired across the differential sweep")
+	}
+}
+
+// TestAssumptionPrefixReuse pins the reuse accounting: consecutive calls
+// sharing a leading prefix keep exactly that many trail levels, and the
+// verdicts are unchanged from a fresh solver's.
+func TestAssumptionPrefixReuse(t *testing.T) {
+	s := New()
+	a, b, c, d := Lit(s.NewVar()), Lit(s.NewVar()), Lit(s.NewVar()), Lit(s.NewVar())
+	x := Lit(s.NewVar())
+	s.AddClause(a.Neg(), x)          // a → x
+	s.AddClause(b.Neg(), x.Neg(), d) // b ∧ x → d
+
+	if st := s.Solve(a, b, c); st != Sat {
+		t.Fatalf("first solve = %v, want Sat", st)
+	}
+	if got := s.IncrementalStats().PrefixLits; got != 0 {
+		t.Fatalf("PrefixLits after first solve = %d, want 0", got)
+	}
+	// Shares the 2-assumption prefix [a, b].
+	if st := s.Solve(a, b, d.Neg()); st != Unsat {
+		t.Fatalf("second solve = %v, want Unsat (a∧b force d)", st)
+	}
+	if got := s.IncrementalStats().PrefixLits; got != 2 {
+		t.Fatalf("PrefixLits after prefix-sharing solve = %d, want 2", got)
+	}
+	// Diverges at position 0: nothing reusable.
+	if st := s.Solve(a.Neg(), b); st != Sat {
+		t.Fatalf("third solve = %v, want Sat", st)
+	}
+	if got := s.IncrementalStats().PrefixLits; got != 2 {
+		t.Fatalf("PrefixLits after divergent solve = %d, want 2 (unchanged)", got)
+	}
+	// A failed-assumption core must still be available on the warm path.
+	if st := s.Solve(a, b, d.Neg()); st != Unsat {
+		t.Fatalf("fourth solve = %v, want Unsat", st)
+	}
+	if core := s.FailedAssumptions(); len(core) == 0 {
+		t.Fatal("empty failed-assumption core after warm Unsat")
+	}
+}
+
+// TestRootUnitPromotion pins the clause-DB diet: once a fact reaches the
+// root level, clauses it satisfies disappear from the database and
+// literals it falsifies are stripped from clause tails.
+func TestRootUnitPromotion(t *testing.T) {
+	s := New()
+	x, y, z := Lit(s.NewVar()), Lit(s.NewVar()), Lit(s.NewVar())
+	s.AddClause(x, y)          // satisfied once x is a root fact
+	s.AddClause(x.Neg(), y, z) // ¬x strippable once x is a root fact
+	s.AddClause(y, z)          // untouched
+	before := s.NumClauses()
+	if before != 3 {
+		t.Fatalf("NumClauses = %d, want 3", before)
+	}
+	s.AddClause(x) // root unit
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("solve = %v, want Sat", st)
+	}
+	inc := s.IncrementalStats()
+	if inc.RootUnits == 0 {
+		t.Fatal("RootUnits = 0, want the promoted fact counted")
+	}
+	if inc.RemovedClauses != 1 {
+		t.Fatalf("RemovedClauses = %d, want 1 (x ∨ y satisfied by root x)", inc.RemovedClauses)
+	}
+	if inc.StrippedLits != 1 {
+		t.Fatalf("StrippedLits = %d, want 1 (¬x stripped from ¬x ∨ y ∨ z)", inc.StrippedLits)
+	}
+	if got := s.NumClauses(); got != before-1 {
+		t.Fatalf("NumClauses after promotion = %d, want %d", got, before-1)
+	}
+	// The simplified database must still decide correctly.
+	if st := s.Solve(y.Neg(), z.Neg()); st != Unsat {
+		t.Fatalf("solve(¬y, ¬z) = %v, want Unsat (clause y ∨ z)", st)
+	}
+	if st := s.Solve(y.Neg()); st != Sat {
+		t.Fatalf("solve(¬y) = %v, want Sat via z", st)
+	}
+}
+
+// TestPhaseSavingAcrossCalls pins that the last assigned polarity of a
+// variable survives into the next call's branching, the cheap form of
+// warm-start the candidate sweep leans on.
+func TestPhaseSavingAcrossCalls(t *testing.T) {
+	s := New()
+	v := s.NewVar()
+	// Default phase is false.
+	if st := s.Solve(); st != Sat || s.Value(v) {
+		t.Fatalf("default-phase solve: st=%v value=%v, want Sat/false", st, s.Value(v))
+	}
+	// Force the variable true under an assumption; the retract must save
+	// the polarity.
+	if st := s.Solve(Lit(v)); st != Sat || !s.Value(v) {
+		t.Fatalf("assumption solve: st=%v value=%v, want Sat/true", st, s.Value(v))
+	}
+	// A free solve now branches on the saved phase: true.
+	if st := s.Solve(); st != Sat || !s.Value(v) {
+		t.Fatalf("phase-saved solve: st=%v value=%v, want Sat/true", st, s.Value(v))
+	}
+}
+
+// TestBudgetPerCallBaselineAcrossWarmSweep pins that every SolveCtx call
+// of a warm assumption sweep gets its own effort budget measured from its
+// own baseline — warm state must not pre-charge later calls — and that
+// abort classification is unchanged on the incremental path.
+func TestBudgetPerCallBaselineAcrossWarmSweep(t *testing.T) {
+	s := New()
+	encodePigeonhole(s, 9, 8)
+	// Free selector variables: assumption prefixes without constraining
+	// the pigeonhole core.
+	a1, a2, a3 := Lit(s.NewVar()), Lit(s.NewVar()), Lit(s.NewVar())
+	s.SetBudget(Budget{Conflicts: 50})
+
+	sweep := [][]Lit{{a1}, {a1, a2}, {a1, a2, a3}}
+	prevConflicts := int64(0)
+	for i, assumptions := range sweep {
+		st := s.SolveCtx(context.Background(), assumptions...)
+		if st != Unknown {
+			t.Fatalf("sweep call %d = %v, want Unknown under a 50-conflict budget", i, st)
+		}
+		if cause := s.AbortCause(); !errors.Is(cause, faults.ErrBudget) {
+			t.Fatalf("sweep call %d AbortCause = %v, want faults.ErrBudget", i, cause)
+		}
+		_, _, conflicts := s.Stats()
+		if spent := conflicts - prevConflicts; spent < 50 {
+			t.Fatalf("sweep call %d spent %d conflicts, want ≥ 50 (budget must reset per call)", i, spent)
+		}
+		prevConflicts = conflicts
+	}
+
+	// Decisions leg: same per-call-baseline contract.
+	s.SetBudget(Budget{Decisions: 10})
+	prevDecisions, _, _ := s.Stats()
+	for i, assumptions := range sweep {
+		if st := s.SolveCtx(context.Background(), assumptions...); st != Unknown {
+			t.Fatalf("decision sweep call %d = %v, want Unknown", i, st)
+		}
+		if cause := s.AbortCause(); !errors.Is(cause, faults.ErrBudget) {
+			t.Fatalf("decision sweep call %d AbortCause = %v, want faults.ErrBudget", i, cause)
+		}
+		decisions, _, _ := s.Stats()
+		if spent := decisions - prevDecisions; spent < 10 {
+			t.Fatalf("decision sweep call %d spent %d decisions, want ≥ 10", i, spent)
+		}
+		prevDecisions = decisions
+	}
+
+	// Lifting the budget decides honestly from the warm state.
+	s.SetBudget(Budget{})
+	if st := s.SolveCtx(context.Background(), a1, a2); st != Unsat {
+		t.Fatalf("unbudgeted warm solve = %v, want Unsat (PHP(9,8))", st)
+	}
+	if cause := s.AbortCause(); cause != nil {
+		t.Fatalf("AbortCause = %v after a decided warm solve, want nil", cause)
+	}
+}

@@ -106,6 +106,16 @@ type Solver struct {
 	assumptions []Lit
 	conflictSet map[int]bool // vars of failed assumptions
 
+	// incremental-solve state: lastAssumed mirrors the assumption list of
+	// the previous SolveCtx so the next call can keep the shared leading
+	// prefix of the trail enqueued instead of rewinding to the root;
+	// simplifiedAt is the root-trail length at the last clause-DB
+	// simplification, so simplifyDB only walks the database when new
+	// level-0 facts arrived.
+	lastAssumed  []Lit
+	simplifiedAt int
+	inc          IncStats
+
 	modelVal    []bool // satisfying assignment captured at Sat time
 	seenScratch []bool // reusable conflict-analysis buffer
 
@@ -188,6 +198,29 @@ func (s *Solver) Counters() (decisions, propagations, conflicts, restarts int64)
 	return s.decisions, s.propagations, s.conflicts, s.restarts
 }
 
+// IncStats counts the work the incremental solve path avoided or
+// simplified away. All counters are cumulative over the solver's life and
+// deterministic for a fixed call sequence (no wall-clock input), so they
+// can appear in normalized reports.
+type IncStats struct {
+	// PrefixLits is the total number of assumption positions whose trail
+	// levels were kept enqueued across consecutive SolveCtx calls (the
+	// "prefix-reuse depth" summed over calls).
+	PrefixLits int64
+	// RootUnits is the number of facts promoted to the root level and used
+	// to permanently simplify the clause database.
+	RootUnits int64
+	// RemovedClauses counts clauses deleted because a root-level fact
+	// satisfies them outright.
+	RemovedClauses int64
+	// StrippedLits counts literals removed from clause tails because a
+	// root-level fact falsifies them.
+	StrippedLits int64
+}
+
+// IncrementalStats returns the incremental-solving counters.
+func (s *Solver) IncrementalStats() IncStats { return s.inc }
+
 var errBadLit = errors.New("sat: literal references unallocated variable")
 
 // AddClause adds a clause (a disjunction of literals). It returns false if
@@ -196,6 +229,11 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 	if !s.ok {
 		return false
 	}
+	// Adding a clause invalidates any trail prefix kept warm by the
+	// incremental solve path: rewind to the root so attach sees a state
+	// where the two-watched-literal invariant can be established against
+	// level-0 assignments only.
+	s.cancelUntil(0)
 	for _, l := range lits {
 		if l == 0 || l.Var() > s.nVars {
 			panic(errBadLit)
@@ -232,9 +270,6 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 		s.ok = false
 		return false
 	case 1:
-		if s.decisionLevel() != 0 {
-			s.cancelUntil(0)
-		}
 		if s.value(out[0]) == lFalse {
 			s.ok = false
 			return false
@@ -536,6 +571,65 @@ func (s *Solver) locked(c *clause) bool {
 	return s.value(c.lits[0]) == lTrue && s.reason[c.lits[0].Var()] == c
 }
 
+// simplifyDB promotes root-level facts into the clause database: clauses
+// satisfied at level 0 are deleted outright and literals false at level 0
+// are stripped from clause tails. Watched positions (0 and 1) are never
+// touched — after full root-level propagation a non-satisfied clause
+// cannot watch a root-false literal — so the watcher lists stay valid
+// (watchers of deleted clauses are dropped lazily by propagate). Must be
+// called at decision level 0; it is a no-op unless new root facts arrived
+// since the last call.
+func (s *Solver) simplifyDB() {
+	if !s.ok || s.decisionLevel() != 0 || len(s.trail) == s.simplifiedAt {
+		return
+	}
+	s.inc.RootUnits += int64(len(s.trail) - s.simplifiedAt)
+	s.simplifiedAt = len(s.trail)
+	// Root facts are axioms from here on: conflict analysis never expands
+	// a level-0 literal's reason, so drop the pointers and let satisfied
+	// reason clauses be collected.
+	for _, l := range s.trail {
+		s.reason[l.Var()] = nil
+	}
+	s.clauses = s.simplifyList(s.clauses)
+	s.learnts = s.simplifyList(s.learnts)
+}
+
+func (s *Solver) simplifyList(cs []*clause) []*clause {
+	kept := cs[:0]
+	for _, c := range cs {
+		if s.rootSatisfied(c) {
+			c.deleted = true
+			s.inc.RemovedClauses++
+			continue
+		}
+		for k := 2; k < len(c.lits); {
+			if s.value(c.lits[k]) == lFalse && s.level[c.lits[k].Var()] == 0 {
+				c.lits[k] = c.lits[len(c.lits)-1]
+				c.lits = c.lits[:len(c.lits)-1]
+				s.inc.StrippedLits++
+			} else {
+				k++
+			}
+		}
+		kept = append(kept, c)
+	}
+	// Zero the freed tail so deleted clauses do not linger reachable.
+	for i := len(kept); i < len(cs); i++ {
+		cs[i] = nil
+	}
+	return kept
+}
+
+func (s *Solver) rootSatisfied(c *clause) bool {
+	for _, l := range c.lits {
+		if s.value(l) == lTrue && s.level[l.Var()] == 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // luby computes the Luby restart sequence value for index i (1-based).
 func luby(i int64) int64 {
 	for k := int64(1); ; k++ {
@@ -563,16 +657,48 @@ const pollEvery = 256
 
 // SolveCtx is Solve under a context: the search polls ctx every few
 // hundred conflicts/decisions and returns Unknown once it is cancelled,
-// leaving the solver reusable (all learnt clauses are kept, the trail is
-// unwound to the root level).
+// leaving the solver reusable (all learnt clauses are kept).
+//
+// The solver is incremental across calls. VSIDS activities, saved phases,
+// and learnt clauses always survive; additionally, when consecutive calls
+// share a leading prefix of assumptions, the trail stays enqueued up to
+// the divergence point instead of rewinding to the root, so propagation
+// under the shared assumptions is not repeated. Any verdict is identical
+// to what a fresh solve of the same formula under the same assumptions
+// would return — only the search effort differs (see IncrementalStats).
 func (s *Solver) SolveCtx(ctx context.Context, assumptions ...Lit) Status {
 	if !s.ok {
 		return Unsat
 	}
 	s.abortCause = nil
+	// Assumption-prefix reuse: levels 1..decisionLevel() hold, in order,
+	// the assumptions of the previous call (the end-of-call retract below
+	// guarantees decisionLevel() <= len(lastAssumed)). Keep every level
+	// whose assumption literal matches the new sequence; rewind the rest.
+	prefix := 0
+	for prefix < s.decisionLevel() && prefix < len(assumptions) &&
+		prefix < len(s.lastAssumed) && s.lastAssumed[prefix] == assumptions[prefix] {
+		prefix++
+	}
+	s.cancelUntil(prefix)
+	s.inc.PrefixLits += int64(prefix)
 	s.assumptions = append(s.assumptions[:0], assumptions...)
+	s.lastAssumed = append(s.lastAssumed[:0], assumptions...)
 	s.conflictSet = nil
-	defer s.cancelUntil(0)
+	if prefix == 0 {
+		// At the root: fold any facts learned at level 0 into the clause
+		// database before searching again.
+		s.simplifyDB()
+	}
+	// Retract only the decision tail at the end of the call, leaving the
+	// assumption levels enqueued for the next call's prefix check.
+	defer func() {
+		keep := len(s.assumptions)
+		if s.decisionLevel() < keep {
+			keep = s.decisionLevel()
+		}
+		s.cancelUntil(keep)
+	}()
 
 	baseConflicts, baseDecisions := s.conflicts, s.decisions
 	restart := int64(1)
@@ -623,16 +749,27 @@ func (s *Solver) SolveCtx(ctx context.Context, assumptions ...Lit) Status {
 		if conflict != nil {
 			s.conflicts++
 			conflictsThisRestart++
-			if cancelled() || exhausted() {
-				return Unknown
-			}
 			if s.decisionLevel() == 0 {
+				// A root-level conflict is a decided verdict whatever the
+				// budget says; returning Unknown here would leave a
+				// root-conflicting database behind for later warm calls.
 				s.ok = false
 				return Unsat
 			}
+			if cancelled() || exhausted() {
+				// The current level's propagations falsify a clause; drop
+				// them so the trail prefix kept for the next call is
+				// consistent.
+				s.cancelUntil(s.decisionLevel() - 1)
+				return Unknown
+			}
 			if s.decisionLevel() <= len(s.currentAssumed()) {
-				// Conflict depends only on assumptions.
+				// Conflict depends only on assumptions. Analyze it while
+				// the trail still holds the conflicting propagations, then
+				// unwind the falsified level before returning (the retract
+				// keeps lower levels enqueued for prefix reuse).
 				s.conflictSet = s.analyzeFinal(conflict)
+				s.cancelUntil(s.decisionLevel() - 1)
 				return Unsat
 			}
 			learnt, btLevel := s.analyze(conflict)

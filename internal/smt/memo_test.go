@@ -125,6 +125,63 @@ func TestCheckMemoNeverCachesBudgetAborts(t *testing.T) {
 	}
 }
 
+// TestCheckMemoBudgetAbortsAcrossWarmSweep drives an assumption-set sweep
+// (shared prefixes, the shape the candidate loops produce) over one warm
+// incremental solver under a starvation budget: no budget-aborted verdict
+// may enter the memo at any step, and once the budget is lifted every set
+// in the sweep recomputes to the honest Unsat.
+func TestCheckMemoBudgetAbortsAcrossWarmSweep(t *testing.T) {
+	s := NewSolver()
+	const pigeons, holes = 7, 6
+	vars := make([][]*Expr, pigeons)
+	for p := 0; p < pigeons; p++ {
+		vars[p] = make([]*Expr, holes)
+		for h := 0; h < holes; h++ {
+			vars[p][h] = s.Var(fmt.Sprintf("p%dh%d", p, h))
+		}
+		s.Assert(Or(vars[p]...))
+	}
+	for h := 0; h < holes; h++ {
+		col := make([]*Expr, pigeons)
+		for p := 0; p < pigeons; p++ {
+			col[p] = vars[p][h]
+		}
+		s.AtMostK(1, col...)
+	}
+	// Free selector atoms: assumption prefixes orthogonal to the core.
+	s1, s2, s3 := s.Var("s1"), s.Var("s2"), s.Var("s3")
+	sweep := [][]*Expr{{s1}, {s1, s2}, {s1, s2, s3}}
+
+	ctx := context.Background()
+	s.SetBudget(sat.Budget{Conflicts: 5})
+	for i, assumptions := range sweep {
+		st, hit := s.CheckMemo(ctx, assumptions...)
+		if hit {
+			t.Fatalf("sweep step %d: memo hit on a budgeted query", i)
+		}
+		if st != sat.Unknown {
+			t.Skipf("PHP(7,6) resolved under a 5-conflict budget at step %d (status %v)", i, st)
+		}
+		if cause := s.AbortCause(); !errors.Is(cause, faults.ErrBudget) {
+			t.Fatalf("sweep step %d: AbortCause = %v, want faults.ErrBudget", i, cause)
+		}
+	}
+	s.SetBudget(sat.Budget{})
+	for i, assumptions := range sweep {
+		st, hit := s.CheckMemo(ctx, assumptions...)
+		if hit {
+			t.Fatalf("recheck step %d: memo served a budget-aborted verdict", i)
+		}
+		if st != sat.Unsat {
+			t.Fatalf("recheck step %d = %v, want Unsat", i, st)
+		}
+	}
+	// The honest verdicts memoize normally.
+	if st, hit := s.CheckMemo(ctx, s1, s2); st != sat.Unsat || !hit {
+		t.Fatalf("post-sweep repeat: status=%v hit=%v, want Unsat hit", st, hit)
+	}
+}
+
 func TestCheckCtxCancelled(t *testing.T) {
 	s := NewSolver()
 	a := s.Var("a")

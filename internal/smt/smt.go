@@ -64,14 +64,66 @@ func (e *Expr) String() string {
 	return "?"
 }
 
+// Mode selects how a Solver discharges Check calls.
+type Mode int
+
+const (
+	// ModeIncremental keeps one warm CDCL instance across the whole query
+	// sequence — learnt clauses, phases, and trail prefixes carry over
+	// (the default, and the fast path).
+	ModeIncremental Mode = iota
+	// ModeFresh replays the recorded CNF into a brand-new CDCL instance
+	// for every Check: the non-incremental reference the equivalence
+	// battery compares against.
+	ModeFresh
+	// ModeCheck answers from the warm instance but also runs the fresh
+	// reference on every Check and counts verdict mismatches (self-check;
+	// see SelfCheckStats). Budget-aborted calls on either side are not
+	// compared — warm and cold searches legitimately exhaust a budget at
+	// different points.
+	ModeCheck
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeFresh:
+		return "fresh"
+	case ModeCheck:
+		return "check"
+	default:
+		return "incremental"
+	}
+}
+
+// ParseMode parses a -solver flag value.
+func ParseMode(name string) (Mode, error) {
+	switch name {
+	case "incremental", "":
+		return ModeIncremental, nil
+	case "fresh":
+		return ModeFresh, nil
+	case "check":
+		return ModeCheck, nil
+	}
+	return ModeIncremental, fmt.Errorf("smt: unknown solver mode %q (want incremental, fresh, or check)", name)
+}
+
 // Solver wraps a sat.Solver with formula-level assertions.
 type Solver struct {
 	sat     *sat.Solver
+	mode    Mode
 	vars    map[string]*Expr
 	lits    map[*Expr]sat.Lit
 	trueE   *Expr
 	falseE  *Expr
 	trueLit sat.Lit
+	// defs hash-conses Tseitin gate definitions: structurally identical
+	// And/Or nodes (same op, same canonicalized child literal set) map to
+	// one auxiliary variable and one set of definitional clauses, however
+	// many distinct Expr trees produce them.
+	defs         map[string]sat.Lit
+	gates        int64 // And/Or gates requested
+	tseitinSaved int64 // gates answered from defs without new aux vars
 	// assumption literal bookkeeping for FailedAssumptions
 	lastAssumed map[sat.Lit]*Expr
 	// memo caches Check verdicts keyed by the canonicalized assumption
@@ -82,21 +134,73 @@ type Solver struct {
 	memo        map[string]sat.Status
 	memoHits    int64
 	memoLookups int64
+	// fresh/check mode state: every AddClause is logged so a reference
+	// solver can be rebuilt from scratch; eval is the instance whose
+	// model/core/abort-cause accessors read (the warm instance except in
+	// ModeFresh, where it is the last replica).
+	clauseLog      [][]sat.Lit
+	eval           *sat.Solver
+	budget         sat.Budget
+	selfChecks     int64
+	selfMismatches int64
+	firstMismatch  string
+	// Model cache: the last Sat model, extendable over gates defined since
+	// by circuit evaluation (Tseitin definitions pin each gate variable to
+	// exactly the value of its operator over its children, so the extension
+	// satisfies every definitional clause by construction). A query whose
+	// assumptions hold under the extended model is Sat with an exhibited
+	// model — no search. Invalidated by user-level constraints (Assert,
+	// AssertClause, AtMostK), which can make the cached model a non-model.
+	gateDefs    []gateDef
+	cachedModel []bool
+	modelOK     bool
+	modelVars   int // NumVars when the cache was committed
+	modelGates  int // gateDefs reflected in cachedModel
+	fromCache   bool
+	modelHits   int64
 }
 
-// NewSolver returns an empty solver.
-func NewSolver() *Solver {
+// gateDef records one Tseitin gate (in creation order, which is
+// topological: children are encoded before parents) so the model cache can
+// evaluate gates defined after the last capture.
+type gateDef struct {
+	v    sat.Lit // the defining literal (always positive)
+	and  bool    // conjunction gate (else disjunction)
+	kids []sat.Lit
+}
+
+// NewSolver returns an empty solver in ModeIncremental.
+func NewSolver() *Solver { return NewSolverMode(ModeIncremental) }
+
+// NewSolverMode returns an empty solver with the given Check mode.
+func NewSolverMode(mode Mode) *Solver {
 	s := &Solver{
 		sat:  sat.New(),
+		mode: mode,
 		vars: make(map[string]*Expr),
 		lits: make(map[*Expr]sat.Lit),
+		defs: make(map[string]sat.Lit),
 	}
+	s.eval = s.sat
 	s.trueE = &Expr{op: opTrue}
 	s.falseE = &Expr{op: opFalse}
 	tv := s.sat.NewVar()
 	s.trueLit = sat.Lit(tv)
-	s.sat.AddClause(s.trueLit)
+	s.addClause(s.trueLit)
 	return s
+}
+
+// Mode returns the solver's Check mode.
+func (s *Solver) Mode() Mode { return s.mode }
+
+// addClause funnels every CNF clause into the warm instance and, when a
+// reference replica may be needed, into the replay log. sat.AddClause
+// sorts its argument slice in place, so the log keeps its own copy.
+func (s *Solver) addClause(lits ...sat.Lit) bool {
+	if s.mode != ModeIncremental {
+		s.clauseLog = append(s.clauseLog, append([]sat.Lit(nil), lits...))
+	}
+	return s.sat.AddClause(lits...)
 }
 
 // True and False return the boolean constants.
@@ -187,7 +291,8 @@ func Xor(a, b *Expr) *Expr {
 }
 
 // lit Tseitin-transforms e and returns its defining literal. Results are
-// memoized per node, so shared subformulas encode once.
+// memoized per node and gate definitions are hash-consed across nodes, so
+// shared subformulas encode once even when rebuilt as fresh Expr trees.
 func (s *Solver) lit(e *Expr) sat.Lit {
 	if e == nil {
 		return s.trueLit
@@ -205,48 +310,136 @@ func (s *Solver) lit(e *Expr) sat.Lit {
 		l = s.trueLit.Neg()
 	case opNot:
 		l = s.lit(e.kids[0]).Neg()
-	case opAnd:
-		v := sat.Lit(s.sat.NewVar())
-		all := make([]sat.Lit, 0, len(e.kids)+1)
-		for _, k := range e.kids {
-			kl := s.lit(k)
-			s.sat.AddClause(v.Neg(), kl) // v → k
-			all = append(all, kl.Neg())
+	case opAnd, opOr:
+		kids := make([]sat.Lit, len(e.kids))
+		for i, k := range e.kids {
+			kids[i] = s.lit(k)
 		}
-		all = append(all, v) // (∧k) → v
-		s.sat.AddClause(all...)
-		l = v
-	case opOr:
-		v := sat.Lit(s.sat.NewVar())
-		all := make([]sat.Lit, 0, len(e.kids)+1)
-		for _, k := range e.kids {
-			kl := s.lit(k)
-			s.sat.AddClause(v, kl.Neg()) // k → v
-			all = append(all, kl)
-		}
-		all = append(all, v.Neg()) // v → ∨k
-		s.sat.AddClause(all...)
-		l = v
+		l = s.gate(e.op, kids)
 	}
 	s.lits[e] = l
 	return l
 }
 
+// gate returns the defining literal of an And/Or over child literals. The
+// child set is canonicalized first (sorted, deduplicated, constants and
+// complementary pairs folded — sound because ∧/∨ are commutative and
+// idempotent), then looked up in the hash-cons table: a structurally
+// identical gate reuses the existing auxiliary variable instead of
+// re-emitting its Tseitin definition.
+func (s *Solver) gate(o op, kids []sat.Lit) sat.Lit {
+	s.gates++
+	sort.Slice(kids, func(i, j int) bool {
+		vi, vj := kids[i].Var(), kids[j].Var()
+		if vi != vj {
+			return vi < vj
+		}
+		return kids[i] < kids[j]
+	})
+	tru, fls := s.trueLit, s.trueLit.Neg()
+	out := kids[:0]
+	for _, l := range kids {
+		if o == opAnd {
+			if l == tru {
+				continue // neutral element
+			}
+			if l == fls {
+				return fls // absorbing element
+			}
+		} else {
+			if l == fls {
+				continue
+			}
+			if l == tru {
+				return tru
+			}
+		}
+		if len(out) > 0 && out[len(out)-1] == l {
+			continue // duplicate (idempotence)
+		}
+		if len(out) > 0 && out[len(out)-1] == l.Neg() {
+			// l and ¬l are adjacent after the var-major sort: x ∧ ¬x = ⊥,
+			// x ∨ ¬x = ⊤.
+			if o == opAnd {
+				return fls
+			}
+			return tru
+		}
+		out = append(out, l)
+	}
+	switch len(out) {
+	case 0:
+		if o == opAnd {
+			return tru
+		}
+		return fls
+	case 1:
+		return out[0]
+	}
+	key := gateKey(o, out)
+	if l, ok := s.defs[key]; ok {
+		s.tseitinSaved++
+		return l
+	}
+	v := sat.Lit(s.sat.NewVar())
+	all := make([]sat.Lit, 0, len(out)+1)
+	if o == opAnd {
+		for _, kl := range out {
+			s.addClause(v.Neg(), kl) // v → k
+			all = append(all, kl.Neg())
+		}
+		all = append(all, v) // (∧k) → v
+	} else {
+		for _, kl := range out {
+			s.addClause(v, kl.Neg()) // k → v
+			all = append(all, kl)
+		}
+		all = append(all, v.Neg()) // v → ∨k
+	}
+	s.addClause(all...)
+	s.defs[key] = v
+	s.gateDefs = append(s.gateDefs, gateDef{v: v, and: o == opAnd, kids: out})
+	return v
+}
+
+// gateKey renders the canonical byte key of a gate: the op tag followed by
+// the canonicalized child literals.
+func gateKey(o op, lits []sat.Lit) string {
+	var b strings.Builder
+	b.Grow(1 + len(lits)*8)
+	b.WriteByte(byte(o))
+	for _, l := range lits {
+		v := uint64(int64(l))
+		for j := 0; j < 8; j++ {
+			b.WriteByte(byte(v >> (8 * j)))
+		}
+	}
+	return b.String()
+}
+
+// invalidate drops every cache a user-level constraint can poison: the
+// verdict memo (a new hard clause can flip Sat verdicts) and the model
+// cache (the cached assignment may violate the new clause).
+func (s *Solver) invalidate() {
+	s.memo = nil
+	s.modelOK = false
+}
+
 // Assert adds e as a hard constraint.
 func (s *Solver) Assert(e *Expr) {
-	s.memo = nil
-	s.sat.AddClause(s.lit(e))
+	s.invalidate()
+	s.addClause(s.lit(e))
 }
 
 // AssertClause adds a disjunction of formulas as one CNF clause (cheaper
 // than Assert(Or(...)) — no auxiliary variable).
 func (s *Solver) AssertClause(es ...*Expr) {
-	s.memo = nil
+	s.invalidate()
 	lits := make([]sat.Lit, len(es))
 	for i, e := range es {
 		lits[i] = s.lit(e)
 	}
-	s.sat.AddClause(lits...)
+	s.addClause(lits...)
 }
 
 // Check determines satisfiability of the asserted formulas under the given
@@ -258,7 +451,161 @@ func (s *Solver) Check(assumptions ...*Expr) sat.Status {
 // CheckCtx is Check under a context: long-running solver queries return
 // sat.Unknown promptly once ctx is cancelled, leaving the solver usable.
 func (s *Solver) CheckCtx(ctx context.Context, assumptions ...*Expr) sat.Status {
-	return s.sat.SolveCtx(ctx, s.assume(assumptions)...)
+	return s.solve(ctx, s.assume(assumptions))
+}
+
+// solve discharges one query according to the solver mode.
+func (s *Solver) solve(ctx context.Context, lits []sat.Lit) sat.Status {
+	s.fromCache = false
+	switch s.mode {
+	case ModeFresh:
+		ref := s.freshReplica()
+		st := ref.SolveCtx(ctx, lits...)
+		s.eval = ref
+		return st
+	case ModeCheck:
+		if s.tryModel(lits) {
+			// The cache's Sat is backed by an exhibited model, but check
+			// mode distrusts the whole incremental stack: replay on a fresh
+			// reference anyway.
+			s.fromCache = true
+			s.record(sat.Sat, s.replay(ctx, lits))
+			return sat.Sat
+		}
+		st := s.sat.SolveCtx(ctx, lits...)
+		s.eval = s.sat
+		if st == sat.Sat {
+			s.captureModel()
+		}
+		s.record(st, s.replay(ctx, lits))
+		return st
+	default:
+		if s.tryModel(lits) {
+			s.fromCache = true
+			return sat.Sat
+		}
+		st := s.sat.SolveCtx(ctx, lits...)
+		s.eval = s.sat
+		if st == sat.Sat {
+			s.captureModel()
+		}
+		return st
+	}
+}
+
+// replay decides the query on a fresh reference replica (check mode).
+func (s *Solver) replay(ctx context.Context, lits []sat.Lit) sat.Status {
+	ref := s.freshReplica()
+	return ref.SolveCtx(ctx, lits...)
+}
+
+// record tallies one check-mode comparison. Budget-aborted sides are not
+// compared — warm and cold searches legitimately exhaust budgets at
+// different points.
+func (s *Solver) record(st, rst sat.Status) {
+	if st == sat.Unknown || rst == sat.Unknown {
+		return
+	}
+	s.selfChecks++
+	if st != rst {
+		s.selfMismatches++
+		if s.firstMismatch == "" {
+			s.firstMismatch = fmt.Sprintf("incremental=%v fresh=%v", st, rst)
+		}
+	}
+}
+
+// tryModel attempts to answer a query from the model cache: the cached
+// model is extended over gates defined since the last capture (circuit
+// evaluation in creation order — children precede parents), fresh free
+// atoms named by the assumptions are set to satisfy them, and the query is
+// Sat if every assumption literal holds under the extension. A miss
+// mutates only entries above modelVars, which the next attempt recomputes,
+// so failed tries never corrupt the committed model.
+func (s *Solver) tryModel(lits []sat.Lit) bool {
+	if !s.modelOK {
+		return false
+	}
+	// Variables are 1-based: index NumVars is the newest variable.
+	n := s.sat.NumVars()
+	for len(s.cachedModel) <= n {
+		s.cachedModel = append(s.cachedModel, false)
+	}
+	ext := s.cachedModel
+	pending := s.gateDefs[s.modelGates:]
+	var isGate map[int]bool
+	if len(pending) > 0 {
+		isGate = make(map[int]bool, len(pending))
+		for _, g := range pending {
+			isGate[g.v.Var()] = true
+		}
+	}
+	// Free atoms created since the capture are unconstrained outside the
+	// pending gate definitions: set the ones the assumptions name so they
+	// hold. (Contradictory assumptions on one atom leave the earlier
+	// literal false and miss below — sound.)
+	for _, l := range lits {
+		if v := l.Var(); v > s.modelVars && !isGate[v] {
+			ext[v] = l.Sign()
+		}
+	}
+	for _, g := range pending {
+		val := g.and
+		for _, kl := range g.kids {
+			kv := ext[kl.Var()] == kl.Sign()
+			if g.and {
+				val = val && kv
+			} else {
+				val = val || kv
+			}
+			if kv != g.and {
+				break // absorbing element found
+			}
+		}
+		ext[g.v.Var()] = val
+	}
+	for _, l := range lits {
+		if ext[l.Var()] != l.Sign() {
+			return false
+		}
+	}
+	s.modelVars, s.modelGates = n, len(s.gateDefs)
+	s.modelHits++
+	return true
+}
+
+// captureModel snapshots the warm instance's model after a Sat solve so
+// the cache can serve later queries.
+func (s *Solver) captureModel() {
+	n := s.sat.NumVars()
+	for len(s.cachedModel) <= n {
+		s.cachedModel = append(s.cachedModel, false)
+	}
+	for v := 1; v <= n; v++ {
+		s.cachedModel[v] = s.eval.Value(v)
+	}
+	s.modelOK, s.modelVars, s.modelGates = true, n, len(s.gateDefs)
+}
+
+// freshReplica rebuilds the current CNF in a brand-new CDCL instance: same
+// variables, same clauses in insertion order, same budget — but no learnt
+// clauses, no saved phases, no warm trail. It is the non-incremental
+// reference the equivalence battery and ModeCheck compare against.
+func (s *Solver) freshReplica() *sat.Solver {
+	ref := sat.New()
+	for ref.NumVars() < s.sat.NumVars() {
+		ref.NewVar()
+	}
+	ref.SetBudget(s.budget)
+	var buf []sat.Lit
+	for _, c := range s.clauseLog {
+		// AddClause sorts its argument in place; keep the log pristine.
+		buf = append(buf[:0], c...)
+		if !ref.AddClause(buf...) {
+			break
+		}
+	}
+	return ref
 }
 
 // assume encodes the assumption formulas and records the literal → formula
@@ -287,7 +634,7 @@ func (s *Solver) CheckMemo(ctx context.Context, assumptions ...*Expr) (sat.Statu
 		s.memoHits++
 		return st, true
 	}
-	st := s.sat.SolveCtx(ctx, lits...)
+	st := s.solve(ctx, lits)
 	if st != sat.Unknown {
 		if s.memo == nil {
 			s.memo = make(map[string]sat.Status)
@@ -305,18 +652,53 @@ func (s *Solver) MemoStats() (hits, lookups int64) {
 // SetBudget bounds every subsequent solve call's search effort (see
 // sat.Budget). Budget-aborted calls return sat.Unknown and are never
 // cached by CheckMemo, so a later unbudgeted Check recomputes honestly.
-func (s *Solver) SetBudget(b sat.Budget) { s.sat.SetBudget(b) }
+// Fresh reference replicas inherit the same per-call budget.
+func (s *Solver) SetBudget(b sat.Budget) {
+	s.budget = b
+	s.sat.SetBudget(b)
+}
 
 // AbortCause classifies the last Unknown verdict: faults.ErrBudget for an
 // exhausted effort budget, faults.ErrDeadline / faults.ErrCanceled for a
 // fired context, nil after a decided call.
-func (s *Solver) AbortCause() error { return s.sat.AbortCause() }
+func (s *Solver) AbortCause() error {
+	if s.fromCache {
+		return nil // cache answers are decided, never aborted
+	}
+	return s.eval.AbortCause()
+}
 
-// SatStats returns the underlying CDCL solver's search-effort counters
-// (decisions, propagations, conflicts, restarts).
+// SatStats returns the warm CDCL instance's search-effort counters
+// (decisions, propagations, conflicts, restarts). In ModeFresh the warm
+// instance answers no queries, so the counters only reflect root-level
+// propagation during clause loading.
 func (s *Solver) SatStats() (decisions, propagations, conflicts, restarts int64) {
 	return s.sat.Counters()
 }
+
+// IncrementalStats returns the warm instance's incremental-solving
+// counters (prefix-reuse depth, root-unit promotions, clause-DB diet).
+func (s *Solver) IncrementalStats() sat.IncStats { return s.sat.IncrementalStats() }
+
+// EncodeStats returns the Tseitin gate counters: gates requested and gates
+// answered from the hash-cons table without allocating a fresh auxiliary
+// variable or re-emitting definitional clauses.
+func (s *Solver) EncodeStats() (gates, shared int64) { return s.gates, s.tseitinSaved }
+
+// SelfCheckStats returns, for ModeCheck, the number of Check calls whose
+// verdict was replayed on a fresh reference replica and how many of those
+// disagreed (always 0 unless the incremental path is unsound).
+func (s *Solver) SelfCheckStats() (checks, mismatches int64) {
+	return s.selfChecks, s.selfMismatches
+}
+
+// FirstMismatch describes the first incremental-vs-fresh verdict
+// disagreement ModeCheck observed ("" when none).
+func (s *Solver) FirstMismatch() string { return s.firstMismatch }
+
+// ModelCacheHits returns how many queries were answered Sat by extending
+// the cached model over newly defined gates, without any solver search.
+func (s *Solver) ModelCacheHits() int64 { return s.modelHits }
 
 // canonKey renders a canonical byte key for an assumption literal set.
 func canonKey(lits []sat.Lit) string {
@@ -342,7 +724,7 @@ func canonKey(lits []sat.Lit) string {
 // Unsat verdict.
 func (s *Solver) FailedAssumptions() []*Expr {
 	var out []*Expr
-	for _, l := range s.sat.FailedAssumptions() {
+	for _, l := range s.eval.FailedAssumptions() {
 		if e, ok := s.lastAssumed[l]; ok {
 			out = append(out, e)
 		}
@@ -359,7 +741,10 @@ func (s *Solver) Value(e *Expr) bool {
 	case opFalse:
 		return false
 	case opVar:
-		return s.sat.Value(e.v)
+		if s.fromCache {
+			return e.v < len(s.cachedModel) && s.cachedModel[e.v]
+		}
+		return s.eval.Value(e.v)
 	case opNot:
 		return !s.Value(e.kids[0])
 	case opAnd:
@@ -387,7 +772,7 @@ func (s *Solver) AtMostK(k int, es ...*Expr) {
 	if k >= n {
 		return
 	}
-	s.memo = nil
+	s.invalidate()
 	if k < 0 {
 		s.Assert(s.False())
 		return
@@ -410,18 +795,18 @@ func (s *Solver) AtMostK(k int, es ...*Expr) {
 			r[i][j] = sat.Lit(s.sat.NewVar())
 		}
 	}
-	s.sat.AddClause(lits[0].Neg(), r[0][0])
+	s.addClause(lits[0].Neg(), r[0][0])
 	for j := 1; j < k; j++ {
-		s.sat.AddClause(r[0][j].Neg())
+		s.addClause(r[0][j].Neg())
 	}
 	for i := 1; i < n; i++ {
-		s.sat.AddClause(lits[i].Neg(), r[i][0])
-		s.sat.AddClause(r[i-1][0].Neg(), r[i][0])
+		s.addClause(lits[i].Neg(), r[i][0])
+		s.addClause(r[i-1][0].Neg(), r[i][0])
 		for j := 1; j < k; j++ {
-			s.sat.AddClause(lits[i].Neg(), r[i-1][j-1].Neg(), r[i][j])
-			s.sat.AddClause(r[i-1][j].Neg(), r[i][j])
+			s.addClause(lits[i].Neg(), r[i-1][j-1].Neg(), r[i][j])
+			s.addClause(r[i-1][j].Neg(), r[i][j])
 		}
-		s.sat.AddClause(lits[i].Neg(), r[i-1][k-1].Neg())
+		s.addClause(lits[i].Neg(), r[i-1][k-1].Neg())
 	}
 }
 
