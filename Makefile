@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-core check vet fmt lint audit-presolve bench bench-all bench-smoke profile fuzz conform chaos cover
+.PHONY: all build test race race-core check vet fmt lint audit-presolve bench bench-all bench-smoke profile fuzz conform chaos crash-chaos cover
 
 all: build test
 
@@ -61,10 +61,12 @@ fuzz:
 CONFORM_N ?= 200
 CONFORM_SEED ?= 1
 CONFORM_CHECKPOINT ?=
+CONFORM_STORE ?=
 conform:
 	$(GO) test ./internal/progen -run 'TestConformRun|TestRegressionReplay|TestDegradationReplay' -v \
 		-conform.n $(CONFORM_N) -conform.seed $(CONFORM_SEED) \
 		$(if $(CONFORM_CHECKPOINT),-conform.checkpoint $(CONFORM_CHECKPOINT) -conform.resume) \
+		$(if $(CONFORM_STORE),-conform.store $(CONFORM_STORE)) \
 		-timeout 30m
 
 # chaos runs the fault-injection campaign (internal/chaos) under the race
@@ -80,6 +82,17 @@ chaos:
 	$(GO) test -race ./internal/chaos -run TestChaosCampaign -count=1 -v \
 		-chaos.n $(CHAOS_N) -chaos.rate $(CHAOS_RATE) \
 		-chaos.seed $(CHAOS_SEED) -chaos.fault-seed $(CHAOS_FAULT_SEED) \
+		-timeout 30m
+
+# crash-chaos runs the campaign-store kill campaign under the race
+# detector: worker processes are SIGKILLed at seeded instruction
+# boundaries inside every WAL and compaction critical section (≥50
+# kills), and the store must lose no committed verdict, re-run every
+# abandoned claim, and report byte-identically to an uninterrupted run.
+# TestStoreChaosIO additionally drives the store under an armed
+# injection plan so every io fault is classified and recoverable.
+crash-chaos:
+	$(GO) test -race ./internal/chaos -run 'TestStoreKillCampaign|TestStoreChaosIO' -count=1 -v \
 		-timeout 30m
 
 # cover writes per-package coverage profiles and prints the summary for

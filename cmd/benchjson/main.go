@@ -39,6 +39,7 @@ import (
 	"runtime"
 	"time"
 
+	"lcm/internal/campstore"
 	"lcm/internal/cryptolib"
 	"lcm/internal/harness"
 	"lcm/internal/obsv"
@@ -142,7 +143,10 @@ func main() {
 				snap.Counters["presolve.skipped_queries"], snap.Counters["sat.prefix_lits"],
 				snap.Counters["smt.tseitin_shared"])
 		}
-		if !*noPresolve {
+		// The storage workload never consults the pre-solver: an ablation
+		// column would compare two identical fsync-bound runs and gate CI
+		// on scheduler noise.
+		if !*noPresolve && name != "campstore" {
 			elapsed, snap := measure(*par, true)
 			e.NoPresolveNs = elapsed.Nanoseconds()
 			if e.NsPerOp > 0 {
@@ -163,6 +167,54 @@ func main() {
 		}
 		results[name] = e
 	}
+
+	// Campaign-store throughput: claim+complete WAL round trips (one
+	// fsync each) racing across the worker count — the per-verdict
+	// storage cost a `clou -gen -store` campaign pays. The pre-solver
+	// ablation is meaningless here; the ratio just reads ~1.
+	record("campstore", func(workers int, _ bool, tr *obsv.Tracer, reg *obsv.Registry) error {
+		root := tr.Start("campstore")
+		defer root.End()
+		const ops = 256
+		dir, err := os.MkdirTemp("", "campstore-bench")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		st, err := campstore.Open(dir, campstore.Options{
+			Seed: 1, N: ops, Worker: "bench", Metrics: reg, CompactBytes: -1,
+		})
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		payload := []byte(`{"bench":true}`)
+		errs := make(chan error, workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				for {
+					l, ok, err := st.ClaimNext()
+					if err != nil || !ok {
+						errs <- err
+						return
+					}
+					if err := st.Complete(l, payload); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}()
+		}
+		for w := 0; w < workers; w++ {
+			if err := <-errs; err != nil {
+				return err
+			}
+		}
+		if !st.Done() {
+			return fmt.Errorf("campstore bench finished %d/%d ops", st.CompletedCount(), ops)
+		}
+		return nil
+	})
 
 	for _, suite := range []string{"pht", "stl", "fwd", "new", "psf", "imp", "ss"} {
 		suite := suite

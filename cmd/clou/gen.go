@@ -6,14 +6,28 @@
 // detection CLI's -j / -report / -timeout plumbing. With -checkpoint the
 // campaign is resumable: completed programs are logged as they finish and
 // -resume skips them on the next run.
+//
+// With -store DIR the campaign state lives in a crash-safe transactional
+// store (internal/campstore) instead: every verdict is WAL-committed as
+// it lands, a killed run resumes from the store with no flag beyond
+// -store itself, and -workers N shards the campaign across N OS worker
+// processes that coordinate purely through the store — no network. The
+// final report is assembled from the store in index order, so resumed,
+// re-sharded, and single-process runs emit byte-identical normalized
+// reports.
 package main
 
 import (
 	"context"
 	"fmt"
 	"io"
+	"os"
+	"os/exec"
+	"strconv"
 	"time"
 
+	"lcm/internal/campstore"
+	"lcm/internal/faults"
 	"lcm/internal/obsv"
 	"lcm/internal/progen"
 )
@@ -26,10 +40,45 @@ type genOptions struct {
 	report     string
 	checkpoint string
 	resume     bool
+	store      string // campaign store directory ("" = none)
+	workers    int    // OS worker processes to shard across (0 = run in-process)
+	workerMode bool   // this process is a spawned worker: claim/complete until dry
+	importCkpt string // JSONL checkpoint to migrate into the store before running
+}
+
+// genExit converts a campaign error into the exit-code contract:
+// operational storage failures (io, corrupt) are the partial arm — the
+// campaign state survives and a retry can finish it — while anything
+// unclassified is a usage/input error.
+func genExit(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "clou:", err)
+	if faults.IsOperational(err) {
+		return exitPartial
+	}
+	return exitUsage
 }
 
 // runGen drives one conformance sweep and returns the exit code.
 func runGen(o genOptions, stdout, stderr io.Writer) int {
+	if o.store == "" {
+		if o.workerMode || o.workers > 0 || o.importCkpt != "" {
+			fmt.Fprintln(stderr, "clou: -worker, -workers, and -import-checkpoint require -store")
+			return exitUsage
+		}
+		return runGenDirect(o, stdout, stderr)
+	}
+	if o.checkpoint != "" {
+		fmt.Fprintln(stderr, "clou: -checkpoint and -store are mutually exclusive; use -import-checkpoint to migrate")
+		return exitUsage
+	}
+	if o.workerMode {
+		return runGenWorker(o, stdout, stderr)
+	}
+	return runGenStore(o, stdout, stderr)
+}
+
+// runGenDirect is the original in-memory/JSONL-checkpoint path.
+func runGenDirect(o genOptions, stdout, stderr io.Writer) int {
 	metrics := obsv.NewRegistry()
 	tracer := obsv.NewTracer()
 	root := tracer.Start("gen")
@@ -45,10 +94,164 @@ func runGen(o genOptions, stdout, stderr io.Writer) int {
 	})
 	root.End()
 	if err != nil {
-		fmt.Fprintln(stderr, "clou:", err)
-		return exitUsage
+		return genExit(stderr, err)
+	}
+	return genSummarize(o, out, metrics, tracer, stdout, stderr)
+}
+
+// runGenWorker is the body of a spawned `-worker` process: attach to the
+// store, claim and analyze items until none are claimable, exit. The
+// verdicts live in the store; the coordinator owns reporting, so a
+// worker's own exit code only distinguishes "drained cleanly" from
+// operational or environmental death.
+func runGenWorker(o genOptions, stdout, stderr io.Writer) int {
+	st, err := campstore.Open(o.store, campstore.Options{
+		Seed: o.seed, N: o.n, Worker: fmt.Sprintf("w%d", os.Getpid()), Attach: true,
+	})
+	if err != nil {
+		return genExit(stderr, err)
+	}
+	defer st.Close()
+	done, err := progen.RunStore(context.Background(), st, progen.Options{Seed: o.seed, N: o.n}, 0)
+	if err != nil {
+		return genExit(stderr, err)
+	}
+	fmt.Fprintf(stdout, "== worker: completed %d item(s)\n", done)
+	return exitClean
+}
+
+// runGenStore is the campaign coordinator: open (or resume) the store,
+// optionally migrate a JSONL checkpoint into it, run the campaign —
+// in-process via the pool when -workers is 0, otherwise sharded across
+// OS worker processes in waves with a lease reclaim between waves — and
+// assemble the final report from the store in index order.
+func runGenStore(o genOptions, stdout, stderr io.Writer) int {
+	start := time.Now()
+	// The report registry sees only the store counters and the
+	// index-ordered verdict replay, never live analysis interleaving:
+	// that is what makes resumed and re-sharded reports byte-identical.
+	metrics := obsv.NewRegistry()
+	st, err := campstore.Open(o.store, campstore.Options{
+		Seed: o.seed, N: o.n, Worker: "coordinator", Metrics: metrics,
+	})
+	if err != nil {
+		return genExit(stderr, err)
+	}
+	defer st.Close()
+
+	if o.importCkpt != "" {
+		n, err := progen.ImportCheckpoint(st, o.importCkpt)
+		if err != nil {
+			return genExit(stderr, err)
+		}
+		fmt.Fprintf(stdout, "== store: imported %d checkpoint record(s)\n", n)
 	}
 
+	// Verdicts already in the store — from a previous (possibly killed)
+	// run or a checkpoint import — are resumed, not re-analyzed.
+	resumed := st.CompletedCount()
+
+	if o.workers > 0 {
+		if code := runWorkerWaves(o, st, stdout, stderr); code != exitClean {
+			return code
+		}
+	} else {
+		live := obsv.NewRegistry()
+		if _, err := progen.RunCtx(context.Background(), progen.Options{
+			Seed: o.seed, N: o.n, Jobs: o.jobs, Budget: o.budget,
+			Store: st, Metrics: live,
+		}); err != nil {
+			return genExit(stderr, err)
+		}
+	}
+
+	tracer := obsv.NewTracer()
+	root := tracer.Start("gen")
+	out, err := progen.OutcomeFromStore(st, metrics)
+	root.End()
+	if err != nil {
+		return genExit(stderr, err)
+	}
+	out.Wall = time.Since(start)
+	out.Resumed = resumed
+	return genSummarize(o, out, metrics, tracer, stdout, stderr)
+}
+
+// workerCommand builds the command for one spawned campaign worker: the
+// same binary, re-invoked in -worker mode against the same store. It is
+// a variable so the test harness (and the chaos kill campaign) can
+// re-exec the test binary into a worker entry point instead.
+var workerCommand = func(o genOptions) (*exec.Cmd, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, faults.IOf("locate worker executable: %v", err)
+	}
+	return exec.Command(exe,
+		"-gen", strconv.Itoa(o.n),
+		"-seed", strconv.FormatInt(o.seed, 10),
+		"-store", o.store,
+		"-worker"), nil
+}
+
+// runWorkerWaves shards the campaign across o.workers OS processes.
+// Workers speak to the coordinator only through the store; a worker that
+// dies (crash, SIGKILL, OOM) simply leaves leases behind, which the
+// between-waves Reclaim expires so the next wave re-runs exactly the
+// unfinished items. The loop stalls out — rather than spinning forever —
+// if successive waves stop making progress.
+func runWorkerWaves(o genOptions, st *campstore.Store, stdout, stderr io.Writer) int {
+	stalled := 0
+	for wave := 1; ; wave++ {
+		if err := st.Sync(); err != nil {
+			return genExit(stderr, err)
+		}
+		before := st.CompletedCount()
+		if before >= o.n {
+			return exitClean
+		}
+		procs := make([]*exec.Cmd, 0, o.workers)
+		for w := 0; w < o.workers; w++ {
+			cmd, err := workerCommand(o)
+			if err != nil {
+				return genExit(stderr, err)
+			}
+			cmd.Stdout = io.Discard
+			cmd.Stderr = stderr
+			if err := cmd.Start(); err != nil {
+				return genExit(stderr, faults.IOf("spawn worker: %v", err))
+			}
+			procs = append(procs, cmd)
+		}
+		crashed := 0
+		for _, cmd := range procs {
+			if err := cmd.Wait(); err != nil {
+				crashed++
+			}
+		}
+		if err := st.Sync(); err != nil {
+			return genExit(stderr, err)
+		}
+		reclaimed, err := st.Reclaim()
+		if err != nil {
+			return genExit(stderr, err)
+		}
+		after := st.CompletedCount()
+		fmt.Fprintf(stdout, "== wave %d: %d/%d verdicts (+%d), %d worker(s) died, %d lease(s) reclaimed\n",
+			wave, after, o.n, after-before, crashed, reclaimed)
+		if after <= before {
+			stalled++
+			if stalled >= 3 {
+				return genExit(stderr, faults.IOf("campaign stalled: %d/%d verdicts after %d waves", after, o.n, wave))
+			}
+		} else {
+			stalled = 0
+		}
+	}
+}
+
+// genSummarize prints the per-verdict summary, writes the report, and
+// maps the outcome to the exit-code contract.
+func genSummarize(o genOptions, out *progen.Outcome, metrics *obsv.Registry, tracer *obsv.Tracer, stdout, stderr io.Writer) int {
 	byVerdict := map[string]int{}
 	degraded := 0
 	for _, r := range out.Programs {

@@ -11,6 +11,8 @@
 //	     [-report out.json] [-debug-addr :6060] file.c
 //	clou -gen N [-seed S] [-j 8] [-gen-budget 2m] [-report out.json]
 //	     [-checkpoint run.ckpt [-resume]]
+//	clou -gen N -store DIR [-workers 4] [-import-checkpoint run.ckpt]
+//	     [-report out.json]
 //
 // -gen N switches to conformance smoke mode: generate N seeded mini-C
 // programs and run the progen oracle families on each (see
@@ -18,14 +20,24 @@
 // completed program to disk; -resume skips the indices already logged,
 // so a killed campaign continues instead of restarting.
 //
+// -store DIR keeps campaign state in a crash-safe transactional store
+// (internal/campstore) instead: verdicts are WAL-committed as they land
+// and a rerun with the same -store resumes automatically. -workers N
+// shards the campaign across N OS worker processes coordinating purely
+// through the store (a killed worker's claims are reclaimed between
+// waves); -worker is the spawned workers' own mode. -import-checkpoint
+// migrates an old JSONL checkpoint into the store first.
+//
 // -report writes the machine-readable run manifest (per-function
 // verdicts, metric snapshot, span tree; see internal/obsv); -debug-addr
 // serves expvar and net/http/pprof for live inspection of long runs.
 //
 // Exit codes: 0 = analysis completed clean at full precision; 1 = leaks
-// detected (or conformance oracle failures); 2 = usage, input, or I/O
-// error; 3 = no findings, but at least one verdict was degraded, unknown,
-// or skipped — the run is partial, not clean.
+// detected (or conformance oracle failures); 2 = usage or input error;
+// 3 = partial or operational: no findings, but at least one verdict was
+// degraded, unknown, or skipped — or campaign storage failed with a
+// classified io/corrupt fault (the state on disk survives; retry to
+// finish).
 package main
 
 import (
@@ -90,6 +102,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	genBudget := fs.Duration("gen-budget", 0, "optional wall-clock budget for -gen (0 = none; budgeted runs may skip programs)")
 	checkpoint := fs.String("checkpoint", "", "for -gen: log each completed program to this file (JSON lines)")
 	resume := fs.Bool("resume", false, "for -gen: skip indices already recorded in -checkpoint")
+	storeDir := fs.String("store", "", "for -gen: crash-safe campaign store directory (resumes automatically; excludes -checkpoint)")
+	workers := fs.Int("workers", 0, "for -gen -store: shard the campaign across N OS worker processes")
+	workerMode := fs.Bool("worker", false, "for -gen -store: run as a campaign worker (claim items until none remain)")
+	importCkpt := fs.String("import-checkpoint", "", "for -gen -store: migrate this JSONL checkpoint into the store before running")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
 	}
@@ -98,6 +114,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runGen(genOptions{
 			n: *genN, seed: *seed, jobs: *par, budget: *genBudget,
 			report: *reportPath, checkpoint: *checkpoint, resume: *resume,
+			store: *storeDir, workers: *workers, workerMode: *workerMode,
+			importCkpt: *importCkpt,
 		}, stdout, stderr)
 	}
 	mode, err := smt.ParseMode(*solverMode)

@@ -1,0 +1,70 @@
+package campstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// WAL and snapshot records share one on-disk frame:
+//
+//	[4B little-endian payload length][4B little-endian CRC32(payload)][payload]
+//
+// The CRC covers the payload only; the length field is validated by a
+// sanity bound plus the CRC of the bytes it delimits. A frame is written
+// with a single write(2) call, so a killed process leaves at most one
+// torn frame at the tail — and replay recovers to the last committed
+// prefix by stopping (and truncating) at the first frame that fails to
+// parse.
+
+const (
+	frameHeader = 8
+	// maxFrame bounds a frame's payload; a length field above it is
+	// corruption (a flipped bit), not a huge record.
+	maxFrame = 1 << 26
+)
+
+// appendFrame appends one framed payload to buf and returns it.
+func appendFrame(buf, payload []byte) []byte {
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// errFrame marks an unreadable frame: a torn tail, a flipped byte, or a
+// truncated header. It is recovery's stop signal, never surfaced to
+// callers.
+var errFrame = fmt.Errorf("unreadable frame")
+
+// readFrameAt parses one frame at off. It returns the payload and the
+// total frame size, errFrame for anything unparsable (short header,
+// insane length, short payload, CRC mismatch), and io.EOF exactly at a
+// clean end of file.
+func readFrameAt(f *os.File, off int64) ([]byte, int64, error) {
+	var hdr [frameHeader]byte
+	n, err := f.ReadAt(hdr[:], off)
+	if n == 0 && err == io.EOF {
+		return nil, 0, io.EOF
+	}
+	if n < frameHeader {
+		return nil, 0, errFrame
+	}
+	size := binary.LittleEndian.Uint32(hdr[0:4])
+	want := binary.LittleEndian.Uint32(hdr[4:8])
+	if size > maxFrame {
+		return nil, 0, errFrame
+	}
+	payload := make([]byte, size)
+	if m, err := f.ReadAt(payload, off+frameHeader); m < int(size) {
+		_ = err
+		return nil, 0, errFrame
+	}
+	if crc32.ChecksumIEEE(payload) != want {
+		return nil, 0, errFrame
+	}
+	return payload, frameHeader + int64(size), nil
+}

@@ -1,0 +1,101 @@
+package campstore
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+)
+
+// Kill points: named instruction boundaries inside the store's
+// durability-critical sections. The crash chaos campaign
+// (internal/chaos TestStoreKillCampaign) sets CAMPSTORE_KILL to
+// "<point>@<occurrence>" in a worker process's environment and the
+// process SIGKILLs itself — no deferred cleanup, no flushes, exactly
+// what a power cut or OOM kill looks like to the files — the n-th time
+// execution reaches that point. Every point sits on one side of a
+// durability boundary, so the sweep over all (point, occurrence) pairs
+// exercises every crash window the protocol claims to survive.
+const (
+	// KillWALWritePre fires before a WAL frame's write(2): the record is
+	// lost entirely; the lease or verdict it carried was never durable.
+	KillWALWritePre = "wal.write.pre"
+	// KillWALWritePost fires after the write but before the fsync: the
+	// record may or may not survive; recovery must accept both.
+	KillWALWritePost = "wal.write.post"
+	// KillWALSyncPre fires just before fsync(2) on the WAL.
+	KillWALSyncPre = "wal.sync.pre"
+	// KillWALSyncPost fires after the fsync: the record is committed;
+	// recovery must not lose it.
+	KillWALSyncPost = "wal.sync.post"
+	// KillSnapWritePre fires at the start of compaction, before the
+	// new-generation WAL or the temp snapshot exist.
+	KillSnapWritePre = "snap.write.pre"
+	// KillSnapRenamePre fires after the temp snapshot is written and
+	// fsynced but before the atomic rename: the old snapshot+log must
+	// still open.
+	KillSnapRenamePre = "snap.rename.pre"
+	// KillSnapRenamePost fires after the rename but before the old
+	// generation's log is removed: the new snapshot must open and the
+	// stale log must be ignored.
+	KillSnapRenamePost = "snap.rename.post"
+)
+
+// KillPoints lists every kill point, for the chaos campaign's sweep.
+func KillPoints() []string {
+	return []string{
+		KillWALWritePre, KillWALWritePost,
+		KillWALSyncPre, KillWALSyncPost,
+		KillSnapWritePre, KillSnapRenamePre, KillSnapRenamePost,
+	}
+}
+
+// KillEnv is the environment variable arming a kill point:
+// "<point>@<n>" SIGKILLs the process the n-th (1-based) time execution
+// reaches <point>.
+const KillEnv = "CAMPSTORE_KILL"
+
+var killArm struct {
+	once  sync.Once
+	point string
+	n     int64
+	hits  atomic.Int64
+}
+
+// armKillFromEnv parses KillEnv once per process. Called from Open so
+// re-exec'd worker processes arm themselves with no test plumbing.
+func armKillFromEnv() {
+	killArm.once.Do(func() {
+		spec := os.Getenv(KillEnv)
+		if spec == "" {
+			return
+		}
+		point, occ, ok := strings.Cut(spec, "@")
+		if !ok {
+			panic(fmt.Sprintf("campstore: malformed %s=%q (want point@n)", KillEnv, spec))
+		}
+		n, err := strconv.ParseInt(occ, 10, 64)
+		if err != nil || n < 1 {
+			panic(fmt.Sprintf("campstore: malformed %s=%q: bad occurrence", KillEnv, spec))
+		}
+		killArm.point = point
+		killArm.n = n
+	})
+}
+
+// killpoint SIGKILLs the process if the armed kill point matches and
+// this is its n-th hit. SIGKILL cannot be caught: the process dies
+// mid-critical-section with whatever half-written state the files hold.
+func killpoint(p string) {
+	if killArm.point != p {
+		return
+	}
+	if killArm.hits.Add(1) != killArm.n {
+		return
+	}
+	_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	select {} // unreachable: SIGKILL is not deliverable to a handler
+}

@@ -1,6 +1,6 @@
 // Package chaos drives the seeded fault-injection campaign behind `make
-// chaos`: N generated programs are analyzed by both engines through the
-// fault-tolerant supervisor while an armed faultinject.Plan fires panics,
+// chaos`: N generated programs are analyzed by all five engines through
+// the fault-tolerant supervisor while an armed faultinject.Plan fires panics,
 // artificial deadline exhaustion, and cancellations at every probe point.
 // The campaign's contract — asserted by its test — is that the pipeline
 // degrades instead of dying: zero process crashes, zero lost inputs
@@ -44,8 +44,8 @@ type Options struct {
 // Outcome is one finished campaign.
 type Outcome struct {
 	// Functions holds one report entry per (program, engine) pair, in
-	// input order: 2N entries, none missing — the zero-lost-inputs
-	// invariant.
+	// input order: len(engines)*N entries, none missing — the
+	// zero-lost-inputs invariant.
 	Functions []obsv.FuncReport
 	// Plan is the armed plan after the run; its fired tallies are the
 	// ground truth the taxonomy metrics must reconcile against.
@@ -53,12 +53,19 @@ type Outcome struct {
 	Wall time.Duration
 }
 
+// engines is every detection engine the campaign drives per program —
+// all five, so the taxonomy engines' candidate loops (psf pair
+// enumeration, imp training-window walk, ss feeder scan) take injected
+// faults too, not just the pht/stl window paths.
 var engines = []struct {
 	name string
 	mk   func() detect.Config
 }{
 	{"pht", detect.DefaultPHT},
 	{"stl", detect.DefaultSTL},
+	{"psf", detect.DefaultPSF},
+	{"imp", detect.DefaultIMP},
+	{"ss", detect.DefaultSS},
 }
 
 // Run executes one campaign. It arms the plan for the duration of the
@@ -78,7 +85,7 @@ func Run(ctx context.Context, opts Options) (*Outcome, error) {
 	faultinject.Arm(plan)
 	defer faultinject.Disarm()
 
-	out := &Outcome{Functions: make([]obsv.FuncReport, 2*opts.N), Plan: plan}
+	out := &Outcome{Functions: make([]obsv.FuncReport, len(engines)*opts.N), Plan: plan}
 	itemErrs := harness.ForEachSpanCtx(ctx, opts.Span, "chaos", opts.Jobs, opts.N, func(i int, sp *obsv.Span) error {
 		psp := sp.Start(fmt.Sprintf("prog-%04d", i))
 		defer psp.End()
@@ -116,7 +123,7 @@ func Run(ctx context.Context, opts Options) (*Outcome, error) {
 			}
 			fr := res.Report()
 			fr.Name = fmt.Sprintf("g%04d:%s", i, e.name)
-			out.Functions[2*i+k] = fr
+			out.Functions[len(engines)*i+k] = fr
 		}
 		return nil
 	})
@@ -133,7 +140,7 @@ func Run(ctx context.Context, opts Options) (*Outcome, error) {
 		// counters here since no supervisor observed it.
 		kind := faults.Kind(err)
 		for k, e := range engines {
-			out.Functions[2*i+k] = obsv.FuncReport{
+			out.Functions[len(engines)*i+k] = obsv.FuncReport{
 				Name:    fmt.Sprintf("g%04d:%s", i, e.name),
 				Verdict: "unknown",
 				Rung:    detect.RungUnknown.String(),

@@ -1,0 +1,360 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"syscall"
+	"testing"
+
+	"lcm/internal/campstore"
+	"lcm/internal/faultinject"
+	"lcm/internal/faults"
+	"lcm/internal/obsv"
+	"lcm/internal/progen"
+)
+
+// TestMain doubles as the kill campaign's worker entry point: spawned
+// processes re-exec this test binary with CHAOS_KILL_WORKER set and run
+// a store worker (or a compacting coordinator) instead of the tests.
+// CAMPSTORE_KILL in the inherited environment arms the seeded SIGKILL,
+// so the worker dies mid-critical-section with no cleanup — the same
+// thing a power cut or OOM kill looks like to the store files.
+func TestMain(m *testing.M) {
+	if os.Getenv("CHAOS_KILL_WORKER") == "1" {
+		killWorkerMain()
+	}
+	os.Exit(m.Run())
+}
+
+func killWorkerMain() {
+	dir := os.Getenv("CHAOS_STORE")
+	seed, _ := strconv.ParseInt(os.Getenv("CHAOS_SEED"), 10, 64)
+	n, _ := strconv.Atoi(os.Getenv("CHAOS_N"))
+	if os.Getenv("CHAOS_MODE") == "compact" {
+		// A coordinator with a 1-byte compaction threshold: opening the
+		// store immediately rewrites the snapshot, crossing the snap.*
+		// kill points.
+		st, err := campstore.Open(dir, campstore.Options{Seed: seed, N: n, Worker: "compactor", CompactBytes: 1})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kill-compactor:", err)
+			os.Exit(3)
+		}
+		st.Close()
+		os.Exit(0)
+	}
+	st, err := campstore.Open(dir, campstore.Options{
+		Seed: seed, N: n, Worker: fmt.Sprintf("k%d", os.Getpid()), Attach: true,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kill-worker:", err)
+		os.Exit(3)
+	}
+	defer st.Close()
+	if _, err := progen.RunStore(context.Background(), st, progen.Options{Seed: seed, N: n}, 0); err != nil {
+		fmt.Fprintln(os.Stderr, "kill-worker:", err)
+		os.Exit(3)
+	}
+	os.Exit(0)
+}
+
+const (
+	killSeed = int64(5)
+	killN    = 4
+)
+
+// killTempDir is t.TempDir, except when CHAOS_KILL_DIR is set (the CI
+// crash-chaos job points it into the workspace): then store directories
+// outlive the run, so a failure's on-disk state can be uploaded as an
+// artifact for offline forensics.
+func killTempDir(t *testing.T) string {
+	base := os.Getenv("CHAOS_KILL_DIR")
+	if base == "" {
+		return t.TempDir()
+	}
+	if err := os.MkdirAll(base, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	dir, err := os.MkdirTemp(base, "store-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// spawnKillWorker re-execs the test binary as a store worker with the
+// given kill point armed. It reports whether the process died to the
+// seeded SIGKILL; any other failure mode fails the test.
+func spawnKillWorker(t *testing.T, dir, mode, kill string) bool {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	var stderr bytes.Buffer
+	cmd.Stdout = io.Discard
+	cmd.Stderr = &stderr
+	cmd.Env = append(os.Environ(),
+		"CHAOS_KILL_WORKER=1",
+		"CHAOS_STORE="+dir,
+		"CHAOS_SEED="+strconv.FormatInt(killSeed, 10),
+		"CHAOS_N="+strconv.Itoa(killN),
+		"CHAOS_MODE="+mode,
+		campstore.KillEnv+"="+kill,
+	)
+	err := cmd.Run()
+	if err == nil {
+		return false
+	}
+	ws, ok := cmd.ProcessState.Sys().(syscall.WaitStatus)
+	if !ok || !ws.Signaled() || ws.Signal() != syscall.SIGKILL {
+		t.Fatalf("worker (%s, kill=%s) died unexpectedly: %v\nstderr:\n%s", mode, kill, err, stderr.String())
+	}
+	return true
+}
+
+// renderKillStore assembles the finished campaign from the store and
+// renders its normalized report bytes.
+func renderKillStore(t *testing.T, dir string) []byte {
+	t.Helper()
+	st, err := campstore.Open(dir, campstore.Options{Seed: killSeed, N: killN, Worker: "render", Attach: true})
+	if err != nil {
+		t.Fatalf("open store for render: %v", err)
+	}
+	defer st.Close()
+	reg := obsv.NewRegistry()
+	tr := obsv.NewTracer()
+	root := tr.Start("conform")
+	out, err := progen.OutcomeFromStore(st, reg)
+	root.End()
+	if err != nil {
+		t.Fatalf("assemble report: %v", err)
+	}
+	rep := out.Report(killSeed, 1, reg, tr)
+	rep.Normalize()
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// copyStoreDir snapshots a store directory so destructive sweeps can
+// reuse one state.
+func copyStoreDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := killTempDir(t)
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// TestStoreKillCampaign is the crash-chaos acceptance gate: workers are
+// SIGKILLed at seeded instruction boundaries inside every
+// durability-critical section — claim appends, complete appends, WAL
+// fsyncs, and compaction's snapshot write/rename — across at least 50
+// kills, and the store must (1) never lose a committed verdict, (2)
+// re-run every abandoned claim, and (3) finish to a normalized report
+// byte-identical to an uninterrupted single-process run.
+func TestStoreKillCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kill campaign in -short mode")
+	}
+
+	// Reference: the same campaign, one process, zero interruptions.
+	refDir := killTempDir(t)
+	ref, err := campstore.Open(refDir, campstore.Options{Seed: killSeed, N: killN, Worker: "ref"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := progen.RunStore(context.Background(), ref, progen.Options{Seed: killSeed, N: killN}, 0); err != nil {
+		t.Fatalf("reference campaign: %v", err)
+	}
+	ref.Close()
+	want := renderKillStore(t, refDir)
+
+	// The kill sweep: one shared campaign; each round spawns one worker
+	// per WAL kill point with the occurrence count rising, so the kills
+	// walk forward through the claim/complete/fsync sequence while the
+	// campaign's committed verdicts accumulate underneath them.
+	dir := killTempDir(t)
+	coord, err := campstore.Open(dir, campstore.Options{
+		Seed: killSeed, N: killN, Worker: "coordinator", CompactBytes: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	walPoints := []string{
+		campstore.KillWALWritePre, campstore.KillWALWritePost,
+		campstore.KillWALSyncPre, campstore.KillWALSyncPost,
+	}
+	kills, reclaims := 0, 0
+	killsAt := map[string]int{}
+	for occ := 1; !coord.Done(); occ++ {
+		if occ > 32 {
+			t.Fatalf("campaign failed to converge: %d/%d verdicts after %d rounds", coord.CompletedCount(), killN, occ)
+		}
+		for _, p := range walPoints {
+			if coord.Done() {
+				break
+			}
+			if err := coord.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			before := coord.CompletedCount()
+			if spawnKillWorker(t, dir, "worker", fmt.Sprintf("%s@%d", p, occ)) {
+				kills++
+				killsAt[p]++
+			}
+			if err := coord.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			// (1) Committed verdicts are monotonic: no kill, at any
+			// boundary, ever loses one.
+			if after := coord.CompletedCount(); after < before {
+				t.Fatalf("kill at %s@%d lost verdicts: %d -> %d", p, occ, before, after)
+			}
+			// (2) The dead worker's claims expire and re-run.
+			n, err := coord.Reclaim()
+			if err != nil {
+				t.Fatal(err)
+			}
+			reclaims += n
+		}
+	}
+	if coord.CompletedCount() != killN {
+		t.Fatalf("campaign finished with %d/%d verdicts", coord.CompletedCount(), killN)
+	}
+	if reclaims == 0 {
+		t.Error("no lease was ever reclaimed: the kills never interrupted a claim")
+	}
+
+	// Compact-boundary kills: replay compaction on copies of the finished
+	// (uncompacted) store, killing at each snapshot point, and prove the
+	// full verdict set survives every crash window.
+	for _, p := range []string{campstore.KillSnapWritePre, campstore.KillSnapRenamePre, campstore.KillSnapRenamePost} {
+		cp := copyStoreDir(t, dir)
+		if !spawnKillWorker(t, cp, "compact", p+"@1") {
+			t.Fatalf("compactor survived %s@1: compaction never crossed the point", p)
+		}
+		kills++
+		killsAt[p]++
+		if got := renderKillStore(t, cp); !bytes.Equal(got, want) {
+			t.Errorf("report after compaction kill at %s differs from reference", p)
+		}
+	}
+
+	// Volume: top the tally up past the acceptance floor with fresh
+	// campaigns killed at the very first claim append — the cheapest
+	// boundary, died-before-anything workers whose stores must still
+	// open clean.
+	for kills < 50 {
+		farm := killTempDir(t)
+		if f, err := campstore.Open(farm, campstore.Options{Seed: killSeed, N: killN, Worker: "seed"}); err != nil {
+			t.Fatal(err)
+		} else {
+			f.Close()
+		}
+		if !spawnKillWorker(t, farm, "worker", campstore.KillWALWritePre+"@1") {
+			t.Fatal("farm worker survived its first claim append")
+		}
+		kills++
+		killsAt["first-claim "+campstore.KillWALWritePre]++
+		st, err := campstore.Open(farm, campstore.Options{Seed: killSeed, N: killN, Worker: "check"})
+		if err != nil {
+			t.Fatalf("store unopenable after first-claim kill: %v", err)
+		}
+		if st.CompletedCount() != 0 {
+			t.Fatalf("phantom verdicts after first-claim kill: %d", st.CompletedCount())
+		}
+		st.Close()
+	}
+	t.Logf("kill campaign: %d SIGKILLs survived, %d leases reclaimed, 0 verdicts lost", kills, reclaims)
+	for _, p := range append(append([]string{}, walPoints...),
+		campstore.KillSnapWritePre, campstore.KillSnapRenamePre, campstore.KillSnapRenamePost,
+		"first-claim "+campstore.KillWALWritePre) {
+		t.Logf("  %-28s %d kills", p, killsAt[p])
+	}
+
+	// (3) The many-process, many-kill campaign reports byte-identically
+	// to the uninterrupted run.
+	if got := renderKillStore(t, dir); !bytes.Equal(got, want) {
+		t.Fatalf("kill-campaign report differs from uninterrupted run:\n--- uninterrupted ---\n%s\n--- killed ---\n%s", want, got)
+	}
+}
+
+// TestStoreChaosIO drives the campaign store under an armed rate-1
+// injection plan: every store probe decision becomes a classified
+// operational io fault, the store refuses to open rather than corrupt
+// state, and — disarmed — the same directory runs to completion.
+func TestStoreChaosIO(t *testing.T) {
+	if testing.Short() {
+		t.Skip("store io chaos in -short mode")
+	}
+	dir := t.TempDir()
+	plan := faultinject.NewPlan(7, 1)
+	faultinject.Arm(plan)
+	_, err := campstore.Open(dir, campstore.Options{Seed: killSeed, N: 2, Worker: "io"})
+	faultinject.Disarm()
+	if err == nil {
+		t.Fatal("store opened under a rate-1 io plan")
+	}
+	if !faults.IsOperational(err) {
+		t.Errorf("injected store fault is not operational: %v", err)
+	}
+	if faults.Kind(err) != "io" {
+		t.Errorf("injected store fault kind = %q, want io: %v", faults.Kind(err), err)
+	}
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Errorf("store fault not marked injected: %v", err)
+	}
+	// Reconciliation: every fired store probe was classified io — store
+	// probes have one failure mode, whatever kind the hash drew.
+	fired := plan.FiredProbes()
+	var storeFired int64
+	for _, probe := range faultinject.StoreProbes() {
+		storeFired += fired[probe]
+	}
+	if storeFired == 0 {
+		t.Error("no store probe fired under a rate-1 plan")
+	}
+	if got := plan.Counts()["io"]; got != storeFired {
+		t.Errorf("plan counted %d io faults, %d store probes fired", got, storeFired)
+	}
+	if plan.Total() != storeFired {
+		t.Errorf("plan fired %d faults total, %d at store probes: non-store probes fired during Open", plan.Total(), storeFired)
+	}
+
+	// Disarmed, the directory holds no residue: the campaign opens, runs,
+	// and finishes.
+	st, err := campstore.Open(dir, campstore.Options{Seed: killSeed, N: 2, Worker: "retry"})
+	if err != nil {
+		t.Fatalf("open after disarm: %v", err)
+	}
+	defer st.Close()
+	if _, err := progen.RunStore(context.Background(), st, progen.Options{Seed: killSeed, N: 2}, 0); err != nil {
+		t.Fatalf("campaign after disarm: %v", err)
+	}
+	if !st.Done() {
+		t.Fatalf("campaign incomplete after disarm: %d/2", st.CompletedCount())
+	}
+}

@@ -137,6 +137,13 @@ func AnalyzeFuncLadder(ctx context.Context, m *ir.Module, fn string, cfg Config)
 		}
 		recordFault(cfg.Metrics, fault)
 		lastFault = fault
+		if faults.IsOperational(fault) {
+			// Storage-layer kinds (io, corrupt): descending the ladder
+			// cannot fix a disk, and the campaign store's lease protocol
+			// already re-runs the item safely after recovery. Fall through
+			// to the sound Unknown verdict carrying the kind.
+			break
+		}
 		if ctx.Err() != nil {
 			// The campaign itself is shutting down, not just this attempt.
 			return nil, faults.FromContext(ctx.Err())

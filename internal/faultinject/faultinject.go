@@ -4,7 +4,9 @@
 // S-AEG construction, frontend-cache lookup, and worker dispatch — and a
 // seeded Plan decides, purely from (probe, key), whether a probe fires
 // and which fault it raises: a panic, artificial deadline exhaustion, or
-// a cancellation.
+// a cancellation. The campaign store (internal/campstore) adds a second
+// probe family — store.write/store.fsync/store.rename — whose every
+// decision is a classified I/O failure (see IOError).
 //
 // Determinism contract: a decision depends only on the plan seed, the
 // probe name, and the caller-supplied key (a stable item identity such as
@@ -34,6 +36,7 @@ const (
 	Panic         // probe panics with a PanicValue
 	Deadline      // probe reports artificial deadline exhaustion
 	Cancel        // probe reports an artificial cancellation
+	IO            // probe reports a storage-layer failure (store probes only)
 )
 
 func (k Kind) String() string {
@@ -44,6 +47,8 @@ func (k Kind) String() string {
 		return "deadline"
 	case Cancel:
 		return "canceled"
+	case IO:
+		return "io"
 	}
 	return "none"
 }
@@ -56,11 +61,26 @@ const (
 	ProbeAEGBuild       = "aeg.build"       // detect.AnalyzeFuncCtx, before aeg.Build
 	ProbeCacheLookup    = "cache.lookup"    // detect.AnalyzeFuncCtx, frontend lookup
 	ProbeWorkerDispatch = "worker.dispatch" // harness pool, before running a job
+
+	// Campaign-store probes (internal/campstore). These fire through
+	// IOError, not Error: a failing disk has one error mode, so every
+	// decision is classified faults.ErrIO regardless of the hashed kind.
+	ProbeStoreWrite  = "store.write"  // before a WAL record append
+	ProbeStoreFsync  = "store.fsync"  // before a WAL or snapshot fsync
+	ProbeStoreRename = "store.rename" // before the snapshot's atomic rename
 )
 
-// Probes lists every probe point, for campaign-coverage assertions.
+// Probes lists the analysis-pipeline probe points, for the chaos
+// campaign's coverage assertion. Store probes are listed separately: the
+// analysis campaign never touches the campaign store.
 func Probes() []string {
 	return []string{ProbeSolverStep, ProbeAEGBuild, ProbeCacheLookup, ProbeWorkerDispatch}
+}
+
+// StoreProbes lists the campaign-store probe points, for the store chaos
+// campaign's coverage assertion.
+func StoreProbes() []string {
+	return []string{ProbeStoreWrite, ProbeStoreFsync, ProbeStoreRename}
 }
 
 // ErrInjected marks an error (or panic) as planted by a plan rather than
@@ -90,7 +110,7 @@ type Plan struct {
 
 	mu     sync.Mutex
 	fired  map[string]Kind // "probe\x00key" → kind, first-fire only
-	counts [4]int64        // per-Kind fired tally
+	counts [5]int64        // per-Kind fired tally
 }
 
 // NewPlan returns a plan that fires each (probe, key) decision with the
@@ -121,9 +141,21 @@ func (p *Plan) Decide(probe, key string) Kind {
 // most once per plan: repeated probe visits (solver steps retry the same
 // key every query) return the kind without recounting.
 func (p *Plan) fire(probe, key string) Kind {
+	return p.fireAs(probe, key, None)
+}
+
+// fireAs is fire with the kind overridden when `as` is non-None: the
+// fire/no-fire decision still comes from the hash (so rates and fired
+// tallies stay comparable across probe families), but the recorded and
+// returned kind is forced — store probes use this to collapse every
+// decision into IO.
+func (p *Plan) fireAs(probe, key string, as Kind) Kind {
 	k := p.Decide(probe, key)
 	if k == None {
 		return None
+	}
+	if as != None {
+		k = as
 	}
 	id := probe + "\x00" + key
 	p.mu.Lock()
@@ -139,7 +171,7 @@ func (p *Plan) fire(probe, key string) Kind {
 func (p *Plan) Total() int64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.counts[Panic] + p.counts[Deadline] + p.counts[Cancel]
+	return p.counts[Panic] + p.counts[Deadline] + p.counts[Cancel] + p.counts[IO]
 }
 
 // Counts returns the fired tally per kind name.
@@ -150,6 +182,7 @@ func (p *Plan) Counts() map[string]int64 {
 		Panic.String():    p.counts[Panic],
 		Deadline.String(): p.counts[Deadline],
 		Cancel.String():   p.counts[Cancel],
+		IO.String():       p.counts[IO],
 	}
 }
 
@@ -210,6 +243,22 @@ func Error(probe, key string) error {
 		return fmt.Errorf("%w: %w at %s[%s]", faults.ErrCanceled, ErrInjected, probe, key)
 	}
 	return nil
+}
+
+// IOError fires a campaign-store probe and converts any decision into a
+// classified faults.ErrIO marked ErrInjected: storage has a single
+// failure mode (the syscall errored), so the hashed kind only decides
+// whether the probe fires, never what it raises. With no plan armed it
+// is one atomic load.
+func IOError(probe, key string) error {
+	p := armed.Load()
+	if p == nil {
+		return nil
+	}
+	if p.fireAs(probe, key, IO) == None {
+		return nil
+	}
+	return fmt.Errorf("%w: %w at %s[%s]", faults.ErrIO, ErrInjected, probe, key)
 }
 
 // hash64 is a splitmix64-style mix over the seed and the probe/key bytes

@@ -5,11 +5,12 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 )
 
 // Version identifies the report schema / toolchain generation. Bump it
 // when the JSON shape changes; the golden tests pin the serialized form.
-const Version = "0.8.0"
+const Version = "0.9.0"
 
 // Report is the machine-readable run manifest shared by clou -report,
 // lcmlint -report, and cmd/benchjson. All timing-valued fields end in
@@ -153,6 +154,15 @@ func (r *Report) Normalize() {
 	for name, h := range r.Metrics.Histograms {
 		h.SumNs, h.MinNs, h.MaxNs = 0, 0, 0
 		r.Metrics.Histograms[name] = h
+	}
+	// Campaign-store counters (store.*) measure how the run executed —
+	// fsync batching, waves, compactions, crash reclaims — not what it
+	// concluded, so resumed, re-sharded, and single-process campaigns
+	// legitimately differ on them. Strip them with the other volatiles.
+	for name := range r.Metrics.Counters {
+		if strings.HasPrefix(name, "store.") {
+			delete(r.Metrics.Counters, name)
+		}
 	}
 	normalizeSpans(r.Spans)
 }

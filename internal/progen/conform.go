@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lcm/internal/campstore"
 	"lcm/internal/detect"
 	"lcm/internal/faults"
 	"lcm/internal/harness"
@@ -45,6 +46,13 @@ type Options struct {
 	// byte-identical to an uninterrupted one.
 	Checkpoint string
 	Resume     bool
+	// Store, when non-nil, is the campaign's crash-safe transactional
+	// backend (internal/campstore), mutually exclusive with Checkpoint.
+	// Each item is claimed before analysis and completed with the same
+	// ckRecord payload the JSONL checkpoint uses; items already completed
+	// (by this run's past life or by other worker processes sharing the
+	// store) are replayed instead of re-analyzed, exactly like Resume.
+	Store *campstore.Store
 	// Metrics and Span are optional observability sinks.
 	Metrics *obsv.Registry
 	Span    *obsv.Span
@@ -100,6 +108,9 @@ func RunCtx(ctx context.Context, opts Options) (*Outcome, error) {
 	if opts.Budget > 0 {
 		deadline = start.Add(opts.Budget)
 	}
+	if opts.Checkpoint != "" && opts.Store != nil {
+		return nil, fmt.Errorf("progen: Checkpoint and Store are mutually exclusive backends")
+	}
 	var ck *checkpointer
 	if opts.Checkpoint != "" {
 		var err error
@@ -108,6 +119,15 @@ func RunCtx(ctx context.Context, opts Options) (*Outcome, error) {
 			return nil, err
 		}
 		defer ck.close()
+	}
+	if opts.Store != nil {
+		if opts.Store.Seed() != opts.Seed || opts.Store.N() != opts.N {
+			return nil, fmt.Errorf("progen: store is bound to campaign seed=%d n=%d, not seed=%d n=%d",
+				opts.Store.Seed(), opts.Store.N(), opts.Seed, opts.N)
+		}
+		if err := opts.Store.Sync(); err != nil {
+			return nil, err
+		}
 	}
 
 	var resumed atomic.Int64
@@ -119,6 +139,21 @@ func RunCtx(ctx context.Context, opts Options) (*Outcome, error) {
 		r := &results[i]
 		r.Index = i
 		r.Counts = map[string]int{}
+		replayStored := func() bool {
+			payload, ok := opts.Store.Completed(i)
+			if !ok {
+				return false
+			}
+			var rec ckRecord
+			if err := json.Unmarshal(payload, &rec); err != nil {
+				return false
+			}
+			*r = rec.Result
+			failures[i] = rec.Failures
+			recordProgram(opts.Metrics, *r, len(rec.Failures))
+			resumed.Add(1)
+			return true
+		}
 		if rec, ok := ck.take(i); ok {
 			*r = rec.Result
 			failures[i] = rec.Failures
@@ -126,50 +161,65 @@ func RunCtx(ctx context.Context, opts Options) (*Outcome, error) {
 			resumed.Add(1)
 			return nil
 		}
+		if opts.Store != nil && replayStored() {
+			return nil
+		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			r.Verdict = "skipped"
 			recordProgram(opts.Metrics, *r, 0)
 			return nil
 		}
-		p, err := Generate(opts.Seed, i)
-		if err != nil {
-			r.Verdict = "error"
-			r.Err = err.Error()
-			failures[i] = []Failure{{Oracle: "compile", Detail: err.Error(), Src: "", Seed: opts.Seed, Index: i}}
-			recordProgram(opts.Metrics, *r, 1)
-			return ck.append(i, *r, failures[i])
-		}
-		if p.Gadget != nil {
-			r.Gadget = p.Gadget.Name
-		}
-		v, fails := Check(p)
-		r.Counts = v.Counts
-		r.Nodes, r.Queries = v.Nodes, v.Queries
-		if v.Rung != detect.RungFull {
-			r.Rung = v.Rung.String()
-			r.Failure = v.Failure
-		}
-		switch {
-		case len(fails) > 0:
-			r.Verdict = "fail"
-			r.Err = fails[0].Error()
-			for fi := range fails {
-				fails[fi].Src = ShrinkFailure(fails[fi])
-			}
-			failures[i] = fails
-		case v.Unknown():
-			r.Verdict = "unknown"
-		case v.Leak:
-			r.Verdict = "leak"
-		default:
-			r.Verdict = "clean"
-		}
-		recordProgram(opts.Metrics, *r, len(fails))
-		if r.Rung != "" && opts.DegrDir != "" {
-			if err := WriteDegradation(opts.DegrDir, p.Src, *r, opts.Seed); err != nil {
+		var lease campstore.Lease
+		if opts.Store != nil {
+			l, ok, err := opts.Store.Claim(i)
+			if err != nil {
 				return err
 			}
+			if !ok {
+				// Completed or leased by a worker sharing the store; adopt
+				// its verdict once visible rather than analyzing twice.
+				if err := opts.Store.Sync(); err != nil {
+					return err
+				}
+				if replayStored() {
+					return nil
+				}
+				return fmt.Errorf("index leased by another worker")
+			}
+			lease = l
 		}
+		res, fails, err := analyzeOne(opts, i)
+		if err != nil {
+			if opts.Store != nil {
+				opts.Store.Abandon(lease)
+			}
+			return err
+		}
+		*r = res
+		failures[i] = fails
+		if opts.Store != nil {
+			payload, err := json.Marshal(ckRecord{Index: i, Result: *r, Failures: fails})
+			if err != nil {
+				return err
+			}
+			if err := opts.Store.Complete(lease, payload); err != nil {
+				if errors.Is(err, campstore.ErrStale) {
+					// An external worker completed the index first; its
+					// verdict is the one on record — adopt it so this run's
+					// outcome matches what the store will report.
+					if serr := opts.Store.Sync(); serr != nil {
+						return serr
+					}
+					if replayStored() {
+						return nil
+					}
+				}
+				return err
+			}
+			recordProgram(opts.Metrics, *r, len(fails))
+			return nil
+		}
+		recordProgram(opts.Metrics, *r, len(fails))
 		return ck.append(i, *r, failures[i])
 	})
 	for i, err := range itemErrs {
@@ -207,6 +257,52 @@ func RunCtx(ctx context.Context, opts Options) (*Outcome, error) {
 		}
 	}
 	return out, nil
+}
+
+// analyzeOne generates, checks, and (on failure) shrinks campaign item
+// i — the per-item work shared by every backend: the in-memory run, the
+// JSONL checkpoint, the store-backed RunCtx path, and the RunStore
+// worker loop. Analysis faults are folded into the result's verdict by
+// the ladder; a returned error is a genuine environmental failure
+// (e.g. the degradation corpus is unwritable).
+func analyzeOne(opts Options, i int) (ProgramResult, []Failure, error) {
+	r := ProgramResult{Index: i, Counts: map[string]int{}}
+	p, err := Generate(opts.Seed, i)
+	if err != nil {
+		r.Verdict = "error"
+		r.Err = err.Error()
+		return r, []Failure{{Oracle: "compile", Detail: err.Error(), Src: "", Seed: opts.Seed, Index: i}}, nil
+	}
+	if p.Gadget != nil {
+		r.Gadget = p.Gadget.Name
+	}
+	v, fails := Check(p)
+	r.Counts = v.Counts
+	r.Nodes, r.Queries = v.Nodes, v.Queries
+	if v.Rung != detect.RungFull {
+		r.Rung = v.Rung.String()
+		r.Failure = v.Failure
+	}
+	switch {
+	case len(fails) > 0:
+		r.Verdict = "fail"
+		r.Err = fails[0].Error()
+		for fi := range fails {
+			fails[fi].Src = ShrinkFailure(fails[fi])
+		}
+	case v.Unknown():
+		r.Verdict = "unknown"
+	case v.Leak:
+		r.Verdict = "leak"
+	default:
+		r.Verdict = "clean"
+	}
+	if r.Rung != "" && opts.DegrDir != "" {
+		if err := WriteDegradation(opts.DegrDir, p.Src, r, opts.Seed); err != nil {
+			return r, fails, err
+		}
+	}
+	return r, fails, nil
 }
 
 // recordProgram folds one program result into the conform.* counters. The

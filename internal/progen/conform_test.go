@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"lcm/internal/campstore"
 	"lcm/internal/obsv"
 )
 
@@ -23,6 +24,7 @@ var (
 	conformJobs   = flag.Int("conform.jobs", runtime.GOMAXPROCS(0), "conformance sweep worker width")
 	conformCkpt   = flag.String("conform.checkpoint", "", "index-addressed campaign checkpoint file (empty = none)")
 	conformResume = flag.Bool("conform.resume", false, "resume from the checkpoint, skipping completed indices")
+	conformStore  = flag.String("conform.store", "", "campaign store directory (crash-safe transactional backend; excludes -conform.checkpoint)")
 )
 
 // TestConformRun is the conformance harness entry point: generate the
@@ -33,7 +35,7 @@ func TestConformRun(t *testing.T) {
 	metrics := obsv.NewRegistry()
 	tracer := obsv.NewTracer()
 	root := tracer.Start("conform")
-	out, err := Run(Options{
+	opts := Options{
 		Seed:       *conformSeed,
 		N:          *conformN,
 		Jobs:       *conformJobs,
@@ -43,7 +45,18 @@ func TestConformRun(t *testing.T) {
 		Resume:     *conformResume,
 		Metrics:    metrics,
 		Span:       root,
-	})
+	}
+	if *conformStore != "" {
+		st, err := campstore.Open(*conformStore, campstore.Options{
+			Seed: *conformSeed, N: *conformN, Worker: "conform-test", Metrics: metrics,
+		})
+		if err != nil {
+			t.Fatalf("open campaign store %s: %v", *conformStore, err)
+		}
+		defer st.Close()
+		opts.Store = st
+	}
+	out, err := Run(opts)
 	root.End()
 	if err != nil {
 		t.Fatal(err)

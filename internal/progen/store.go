@@ -1,0 +1,141 @@
+package progen
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"lcm/internal/campstore"
+	"lcm/internal/faults"
+	"lcm/internal/obsv"
+)
+
+// RunStore is the claim-next worker loop: pull unowned campaign items
+// from the store until none are claimable, analyze each, and complete
+// its lease with the same ckRecord payload the JSONL checkpoint format
+// uses. It is the body of `clou -gen -worker` — any number of processes
+// run it against one store directory with no coordination beyond the
+// store itself. maxItems > 0 bounds how many items this call analyzes
+// (the chaos harness uses it to force multi-wave campaigns).
+//
+// The returned count is items this worker completed. A worker observing
+// ErrStale on completion simply moves on: the index was finished by a
+// competing worker (or this worker's lease was reclaimed after a
+// presumed crash), and exactly one verdict is on record either way.
+func RunStore(ctx context.Context, st *campstore.Store, opts Options, maxItems int) (int, error) {
+	if st.Seed() != opts.Seed || st.N() != opts.N {
+		return 0, fmt.Errorf("progen: store is bound to campaign seed=%d n=%d, not seed=%d n=%d",
+			st.Seed(), st.N(), opts.Seed, opts.N)
+	}
+	done := 0
+	for maxItems <= 0 || done < maxItems {
+		if err := ctx.Err(); err != nil {
+			return done, faults.FromContext(err)
+		}
+		l, ok, err := st.ClaimNext()
+		if err != nil {
+			return done, err
+		}
+		if !ok {
+			return done, nil
+		}
+		r, fails, aerr := analyzeOne(opts, l.Index)
+		if aerr != nil {
+			st.Abandon(l)
+			return done, aerr
+		}
+		payload, err := json.Marshal(ckRecord{Index: l.Index, Result: r, Failures: fails})
+		if err != nil {
+			st.Abandon(l)
+			return done, err
+		}
+		if err := st.Complete(l, payload); err != nil {
+			if errors.Is(err, campstore.ErrStale) {
+				continue
+			}
+			return done, err
+		}
+		done++
+	}
+	return done, nil
+}
+
+// OutcomeFromStore assembles the campaign outcome from the store's
+// completed verdicts in index order, replaying every result through
+// recordProgram so the conform.* counters — and therefore the
+// normalized report — are byte-identical no matter how many processes,
+// kills, and resumes produced the verdicts. It refuses an incomplete
+// campaign: assembly is the coordinator's final step, after Done.
+func OutcomeFromStore(st *campstore.Store, reg *obsv.Registry) (*Outcome, error) {
+	if err := st.Sync(); err != nil {
+		return nil, err
+	}
+	if !st.Done() {
+		return nil, fmt.Errorf("progen: campaign incomplete: %d/%d verdicts", st.CompletedCount(), st.N())
+	}
+	out := &Outcome{}
+	for _, c := range st.CompletedAll() {
+		var rec ckRecord
+		if err := json.Unmarshal(c.Payload, &rec); err != nil {
+			return nil, faults.Corruptf("progen: store verdict %d: %v", c.Index, err)
+		}
+		out.Programs = append(out.Programs, rec.Result)
+		out.Failures = append(out.Failures, rec.Failures...)
+		recordProgram(reg, rec.Result, len(rec.Failures))
+	}
+	return out, nil
+}
+
+// ImportCheckpoint migrates a PR-5-format JSONL checkpoint into the
+// store as one group commit (N appends, one fsync). The checkpoint's
+// header seed must match the store's campaign; indices the store
+// already has verdicts for are skipped. Returns how many records were
+// imported.
+func ImportCheckpoint(st *campstore.Store, path string) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, faults.IOf("progen: read checkpoint %s: %v", path, err)
+	}
+	ck := &checkpointer{completed: map[int]ckRecord{}}
+	if err := ck.load(data, st.Seed()); err != nil {
+		return 0, faults.Corruptf("progen: checkpoint %s: %v", path, err)
+	}
+	recs := make([]campstore.Completed, 0, len(ck.completed))
+	for i := 0; i < st.N(); i++ {
+		rec, ok := ck.completed[i]
+		if !ok {
+			continue
+		}
+		payload, err := json.Marshal(rec)
+		if err != nil {
+			return 0, err
+		}
+		recs = append(recs, campstore.Completed{Index: i, Payload: payload})
+	}
+	return st.Import(recs)
+}
+
+// WriteRegressionsDeduped writes the shrunk failures to the regression
+// corpus, skipping duplicates by content hash of (oracle, shrunk
+// source): sharded campaigns routinely shrink different seeds' failures
+// to the same minimal program, and one replayable file per distinct
+// defect is what the corpus wants. Returns how many files were written.
+func WriteRegressionsDeduped(dir string, fails []Failure) (int, error) {
+	seen := map[[sha256.Size]byte]bool{}
+	written := 0
+	for _, f := range fails {
+		h := sha256.Sum256([]byte(f.Oracle + "\x00" + f.Src))
+		if seen[h] {
+			continue
+		}
+		seen[h] = true
+		if err := WriteRegression(dir, f); err != nil {
+			return written, err
+		}
+		written++
+	}
+	return written, nil
+}

@@ -1,0 +1,307 @@
+package progen
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lcm/internal/campstore"
+	"lcm/internal/obsv"
+)
+
+const (
+	storeTestSeed = 5
+	storeTestN    = 6
+)
+
+func openStoreT(t *testing.T, dir string, worker string, attach bool) *campstore.Store {
+	t.Helper()
+	st, err := campstore.Open(dir, campstore.Options{
+		Seed: storeTestSeed, N: storeTestN, Worker: worker, Attach: attach,
+	})
+	if err != nil {
+		t.Fatalf("open store %s: %v", dir, err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+// renderStore assembles the completed campaign from the store and
+// renders its normalized report — the canonical byte string every
+// resumed, re-sharded, or crashed-and-recovered run must reproduce.
+func renderStore(t *testing.T, dir string) []byte {
+	t.Helper()
+	st := openStoreT(t, dir, "render", false)
+	reg := obsv.NewRegistry()
+	tracer := obsv.NewTracer()
+	root := tracer.Start("conform")
+	out, err := OutcomeFromStore(st, reg)
+	root.End()
+	if err != nil {
+		t.Fatalf("OutcomeFromStore: %v", err)
+	}
+	rep := out.Report(storeTestSeed, 1, reg, tracer)
+	rep.Normalize()
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func storeOpts() Options {
+	return Options{Seed: storeTestSeed, N: storeTestN, Jobs: 1}
+}
+
+// TestStoreCrashResumeIdentity is the store-backed successor of
+// TestCheckpointResumeIdentity: a campaign interrupted mid-claim and
+// mid-write (a dangling lease from a dead worker plus a torn WAL tail)
+// must resume to a report byte-identical to an uninterrupted run.
+func TestStoreCrashResumeIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("store resume sweep in -short mode")
+	}
+	// Reference: one worker, no interruptions.
+	refDir := t.TempDir()
+	ref := openStoreT(t, refDir, "w0", false)
+	if n, err := RunStore(context.Background(), ref, storeOpts(), 0); err != nil || n != storeTestN {
+		t.Fatalf("reference RunStore = %d, %v", n, err)
+	}
+	want := renderStore(t, refDir)
+
+	// Crashed campaign: worker completes two items, then dies holding a
+	// lease (handle dropped without Abandon), and its final in-flight
+	// append is torn mid-frame.
+	dir := t.TempDir()
+	w1 := openStoreT(t, dir, "w1", false)
+	if n, err := RunStore(context.Background(), w1, storeOpts(), 2); err != nil || n != 2 {
+		t.Fatalf("partial RunStore = %d, %v", n, err)
+	}
+	if _, ok, err := w1.ClaimNext(); err != nil || !ok {
+		t.Fatalf("claim before crash: %v %v", ok, err)
+	}
+	w1.Close() // SIGKILL stand-in: the lease stays on disk
+	wal := filepath.Join(dir, "wal.1.log")
+	if err := appendBytes(wal, []byte{0x13, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume: a fresh coordinator handle reclaims the dead worker's
+	// lease, heals the torn tail, and a new worker finishes the rest.
+	w2 := openStoreT(t, dir, "w2", false)
+	if got := w2.Leases(); got != 0 {
+		t.Fatalf("coordinator open left %d stale leases", got)
+	}
+	if w2.CompletedCount() != 2 {
+		t.Fatalf("crash lost verdicts: %d/2 survive", w2.CompletedCount())
+	}
+	if _, err := RunStore(context.Background(), w2, storeOpts(), 0); err != nil {
+		t.Fatalf("resumed RunStore: %v", err)
+	}
+	got := renderStore(t, dir)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("crash-resumed report differs from uninterrupted run:\n--- uninterrupted ---\n%s\n--- resumed ---\n%s", want, got)
+	}
+}
+
+// TestStoreReshardIdentity: the same campaign spread across three
+// worker handles in interleaved waves — with a compaction in the middle
+// — reports byte-identically to the single-worker run.
+func TestStoreReshardIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("store reshard sweep in -short mode")
+	}
+	refDir := t.TempDir()
+	ref := openStoreT(t, refDir, "w0", false)
+	if _, err := RunStore(context.Background(), ref, storeOpts(), 0); err != nil {
+		t.Fatal(err)
+	}
+	want := renderStore(t, refDir)
+
+	dir := t.TempDir()
+	coord := openStoreT(t, dir, "coord", false)
+	workers := []*campstore.Store{
+		openStoreT(t, dir, "wa", true),
+		openStoreT(t, dir, "wb", true),
+		openStoreT(t, dir, "wc", true),
+	}
+	for round := 0; !coord.Done(); round++ {
+		w := workers[round%len(workers)]
+		if _, err := RunStore(context.Background(), w, storeOpts(), 1); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if round == 2 {
+			if err := coord.Compact(); err != nil {
+				t.Fatalf("mid-campaign compact: %v", err)
+			}
+		}
+		if err := coord.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if round > 4*storeTestN {
+			t.Fatalf("campaign failed to converge after %d rounds", round)
+		}
+	}
+	got := renderStore(t, dir)
+	if !bytes.Equal(got, want) {
+		t.Fatal("re-sharded report differs from single-worker run")
+	}
+}
+
+// TestStoreRunCtxIdentity: RunCtx with the Store backend (the
+// single-process `clou -gen -store` path, including its worker pool)
+// persists exactly the verdicts a worker loop would, and its in-memory
+// outcome matches the store assembly.
+func TestStoreRunCtxIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("store RunCtx sweep in -short mode")
+	}
+	refDir := t.TempDir()
+	ref := openStoreT(t, refDir, "w0", false)
+	if _, err := RunStore(context.Background(), ref, storeOpts(), 0); err != nil {
+		t.Fatal(err)
+	}
+	want := renderStore(t, refDir)
+
+	dir := t.TempDir()
+	st := openStoreT(t, dir, "runctx", false)
+	opts := storeOpts()
+	opts.Jobs = 2
+	opts.Store = st
+	out, err := RunCtx(context.Background(), opts)
+	if err != nil {
+		t.Fatalf("RunCtx(store): %v", err)
+	}
+	if out.Resumed != 0 {
+		t.Fatalf("fresh store-backed run resumed %d items", out.Resumed)
+	}
+	got := renderStore(t, dir)
+	if !bytes.Equal(got, want) {
+		t.Fatal("RunCtx store-backed report differs from worker-loop run")
+	}
+
+	// Re-running over the same store replays every verdict: nothing is
+	// re-analyzed, nothing double-reported.
+	out2, err := RunCtx(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Resumed != storeTestN {
+		t.Fatalf("re-run resumed %d items, want all %d", out2.Resumed, storeTestN)
+	}
+	if got2 := renderStore(t, dir); !bytes.Equal(got2, want) {
+		t.Fatal("replayed report differs")
+	}
+}
+
+// TestCheckpointImportIdentity: a partial PR-5-format JSONL checkpoint
+// — the surviving half of a killed checkpoint campaign, torn line
+// included — imports into a campstore, the campaign finishes over the
+// store, and the assembled report is byte-identical to an uninterrupted
+// store campaign. The migration path loses nothing and invents nothing.
+func TestCheckpointImportIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("import sweep in -short mode")
+	}
+	refDir := t.TempDir()
+	ref := openStoreT(t, refDir, "w0", false)
+	if _, err := RunStore(context.Background(), ref, storeOpts(), 0); err != nil {
+		t.Fatal(err)
+	}
+	want := renderStore(t, refDir)
+
+	// Build the checkpoint fixture the old way: a full JSONL campaign,
+	// then forge the kill by keeping the header and every other record
+	// plus a torn trailing line.
+	ckPath := filepath.Join(t.TempDir(), "full.jsonl")
+	ckOpts := storeOpts()
+	ckOpts.Jobs = 2
+	ckOpts.Checkpoint = ckPath
+	if _, err := RunCtx(context.Background(), ckOpts); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(ckPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) != storeTestN+1 {
+		t.Fatalf("checkpoint has %d lines, want header + %d records", len(lines), storeTestN)
+	}
+	kept := []string{lines[0]}
+	for i, ln := range lines[1:] {
+		if i%2 == 0 {
+			kept = append(kept, ln)
+		}
+	}
+	partial := filepath.Join(t.TempDir(), "partial.jsonl")
+	body := strings.Join(kept, "\n") + "\n" + `{"index":999,"resu`
+	if err := os.WriteFile(partial, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	st := openStoreT(t, dir, "migrate", false)
+	n, err := ImportCheckpoint(st, partial)
+	if err != nil {
+		t.Fatalf("ImportCheckpoint: %v", err)
+	}
+	if n != len(kept)-1 {
+		t.Fatalf("imported %d records, want %d (the surviving ones)", n, len(kept)-1)
+	}
+	if _, err := RunStore(context.Background(), st, storeOpts(), 0); err != nil {
+		t.Fatalf("post-import RunStore: %v", err)
+	}
+	got := renderStore(t, dir)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("import-resumed report differs from uninterrupted store run:\n--- store ---\n%s\n--- imported ---\n%s", want, got)
+	}
+
+	// Importing a checkpoint bound to another seed must refuse.
+	other, err := campstore.Open(t.TempDir(), campstore.Options{Seed: storeTestSeed + 1, N: storeTestN, Worker: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+	if _, err := ImportCheckpoint(other, partial); err == nil || !strings.Contains(err.Error(), "seed") {
+		t.Fatalf("seed-mismatched import = %v, want refusal naming the seed", err)
+	}
+}
+
+// TestWriteRegressionsDeduped: failures shrinking to the same (oracle,
+// source) pair produce one corpus file.
+func TestWriteRegressionsDeduped(t *testing.T) {
+	dir := t.TempDir()
+	fails := []Failure{
+		{Oracle: "oracle-a", Src: "void victim(void) {}\n", Seed: 1, Index: 0},
+		{Oracle: "oracle-a", Src: "void victim(void) {}\n", Seed: 1, Index: 3}, // same defect, other index
+		{Oracle: "oracle-b", Src: "void victim(void) {}\n", Seed: 1, Index: 3}, // other oracle
+	}
+	n, err := WriteRegressionsDeduped(dir, fails)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("wrote %d files, want 2 (one duplicate skipped)", n)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 2 {
+		t.Fatalf("corpus holds %d files, want 2", len(ents))
+	}
+}
+
+func appendBytes(path string, b []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(b)
+	return err
+}
